@@ -1,0 +1,142 @@
+// Ablations — the design choices DESIGN.md calls out, quantified.
+//
+//   1. Strategy comparison across loads: spinetree (vectorized) vs. the
+//      prior-art sort-based multiprefix ("most approaches have used integer
+//      sorting", Abstract) vs. the serial bucket sweep vs. the chunked
+//      two-level algorithm.
+//   2. Compressed-spine vs. paper-faithful full-scan SPINESUMS.
+//   3. Plan amortization (§5.2.1): first call (setup + eval) vs. steady
+//      state (eval only) vs. the multireduce shortcut (§4.2).
+//
+// Flags: --n=N (default 2^20), --reps=N (default 3)
+#include "bench_common.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/multiprefix.hpp"
+
+namespace {
+
+std::vector<int> random_values(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(100));
+  return v;
+}
+
+void BM_Strategy(benchmark::State& state) {
+  const std::size_t n = 1 << 18;
+  const std::size_t m = n / 64;
+  const auto strategy = static_cast<mp::Strategy>(state.range(0));
+  const auto labels = mp::uniform_labels(n, m, 3);
+  const auto values = random_values(n, 4);
+  for (auto _ : state) {
+    const auto r = mp::multiprefix<int>(values, labels, m, mp::Plus{}, strategy);
+    benchmark::DoNotOptimize(r.prefix.data());
+  }
+  state.SetLabel(mp::to_string(strategy));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Strategy)
+    ->Arg(static_cast<int>(mp::Strategy::kSerial))
+    ->Arg(static_cast<int>(mp::Strategy::kVectorized))
+    ->Arg(static_cast<int>(mp::Strategy::kSortBased))
+    ->Arg(static_cast<int>(mp::Strategy::kChunked))
+    ->Unit(benchmark::kMillisecond);
+
+void paper_section(const mp::CliArgs& args) {
+  const auto n = static_cast<std::size_t>(args.get("n", std::int64_t{1 << 20}));
+  const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{3}));
+  const auto values = random_values(n, 5);
+
+  // ---- 1. strategies across loads ------------------------------------------
+  const struct {
+    const char* name;
+    std::size_t load;  // 0 = single bucket
+  } loads[] = {{"load=n", 0}, {"load=256", 256}, {"load=16", 16}, {"load=1", 1}};
+
+  mp::TextTable strat({"strategy", "load=n (ms)", "load=256", "load=16", "load=1"});
+  for (const mp::Strategy s : {mp::Strategy::kSerial, mp::Strategy::kVectorized,
+                               mp::Strategy::kSortBased, mp::Strategy::kChunked}) {
+    std::vector<std::string> row = {mp::to_string(s)};
+    for (const auto& l : loads) {
+      const std::size_t m = l.load == 0 ? 1 : std::max<std::size_t>(1, n / l.load);
+      const auto labels = m == 1 ? mp::constant_labels(n) : mp::uniform_labels(n, m, 9);
+      const double sec = mp::bench::seconds_best_of(reps, [&] {
+        const auto r = mp::multiprefix<int>(values, labels, m, mp::Plus{}, s);
+        benchmark::DoNotOptimize(r.prefix.data());
+      });
+      row.push_back(mp::TextTable::num(sec * 1e3, 2));
+    }
+    strat.add_row(std::move(row));
+  }
+  std::printf("1. one-shot multiprefix of n = %zu ints, by strategy and bucket load (ms)\n\n",
+              n);
+  std::printf("%s", strat.render().c_str());
+  std::printf("\n(serial is hard to beat on one core — the spinetree's win on the Y-MP came\n"
+              "from vectorizing a loop the serial sweep cannot vectorize; the sort-based\n"
+              "route pays for two full permutations of the data.)\n\n");
+
+  // ---- 2. compressed vs full-scan SPINESUMS --------------------------------
+  mp::TextTable spine({"load", "spine elements", "full scan (ms)", "compressed (ms)"});
+  for (const auto& l : loads) {
+    const std::size_t m = l.load == 0 ? 1 : std::max<std::size_t>(1, n / l.load);
+    const auto labels = m == 1 ? mp::constant_labels(n) : mp::uniform_labels(n, m, 9);
+    const mp::SpinetreePlan plan(labels, m);
+    mp::SpinetreeExecutor<int, mp::Plus> exec(plan);
+    std::vector<int> prefix(n), reduction(m);
+    double times[2];
+    for (const bool compressed : {false, true}) {
+      mp::SpinetreeExecutor<int, mp::Plus>::Options opts;
+      opts.compressed_spine = compressed;
+      times[compressed ? 1 : 0] = mp::bench::seconds_best_of(reps, [&] {
+        exec.execute(values, std::span<int>(prefix), std::span<int>(reduction), opts);
+        benchmark::DoNotOptimize(prefix.data());
+      });
+    }
+    spine.add_row({l.name, mp::TextTable::num(plan.spine_count()),
+                   mp::TextTable::num(times[0] * 1e3, 2), mp::TextTable::num(times[1] * 1e3, 2)});
+  }
+  std::printf("2. SPINESUMS: paper-faithful masked full scan vs. compressed spine lists\n\n");
+  std::printf("%s", spine.render().c_str());
+  std::printf("\n(the full scan touches every element per row — the masked loop whose Y-MP\n"
+              "behaviour §4.3 dissects; the compressed list touches only spine elements.)\n\n");
+
+  // ---- 3. plan amortization (§5.2.1) + multireduce (§4.2) -------------------
+  const std::size_t m = std::max<std::size_t>(1, n / 64);
+  const auto labels = mp::uniform_labels(n, m, 9);
+  const double setup = mp::bench::seconds_best_of(reps, [&] {
+    mp::SpinetreePlan plan(labels, m);
+    benchmark::DoNotOptimize(plan.spine().data());
+  });
+  const mp::SpinetreePlan plan(labels, m);
+  mp::SpinetreeExecutor<int, mp::Plus> exec(plan);
+  std::vector<int> prefix(n), reduction(m);
+  const double eval_full = mp::bench::seconds_best_of(reps, [&] {
+    exec.execute(values, std::span<int>(prefix), std::span<int>(reduction));
+    benchmark::DoNotOptimize(prefix.data());
+  });
+  const double eval_reduce = mp::bench::seconds_best_of(reps, [&] {
+    exec.reduce(values, std::span<int>(reduction));
+    benchmark::DoNotOptimize(reduction.data());
+  });
+
+  mp::TextTable amort({"component", "ms", "note"});
+  amort.add_row({"plan build (setup)", mp::TextTable::num(setup * 1e3, 2),
+                 "paid once per label vector (SPINETREE)"});
+  amort.add_row({"execute (eval)", mp::TextTable::num(eval_full * 1e3, 2),
+                 "per value vector, full multiprefix"});
+  amort.add_row({"reduce (eval)", mp::TextTable::num(eval_reduce * 1e3, 2),
+                 "multireduce: skips MULTISUMS (section 4.2)"});
+  std::printf("3. amortization at n = %zu, m = %zu\n\n", n, m);
+  std::printf("%s", amort.render().c_str());
+  std::printf("\n(the multireduce saving mirrors the paper's ~7 of ~24 clocks per element;\n"
+              "iterative SpMV pays 'plan build' once and 'reduce' per iteration.)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "Ablations: baselines, spine representation, amortization",
+                        paper_section);
+}

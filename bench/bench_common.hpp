@@ -1,0 +1,43 @@
+// Shared scaffolding for the per-table bench binaries.
+//
+// Every binary follows the same shape: a handful of google-benchmark
+// microbenchmarks (run first), then a "paper section" that regenerates the
+// corresponding table or figure — our measured numbers next to the paper's
+// published ones and, where the experiment depends on Cray vector
+// economics, next to the Cray cost model's prediction.
+//
+// Flags: google-benchmark's own flags work as usual; additional --name=value
+// flags are consumed by the paper section (see each binary's header).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace mp::bench {
+
+/// Runs registered google-benchmarks, then the paper-table section.
+inline int run(int argc, char** argv, const char* title,
+               const std::function<void(const CliArgs&)>& paper_section) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n==== %s ====\n\n", title);
+  const CliArgs args(argc, argv);
+  paper_section(args);
+  return 0;
+}
+
+/// Median-of-reps timing for the paper sections (deterministic kernels).
+template <class Fn>
+double seconds_best_of(std::size_t reps, Fn&& fn) {
+  return time_best_of(reps, std::forward<Fn>(fn));
+}
+
+}  // namespace mp::bench

@@ -1,0 +1,160 @@
+// Simulated Cray Y-MP run of the §4 multiprefix kernel — Table 3 and
+// Figure 10 regenerated from a cycle-counting machine model rather than
+// from the closed-form cost model.
+//
+// The simulated machine (vm/machine.hpp) strip-mines 64-lane vector
+// instructions over an interleaved banked memory; the multiprefix program
+// (vm/machine_multiprefix.hpp) is the paper's exact loop structure. Nothing
+// about bucket loads is assumed: the SPINETREE bank serialization on one
+// bucket, the SPINESUM all-FALSE chunk skip and the FALSE-lane dummy hot
+// spot all *emerge* from the simulated address streams (§4.3).
+//
+// With the machine's chaining approximation the per-phase clocks land
+// within roughly +/-40% of the paper's Table 3; per-phase ordering and the
+// load regimes are the reproduction target.
+//
+// Flags: --maxn=N (default 2^18)
+#include "bench_common.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "vm/cray_model.hpp"
+#include "vm/machine_multiprefix.hpp"
+
+namespace {
+
+using mp::vm::VectorMachine;
+
+std::vector<VectorMachine::word_t> positive_values(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<VectorMachine::word_t> v(n);
+  for (auto& x : v) x = 1 + static_cast<VectorMachine::word_t>(rng.below(50));
+  return v;
+}
+
+/// Row length near sqrt(n), forced odd so column strides are coprime with
+/// the bank count — the §4.4 advice ("not a multiple of the number of
+/// memory banks"), which the bank-aliasing section below motivates.
+mp::RowShape sim_shape(std::size_t n) {
+  auto shape = mp::RowShape::square(n);
+  return mp::RowShape::with_row_length(n, shape.row_len | 1);
+}
+
+void BM_SimulatedMultiprefix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n / 128 + 1;
+  const auto labels = mp::uniform_labels(n, m, 3);
+  const auto values = positive_values(n, 4);
+  for (auto _ : state) {
+    const auto sim =
+        mp::vm::run_multiprefix_simulated(values, labels, m, sim_shape(n));
+    benchmark::DoNotOptimize(sim.prefix.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatedMultiprefix)->Arg(1 << 12)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+
+void paper_section(const mp::CliArgs& args) {
+  const auto maxn = static_cast<std::size_t>(args.get("maxn", std::int64_t{1 << 18}));
+
+  // ---- Table 3 analogue: per-phase simulated clocks per element at
+  // moderate load ------------------------------------------------------------
+  {
+    const std::size_t n = std::min<std::size_t>(maxn, 1 << 16);
+    const std::size_t m = n / 100 + 1;
+    const auto labels = mp::uniform_labels(n, m, 11);
+    const auto values = positive_values(n, 12);
+    const auto sim =
+        mp::vm::run_multiprefix_simulated(values, labels, m, sim_shape(n));
+
+    const mp::vm::CrayModel paper;
+    mp::TextTable table({"Phase", "paper t_e (clk/elt)", "simulated clk/elt"});
+    const double nd = static_cast<double>(n);
+    table.add_row({"SPINETREE", mp::TextTable::num(paper.spinetree.te_clocks, 1),
+                   mp::TextTable::num(static_cast<double>(sim.phase_clocks.spinetree) / nd, 1)});
+    table.add_row({"ROWSUM", mp::TextTable::num(paper.rowsum.te_clocks, 1),
+                   mp::TextTable::num(static_cast<double>(sim.phase_clocks.rowsums) / nd, 1)});
+    table.add_row({"SPINESUM", mp::TextTable::num(paper.spinesum.te_clocks, 1),
+                   mp::TextTable::num(static_cast<double>(sim.phase_clocks.spinesums) / nd, 1)});
+    table.add_row({"PREFIXSUM", mp::TextTable::num(paper.prefixsum.te_clocks, 1),
+                   mp::TextTable::num(static_cast<double>(sim.phase_clocks.prefixsums) / nd, 1)});
+    std::printf("Table 3 analogue at n = %zu, moderate load (m = n/100):\n\n", n);
+    std::printf("%s", table.render().c_str());
+    std::printf("\n(simulated machine is unchained and in-order — expect a constant factor\n"
+                "above the paper's chained Y-MP; the per-phase ordering is the check)\n\n");
+  }
+
+  // ---- Figure 10 analogue: clocks/element across sizes and loads -----------
+  {
+    const struct {
+      const char* name;
+      std::size_t load;  // 0 = single bucket
+    } loads[] = {{"load=n", 0}, {"load=256", 256}, {"load=16", 16}, {"load=1", 1}};
+
+    std::vector<std::string> header = {"n"};
+    for (const auto& l : loads) header.emplace_back(l.name);
+    header.emplace_back("skipped chunks @load=n");
+    mp::TextTable table(header);
+
+    for (std::size_t n = 4096; n <= maxn; n *= 4) {
+      std::vector<std::string> row = {mp::TextTable::num(n)};
+      const auto values = positive_values(n, 7);
+      std::uint64_t heavy_skips = 0;
+      for (const auto& l : loads) {
+        const std::size_t load = l.load == 0 ? n : l.load;
+        const std::size_t m = std::max<std::size_t>(1, n / load);
+        const auto labels = m == 1 ? mp::constant_labels(n) : mp::uniform_labels(n, m, 9);
+        const auto sim =
+            mp::vm::run_multiprefix_simulated(values, labels, m, sim_shape(n));
+        row.push_back(mp::TextTable::num(sim.clocks_per_element(), 1));
+        if (l.load == 0) heavy_skips = sim.machine_stats.skipped_chunks;
+      }
+      row.push_back(mp::TextTable::num(static_cast<std::size_t>(heavy_skips)));
+      table.add_row(std::move(row));
+    }
+    std::printf("Figure 10 analogue: simulated clocks per element\n\n");
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nShape check (§4.3): per-element cost is flat in n per column; the single-\n"
+        "bucket column pays a SPINETREE bank hot spot but earns it back through\n"
+        "SPINESUM chunk skips (last column), so the extremes stay within a small\n"
+        "factor — the paper's load insensitivity, now emerging from simulated\n"
+        "memory banks rather than from fitted constants.\n");
+  }
+
+  // ---- §4.4 bank aliasing: row length vs the bank count ----------------------
+  {
+    const std::size_t n = std::min<std::size_t>(maxn, 1 << 16);
+    const std::size_t m = n / 100 + 1;
+    const auto labels = mp::uniform_labels(n, m, 13);
+    const auto values = positive_values(n, 14);
+    mp::TextTable table({"row length", "note", "simulated clk/elt"});
+    const auto base = mp::RowShape::square(n).row_len;
+    const struct {
+      std::size_t len;
+      const char* note;
+    } shapes[] = {{base, "sqrt(n): multiple of the bank count"},
+                  {base | 1, "sqrt(n) forced odd (coprime with banks)"},
+                  {base + 3, "sqrt(n)+3"}};
+    for (const auto& s : shapes) {
+      const auto sim = mp::vm::run_multiprefix_simulated(
+          values, labels, m, mp::RowShape::with_row_length(n, s.len));
+      table.add_row({mp::TextTable::num(s.len), s.note,
+                     mp::TextTable::num(sim.clocks_per_element(), 1)});
+    }
+    std::printf("\nSection 4.4 bank hygiene at n = %zu (64 banks):\n\n", n);
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nA row length that is a multiple of the bank count aliases every column\n"
+        "sweep onto one bank and the cost explodes — exactly why the paper chooses\n"
+        "'a value near the square root that is not a multiple of the number of\n"
+        "memory banks nor of the bank cycle time'.\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "Simulated Y-MP: Table 3 and Figure 10 by machine model",
+                        paper_section);
+}

@@ -1,0 +1,155 @@
+// Simulated Y-MP runs of the three SpMV kernels over the Table 2 grid and
+// the Table 5 circuit matrices — the sparse evaluation regenerated from the
+// cycle-counting machine model (complementing bench/table2_spmv_total's
+// closed-form cost model).
+//
+// Orders are scaled down from the paper's (simulating 225k non-zeros
+// element-by-element is cheap, but the grid is dominated by the shape, not
+// the absolute size); pass --scale=1.0 for the paper's orders.
+//
+// Flags: --scale=F (default 0.2 of the paper's orders)
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "sparse/dense_ref.hpp"
+#include "sparse/generators.hpp"
+#include "vm/machine_spmv.hpp"
+
+namespace {
+
+using Word = mp::vm::VectorMachine::word_t;
+
+mp::sparse::Coo<Word> integer_matrix(const mp::sparse::Coo<double>& shape,
+                                     std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  mp::sparse::Coo<Word> coo;
+  coo.rows = shape.rows;
+  coo.cols = shape.cols;
+  coo.row = shape.row;
+  coo.col = shape.col;
+  coo.val.resize(shape.nnz());
+  for (auto& v : coo.val) v = 1 + static_cast<Word>(rng.below(9));
+  return coo;
+}
+
+std::vector<Word> positive_x(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<Word> x(n);
+  for (auto& v : x) v = 1 + static_cast<Word>(rng.below(9));
+  return x;
+}
+
+void BM_SimCsrSpmv(benchmark::State& state) {
+  const auto pattern = mp::sparse::random_matrix(1000, 0.002, 3);
+  const auto coo = integer_matrix(pattern, 4);
+  const auto csr = mp::sparse::Csr<Word>::from_coo(coo);
+  const auto x = positive_x(1000, 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mp::vm::run_csr_spmv_simulated(csr, x).eval_clocks);
+}
+BENCHMARK(BM_SimCsrSpmv)->Unit(benchmark::kMillisecond);
+
+void BM_SimMpSpmv(benchmark::State& state) {
+  const auto pattern = mp::sparse::random_matrix(1000, 0.002, 3);
+  const auto coo = integer_matrix(pattern, 4);
+  const auto x = positive_x(1000, 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mp::vm::run_mp_spmv_simulated(coo, x).eval_clocks);
+}
+BENCHMARK(BM_SimMpSpmv)->Unit(benchmark::kMillisecond);
+
+void paper_section(const mp::CliArgs& args) {
+  const double scale = args.get("scale", 0.2);
+
+  struct GridPoint {
+    std::size_t order;
+    double rho;
+    double paper_csr, paper_jd, paper_mp;  // Table 2 totals, ms
+  };
+  const GridPoint grid[] = {
+      {15000, 0.001, 30.29, 28.09, 27.43}, {10000, 0.001, 19.52, 16.31, 12.43},
+      {5000, 0.001, 9.48, 6.99, 3.45},     {2000, 0.005, 3.90, 3.23, 2.77},
+      {1000, 0.010, 1.95, 1.66, 1.50},     {100, 0.400, 0.27, 0.42, 0.76},
+  };
+
+  std::printf("Table 2 analogue: simulated total clocks per non-zero "
+              "(one setup + one evaluation), scale %.2f of the paper's orders\n\n",
+              scale);
+  mp::TextTable table({"Order", "rho", "nnz", "paper winner",  //
+                       "CSR clk/nnz", "JD clk/nnz", "MP clk/nnz", "sim winner"});
+
+  for (const auto& g : grid) {
+    const auto order = std::max<std::size_t>(
+        30, static_cast<std::size_t>(static_cast<double>(g.order) * scale));
+    // Keep the paper's average row population: scale density inversely.
+    const double rho = std::min(1.0, g.rho / scale);
+    const auto pattern = mp::sparse::random_matrix(order, rho, 42);
+    const auto coo = integer_matrix(pattern, 43);
+    const auto x = positive_x(order, 44);
+    const double nnz = static_cast<double>(coo.nnz());
+
+    const auto csr = mp::sparse::Csr<Word>::from_coo(coo);
+    const double c = static_cast<double>(mp::vm::run_csr_spmv_simulated(csr, x).total_clocks()) / nnz;
+    const double j = static_cast<double>(mp::vm::run_jd_spmv_simulated(csr, x).total_clocks()) / nnz;
+    const double p = static_cast<double>(mp::vm::run_mp_spmv_simulated(coo, x).total_clocks()) / nnz;
+
+    const char* paper_winner =
+        g.paper_mp <= g.paper_csr && g.paper_mp <= g.paper_jd
+            ? "MP"
+            : (g.paper_jd <= g.paper_csr ? "JD" : "CSR");
+    const char* sim_winner = p <= c && p <= j ? "MP" : (j <= c ? "JD" : "CSR");
+
+    table.add_row({mp::TextTable::num(order), mp::TextTable::num(rho, 3),
+                   mp::TextTable::num(coo.nnz()), paper_winner, mp::TextTable::num(c, 1),
+                   mp::TextTable::num(j, 1), mp::TextTable::num(p, 1), sim_winner});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: the extremes match the paper — MP wins decisively on the\n"
+      "5-per-row matrix (the paper's 3x win at order 5000) and CSR wins the small\n"
+      "dense matrix. The unchained machine model prices MP ~1.8x above the chained\n"
+      "Y-MP, so the marginal 10-15-per-row rows (where the paper's MP margin was\n"
+      "only 10-30%%) sit on the CSR side of the simulated crossover; see\n"
+      "bench/table2_spmv_total for the fitted-constant model that hits all rows.\n\n");
+
+  // Table 5 analogue.
+  {
+    mp::TextTable t5({"Matrix", "order", "nnz", "diagonals",  //
+                      "CSR eval clk/nnz", "JD eval clk/nnz", "MP eval clk/nnz",
+                      "JD total clk/nnz", "MP total clk/nnz"});
+    for (const std::size_t order : {702u, 944u}) {  // paper orders * 0.25
+      const auto pattern = mp::sparse::circuit_matrix(order, 7.5, 2, 0.95, 17);
+      const auto coo = integer_matrix(pattern, 18);
+      const auto x = positive_x(order, 19);
+      const double nnz = static_cast<double>(coo.nnz());
+      const auto csr = mp::sparse::Csr<Word>::from_coo(coo);
+      const auto jd_struct = mp::sparse::JaggedDiagonal<Word>::from_csr(csr);
+      const auto c = mp::vm::run_csr_spmv_simulated(csr, x);
+      const auto j = mp::vm::run_jd_spmv_simulated(csr, x);
+      const auto p = mp::vm::run_mp_spmv_simulated(coo, x);
+      t5.add_row({"ADVICE-like", mp::TextTable::num(order), mp::TextTable::num(coo.nnz()),
+                  mp::TextTable::num(jd_struct.num_diagonals()),
+                  mp::TextTable::num(static_cast<double>(c.eval_clocks) / nnz, 1),
+                  mp::TextTable::num(static_cast<double>(j.eval_clocks) / nnz, 1),
+                  mp::TextTable::num(static_cast<double>(p.eval_clocks) / nnz, 1),
+                  mp::TextTable::num(static_cast<double>(j.total_clocks()) / nnz, 1),
+                  mp::TextTable::num(static_cast<double>(p.total_clocks()) / nnz, 1)});
+    }
+    std::printf("Table 5 analogue: circuit matrices (a few nearly-full rows)\n\n");
+    std::printf("%s", t5.render().c_str());
+    std::printf(
+        "\nShape check: the diagonal count approaches the order, JD's evaluation\n"
+        "advantage evaporates (compare with the uniform grid above) and MP wins the\n"
+        "total — 'the performance of the multiprefix approach is more consistent\n"
+        "over matrices of varying structure' (§5.2.1).\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "Simulated Y-MP: SpMV (Tables 2 and 5 by machine model)",
+                        paper_section);
+}

@@ -1,0 +1,141 @@
+// Table 2 — sparse matrix × dense vector, total time of one multiply
+// (setup + evaluation) for CSR, jagged-diagonal and multiprefix (paper §5.2).
+//
+// For every (order, density) point of the paper's grid we report three
+// numbers per method:
+//   * the paper's published Y-MP milliseconds,
+//   * the Cray cost model's prediction from the actual matrix structure
+//     (parameters fitted once, globally — see sparse/cray_cost.hpp), and
+//   * the measured time on this host.
+// The reproduction target is the paper's *shape*: multiprefix wins for
+// very large sparse matrices, CSR wins for small dense ones.
+//
+// Flags: --reps=N (timing repetitions, default 3)
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "sparse/cray_cost.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/jagged_diagonal.hpp"
+#include "sparse/mp_spmv.hpp"
+
+namespace {
+
+using namespace mp::sparse;
+
+std::vector<double> random_x(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform() * 2.0 - 1.0;
+  return x;
+}
+
+const Coo<double>& bench_matrix() {
+  static const Coo<double> coo = random_matrix(5000, 0.001, 7);
+  return coo;
+}
+
+void BM_CsrSpmv(benchmark::State& state) {
+  const auto csr = Csr<double>::from_coo(bench_matrix());
+  const auto x = random_x(csr.cols, 1);
+  std::vector<double> y(csr.rows);
+  for (auto _ : state) {
+    csr_spmv<double>(csr, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_CsrSpmv)->Unit(benchmark::kMicrosecond);
+
+void BM_JdSpmv(benchmark::State& state) {
+  const auto jd = JaggedDiagonal<double>::from_csr(Csr<double>::from_coo(bench_matrix()));
+  const auto x = random_x(jd.cols, 1);
+  std::vector<double> y(jd.rows);
+  for (auto _ : state) {
+    jd_spmv<double>(jd, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_JdSpmv)->Unit(benchmark::kMicrosecond);
+
+void BM_MultiprefixSpmv(benchmark::State& state) {
+  MultiprefixSpmv<double> spmv(bench_matrix());
+  const auto x = random_x(spmv.cols(), 1);
+  std::vector<double> y(spmv.rows());
+  for (auto _ : state) {
+    spmv.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MultiprefixSpmv)->Unit(benchmark::kMicrosecond);
+
+struct GridPoint {
+  std::size_t order;
+  double rho;
+  // Paper Table 2 totals (milliseconds on the Y-MP).
+  double paper_csr, paper_jd, paper_mp;
+};
+
+constexpr GridPoint kGrid[] = {
+    {15000, 0.001, 30.29, 28.09, 27.43}, {10000, 0.001, 19.52, 16.31, 12.43},
+    {5000, 0.001, 9.48, 6.99, 3.45},     {2000, 0.005, 3.90, 3.23, 2.77},
+    {1000, 0.010, 1.95, 1.66, 1.50},     {100, 0.400, 0.27, 0.42, 0.76},
+};
+
+void paper_section(const mp::CliArgs& args) {
+  const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{3}));
+
+  mp::TextTable table({"Order", "rho", "nnz",                    //
+                       "CSR ppr", "CSR mdl", "CSR here",         //
+                       "JD ppr", "JD mdl", "JD here",            //
+                       "MP ppr", "MP mdl", "MP here"});
+  std::printf("total time of ONE multiply, milliseconds "
+              "(ppr = paper Y-MP, mdl = Cray cost model, here = this host)\n\n");
+
+  for (const auto& g : kGrid) {
+    const auto coo = random_matrix(g.order, g.rho, 42);
+    const auto lens = coo.row_lengths();
+    const auto x = random_x(g.order, 9);
+    std::vector<double> y(g.order);
+
+    // CSR: the paper charges no setup; total = evaluation.
+    const auto csr = Csr<double>::from_coo(coo);
+    const double csr_here =
+        mp::bench::seconds_best_of(reps, [&] { csr_spmv<double>(csr, x, y); });
+    const double csr_model = csr_cray_cost(lens).total_seconds();
+
+    // JD: total = conversion (setup) + evaluation.
+    const double jd_here = mp::bench::seconds_best_of(reps, [&] {
+      const auto jd = JaggedDiagonal<double>::from_csr(csr);
+      jd_spmv<double>(jd, x, y);
+    });
+    const double jd_model = jd_cray_cost(lens).total_seconds();
+
+    // MP: total = spinetree build (setup) + evaluation.
+    const double mp_here = mp::bench::seconds_best_of(reps, [&] {
+      MultiprefixSpmv<double> spmv(coo);
+      spmv.apply(x, y);
+    });
+    const double mp_model = mp_cray_cost(coo.nnz(), g.order).total_seconds();
+
+    table.add_row({mp::TextTable::num(g.order), mp::TextTable::num(g.rho, 3),
+                   mp::TextTable::num(coo.nnz()),
+                   mp::TextTable::num(g.paper_csr, 2), mp::TextTable::num(csr_model * 1e3, 2),
+                   mp::TextTable::num(csr_here * 1e3, 2),
+                   mp::TextTable::num(g.paper_jd, 2), mp::TextTable::num(jd_model * 1e3, 2),
+                   mp::TextTable::num(jd_here * 1e3, 2),
+                   mp::TextTable::num(g.paper_mp, 2), mp::TextTable::num(mp_model * 1e3, 2),
+                   mp::TextTable::num(mp_here * 1e3, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check (paper & model): MP wins the very sparse large orders, the gap\n"
+      "narrows as density rises, and CSR wins the small dense matrix. Host columns\n"
+      "show where 2026 cache economics differ from 1992 vector economics.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "Table 2: sparse matrix-vector multiply totals",
+                        paper_section);
+}

@@ -1,0 +1,184 @@
+// Table 3 — vector characterization of the four multiprefix phase loops
+// (paper §4.1): asymptotic time per element t_e and half-performance length
+// n_1/2 for SPINETREE, ROWSUM, SPINESUM and PREFIXSUM.
+//
+// The paper measures Y-MP clocks per element; we measure nanoseconds per
+// element on this host, sweep n at a fixed moderate load (the regime the
+// paper's Table 3 describes), and least-squares fit t(n) = t_e (n + n_1/2)
+// per phase, exactly as §4.1 characterizes the loops (perf/fit.hpp).
+// Note the fitted n_1/2 here is the *effective* per-phase startup in
+// elements: on a cache CPU it reflects loop and cache-warm overheads rather
+// than vector pipeline depth, and is expected to be far smaller relative to
+// the Y-MP's.
+//
+// Flags: --reps=N (default 3), --load=elements-per-bucket (default 100)
+#include <array>
+
+#include "bench_common.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+#include "core/spinetree_plan.hpp"
+#include "perf/fit.hpp"
+#include "vm/cray_model.hpp"
+
+namespace {
+
+std::vector<int> random_values(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(100));
+  return v;
+}
+
+void BM_SpinetreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto labels = mp::uniform_labels(n, n / 100 + 1, 3);
+  for (auto _ : state) {
+    mp::SpinetreePlan plan(labels, n / 100 + 1);
+    benchmark::DoNotOptimize(plan.spine().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpinetreeBuild)->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_FullExecute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n / 100 + 1;
+  const auto labels = mp::uniform_labels(n, m, 3);
+  const auto values = random_values(n, 4);
+  const mp::SpinetreePlan plan(labels, m);
+  mp::SpinetreeExecutor<int, mp::Plus> exec(plan);
+  std::vector<int> prefix(n), reduction(m);
+  for (auto _ : state) {
+    exec.execute(values, std::span<int>(prefix), std::span<int>(reduction));
+    benchmark::DoNotOptimize(prefix.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullExecute)->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void paper_section(const mp::CliArgs& args) {
+  const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{5}));
+  const auto load = static_cast<std::size_t>(args.get("load", std::int64_t{100}));
+
+  // The Hockney-Jesshope model t(n) = t_e (n + n_1/2) assumes a flat
+  // per-element cost; on a cache CPU that holds within a cache level, so we
+  // fit over cache-resident sizes and report the out-of-cache asymptote as
+  // a separate column.
+  const std::array<std::size_t, 4> sizes = {1u << 13, 1u << 14, 1u << 15, 1u << 16};
+  const std::size_t big_n = 1u << 21;
+
+  // Per phase: (n, seconds) samples across the size sweep.
+  std::vector<std::pair<std::size_t, double>> s_spinetree, s_rowsum, s_spinesum, s_prefixsum;
+  std::array<double, 4> big_ns_per_elt{};  // large-n ns/element per phase
+
+  for (const std::size_t n : sizes) {
+    const std::size_t m = std::max<std::size_t>(1, n / load);
+    const auto labels = mp::uniform_labels(n, m, 11);
+    const auto values = random_values(n, 12);
+
+    s_spinetree.emplace_back(n, mp::bench::seconds_best_of(reps, [&] {
+      mp::SpinetreePlan plan(labels, m, mp::RowShape::auto_shape(n), {});
+      benchmark::DoNotOptimize(plan.spine().data());
+    }));
+
+    const mp::SpinetreePlan plan(labels, m);
+    mp::SpinetreeExecutor<int, mp::Plus> exec(plan);
+    std::vector<int> prefix(n), reduction(m);
+
+    // Use the paper-faithful full-scan SPINESUM loop for the characterization.
+    mp::PhaseSeconds best{};
+    double best_total = 1e300;
+    for (std::size_t r = 0; r < reps; ++r) {
+      mp::PhaseSeconds t;
+      mp::SpinetreeExecutor<int, mp::Plus>::Options opts;
+      opts.timings = &t;
+      opts.compressed_spine = false;
+      exec.execute(values, std::span<int>(prefix), std::span<int>(reduction), opts);
+      if (t.total() < best_total) {
+        best_total = t.total();
+        best = t;
+      }
+    }
+    s_rowsum.emplace_back(n, best.rowsums);
+    s_spinesum.emplace_back(n, best.spinesums);
+    s_prefixsum.emplace_back(n, best.multisums);
+  }
+
+  // Out-of-cache asymptote at one large size.
+  {
+    const std::size_t n = big_n;
+    const std::size_t m = std::max<std::size_t>(1, n / load);
+    const auto labels = mp::uniform_labels(n, m, 11);
+    const auto values = random_values(n, 12);
+    big_ns_per_elt[0] = mp::bench::seconds_best_of(reps, [&] {
+      mp::SpinetreePlan plan(labels, m, mp::RowShape::auto_shape(n), {});
+      benchmark::DoNotOptimize(plan.spine().data());
+    }) / static_cast<double>(n) * 1e9;
+    const mp::SpinetreePlan plan(labels, m);
+    mp::SpinetreeExecutor<int, mp::Plus> exec(plan);
+    std::vector<int> prefix(n), reduction(m);
+    mp::PhaseSeconds best{};
+    double best_total = 1e300;
+    for (std::size_t r = 0; r < reps; ++r) {
+      mp::PhaseSeconds t;
+      mp::SpinetreeExecutor<int, mp::Plus>::Options opts;
+      opts.timings = &t;
+      opts.compressed_spine = false;
+      exec.execute(values, std::span<int>(prefix), std::span<int>(reduction), opts);
+      if (t.total() < best_total) {
+        best_total = t.total();
+        best = t;
+      }
+    }
+    big_ns_per_elt[1] = best.rowsums / static_cast<double>(n) * 1e9;
+    big_ns_per_elt[2] = best.spinesums / static_cast<double>(n) * 1e9;
+    big_ns_per_elt[3] = best.multisums / static_cast<double>(n) * 1e9;
+  }
+
+  const mp::vm::CrayModel model;
+  struct Row {
+    const char* name;
+    const std::vector<std::pair<std::size_t, double>>* samples;
+    mp::vm::LoopParams paper;
+    double big;
+  };
+  const Row rows[] = {
+      {"SPINETREE", &s_spinetree, model.spinetree, big_ns_per_elt[0]},
+      {"ROWSUM", &s_rowsum, model.rowsum, big_ns_per_elt[1]},
+      {"SPINESUM", &s_spinesum, model.spinesum, big_ns_per_elt[2]},
+      {"PREFIXSUM", &s_prefixsum, model.prefixsum, big_ns_per_elt[3]},
+  };
+
+  std::printf("load = %zu elements per bucket (moderate, the Table 3 regime)\n"
+              "fit over cache-resident sizes 2^13..2^16; asymptote at n = 2^21\n\n", load);
+  mp::TextTable table({"Phase", "paper t_e (clk)", "paper n_1/2",           //
+                       "here t_e (ns, fit)", "here n_1/2 (eff)", "fit r^2", //
+                       "here ns/elt @2^21"});
+  for (const auto& row : rows) {
+    const auto fit = mp::perf::fit_loop(*row.samples);
+    table.add_row({row.name, mp::TextTable::num(row.paper.te_clocks, 1),
+                   mp::TextTable::num(row.paper.n_half, 0),
+                   mp::TextTable::num(fit.te_seconds * 1e9, 2),
+                   mp::TextTable::num(fit.n_half, 0), mp::TextTable::num(fit.r_squared, 4),
+                   mp::TextTable::num(row.big, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: in cache every phase is linear in n (r^2 near 1) with a small\n"
+      "effective startup — the work efficiency §4.1 banks on. Out of cache the\n"
+      "column sweeps (ROWSUM/PREFIXSUM, stride = row length) dominate: the exact\n"
+      "opposite of the Y-MP, whose memory banks made strided access cheap and\n"
+      "whose costs were instead set by gather/scatter port pressure. Paper t_e is\n"
+      "in 6 ns Y-MP clocks; host t_e is nanoseconds on one core.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "Table 3: phase loop characterization (t_e, n_1/2)",
+                        paper_section);
+}

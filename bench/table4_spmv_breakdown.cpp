@@ -1,0 +1,122 @@
+// Table 4 — setup / evaluation / total breakdown of the three SpMV
+// approaches (paper §5.2.1).
+//
+// The decomposition is the point: CSR does no preprocessing; JD trades a
+// large setup (count + sort + transpose) for the fastest evaluation; MP's
+// setup is "precisely the time spent building the spinetree" and its
+// evaluation carries no per-row or per-diagonal startup terms. When the
+// same matrix multiplies many vectors, JD's setup amortizes; for a single
+// multiply of a very sparse matrix, MP wins — both ends are shown here.
+//
+// Flags: --reps=N (default 3)
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "sparse/cray_cost.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/jagged_diagonal.hpp"
+#include "sparse/mp_spmv.hpp"
+
+namespace {
+
+using namespace mp::sparse;
+
+std::vector<double> random_x(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform() * 2.0 - 1.0;
+  return x;
+}
+
+void BM_JdSetup(benchmark::State& state) {
+  const auto coo = random_matrix(5000, 0.001, 3);
+  const auto csr = Csr<double>::from_coo(coo);
+  for (auto _ : state) {
+    const auto jd = JaggedDiagonal<double>::from_csr(csr);
+    benchmark::DoNotOptimize(jd.jda.data());
+  }
+}
+BENCHMARK(BM_JdSetup)->Unit(benchmark::kMicrosecond);
+
+void BM_MpSetup(benchmark::State& state) {
+  const auto coo = random_matrix(5000, 0.001, 3);
+  for (auto _ : state) {
+    MultiprefixSpmv<double> spmv(coo);
+    benchmark::DoNotOptimize(spmv.plan().spine().data());
+  }
+}
+BENCHMARK(BM_MpSetup)->Unit(benchmark::kMicrosecond);
+
+struct GridPoint {
+  std::size_t order;
+  double rho;
+};
+constexpr GridPoint kGrid[] = {{15000, 0.001}, {10000, 0.001}, {5000, 0.001},
+                               {2000, 0.005},  {1000, 0.010},  {100, 0.400},
+                               {50, 1.000}};
+
+void paper_section(const mp::CliArgs& args) {
+  const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{3}));
+
+  std::printf("milliseconds; each cell shows 'Cray-model / host-measured'.\n"
+              "CSR setup is 0 by convention (the paper's base case).\n\n");
+
+  mp::TextTable table({"Order", "rho",                    //
+                       "setup JD", "setup MP",            //
+                       "eval CSR", "eval JD", "eval MP",  //
+                       "total CSR", "total JD", "total MP"});
+
+  for (const auto& g : kGrid) {
+    const auto coo = random_matrix(g.order, g.rho, 21);
+    const auto lens = coo.row_lengths();
+    const auto x = random_x(g.order, 5);
+    std::vector<double> y(g.order);
+
+    const auto csr = Csr<double>::from_coo(coo);
+    const double csr_eval =
+        mp::bench::seconds_best_of(reps, [&] { csr_spmv<double>(csr, x, y); });
+
+    const double jd_setup = mp::bench::seconds_best_of(reps, [&] {
+      const auto jd = JaggedDiagonal<double>::from_csr(csr);
+      benchmark::DoNotOptimize(jd.jda.data());
+    });
+    const auto jd = JaggedDiagonal<double>::from_csr(csr);
+    const double jd_eval =
+        mp::bench::seconds_best_of(reps, [&] { jd_spmv<double>(jd, x, y); });
+
+    const double mp_setup = mp::bench::seconds_best_of(reps, [&] {
+      MultiprefixSpmv<double> spmv(coo);
+      benchmark::DoNotOptimize(spmv.plan().spine().data());
+    });
+    MultiprefixSpmv<double> spmv(coo);
+    const double mp_eval = mp::bench::seconds_best_of(reps, [&] { spmv.apply(x, y); });
+
+    const auto csr_cost = csr_cray_cost(lens);
+    const auto jd_cost = jd_cray_cost(lens);
+    const auto mp_cost = mp_cray_cost(coo.nnz(), g.order);
+
+    auto cell = [](double model_s, double host_s) {
+      return mp::TextTable::num(model_s * 1e3, 2) + " / " + mp::TextTable::num(host_s * 1e3, 2);
+    };
+    table.add_row({mp::TextTable::num(g.order), mp::TextTable::num(g.rho, 3),
+                   cell(jd_cost.setup_seconds, jd_setup), cell(mp_cost.setup_seconds, mp_setup),
+                   cell(csr_cost.eval_seconds, csr_eval), cell(jd_cost.eval_seconds, jd_eval),
+                   cell(mp_cost.eval_seconds, mp_eval),
+                   cell(csr_cost.total_seconds(), csr_eval),
+                   cell(jd_cost.total_seconds(), jd_setup + jd_eval),
+                   cell(mp_cost.total_seconds(), mp_setup + mp_eval)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check (model columns, matching the paper): JD setup dominates its\n"
+      "total but its evaluation is fastest; MP performs less of its work in setup;\n"
+      "CSR's evaluation collapses for the very sparse orders (n_1/2-dominated rows)\n"
+      "and wins for the small dense matrices at the bottom.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "Table 4: SpMV setup/evaluation/total breakdown",
+                        paper_section);
+}

@@ -1,0 +1,118 @@
+// Table 5 — circuit-simulation matrices (paper §5.2.1).
+//
+// The SPARSE-package ADVICE matrices are very sparse (7–8 entries per row)
+// but contain a few almost fully populated rows — the power and ground
+// nets. Those long rows set the jagged-diagonal count equal to the longest
+// row, exploding JD into thousands of tiny diagonals; the paper reports the
+// JD evaluation advantage collapsing while the multiprefix approach is
+// unaffected ("the performance of the multiprefix approach is more
+// consistent over matrices of varying structure").
+//
+// The proprietary ADVICE matrices are replaced by a generator with the
+// documented structure at the published orders and densities (DESIGN.md §2).
+//
+// Flags: --reps=N (default 3)
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "sparse/cray_cost.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/jagged_diagonal.hpp"
+#include "sparse/mp_spmv.hpp"
+
+namespace {
+
+using namespace mp::sparse;
+
+std::vector<double> random_x(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform() * 2.0 - 1.0;
+  return x;
+}
+
+Coo<double> advice_like(std::size_t order, std::uint64_t seed) {
+  // ~7.5 band entries per row plus 2 nearly full nets (power and ground).
+  return circuit_matrix(order, 7.5, 2, 0.95, seed);
+}
+
+void BM_JdSpmvCircuit(benchmark::State& state) {
+  const auto coo = advice_like(2806, 3);
+  const auto jd = JaggedDiagonal<double>::from_csr(Csr<double>::from_coo(coo));
+  const auto x = random_x(coo.cols, 1);
+  std::vector<double> y(coo.rows);
+  for (auto _ : state) {
+    jd_spmv<double>(jd, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_JdSpmvCircuit)->Unit(benchmark::kMicrosecond);
+
+void BM_MpSpmvCircuit(benchmark::State& state) {
+  const auto coo = advice_like(2806, 3);
+  MultiprefixSpmv<double> spmv(coo);
+  const auto x = random_x(coo.cols, 1);
+  std::vector<double> y(coo.rows);
+  for (auto _ : state) {
+    spmv.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MpSpmvCircuit)->Unit(benchmark::kMicrosecond);
+
+void paper_section(const mp::CliArgs& args) {
+  const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{3}));
+
+  struct Row {
+    const char* title;
+    std::size_t order;
+  };
+  const Row rows[] = {{"ADVICE2806-like", 2806}, {"ADVICE3776-like", 3776}};
+
+  std::printf("milliseconds; model = Cray cost model on the generated structure.\n\n");
+  mp::TextTable table({"Matrix", "order", "nnz", "diagonals",            //
+                       "eval CSR mdl", "eval JD mdl", "eval MP mdl",     //
+                       "eval CSR here", "eval JD here", "eval MP here"});
+
+  for (const auto& r : rows) {
+    const auto coo = advice_like(r.order, 17);
+    const auto lens = coo.row_lengths();
+    const auto x = random_x(r.order, 5);
+    std::vector<double> y(r.order);
+
+    const auto csr = Csr<double>::from_coo(coo);
+    const auto jd = JaggedDiagonal<double>::from_csr(csr);
+    MultiprefixSpmv<double> spmv(coo);
+
+    const double csr_here =
+        mp::bench::seconds_best_of(reps, [&] { csr_spmv<double>(csr, x, y); });
+    const double jd_here =
+        mp::bench::seconds_best_of(reps, [&] { jd_spmv<double>(jd, x, y); });
+    const double mp_here = mp::bench::seconds_best_of(reps, [&] { spmv.apply(x, y); });
+
+    const auto csr_cost = csr_cray_cost(lens);
+    const auto jd_cost = jd_cray_cost(lens);
+    const auto mp_cost = mp_cray_cost(coo.nnz(), r.order);
+
+    table.add_row({r.title, mp::TextTable::num(r.order), mp::TextTable::num(coo.nnz()),
+                   mp::TextTable::num(jd.num_diagonals()),
+                   mp::TextTable::num(csr_cost.eval_seconds * 1e3, 2),
+                   mp::TextTable::num(jd_cost.eval_seconds * 1e3, 2),
+                   mp::TextTable::num(mp_cost.eval_seconds * 1e3, 2),
+                   mp::TextTable::num(csr_here * 1e3, 2),
+                   mp::TextTable::num(jd_here * 1e3, 2),
+                   mp::TextTable::num(mp_here * 1e3, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: the diagonal count approaches the matrix order (thousands of\n"
+      "tiny jagged diagonals), so JD's modeled evaluation loses to MP here even\n"
+      "though JD wins evaluation on the uniform matrices of Table 4 — the paper's\n"
+      "Table 5 collapse. MP's cost depends only on nnz, not on row structure.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "Table 5: circuit-simulation matrices", paper_section);
+}

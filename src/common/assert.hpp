@@ -1,0 +1,41 @@
+// Lightweight contract macros used across the library.
+//
+// MP_REQUIRE  — precondition on public API arguments; always checked, throws
+//               std::invalid_argument so callers can test misuse.
+// MP_ASSERT   — internal invariant; checked in debug builds only, aborts.
+//
+// Following the C++ Core Guidelines (I.5/I.6), preconditions on public
+// entry points are expressed explicitly rather than as comments.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mp {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file, int line,
+                                        const std::string& what) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond + " at " + file +
+                              ":" + std::to_string(line) + (what.empty() ? "" : ": " + what));
+}
+
+}  // namespace mp
+
+#define MP_REQUIRE(cond, msg)                                  \
+  do {                                                         \
+    if (!(cond)) ::mp::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifndef NDEBUG
+#define MP_ASSERT(cond)                                                              \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "assertion failed: %s at %s:%d\n", #cond, __FILE__, __LINE__); \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+#else
+#define MP_ASSERT(cond) ((void)0)
+#endif

@@ -1,0 +1,50 @@
+#include "common/cli.hpp"
+
+#include <stdexcept>
+
+namespace mp {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& dflt) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? dflt : it->second;
+}
+
+std::int64_t CliArgs::get(const std::string& name, std::int64_t dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  return std::stoll(it->second);
+}
+
+double CliArgs::get(const std::string& name, double dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  return std::stod(it->second);
+}
+
+bool CliArgs::get(const std::string& name, bool dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  if (it->second.empty() || it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument("bad boolean flag --" + name + "=" + it->second);
+}
+
+}  // namespace mp

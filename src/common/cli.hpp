@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Flags take the forms `--name=value` and `--name value`; `--name` alone sets
+// a boolean. Unrecognized flags are left for downstream consumers (google-
+// benchmark parses its own flags from the same argv), so parsing is lenient:
+// ask for the flags you know about, ignore the rest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mp {
+
+/// Parsed view of argv. Copies the strings; argv is not modified.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Value lookups with defaults. Malformed numbers throw std::invalid_argument.
+  std::string get(const std::string& name, const std::string& dflt) const;
+  std::int64_t get(const std::string& name, std::int64_t dflt) const;
+  double get(const std::string& name, double dflt) const;
+  bool get(const std::string& name, bool dflt) const;
+
+ private:
+  std::map<std::string, std::string> values_;  // flag -> value ("" for bare flags)
+};
+
+}  // namespace mp

@@ -1,0 +1,83 @@
+// Label-vector synthesis for tests and benchmarks.
+//
+// The paper's performance study (§4.3, Figure 10) is organized around the
+// "load" of a bucket — the number of elements in its class. These generators
+// produce label vectors with controlled load characteristics:
+//
+//   uniform_labels   — n labels drawn uniformly from m buckets (load ≈ n/m);
+//                      this is exactly Figure 10's setup, where a load factor
+//                      of 1 means m == n *drawn randomly* (not a permutation).
+//   constant_labels  — all elements in one class (load = n, Figure 10's
+//                      heaviest curve; also how multiprefix expresses a scan).
+//   permutation_labels — a true one-to-one assignment (every load exactly 1).
+//   segmented_labels — consecutive runs share a label (how multiprefix
+//                      expresses segmented scans, §1).
+//   zipf_labels      — skewed loads for robustness/ablation studies.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace mp {
+
+using label_t = std::uint32_t;
+
+inline std::vector<label_t> uniform_labels(std::size_t n, std::size_t m, std::uint64_t seed) {
+  MP_REQUIRE(m > 0, "need at least one bucket");
+  Xoshiro256 rng(seed);
+  std::vector<label_t> labels(n);
+  for (auto& l : labels) l = static_cast<label_t>(rng.below(m));
+  return labels;
+}
+
+inline std::vector<label_t> constant_labels(std::size_t n, label_t value = 0) {
+  return std::vector<label_t>(n, value);
+}
+
+inline std::vector<label_t> permutation_labels(std::size_t n, std::uint64_t seed) {
+  std::vector<label_t> labels(n);
+  std::iota(labels.begin(), labels.end(), label_t{0});
+  Xoshiro256 rng(seed);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(labels[i - 1], labels[rng.below(i)]);
+  return labels;
+}
+
+/// Runs of `run_len` consecutive elements share a label (last run may be
+/// short). Labels are assigned 0, 1, 2, ... per run, so m = ceil(n/run_len).
+inline std::vector<label_t> segmented_labels(std::size_t n, std::size_t run_len) {
+  MP_REQUIRE(run_len > 0, "runs must be non-empty");
+  std::vector<label_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<label_t>(i / run_len);
+  return labels;
+}
+
+/// Zipf-distributed labels over m buckets with exponent `s` (s=0 → uniform).
+/// Sampled by inverting the empirical CDF; O(m) setup, O(log m) per draw.
+inline std::vector<label_t> zipf_labels(std::size_t n, std::size_t m, double s,
+                                        std::uint64_t seed) {
+  MP_REQUIRE(m > 0, "need at least one bucket");
+  MP_REQUIRE(s >= 0.0, "zipf exponent must be non-negative");
+  std::vector<double> cdf(m);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = acc;
+  }
+  Xoshiro256 rng(seed);
+  std::vector<label_t> labels(n);
+  for (auto& l : labels) {
+    const double u = rng.uniform() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    l = static_cast<label_t>(it - cdf.begin());
+  }
+  return labels;
+}
+
+}  // namespace mp

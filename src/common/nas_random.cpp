@@ -1,0 +1,56 @@
+#include "common/nas_random.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mp::nas {
+
+namespace {
+constexpr double kR23 = 0x1.0p-23;  // 2^-23
+constexpr double kT23 = 0x1.0p+23;  // 2^23
+constexpr double kR46 = 0x1.0p-46;  // 2^-46
+constexpr double kT46 = 0x1.0p+46;  // 2^46
+}  // namespace
+
+double randlc(double& x, double a) {
+  // Split a = 2^23 * a1 + a2 and x = 2^23 * x1 + x2; every partial product
+  // then fits in the 52-bit mantissa, so the mod-2^46 product is exact.
+  const double t1a = kR23 * a;
+  const double a1 = static_cast<double>(static_cast<long long>(t1a));
+  const double a2 = a - kT23 * a1;
+
+  const double t1x = kR23 * x;
+  const double x1 = static_cast<double>(static_cast<long long>(t1x));
+  const double x2 = x - kT23 * x1;
+
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<long long>(kR23 * t1));
+  const double z = t1 - kT23 * t2;
+  const double t3 = kT23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<long long>(kR46 * t3));
+  x = t3 - kT46 * t4;
+  return kR46 * x;
+}
+
+double randlc_exact(std::uint64_t& x, std::uint64_t a) {
+  constexpr std::uint64_t kMask46 = (1ULL << 46) - 1;
+  MP_ASSERT(x <= kMask46);
+  const unsigned __int128 prod = static_cast<unsigned __int128>(x) * a;
+  x = static_cast<std::uint64_t>(prod & kMask46);
+  return static_cast<double>(x) * kR46;
+}
+
+std::vector<std::uint32_t> generate_is_keys(std::size_t n, std::uint32_t b_max, double seed) {
+  MP_REQUIRE(b_max > 0, "key range must be positive");
+  std::vector<std::uint32_t> keys(n);
+  RandlcStream rng(seed);
+  const double k = static_cast<double>(b_max) / 4.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sum = rng.next() + rng.next() + rng.next() + rng.next();
+    keys[i] = static_cast<std::uint32_t>(k * sum);  // in [0, b_max)
+  }
+  return keys;
+}
+
+}  // namespace mp::nas

@@ -1,0 +1,61 @@
+// The NAS Parallel Benchmarks pseudo-random number generator.
+//
+// NPB 1.0 specifies the linear congruential generator
+//
+//     x_{k+1} = a * x_k  (mod 2^46),    a = 5^13 = 1220703125,
+//
+// returning r_k = x_k * 2^-46 in (0, 1). The reference implementation
+// (`randlc`) performs the 46-bit modular product in double precision by
+// splitting operands into 23-bit halves. We provide two implementations:
+//
+//  * randlc()      — the faithful double-precision split arithmetic, exactly
+//                    as published (and as every NPB port implements it);
+//  * randlc_exact()— 128-bit integer arithmetic, used by the tests to prove
+//                    the split arithmetic is exact for every reachable state.
+//
+// The IS (Integer Sort) benchmark derives each key as the scaled mean of four
+// consecutive uniform deviates, giving an approximately binomial ("Gaussian")
+// key distribution over [0, B_max). See nas_is.hpp for the full benchmark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mp::nas {
+
+/// Seed specified by the NAS IS benchmark.
+inline constexpr double kDefaultSeed = 314159265.0;
+/// Multiplier a = 5^13 specified by the NAS benchmarks.
+inline constexpr double kDefaultMultiplier = 1220703125.0;
+
+/// One step of the NPB generator using the published double-precision split
+/// arithmetic. Advances `x` in place and returns x * 2^-46 in (0, 1).
+double randlc(double& x, double a);
+
+/// One step of the generator in exact 128-bit integer arithmetic.
+/// `x` must be an odd integer below 2^46. Returns x * 2^-46.
+double randlc_exact(std::uint64_t& x, std::uint64_t a = 1220703125ULL);
+
+/// Stateful convenience wrapper around randlc().
+class RandlcStream {
+ public:
+  explicit RandlcStream(double seed = kDefaultSeed, double a = kDefaultMultiplier)
+      : x_(seed), a_(a) {}
+
+  /// Next uniform deviate in (0, 1).
+  double next() { return randlc(x_, a_); }
+
+  /// Raw generator state (an integer-valued double below 2^46).
+  double state() const { return x_; }
+
+ private:
+  double x_;
+  double a_;
+};
+
+/// Generates the NAS IS key sequence: key_i = floor(B_max/4 * (r1+r2+r3+r4))
+/// where r1..r4 are consecutive deviates. Keys lie in [0, B_max).
+std::vector<std::uint32_t> generate_is_keys(std::size_t n, std::uint32_t b_max,
+                                            double seed = kDefaultSeed);
+
+}  // namespace mp::nas

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All generators in the project are seeded explicitly so that every test,
+// example and benchmark is reproducible run-to-run. The general-purpose
+// generator is xoshiro256** (public-domain algorithm by Blackman & Vigna);
+// SplitMix64 is used for seed expansion, as its authors recommend.
+//
+// The NAS benchmark generator (`randlc`, 46-bit linear congruential) lives in
+// nas_random.hpp because its exact arithmetic is part of the NAS IS spec.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace mp {
+
+/// SplitMix64: a tiny 64-bit generator used to expand one seed word into the
+/// state of larger generators. Passes BigCrush when used standalone.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the project's workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the slight modulo bias (< 2^-32 for bound < 2^32) is irrelevant for
+  /// workload synthesis and keeps generation branch-free.
+  std::uint64_t below(std::uint64_t bound) {
+    MP_ASSERT(bound > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(operator()() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace mp

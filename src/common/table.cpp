@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mp {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  MP_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MP_REQUIRE(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+    else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%' && c != 'x')
+      return false;
+  }
+  return digits > 0;
+}
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& s = cells[c];
+      const std::size_t pad = width[c] - s.size();
+      const bool right = align_numeric && looks_numeric(s);
+      out << ' ' << (right ? std::string(pad, ' ') + s : s + std::string(pad, ' ')) << " |";
+    }
+    out << '\n';
+  };
+
+  rule();
+  line(header_, /*align_numeric=*/false);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) rule();
+    else line(row, /*align_numeric=*/true);
+  }
+  rule();
+  return out.str();
+}
+
+std::string TextTable::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string TextTable::num(std::size_t v) { return std::to_string(v); }
+
+}  // namespace mp

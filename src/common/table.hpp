@@ -1,0 +1,38 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary reprints the corresponding paper table with our measured
+// (and, where applicable, Cray-modeled) numbers; this class produces the
+// aligned, boxed layout those reports share.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mp {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendering right-aligns cells that parse as numbers.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal rule before the next row.
+  void add_rule();
+
+  /// Renders the table, one trailing newline included.
+  std::string render() const;
+
+  /// Formats `v` with `prec` digits after the decimal point.
+  static std::string num(double v, int prec = 2);
+  static std::string num(std::size_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+}  // namespace mp

@@ -1,0 +1,52 @@
+// Wall-clock timing helpers used by benches and examples.
+//
+// All measurements in this project report seconds (double). For robust
+// microbenchmark numbers use `time_best_of`, which runs a callable several
+// times and keeps the minimum — the standard way to suppress scheduling
+// noise for deterministic kernels.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <utility>
+
+namespace mp {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn` once and returns the elapsed seconds.
+template <class Fn>
+double time_once(Fn&& fn) {
+  Timer t;
+  std::forward<Fn>(fn)();
+  return t.seconds();
+}
+
+/// Runs `fn` `reps` times (at least once) and returns the fastest run in
+/// seconds. Deterministic kernels' true cost is the minimum over repetitions.
+template <class Fn>
+double time_best_of(std::size_t reps, Fn&& fn) {
+  double best = time_once(fn);
+  for (std::size_t r = 1; r < reps; ++r) {
+    const double t = time_once(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace mp

@@ -1,0 +1,126 @@
+// Chunked two-level multiprefix — the coarse-grained analogue of the
+// spinetree for small processor counts.
+//
+// The spinetree generalizes naturally: with rows as wide as n/P, each of P
+// "rows" (chunks) has exactly one accumulator per class — the local bucket —
+// and the SPINESUMS recurrence degenerates into an exclusive scan across
+// chunks per label. That is this algorithm:
+//
+//   pass 1 (parallel over chunks): each chunk runs the serial multiprefix
+//          locally, writing local prefixes into the output and its local
+//          class totals into a dense P × m bucket matrix;
+//   pass 2 (parallel over labels): exclusive scan down each label's column
+//          of the matrix, producing per-chunk starting offsets and the
+//          global reductions;
+//   pass 3 (parallel over chunks): prefix[i] = op(offset(chunk, label[i]),
+//          local_prefix[i]) — earlier chunks combine on the left, so vector
+//          order (and hence non-commutative operators) is preserved.
+//
+// Work O(n + P·m), space O(P·m). For P ≪ √n and m = O(n) this is the
+// preferred threaded mapping on cache machines; the ablation bench compares
+// it against the phase-parallel spinetree schedule.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/labels.hpp"
+#include "core/ops.hpp"
+#include "core/result.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+MultiprefixResult<T> multiprefix_chunked(std::span<const T> values,
+                                         std::span<const label_t> labels, std::size_t m,
+                                         ThreadPool& pool, Op op = {},
+                                         std::size_t chunks_hint = 0) {
+  MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
+  const std::size_t n = values.size();
+  const T id = op.template identity<T>();
+  MultiprefixResult<T> out(n, m, id);
+  if (n == 0) return out;
+
+  const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
+  const std::vector<std::size_t> bounds = partition_range(n, chunks);
+
+  // chunk-major P × m matrix of local class totals.
+  std::vector<T> local(chunks * m, id);
+
+  // Pass 1: local multiprefix per chunk.
+  pool.run([&](std::size_t lane) {
+    for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+      T* bucket = local.data() + ch * m;
+      for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i) {
+        MP_REQUIRE(labels[i] < m, "label out of range");
+        T& cell = bucket[labels[i]];
+        out.prefix[i] = cell;
+        cell = op(cell, values[i]);
+      }
+    }
+  });
+
+  // Pass 2: exclusive scan across chunks for every label; the total becomes
+  // the reduction. After this, local[ch*m + k] holds the op-sum of class k
+  // over all chunks *before* ch.
+  parallel_for(pool, 0, m, [&](std::size_t k) {
+    T acc = id;
+    for (std::size_t ch = 0; ch < chunks; ++ch) {
+      T& cell = local[ch * m + k];
+      const T next = op(acc, cell);
+      cell = acc;
+      acc = next;
+    }
+    out.reduction[k] = acc;
+  });
+
+  // Pass 3: combine the chunk offset on the left of each local prefix.
+  pool.run([&](std::size_t lane) {
+    for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+      const T* offset = local.data() + ch * m;
+      for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i)
+        out.prefix[i] = op(offset[labels[i]], out.prefix[i]);
+    }
+  });
+
+  return out;
+}
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+std::vector<T> multireduce_chunked(std::span<const T> values, std::span<const label_t> labels,
+                                   std::size_t m, ThreadPool& pool, Op op = {},
+                                   std::size_t chunks_hint = 0) {
+  MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
+  const std::size_t n = values.size();
+  const T id = op.template identity<T>();
+  std::vector<T> reduction(m, id);
+  if (n == 0) return reduction;
+
+  const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
+  const std::vector<std::size_t> bounds = partition_range(n, chunks);
+  std::vector<T> local(chunks * m, id);
+
+  pool.run([&](std::size_t lane) {
+    for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+      T* bucket = local.data() + ch * m;
+      for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i) {
+        MP_REQUIRE(labels[i] < m, "label out of range");
+        bucket[labels[i]] = op(bucket[labels[i]], values[i]);
+      }
+    }
+  });
+
+  parallel_for(pool, 0, m, [&](std::size_t k) {
+    T acc = id;
+    for (std::size_t ch = 0; ch < chunks; ++ch) acc = op(acc, local[ch * m + k]);
+    reduction[k] = acc;
+  });
+  return reduction;
+}
+
+}  // namespace mp

@@ -1,0 +1,212 @@
+// Vectorized multiprefix execution over a SpinetreePlan (paper §4).
+//
+// The executor owns the rowsum/spinesum scratch (the unpacked fields of the
+// paper's `spinerec`, Figure 9) and runs the three numeric phases:
+//
+//   ROWSUMS    — column sweep; every element folds its value into its
+//                parent's rowsum. Children of one parent share a row, hence
+//                occupy distinct columns, so each column's updates are
+//                conflict-free and ascending columns preserve vector order.
+//   SPINESUMS  — row sweep, bottom to top; each spine element forwards
+//                op(spinesum, rowsum) to its parent, computing the
+//                recurrence along the spine. Two modes:
+//                  * full scan (paper-faithful): visit every element of the
+//                    row and test the spine flag — this is the masked loop
+//                    whose Cray behaviour §4.3 dissects;
+//                  * compressed spine: visit only the precomputed spine
+//                    elements of the row (identical result, less work on a
+//                    cache machine).
+//   MULTISUMS  — column sweep; each element reads its parent's spinesum as
+//                its multiprefix value, then folds its own value in for the
+//                next same-class element.
+//
+// The reduction for bucket b is op(spinesum[b], rowsum[b]): spinesum holds
+// the class total excluding the top class row, rowsum the top row's sum —
+// in vector order, so non-commutative operators are safe. `reduce` skips
+// MULTISUMS entirely — the paper's multireduce shortcut (§4.2), worth ~7 of
+// ~24 clocks per element on the Y-MP.
+//
+// An optional vm::Tracer records one event per issued "vector operation"
+// (one per row or column sweep), which vm::CrayModel can price.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/timer.hpp"
+#include "core/ops.hpp"
+#include "core/result.hpp"
+#include "core/spinetree_plan.hpp"
+#include "vm/tracer.hpp"
+
+namespace mp {
+
+/// Wall-clock seconds per phase of one execution; filled when requested via
+/// Options::timings (used by the Table 3 characterization bench).
+struct PhaseSeconds {
+  double init = 0.0;
+  double rowsums = 0.0;
+  double spinesums = 0.0;
+  double reduction = 0.0;
+  double multisums = 0.0;
+  double total() const { return init + rowsums + spinesums + reduction + multisums; }
+};
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+class SpinetreeExecutor {
+ public:
+  struct Options {
+    /// Visit only precomputed spine elements in SPINESUMS (identical result;
+    /// the full scan is the paper-faithful masked loop).
+    bool compressed_spine = true;
+    /// If nonnull, records the vector operations each phase issues.
+    vm::Tracer* tracer = nullptr;
+    /// If nonnull, receives wall-clock seconds per phase.
+    PhaseSeconds* timings = nullptr;
+  };
+
+  explicit SpinetreeExecutor(const SpinetreePlan& plan, Op op = {})
+      : plan_(&plan),
+        op_(op),
+        rowsum_(plan.m() + plan.n()),
+        spinesum_(plan.m() + plan.n()) {}
+
+  const SpinetreePlan& plan() const { return *plan_; }
+
+  /// Full multiprefix: prefix.size() must be n; reduction.size() must be m
+  /// or 0 (0 skips the reduction extraction).
+  void execute(std::span<const T> values, std::span<T> prefix, std::span<T> reduction,
+               const Options& options = {}) {
+    MP_REQUIRE(values.size() == plan_->n(), "values size mismatch");
+    MP_REQUIRE(prefix.size() == plan_->n(), "prefix size mismatch");
+    run(ReadValue{values.data()}, prefix.data(), reduction, options);
+  }
+
+  /// Multireduce: reductions only (§4.2). reduction.size() must be m.
+  void reduce(std::span<const T> values, std::span<T> reduction, const Options& options = {}) {
+    MP_REQUIRE(values.size() == plan_->n(), "values size mismatch");
+    MP_REQUIRE(reduction.size() == plan_->m(), "reduction size mismatch");
+    run(ReadValue{values.data()}, static_cast<T*>(nullptr), reduction, options);
+  }
+
+  /// Enumerate: multiprefix of all-ones values (§5.1.1's first sort step).
+  /// With Op = Plus, prefix[i] counts the preceding same-label elements and
+  /// reduction[k] the class sizes; no value vector is read at all.
+  void enumerate(std::span<T> prefix, std::span<T> reduction, const Options& options = {}) {
+    MP_REQUIRE(prefix.size() == plan_->n(), "prefix size mismatch");
+    run(ConstOne{}, prefix.data(), reduction, options);
+  }
+
+ private:
+  struct ReadValue {
+    const T* values;
+    T operator()(std::size_t i) const { return values[i]; }
+  };
+  struct ConstOne {
+    T operator()(std::size_t) const { return T{1}; }
+  };
+
+  template <class ValueFn>
+  void run(ValueFn value, T* prefix, std::span<T> reduction, const Options& options) {
+    MP_REQUIRE(reduction.empty() || reduction.size() == plan_->m(),
+               "reduction size must be m (or 0 to skip)");
+    const std::size_t n = plan_->n();
+    const std::size_t m = plan_->m();
+    const std::size_t L = plan_->shape().row_len;
+    const std::size_t rows = plan_->shape().rows;
+    const auto spine = plan_->spine();
+    vm::Tracer* tracer = options.tracer;
+    const T id = op_.template identity<T>();
+    Timer phase_timer;
+    auto lap = [&](double PhaseSeconds::*field) {
+      if (options.timings) {
+        options.timings->*field = phase_timer.seconds();
+        phase_timer.reset();
+      }
+    };
+
+    // Initialization: clear all temporaries (one parallel step, Figure 3).
+    rowsum_.assign(m + n, id);
+    spinesum_.assign(m + n, id);
+    if (tracer) tracer->record(vm::OpKind::kFill, 2 * (m + n));
+    lap(&PhaseSeconds::init);
+
+    // ROWSUMS: columns left to right.
+    for (std::size_t c = 0; c < L && c < n; ++c) {
+      std::size_t cnt = 0;
+      for (std::size_t i = c; i < n; i += L) {
+        const auto s = spine[m + i];
+        rowsum_[s] = op_(rowsum_[s], value(i));
+        ++cnt;
+      }
+      if (tracer) tracer->record(vm::OpKind::kScatterCombine, cnt);
+    }
+    lap(&PhaseSeconds::rowsums);
+
+    // SPINESUMS: rows bottom to top.
+    if (options.compressed_spine) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        const auto elems = plan_->spine_elements_of_row(r);
+        for (const auto e : elems) {
+          const auto p = spine[m + e];
+          spinesum_[p] = op_(spinesum_[m + e], rowsum_[m + e]);
+        }
+        if (tracer && !elems.empty())
+          tracer->record(vm::OpKind::kScatterCombine, elems.size());
+      }
+    } else {
+      const auto flags = plan_->is_spine_flags();
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t lo = r * L;
+        const std::size_t hi = lo + L < n ? lo + L : n;
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (!flags[i]) continue;
+          const auto p = spine[m + i];
+          spinesum_[p] = op_(spinesum_[m + i], rowsum_[m + i]);
+        }
+        if (tracer && lo < hi)
+          tracer->record(vm::OpKind::kMaskedScatterCombine, hi - lo);
+      }
+    }
+
+    lap(&PhaseSeconds::spinesums);
+
+    // Reduction extraction happens here, directly after SPINESUMS (§4.2):
+    // spinesum (all rows below the top class row) op rowsum (the top class
+    // row) — vector order preserved. It must precede MULTISUMS, which
+    // consumes the spinesum values.
+    if (!reduction.empty()) {
+      for (std::size_t b = 0; b < m; ++b) reduction[b] = op_(spinesum_[b], rowsum_[b]);
+      if (tracer) tracer->record(vm::OpKind::kElementwise, m);
+    }
+    lap(&PhaseSeconds::reduction);
+
+    // MULTISUMS (the PREFIXSUM loop): columns left to right; skipped for
+    // multireduce.
+    if (prefix != nullptr) {
+      for (std::size_t c = 0; c < L && c < n; ++c) {
+        std::size_t cnt = 0;
+        for (std::size_t i = c; i < n; i += L) {
+          const auto s = spine[m + i];
+          prefix[i] = spinesum_[s];
+          spinesum_[s] = op_(spinesum_[s], value(i));
+          ++cnt;
+        }
+        if (tracer) {
+          tracer->record(vm::OpKind::kGather, cnt);
+          tracer->record(vm::OpKind::kScatterCombine, cnt);
+        }
+      }
+    }
+    lap(&PhaseSeconds::multisums);
+  }
+
+  const SpinetreePlan* plan_;
+  Op op_;
+  std::vector<T> rowsum_;
+  std::vector<T> spinesum_;
+};
+
+}  // namespace mp

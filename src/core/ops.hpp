@@ -1,0 +1,118 @@
+// Binary associative operators for the general multiprefix operation.
+//
+// The paper (§1) defines multiprefix over "any binary associative operator"
+// with the identity element substituted for 0 — typical operators being
+// PLUS, MULT, MAX, MIN, AND and OR over INTEGER, FLOATING and BOOLEAN. This
+// header provides those operators plus the concept the algorithms require.
+//
+// Contract: `op(a, b)` combines a value `a` that precedes `b` in vector
+// order. All algorithms in this library preserve vector order, so operators
+// need only be associative — commutativity is NOT required (tests exercise
+// this with affine-function composition).
+#pragma once
+
+#include <concepts>
+#include <limits>
+
+namespace mp {
+
+/// An associative combiner with a distinguished identity element for T.
+/// Associativity itself cannot be checked by the compiler; the debug
+/// validator (core/validate.hpp) spot-checks it on real data.
+template <class Op, class T>
+concept AssociativeOp = requires(const Op op, T a, T b) {
+  { op(a, b) } -> std::convertible_to<T>;
+  { op.template identity<T>() } -> std::convertible_to<T>;
+};
+
+struct Plus {
+  template <class T>
+  constexpr T identity() const {
+    return T{};
+  }
+  template <class T>
+  constexpr T operator()(T a, T b) const {
+    return static_cast<T>(a + b);
+  }
+};
+
+struct Times {
+  template <class T>
+  constexpr T identity() const {
+    return T{1};
+  }
+  template <class T>
+  constexpr T operator()(T a, T b) const {
+    return static_cast<T>(a * b);
+  }
+};
+
+struct Min {
+  template <class T>
+  constexpr T identity() const {
+    return std::numeric_limits<T>::max();
+  }
+  template <class T>
+  constexpr T operator()(T a, T b) const {
+    return b < a ? b : a;
+  }
+};
+
+struct Max {
+  template <class T>
+  constexpr T identity() const {
+    return std::numeric_limits<T>::lowest();
+  }
+  template <class T>
+  constexpr T operator()(T a, T b) const {
+    return a < b ? b : a;
+  }
+};
+
+/// Bitwise AND; identity is the all-ones pattern of T (integral T only).
+struct BitAnd {
+  template <class T>
+  constexpr T identity() const {
+    return static_cast<T>(~T{});
+  }
+  template <class T>
+  constexpr T operator()(T a, T b) const {
+    return static_cast<T>(a & b);
+  }
+};
+
+struct BitOr {
+  template <class T>
+  constexpr T identity() const {
+    return T{};
+  }
+  template <class T>
+  constexpr T operator()(T a, T b) const {
+    return static_cast<T>(a | b);
+  }
+};
+
+/// Logical AND/OR over bool-like types (the paper's BOOLEAN operators).
+struct LogicalAnd {
+  template <class T>
+  constexpr T identity() const {
+    return T{1};
+  }
+  template <class T>
+  constexpr T operator()(T a, T b) const {
+    return static_cast<T>(a && b);
+  }
+};
+
+struct LogicalOr {
+  template <class T>
+  constexpr T identity() const {
+    return T{0};
+  }
+  template <class T>
+  constexpr T operator()(T a, T b) const {
+    return static_cast<T>(a || b);
+  }
+};
+
+}  // namespace mp

@@ -1,0 +1,117 @@
+// Thread-parallel multiprefix execution — the `pardo` form of the paper's
+// algorithm on a shared-memory multiprocessor.
+//
+// The outer row/column loops stay sequential (they order the recurrence);
+// each inner pardo runs on a thread pool. The paper's structural theorems
+// make this safe with plain (non-atomic) stores:
+//
+//   * ROWSUMS / MULTISUMS parallelize within a column: elements of one
+//     column lie in distinct rows, and same-parent elements share a row
+//     (Theorem 1), so all parents touched within a column are distinct.
+//   * SPINESUMS parallelizes within a row: at most one spine element per
+//     class per row (Theorem 2), and distinct classes have distinct parents.
+//
+// Debug builds verify the no-conflict guarantee with MP_ASSERTs against the
+// plan. Note the granularity economics: each inner loop has only ~√n
+// iterations, so forking threads pays off only for large n — the same
+// short-vector effect the paper's n_1/2 captures on the Y-MP. The
+// chunked algorithm (core/chunked.hpp) is the better threaded mapping for
+// small problems; this executor exists to realize the paper's own schedule.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/ops.hpp"
+#include "core/spinetree_plan.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+class ParallelSpinetreeExecutor {
+ public:
+  ParallelSpinetreeExecutor(const SpinetreePlan& plan, ThreadPool& pool, Op op = {},
+                            std::size_t grain = kDefaultGrain)
+      : plan_(&plan),
+        pool_(&pool),
+        op_(op),
+        grain_(grain),
+        rowsum_(plan.m() + plan.n()),
+        spinesum_(plan.m() + plan.n()) {}
+
+  void execute(std::span<const T> values, std::span<T> prefix, std::span<T> reduction) {
+    MP_REQUIRE(values.size() == plan_->n(), "values size mismatch");
+    MP_REQUIRE(prefix.size() == plan_->n(), "prefix size mismatch");
+    run(values, prefix.data(), reduction);
+  }
+
+  void reduce(std::span<const T> values, std::span<T> reduction) {
+    MP_REQUIRE(values.size() == plan_->n(), "values size mismatch");
+    MP_REQUIRE(reduction.size() == plan_->m(), "reduction size mismatch");
+    run(values, static_cast<T*>(nullptr), reduction);
+  }
+
+ private:
+  void run(std::span<const T> values, T* prefix, std::span<T> reduction) {
+    MP_REQUIRE(reduction.empty() || reduction.size() == plan_->m(),
+               "reduction size must be m (or 0 to skip)");
+    const std::size_t n = plan_->n();
+    const std::size_t m = plan_->m();
+    const std::size_t L = plan_->shape().row_len;
+    const std::size_t rows = plan_->shape().rows;
+    const auto spine = plan_->spine();
+    const T id = op_.template identity<T>();
+
+    parallel_for(*pool_, 0, m + n, grain_, [&](std::size_t i) {
+      rowsum_[i] = id;
+      spinesum_[i] = id;
+    });
+
+    // ROWSUMS: pardo over each column; parents within a column are distinct.
+    for (std::size_t c = 0; c < L && c < n; ++c) {
+      parallel_for_strided(*pool_, c, n, L, grain_, [&](std::size_t i) {
+        const auto s = spine[m + i];
+        rowsum_[s] = op_(rowsum_[s], values[i]);
+      });
+    }
+
+    // SPINESUMS: pardo over the spine elements of each row, bottom to top.
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto elems = plan_->spine_elements_of_row(r);
+      parallel_for(*pool_, 0, elems.size(), grain_, [&](std::size_t k) {
+        const auto e = elems[k];
+        const auto p = spine[m + e];
+        spinesum_[p] = op_(spinesum_[m + e], rowsum_[m + e]);
+      });
+    }
+
+    if (!reduction.empty()) {
+      parallel_for(*pool_, 0, m, grain_,
+                   [&](std::size_t b) { reduction[b] = op_(spinesum_[b], rowsum_[b]); });
+    }
+
+    // MULTISUMS: pardo over each column.
+    if (prefix != nullptr) {
+      for (std::size_t c = 0; c < L && c < n; ++c) {
+        parallel_for_strided(*pool_, c, n, L, grain_, [&](std::size_t i) {
+          const auto s = spine[m + i];
+          prefix[i] = spinesum_[s];
+          spinesum_[s] = op_(spinesum_[s], values[i]);
+        });
+      }
+    }
+  }
+
+  const SpinetreePlan* plan_;
+  ThreadPool* pool_;
+  Op op_;
+  std::size_t grain_;
+  std::vector<T> rowsum_;
+  std::vector<T> spinesum_;
+};
+
+}  // namespace mp

@@ -1,0 +1,26 @@
+// Result container shared by every multiprefix implementation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mp {
+
+/// Output of the multiprefix operation (paper §1):
+///   prefix[i]    = op-sum of { values[j] : labels[j] == labels[i], j < i }
+///                  (the identity element when no such j exists);
+///   reduction[k] = op-sum of { values[j] : labels[j] == k }
+///                  (the identity element for labels that never occur).
+template <class T>
+struct MultiprefixResult {
+  std::vector<T> prefix;     // size n
+  std::vector<T> reduction;  // size m
+
+  MultiprefixResult() = default;
+  MultiprefixResult(std::size_t n, std::size_t m, T init)
+      : prefix(n, init), reduction(m, init) {}
+
+  friend bool operator==(const MultiprefixResult&, const MultiprefixResult&) = default;
+};
+
+}  // namespace mp

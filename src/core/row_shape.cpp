@@ -1,0 +1,48 @@
+#include "core/row_shape.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mp {
+
+namespace {
+RowShape make(std::size_t n, std::size_t row_len) {
+  if (n == 0) return RowShape{1, 1};
+  row_len = std::clamp<std::size_t>(row_len, 1, n);
+  const std::size_t rows = (n + row_len - 1) / row_len;
+  return RowShape{row_len, rows};
+}
+}  // namespace
+
+RowShape RowShape::square(std::size_t n) {
+  const auto root = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  return make(n, root);
+}
+
+RowShape RowShape::with_factor(std::size_t n, double factor) {
+  MP_REQUIRE(factor > 0.0, "row-length factor must be positive");
+  const auto len =
+      static_cast<std::size_t>(factor * std::sqrt(static_cast<double>(n)) + 0.5);
+  return make(n, std::max<std::size_t>(len, 1));
+}
+
+RowShape RowShape::with_row_length(std::size_t n, std::size_t row_len) {
+  MP_REQUIRE(row_len >= 1, "row length must be positive");
+  return make(n, row_len);
+}
+
+std::size_t avoid_pow2_stride(std::size_t len) {
+  // Multiples of 256 words share cache sets aggressively under strided
+  // access; bump them to the next odd-ish value.
+  if (len >= 256 && len % 256 == 0) return len + 1;
+  return len;
+}
+
+RowShape RowShape::auto_shape(std::size_t n) {
+  RowShape s = square(n);
+  return make(n, avoid_pow2_stride(s.row_len));
+}
+
+}  // namespace mp

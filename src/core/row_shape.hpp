@@ -1,0 +1,45 @@
+// Grid shape selection for the spinetree algorithm (paper §2.2 and §4.4).
+//
+// The theoretical algorithm assumes n is a perfect square; the
+// implementation may choose the row length and the number of rows
+// independently as long as rows * row_len >= n, padding the tail (§2.2,
+// §4.4). The paper derives the Cray-optimal row length p ≈ 0.75·√n from the
+// Table 3 loop parameters and notes the total time is nearly insensitive to
+// p around the optimum (<2% at n = 1000).
+//
+// On a memory-bank machine the row length should additionally avoid
+// multiples of the number of banks / the bank cycle time; we keep the same
+// hygiene by nudging the row length off powers of two, which on modern
+// cache hardware avoids pathological set-associativity conflicts in the
+// strided column sweeps.
+#pragma once
+
+#include <cstddef>
+
+namespace mp {
+
+struct RowShape {
+  std::size_t row_len = 1;  // elements per row; also the column stride
+  std::size_t rows = 1;     // number of rows
+
+  std::size_t padded() const { return row_len * rows; }
+
+  /// row_len = ceil(sqrt(n)), the theoretical √n × √n arrangement.
+  static RowShape square(std::size_t n);
+
+  /// row_len = factor · √n (clamped to [1, n]); rows = ceil(n / row_len).
+  /// factor = 0.75 reproduces the paper's Cray-optimal skew.
+  static RowShape with_factor(std::size_t n, double factor);
+
+  /// Explicit row length (clamped to [1, max(n,1)]).
+  static RowShape with_row_length(std::size_t n, std::size_t row_len);
+
+  /// Default policy used by the library: square, nudged off powers of two.
+  static RowShape auto_shape(std::size_t n);
+};
+
+/// Returns `len` adjusted to avoid being a multiple of a large power of two
+/// (the modern analogue of avoiding memory-bank-count multiples, §4.4).
+std::size_t avoid_pow2_stride(std::size_t len);
+
+}  // namespace mp

@@ -1,0 +1,112 @@
+// The parallel primitives multiprefix subsumes (paper §1), implemented on
+// top of it:
+//
+//   * segmented scan [Ble90]  — "a segmented-scan is simulated by
+//     distributing the same label to each element in a segment and then
+//     executing the multiprefix operation";
+//   * combining send [Hil85]  — "provided directly by multiprefix, but only
+//     the reduction values are used" (a multireduce whose labels are the
+//     destination addresses);
+//   * fetch-and-op [GLR81]    — the multiprefix sums *are* the fetched
+//     values, made deterministic by vector order (the PRAM-level variant
+//     lives in pram/plus_simulation.hpp);
+//   * the β operation of CM-Lisp [SH86] — a combining send keyed by a
+//     computed address vector.
+//
+// Segment boundaries may be given as head flags (1 at each segment start)
+// or as explicit segment ids; flags are converted to ids with an inclusive
+// scan, as in Blelloch's scan-vector model.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/labels.hpp"
+#include "core/multiprefix.hpp"
+#include "core/ops.hpp"
+
+namespace mp {
+
+/// Converts head flags (flags[i] != 0 marks the start of a segment; the
+/// first element is always a segment start) to dense segment ids 0, 1, ...
+/// Returns the ids; `num_segments` receives the segment count.
+inline std::vector<label_t> segment_ids_from_flags(std::span<const std::uint8_t> flags,
+                                                   std::size_t& num_segments) {
+  std::vector<label_t> ids(flags.size());
+  label_t current = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (i == 0 || flags[i] != 0) current = (i == 0) ? 0 : current + 1;
+    ids[i] = current;
+  }
+  num_segments = flags.empty() ? 0 : static_cast<std::size_t>(current) + 1;
+  return ids;
+}
+
+template <class T>
+struct SegmentedScanResult {
+  std::vector<T> scan;    // per-element exclusive scan within its segment
+  std::vector<T> totals;  // per-segment reduction
+};
+
+/// Exclusive segmented scan from head flags, via multiprefix (§1).
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+SegmentedScanResult<T> segmented_scan(std::span<const T> values,
+                                      std::span<const std::uint8_t> head_flags, Op op = {},
+                                      Strategy strategy = Strategy::kVectorized) {
+  MP_REQUIRE(values.size() == head_flags.size(), "values/flags size mismatch");
+  std::size_t segments = 0;
+  const auto ids = segment_ids_from_flags(head_flags, segments);
+  auto result = multiprefix<T, Op>(values, ids, std::max<std::size_t>(segments, 1), op,
+                                   strategy);
+  return {std::move(result.prefix), std::move(result.reduction)};
+}
+
+/// Inclusive segmented scan (each element includes itself).
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+SegmentedScanResult<T> segmented_scan_inclusive(std::span<const T> values,
+                                                std::span<const std::uint8_t> head_flags,
+                                                Op op = {},
+                                                Strategy strategy = Strategy::kVectorized) {
+  auto out = segmented_scan<T, Op>(values, head_flags, op, strategy);
+  for (std::size_t i = 0; i < values.size(); ++i) out.scan[i] = op(out.scan[i], values[i]);
+  return out;
+}
+
+/// Combining send (the Connection Machine primitive, §1): each element sends
+/// `values[i]` to mailbox `destinations[i]`; colliding messages combine
+/// under `op`. Mailboxes nobody sends to hold the identity. This is exactly
+/// a multireduce — "only the reduction values are used".
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+std::vector<T> combining_send(std::span<const T> values,
+                              std::span<const label_t> destinations, std::size_t num_mailboxes,
+                              Op op = {}, Strategy strategy = Strategy::kVectorized) {
+  return multireduce<T, Op>(values, destinations, num_mailboxes, op, strategy);
+}
+
+/// Deterministic fetch-and-op (the Ultracomputer primitive, §1): returns,
+/// for each element, the op-sum of the *earlier* values sent to the same
+/// cell, and replaces each touched cell of `memory` with its combined total.
+/// Unlike hardware fetch-and-op, the evaluation order is vector order.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+std::vector<T> fetch_and_op(std::span<const T> values, std::span<const label_t> addresses,
+                            std::span<T> memory, Op op = {},
+                            Strategy strategy = Strategy::kVectorized) {
+  MP_REQUIRE(values.size() == addresses.size(), "values/addresses size mismatch");
+  auto result = multiprefix<T, Op>(values, addresses, memory.size(), op, strategy);
+  std::vector<T> fetched(values.size());
+  std::vector<std::uint8_t> touched(memory.size(), 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    fetched[i] = op(memory[addresses[i]], result.prefix[i]);
+    touched[addresses[i]] = 1;
+  }
+  for (std::size_t a = 0; a < memory.size(); ++a)
+    if (touched[a]) memory[a] = op(memory[a], result.reduction[a]);
+  return fetched;
+}
+
+}  // namespace mp

@@ -1,0 +1,85 @@
+// Serial reference multiprefix (paper Figure 2, generalized to any operator).
+//
+// This is the specification all parallel/vectorized implementations are
+// tested against. It follows the paper's bucket-sweep exactly, including the
+// trick of clearing only the buckets actually referenced by labels, so its
+// running time is O(n) independent of m (at the cost of touching labels
+// twice). `multiprefix_serial` additionally materializes the full m-sized
+// reduction vector, which costs O(m) — use the `_into` form with a
+// caller-managed buffer to amortize that in loops.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/labels.hpp"
+#include "core/ops.hpp"
+#include "core/result.hpp"
+
+namespace mp {
+
+/// Core serial sweep: prefix[i] and reduction[k] are written in place.
+/// `reduction` must have size m and already be filled with the identity.
+template <class T, class Op>
+  requires AssociativeOp<Op, T>
+void multiprefix_serial_into(std::span<const T> values, std::span<const label_t> labels,
+                             std::span<T> prefix, std::span<T> reduction, Op op = {}) {
+  MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
+  MP_REQUIRE(prefix.size() == values.size(), "prefix output size mismatch");
+  const std::size_t m = reduction.size();
+  const T id = op.template identity<T>();
+
+  // Initialization (Figure 2): clear only the buckets referenced by labels.
+  for (const label_t l : labels) {
+    MP_REQUIRE(l < m, "label out of range");
+    reduction[l] = id;
+  }
+  // Main sweep: save the running bucket value, then fold in the element.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    T& bucket = reduction[labels[i]];
+    prefix[i] = bucket;
+    bucket = op(bucket, values[i]);
+  }
+}
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+MultiprefixResult<T> multiprefix_serial(std::span<const T> values,
+                                        std::span<const label_t> labels, std::size_t m,
+                                        Op op = {}) {
+  MultiprefixResult<T> out(values.size(), m, op.template identity<T>());
+  multiprefix_serial_into<T, Op>(values, labels, std::span<T>(out.prefix),
+                                 std::span<T>(out.reduction), op);
+  return out;
+}
+
+/// Multireduce: reduction values only (paper §4.2). Serially this is a plain
+/// histogram/"vector update" loop.
+template <class T, class Op>
+  requires AssociativeOp<Op, T>
+void multireduce_serial_into(std::span<const T> values, std::span<const label_t> labels,
+                             std::span<T> reduction, Op op = {}) {
+  MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
+  const std::size_t m = reduction.size();
+  const T id = op.template identity<T>();
+  for (const label_t l : labels) {
+    MP_REQUIRE(l < m, "label out of range");
+    reduction[l] = id;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    T& bucket = reduction[labels[i]];
+    bucket = op(bucket, values[i]);
+  }
+}
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+std::vector<T> multireduce_serial(std::span<const T> values, std::span<const label_t> labels,
+                                  std::size_t m, Op op = {}) {
+  std::vector<T> reduction(m, op.template identity<T>());
+  multireduce_serial_into<T, Op>(values, labels, std::span<T>(reduction), op);
+  return reduction;
+}
+
+}  // namespace mp

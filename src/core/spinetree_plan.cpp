@@ -1,0 +1,127 @@
+#include "core/spinetree_plan.hpp"
+
+#include <atomic>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace mp {
+
+SpinetreePlan::SpinetreePlan(std::span<const label_t> labels, std::size_t m, RowShape shape,
+                             const Options& options)
+    : n_(labels.size()), m_(m), shape_(shape) {
+  MP_REQUIRE(m >= 1, "need at least one bucket");
+  MP_REQUIRE(static_cast<std::uint64_t>(m) + n_ <
+                 std::numeric_limits<index_t>::max(),
+             "combined index space exceeds 32 bits");
+  MP_REQUIRE(shape_.row_len >= 1 && shape_.rows * shape_.row_len >= n_,
+             "grid does not cover all elements");
+  for (const label_t l : labels) MP_REQUIRE(l < m, "label out of range");
+
+  spine_.resize(m_ + n_);
+  is_spine_.assign(n_, 0);
+
+  if (options.pool != nullptr && options.pool->num_threads() > 1) {
+    build_parallel(labels, options);
+  } else {
+    build_serial(labels, options);
+  }
+  finalize(options);
+}
+
+void SpinetreePlan::build_serial(std::span<const label_t> labels, const Options& options) {
+  vm::Tracer* tracer = options.tracer;
+
+  // Initialization (Figure 3): every bucket's spine points to itself.
+  for (std::size_t b = 0; b < m_; ++b) spine_[b] = static_cast<index_t>(b);
+  if (tracer) tracer->record(vm::OpKind::kIota, m_);
+
+  const std::size_t L = shape_.row_len;
+  Xoshiro256 arb_rng(options.arbitration_seed);
+  std::vector<index_t> order;  // shuffled overwrite order, when seeded
+
+  // SPINETREE phase (Figure 4): rows from top to bottom. The compiler's loop
+  // fission on the Cray (gather, then scatter) is written out explicitly.
+  for (std::size_t r = shape_.rows; r-- > 0;) {
+    const std::size_t lo = r * L;
+    const std::size_t hi = lo + L < n_ ? lo + L : n_;
+    if (lo >= hi) continue;
+
+    // Gather: each element reads its bucket's current spine pointer. Element
+    // cells and bucket cells are disjoint, so no temporary is needed.
+    for (std::size_t i = lo; i < hi; ++i) spine_[m_ + i] = spine_[labels[i]];
+    if (tracer) tracer->record(vm::OpKind::kGather, hi - lo);
+
+    // Scatter (ARB): each element attempts to overwrite its bucket with its
+    // own combined index; one arbitrary element per bucket per row wins.
+    if (options.arbitration_seed == 0) {
+      for (std::size_t i = lo; i < hi; ++i)
+        spine_[labels[i]] = static_cast<index_t>(m_ + i);
+    } else {
+      order.resize(hi - lo);
+      std::iota(order.begin(), order.end(), static_cast<index_t>(lo));
+      for (std::size_t k = order.size(); k > 1; --k)
+        std::swap(order[k - 1], order[arb_rng.below(k)]);
+      for (const index_t i : order) spine_[labels[i]] = static_cast<index_t>(m_ + i);
+    }
+    if (tracer) tracer->record(vm::OpKind::kScatter, hi - lo);
+  }
+}
+
+void SpinetreePlan::build_parallel(std::span<const label_t> labels, const Options& options) {
+  ThreadPool& pool = *options.pool;
+  vm::Tracer* tracer = options.tracer;
+
+  parallel_for(pool, 0, m_, [&](std::size_t b) { spine_[b] = static_cast<index_t>(b); });
+  if (tracer) tracer->record(vm::OpKind::kIota, m_);
+
+  const std::size_t L = shape_.row_len;
+  for (std::size_t r = shape_.rows; r-- > 0;) {
+    const std::size_t lo = r * L;
+    const std::size_t hi = lo + L < n_ ? lo + L : n_;
+    if (lo >= hi) continue;
+
+    // Gather half-step: reads buckets, writes element cells — conflict-free.
+    parallel_for(pool, lo, hi, [&](std::size_t i) { spine_[m_ + i] = spine_[labels[i]]; });
+    if (tracer) tracer->record(vm::OpKind::kGather, hi - lo);
+
+    // Scatter half-step: racing relaxed atomic stores ARE the arbitrary
+    // concurrent write — whichever store lands last wins, and the algorithm
+    // is correct for every winner.
+    parallel_for(pool, lo, hi, [&](std::size_t i) {
+      std::atomic_ref<index_t> cell(spine_[labels[i]]);
+      cell.store(static_cast<index_t>(m_ + i), std::memory_order_relaxed);
+    });
+    if (tracer) tracer->record(vm::OpKind::kScatter, hi - lo);
+  }
+}
+
+void SpinetreePlan::finalize(const Options& options) {
+  // An element is a spine element iff some element points at it.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const index_t p = spine_[m_ + i];
+    if (p >= m_) is_spine_[p - m_] = 1;
+  }
+  if (options.tracer) options.tracer->record(vm::OpKind::kScatter, n_);
+
+  // Compressed spine: spine elements grouped by row, bottom to top — the
+  // exact visit order of the SPINESUMS phase.
+  spine_row_offsets_.assign(shape_.rows + 1, 0);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n_; ++i) count += is_spine_[i];
+  spine_rows_.reserve(count);
+  const std::size_t L = shape_.row_len;
+  for (std::size_t r = 0; r < shape_.rows; ++r) {
+    spine_row_offsets_[r] = spine_rows_.size();
+    const std::size_t lo = r * L;
+    const std::size_t hi = lo + L < n_ ? lo + L : n_;
+    for (std::size_t i = lo; i < hi; ++i)
+      if (is_spine_[i]) spine_rows_.push_back(static_cast<index_t>(i));
+  }
+  spine_row_offsets_[shape_.rows] = spine_rows_.size();
+}
+
+}  // namespace mp

@@ -1,0 +1,124 @@
+// The spinetree: the paper's central data structure (§2.2), in the
+// array-indexed form used by the Cray implementation (§4, Figures 8–9).
+//
+// Buckets and elements share one index space divided at a "pivot": combined
+// indices [0, m) are the buckets and [m, m+n) are the elements (element i
+// lives at combined index m + i). Element i's grid position is
+// row = i / row_len (row 0 at the bottom), column = i % row_len. The tail
+// row may be partial; the paper's padding-to-a-square is realized simply by
+// never visiting the nonexistent tail slots.
+//
+// Construction is the SPINETREE phase: rows are processed top to bottom, and
+// in each row every element first reads its bucket's spine pointer and then
+// overwrites the bucket with its own combined index ("overwrite-and-test").
+// The winner of the overwrite is arbitrary — the structure is valid for any
+// winner, and an optional arbitration seed lets tests sweep adversarial
+// choices. After construction:
+//
+//   * spine(i)  — the parent pointer of combined index i (buckets are their
+//                 own parents until overwritten; the final bucket pointer is
+//                 unused by later phases, as in the paper);
+//   * is_spine(e) — whether element e has children, i.e. accumulates state
+//                 during the numeric phases. This explicit flag replaces the
+//                 paper's `rowsum != 0` test, which is unsound for values
+//                 that can op-combine to the identity (see DESIGN.md §2);
+//   * spine_elements_of_row(r) — the spine elements of row r in ascending
+//                 index order, precomputed so the SPINESUMS sweep can touch
+//                 only spine elements ("compressed spine" fast path).
+//
+// A plan depends only on the labels, not on the values: build once, then run
+// execute/reduce/enumerate (core/executor.hpp) for any number of value
+// vectors — this is exactly the setup/evaluation split the paper's sparse
+// matrix-vector study amortizes (§5.2.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/labels.hpp"
+#include "core/row_shape.hpp"
+#include "parallel/thread_pool.hpp"
+#include "vm/tracer.hpp"
+#include "vm/vector_ops.hpp"
+
+namespace mp {
+
+class SpinetreePlan {
+ public:
+  using index_t = vm::index_t;
+
+  struct Options {
+    /// 0 = the natural "last element of the row wins" arbitration; any other
+    /// value shuffles each row's overwrite order with that seed, which makes
+    /// a different (equally arbitrary) element win. The resulting spinetree
+    /// differs but every execution result must be identical — property
+    /// tests sweep this.
+    std::uint64_t arbitration_seed = 0;
+    /// If nonnull, the SPINETREE phase runs its row sweeps on this pool
+    /// (gather fully parallel; the ARB overwrite uses relaxed atomic stores,
+    /// which is precisely the arbitrary-winner semantics).
+    ThreadPool* pool = nullptr;
+    /// If nonnull, records the vector operations the build issues.
+    vm::Tracer* tracer = nullptr;
+  };
+
+  /// Builds the spinetree for `labels` over m buckets with the given grid
+  /// shape. Labels must be < m. Requires m + labels.size() < 2^32.
+  SpinetreePlan(std::span<const label_t> labels, std::size_t m, RowShape shape,
+                const Options& options);
+
+  /// Convenience overloads: default options / auto shape (defined after the
+  /// class — GCC rejects `= {}` defaults for nested aggregates).
+  SpinetreePlan(std::span<const label_t> labels, std::size_t m, RowShape shape);
+  SpinetreePlan(std::span<const label_t> labels, std::size_t m);
+
+  std::size_t n() const { return n_; }
+  std::size_t m() const { return m_; }
+  const RowShape& shape() const { return shape_; }
+  /// The pivot: combined indices below are buckets, at or above are elements.
+  std::size_t pivot() const { return m_; }
+
+  // -- structure accessors ---------------------------------------------------
+  /// Parent pointer array over the combined index space, size m + n.
+  std::span<const index_t> spine() const { return spine_; }
+  /// Parent of element e (combined index). e in [0, n).
+  index_t parent_of_element(std::size_t e) const { return spine_[m_ + e]; }
+  bool parent_is_bucket(std::size_t e) const { return parent_of_element(e) < m_; }
+  /// Whether element e has children in the spinetree.
+  bool is_spine(std::size_t e) const { return is_spine_[e] != 0; }
+  std::span<const std::uint8_t> is_spine_flags() const { return is_spine_; }
+
+  std::size_t row_of(std::size_t e) const { return e / shape_.row_len; }
+  std::size_t col_of(std::size_t e) const { return e % shape_.row_len; }
+
+  /// Spine elements of row r, ascending element index.
+  std::span<const index_t> spine_elements_of_row(std::size_t r) const {
+    return std::span<const index_t>(spine_rows_).subspan(
+        spine_row_offsets_[r], spine_row_offsets_[r + 1] - spine_row_offsets_[r]);
+  }
+  /// Total number of spine elements.
+  std::size_t spine_count() const { return spine_rows_.size(); }
+
+ private:
+  void build_serial(std::span<const label_t> labels, const Options& options);
+  void build_parallel(std::span<const label_t> labels, const Options& options);
+  void finalize(const Options& options);
+
+  std::size_t n_;
+  std::size_t m_;
+  RowShape shape_;
+  std::vector<index_t> spine_;              // size m + n, combined index space
+  std::vector<std::uint8_t> is_spine_;      // size n, element-relative
+  std::vector<index_t> spine_rows_;         // spine elements grouped by row
+  std::vector<std::size_t> spine_row_offsets_;  // size rows + 1
+};
+
+inline SpinetreePlan::SpinetreePlan(std::span<const label_t> labels, std::size_t m,
+                                    RowShape shape)
+    : SpinetreePlan(labels, m, shape, Options{}) {}
+
+inline SpinetreePlan::SpinetreePlan(std::span<const label_t> labels, std::size_t m)
+    : SpinetreePlan(labels, m, RowShape::auto_shape(labels.size()), Options{}) {}
+
+}  // namespace mp

@@ -1,0 +1,129 @@
+// Validation helpers used by the test suite.
+//
+// `multiprefix_bruteforce` computes the result directly from the problem
+// statement (§1) — an O(n·max_load) double loop with no shared algorithmic
+// machinery, so it can falsify both the serial reference and the parallel
+// implementations independently.
+//
+// `check_spinetree_structure` verifies the paper's structural theorems on a
+// concrete plan:
+//   Theorem 1  — same parent ⇔ same label ∧ same row;
+//   Corollary 1 — children of one parent occupy distinct columns;
+//   Theorem 2  — at most one spine element per class per row;
+//   Corollary 2 — each spine element has at most one spine-element child;
+//   plus the tree-shape facts the phases rely on: every parent is either
+//   the element's own bucket or an element of the same class in a strictly
+//   higher row.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/labels.hpp"
+#include "core/ops.hpp"
+#include "core/result.hpp"
+#include "core/spinetree_plan.hpp"
+
+namespace mp {
+
+/// Direct-from-definition multiprefix; O(n + m + Σ class² / …) — quadratic
+/// in the worst case, for test sizes only.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+MultiprefixResult<T> multiprefix_bruteforce(std::span<const T> values,
+                                            std::span<const label_t> labels, std::size_t m,
+                                            Op op = {}) {
+  const T id = op.template identity<T>();
+  MultiprefixResult<T> out(values.size(), m, id);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    T acc = id;
+    for (std::size_t j = 0; j < i; ++j)
+      if (labels[j] == labels[i]) acc = op(acc, values[j]);
+    out.prefix[i] = acc;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out.reduction[labels[i]] = op(out.reduction[labels[i]], values[i]);
+  return out;
+}
+
+/// Checks the structural theorems; returns std::nullopt on success or a
+/// description of the first violated property.
+inline std::optional<std::string> check_spinetree_structure(const SpinetreePlan& plan,
+                                                            std::span<const label_t> labels) {
+  const std::size_t n = plan.n();
+  const std::size_t m = plan.m();
+  if (labels.size() != n) return "label vector size does not match plan";
+
+  // Tree shape: parents are the element's own bucket or a same-class element
+  // in a strictly higher row.
+  for (std::size_t e = 0; e < n; ++e) {
+    const auto p = plan.parent_of_element(e);
+    if (p < m) {
+      if (p != labels[e]) return "element " + std::to_string(e) + " points to a foreign bucket";
+    } else {
+      const std::size_t pe = p - m;
+      if (pe >= n) return "parent index out of range";
+      if (labels[pe] != labels[e])
+        return "element " + std::to_string(e) + " has a parent of a different class";
+      if (plan.row_of(pe) <= plan.row_of(e))
+        return "element " + std::to_string(e) + " has a parent not in a higher row";
+      if (!plan.is_spine(pe)) return "parent not flagged as spine element";
+    }
+  }
+
+  // Theorem 1 (⇐ direction is what the phases rely on): elements with the
+  // same parent must share label and row; Corollary 1: distinct columns.
+  {
+    std::vector<std::vector<std::uint32_t>> children(m + n);
+    for (std::size_t e = 0; e < n; ++e)
+      children[plan.parent_of_element(e)].push_back(static_cast<std::uint32_t>(e));
+    for (std::size_t p = 0; p < children.size(); ++p) {
+      const auto& kids = children[p];
+      for (std::size_t a = 1; a < kids.size(); ++a) {
+        if (labels[kids[a]] != labels[kids[0]])
+          return "siblings with different labels under parent " + std::to_string(p);
+        if (plan.row_of(kids[a]) != plan.row_of(kids[0]))
+          return "siblings in different rows under parent " + std::to_string(p);
+        for (std::size_t b = 0; b < a; ++b)
+          if (plan.col_of(kids[a]) == plan.col_of(kids[b]))
+            return "siblings sharing a column under parent " + std::to_string(p);
+      }
+    }
+
+    // Corollary 2: at most one spine-element child per parent.
+    for (std::size_t p = 0; p < children.size(); ++p) {
+      std::size_t spine_children = 0;
+      for (const auto e : children[p])
+        if (plan.is_spine(e)) ++spine_children;
+      if (spine_children > 1)
+        return "parent " + std::to_string(p) + " has multiple spine-element children";
+    }
+
+    // is_spine must equal "has children".
+    for (std::size_t e = 0; e < n; ++e) {
+      const bool has_children = !children[m + e].empty();
+      if (has_children != plan.is_spine(e))
+        return "is_spine flag mismatch at element " + std::to_string(e);
+    }
+  }
+
+  // Theorem 2: at most one spine element per class per row.
+  {
+    std::vector<std::vector<label_t>> seen(plan.shape().rows);
+    for (std::size_t e = 0; e < n; ++e) {
+      if (!plan.is_spine(e)) continue;
+      auto& row_seen = seen[plan.row_of(e)];
+      for (const label_t l : row_seen)
+        if (l == labels[e])
+          return "two spine elements of class " + std::to_string(labels[e]) + " in row " +
+                 std::to_string(plan.row_of(e));
+      row_seen.push_back(labels[e]);
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace mp

@@ -1,0 +1,191 @@
+// Data-parallel vector primitives — the portable programming layer the
+// paper argues for (§6): "By structuring algorithms at a more abstract
+// level we relieve the programmer from writing machine-dependent code...
+// only the implementations of the parallel primitives will be refined,
+// allowing user application code to be reused."
+//
+// The vocabulary follows the scan-vector lineage the paper cites (the
+// Fluent machine [RBJ88], Blelloch's scan primitives [Ble90], the
+// Connection Machine sends [Hil85]): elementwise map/zip, reductions and
+// scans, gather/permute, pack (stream compaction), split (the stable radix
+// partition), plus multiprefix/multireduce as first-class citizens.
+//
+// A Context selects the execution strategy for the heavyweight primitives
+// (multiprefix-backed operations run through any core Strategy; scans can
+// use the serial recurrence or the §5.1.1 partition method), so the same
+// application code runs against every backend — the test suite holds the
+// results identical across them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/labels.hpp"
+#include "core/multiprefix.hpp"
+#include "core/scan.hpp"
+#include "core/segmented.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp::dpv {
+
+/// Execution policy for the primitives.
+struct Context {
+  Strategy strategy = Strategy::kVectorized;  // backend for multiprefix ops
+  bool partition_scans = false;               // use the §5.1.1 blocked scan
+  ThreadPool* pool = nullptr;                 // defaults to the global pool
+
+  ThreadPool& thread_pool() const { return pool != nullptr ? *pool : ThreadPool::global(); }
+};
+
+// ---- elementwise ------------------------------------------------------------
+
+/// out[i] = fn(v[i]).
+template <class T, class Fn>
+auto map(std::span<const T> v, Fn fn) {
+  std::vector<decltype(fn(v[0]))> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = fn(v[i]);
+  return out;
+}
+
+/// out[i] = fn(a[i], b[i]).
+template <class T, class U, class Fn>
+auto zip(std::span<const T> a, std::span<const U> b, Fn fn) {
+  MP_REQUIRE(a.size() == b.size(), "zip length mismatch");
+  std::vector<decltype(fn(a[0], b[0]))> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = fn(a[i], b[i]);
+  return out;
+}
+
+/// iota: 0, 1, ..., n-1.
+inline std::vector<std::uint32_t> index(std::size_t n) {
+  std::vector<std::uint32_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint32_t>(i);
+  return out;
+}
+
+// ---- reductions and scans ------------------------------------------------------
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+T reduce(std::span<const T> v, Op op = {}) {
+  T acc = op.template identity<T>();
+  for (const T& x : v) acc = op(acc, x);
+  return acc;
+}
+
+/// Exclusive scan; returns the scanned vector (input untouched).
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+std::vector<T> scan(std::span<const T> v, const Context& ctx = {}, Op op = {}) {
+  std::vector<T> out(v.begin(), v.end());
+  if (ctx.partition_scans) {
+    exclusive_scan_partition<T, Op>(std::span<T>(out), ctx.thread_pool(), op);
+  } else {
+    exclusive_scan_serial<T, Op>(std::span<T>(out), op);
+  }
+  return out;
+}
+
+// ---- data movement ---------------------------------------------------------------
+
+/// out[i] = v[indices[i]] (backpermute / CM-style get).
+template <class T>
+std::vector<T> gather(std::span<const T> v, std::span<const std::uint32_t> indices) {
+  std::vector<T> out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    MP_REQUIRE(indices[i] < v.size(), "gather index out of range");
+    out[i] = v[indices[i]];
+  }
+  return out;
+}
+
+/// out[positions[i]] = v[i]; positions must be a permutation of [0, n).
+template <class T>
+std::vector<T> permute(std::span<const T> v, std::span<const std::uint32_t> positions) {
+  MP_REQUIRE(v.size() == positions.size(), "permute length mismatch");
+  std::vector<T> out(v.size());
+#ifndef NDEBUG
+  std::vector<bool> seen(v.size(), false);
+#endif
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    MP_REQUIRE(positions[i] < out.size(), "permute position out of range");
+#ifndef NDEBUG
+    MP_ASSERT(!seen[positions[i]]);
+    seen[positions[i]] = true;
+#endif
+    out[positions[i]] = v[i];
+  }
+  return out;
+}
+
+/// Stream compaction: keeps v[i] where flags[i] != 0, preserving order.
+/// Implemented with a plus-scan of the flags, in the scan-vector style.
+template <class T>
+std::vector<T> pack(std::span<const T> v, std::span<const std::uint8_t> flags,
+                    const Context& ctx = {}) {
+  MP_REQUIRE(v.size() == flags.size(), "pack length mismatch");
+  std::vector<std::uint32_t> f(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) f[i] = flags[i] ? 1u : 0u;
+  const auto offsets = scan<std::uint32_t>(f, ctx);
+  const std::size_t kept =
+      v.empty() ? 0 : offsets.back() + (flags.back() ? 1u : 0u);
+  std::vector<T> out(kept);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (flags[i]) out[offsets[i]] = v[i];
+  return out;
+}
+
+/// The stable radix split [Ble90]: elements with flag 0 first (in order),
+/// then elements with flag 1 (in order). Returns the destination position
+/// of every element — the building block of the split-radix sort.
+inline std::vector<std::uint32_t> split_positions(std::span<const std::uint8_t> flags,
+                                                  const Context& ctx = {}) {
+  const std::size_t n = flags.size();
+  std::vector<std::uint32_t> ones(n);
+  for (std::size_t i = 0; i < n; ++i) ones[i] = flags[i] ? 1u : 0u;
+  const auto ones_before = scan<std::uint32_t>(ones, ctx);
+  const std::uint32_t total_ones =
+      n == 0 ? 0 : ones_before.back() + (flags.back() ? 1u : 0u);
+  const auto zeros_total = static_cast<std::uint32_t>(n) - total_ones;
+  std::vector<std::uint32_t> pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto zeros_before = static_cast<std::uint32_t>(i) - ones_before[i];
+    pos[i] = flags[i] ? zeros_total + ones_before[i] : zeros_before;
+  }
+  return pos;
+}
+
+/// Applies split_positions: stable partition of v by flags.
+template <class T>
+std::vector<T> split(std::span<const T> v, std::span<const std::uint8_t> flags,
+                     const Context& ctx = {}) {
+  MP_REQUIRE(v.size() == flags.size(), "split length mismatch");
+  return permute<T>(v, split_positions(flags, ctx));
+}
+
+// ---- keyed primitives (multiprefix and friends) ------------------------------------
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+MultiprefixResult<T> multiprefix(std::span<const T> values, std::span<const label_t> labels,
+                                 std::size_t m, const Context& ctx = {}, Op op = {}) {
+  return mp::multiprefix<T, Op>(values, labels, m, op, ctx.strategy);
+}
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+std::vector<T> multireduce(std::span<const T> values, std::span<const label_t> labels,
+                           std::size_t m, const Context& ctx = {}, Op op = {}) {
+  return mp::multireduce<T, Op>(values, labels, m, op, ctx.strategy);
+}
+
+/// Per-element count of preceding equal labels + class sizes (enumerate).
+inline MultiprefixResult<std::uint32_t> enumerate_by_key(std::span<const label_t> labels,
+                                                         std::size_t m,
+                                                         const Context& ctx = {}) {
+  const std::vector<std::uint32_t> ones(labels.size(), 1);
+  return mp::multiprefix<std::uint32_t, Plus>(ones, labels, m, Plus{}, ctx.strategy);
+}
+
+}  // namespace mp::dpv

@@ -1,0 +1,63 @@
+// Split-radix sort — an integer sort written *entirely* in data-parallel
+// primitives, in the style the paper's lineage ([Ble90], [RBJ88]) uses to
+// argue that a small primitive set expresses whole algorithms.
+//
+// For each bit from least to most significant, the keys are stably
+// partitioned by that bit with split(); after b passes the keys are sorted.
+// Every pass is two scans and two permutes — no scalar control flow over
+// elements at all. Contrast with sort/radix_sort.hpp (loop-based LSD radix)
+// and sort/mp_rank_sort.hpp (multiprefix ranking): the three make the same
+// stable order by very different routes, which the tests exploit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "dpv/dpv.hpp"
+
+namespace mp::dpv {
+
+/// Number of significant bits of values below m.
+inline unsigned bits_for(std::size_t m) {
+  unsigned bits = 0;
+  for (std::size_t v = m > 1 ? m - 1 : 0; v != 0; v >>= 1) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+/// Sorts `keys` (< m) ascending, stably, by repeated radix splits.
+inline std::vector<std::uint32_t> split_radix_sort(std::span<const std::uint32_t> keys,
+                                                   std::size_t m, const Context& ctx = {}) {
+  std::vector<std::uint32_t> current(keys.begin(), keys.end());
+  for (const auto k : current) MP_REQUIRE(k < m, "key out of range");
+  const unsigned bits = bits_for(m);
+  for (unsigned bit = 0; bit < bits; ++bit) {
+    const auto flags = map<std::uint32_t>(
+        current, [bit](std::uint32_t k) { return static_cast<std::uint8_t>((k >> bit) & 1u); });
+    current = split<std::uint32_t>(current, flags, ctx);
+  }
+  return current;
+}
+
+/// Stable 0-based ranks via split-radix: carries the identity permutation
+/// through the same splits.
+inline std::vector<std::uint32_t> split_radix_ranks(std::span<const std::uint32_t> keys,
+                                                    std::size_t m, const Context& ctx = {}) {
+  std::vector<std::uint32_t> current(keys.begin(), keys.end());
+  for (const auto k : current) MP_REQUIRE(k < m, "key out of range");
+  std::vector<std::uint32_t> origin = index(keys.size());
+  const unsigned bits = bits_for(m);
+  for (unsigned bit = 0; bit < bits; ++bit) {
+    const auto flags = map<std::uint32_t>(
+        current, [bit](std::uint32_t k) { return static_cast<std::uint8_t>((k >> bit) & 1u); });
+    const auto pos = split_positions(flags, ctx);
+    current = permute<std::uint32_t>(current, pos);
+    origin = permute<std::uint32_t>(origin, pos);
+  }
+  std::vector<std::uint32_t> rank(keys.size());
+  for (std::size_t p = 0; p < origin.size(); ++p) rank[origin[p]] = static_cast<std::uint32_t>(p);
+  return rank;
+}
+
+}  // namespace mp::dpv

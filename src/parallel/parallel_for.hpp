@@ -1,0 +1,84 @@
+// `pardo` — statically partitioned parallel loops over index ranges.
+//
+// parallel_for(pool, begin, end, grain, body) splits [begin, end) into one
+// contiguous chunk per lane and runs body(i) for every index. If the range is
+// smaller than `grain`, the loop runs inline on the caller — forking threads
+// for a 64-element row would cost more than the row itself (the same
+// short-vector effect the paper's n_1/2 parameter captures).
+//
+// parallel_for_strided handles the paper's column sweeps, where the elements
+// of a column are separated by the row length.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+
+/// Default threshold below which parallel loops run inline.
+inline constexpr std::size_t kDefaultGrain = 4096;
+
+template <class Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+  MP_ASSERT(begin <= end);
+  const std::size_t count = end - begin;
+  if (count == 0) return;
+  const std::size_t lanes = pool.num_threads();
+  if (lanes == 1 || count <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t chunk = (count + lanes - 1) / lanes;
+  pool.run([&](std::size_t lane) {
+    const std::size_t lo = begin + lane * chunk;
+    if (lo >= end) return;
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+template <class Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body) {
+  parallel_for(pool, begin, end, kDefaultGrain, std::forward<Body>(body));
+}
+
+/// Runs body(i) for i in {begin, begin+stride, ...} with i < end, partitioned
+/// across lanes. Used for the paper's column access pattern.
+template <class Body>
+void parallel_for_strided(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t stride, std::size_t grain, Body&& body) {
+  MP_ASSERT(stride > 0);
+  if (begin >= end) return;
+  const std::size_t count = (end - begin + stride - 1) / stride;
+  const std::size_t lanes = pool.num_threads();
+  if (lanes == 1 || count <= grain) {
+    for (std::size_t i = begin; i < end; i += stride) body(i);
+    return;
+  }
+  const std::size_t chunk = (count + lanes - 1) / lanes;
+  pool.run([&](std::size_t lane) {
+    const std::size_t first = lane * chunk;
+    if (first >= count) return;
+    const std::size_t last = first + chunk < count ? first + chunk : count;
+    for (std::size_t k = first; k < last; ++k) body(begin + k * stride);
+  });
+}
+
+/// Splits [0, n) into `parts` near-equal contiguous ranges; returns the
+/// boundaries (parts + 1 entries, first 0, last n). Used by the chunked
+/// multiprefix algorithm and by tests.
+inline std::vector<std::size_t> partition_range(std::size_t n, std::size_t parts) {
+  MP_REQUIRE(parts >= 1, "need at least one part");
+  std::vector<std::size_t> bounds(parts + 1);
+  for (std::size_t p = 0; p <= parts; ++p)
+    bounds[p] = n / parts * p + std::min(p, n % parts);
+  return bounds;
+}
+
+}  // namespace mp

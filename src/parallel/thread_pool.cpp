@@ -1,0 +1,82 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mp {
+
+ThreadPool::ThreadPool(std::size_t threads) : lanes_(threads) {
+  MP_REQUIRE(threads >= 1, "pool needs at least one lane");
+  workers_.reserve(lanes_ - 1);
+  for (std::size_t lane = 1; lane < lanes_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  if (lanes_ == 1) {  // no workers: degenerate synchronous execution
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    remaining_ = lanes_ - 1;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    fn(0);  // lane 0 runs on the caller
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    try {
+      (*job)(lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace mp

@@ -1,0 +1,61 @@
+// A fixed-size fork/join thread pool — the substrate behind the paper's
+// `pardo` construct.
+//
+// Design: the pool owns `num_threads() - 1` workers plus the calling thread.
+// `run(k, fn)` invokes fn(worker_index) on k lanes and blocks until all lanes
+// finish — a synchronous parallel step, matching the PRAM-style execution the
+// paper assumes. Exceptions thrown by any lane are captured and the first one
+// is rethrown on the caller.
+//
+// The pool is intentionally simple (no work stealing): multiprefix's phases
+// are statically load-balanced, so static partitioning in parallel_for.hpp is
+// both faster and easier to reason about than a dynamic scheduler.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mp {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that executes work on `threads` lanes (>= 1). Lane 0 is
+  /// the calling thread; `threads - 1` workers are spawned.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return lanes_; }
+
+  /// Runs fn(lane) for lane in [0, lanes) and blocks until all complete.
+  /// If any lane throws, the first exception is rethrown here after joining.
+  void run(const std::function<void(std::size_t)>& fn);
+
+  /// A process-wide default pool sized to the hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(std::size_t lane);
+
+  std::size_t lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;       // incremented per run(); wakes workers
+  std::size_t remaining_ = 0;     // workers still running the current job
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mp

@@ -1,0 +1,42 @@
+#include "perf/fit.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mp::perf {
+
+LoopFit fit_loop(std::span<const std::pair<std::size_t, double>> samples) {
+  MP_REQUIRE(samples.size() >= 2, "need at least two samples");
+  const double count = static_cast<double>(samples.size());
+
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (const auto& [n, t] : samples) {
+    const double x = static_cast<double>(n);
+    sx += x;
+    sy += t;
+    sxx += x * x;
+    sxy += x * t;
+    syy += t * t;
+  }
+  const double denom = count * sxx - sx * sx;
+  MP_REQUIRE(denom > 0.0, "samples need distinct lengths");
+
+  const double a = (count * sxy - sx * sy) / denom;  // slope = t_e
+  const double b = (sy - a * sx) / count;            // intercept = t_e * n_1/2
+
+  LoopFit fit;
+  fit.te_seconds = a;
+  fit.n_half = a != 0.0 ? b / a : 0.0;
+
+  const double ss_tot = syy - sy * sy / count;
+  double ss_res = 0.0;
+  for (const auto& [n, t] : samples) {
+    const double e = t - (a * static_cast<double>(n) + b);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace mp::perf

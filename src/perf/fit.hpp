@@ -1,0 +1,30 @@
+// Hockney–Jesshope loop characterization by least squares (Table 3).
+//
+// The paper characterizes each vector loop by (t_e, n_1/2) such that
+// t(n) = t_e (n + n_1/2). Given measured (length, seconds) samples, the
+// model is linear in (t_e, t_e·n_1/2): ordinary least squares on
+// t = a·n + b yields t_e = a and n_1/2 = b/a. Table 3's bench measures our
+// loops the same way the paper measured the Cray's.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+namespace mp::perf {
+
+struct LoopFit {
+  double te_seconds = 0.0;  // asymptotic time per element
+  double n_half = 0.0;      // half-performance length
+  double r_squared = 0.0;   // goodness of fit of the linear model
+
+  double predict(std::size_t n) const {
+    return te_seconds * (static_cast<double>(n) + n_half);
+  }
+};
+
+/// Ordinary least squares of seconds = a·length + b over the samples.
+/// Requires at least two samples with distinct lengths.
+LoopFit fit_loop(std::span<const std::pair<std::size_t, double>> samples);
+
+}  // namespace mp::perf

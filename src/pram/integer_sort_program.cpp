@@ -1,0 +1,91 @@
+#include "pram/integer_sort_program.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/labels.hpp"
+#include "core/row_shape.hpp"
+
+namespace mp::pram {
+
+std::size_t PramSortResult::total_steps() const {
+  std::size_t s = 0;
+  for (const auto& p : phases) s += p.steps;
+  return s;
+}
+
+std::size_t PramSortResult::total_work() const {
+  std::size_t w = 0;
+  for (const auto& p : phases) w += p.work;
+  return w;
+}
+
+PramSortResult run_integer_sort_pram(std::span<const std::uint32_t> keys, std::size_t m,
+                                     Machine::Config config) {
+  MP_REQUIRE(m >= 1, "need at least one key value");
+  const std::size_t n = keys.size();
+  PramSortResult result;
+
+  // Step 1: MP(1, key, +).
+  const std::vector<word_t> ones(n, 1);
+  const std::vector<label_t> key_labels(keys.begin(), keys.end());
+  auto step1 = run_multiprefix_pram(ones, key_labels, m, RowShape::square(n), config);
+  for (auto& p : step1.phases) {
+    p.name = "SORT1-" + p.name;
+    result.phases.push_back(p);
+  }
+
+  // Step 2: MP(bucket, 0, +) — all labels equal: the bucket prefix sum.
+  const std::vector<label_t> zero_labels(m, 0);
+  auto step2 =
+      run_multiprefix_pram(step1.reduction, zero_labels, 1, RowShape::square(m), config);
+  for (auto& p : step2.phases) {
+    p.name = "SORT2-" + p.name;
+    result.phases.push_back(p);
+  }
+
+  // Step 3: rank[i] = prefix[i] + cumulative[key[i]] — one pardo over the
+  // elements, EREW (reads of cumulative[key[i]] may repeat across steps but
+  // each element owns its rank cell; concurrent reads of the same bucket
+  // within a step are CREW — the paper's model allows concurrent reads).
+  const std::size_t kKey = 0;            // key[n]
+  const std::size_t kPrefix = n;         // step-1 prefix[n]
+  const std::size_t kCum = 2 * n;        // step-2 prefix over buckets [m]
+  const std::size_t kRank = 2 * n + m;   // output [n]
+  Machine::Config c3 = config;
+  c3.processors = std::max<std::size_t>(1, RowShape::square(n).row_len);
+  c3.memory_words = kRank + n;
+  Machine machine(c3);
+  for (std::size_t i = 0; i < n; ++i) {
+    machine.poke(static_cast<addr_t>(kKey + i), keys[i]);
+    machine.poke(static_cast<addr_t>(kPrefix + i), step1.prefix[i]);
+  }
+  for (std::size_t b = 0; b < m; ++b)
+    machine.poke(static_cast<addr_t>(kCum + b), step2.prefix[b]);
+
+  const std::size_t p = machine.processors();
+  for (std::size_t base = 0; base < n; base += p) {
+    const std::size_t active = std::min(p, n - base);
+    machine.step(active, [&](Processor& proc) {
+      const std::size_t i = base + proc.id();
+      const auto key = static_cast<std::size_t>(proc.read(static_cast<addr_t>(kKey + i)));
+      const word_t rank = proc.read(static_cast<addr_t>(kPrefix + i)) +
+                          proc.read(static_cast<addr_t>(kCum + key));
+      proc.write(static_cast<addr_t>(kRank + i), rank);
+    });
+  }
+  const auto& s = machine.stats();
+  std::size_t combine_violations = 0;
+  for (const auto& v : s.violations)
+    combine_violations += v.kind == Violation::Kind::kConcurrentWrite ? 1 : 0;
+  result.phases.push_back({"SORT3-COMBINE", s.steps, s.work, s.read_conflicts,
+                           s.write_conflicts, combine_violations});
+
+  result.ranks.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    result.ranks[i] =
+        static_cast<std::uint32_t>(machine.peek(static_cast<addr_t>(kRank + i)));
+  return result;
+}
+
+}  // namespace mp::pram

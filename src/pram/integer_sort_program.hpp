@@ -1,0 +1,37 @@
+// Ranade's integer sorting algorithm (paper Figure 11) at the PRAM level.
+//
+// Three steps, each expressed with the machinery already proved out:
+//
+//   1. MP(1, key, +)         — multiprefix of all-ones values labelled by
+//                              the keys: rank-within-class + class counts;
+//   2. MP(bucket, 0, +)      — the degenerate all-labels-equal multiprefix
+//                              over the bucket counts, i.e. a prefix sum
+//                              giving the number of smaller keys;
+//   3. rank[i] += cumulative[key[i]] + prefix[i]  — one EREW pardo.
+//
+// Step complexity S = O(√n + √m) on p = max(√n, √m) processors and work
+// W = O(n + m) (§5.1) — both asserted by the tests via the per-phase
+// reports this program returns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/multiprefix_program.hpp"
+
+namespace mp::pram {
+
+struct PramSortResult {
+  std::vector<std::uint32_t> ranks;      // stable 0-based ranks
+  std::vector<PhaseReport> phases;       // all phases of all three steps
+  std::size_t total_steps() const;
+  std::size_t total_work() const;
+};
+
+/// Ranks `keys` (each < m) on PRAM machines configured per `config`
+/// (processors/memory are sized internally per step).
+PramSortResult run_integer_sort_pram(std::span<const std::uint32_t> keys, std::size_t m,
+                                     Machine::Config config = {});
+
+}  // namespace mp::pram

@@ -1,0 +1,160 @@
+#include "pram/machine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mp::pram {
+
+const char* to_string(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kEREW: return "EREW";
+    case AccessMode::kCREW: return "CREW";
+    case AccessMode::kCRCW: return "CRCW";
+  }
+  return "unknown";
+}
+
+const char* to_string(WritePolicy policy) {
+  switch (policy) {
+    case WritePolicy::kArbitrary: return "ARB";
+    case WritePolicy::kPriority: return "PRIORITY";
+    case WritePolicy::kCombinePlus: return "PLUS";
+    case WritePolicy::kCombineMax: return "MAX";
+  }
+  return "unknown";
+}
+
+word_t Processor::read(addr_t addr) { return machine_.do_read(id_, addr); }
+void Processor::write(addr_t addr, word_t value) { machine_.do_write(id_, addr, value); }
+
+Machine::Machine(Config config)
+    : config_(config), memory_(config.memory_words, 0), arb_rng_(config.arbitration_seed) {
+  MP_REQUIRE(config.processors >= 1, "machine needs at least one processor");
+}
+
+word_t Machine::peek(addr_t addr) const {
+  MP_REQUIRE(addr < memory_.size(), "peek out of range");
+  return memory_[addr];
+}
+
+void Machine::poke(addr_t addr, word_t value) {
+  MP_REQUIRE(addr < memory_.size(), "poke out of range");
+  memory_[addr] = value;
+}
+
+word_t Machine::do_read(std::size_t proc, addr_t addr) {
+  (void)proc;
+  MP_REQUIRE(addr < memory_.size(), "read out of range");
+  ++stats_.reads;
+  read_log_.push_back(addr);
+  // Writes are buffered, so memory_ still holds start-of-step values.
+  return memory_[addr];
+}
+
+void Machine::do_write(std::size_t proc, addr_t addr, word_t value) {
+  MP_REQUIRE(addr < memory_.size(), "write out of range");
+  ++stats_.writes;
+  write_log_.push_back({addr, static_cast<std::uint32_t>(proc), value});
+}
+
+void Machine::report(const Violation& v, const char* what) {
+  stats_.violations.push_back(v);
+  if (config_.strict) {
+    throw ViolationError(v, std::string(what) + " at address " + std::to_string(v.addr) +
+                                " in step " + std::to_string(v.step) + " (degree " +
+                                std::to_string(v.degree) + ")");
+  }
+}
+
+void Machine::step(std::size_t active, const std::function<void(Processor&)>& body) {
+  MP_REQUIRE(active <= config_.processors, "more active lanes than processors");
+  read_log_.clear();
+  write_log_.clear();
+
+  for (std::size_t p = 0; p < active; ++p) {
+    Processor proc(*this, p);
+    body(proc);
+  }
+
+  const std::size_t step_index = stats_.steps;
+
+  // Read-conflict accounting (EREW forbids concurrent reads).
+  if (!read_log_.empty()) {
+    std::sort(read_log_.begin(), read_log_.end());
+    for (std::size_t i = 0; i < read_log_.size();) {
+      std::size_t j = i + 1;
+      while (j < read_log_.size() && read_log_[j] == read_log_[i]) ++j;
+      if (j - i > 1) {
+        ++stats_.read_conflicts;
+        if (config_.mode == AccessMode::kEREW) {
+          report({Violation::Kind::kConcurrentRead, step_index, read_log_[i], j - i},
+                 "concurrent read under EREW");
+        }
+      }
+      i = j;
+    }
+  }
+
+  commit_writes();
+  ++stats_.steps;
+  stats_.work += active;
+}
+
+void Machine::commit_writes() {
+  if (write_log_.empty()) return;
+  // Stable grouping by address, preserving processor order within a group.
+  std::stable_sort(write_log_.begin(), write_log_.end(),
+                   [](const PendingWrite& a, const PendingWrite& b) { return a.addr < b.addr; });
+
+  const std::size_t step_index = stats_.steps;
+  for (std::size_t i = 0; i < write_log_.size();) {
+    std::size_t j = i + 1;
+    while (j < write_log_.size() && write_log_[j].addr == write_log_[i].addr) ++j;
+    const std::size_t degree = j - i;
+    const addr_t addr = write_log_[i].addr;
+
+    if (degree > 1) {
+      ++stats_.write_conflicts;
+      stats_.max_write_fanin = std::max(stats_.max_write_fanin, degree);
+      if (config_.mode != AccessMode::kCRCW) {
+        report({Violation::Kind::kConcurrentWrite, step_index, addr, degree},
+               "concurrent write under exclusive-write mode");
+      }
+    }
+
+    switch (config_.policy) {
+      case WritePolicy::kArbitrary:
+        memory_[addr] = write_log_[i + arb_rng_.below(degree)].value;
+        break;
+      case WritePolicy::kPriority: {
+        // Lowest processor id wins; entries within a group keep processor
+        // submission order (stable sort), but a processor may legally write
+        // the same cell only once per step, so take the smallest id.
+        std::size_t best = i;
+        for (std::size_t k = i + 1; k < j; ++k)
+          if (write_log_[k].proc < write_log_[best].proc) best = k;
+        memory_[addr] = write_log_[best].value;
+        break;
+      }
+      case WritePolicy::kCombinePlus: {
+        // A combining write *replaces* the cell with the sum of the values
+        // written this step (CLR's CRCW-PLUS definition); it does not add to
+        // the previous contents.
+        word_t acc = 0;
+        for (std::size_t k = i; k < j; ++k) acc += write_log_[k].value;
+        memory_[addr] = acc;
+        break;
+      }
+      case WritePolicy::kCombineMax: {
+        word_t acc = write_log_[i].value;
+        for (std::size_t k = i + 1; k < j; ++k) acc = std::max(acc, write_log_[k].value);
+        memory_[addr] = acc;
+        break;
+      }
+    }
+    i = j;
+  }
+}
+
+}  // namespace mp::pram

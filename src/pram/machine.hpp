@@ -1,0 +1,153 @@
+// A synchronous PRAM simulator with conflict detection.
+//
+// The paper's algorithm is stated for a CRCW-ARB PRAM: in each synchronous
+// step every active processor reads (seeing the memory as of the beginning
+// of the step), computes, and writes; when several processors write the same
+// cell, an ARBITRARY one succeeds. The paper's central structural claim
+// (§2.2/§3.1) is that only the SPINETREE phase needs this power — every later
+// phase is EREW. This simulator exists to make those claims *executable*:
+//
+//   * AccessMode selects how much concurrency is legal; illegal concurrent
+//     reads/writes are recorded as violations (or thrown in strict mode), so
+//     tests can assert "phase 1 violates EREW, phases 2–4 do not".
+//   * WritePolicy::kArbitrary picks the winning writer with a seeded RNG.
+//     Sweeping seeds gives an adversarial arbiter: the algorithm must be
+//     correct for every choice, and the tests check exactly that.
+//   * WritePolicy::kCombinePlus/kCombineMax implement the CRCW-PLUS model
+//     used as the reference for the §1.2 simulation theorem.
+//   * Step and work counters make the S = O(√n), W = O(n) bounds of §3
+//     measurable.
+//
+// The simulator is sequential under the hood (simulation, not speedup); the
+// real parallel implementations live in core/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mp::pram {
+
+using word_t = std::int64_t;
+using addr_t = std::uint32_t;
+
+enum class AccessMode : std::uint8_t {
+  kEREW,  // exclusive read, exclusive write
+  kCREW,  // concurrent read, exclusive write
+  kCRCW,  // concurrent read, concurrent write (resolved by WritePolicy)
+};
+
+enum class WritePolicy : std::uint8_t {
+  kArbitrary,    // an arbitrary writer succeeds (seeded; the paper's model)
+  kPriority,     // the lowest-numbered processor succeeds
+  kCombinePlus,  // values are summed (CRCW-PLUS PRAM, [CLR89 p.690])
+  kCombineMax,   // values are max-combined
+};
+
+const char* to_string(AccessMode mode);
+const char* to_string(WritePolicy policy);
+
+/// A recorded access-model violation (e.g. a concurrent write under EREW).
+struct Violation {
+  enum class Kind : std::uint8_t { kConcurrentRead, kConcurrentWrite };
+  Kind kind;
+  std::size_t step;    // step index at which it occurred
+  addr_t addr;         // contended address
+  std::size_t degree;  // number of processors involved
+};
+
+/// Thrown in strict mode when a violation occurs.
+class ViolationError : public std::runtime_error {
+ public:
+  ViolationError(const Violation& v, std::string what)
+      : std::runtime_error(std::move(what)), violation(v) {}
+  Violation violation;
+};
+
+class Machine;
+
+/// Per-processor handle passed to the step body. Reads observe the memory
+/// as of the start of the step; writes are buffered and committed when the
+/// step ends — synchronous PRAM semantics.
+class Processor {
+ public:
+  std::size_t id() const { return id_; }
+  word_t read(addr_t addr);
+  void write(addr_t addr, word_t value);
+
+ private:
+  friend class Machine;
+  Processor(Machine& machine, std::size_t id) : machine_(machine), id_(id) {}
+  Machine& machine_;
+  std::size_t id_;
+};
+
+class Machine {
+ public:
+  struct Config {
+    std::size_t processors = 1;
+    std::size_t memory_words = 0;
+    AccessMode mode = AccessMode::kCRCW;
+    WritePolicy policy = WritePolicy::kArbitrary;
+    std::uint64_t arbitration_seed = 0;  // varies the ARB winner choice
+    bool strict = false;                 // throw ViolationError on violation
+  };
+
+  struct Stats {
+    std::size_t steps = 0;          // synchronous steps executed
+    std::size_t work = 0;           // sum over steps of active processors
+    std::size_t reads = 0;          // individual read accesses
+    std::size_t writes = 0;         // individual write accesses
+    std::size_t read_conflicts = 0;   // addresses read by >1 proc in a step
+    std::size_t write_conflicts = 0;  // addresses written by >1 proc in a step
+    std::size_t max_write_fanin = 0;  // largest single-step write contention
+    std::vector<Violation> violations;
+  };
+
+  explicit Machine(Config config);
+
+  std::size_t processors() const { return config_.processors; }
+  std::size_t memory_words() const { return memory_.size(); }
+  const Config& config() const { return config_; }
+
+  /// Direct memory access for loading inputs / reading results. These do not
+  /// count as PRAM steps.
+  word_t peek(addr_t addr) const;
+  void poke(addr_t addr, word_t value);
+  std::span<const word_t> memory() const { return memory_; }
+
+  /// Executes one synchronous step on processors [0, active). `active` must
+  /// not exceed processors(). The body may call read/write on its Processor;
+  /// writes commit after every processor has run.
+  void step(std::size_t active, const std::function<void(Processor&)>& body);
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  friend class Processor;
+  word_t do_read(std::size_t proc, addr_t addr);
+  void do_write(std::size_t proc, addr_t addr, word_t value);
+  void commit_writes();
+  void report(const Violation& v, const char* what);
+
+  struct PendingWrite {
+    addr_t addr;
+    std::uint32_t proc;
+    word_t value;
+  };
+
+  Config config_;
+  std::vector<word_t> memory_;
+  std::vector<addr_t> read_log_;        // addresses read in the current step
+  std::vector<PendingWrite> write_log_; // writes buffered in the current step
+  Xoshiro256 arb_rng_;
+  Stats stats_;
+};
+
+}  // namespace mp::pram

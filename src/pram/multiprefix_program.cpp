@@ -1,0 +1,203 @@
+#include "pram/multiprefix_program.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mp::pram {
+
+std::size_t PramMultiprefixResult::total_steps() const {
+  std::size_t s = 0;
+  for (const auto& p : phases) s += p.steps;
+  return s;
+}
+
+std::size_t PramMultiprefixResult::total_work() const {
+  std::size_t w = 0;
+  for (const auto& p : phases) w += p.work;
+  return w;
+}
+
+const PhaseReport& PramMultiprefixResult::phase(const std::string& name) const {
+  for (const auto& p : phases)
+    if (p.name == name) return p;
+  throw std::invalid_argument("no such phase: " + name);
+}
+
+namespace {
+
+/// Collects the delta of machine stats over a phase.
+class PhaseScope {
+ public:
+  PhaseScope(Machine& machine, std::vector<PhaseReport>& out, std::string name)
+      : machine_(machine), out_(out), name_(std::move(name)), before_(machine.stats()) {}
+  ~PhaseScope() {
+    const auto& after = machine_.stats();
+    out_.push_back({name_, after.steps - before_.steps, after.work - before_.work,
+                    after.read_conflicts - before_.read_conflicts,
+                    after.write_conflicts - before_.write_conflicts,
+                    after.violations.size() - before_.violations.size()});
+  }
+
+ private:
+  Machine& machine_;
+  std::vector<PhaseReport>& out_;
+  std::string name_;
+  Machine::Stats before_;
+};
+
+}  // namespace
+
+PramMultiprefixResult run_multiprefix_pram(std::span<const word_t> values,
+                                           std::span<const label_t> labels, std::size_t m,
+                                           RowShape shape, Machine::Config config) {
+  MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
+  MP_REQUIRE(m >= 1, "need at least one bucket");
+  const std::size_t n = values.size();
+  const std::size_t L = shape.row_len;
+  const std::size_t rows = shape.rows;
+  MP_REQUIRE(rows * L >= n, "grid does not cover all elements");
+
+  // Memory map. Combined bucket/element index space for the spinerec fields,
+  // pivot at m (Figure 8).
+  const std::size_t kValue = 0;           // value[n]
+  const std::size_t kLabel = kValue + n;  // label[n]
+  const std::size_t kMulti = kLabel + n;  // multi[n]
+  const std::size_t kRed = kMulti + n;    // reduction[m]
+  const std::size_t kSpine = kRed + m;    // spine[m + n]
+  const std::size_t kRowsum = kSpine + m + n;
+  const std::size_t kSpinesum = kRowsum + m + n;
+  const std::size_t kIsSpine = kSpinesum + m + n;
+  const std::size_t total_words = kIsSpine + m + n;
+
+  config.processors = std::max<std::size_t>({L, rows, 1});
+  config.memory_words = total_words;
+  Machine machine(config);
+  const std::size_t p = machine.processors();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    machine.poke(static_cast<addr_t>(kValue + i), values[i]);
+    MP_REQUIRE(labels[i] < m, "label out of range");
+    machine.poke(static_cast<addr_t>(kLabel + i), static_cast<word_t>(labels[i]));
+  }
+
+  PramMultiprefixResult result;
+  auto A = [](std::size_t a) { return static_cast<addr_t>(a); };
+
+  // ---- INITIALIZATION (Figure 3): clear temporaries, point buckets at
+  // themselves. One pardo over the m + n combined cells, simulated in
+  // ceil((m+n)/p) machine steps.
+  {
+    PhaseScope scope(machine, result.phases, "INIT");
+    for (std::size_t base = 0; base < m + n; base += p) {
+      const std::size_t active = std::min(p, m + n - base);
+      machine.step(active, [&](Processor& proc) {
+        const std::size_t c = base + proc.id();
+        // Buckets point at themselves; element spines are cleared (they are
+        // overwritten by SPINETREE before any use).
+        proc.write(A(kSpine + c), c < m ? static_cast<word_t>(c) : 0);
+        proc.write(A(kRowsum + c), 0);
+        proc.write(A(kSpinesum + c), 0);
+        proc.write(A(kIsSpine + c), 0);
+      });
+    }
+  }
+
+  // ---- SPINETREE (Figure 4): rows from top to bottom; one step per row.
+  // Each element reads its bucket's spine (concurrent read) and overwrites
+  // the bucket with its own combined index (arbitrary concurrent write).
+  {
+    PhaseScope scope(machine, result.phases, "SPINETREE");
+    for (std::size_t r = rows; r-- > 0;) {
+      const std::size_t lo = r * L;
+      const std::size_t hi = std::min(lo + L, n);
+      if (lo >= hi) continue;
+      machine.step(hi - lo, [&](Processor& proc) {
+        const std::size_t i = lo + proc.id();
+        const auto label = static_cast<std::size_t>(proc.read(A(kLabel + i)));
+        const word_t bucket_spine = proc.read(A(kSpine + label));
+        proc.write(A(kSpine + m + i), bucket_spine);
+        proc.write(A(kSpine + label), static_cast<word_t>(m + i));
+      });
+    }
+  }
+
+  // ---- ROWSUMS: columns left to right; one step per column. Each element
+  // folds its value into its parent's rowsum and flags the parent as a
+  // spine accumulator. Parents within a column are distinct (Theorem 1), so
+  // this phase is EREW.
+  {
+    PhaseScope scope(machine, result.phases, "ROWSUMS");
+    for (std::size_t c = 0; c < L && c < n; ++c) {
+      const std::size_t active = (n - c + L - 1) / L;
+      machine.step(active, [&](Processor& proc) {
+        const std::size_t i = proc.id() * L + c;
+        const auto s = static_cast<std::size_t>(proc.read(A(kSpine + m + i)));
+        const word_t v = proc.read(A(kValue + i));
+        const word_t acc = proc.read(A(kRowsum + s));
+        proc.write(A(kRowsum + s), acc + v);
+        if (s >= m) proc.write(A(kIsSpine + s), 1);
+      });
+    }
+  }
+
+  // ---- SPINESUMS: rows bottom to top; one step per row. Spine elements
+  // forward spinesum + rowsum to their parent — at most one spine element
+  // per class per row (Theorem 2), so this phase is EREW.
+  {
+    PhaseScope scope(machine, result.phases, "SPINESUMS");
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t lo = r * L;
+      const std::size_t hi = std::min(lo + L, n);
+      if (lo >= hi) continue;
+      machine.step(hi - lo, [&](Processor& proc) {
+        const std::size_t i = lo + proc.id();
+        if (proc.read(A(kIsSpine + m + i)) == 0) return;
+        const auto parent = static_cast<std::size_t>(proc.read(A(kSpine + m + i)));
+        const word_t rowsum = proc.read(A(kRowsum + m + i));
+        const word_t spinesum = proc.read(A(kSpinesum + m + i));
+        proc.write(A(kSpinesum + parent), spinesum + rowsum);
+      });
+    }
+  }
+
+  // ---- REDUCTIONS (§4.2): reduction[b] = spinesum[b] + rowsum[b].
+  {
+    PhaseScope scope(machine, result.phases, "REDUCTIONS");
+    for (std::size_t base = 0; base < m; base += p) {
+      const std::size_t active = std::min(p, m - base);
+      machine.step(active, [&](Processor& proc) {
+        const std::size_t b = base + proc.id();
+        proc.write(A(kRed + b), proc.read(A(kSpinesum + b)) + proc.read(A(kRowsum + b)));
+      });
+    }
+  }
+
+  // ---- MULTISUMS: columns left to right; one step per column. Each element
+  // reads its parent's spinesum as its multiprefix value, then increments
+  // the parent for the next same-class element. EREW by Theorem 1.
+  {
+    PhaseScope scope(machine, result.phases, "MULTISUMS");
+    for (std::size_t c = 0; c < L && c < n; ++c) {
+      const std::size_t active = (n - c + L - 1) / L;
+      machine.step(active, [&](Processor& proc) {
+        const std::size_t i = proc.id() * L + c;
+        const auto s = static_cast<std::size_t>(proc.read(A(kSpine + m + i)));
+        const word_t spinesum = proc.read(A(kSpinesum + s));
+        const word_t v = proc.read(A(kValue + i));
+        proc.write(A(kMulti + i), spinesum);
+        proc.write(A(kSpinesum + s), spinesum + v);
+      });
+    }
+  }
+
+  result.prefix.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.prefix[i] = machine.peek(A(kMulti + i));
+  result.reduction.resize(m);
+  for (std::size_t b = 0; b < m; ++b) result.reduction[b] = machine.peek(A(kRed + b));
+  result.processors = p;
+  result.memory_words = total_words;
+  return result;
+}
+
+}  // namespace mp::pram

@@ -1,0 +1,59 @@
+// The multiprefix algorithm as a synchronous PRAM program (paper Figures
+// 3–4), executed on pram::Machine.
+//
+// This is the *model-level* implementation: it exists to make the paper's
+// theoretical claims measurable, not to be fast. Running it yields
+//
+//   * the result (checked against the serial reference),
+//   * per-phase step and work counts — the S = O(√n), W = O(n) bounds of
+//     §3 become assertable inequalities,
+//   * per-phase access-conflict counts — the claim that only SPINETREE
+//     needs the concurrent read/write power of CRCW-ARB, and that ROWSUMS /
+//     SPINESUMS / MULTISUMS are EREW, is verified by running the machine in
+//     EREW mode and asserting violations appear in phase 1 only.
+//
+// The machine word is int64 and the operator is PLUS; operator generality
+// lives in core/ (this program validates the schedule, not the algebra).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/labels.hpp"
+#include "core/row_shape.hpp"
+#include "pram/machine.hpp"
+
+namespace mp::pram {
+
+struct PhaseReport {
+  std::string name;
+  std::size_t steps = 0;
+  std::size_t work = 0;
+  std::size_t read_conflicts = 0;
+  std::size_t write_conflicts = 0;
+  std::size_t violations = 0;
+};
+
+struct PramMultiprefixResult {
+  std::vector<word_t> prefix;     // size n
+  std::vector<word_t> reduction;  // size m
+  std::vector<PhaseReport> phases;
+  std::size_t processors = 0;
+  std::size_t memory_words = 0;
+
+  std::size_t total_steps() const;
+  std::size_t total_work() const;
+  const PhaseReport& phase(const std::string& name) const;
+};
+
+/// Runs multiprefix-PLUS over (values, labels) on a machine configured per
+/// `config` (processors/memory_words are computed internally and the fields
+/// in `config` are ignored). The grid uses `shape`; the machine gets
+/// p = max(row_len, rows) processors, one per lane of the widest pardo.
+PramMultiprefixResult run_multiprefix_pram(std::span<const word_t> values,
+                                           std::span<const label_t> labels, std::size_t m,
+                                           RowShape shape, Machine::Config config = {});
+
+}  // namespace mp::pram

@@ -1,0 +1,91 @@
+#include "pram/plus_simulation.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/executor.hpp"
+#include "core/spinetree_plan.hpp"
+
+namespace mp::pram {
+
+namespace {
+
+/// Extracts (labels, values) views over the requests. Addresses index the
+/// full memory, so m = memory.size().
+struct RequestArrays {
+  std::vector<label_t> labels;
+  std::vector<word_t> values;
+};
+
+RequestArrays split(std::span<const WriteRequest> requests, std::size_t memory_words) {
+  RequestArrays out;
+  out.labels.reserve(requests.size());
+  out.values.reserve(requests.size());
+  for (const auto& r : requests) {
+    MP_REQUIRE(r.addr < memory_words, "write request out of memory range");
+    out.labels.push_back(r.addr);
+    out.values.push_back(r.value);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<addr_t> simulate_combining_write(std::span<const WriteRequest> requests,
+                                             std::span<word_t> memory) {
+  if (requests.empty()) return {};
+  const auto arrays = split(requests, memory.size());
+
+  SpinetreePlan plan(arrays.labels, memory.size());
+  SpinetreeExecutor<word_t, Plus> exec(plan);
+  std::vector<word_t> reduction(memory.size());
+  exec.reduce(std::span<const word_t>(arrays.values), std::span<word_t>(reduction));
+
+  // Commit only the touched addresses (a combining write replaces the cell).
+  std::vector<addr_t> touched(arrays.labels.begin(), arrays.labels.end());
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const addr_t a : touched) memory[a] = reduction[a];
+  return touched;
+}
+
+std::vector<word_t> simulate_fetch_and_add(std::span<const WriteRequest> requests,
+                                           std::span<word_t> memory) {
+  if (requests.empty()) return {};
+  const auto arrays = split(requests, memory.size());
+
+  SpinetreePlan plan(arrays.labels, memory.size());
+  SpinetreeExecutor<word_t, Plus> exec(plan);
+  std::vector<word_t> prefix(requests.size());
+  std::vector<word_t> reduction(memory.size());
+  exec.execute(std::span<const word_t>(arrays.values), std::span<word_t>(prefix),
+               std::span<word_t>(reduction));
+
+  // fetched[i] = old cell value + sum of earlier same-address requests.
+  std::vector<word_t> fetched(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    fetched[i] = memory[requests[i].addr] + prefix[i];
+
+  std::vector<addr_t> touched(arrays.labels.begin(), arrays.labels.end());
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const addr_t a : touched) memory[a] += reduction[a];
+  return fetched;
+}
+
+void native_combining_write(std::span<const WriteRequest> requests, std::span<word_t> memory) {
+  Machine::Config config;
+  config.processors = std::max<std::size_t>(requests.size(), 1);
+  config.memory_words = memory.size();
+  config.mode = AccessMode::kCRCW;
+  config.policy = WritePolicy::kCombinePlus;
+  Machine machine(config);
+  for (std::size_t a = 0; a < memory.size(); ++a)
+    machine.poke(static_cast<addr_t>(a), memory[a]);
+  machine.step(requests.size(),
+               [&](Processor& proc) { proc.write(requests[proc.id()].addr, requests[proc.id()].value); });
+  for (std::size_t a = 0; a < memory.size(); ++a)
+    memory[a] = machine.peek(static_cast<addr_t>(a));
+}
+
+}  // namespace mp::pram

@@ -1,0 +1,45 @@
+// Simulation of CRCW-PLUS (combining-write) memory on weaker machines via
+// multiprefix — the §1.2 theoretical result made executable.
+//
+// A concurrent combining write is a batch of (address, value) requests where
+// every address ends up holding the PLUS-combination of the values written
+// to it. On a CRCW-ARB machine this is exactly a multireduce with the
+// addresses as labels; the paper shows the simulation costs only constant
+// slowdown once n ≥ p². The fetch-and-add flavour additionally returns, for
+// each request, the value the cell held just before that request in request
+// order — exactly the multiprefix sums shifted by the old memory contents —
+// which recovers the NYU Ultracomputer's fetch-and-op primitive (§1), made
+// deterministic by vector order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pram/machine.hpp"
+
+namespace mp::pram {
+
+struct WriteRequest {
+  addr_t addr;
+  word_t value;
+};
+
+/// Applies CRCW-PLUS semantics for one synchronous step of write requests:
+/// each written cell is *replaced* by the PLUS-combination of the values
+/// written to it; untouched cells keep their contents. Implemented with the
+/// multiprefix (multireduce) algorithm, i.e. using only ARB-strength
+/// primitives. Returns the list of distinct addresses written.
+std::vector<addr_t> simulate_combining_write(std::span<const WriteRequest> requests,
+                                             std::span<word_t> memory);
+
+/// Fetch-and-add semantics: cell contents are *incremented* by the combined
+/// values, and request i receives the cell value as of just before it in
+/// request order. Returns the fetched values (one per request).
+std::vector<word_t> simulate_fetch_and_add(std::span<const WriteRequest> requests,
+                                           std::span<word_t> memory);
+
+/// Reference executor: runs the same requests as one step of a native
+/// CRCW-PLUS pram::Machine (used by tests to validate the simulation).
+void native_combining_write(std::span<const WriteRequest> requests, std::span<word_t> memory);
+
+}  // namespace mp::pram

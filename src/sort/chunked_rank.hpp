@@ -1,0 +1,47 @@
+// Threaded integer ranking via the chunked two-level multiprefix — the
+// shared-memory-multiprocessor analogue of the paper's Figure 11.
+//
+// The algorithm is the same three steps as sort/mp_rank_sort.hpp, with the
+// chunked multiprefix (core/chunked.hpp) supplying the enumerate step and
+// the partition-method scan (§5.1.1) supplying the bucket prefix. On P
+// cores the work is O(n + P·m), and every step is a parallel loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/chunked.hpp"
+#include "core/scan.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp::sort {
+
+/// Stable 0-based ranks of `keys` (each < m) computed on `pool`.
+inline std::vector<std::uint32_t> chunked_sort_ranks(std::span<const std::uint32_t> keys,
+                                                     std::size_t m, ThreadPool& pool) {
+  const std::size_t n = keys.size();
+  if (n == 0) return {};
+
+  // Step 1: chunked multiprefix of all-ones values over the keys.
+  const std::vector<std::uint32_t> ones(n, 1);
+  auto result = multiprefix_chunked<std::uint32_t>(ones, keys, m, pool);
+
+  // Step 2: exclusive scan of the bucket counts by the partition method.
+  exclusive_scan_partition<std::uint32_t>(std::span<std::uint32_t>(result.reduction), pool);
+
+  // Step 3: rank = equal-key prefix + smaller-key total.
+  std::vector<std::uint32_t> rank(std::move(result.prefix));
+  parallel_for(pool, 0, n,
+               [&](std::size_t i) { rank[i] += result.reduction[keys[i]]; });
+  return rank;
+}
+
+inline std::vector<std::uint32_t> chunked_sort_ranks(std::span<const std::uint32_t> keys,
+                                                     std::size_t m) {
+  return chunked_sort_ranks(keys, m, ThreadPool::global());
+}
+
+}  // namespace mp::sort

@@ -1,0 +1,60 @@
+// Counting/bucket sort — the "partially vectorized FORTRAN bucket sort"
+// baseline of Table 1.
+//
+// The classic counting sort ranks n integer keys in [0, m): histogram the
+// keys, exclusive-scan the bucket counts, then assign each key its bucket
+// cursor. The histogram and cursor loops carry a loop-carried dependence
+// through the buckets — the very loop the paper notes "previous attempts to
+// vectorize ... have relied on sophisticated compiler technology" (§5.1.1)
+// — while the scan vectorizes fine; hence "partially vectorized".
+//
+// Ranks are 0-based positions in the stable sorted order, matching the
+// multiprefix rank sort so the two are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mp::sort {
+
+/// Stable 0-based ranks of `keys` (each < m). rank[i] = final position of
+/// key i in the sorted order.
+inline std::vector<std::uint32_t> counting_sort_ranks(std::span<const std::uint32_t> keys,
+                                                      std::size_t m) {
+  std::vector<std::uint32_t> bucket(m + 1, 0);
+  for (const auto k : keys) {
+    MP_REQUIRE(k < m, "key out of range");
+    ++bucket[k + 1];  // histogram (scalar recurrence through buckets)
+  }
+  for (std::size_t k = 0; k < m; ++k) bucket[k + 1] += bucket[k];  // scan (vectorizable)
+  std::vector<std::uint32_t> rank(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) rank[i] = bucket[keys[i]]++;  // cursor loop
+  return rank;
+}
+
+/// Full stable counting sort (returns the sorted keys).
+inline std::vector<std::uint32_t> counting_sort(std::span<const std::uint32_t> keys,
+                                                std::size_t m) {
+  const auto rank = counting_sort_ranks(keys, m);
+  std::vector<std::uint32_t> sorted(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) sorted[rank[i]] = keys[i];
+  return sorted;
+}
+
+/// Scatters each element to its rank: out[rank[i]] = in[i]. Shared helper
+/// for turning any ranking into the sorted permutation.
+template <class T>
+std::vector<T> apply_ranks(std::span<const T> in, std::span<const std::uint32_t> ranks) {
+  MP_REQUIRE(in.size() == ranks.size(), "ranks size mismatch");
+  std::vector<T> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    MP_REQUIRE(ranks[i] < out.size(), "rank out of range");
+    out[ranks[i]] = in[i];
+  }
+  return out;
+}
+
+}  // namespace mp::sort

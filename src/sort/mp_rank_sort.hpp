@@ -1,0 +1,80 @@
+// Integer sorting via multiprefix — Ranade's algorithm (paper Figure 11).
+//
+// The rank of a key is the count of keys that precede it in stable sorted
+// order, computed in three steps:
+//
+//   1. multiprefix-PLUS over all-ones values with the keys as labels
+//      ("enumerate"): rank[i] = number of *earlier equal* keys; the buckets
+//      receive the per-key counts. Because the values are the constant 1,
+//      the executor's enumerate fast path skips every value-vector access —
+//      the same compiler simplification the paper exploits (§5.1.1).
+//   2. an exclusive prefix sum over the bucket counts gives, for each key
+//      value, the number of *smaller* keys. The paper solves this recurrence
+//      with the classic "partition method"; we use the vm scan primitive.
+//   3. rank[i] += cumulative[key[i]].
+//
+// The ranking is stable because multiprefix computes its sums in vector
+// order. Step complexity S = O(√n + √m), work W = O(n + m) — the parallel
+// counting sort.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/executor.hpp"
+#include "core/spinetree_plan.hpp"
+#include "vm/vector_ops.hpp"
+
+namespace mp::sort {
+
+/// Reusable ranker: the spinetree plan is rebuilt per call (keys change), but
+/// the scratch buffers persist across calls, which matters in the NAS loop.
+class MultiprefixRanker {
+ public:
+  explicit MultiprefixRanker(std::size_t m) : m_(m), cumulative_(m) {}
+
+  /// Stable 0-based ranks of `keys` (each < m_).
+  std::vector<std::uint32_t> ranks(std::span<const std::uint32_t> keys,
+                                   vm::Tracer* tracer = nullptr) {
+    const std::size_t n = keys.size();
+    std::vector<std::uint32_t> rank(n);
+    if (n == 0) return rank;
+
+    // Step 1: MP(1, key, +) — counts of preceding equal keys + bucket totals.
+    SpinetreePlan::Options options;
+    options.tracer = tracer;
+    SpinetreePlan plan(keys, m_, RowShape::auto_shape(n), options);
+    SpinetreeExecutor<std::uint32_t, Plus> exec(plan);
+    SpinetreeExecutor<std::uint32_t, Plus>::Options exec_options;
+    exec_options.tracer = tracer;
+    exec.enumerate(std::span<std::uint32_t>(rank), std::span<std::uint32_t>(cumulative_),
+                   exec_options);
+
+    // Step 2: cumulative[k] = number of keys smaller than k (the second,
+    // degenerate multiprefix of Figure 11 — a plain exclusive scan).
+    vm::exclusive_scan<std::uint32_t>(std::span<std::uint32_t>(cumulative_), 0u,
+                                      [](std::uint32_t a, std::uint32_t b) { return a + b; },
+                                      tracer);
+
+    // Step 3: final rank = equal-key prefix + smaller-key total.
+    for (std::size_t i = 0; i < n; ++i) rank[i] += cumulative_[keys[i]];
+    if (tracer) tracer->record(vm::OpKind::kGather, n);
+    return rank;
+  }
+
+  std::size_t key_range() const { return m_; }
+
+ private:
+  std::size_t m_;
+  std::vector<std::uint32_t> cumulative_;
+};
+
+/// One-shot convenience wrapper.
+inline std::vector<std::uint32_t> multiprefix_sort_ranks(std::span<const std::uint32_t> keys,
+                                                         std::size_t m) {
+  return MultiprefixRanker(m).ranks(keys);
+}
+
+}  // namespace mp::sort

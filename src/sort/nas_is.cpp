@@ -1,0 +1,77 @@
+#include "sort/nas_is.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/nas_random.hpp"
+#include "common/timer.hpp"
+
+namespace mp::sort {
+
+NasIsSpec NasIsSpec::class_s() { return {1u << 16, 1u << 11, 10, 314159265.0, "S"}; }
+NasIsSpec NasIsSpec::class_w() { return {1u << 20, 1u << 16, 10, 314159265.0, "W"}; }
+NasIsSpec NasIsSpec::class_a() { return {1u << 23, 1u << 19, 10, 314159265.0, "A"}; }
+
+NasIsSpec NasIsSpec::scaled(std::size_t n, std::uint32_t b_max) {
+  NasIsSpec spec;
+  spec.n = n;
+  spec.b_max = b_max;
+  spec.name = "scaled";
+  return spec;
+}
+
+NasIsBenchmark::NasIsBenchmark(NasIsSpec spec) : spec_(std::move(spec)) {
+  MP_REQUIRE(spec_.n > static_cast<std::size_t>(2 * spec_.iterations),
+             "problem too small for the iteration key tweaks");
+  Timer t;
+  keys_ = nas::generate_is_keys(spec_.n, spec_.b_max, spec_.seed);
+  keygen_seconds_ = t.seconds();
+}
+
+NasIsOutcome NasIsBenchmark::run(const RankFn& ranker) const {
+  NasIsOutcome outcome;
+  outcome.keygen_seconds = keygen_seconds_;
+
+  std::vector<std::uint32_t> keys(keys_);
+  std::vector<std::uint32_t> ranks;
+  for (int iter = 1; iter <= spec_.iterations; ++iter) {
+    // NPB key tweaks: force two keys to iteration-dependent values so the
+    // ranking cannot be reused between iterations.
+    keys[static_cast<std::size_t>(iter)] = static_cast<std::uint32_t>(iter);
+    keys[static_cast<std::size_t>(iter) + static_cast<std::size_t>(spec_.iterations)] =
+        spec_.b_max - static_cast<std::uint32_t>(iter);
+
+    Timer t;
+    ranks = ranker(keys, spec_.b_max);
+    outcome.iteration_seconds.push_back(t.seconds());
+    outcome.rank_seconds += outcome.iteration_seconds.back();
+  }
+
+  outcome.verified = verify_stable_ranks(keys, ranks);
+  return outcome;
+}
+
+bool NasIsBenchmark::verify_stable_ranks(std::span<const std::uint32_t> keys,
+                                         std::span<const std::uint32_t> ranks) {
+  const std::size_t n = keys.size();
+  if (ranks.size() != n) return false;
+
+  // inverse[p] = original index of the element ranked p; also proves `ranks`
+  // is a permutation (every slot filled exactly once).
+  std::vector<std::uint32_t> inverse(n, std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ranks[i] >= n || inverse[ranks[i]] != std::numeric_limits<std::uint32_t>::max())
+      return false;
+    inverse[ranks[i]] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t p = 1; p < n; ++p) {
+    const std::uint32_t a = inverse[p - 1];
+    const std::uint32_t b = inverse[p];
+    if (keys[a] > keys[b]) return false;          // sortedness
+    if (keys[a] == keys[b] && a > b) return false;  // stability
+  }
+  return true;
+}
+
+}  // namespace mp::sort

@@ -1,0 +1,84 @@
+// LSD radix sort — our stand-in for the hand-tuned vendor sort of Table 1
+// ("Cray Research Inc. Implementation").
+//
+// Classic least-significant-digit radix sort with a configurable digit
+// width: each pass is a stable counting sort on one digit, ping-ponging
+// between two buffers. For the NAS IS keys (19 significant bits) two 10-bit
+// passes suffice. The rank-producing variant carries the original indices
+// through the passes so it can report stable 0-based ranks, making it
+// interchangeable with the other two rankers in the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mp::sort {
+
+/// Number of radix passes needed to cover values below `m` with
+/// `bits_per_pass`-wide digits.
+inline unsigned radix_passes(std::size_t m, unsigned bits_per_pass) {
+  MP_REQUIRE(bits_per_pass >= 1 && bits_per_pass <= 16, "digit width out of range");
+  unsigned significant = 0;
+  for (std::size_t v = m > 0 ? m - 1 : 0; v != 0; v >>= 1) ++significant;
+  const unsigned passes = (significant + bits_per_pass - 1) / bits_per_pass;
+  return passes == 0 ? 1 : passes;
+}
+
+/// Sorts `keys` (each < m) ascending; stable. Returns the sorted keys.
+inline std::vector<std::uint32_t> radix_sort(std::span<const std::uint32_t> keys, std::size_t m,
+                                             unsigned bits_per_pass = 10) {
+  const unsigned passes = radix_passes(m, bits_per_pass);
+  const std::size_t radix = std::size_t{1} << bits_per_pass;
+  const std::uint32_t mask = static_cast<std::uint32_t>(radix - 1);
+
+  std::vector<std::uint32_t> a(keys.begin(), keys.end());
+  std::vector<std::uint32_t> b(keys.size());
+  std::vector<std::uint32_t> bucket(radix + 1);
+
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    const unsigned shift = pass * bits_per_pass;
+    std::fill(bucket.begin(), bucket.end(), 0);
+    for (const auto k : a) ++bucket[((k >> shift) & mask) + 1];
+    for (std::size_t d = 0; d < radix; ++d) bucket[d + 1] += bucket[d];
+    for (const auto k : a) b[bucket[(k >> shift) & mask]++] = k;
+    a.swap(b);
+  }
+  return a;
+}
+
+/// Stable 0-based ranks via radix sort (carries original indices through
+/// the passes; rank[i] = final position of key i).
+inline std::vector<std::uint32_t> radix_sort_ranks(std::span<const std::uint32_t> keys,
+                                                   std::size_t m, unsigned bits_per_pass = 10) {
+  const unsigned passes = radix_passes(m, bits_per_pass);
+  const std::size_t radix = std::size_t{1} << bits_per_pass;
+  const std::uint32_t mask = static_cast<std::uint32_t>(radix - 1);
+  const std::size_t n = keys.size();
+
+  // idx[p] = original index of the element currently at position p.
+  std::vector<std::uint32_t> idx(n), idx_next(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<std::uint32_t>(i);
+  std::vector<std::uint32_t> bucket(radix + 1);
+
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    const unsigned shift = pass * bits_per_pass;
+    std::fill(bucket.begin(), bucket.end(), 0);
+    for (std::size_t p = 0; p < n; ++p) {
+      MP_REQUIRE(keys[idx[p]] < m, "key out of range");
+      ++bucket[((keys[idx[p]] >> shift) & mask) + 1];
+    }
+    for (std::size_t d = 0; d < radix; ++d) bucket[d + 1] += bucket[d];
+    for (std::size_t p = 0; p < n; ++p)
+      idx_next[bucket[(keys[idx[p]] >> shift) & mask]++] = idx[p];
+    idx.swap(idx_next);
+  }
+
+  std::vector<std::uint32_t> rank(n);
+  for (std::size_t p = 0; p < n; ++p) rank[idx[p]] = static_cast<std::uint32_t>(p);
+  return rank;
+}
+
+}  // namespace mp::sort

@@ -1,0 +1,61 @@
+// Thread-parallel SpMV via the chunked multireduce — the shared-memory
+// multiprocessor rendition of Figure 12.
+//
+// Like MultiprefixSpmv this consumes COO directly and needs no per-matrix
+// preprocessing beyond partitioning; the product loop and the per-chunk
+// accumulation run on a thread pool, and the cross-chunk combine is a
+// parallel per-row reduction (core/chunked.hpp). Included as the modern
+//-threads counterpart in the SpMV ablation family.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/chunked.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sparse/coo.hpp"
+
+namespace mp::sparse {
+
+template <class T>
+class ChunkedSpmv {
+ public:
+  explicit ChunkedSpmv(const Coo<T>& coo, ThreadPool& pool)
+      : rows_(coo.rows),
+        cols_(coo.cols),
+        row_(coo.row),
+        col_(coo.col),
+        val_(coo.val),
+        pool_(&pool),
+        product_(coo.nnz()) {}
+
+  explicit ChunkedSpmv(const Coo<T>& coo) : ChunkedSpmv(coo, ThreadPool::global()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+
+  /// y = A·x.
+  void apply(std::span<const T> x, std::span<T> y) {
+    MP_REQUIRE(x.size() == cols_, "x size mismatch");
+    MP_REQUIRE(y.size() == rows_, "y size mismatch");
+    parallel_for(*pool_, 0, val_.size(),
+                 [&](std::size_t k) { product_[k] = val_[k] * x[col_[k]]; });
+    const auto reduction =
+        multireduce_chunked<T>(product_, row_, rows_, *pool_);
+    for (std::size_t r = 0; r < rows_; ++r) y[r] = reduction[r];
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint32_t> row_;
+  std::vector<std::uint32_t> col_;
+  std::vector<T> val_;
+  ThreadPool* pool_;
+  std::vector<T> product_;
+};
+
+}  // namespace mp::sparse

@@ -1,0 +1,65 @@
+// Coordinate (COO) sparse matrix storage — the natural input format for the
+// multiprefix approach (paper Figure 12: three vectors holding value, row
+// index and column index of each non-zero).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mp::sparse {
+
+template <class T>
+struct Coo {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> row;  // row index of each non-zero
+  std::vector<std::uint32_t> col;  // column index of each non-zero
+  std::vector<T> val;
+
+  std::size_t nnz() const { return val.size(); }
+
+  void push(std::uint32_t r, std::uint32_t c, T v) {
+    MP_REQUIRE(r < rows && c < cols, "entry out of matrix bounds");
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+
+  /// Sorts entries row-major (row, then column), stable in value order.
+  void sort_row_major() {
+    std::vector<std::uint32_t> order(nnz());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return row[a] != row[b] ? row[a] < row[b] : col[a] < col[b];
+    });
+    apply_permutation(order);
+  }
+
+  /// Number of non-zeros in each row.
+  std::vector<std::uint32_t> row_lengths() const {
+    std::vector<std::uint32_t> lens(rows, 0);
+    for (const auto r : row) ++lens[r];
+    return lens;
+  }
+
+ private:
+  void apply_permutation(std::span<const std::uint32_t> order) {
+    std::vector<std::uint32_t> r2(nnz()), c2(nnz());
+    std::vector<T> v2(nnz());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      r2[k] = row[order[k]];
+      c2[k] = col[order[k]];
+      v2[k] = val[order[k]];
+    }
+    row.swap(r2);
+    col.swap(c2);
+    val.swap(v2);
+  }
+};
+
+}  // namespace mp::sparse

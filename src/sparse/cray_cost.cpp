@@ -1,0 +1,74 @@
+#include "sparse/cray_cost.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mp::sparse {
+
+namespace {
+
+// Fitted constants (see header for provenance).
+constexpr double kCsrTeSeconds = 13.4e-9;  // per element, ≈ 2.2 Y-MP clocks
+constexpr double kCsrNHalf = 135.0;
+
+constexpr double kJdTeSeconds = 16.8e-9;  // per element, ≈ 2.8 Y-MP clocks
+constexpr double kJdNHalf = 100.0;
+constexpr double kJdSetupPerNnz = 31.0e-9;
+constexpr double kJdSetupPerRow = 1.15e-6;  // scalar row sort
+
+}  // namespace
+
+SpmvCrayCost csr_cray_cost(std::span<const std::uint32_t> row_lengths) {
+  SpmvCrayCost cost;
+  for (const auto len : row_lengths)
+    cost.eval_seconds += kCsrTeSeconds * (static_cast<double>(len) + kCsrNHalf);
+  return cost;
+}
+
+SpmvCrayCost jd_cray_cost(std::span<const std::uint32_t> row_lengths) {
+  SpmvCrayCost cost;
+  std::size_t nnz = 0;
+  std::uint32_t max_len = 0;
+  for (const auto len : row_lengths) {
+    nnz += len;
+    max_len = std::max(max_len, len);
+  }
+  cost.setup_seconds = kJdSetupPerNnz * static_cast<double>(nnz) +
+                       kJdSetupPerRow * static_cast<double>(row_lengths.size());
+
+  // Diagonal d has as many elements as there are rows with length > d;
+  // Σ_d len_d = nnz, so the evaluation reduces to a per-element term plus a
+  // per-diagonal startup term with num_diagonals = max row length.
+  cost.eval_seconds = kJdTeSeconds * (static_cast<double>(nnz) +
+                                      kJdNHalf * static_cast<double>(max_len));
+  return cost;
+}
+
+SpmvCrayCost mp_cray_cost(std::size_t nnz, std::size_t order, const vm::CrayModel& model) {
+  MP_REQUIRE(nnz > 0 && order > 0, "empty matrix");
+  SpmvCrayCost cost;
+
+  const std::size_t row_len = model.optimal_row_length(nnz);
+  const double rows = static_cast<double>((nnz + row_len - 1) / row_len);
+  const double cols = static_cast<double>(row_len);
+
+  // Setup: bucket initialization plus the SPINETREE row sweep (§5.2.1:
+  // "the setup time is precisely the time spent ... building the spinetree").
+  cost.setup_seconds = (model.vadd.clocks(order) + model.spinetree.clocks(row_len) * rows) *
+                       vm::CrayModel::kClockSeconds;
+
+  // Evaluation: product gather + multiply over nnz, then the multireduce
+  // phases — ROWSUMS (column sweep), SPINESUMS (row sweep), and the bucket
+  // vector-add that replaces MULTISUMS (§4.2).
+  const double product = model.op_params(vm::OpKind::kGather).clocks(nnz) +
+                         model.op_params(vm::OpKind::kElementwise).clocks(nnz);
+  const double rowsums = model.rowsum.clocks(static_cast<std::size_t>(rows)) * cols;
+  const double spinesums = model.spinesum.clocks(row_len) * rows;
+  const double bucket_add = model.vadd.clocks(order);
+  cost.eval_seconds =
+      (product + rowsums + spinesums + bucket_add) * vm::CrayModel::kClockSeconds;
+  return cost;
+}
+
+}  // namespace mp::sparse

@@ -1,0 +1,76 @@
+// Compressed Sparse Row storage and its SpMV kernel — the paper's base case
+// (§5.2: "The Compressed Sparse Row (CSR) storage format is most typically
+// used ... the matrix-vector multiply operation vectorizes completely over
+// each row. However, for very sparse matrices, the row lengths can become
+// quite short" — shorter than the vector half-length, which is exactly why
+// CSR loses on the Y-MP for ρ = 0.001 matrices).
+//
+// The kernel optionally traces one vector operation per row, so the Cray
+// cost model can price it: short rows each pay the n_1/2 startup penalty.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sparse/coo.hpp"
+#include "vm/tracer.hpp"
+
+namespace mp::sparse {
+
+template <class T>
+struct Csr {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> row_ptr;  // size rows + 1
+  std::vector<std::uint32_t> col;      // size nnz
+  std::vector<T> val;                  // size nnz
+
+  std::size_t nnz() const { return val.size(); }
+
+  static Csr from_coo(const Coo<T>& coo) {
+    Csr csr;
+    csr.rows = coo.rows;
+    csr.cols = coo.cols;
+    csr.row_ptr.assign(coo.rows + 1, 0);
+    for (const auto r : coo.row) ++csr.row_ptr[r + 1];
+    for (std::size_t r = 0; r < coo.rows; ++r) csr.row_ptr[r + 1] += csr.row_ptr[r];
+
+    std::vector<std::uint32_t> cursor(csr.row_ptr.begin(), csr.row_ptr.end() - 1);
+    csr.col.resize(coo.nnz());
+    csr.val.resize(coo.nnz());
+    for (std::size_t k = 0; k < coo.nnz(); ++k) {
+      const auto pos = cursor[coo.row[k]]++;
+      csr.col[pos] = coo.col[k];
+      csr.val[pos] = coo.val[k];
+    }
+    return csr;
+  }
+
+  std::vector<std::uint32_t> row_lengths() const {
+    std::vector<std::uint32_t> lens(rows);
+    for (std::size_t r = 0; r < rows; ++r) lens[r] = row_ptr[r + 1] - row_ptr[r];
+    return lens;
+  }
+};
+
+/// y = A·x, row-major: one (short) vector dot-product per row.
+template <class T>
+void csr_spmv(const Csr<T>& a, std::span<const T> x, std::span<T> y,
+              vm::Tracer* tracer = nullptr) {
+  MP_REQUIRE(x.size() == a.cols, "x size mismatch");
+  MP_REQUIRE(y.size() == a.rows, "y size mismatch");
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    T acc{};
+    const std::uint32_t lo = a.row_ptr[r];
+    const std::uint32_t hi = a.row_ptr[r + 1];
+    for (std::uint32_t k = lo; k < hi; ++k) acc += a.val[k] * x[a.col[k]];
+    y[r] = acc;
+    // Each row is one vector operation on the Y-MP; its length is the row
+    // population, which is what makes CSR pay n_1/2 per row.
+    if (tracer) tracer->record(vm::OpKind::kReduce, hi - lo);
+  }
+}
+
+}  // namespace mp::sparse

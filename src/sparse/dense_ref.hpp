@@ -1,0 +1,22 @@
+// Dense reference SpMV used by the tests to validate every sparse kernel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sparse/coo.hpp"
+
+namespace mp::sparse {
+
+/// y = A·x computed directly from the COO triples — O(nnz), no shared
+/// machinery with the optimized kernels.
+template <class T>
+std::vector<T> dense_reference_spmv(const Coo<T>& a, std::span<const T> x) {
+  MP_REQUIRE(x.size() == a.cols, "x size mismatch");
+  std::vector<T> y(a.rows, T{});
+  for (std::size_t k = 0; k < a.nnz(); ++k) y[a.row[k]] += a.val[k] * x[a.col[k]];
+  return y;
+}
+
+}  // namespace mp::sparse

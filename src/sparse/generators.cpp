@@ -1,0 +1,104 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace mp::sparse {
+
+namespace {
+
+double random_value(Xoshiro256& rng) { return rng.uniform() * 2.0 - 1.0; }
+
+std::uint64_t pack(std::uint32_t r, std::uint32_t c) {
+  return (static_cast<std::uint64_t>(r) << 32) | c;
+}
+
+}  // namespace
+
+Coo<double> random_matrix(std::size_t order, double rho, std::uint64_t seed) {
+  MP_REQUIRE(order > 0, "order must be positive");
+  MP_REQUIRE(rho > 0.0 && rho <= 1.0, "density must be in (0, 1]");
+  const auto target =
+      static_cast<std::size_t>(std::llround(rho * static_cast<double>(order) *
+                                            static_cast<double>(order)));
+  MP_REQUIRE(target >= order, "density too low to populate every row");
+
+  Xoshiro256 rng(seed);
+  Coo<double> coo;
+  coo.rows = coo.cols = order;
+
+  std::unordered_set<std::uint64_t> taken;
+  taken.reserve(target * 2);
+
+  // One entry per row first (no empty rows), then fill to the target.
+  for (std::uint32_t r = 0; r < order; ++r) {
+    const auto c = static_cast<std::uint32_t>(rng.below(order));
+    taken.insert(pack(r, c));
+    coo.push(r, c, random_value(rng));
+  }
+  while (coo.nnz() < target) {
+    const auto r = static_cast<std::uint32_t>(rng.below(order));
+    const auto c = static_cast<std::uint32_t>(rng.below(order));
+    if (!taken.insert(pack(r, c)).second) continue;
+    coo.push(r, c, random_value(rng));
+  }
+  coo.sort_row_major();
+  return coo;
+}
+
+Coo<double> circuit_matrix(std::size_t order, double avg_band_nnz, std::size_t dense_rows,
+                           double dense_fill, std::uint64_t seed) {
+  MP_REQUIRE(order > 0, "order must be positive");
+  MP_REQUIRE(avg_band_nnz >= 1.0, "need at least one entry per row");
+  MP_REQUIRE(dense_rows < order, "too many dense rows");
+  MP_REQUIRE(dense_fill > 0.0 && dense_fill <= 1.0, "dense fill must be in (0, 1]");
+
+  Xoshiro256 rng(seed);
+  Coo<double> coo;
+  coo.rows = coo.cols = order;
+  std::unordered_set<std::uint64_t> taken;
+
+  auto add = [&](std::uint32_t r, std::uint32_t c, double v) {
+    if (taken.insert(pack(r, c)).second) coo.push(r, c, v);
+  };
+
+  // Sparse circuit body: the diagonal plus a narrow random band around it
+  // (device stamps couple nearby nodes).
+  const auto extra_per_row = avg_band_nnz - 1.0;  // beyond the diagonal
+  for (std::uint32_t r = 0; r < order; ++r) {
+    add(r, r, random_value(rng));
+    // Poissonish count: floor + probabilistic extra entry.
+    auto count = static_cast<std::size_t>(extra_per_row);
+    if (rng.uniform() < extra_per_row - static_cast<double>(count)) ++count;
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto span = std::min<std::size_t>(order - 1, 32);
+      const auto delta = static_cast<std::int64_t>(rng.below(2 * span + 1)) -
+                         static_cast<std::int64_t>(span);
+      auto c = static_cast<std::int64_t>(r) + delta;
+      if (c < 0) c += static_cast<std::int64_t>(order);
+      if (c >= static_cast<std::int64_t>(order)) c -= static_cast<std::int64_t>(order);
+      add(r, static_cast<std::uint32_t>(c), random_value(rng));
+    }
+  }
+
+  // Power/ground nets: a few nearly fully populated rows and the matching
+  // columns (every device connects to them).
+  for (std::size_t d = 0; d < dense_rows; ++d) {
+    const auto net = static_cast<std::uint32_t>((d * order) / (dense_rows + 1));
+    for (std::uint32_t c = 0; c < order; ++c) {
+      if (rng.uniform() >= dense_fill) continue;
+      add(net, c, random_value(rng));
+      add(c, net, random_value(rng));
+    }
+  }
+
+  coo.sort_row_major();
+  return coo;
+}
+
+}  // namespace mp::sparse

@@ -1,0 +1,30 @@
+// Sparse matrix generators for the paper's evaluation workloads.
+//
+//   random_matrix       — uniform random pattern at a target density ρ over
+//                         an order × order matrix (Tables 2 and 4). Exactly
+//                         round(ρ·order²) distinct positions are populated,
+//                         at least one per row (an iterative-solver matrix
+//                         has no empty rows), values uniform in [-1, 1).
+//   circuit_matrix      — circuit-simulation structure (Table 5): a sparse
+//                         band of ~7–8 entries per row around the diagonal,
+//                         plus a few nearly fully populated rows/columns —
+//                         the power and ground nets the paper describes as
+//                         the jagged-diagonal format's worst case.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/coo.hpp"
+
+namespace mp::sparse {
+
+/// Uniform random order × order matrix with density rho (0 < rho <= 1).
+Coo<double> random_matrix(std::size_t order, double rho, std::uint64_t seed);
+
+/// Circuit-like order × order matrix: `avg_band_nnz` entries per row near
+/// the diagonal plus `dense_rows` rows (and matching columns) populated at
+/// `dense_fill` density. Entries are deduplicated; values in [-1, 1).
+Coo<double> circuit_matrix(std::size_t order, double avg_band_nnz, std::size_t dense_rows,
+                           double dense_fill, std::uint64_t seed);
+
+}  // namespace mp::sparse

@@ -1,0 +1,102 @@
+// Jagged Diagonal (JD) storage [Saa89] and its SpMV kernel (paper §5.2).
+//
+// Rows are permuted into decreasing population order; the k-th "jagged
+// diagonal" collects the k-th element of every row that has one. Diagonal
+// lengths are non-increasing, so each diagonal updates a prefix of the
+// (permuted) result vector — one long conflict-free vector operation per
+// diagonal, which is why JD evaluates so fast on the Y-MP.
+//
+// The trade-offs the paper measures are visible in the structure:
+//   * setup must count, sort and transpose the matrix (the large
+//     preprocessing time of Tables 4–5);
+//   * the number of diagonals equals the longest row, so a matrix with a
+//     few nearly-full rows (circuit matrices, Table 5) explodes into
+//     thousands of mostly-tiny diagonals and the per-diagonal n_1/2 cost
+//     eats the advantage.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sparse/csr.hpp"
+#include "vm/tracer.hpp"
+
+namespace mp::sparse {
+
+template <class T>
+struct JaggedDiagonal {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> perm;       // perm[j] = original row stored at slot j
+  std::vector<std::uint32_t> diag_ptr;   // size num_diagonals + 1, offsets into jda/jdj
+  std::vector<std::uint32_t> jdj;        // column index of each stored element
+  std::vector<T> jda;                    // element values
+
+  std::size_t nnz() const { return jda.size(); }
+  std::size_t num_diagonals() const { return diag_ptr.empty() ? 0 : diag_ptr.size() - 1; }
+  std::size_t diagonal_length(std::size_t d) const { return diag_ptr[d + 1] - diag_ptr[d]; }
+
+  static JaggedDiagonal from_csr(const Csr<T>& csr) {
+    JaggedDiagonal jd;
+    jd.rows = csr.rows;
+    jd.cols = csr.cols;
+
+    // Sort rows by decreasing population (stable, so equal-length rows keep
+    // their order — deterministic output).
+    const auto lens = csr.row_lengths();
+    jd.perm.resize(csr.rows);
+    std::iota(jd.perm.begin(), jd.perm.end(), 0u);
+    std::stable_sort(jd.perm.begin(), jd.perm.end(),
+                     [&](std::uint32_t a, std::uint32_t b) { return lens[a] > lens[b]; });
+
+    const std::size_t max_len = csr.rows == 0 ? 0 : lens[jd.perm[0]];
+    jd.diag_ptr.assign(max_len + 1, 0);
+    jd.jdj.resize(csr.nnz());
+    jd.jda.resize(csr.nnz());
+
+    // diag d holds the d-th element of every row with length > d; because
+    // rows are sorted, those are exactly the first `count_d` permuted rows.
+    std::size_t offset = 0;
+    for (std::size_t d = 0; d < max_len; ++d) {
+      jd.diag_ptr[d] = static_cast<std::uint32_t>(offset);
+      for (std::size_t j = 0; j < csr.rows; ++j) {
+        const std::uint32_t r = jd.perm[j];
+        if (lens[r] <= d) break;  // rows are sorted by decreasing length
+        const std::uint32_t k = csr.row_ptr[r] + static_cast<std::uint32_t>(d);
+        jd.jdj[offset] = csr.col[k];
+        jd.jda[offset] = csr.val[k];
+        ++offset;
+      }
+    }
+    jd.diag_ptr[max_len] = static_cast<std::uint32_t>(offset);
+    MP_ASSERT(offset == csr.nnz());
+    return jd;
+  }
+};
+
+/// y = A·x: one long vector update per jagged diagonal. Elements of one
+/// diagonal lie in distinct rows, so the updates are conflict-free.
+template <class T>
+void jd_spmv(const JaggedDiagonal<T>& a, std::span<const T> x, std::span<T> y,
+             vm::Tracer* tracer = nullptr) {
+  MP_REQUIRE(x.size() == a.cols, "x size mismatch");
+  MP_REQUIRE(y.size() == a.rows, "y size mismatch");
+
+  // Accumulate in permuted order (slot j = permuted row j), then scatter
+  // back through the permutation.
+  std::vector<T> acc(a.rows, T{});
+  for (std::size_t d = 0; d < a.num_diagonals(); ++d) {
+    const std::uint32_t lo = a.diag_ptr[d];
+    const std::uint32_t hi = a.diag_ptr[d + 1];
+    for (std::uint32_t k = lo; k < hi; ++k) acc[k - lo] += a.jda[k] * x[a.jdj[k]];
+    if (tracer) tracer->record(vm::OpKind::kScatterCombine, hi - lo);
+  }
+  for (std::size_t j = 0; j < a.rows; ++j) y[a.perm[j]] = acc[j];
+  if (tracer) tracer->record(vm::OpKind::kScatter, a.rows);
+}
+
+}  // namespace mp::sparse

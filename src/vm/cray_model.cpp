@@ -1,0 +1,122 @@
+#include "vm/cray_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mp::vm {
+
+namespace {
+double ceil_div(std::size_t a, std::size_t b) {
+  return static_cast<double>((a + b - 1) / b);
+}
+}  // namespace
+
+double CrayModel::multiprefix_clocks(std::size_t n, std::size_t row_len) const {
+  MP_REQUIRE(n > 0 && row_len > 0, "need a non-empty grid");
+  const double rows = ceil_div(n, row_len);
+  const double cols = static_cast<double>(row_len);
+  // Row sweeps issue `rows` vector ops of length `cols` and vice versa.
+  return spinetree.clocks(row_len) * rows + rowsum.clocks(static_cast<std::size_t>(rows)) * cols +
+         spinesum.clocks(row_len) * rows + prefixsum.clocks(static_cast<std::size_t>(rows)) * cols;
+}
+
+double CrayModel::optimal_row_factor() const {
+  const double num = spinetree.te_clocks * spinetree.n_half + spinesum.te_clocks * spinesum.n_half;
+  const double den = rowsum.te_clocks * rowsum.n_half + prefixsum.te_clocks * prefixsum.n_half;
+  return std::sqrt(num / den);
+}
+
+std::size_t CrayModel::optimal_row_length(std::size_t n) const {
+  const double p = optimal_row_factor() * std::sqrt(static_cast<double>(n));
+  return p < 1.0 ? 1 : static_cast<std::size_t>(p + 0.5);
+}
+
+double CrayModel::spinetree_te_effective(double collision_fraction) const {
+  MP_ASSERT(collision_fraction >= 0.0 && collision_fraction <= 1.0);
+  return spinetree.te_clocks + kSpinetreeConflictPenalty * collision_fraction;
+}
+
+double CrayModel::spinesum_clocks_per_element(double spine_density) const {
+  MP_ASSERT(spine_density >= 0.0 && spine_density <= 1.0);
+  // Probability that a 64-lane chunk contains no spine element at all, in
+  // which case the compiled loop skips it almost for free (§4.3 heavy load).
+  const double q_skip = std::pow(1.0 - spine_density, static_cast<double>(kVectorLength));
+  const double active =
+      kSpinesumTrue * spine_density + kSpinesumFalse * (1.0 - spine_density);
+  return q_skip * kSpinesumSkip + (1.0 - q_skip) * active;
+}
+
+double CrayModel::expected_collision_fraction(std::size_t m) {
+  MP_ASSERT(m > 0);
+  // Expected distinct buckets among 64 uniform draws over m buckets.
+  const double md = static_cast<double>(m);
+  const double vl = static_cast<double>(kVectorLength);
+  const double distinct = md * (1.0 - std::pow(1.0 - 1.0 / md, vl));
+  const double effective = distinct < vl ? distinct : vl;
+  return 1.0 - effective / vl;
+}
+
+double CrayModel::expected_spine_density(std::size_t n, std::size_t m, std::size_t row_len) {
+  MP_ASSERT(n > 0 && m > 0 && row_len > 0);
+  const double md = static_cast<double>(m);
+  const double rows = ceil_div(n, row_len);
+  // P(a given class has at least one element in a given row of row_len
+  // uniform draws):
+  const double p_row = 1.0 - std::pow(1.0 - 1.0 / md, static_cast<double>(row_len));
+  // Expected distinct classes present in one row:
+  const double present = md * p_row;
+  // A present class contributes a spine element here only if it also occurs
+  // in some lower row (children live strictly below their parent). Averaged
+  // over positions, roughly half the remaining rows lie below:
+  const double rows_below = rows > 1.0 ? (rows - 1.0) / 2.0 : 0.0;
+  const double q_below = 1.0 - std::pow(1.0 - p_row, rows_below);
+  const double spine_per_row = present * q_below;
+  const double density = spine_per_row / static_cast<double>(row_len);
+  return density > 1.0 ? 1.0 : density;
+}
+
+PhaseClocks CrayModel::multiprefix_phase_clocks(std::size_t n, std::size_t m,
+                                                std::size_t row_len) const {
+  MP_REQUIRE(n > 0 && m > 0 && row_len > 0, "need a non-empty problem");
+  const double rows = ceil_div(n, row_len);
+  const double cols = static_cast<double>(row_len);
+  const double nd = static_cast<double>(n);
+
+  PhaseClocks out;
+  // Bucket initialization touches all m buckets directly (§4, last change).
+  out.init = vadd.clocks(m);
+
+  const double st_te = spinetree_te_effective(expected_collision_fraction(m));
+  out.spinetree = st_te * (cols + spinetree.n_half) * rows;
+
+  out.rowsum = rowsum.clocks(static_cast<std::size_t>(rows)) * cols;
+
+  const double ss_per_elt =
+      spinesum_clocks_per_element(expected_spine_density(n, m, row_len));
+  out.spinesum = ss_per_elt * nd + spinesum.te_clocks * spinesum.n_half * rows;
+
+  out.prefixsum = prefixsum.clocks(static_cast<std::size_t>(rows)) * cols;
+  return out;
+}
+
+double CrayModel::clocks_per_element(std::size_t n, std::size_t m) const {
+  const std::size_t row_len = optimal_row_length(n);
+  return multiprefix_phase_clocks(n, m, row_len).total() / static_cast<double>(n);
+}
+
+LoopParams CrayModel::op_params(OpKind kind) const {
+  return op_params_[static_cast<std::size_t>(kind)];
+}
+
+void CrayModel::set_op_params(OpKind kind, LoopParams params) {
+  op_params_[static_cast<std::size_t>(kind)] = params;
+}
+
+double CrayModel::replay_clocks(const std::vector<Tracer::Event>& events) const {
+  double clocks = 0.0;
+  for (const auto& e : events) clocks += op_params(e.kind).clocks(e.length);
+  return clocks;
+}
+
+}  // namespace mp::vm

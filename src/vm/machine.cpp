@@ -1,0 +1,221 @@
+#include "vm/machine.hpp"
+
+#include <algorithm>
+
+namespace mp::vm {
+
+VectorMachine::VectorMachine(Config config) : config_(config) {
+  MP_REQUIRE(config_.memory_words > 0, "machine needs memory");
+  MP_REQUIRE(config_.banks > 0 && (config_.banks & (config_.banks - 1)) == 0,
+             "bank count must be a power of two");
+  if (config_.dummy_address == ~std::uint64_t{0}) {
+    // Reserve one extra word at the end as the masked-scatter dummy target.
+    config_.dummy_address = config_.memory_words;
+    ++config_.memory_words;
+  }
+  MP_REQUIRE(config_.dummy_address < config_.memory_words, "dummy address out of range");
+  memory_.assign(config_.memory_words, 0);
+  bank_free_.assign(config_.banks, 0);
+  addr_scratch_.reserve(kVectorLength);
+}
+
+VectorMachine::word_t VectorMachine::peek(std::size_t addr) const {
+  MP_REQUIRE(addr < memory_.size(), "peek out of range");
+  return memory_[addr];
+}
+
+void VectorMachine::poke(std::size_t addr, word_t value) {
+  MP_REQUIRE(addr < memory_.size(), "poke out of range");
+  memory_[addr] = value;
+}
+
+void VectorMachine::set_vl(std::size_t vl) {
+  MP_REQUIRE(vl >= 1 && vl <= kVectorLength, "vector length out of range");
+  vl_ = vl;
+}
+
+void VectorMachine::clock_memory_access(std::span<const std::size_t> addrs) {
+  ++stats_.vector_instructions;
+  stats_.clocks += config_.vector_startup;
+  stats_.memory_elements += addrs.size();
+  // In-order issue: one element per clock, but an element whose bank is
+  // still busy stalls the pipeline until the bank recovers.
+  std::uint64_t t = stats_.clocks;
+  for (const std::size_t addr : addrs) {
+    const std::size_t bank = bank_of(addr);
+    const std::uint64_t issue = std::max(t + 1, bank_free_[bank]);
+    stats_.bank_stall_clocks += issue - (t + 1);
+    bank_free_[bank] = issue + config_.bank_busy;
+    t = issue;
+  }
+  stats_.clocks = t;
+}
+
+void VectorMachine::clock_vector_alu() {
+  // Chaining approximation: the Y-MP chains vector ALU results into the
+  // memory pipes, so an arithmetic instruction's element streaming overlaps
+  // with the surrounding loads/stores and only its issue cost is exposed.
+  // (Our programs always pair ALU work with memory traffic; a pure-ALU
+  // kernel would underestimate, which none of our kernels are.)
+  ++stats_.vector_instructions;
+  stats_.clocks += config_.vector_startup;
+}
+
+void VectorMachine::vload(std::size_t dst, std::size_t base, std::size_t stride) {
+  addr_scratch_.clear();
+  for (std::size_t i = 0; i < vl_; ++i) {
+    const std::size_t addr = base + i * stride;
+    MP_REQUIRE(addr < memory_.size(), "vload out of range");
+    vregs_[dst][i] = memory_[addr];
+    addr_scratch_.push_back(addr);
+  }
+  clock_memory_access(addr_scratch_);
+}
+
+void VectorMachine::vstore(std::size_t src, std::size_t base, std::size_t stride) {
+  addr_scratch_.clear();
+  for (std::size_t i = 0; i < vl_; ++i) {
+    const std::size_t addr = base + i * stride;
+    MP_REQUIRE(addr < memory_.size(), "vstore out of range");
+    memory_[addr] = vregs_[src][i];
+    addr_scratch_.push_back(addr);
+  }
+  clock_memory_access(addr_scratch_);
+}
+
+void VectorMachine::vgather(std::size_t dst, std::size_t base, std::size_t idx) {
+  addr_scratch_.clear();
+  for (std::size_t i = 0; i < vl_; ++i) {
+    const std::size_t addr = base + static_cast<std::size_t>(vregs_[idx][i]);
+    MP_REQUIRE(addr < memory_.size(), "vgather out of range");
+    vregs_[dst][i] = memory_[addr];
+    addr_scratch_.push_back(addr);
+  }
+  clock_memory_access(addr_scratch_);
+}
+
+void VectorMachine::vscatter(std::size_t src, std::size_t base, std::size_t idx) {
+  addr_scratch_.clear();
+  for (std::size_t i = 0; i < vl_; ++i) {
+    const std::size_t addr = base + static_cast<std::size_t>(vregs_[idx][i]);
+    MP_REQUIRE(addr < memory_.size(), "vscatter out of range");
+    memory_[addr] = vregs_[src][i];  // last lane wins on duplicates (ARB)
+    addr_scratch_.push_back(addr);
+  }
+  clock_memory_access(addr_scratch_);
+}
+
+void VectorMachine::vscatter_masked(std::size_t src, std::size_t base, std::size_t idx) {
+  bool any = false;
+  for (std::size_t i = 0; i < vl_; ++i) any = any || mask_[i];
+  if (!any) {
+    // All-FALSE chunk: the compiled loop jumps ahead without touching
+    // memory (§4.3's heavy-load early exit).
+    ++stats_.skipped_chunks;
+    stats_.clocks += config_.chunk_overhead;
+    return;
+  }
+  addr_scratch_.clear();
+  for (std::size_t i = 0; i < vl_; ++i) {
+    if (mask_[i]) {
+      const std::size_t addr = base + static_cast<std::size_t>(vregs_[idx][i]);
+      MP_REQUIRE(addr < memory_.size(), "vscatter_masked out of range");
+      memory_[addr] = vregs_[src][i];
+      addr_scratch_.push_back(addr);
+    } else {
+      // FALSE lane: dummy value to the dummy location — all FALSE lanes of
+      // every chunk hit one bank, the §4.3 hot spot.
+      addr_scratch_.push_back(config_.dummy_address);
+    }
+  }
+  clock_memory_access(addr_scratch_);
+}
+
+void VectorMachine::viota(std::size_t dst, word_t base, word_t step) {
+  for (std::size_t i = 0; i < vl_; ++i)
+    vregs_[dst][i] = base + static_cast<word_t>(i) * step;
+  clock_vector_alu();
+}
+
+void VectorMachine::vbroadcast(std::size_t dst, word_t k) {
+  for (std::size_t i = 0; i < vl_; ++i) vregs_[dst][i] = k;
+  clock_vector_alu();
+}
+
+void VectorMachine::vadd(std::size_t dst, std::size_t a, std::size_t b) {
+  for (std::size_t i = 0; i < vl_; ++i) vregs_[dst][i] = vregs_[a][i] + vregs_[b][i];
+  clock_vector_alu();
+}
+
+void VectorMachine::vmul(std::size_t dst, std::size_t a, std::size_t b) {
+  for (std::size_t i = 0; i < vl_; ++i) vregs_[dst][i] = vregs_[a][i] * vregs_[b][i];
+  clock_vector_alu();
+}
+
+VectorMachine::word_t VectorMachine::sload(std::size_t addr) {
+  MP_REQUIRE(addr < memory_.size(), "sload out of range");
+  const std::size_t bank = bank_of(addr);
+  const std::uint64_t issue = std::max(stats_.clocks + config_.scalar_latency,
+                                       bank_free_[bank]);
+  stats_.bank_stall_clocks += issue - (stats_.clocks + config_.scalar_latency);
+  bank_free_[bank] = issue + config_.bank_busy;
+  stats_.clocks = issue;
+  ++stats_.memory_elements;
+  return memory_[addr];
+}
+
+void VectorMachine::sstore(std::size_t addr, word_t value) {
+  MP_REQUIRE(addr < memory_.size(), "sstore out of range");
+  const std::size_t bank = bank_of(addr);
+  const std::uint64_t issue = std::max(stats_.clocks + config_.scalar_latency,
+                                       bank_free_[bank]);
+  stats_.bank_stall_clocks += issue - (stats_.clocks + config_.scalar_latency);
+  bank_free_[bank] = issue + config_.bank_busy;
+  stats_.clocks = issue;
+  ++stats_.memory_elements;
+  memory_[addr] = value;
+}
+
+VectorMachine::word_t VectorMachine::sload_stream(std::size_t addr) {
+  MP_REQUIRE(addr < memory_.size(), "sload_stream out of range");
+  const std::size_t bank = bank_of(addr);
+  const std::uint64_t issue =
+      std::max(stats_.clocks + config_.scalar_stream_cost, bank_free_[bank]);
+  stats_.bank_stall_clocks += issue - (stats_.clocks + config_.scalar_stream_cost);
+  bank_free_[bank] = issue + config_.bank_busy;
+  stats_.clocks = issue;
+  ++stats_.memory_elements;
+  return memory_[addr];
+}
+
+void VectorMachine::sstore_stream(std::size_t addr, word_t value) {
+  MP_REQUIRE(addr < memory_.size(), "sstore_stream out of range");
+  const std::size_t bank = bank_of(addr);
+  const std::uint64_t issue =
+      std::max(stats_.clocks + config_.scalar_stream_cost, bank_free_[bank]);
+  stats_.bank_stall_clocks += issue - (stats_.clocks + config_.scalar_stream_cost);
+  bank_free_[bank] = issue + config_.bank_busy;
+  stats_.clocks = issue;
+  ++stats_.memory_elements;
+  memory_[addr] = value;
+}
+
+void VectorMachine::vcmp_ne(std::size_t a, word_t k) {
+  for (std::size_t i = 0; i < vl_; ++i) mask_[i] = vregs_[a][i] != k;
+  clock_vector_alu();
+}
+
+VectorMachine::word_t VectorMachine::vreduce_add(std::size_t a) {
+  // A reduction cannot chain: the full element pass plus a log-depth fold
+  // is exposed.
+  word_t acc = 0;
+  for (std::size_t i = 0; i < vl_; ++i) acc += vregs_[a][i];
+  ++stats_.vector_instructions;
+  stats_.clocks += config_.vector_startup + vl_;
+  std::size_t depth = 0;
+  for (std::size_t w = vl_; w > 1; w = (w + 1) / 2) ++depth;
+  stats_.clocks += depth * 4;
+  return acc;
+}
+
+}  // namespace mp::vm

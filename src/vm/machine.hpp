@@ -1,0 +1,177 @@
+// A cycle-counting register-vector machine in the Cray Y-MP mold — the
+// hardware substitute for the paper's evaluation platform.
+//
+// We cannot run on a Y-MP, so we build the relevant slice of one:
+//
+//   * 64-element vector registers with strip-mined execution (the compiler
+//     "breaks the rows into chunks equal to the vector length", §4.3);
+//   * an interleaved memory of `banks` banks with a bank busy time: element
+//     accesses issue one per clock in lane order, and an access to a busy
+//     bank stalls issue until the bank recovers. Bank conflicts therefore
+//     *emerge* from the actual address streams — unit stride is fast, a
+//     stride equal to a bank-count divisor wastes bandwidth (§4: "such an
+//     access pattern would only make use of 1/4 of the memory banks"), and
+//     every lane hitting one address serializes completely (the SPINETREE
+//     heavy-load penalty and the SPINESUM dummy-location hot spot of §4.3);
+//   * masked scatter with a dummy location, modeling the compiler technique
+//     §4.1(3) describes: FALSE lanes send a dummy value to one dummy
+//     address, so sparse masks create a hot spot — unless a chunk is
+//     entirely FALSE, in which case the loop skips ahead cheaply;
+//   * vector arithmetic at one result per clock after a startup, and
+//     scalar bookkeeping charged per strip-mined chunk.
+//
+// The machine executes real programs on real memory (vm_multiprefix.hpp
+// implements the paper's §4 kernel on it); correctness is testable against
+// the serial reference, and the cycle counter gives clocks-per-element
+// numbers directly comparable to the paper's Table 3 and Figure 10.
+//
+// The model is deliberately in-order with no chaining: the Y-MP chains and
+// overlaps, so our absolute clock counts run a small constant factor above
+// Table 3; ratios and regime changes are what the simulator reproduces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mp::vm {
+
+class VectorMachine {
+ public:
+  static constexpr std::size_t kVectorLength = 64;
+  static constexpr std::size_t kNumVRegs = 8;
+
+  struct Config {
+    std::size_t memory_words = 0;
+    std::size_t banks = 64;       // power of two
+    std::uint64_t bank_busy = 4;  // clocks a bank stays busy per access
+    /// Issue cost per vector instruction once a loop's pipelines are hot;
+    /// successive strip-mined chunks of one loop overlap, so the deep
+    /// pipeline-fill cost is charged per loop (loop_overhead), not here.
+    std::uint64_t vector_startup = 8;
+    /// Pipeline-fill + scalar-setup cost charged once per vector loop
+    /// (per CSR row, per JD diagonal, per multiprefix row/column sweep).
+    /// Calibration: the paper's per-loop half-performance overheads
+    /// t_e·n_1/2 run 150–300 clocks (Table 3: 4.1×40 ≈ 164 for ROWSUM;
+    /// the fitted CSR row overhead is ≈ 300).
+    std::uint64_t loop_overhead = 150;
+    std::uint64_t chunk_overhead = 4;  // scalar loop bookkeeping per chunk
+    /// Latency of one dependent scalar memory access (clocks). Scalar loops
+    /// cannot pipeline dependent loads, which is why the unvectorizable
+    /// histogram recurrence is so expensive on a vector machine (§5.1.1).
+    std::uint64_t scalar_latency = 15;
+    /// Issue cost of a pipelined (address-independent) scalar access.
+    std::uint64_t scalar_stream_cost = 2;
+    /// Dummy word used by masked scatters for FALSE lanes (§4.1(3)); the
+    /// machine reserves the last memory word when left at ~0.
+    std::uint64_t dummy_address = ~std::uint64_t{0};
+  };
+
+  struct Stats {
+    std::uint64_t clocks = 0;
+    std::uint64_t vector_instructions = 0;
+    std::uint64_t memory_elements = 0;  // element accesses issued
+    std::uint64_t bank_stall_clocks = 0;
+    std::uint64_t skipped_chunks = 0;   // all-FALSE masked chunks jumped over
+  };
+
+  using word_t = std::int64_t;
+  using vreg_t = std::array<word_t, kVectorLength>;
+
+  explicit VectorMachine(Config config);
+
+  // -- direct memory access (not clocked; for load/unload) -------------------
+  word_t peek(std::size_t addr) const;
+  void poke(std::size_t addr, word_t value);
+  std::size_t memory_words() const { return memory_.size(); }
+
+  // -- vector length / registers ---------------------------------------------
+  /// Sets the active vector length for subsequent instructions (1..64).
+  void set_vl(std::size_t vl);
+  std::size_t vl() const { return vl_; }
+  const vreg_t& v(std::size_t r) const { return vregs_[r]; }
+
+  // -- vector instructions (each advances the clock) ---------------------------
+  /// V[dst][i] = memory[base + i*stride]
+  void vload(std::size_t dst, std::size_t base, std::size_t stride = 1);
+  /// memory[base + i*stride] = V[src][i]
+  void vstore(std::size_t src, std::size_t base, std::size_t stride = 1);
+  /// V[dst][i] = memory[base + V[idx][i]]
+  void vgather(std::size_t dst, std::size_t base, std::size_t idx);
+  /// memory[base + V[idx][i]] = V[src][i]; duplicate addresses: last lane
+  /// wins (the hardware realization of the ARB concurrent write).
+  void vscatter(std::size_t src, std::size_t base, std::size_t idx);
+  /// Masked scatter: TRUE lanes write normally; FALSE lanes write a dummy
+  /// value to the dummy address (§4.1(3)). An all-FALSE mask skips the
+  /// memory traffic entirely (chunk early-exit, §4.3). Mask = last vcmp.
+  void vscatter_masked(std::size_t src, std::size_t base, std::size_t idx);
+
+  /// V[dst][i] = base + i*step
+  void viota(std::size_t dst, word_t base, word_t step);
+  /// V[dst][i] = k
+  void vbroadcast(std::size_t dst, word_t k);
+  /// V[dst][i] = V[a][i] + V[b][i]
+  void vadd(std::size_t dst, std::size_t a, std::size_t b);
+  /// V[dst][i] = V[a][i] * V[b][i]
+  void vmul(std::size_t dst, std::size_t a, std::size_t b);
+  /// mask[i] = (V[a][i] != k)
+  void vcmp_ne(std::size_t a, word_t k);
+  /// Scalar sum of the active lanes of V[a] — the dot-product finish of a
+  /// CSR row. Costs a vector pass plus a log-depth fold.
+  word_t vreduce_add(std::size_t a);
+  /// mask[i] = (V[a][i] != 0) — the SPINESUM spine test.
+  void vcmp_nonzero(std::size_t a) { vcmp_ne(a, 0); }
+  /// Scalar test of the current mask (used for the §4.3 all-FALSE chunk
+  /// early exit); charged as chunk bookkeeping. A FALSE result counts as a
+  /// skipped chunk, since the strip-mined loop jumps past it.
+  bool mask_any() {
+    stats_.clocks += config_.chunk_overhead;
+    for (std::size_t i = 0; i < vl_; ++i)
+      if (mask_[i]) return true;
+    ++stats_.skipped_chunks;
+    return false;
+  }
+
+  /// Charges scalar bookkeeping for one strip-mined chunk boundary.
+  void chunk_boundary() { stats_.clocks += config_.chunk_overhead; }
+  /// Charges the pipeline-fill/setup cost of starting one vector loop.
+  void loop_start() { stats_.clocks += config_.loop_overhead; }
+
+  // -- scalar memory access (for unvectorizable loops, §5.1.1) ----------------
+  /// Dependent scalar load/store: full memory latency per access, plus the
+  /// bank busy bookkeeping. These are what make the bucket-sort histogram
+  /// loop expensive on the simulated machine.
+  word_t sload(std::size_t addr);
+  void sstore(std::size_t addr, word_t value);
+
+  /// Pipelined scalar access: the address does not depend on the previous
+  /// access's result (e.g. streaming key[i]), so the latency is overlapped
+  /// and only the issue cost + bank pressure is charged.
+  word_t sload_stream(std::size_t addr);
+  void sstore_stream(std::size_t addr, word_t value);
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+  const Config& config() const { return config_; }
+
+ private:
+  /// Advances the clock for a vector memory instruction whose lane i
+  /// accesses `addrs[i]`; models per-bank busy time with in-order issue.
+  void clock_memory_access(std::span<const std::size_t> addrs);
+  void clock_vector_alu();
+  std::size_t bank_of(std::size_t addr) const { return addr & (config_.banks - 1); }
+
+  Config config_;
+  std::vector<word_t> memory_;
+  std::array<vreg_t, kNumVRegs> vregs_{};
+  std::array<bool, kVectorLength> mask_{};
+  std::size_t vl_ = kVectorLength;
+  std::vector<std::uint64_t> bank_free_;  // clock at which each bank is free
+  Stats stats_;
+  std::vector<std::size_t> addr_scratch_;
+};
+
+}  // namespace mp::vm

@@ -1,0 +1,167 @@
+#include "vm/machine_multiprefix.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mp::vm {
+
+namespace {
+
+constexpr std::size_t kVL = VectorMachine::kVectorLength;
+
+/// Strip-mines [0, count) into chunks of at most 64, calling
+/// body(offset, len) with the machine's VL already set.
+template <class Body>
+void strip(VectorMachine& machine, std::size_t count, Body&& body) {
+  if (count == 0) return;
+  machine.loop_start();  // pipeline fill, charged once per vector loop
+  for (std::size_t off = 0; off < count; off += kVL) {
+    const std::size_t len = std::min(kVL, count - off);
+    machine.set_vl(len);
+    machine.chunk_boundary();
+    body(off, len);
+  }
+}
+
+}  // namespace
+
+SimulatedMultiprefixResult run_multiprefix_simulated(
+    std::span<const VectorMachine::word_t> values, std::span<const label_t> labels,
+    std::size_t m, RowShape shape, VectorMachine::Config config, bool ones_optimization) {
+  if (ones_optimization)
+    for (const auto v : values) MP_REQUIRE(v == 1, "ones optimization requires all-ones values");
+  MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
+  MP_REQUIRE(m >= 1, "need at least one bucket");
+  const std::size_t n = values.size();
+  const std::size_t L = shape.row_len;
+  const std::size_t rows = shape.rows;
+  MP_REQUIRE(rows * L >= n, "grid does not cover all elements");
+
+  // Memory map (Figure 8): buckets and elements share one combined index
+  // space with the pivot at m.
+  const std::size_t kValue = 0;
+  const std::size_t kLabel = kValue + n;
+  const std::size_t kMulti = kLabel + n;
+  const std::size_t kRed = kMulti + n;
+  const std::size_t kSpine = kRed + m;
+  const std::size_t kRowsum = kSpine + m + n;
+  const std::size_t kSpinesum = kRowsum + m + n;
+  config.memory_words = kSpinesum + m + n;
+  config.dummy_address = ~std::uint64_t{0};  // machine reserves its own
+
+  VectorMachine machine(config);
+  for (std::size_t i = 0; i < n; ++i) {
+    machine.poke(kValue + i, values[i]);
+    MP_REQUIRE(labels[i] < m, "label out of range");
+    machine.poke(kLabel + i, static_cast<VectorMachine::word_t>(labels[i]));
+  }
+
+  SimulatedMultiprefixResult result;
+  std::uint64_t mark = 0;
+  auto phase_end = [&](std::uint64_t SimulatedPhaseClocks::*field) {
+    result.phase_clocks.*field = machine.stats().clocks - mark;
+    mark = machine.stats().clocks;
+  };
+
+  // Registers: V0 labels/addresses, V1..V5 data.
+  // ---- INIT: buckets point at themselves; clear rowsum/spinesum ------------
+  strip(machine, m, [&](std::size_t off, std::size_t) {
+    machine.viota(0, static_cast<VectorMachine::word_t>(off), 1);
+    machine.vstore(0, kSpine + off);
+  });
+  strip(machine, m + n, [&](std::size_t off, std::size_t) {
+    machine.vbroadcast(1, 0);
+    machine.vstore(1, kRowsum + off);
+    machine.vstore(1, kSpinesum + off);
+  });
+  phase_end(&SimulatedPhaseClocks::init);
+
+  // ---- SPINETREE: rows top to bottom; gather loop then scatter loop --------
+  for (std::size_t r = rows; r-- > 0;) {
+    const std::size_t lo = r * L;
+    const std::size_t hi = std::min(lo + L, n);
+    if (lo >= hi) continue;
+    const std::size_t len = hi - lo;
+    // Fissioned loop 1: temp[i].spine = bucket[label[i]].spine
+    strip(machine, len, [&](std::size_t off, std::size_t) {
+      machine.vload(0, kLabel + lo + off);       // labels of this chunk
+      machine.vgather(1, kSpine, 0);             // bucket spine pointers
+      machine.vstore(1, kSpine + m + lo + off);  // element spine cells
+    });
+    // Fissioned loop 2: bucket[label[i]].spine = &temp[i]  (ARB overwrite)
+    strip(machine, len, [&](std::size_t off, std::size_t) {
+      machine.vload(0, kLabel + lo + off);
+      machine.viota(1, static_cast<VectorMachine::word_t>(m + lo + off), 1);
+      machine.vscatter(1, kSpine, 0);  // duplicates: last lane wins
+    });
+  }
+  phase_end(&SimulatedPhaseClocks::spinetree);
+
+  // ---- ROWSUM: columns left to right; constant-stride element access -------
+  for (std::size_t c = 0; c < L && c < n; ++c) {
+    const std::size_t count = (n - c + L - 1) / L;  // elements in this column
+    strip(machine, count, [&](std::size_t off, std::size_t) {
+      const std::size_t first = c + off * L;
+      machine.vload(0, kSpine + m + first, L);  // parents (distinct: Thm 1)
+      if (ones_optimization) machine.vbroadcast(1, 1);  // §5.1.1: no value load
+      else machine.vload(1, kValue + first, L);
+      machine.vgather(2, kRowsum, 0);
+      machine.vadd(2, 2, 1);
+      machine.vscatter(2, kRowsum, 0);
+    });
+  }
+  phase_end(&SimulatedPhaseClocks::rowsums);
+
+  // ---- SPINESUM: rows bottom to top; masked loop with the paper's
+  // `rowsum != 0` spine test, dummy-location writes and chunk early exit ----
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t lo = r * L;
+    const std::size_t hi = std::min(lo + L, n);
+    if (lo >= hi) continue;
+    strip(machine, hi - lo, [&](std::size_t off, std::size_t) {
+      machine.vload(1, kRowsum + m + lo + off);  // own rowsum
+      machine.vcmp_nonzero(1);
+      if (!machine.mask_any()) return;  // all-FALSE chunk: skip the loads too
+      machine.vload(2, kSpinesum + m + lo + off);
+      machine.vadd(2, 2, 1);                     // spinesum + rowsum
+      machine.vload(0, kSpine + m + lo + off);   // parents (<=1 spine/class/row)
+      machine.vscatter_masked(2, kSpinesum, 0);  // FALSE lanes -> dummy cell
+    });
+  }
+  phase_end(&SimulatedPhaseClocks::spinesums);
+
+  // ---- REDUCTIONS (§4.2): red[b] = spinesum[b] + rowsum[b] -----------------
+  strip(machine, m, [&](std::size_t off, std::size_t) {
+    machine.vload(1, kRowsum + off);
+    machine.vload(2, kSpinesum + off);
+    machine.vadd(1, 1, 2);
+    machine.vstore(1, kRed + off);
+  });
+  phase_end(&SimulatedPhaseClocks::reductions);
+
+  // ---- PREFIXSUM: columns left to right -------------------------------------
+  for (std::size_t c = 0; c < L && c < n; ++c) {
+    const std::size_t count = (n - c + L - 1) / L;
+    strip(machine, count, [&](std::size_t off, std::size_t) {
+      const std::size_t first = c + off * L;
+      machine.vload(0, kSpine + m + first, L);
+      machine.vgather(1, kSpinesum, 0);      // multiprefix values
+      machine.vstore(1, kMulti + first, L);
+      if (ones_optimization) machine.vbroadcast(2, 1);  // §5.1.1: no value load
+      else machine.vload(2, kValue + first, L);
+      machine.vadd(1, 1, 2);
+      machine.vscatter(1, kSpinesum, 0);     // advance parents
+    });
+  }
+  phase_end(&SimulatedPhaseClocks::prefixsums);
+
+  result.prefix.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.prefix[i] = machine.peek(kMulti + i);
+  result.reduction.resize(m);
+  for (std::size_t b = 0; b < m; ++b) result.reduction[b] = machine.peek(kRed + b);
+  result.machine_stats = machine.stats();
+  return result;
+}
+
+}  // namespace mp::vm

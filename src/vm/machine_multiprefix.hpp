@@ -1,0 +1,73 @@
+// The paper's §4 multiprefix kernel as a program on the simulated vector
+// machine (vm/machine.hpp).
+//
+// This is the closest thing to "running the paper's code" available without
+// a Y-MP: the four phases are written as strip-mined vector loops with the
+// exact structure §4.1 lists —
+//
+//   SPINETREE  — per row, compiler-fissioned into a gather loop and a
+//                scatter loop (§4.1(1));
+//   ROWSUM     — per column, constant-stride loads + gather/add/scatter
+//                (§4.1(2)); conflict-free within a column by Theorem 1, so
+//                the 64-lane read-modify-write is sound;
+//   SPINESUM   — per row, the masked loop of §4.1(3) with the paper's
+//                `rowsum != 0` spine test, the all-FALSE chunk early exit,
+//                and FALSE lanes writing a dummy value to the one dummy
+//                location (the hot spot §4.3 dissects);
+//   PREFIXSUM  — per column, like ROWSUM plus the extra store (§4.1(4)).
+//
+// Because the machine counts clocks with real bank contention, the §4.3
+// regimes (heavy-load SPINETREE penalty, SPINESUM early-exit speedup, the
+// light-load dummy hot spot) fall out of the simulation instead of being
+// assumed. The `rowsum != 0` spine test is the paper's own; like the
+// paper's code it requires that no class prefix op-sums to 0, so drive it
+// with non-negative values (the robust production path is core/executor).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/labels.hpp"
+#include "core/row_shape.hpp"
+#include "vm/machine.hpp"
+
+namespace mp::vm {
+
+struct SimulatedPhaseClocks {
+  std::uint64_t init = 0;
+  std::uint64_t spinetree = 0;
+  std::uint64_t rowsums = 0;
+  std::uint64_t spinesums = 0;
+  std::uint64_t prefixsums = 0;
+  std::uint64_t reductions = 0;
+  std::uint64_t total() const {
+    return init + spinetree + rowsums + spinesums + prefixsums + reductions;
+  }
+};
+
+struct SimulatedMultiprefixResult {
+  std::vector<VectorMachine::word_t> prefix;     // size n
+  std::vector<VectorMachine::word_t> reduction;  // size m
+  SimulatedPhaseClocks phase_clocks;
+  VectorMachine::Stats machine_stats;            // cumulative over the run
+
+  double clocks_per_element() const {
+    return static_cast<double>(phase_clocks.total()) /
+           static_cast<double>(prefix.empty() ? 1 : prefix.size());
+  }
+};
+
+/// Runs multiprefix-PLUS over (values, labels) on a freshly configured
+/// simulated vector machine. `machine_config.memory_words` is computed
+/// internally; other fields (banks, bank_busy, startup) are honored.
+/// With `ones_optimization` the program assumes every value is 1 and skips
+/// the value-vector loads in ROWSUM and PREFIXSUM — the compiler
+/// simplification the paper exploits for the NAS sort (§5.1.1); the caller
+/// must pass all-ones values.
+SimulatedMultiprefixResult run_multiprefix_simulated(
+    std::span<const VectorMachine::word_t> values, std::span<const label_t> labels,
+    std::size_t m, RowShape shape, VectorMachine::Config machine_config = {},
+    bool ones_optimization = false);
+
+}  // namespace mp::vm

@@ -1,0 +1,143 @@
+#include "vm/machine_sort.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/labels.hpp"
+#include "vm/machine_multiprefix.hpp"
+
+namespace mp::vm {
+
+namespace {
+
+constexpr std::size_t kVL = VectorMachine::kVectorLength;
+
+template <class Body>
+void strip(VectorMachine& machine, std::size_t count, Body&& body) {
+  if (count == 0) return;
+  machine.loop_start();  // pipeline fill, charged once per vector loop
+  for (std::size_t off = 0; off < count; off += kVL) {
+    machine.set_vl(std::min(kVL, count - off));
+    machine.chunk_boundary();
+    body(off);
+  }
+}
+
+}  // namespace
+
+SimulatedSortResult run_counting_sort_simulated(std::span<const std::uint32_t> keys,
+                                                std::size_t m, VectorMachine::Config config) {
+  MP_REQUIRE(m >= 1, "need at least one key value");
+  const std::size_t n = keys.size();
+  const std::size_t kKey = 0;
+  const std::size_t kBucket = n;
+  const std::size_t kRank = n + m;
+  config.memory_words = kRank + n;
+  config.dummy_address = ~std::uint64_t{0};
+
+  VectorMachine machine(config);
+  for (std::size_t i = 0; i < n; ++i) {
+    MP_REQUIRE(keys[i] < m, "key out of range");
+    machine.poke(kKey + i, keys[i]);
+  }
+
+  // Bucket initialization vectorizes.
+  strip(machine, m, [&](std::size_t off) {
+    machine.vbroadcast(0, 0);
+    machine.vstore(0, kBucket + off);
+  });
+
+  // Histogram: the loop-carried dependence through the buckets forbids
+  // vectorization (§5.1.1) — the key stream pipelines, the bucket
+  // read-modify-write pays full scalar latency.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(machine.sload_stream(kKey + i));
+    const auto c = machine.sload(kBucket + k);
+    machine.sstore_stream(kBucket + k, c + 1);
+  }
+
+  // Exclusive scan over the buckets: a recurrence; m is small next to n, so
+  // a pipelined scalar sweep is charged (the "partially vectorized" code
+  // would use the partition method here — same order of cost).
+  {
+    VectorMachine::word_t acc = 0;
+    for (std::size_t b = 0; b < m; ++b) {
+      const auto c = machine.sload_stream(kBucket + b);
+      machine.sstore_stream(kBucket + b, acc);
+      acc += c;
+    }
+  }
+
+  // Cursor loop: again a scalar recurrence through the buckets.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(machine.sload_stream(kKey + i));
+    const auto c = machine.sload(kBucket + k);
+    machine.sstore_stream(kRank + i, c);
+    machine.sstore_stream(kBucket + k, c + 1);
+  }
+
+  SimulatedSortResult result;
+  result.ranks.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    result.ranks[i] = static_cast<std::uint32_t>(machine.peek(kRank + i));
+  result.clocks = machine.stats().clocks;
+  result.machine_stats = machine.stats();
+  return result;
+}
+
+SimulatedSortResult run_rank_sort_simulated(std::span<const std::uint32_t> keys, std::size_t m,
+                                            RowShape shape, VectorMachine::Config config) {
+  const std::size_t n = keys.size();
+
+  // Step 1 (Figure 11): MP(1, key, +) with the ones optimization — counts of
+  // preceding equal keys in `prefix`, class sizes in `reduction`.
+  const std::vector<VectorMachine::word_t> ones(n, 1);
+  std::vector<label_t> labels(keys.begin(), keys.end());
+  auto mp_run = run_multiprefix_simulated(ones, labels, m, shape, config,
+                                          /*ones_optimization=*/true);
+
+  // Steps 2+3 on a follow-up machine: scan the bucket counts, then combine
+  // rank[i] = prefix[i] + cumulative[key[i]] as one vectorized sweep.
+  const std::size_t kKey = 0;
+  const std::size_t kRank = n;
+  const std::size_t kCum = 2 * n;
+  config.memory_words = kCum + m;
+  config.dummy_address = ~std::uint64_t{0};
+  VectorMachine machine(config);
+  for (std::size_t i = 0; i < n; ++i) {
+    machine.poke(kKey + i, keys[i]);
+    machine.poke(kRank + i, mp_run.prefix[i]);
+  }
+  for (std::size_t b = 0; b < m; ++b) machine.poke(kCum + b, mp_run.reduction[b]);
+
+  // Step 2: the degenerate all-equal-labels multiprefix — solved with the
+  // partition method in the paper (§5.1.1); a pipelined scalar sweep here.
+  {
+    VectorMachine::word_t acc = 0;
+    for (std::size_t b = 0; b < m; ++b) {
+      const auto c = machine.sload_stream(kCum + b);
+      machine.sstore_stream(kCum + b, acc);
+      acc += c;
+    }
+  }
+
+  // Step 3: fully vectorized gather/add.
+  strip(machine, n, [&](std::size_t off) {
+    machine.vload(0, kKey + off);
+    machine.vgather(1, kCum, 0);
+    machine.vload(2, kRank + off);
+    machine.vadd(1, 1, 2);
+    machine.vstore(1, kRank + off);
+  });
+
+  SimulatedSortResult result;
+  result.ranks.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    result.ranks[i] = static_cast<std::uint32_t>(machine.peek(kRank + i));
+  result.clocks = mp_run.phase_clocks.total() + machine.stats().clocks;
+  result.machine_stats = machine.stats();
+  result.machine_stats.clocks = result.clocks;
+  return result;
+}
+
+}  // namespace mp::vm

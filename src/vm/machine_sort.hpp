@@ -1,0 +1,53 @@
+// Integer sorting on the simulated vector machine — the Table 1 comparison
+// at the machine-model level.
+//
+// Two rankers are implemented as machine programs:
+//
+//   * bucket/counting sort — the "partially vectorized FORTRAN bucket sort"
+//     baseline: the histogram and cursor loops carry a loop-carried
+//     dependence through the bucket array, so they execute as *scalar*
+//     loops paying full memory latency per access (§5.1.1: "previous
+//     attempts to vectorize the first step of the bucket sorting algorithm
+//     have relied on sophisticated compiler technology"); only the bucket
+//     initialization and scan are vector work.
+//
+//   * multiprefix rank sort (Figure 11) — the first multiprefix runs with
+//     the ones optimization (no value loads, §5.1.1); the bucket prefix is
+//     a short scan; the final combine is a fully vectorized gather/add.
+//
+// The simulated comparison reproduces Table 1's point: a fully vectorized
+// general-purpose primitive beats the partially vectorized special-purpose
+// loop on a vector machine — the exact opposite of their ranking on a
+// scalar cache CPU (see bench/table1_nas_is).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/row_shape.hpp"
+#include "vm/machine.hpp"
+
+namespace mp::vm {
+
+struct SimulatedSortResult {
+  std::vector<std::uint32_t> ranks;  // stable 0-based ranks
+  std::uint64_t clocks = 0;
+  VectorMachine::Stats machine_stats;
+
+  double clocks_per_key() const {
+    return static_cast<double>(clocks) / static_cast<double>(ranks.empty() ? 1 : ranks.size());
+  }
+};
+
+/// Counting/bucket sort ranks on the simulated machine (scalar histogram
+/// and cursor loops, vector init/scan).
+SimulatedSortResult run_counting_sort_simulated(std::span<const std::uint32_t> keys,
+                                                std::size_t m,
+                                                VectorMachine::Config config = {});
+
+/// Figure 11 multiprefix rank sort on the simulated machine.
+SimulatedSortResult run_rank_sort_simulated(std::span<const std::uint32_t> keys, std::size_t m,
+                                            RowShape shape, VectorMachine::Config config = {});
+
+}  // namespace mp::vm

@@ -1,0 +1,194 @@
+#include "vm/machine_spmv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/labels.hpp"
+#include "vm/machine_multiprefix.hpp"
+
+namespace mp::vm {
+
+namespace {
+
+constexpr std::size_t kVL = VectorMachine::kVectorLength;
+
+template <class Body>
+void strip(VectorMachine& machine, std::size_t count, Body&& body) {
+  if (count == 0) return;
+  machine.loop_start();  // pipeline fill, charged once per vector loop
+  for (std::size_t off = 0; off < count; off += kVL) {
+    machine.set_vl(std::min(kVL, count - off));
+    machine.chunk_boundary();
+    body(off);
+  }
+}
+
+std::size_t log2_ceil(std::size_t v) {
+  std::size_t bits = 0;
+  for (std::size_t x = v > 1 ? v - 1 : 0; x != 0; x >>= 1) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace
+
+SimulatedSpmvResult run_csr_spmv_simulated(const sparse::Csr<VectorMachine::word_t>& a,
+                                           std::span<const VectorMachine::word_t> x,
+                                           VectorMachine::Config config) {
+  MP_REQUIRE(x.size() == a.cols, "x size mismatch");
+  const std::size_t nnz = a.nnz();
+  const std::size_t kCol = 0;
+  const std::size_t kVal = nnz;
+  const std::size_t kX = 2 * nnz;
+  const std::size_t kY = kX + a.cols;
+  config.memory_words = kY + a.rows;
+  config.dummy_address = ~std::uint64_t{0};
+
+  VectorMachine machine(config);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    machine.poke(kCol + k, a.col[k]);
+    machine.poke(kVal + k, a.val[k]);
+  }
+  for (std::size_t c = 0; c < a.cols; ++c) machine.poke(kX + c, x[c]);
+
+  // One vectorized dot product per row; short rows pay the startup. The
+  // per-row scalar bookkeeping (row-pointer loads, loop setup) is charged
+  // as dependent scalar work — the row length gates the next loop's bounds.
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    const std::size_t lo = a.row_ptr[r];
+    const std::size_t hi = a.row_ptr[r + 1];
+    machine.chunk_boundary();  // row-pointer arithmetic
+    VectorMachine::word_t acc = 0;
+    strip(machine, hi - lo, [&](std::size_t off) {
+      machine.vload(0, kCol + lo + off);
+      machine.vload(1, kVal + lo + off);
+      machine.vgather(2, kX, 0);
+      machine.vmul(2, 2, 1);
+      acc += machine.vreduce_add(2);
+    });
+    machine.sstore_stream(kY + r, acc);
+  }
+
+  SimulatedSpmvResult result;
+  result.eval_clocks = machine.stats().clocks;
+  result.y.resize(a.rows);
+  for (std::size_t r = 0; r < a.rows; ++r) result.y[r] = machine.peek(kY + r);
+  return result;
+}
+
+SimulatedSpmvResult run_jd_spmv_simulated(const sparse::Csr<VectorMachine::word_t>& a,
+                                          std::span<const VectorMachine::word_t> x,
+                                          VectorMachine::Config config) {
+  MP_REQUIRE(x.size() == a.cols, "x size mismatch");
+  const auto jd = sparse::JaggedDiagonal<VectorMachine::word_t>::from_csr(a);
+  const std::size_t nnz = jd.nnz();
+  const std::size_t kJdj = 0;
+  const std::size_t kJda = nnz;
+  const std::size_t kX = 2 * nnz;
+  const std::size_t kAcc = kX + a.cols;
+  const std::size_t kPerm = kAcc + a.rows;
+  const std::size_t kY = kPerm + a.rows;
+  config.memory_words = kY + a.rows;
+  config.dummy_address = ~std::uint64_t{0};
+
+  VectorMachine machine(config);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    machine.poke(kJdj + k, jd.jdj[k]);
+    machine.poke(kJda + k, jd.jda[k]);
+  }
+  for (std::size_t c = 0; c < a.cols; ++c) machine.poke(kX + c, x[c]);
+  for (std::size_t r = 0; r < a.rows; ++r) machine.poke(kPerm + r, jd.perm[r]);
+
+  SimulatedSpmvResult result;
+
+  // Setup charge: counting + the scalar row sort (log-depth dependent
+  // accesses per row) + the transpose streams. This matches the paper's
+  // measured structure of a large per-row cost plus a per-element stream.
+  result.setup_clocks =
+      static_cast<std::uint64_t>(a.rows) * log2_ceil(a.rows) * config.scalar_latency +
+      3 * static_cast<std::uint64_t>(nnz) * config.scalar_stream_cost;
+
+  // Clear the permuted accumulator.
+  strip(machine, a.rows, [&](std::size_t off) {
+    machine.vbroadcast(0, 0);
+    machine.vstore(0, kAcc + off);
+  });
+
+  // One long vector update per jagged diagonal; elements of a diagonal are
+  // in distinct (permuted) rows, so the unit-stride accumulator is safe.
+  for (std::size_t d = 0; d < jd.num_diagonals(); ++d) {
+    const std::size_t lo = jd.diag_ptr[d];
+    const std::size_t len = jd.diag_ptr[d + 1] - lo;
+    strip(machine, len, [&](std::size_t off) {
+      machine.vload(0, kJdj + lo + off);
+      machine.vload(1, kJda + lo + off);
+      machine.vgather(2, kX, 0);
+      machine.vmul(2, 2, 1);
+      machine.vload(3, kAcc + off);
+      machine.vadd(3, 3, 2);
+      machine.vstore(3, kAcc + off);
+    });
+  }
+
+  // Scatter the permuted accumulator back to natural row order.
+  strip(machine, a.rows, [&](std::size_t off) {
+    machine.vload(0, kPerm + off);
+    machine.vload(1, kAcc + off);
+    machine.vscatter(1, kY, 0);
+  });
+
+  result.eval_clocks = machine.stats().clocks;
+  result.y.resize(a.rows);
+  for (std::size_t r = 0; r < a.rows; ++r) result.y[r] = machine.peek(kY + r);
+  return result;
+}
+
+SimulatedSpmvResult run_mp_spmv_simulated(const sparse::Coo<VectorMachine::word_t>& a,
+                                          std::span<const VectorMachine::word_t> x,
+                                          VectorMachine::Config config) {
+  MP_REQUIRE(x.size() == a.cols, "x size mismatch");
+  MP_REQUIRE(a.nnz() > 0, "empty matrix");
+  const std::size_t nnz = a.nnz();
+
+  // Product loop (Figure 12, first pardo): fully vectorized.
+  const std::size_t kCol = 0;
+  const std::size_t kVal = nnz;
+  const std::size_t kX = 2 * nnz;
+  const std::size_t kProduct = kX + a.cols;
+  config.memory_words = kProduct + nnz;
+  config.dummy_address = ~std::uint64_t{0};
+  VectorMachine machine(config);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    machine.poke(kCol + k, a.col[k]);
+    machine.poke(kVal + k, a.val[k]);
+  }
+  for (std::size_t c = 0; c < a.cols; ++c) machine.poke(kX + c, x[c]);
+
+  strip(machine, nnz, [&](std::size_t off) {
+    machine.vload(0, kCol + off);
+    machine.vload(1, kVal + off);
+    machine.vgather(2, kX, 0);
+    machine.vmul(2, 2, 1);
+    machine.vstore(2, kProduct + off);
+  });
+  const std::uint64_t product_clocks = machine.stats().clocks;
+
+  std::vector<VectorMachine::word_t> product(nnz);
+  for (std::size_t k = 0; k < nnz; ++k) product[k] = machine.peek(kProduct + k);
+
+  // Multireduce by row index on the simulated machine. Row length near
+  // sqrt(nnz), odd (bank hygiene, §4.4).
+  const std::size_t base_len = RowShape::square(nnz).row_len;
+  const RowShape shape = RowShape::with_row_length(nnz, base_len | 1);
+  const auto mp_run = run_multiprefix_simulated(
+      product, std::vector<label_t>(a.row.begin(), a.row.end()), a.rows, shape);
+
+  SimulatedSpmvResult result;
+  result.setup_clocks = mp_run.phase_clocks.init + mp_run.phase_clocks.spinetree;
+  result.eval_clocks = product_clocks + mp_run.phase_clocks.rowsums +
+                       mp_run.phase_clocks.spinesums + mp_run.phase_clocks.reductions;
+  result.y = mp_run.reduction;
+  return result;
+}
+
+}  // namespace mp::vm

@@ -1,0 +1,59 @@
+// Sparse matrix × vector on the simulated vector machine — Tables 2/4/5 at
+// the machine-model level (paper §5.2).
+//
+// The three kernels are written exactly as their Y-MP counterparts:
+//
+//   CSR — one vectorized dot product per row. Every row pays the vector
+//         startup, so matrices with short rows (ρ = 0.001) drown in
+//         per-row overhead — the n_1/2 effect that sinks CSR in Table 2;
+//   JD  — one long vector update per jagged diagonal over the permuted
+//         accumulator, then a scatter through the permutation. The
+//         per-diagonal startup makes circuit matrices (Table 5) blow up;
+//         setup (count/sort/transpose) is charged as scalar + stream work;
+//   MP  — the Figure 12 program: a fully vectorized product loop, then a
+//         multireduce on the simulated machine (machine_multiprefix.hpp);
+//         setup is precisely the SPINETREE construction (§5.2.1).
+//
+// The machine word is an integer; drive these with *positive* integer
+// matrix and vector values — timing depends only on structure, integer
+// results are exact for the correctness checks, and the MP kernel inherits
+// the paper's `rowsum != 0` spine test from the simulated multiprefix,
+// which requires positive partial sums.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/jagged_diagonal.hpp"
+#include "vm/machine.hpp"
+
+namespace mp::vm {
+
+struct SimulatedSpmvResult {
+  std::vector<VectorMachine::word_t> y;
+  std::uint64_t setup_clocks = 0;  // preprocessing chargeable once per matrix
+  std::uint64_t eval_clocks = 0;   // one multiply
+  std::uint64_t total_clocks() const { return setup_clocks + eval_clocks; }
+};
+
+/// y = A·x with compressed-sparse-row storage (no setup by convention).
+SimulatedSpmvResult run_csr_spmv_simulated(const sparse::Csr<VectorMachine::word_t>& a,
+                                           std::span<const VectorMachine::word_t> x,
+                                           VectorMachine::Config config = {});
+
+/// y = A·x with jagged-diagonal storage; setup_clocks charges the
+/// count/sort/transpose conversion.
+SimulatedSpmvResult run_jd_spmv_simulated(const sparse::Csr<VectorMachine::word_t>& a,
+                                          std::span<const VectorMachine::word_t> x,
+                                          VectorMachine::Config config = {});
+
+/// y = A·x with the multiprefix approach (Figure 12); setup_clocks is the
+/// spinetree construction over the row labels.
+SimulatedSpmvResult run_mp_spmv_simulated(const sparse::Coo<VectorMachine::word_t>& a,
+                                          std::span<const VectorMachine::word_t> x,
+                                          VectorMachine::Config config = {});
+
+}  // namespace mp::vm

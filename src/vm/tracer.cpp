@@ -1,0 +1,51 @@
+#include "vm/tracer.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace mp::vm {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kElementwise: return "elementwise";
+    case OpKind::kFill: return "fill";
+    case OpKind::kIota: return "iota";
+    case OpKind::kCopy: return "copy";
+    case OpKind::kGather: return "gather";
+    case OpKind::kScatter: return "scatter";
+    case OpKind::kScatterCombine: return "scatter-combine";
+    case OpKind::kMaskedScatterCombine: return "masked-scatter-combine";
+    case OpKind::kReduce: return "reduce";
+    case OpKind::kScan: return "scan";
+  }
+  return "unknown";
+}
+
+std::size_t Tracer::total_ops() const {
+  std::size_t total = 0;
+  for (const auto& c : counts_) total += c.ops;
+  return total;
+}
+
+std::size_t Tracer::total_elements() const {
+  std::size_t total = 0;
+  for (const auto& c : counts_) total += c.elements;
+  return total;
+}
+
+void Tracer::reset() {
+  counts_.fill(Counter{});
+  events_.clear();
+}
+
+std::string Tracer::summary() const {
+  std::ostringstream out;
+  for (std::size_t k = 0; k < kNumOpKinds; ++k) {
+    if (counts_[k].ops == 0) continue;
+    out << to_string(static_cast<OpKind>(k)) << ": " << counts_[k].ops << " ops, "
+        << counts_[k].elements << " elements\n";
+  }
+  return out.str();
+}
+
+}  // namespace mp::vm

@@ -1,0 +1,87 @@
+// Vector-operation tracing.
+//
+// The paper ports a synchronous PRAM algorithm to the CRAY Y-MP by issuing
+// one vector operation per parallel step (§1.1, [CBZ90]). To reason about
+// that port on modern hardware we instrument every vector primitive in
+// vm/vector_ops.hpp with a Tracer: each call records its kind and length.
+//
+// A trace serves two purposes:
+//   * correctness/complexity assertions in tests (e.g. the four multiprefix
+//     phases each issue exactly `rows` or `cols` vector operations, and the
+//     total traced elements are O(n) — the work-efficiency claim of §3);
+//   * Cray Y-MP cost modeling: vm::CrayModel charges each recorded event
+//     t(n) = t_e (n + n_1/2), reproducing the paper's published timings.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mp::vm {
+
+/// Classification of vector primitives, mirroring the memory-port behaviour
+/// that determines their cost on a register-vector machine.
+enum class OpKind : std::uint8_t {
+  kElementwise,     // c[i] = f(a[i], b[i]); contiguous streams
+  kFill,            // a[i] = k
+  kIota,            // a[i] = base + i*step
+  kCopy,            // b[i] = a[i]
+  kGather,          // b[i] = a[idx[i]]
+  kScatter,         // a[idx[i]] = b[i]   (last write wins within the op)
+  kScatterCombine,  // a[idx[i]] = op(a[idx[i]], b[i]), sequential in i
+  kMaskedScatterCombine,  // as above under a mask (the SPINESUM loop shape)
+  kReduce,          // scalar = op-sum(a)
+  kScan,            // exclusive or inclusive prefix over a contiguous vector
+};
+
+inline constexpr std::size_t kNumOpKinds = 10;
+
+const char* to_string(OpKind kind);
+
+/// Accumulates per-kind operation and element counts, and (optionally) the
+/// full event sequence for cost-model replay.
+class Tracer {
+ public:
+  struct Event {
+    OpKind kind;
+    std::size_t length;
+  };
+
+  /// If `record_events` is true the full event sequence is kept (needed for
+  /// CrayModel::replay_cost); otherwise only aggregate counters are kept.
+  explicit Tracer(bool record_events = true) : record_events_(record_events) {}
+
+  void record(OpKind kind, std::size_t length) {
+    auto& c = counts_[static_cast<std::size_t>(kind)];
+    c.ops += 1;
+    c.elements += length;
+    if (record_events_) events_.push_back({kind, length});
+  }
+
+  std::size_t ops(OpKind kind) const { return counts_[static_cast<std::size_t>(kind)].ops; }
+  std::size_t elements(OpKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)].elements;
+  }
+  std::size_t total_ops() const;
+  std::size_t total_elements() const;
+
+  const std::vector<Event>& events() const { return events_; }
+
+  void reset();
+
+  /// Human-readable per-kind summary (one line per kind with activity).
+  std::string summary() const;
+
+ private:
+  struct Counter {
+    std::size_t ops = 0;
+    std::size_t elements = 0;
+  };
+  std::array<Counter, kNumOpKinds> counts_{};
+  std::vector<Event> events_;
+  bool record_events_;
+};
+
+}  // namespace mp::vm

@@ -1,0 +1,129 @@
+// Vector primitives in the style of a register-vector machine with
+// scatter/gather (Cray Y-MP class hardware).
+//
+// Each primitive processes a whole index range in one call — one "vector
+// operation" — and reports itself to an optional Tracer. The vectorized
+// multiprefix executor (core/executor.hpp) is written entirely in terms of
+// these primitives, so its traced operation stream is exactly the stream of
+// Cray vector instructions the paper's §4 implementation would issue, and
+// vm::CrayModel can price it.
+//
+// Semantics notes:
+//  * scatter(): when several lanes target the same location, the highest
+//    lane index wins — a concrete realization of the ARB concurrent write
+//    (the Y-MP's scatter behaves this way; the multiprefix algorithm is
+//    correct for *any* winner, which the PRAM tests verify independently).
+//  * scatter_combine(): read-modify-write applied sequentially in lane
+//    order. This is the "vector update loop" shape (§1, [PMM92]) and is how
+//    the ROWSUM/PREFIXSUM loops execute; the algorithm guarantees the index
+//    vectors are conflict-free there, which debug builds can verify.
+//
+// All functions use std::span (C++ Core Guidelines SL.con / I.13: no raw
+// pointer+length pairs across interfaces).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/assert.hpp"
+#include "vm/tracer.hpp"
+
+namespace mp::vm {
+
+/// Index type of the simulated machine: 32 bits address every workload in
+/// the paper (n + m < 2^32) at half the memory traffic of size_t indices.
+using index_t = std::uint32_t;
+
+template <class T>
+void fill(std::span<T> dst, T value, Tracer* tracer = nullptr) {
+  if (tracer) tracer->record(OpKind::kFill, dst.size());
+  for (auto& x : dst) x = value;
+}
+
+template <class T>
+void iota(std::span<T> dst, T base, T step, Tracer* tracer = nullptr) {
+  if (tracer) tracer->record(OpKind::kIota, dst.size());
+  T v = base;
+  for (auto& x : dst) {
+    x = v;
+    v = static_cast<T>(v + step);
+  }
+}
+
+template <class T>
+void copy(std::span<const T> src, std::span<T> dst, Tracer* tracer = nullptr) {
+  MP_REQUIRE(src.size() == dst.size(), "copy length mismatch");
+  if (tracer) tracer->record(OpKind::kCopy, dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+}
+
+/// dst[i] = src[idx[i]].
+template <class T>
+void gather(std::span<const T> src, std::span<const index_t> idx, std::span<T> dst,
+            Tracer* tracer = nullptr) {
+  MP_REQUIRE(idx.size() == dst.size(), "gather length mismatch");
+  if (tracer) tracer->record(OpKind::kGather, idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    MP_ASSERT(idx[i] < src.size());
+    dst[i] = src[idx[i]];
+  }
+}
+
+/// dst[idx[i]] = src[i]; on duplicate indices the highest lane wins (ARB).
+template <class T>
+void scatter(std::span<const T> src, std::span<const index_t> idx, std::span<T> dst,
+             Tracer* tracer = nullptr) {
+  MP_REQUIRE(idx.size() == src.size(), "scatter length mismatch");
+  if (tracer) tracer->record(OpKind::kScatter, idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    MP_ASSERT(idx[i] < dst.size());
+    dst[idx[i]] = src[i];
+  }
+}
+
+/// dst[idx[i]] = op(dst[idx[i]], src[i]), applied in increasing lane order.
+template <class T, class Op>
+void scatter_combine(std::span<const T> src, std::span<const index_t> idx, std::span<T> dst,
+                     Op op, Tracer* tracer = nullptr) {
+  MP_REQUIRE(idx.size() == src.size(), "scatter_combine length mismatch");
+  if (tracer) tracer->record(OpKind::kScatterCombine, idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    MP_ASSERT(idx[i] < dst.size());
+    dst[idx[i]] = op(dst[idx[i]], src[i]);
+  }
+}
+
+/// c[i] = op(a[i], b[i]).
+template <class T, class Op>
+void elementwise(std::span<const T> a, std::span<const T> b, std::span<T> c, Op op,
+                 Tracer* tracer = nullptr) {
+  MP_REQUIRE(a.size() == b.size() && b.size() == c.size(), "elementwise length mismatch");
+  if (tracer) tracer->record(OpKind::kElementwise, a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = op(a[i], b[i]);
+}
+
+/// scalar op-reduction of a (left-to-right order).
+template <class T, class Op>
+T reduce(std::span<const T> a, T identity, Op op, Tracer* tracer = nullptr) {
+  if (tracer) tracer->record(OpKind::kReduce, a.size());
+  T acc = identity;
+  for (const T& x : a) acc = op(acc, x);
+  return acc;
+}
+
+/// In-place exclusive prefix (scan) over a contiguous vector: a[i] becomes
+/// op-sum of a[0..i); returns the total. This is the simple recurrence the
+/// NAS sort solves with the "partition method" (§5.1.1).
+template <class T, class Op>
+T exclusive_scan(std::span<T> a, T identity, Op op, Tracer* tracer = nullptr) {
+  if (tracer) tracer->record(OpKind::kScan, a.size());
+  T acc = identity;
+  for (auto& x : a) {
+    const T next = op(acc, x);
+    x = acc;
+    acc = next;
+  }
+  return acc;
+}
+
+}  // namespace mp::vm

@@ -1,0 +1,142 @@
+// Tests for the deterministic RNGs and the NAS pseudo-random generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "common/nas_random.hpp"
+#include "common/rng.hpp"
+
+namespace mp {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowCoversSmallRange) {
+  Xoshiro256 rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all 8 residues appear in 500 draws
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+}
+
+// ---- NAS randlc ------------------------------------------------------------
+
+TEST(NasRandlc, DoubleArithmeticMatchesExactArithmetic) {
+  // The split double-precision arithmetic must be bit-exact against 128-bit
+  // integer modular multiplication for every reachable state.
+  double x = nas::kDefaultSeed;
+  std::uint64_t xi = 314159265ULL;
+  for (int i = 0; i < 100000; ++i) {
+    const double rd = nas::randlc(x, nas::kDefaultMultiplier);
+    const double ri = nas::randlc_exact(xi);
+    ASSERT_EQ(rd, ri) << "diverged at step " << i;
+    ASSERT_EQ(x, static_cast<double>(xi));
+  }
+}
+
+TEST(NasRandlc, StaysInOpenUnitInterval) {
+  nas::RandlcStream rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double r = rng.next();
+    ASSERT_GT(r, 0.0);
+    ASSERT_LT(r, 1.0);
+  }
+}
+
+TEST(NasRandlc, StateStaysBelow2To46) {
+  nas::RandlcStream rng;
+  for (int i = 0; i < 1000; ++i) {
+    rng.next();
+    ASSERT_LT(rng.state(), 0x1.0p46);
+    ASSERT_EQ(rng.state(), std::floor(rng.state()));  // integer-valued
+  }
+}
+
+TEST(NasRandlc, PeriodIsLong) {
+  // The 46-bit LCG with odd seed has period 2^44; the state must not repeat
+  // within any practical horizon.
+  nas::RandlcStream rng;
+  const double first = rng.next();
+  for (int i = 0; i < 50000; ++i) ASSERT_NE(rng.next(), first);
+}
+
+TEST(NasIsKeys, DeterministicAndInRange) {
+  const auto a = nas::generate_is_keys(4096, 1u << 11);
+  const auto b = nas::generate_is_keys(4096, 1u << 11);
+  EXPECT_EQ(a, b);
+  for (const auto k : a) EXPECT_LT(k, 1u << 11);
+}
+
+TEST(NasIsKeys, MeanIsCentered) {
+  // Keys are the scaled mean of 4 uniforms: expected value B_max/2.
+  const std::uint32_t b_max = 1u << 11;
+  const auto keys = nas::generate_is_keys(100000, b_max);
+  double sum = 0;
+  for (const auto k : keys) sum += k;
+  EXPECT_NEAR(sum / static_cast<double>(keys.size()), b_max / 2.0, b_max * 0.01);
+}
+
+TEST(NasIsKeys, DistributionIsBellShapedNotUniform) {
+  // The 4-sum construction concentrates mass near the center: the middle
+  // half of the range must hold far more than half the keys.
+  const std::uint32_t b_max = 1u << 11;
+  const auto keys = nas::generate_is_keys(100000, b_max);
+  std::size_t middle = 0;
+  for (const auto k : keys)
+    if (k >= b_max / 4 && k < 3 * b_max / 4) ++middle;
+  EXPECT_GT(static_cast<double>(middle) / static_cast<double>(keys.size()), 0.85);
+}
+
+TEST(NasIsKeys, DifferentSeedsGiveDifferentKeys) {
+  const auto a = nas::generate_is_keys(1024, 1u << 11, 314159265.0);
+  const auto b = nas::generate_is_keys(1024, 1u << 11, 271828183.0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,160 @@
+// Tests for tables, CLI parsing, timers and label-vector generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/labels.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace mp {
+namespace {
+
+// ---- TextTable -------------------------------------------------------------
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"beta", "22.50"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.50"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxxxxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string out = t.render();
+  // Every line between rules has the same width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto eol = out.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(TextTable::num(std::size_t{42}), "42");
+}
+
+// ---- CliArgs ---------------------------------------------------------------
+
+TEST(CliArgs, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--n=100", "--rho=0.5", "--name=test"};
+  CliArgs args(4, argv);
+  EXPECT_EQ(args.get("n", std::int64_t{0}), 100);
+  EXPECT_DOUBLE_EQ(args.get("rho", 0.0), 0.5);
+  EXPECT_EQ(args.get("name", std::string("x")), "test");
+}
+
+TEST(CliArgs, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--n", "7"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get("n", std::int64_t{0}), 7);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  CliArgs args(2, argv);
+  EXPECT_TRUE(args.get("verbose", false));
+  EXPECT_FALSE(args.get("quiet", false));
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get("n", std::int64_t{9}), 9);
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(CliArgs, ExplicitBooleanValues) {
+  const char* argv[] = {"prog", "--a=true", "--b=false", "--c=1", "--d=0"};
+  CliArgs args(5, argv);
+  EXPECT_TRUE(args.get("a", false));
+  EXPECT_FALSE(args.get("b", true));
+  EXPECT_TRUE(args.get("c", false));
+  EXPECT_FALSE(args.get("d", true));
+}
+
+// ---- Timer -----------------------------------------------------------------
+
+TEST(Timer, MeasuresNonNegativeMonotonicTime) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, BestOfTakesMinimum) {
+  int calls = 0;
+  const double t = time_best_of(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_GE(t, 0.0);
+}
+
+// ---- label generators --------------------------------------------------------
+
+TEST(Labels, UniformStaysInRangeAndIsDeterministic) {
+  const auto a = uniform_labels(1000, 37, 1);
+  const auto b = uniform_labels(1000, 37, 1);
+  EXPECT_EQ(a, b);
+  for (const auto l : a) EXPECT_LT(l, 37u);
+}
+
+TEST(Labels, UniformHitsMostBuckets) {
+  const auto labels = uniform_labels(10000, 64, 2);
+  std::set<label_t> seen(labels.begin(), labels.end());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Labels, ConstantIsConstant) {
+  const auto labels = constant_labels(100, 5);
+  for (const auto l : labels) EXPECT_EQ(l, 5u);
+}
+
+TEST(Labels, PermutationIsAPermutation) {
+  const auto labels = permutation_labels(500, 9);
+  std::vector<label_t> sorted(labels);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Labels, SegmentedRunsShareLabels) {
+  const auto labels = segmented_labels(10, 3);
+  const std::vector<label_t> expected = {0, 0, 0, 1, 1, 1, 2, 2, 2, 3};
+  EXPECT_EQ(labels, expected);
+}
+
+TEST(Labels, ZipfZeroExponentIsRoughlyUniform) {
+  const auto labels = zipf_labels(50000, 10, 0.0, 3);
+  std::vector<std::size_t> counts(10, 0);
+  for (const auto l : labels) ++counts[l];
+  for (const auto c : counts) EXPECT_NEAR(static_cast<double>(c), 5000.0, 500.0);
+}
+
+TEST(Labels, ZipfSkewsTowardLowLabels) {
+  const auto labels = zipf_labels(50000, 100, 1.2, 4);
+  std::vector<std::size_t> counts(100, 0);
+  for (const auto l : labels) ++counts[l];
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,141 @@
+// Tests for grid-shape selection (§2.2 padding, §4.4 row-length policy)
+// and typed sweeps of the executor across value types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+#include "core/row_shape.hpp"
+#include "core/serial.hpp"
+
+namespace mp {
+namespace {
+
+// ---- RowShape -----------------------------------------------------------------
+
+TEST(RowShape, SquareCoversNForManySizes) {
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 99u, 100u, 101u, 65536u, 999983u}) {
+    const auto s = RowShape::square(n);
+    EXPECT_GE(s.padded(), n) << n;
+    EXPECT_GE(s.row_len, 1u);
+    EXPECT_GE(s.rows, 1u);
+    if (n > 0) {
+      // row_len = ceil(sqrt(n)): within one of sqrt(n).
+      const double root = std::sqrt(static_cast<double>(n));
+      EXPECT_GE(static_cast<double>(s.row_len) + 1e-9, root) << n;
+      EXPECT_LE(static_cast<double>(s.row_len), root + 1.0) << n;
+      // No wasted full rows.
+      EXPECT_LT(s.padded() - n, s.row_len) << n;
+    }
+  }
+}
+
+TEST(RowShape, WithFactorScalesRowLength) {
+  const std::size_t n = 10000;
+  const auto half = RowShape::with_factor(n, 0.5);
+  const auto twice = RowShape::with_factor(n, 2.0);
+  EXPECT_EQ(half.row_len, 50u);
+  EXPECT_EQ(twice.row_len, 200u);
+  EXPECT_GE(half.padded(), n);
+  EXPECT_GE(twice.padded(), n);
+}
+
+TEST(RowShape, WithFactorClampsToValidRange) {
+  EXPECT_EQ(RowShape::with_factor(100, 0.001).row_len, 1u);
+  EXPECT_EQ(RowShape::with_factor(100, 1000.0).row_len, 100u);
+  EXPECT_THROW(RowShape::with_factor(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(RowShape::with_factor(100, -1.0), std::invalid_argument);
+}
+
+TEST(RowShape, WithRowLengthExplicit) {
+  const auto s = RowShape::with_row_length(10, 3);
+  EXPECT_EQ(s.row_len, 3u);
+  EXPECT_EQ(s.rows, 4u);
+  EXPECT_EQ(s.padded(), 12u);
+  EXPECT_EQ(RowShape::with_row_length(10, 100).row_len, 10u);  // clamped to n
+  EXPECT_THROW(RowShape::with_row_length(10, 0), std::invalid_argument);
+}
+
+TEST(RowShape, ZeroElements) {
+  for (const auto& s : {RowShape::square(0), RowShape::with_factor(0, 1.0),
+                        RowShape::with_row_length(0, 5), RowShape::auto_shape(0)}) {
+    EXPECT_EQ(s.row_len, 1u);
+    EXPECT_EQ(s.rows, 1u);
+  }
+}
+
+TEST(RowShape, AvoidPow2Stride) {
+  EXPECT_EQ(avoid_pow2_stride(255), 255u);
+  EXPECT_EQ(avoid_pow2_stride(256), 257u);
+  EXPECT_EQ(avoid_pow2_stride(512), 513u);
+  EXPECT_EQ(avoid_pow2_stride(100), 100u);
+  EXPECT_EQ(avoid_pow2_stride(1024), 1025u);
+  EXPECT_EQ(avoid_pow2_stride(1025), 1025u);
+}
+
+TEST(RowShape, AutoShapeAvoidsPow2AndCovers) {
+  // n = 65536 -> sqrt = 256, a multiple of 256 -> nudged.
+  const auto s = RowShape::auto_shape(65536);
+  EXPECT_NE(s.row_len % 256, 0u);
+  EXPECT_GE(s.padded(), 65536u);
+}
+
+// ---- typed executor sweep --------------------------------------------------------
+
+template <class T>
+class TypedExecutorTest : public ::testing::Test {};
+
+using ValueTypes = ::testing::Types<int, long, long long, unsigned, float, double>;
+TYPED_TEST_SUITE(TypedExecutorTest, ValueTypes);
+
+TYPED_TEST(TypedExecutorTest, PlusMatchesSerialOnSmallIntegers) {
+  using T = TypeParam;
+  const std::size_t n = 600;
+  const std::size_t m = 23;
+  const auto labels = uniform_labels(n, m, 3);
+  Xoshiro256 rng(4);
+  std::vector<T> values(n);
+  // Small non-negative integer values are exactly representable in every
+  // tested type, so even float PLUS is exact and comparable bitwise.
+  for (auto& v : values) v = static_cast<T>(rng.below(100));
+
+  const SpinetreePlan plan(labels, m);
+  SpinetreeExecutor<T, Plus> exec(plan);
+  MultiprefixResult<T> got(n, m, T{});
+  exec.execute(values, std::span<T>(got.prefix), std::span<T>(got.reduction));
+  const auto expected = multiprefix_serial<T, Plus>(values, labels, m);
+  EXPECT_EQ(got.prefix, expected.prefix);
+  EXPECT_EQ(got.reduction, expected.reduction);
+}
+
+TYPED_TEST(TypedExecutorTest, MaxAndMinMatchSerial) {
+  using T = TypeParam;
+  const std::size_t n = 400;
+  const std::size_t m = 7;
+  const auto labels = zipf_labels(n, m, 1.2, 5);
+  Xoshiro256 rng(6);
+  std::vector<T> values(n);
+  for (auto& v : values) v = static_cast<T>(rng.below(1000));
+
+  {
+    const SpinetreePlan plan(labels, m);
+    SpinetreeExecutor<T, Max> exec(plan, Max{});
+    MultiprefixResult<T> got(n, m, Max{}.identity<T>());
+    exec.execute(values, std::span<T>(got.prefix), std::span<T>(got.reduction));
+    const auto expected = multiprefix_serial<T, Max>(values, labels, m, Max{});
+    EXPECT_EQ(got.prefix, expected.prefix);
+    EXPECT_EQ(got.reduction, expected.reduction);
+  }
+  {
+    const SpinetreePlan plan(labels, m);
+    SpinetreeExecutor<T, Min> exec(plan, Min{});
+    std::vector<T> reduction(m, Min{}.identity<T>());
+    exec.reduce(values, std::span<T>(reduction));
+    EXPECT_EQ(reduction, (multireduce_serial<T, Min>(values, labels, m, Min{})));
+  }
+}
+
+}  // namespace
+}  // namespace mp

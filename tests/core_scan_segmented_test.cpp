@@ -1,0 +1,244 @@
+// Tests for scans (including the §5.1.1 partition method) and the subsumed
+// primitives of §1: segmented scans, combining send, fetch-and-op.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/scan.hpp"
+#include "core/segmented.hpp"
+#include "core/serial.hpp"
+
+namespace mp {
+namespace {
+
+// ---- scans ---------------------------------------------------------------------
+
+TEST(Scan, SerialExclusiveHandExample) {
+  std::vector<int> v = {3, 1, 4, 1, 5};
+  const int total = exclusive_scan_serial<int>(v);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 4, 8, 9}));
+  EXPECT_EQ(total, 14);
+}
+
+TEST(Scan, SerialInclusiveHandExample) {
+  std::vector<int> v = {3, 1, 4, 1, 5};
+  const int total = inclusive_scan_serial<int>(v);
+  EXPECT_EQ(v, (std::vector<int>{3, 4, 8, 9, 14}));
+  EXPECT_EQ(total, 14);
+}
+
+TEST(Scan, EmptyVector) {
+  std::vector<int> v;
+  EXPECT_EQ(exclusive_scan_serial<int>(v), 0);
+  ThreadPool pool(2);
+  EXPECT_EQ(exclusive_scan_partition<int>(v, pool), 0);
+}
+
+TEST(Scan, SerialMatchesStdExclusiveScan) {
+  Xoshiro256 rng(1);
+  std::vector<long> v(1000);
+  for (auto& x : v) x = static_cast<long>(rng.below(100)) - 50;
+  std::vector<long> expected(v.size());
+  std::exclusive_scan(v.begin(), v.end(), expected.begin(), 0L);
+  exclusive_scan_serial<long>(v);
+  EXPECT_EQ(v, expected);
+}
+
+class PartitionScanTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionScanTest, MatchesSerialForAnyBlockCount) {
+  const std::size_t blocks = GetParam();
+  ThreadPool pool(3);
+  Xoshiro256 rng(2);
+  for (const std::size_t n : {1u, 7u, 100u, 1000u, 4096u}) {
+    std::vector<int> a(n), b;
+    for (auto& x : a) x = static_cast<int>(rng.below(100)) - 50;
+    b = a;
+    const int t1 = exclusive_scan_serial<int>(std::span<int>(a));
+    const int t2 = exclusive_scan_partition<int>(std::span<int>(b), pool, Plus{}, blocks);
+    ASSERT_EQ(a, b) << "n=" << n << " blocks=" << blocks;
+    ASSERT_EQ(t1, t2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, PartitionScanTest, ::testing::Values(1, 2, 3, 8, 64, 4096));
+
+TEST(Scan, PartitionMethodWithMaxOperator) {
+  ThreadPool pool(4);
+  Xoshiro256 rng(3);
+  std::vector<int> a(777), b;
+  for (auto& x : a) x = static_cast<int>(rng.below(1000)) - 500;
+  b = a;
+  exclusive_scan_serial<int, Max>(std::span<int>(a), Max{});
+  exclusive_scan_partition<int, Max>(std::span<int>(b), pool, Max{}, 13);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Scan, DegenerateMultiprefixIsAScan) {
+  // Figure 11's second MP call: all labels equal -> multiprefix == scan.
+  Xoshiro256 rng(4);
+  std::vector<int> v(500);
+  for (auto& x : v) x = static_cast<int>(rng.below(10));
+  const auto labels = constant_labels(v.size(), 0);
+  const auto result = multiprefix_serial<int>(v, labels, 1);
+  std::vector<int> scanned(v);
+  const int total = exclusive_scan_serial<int>(std::span<int>(scanned));
+  EXPECT_EQ(result.prefix, scanned);
+  EXPECT_EQ(result.reduction[0], total);
+}
+
+// ---- segment ids -----------------------------------------------------------------
+
+TEST(SegmentIds, FlagsToIds) {
+  const std::vector<std::uint8_t> flags = {0, 0, 1, 0, 1, 1, 0};
+  std::size_t segments = 0;
+  const auto ids = segment_ids_from_flags(flags, segments);
+  EXPECT_EQ(ids, (std::vector<label_t>{0, 0, 1, 1, 2, 3, 3}));
+  EXPECT_EQ(segments, 4u);
+}
+
+TEST(SegmentIds, FirstElementStartsSegmentZeroRegardlessOfFlag) {
+  const std::vector<std::uint8_t> flagged = {1, 0};
+  const std::vector<std::uint8_t> unflagged = {0, 0};
+  std::size_t s1 = 0, s2 = 0;
+  EXPECT_EQ(segment_ids_from_flags(flagged, s1), segment_ids_from_flags(unflagged, s2));
+  EXPECT_EQ(s1, 1u);
+}
+
+TEST(SegmentIds, Empty) {
+  std::size_t segments = 99;
+  EXPECT_TRUE(segment_ids_from_flags({}, segments).empty());
+  EXPECT_EQ(segments, 0u);
+}
+
+// ---- segmented scans -----------------------------------------------------------------
+
+TEST(SegmentedScan, ExclusiveHandExample) {
+  const std::vector<int> values = {1, 2, 3, 4, 5, 6};
+  const std::vector<std::uint8_t> flags = {1, 0, 0, 1, 0, 0};
+  const auto r = segmented_scan<int>(values, flags);
+  EXPECT_EQ(r.scan, (std::vector<int>{0, 1, 3, 0, 4, 9}));
+  EXPECT_EQ(r.totals, (std::vector<int>{6, 15}));
+}
+
+TEST(SegmentedScan, InclusiveHandExample) {
+  const std::vector<int> values = {1, 2, 3, 4, 5, 6};
+  const std::vector<std::uint8_t> flags = {1, 0, 0, 1, 0, 0};
+  const auto r = segmented_scan_inclusive<int>(values, flags);
+  EXPECT_EQ(r.scan, (std::vector<int>{1, 3, 6, 4, 9, 15}));
+}
+
+TEST(SegmentedScan, SingleSegmentEqualsPlainScan) {
+  Xoshiro256 rng(5);
+  std::vector<int> values(300);
+  for (auto& v : values) v = static_cast<int>(rng.below(20)) - 10;
+  const std::vector<std::uint8_t> flags(values.size(), 0);
+  const auto r = segmented_scan<int>(values, flags);
+  std::vector<int> scanned(values);
+  exclusive_scan_serial<int>(std::span<int>(scanned));
+  EXPECT_EQ(r.scan, scanned);
+}
+
+TEST(SegmentedScan, EverySegmentOfOneYieldsIdentity) {
+  const std::vector<int> values = {7, 8, 9};
+  const std::vector<std::uint8_t> flags = {1, 1, 1};
+  const auto r = segmented_scan<int>(values, flags);
+  EXPECT_EQ(r.scan, (std::vector<int>{0, 0, 0}));
+  EXPECT_EQ(r.totals, (std::vector<int>{7, 8, 9}));
+}
+
+TEST(SegmentedScan, AllStrategiesAgree) {
+  Xoshiro256 rng(6);
+  const std::size_t n = 1000;
+  std::vector<int> values(n);
+  for (auto& v : values) v = static_cast<int>(rng.below(9)) - 4;
+  std::vector<std::uint8_t> flags(n, 0);
+  for (std::size_t i = 1; i < n; ++i) flags[i] = rng.below(10) == 0 ? 1 : 0;
+  const auto reference = segmented_scan<int>(values, flags, Plus{}, Strategy::kSerial);
+  for (const Strategy s : {Strategy::kVectorized, Strategy::kSortBased, Strategy::kChunked}) {
+    const auto got = segmented_scan<int>(values, flags, Plus{}, s);
+    ASSERT_EQ(got.scan, reference.scan) << to_string(s);
+    ASSERT_EQ(got.totals, reference.totals) << to_string(s);
+  }
+}
+
+TEST(SegmentedScan, MaxOperatorWithinSegments) {
+  const std::vector<int> values = {3, 9, 2, 5, 1, 7};
+  const std::vector<std::uint8_t> flags = {1, 0, 0, 1, 0, 0};
+  const auto r = segmented_scan_inclusive<int>(values, flags, Max{});
+  EXPECT_EQ(r.scan, (std::vector<int>{3, 9, 9, 5, 5, 7}));
+  EXPECT_EQ(r.totals, (std::vector<int>{9, 7}));
+}
+
+// ---- combining send -----------------------------------------------------------------
+
+TEST(CombiningSend, CollidingMessagesCombine) {
+  const std::vector<int> values = {1, 2, 3, 4};
+  const std::vector<label_t> dest = {2, 0, 2, 2};
+  const auto mailbox = combining_send<int>(values, dest, 4);
+  EXPECT_EQ(mailbox, (std::vector<int>{2, 0, 8, 0}));
+}
+
+TEST(CombiningSend, MatchesSerialMultireduceOnRandom) {
+  Xoshiro256 rng(7);
+  const std::size_t n = 2000, m = 37;
+  std::vector<int> values(n);
+  for (auto& v : values) v = static_cast<int>(rng.below(100));
+  const auto dest = uniform_labels(n, m, 8);
+  EXPECT_EQ(combining_send<int>(values, dest, m),
+            multireduce_serial<int>(values, dest, m));
+}
+
+TEST(CombiningSend, MaxCombiner) {
+  const std::vector<int> values = {5, 9, 3};
+  const std::vector<label_t> dest = {1, 1, 1};
+  const auto mailbox = combining_send<int>(values, dest, 2, Max{});
+  EXPECT_EQ(mailbox[1], 9);
+  EXPECT_EQ(mailbox[0], std::numeric_limits<int>::lowest());  // untouched -> identity
+}
+
+// ---- fetch-and-op --------------------------------------------------------------------
+
+TEST(FetchAndOp, VectorOrderSemantics) {
+  std::vector<int> memory = {100, 200};
+  const std::vector<int> values = {1, 2, 5, 3};
+  const std::vector<label_t> addrs = {0, 0, 1, 0};
+  const auto fetched = fetch_and_op<int>(values, addrs, memory);
+  EXPECT_EQ(fetched, (std::vector<int>{100, 101, 200, 103}));
+  EXPECT_EQ(memory, (std::vector<int>{106, 205}));
+}
+
+TEST(FetchAndOp, UntouchedMemoryUnchangedEvenUnderMax) {
+  // With MAX, a "touched" update is op(mem, combined); untouched cells must
+  // not be clobbered by the identity.
+  std::vector<int> memory = {10, -100, 50};
+  const std::vector<int> values = {7};
+  const std::vector<label_t> addrs = {0};
+  const auto fetched = fetch_and_op<int>(values, addrs, memory, Max{});
+  EXPECT_EQ(fetched[0], 10);  // op(10, identity) = 10
+  EXPECT_EQ(memory, (std::vector<int>{10, -100, 50}));
+}
+
+TEST(FetchAndOp, AgreesWithSequentialSimulation) {
+  Xoshiro256 rng(9);
+  const std::size_t cells = 16;
+  std::vector<long> memory(cells), reference(cells);
+  for (std::size_t a = 0; a < cells; ++a) memory[a] = reference[a] = static_cast<long>(a * 10);
+  std::vector<long> values(500);
+  std::vector<label_t> addrs(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<long>(rng.below(5));
+    addrs[i] = static_cast<label_t>(rng.below(cells));
+  }
+  const auto fetched = fetch_and_op<long>(values, addrs, memory);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(fetched[i], reference[addrs[i]]) << i;
+    reference[addrs[i]] += values[i];
+  }
+  EXPECT_EQ(memory, reference);
+}
+
+}  // namespace
+}  // namespace mp

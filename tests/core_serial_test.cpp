@@ -1,0 +1,199 @@
+// Tests for the operator framework and the serial reference implementation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/ops.hpp"
+#include "core/serial.hpp"
+#include "core/validate.hpp"
+
+namespace mp {
+namespace {
+
+// ---- operators ---------------------------------------------------------------
+
+TEST(Ops, Identities) {
+  EXPECT_EQ(Plus{}.identity<int>(), 0);
+  EXPECT_EQ(Times{}.identity<int>(), 1);
+  EXPECT_EQ(Min{}.identity<int>(), std::numeric_limits<int>::max());
+  EXPECT_EQ(Max{}.identity<int>(), std::numeric_limits<int>::lowest());
+  EXPECT_EQ(Max{}.identity<double>(), std::numeric_limits<double>::lowest());
+  EXPECT_EQ(BitAnd{}.identity<std::uint8_t>(), 0xff);
+  EXPECT_EQ(BitOr{}.identity<std::uint8_t>(), 0);
+  EXPECT_EQ(LogicalAnd{}.identity<std::uint8_t>(), 1);
+  EXPECT_EQ(LogicalOr{}.identity<std::uint8_t>(), 0);
+}
+
+TEST(Ops, IdentityIsNeutral) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const int v = static_cast<int>(rng.below(1000)) - 500;
+    EXPECT_EQ(Plus{}(Plus{}.identity<int>(), v), v);
+    EXPECT_EQ(Plus{}(v, Plus{}.identity<int>()), v);
+    EXPECT_EQ(Times{}(Times{}.identity<int>(), v), v);
+    EXPECT_EQ(Min{}(Min{}.identity<int>(), v), v);
+    EXPECT_EQ(Max{}(Max{}.identity<int>(), v), v);
+    EXPECT_EQ(BitAnd{}(BitAnd{}.identity<int>(), v), v);
+    EXPECT_EQ(BitOr{}(BitOr{}.identity<int>(), v), v);
+  }
+}
+
+TEST(Ops, SatisfyConcept) {
+  static_assert(AssociativeOp<Plus, int>);
+  static_assert(AssociativeOp<Times, double>);
+  static_assert(AssociativeOp<Min, float>);
+  static_assert(AssociativeOp<Max, std::int64_t>);
+  static_assert(AssociativeOp<BitAnd, std::uint32_t>);
+  static_assert(AssociativeOp<LogicalOr, std::uint8_t>);
+}
+
+// ---- serial multiprefix --------------------------------------------------------
+
+TEST(SerialMultiprefix, PaperExampleAllOnesOneLabel) {
+  // The paper's running example (§2.2): 9 elements, all label 2, value 1 —
+  // multiprefix enumerates them 0..8 and the bucket counts 9.
+  const std::vector<int> values(9, 1);
+  const auto labels = constant_labels(9, 2);
+  const auto r = multiprefix_serial<int>(values, labels, 4);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(r.prefix[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(r.reduction, (std::vector<int>{0, 0, 9, 0}));
+}
+
+TEST(SerialMultiprefix, MixedLabelsHandWorkedExample) {
+  // Figure 1-style example: first element of each class gets the identity,
+  // unused labels keep the identity in the reduction vector.
+  const std::vector<int> values = {5, 1, 2, 4, 3, 6};
+  const std::vector<label_t> labels = {2, 3, 2, 3, 2, 2};
+  const auto r = multiprefix_serial<int>(values, labels, 5);
+  EXPECT_EQ(r.prefix, (std::vector<int>{0, 0, 5, 1, 7, 10}));
+  EXPECT_EQ(r.reduction, (std::vector<int>{0, 0, 16, 5, 0}));
+}
+
+TEST(SerialMultiprefix, EmptyInput) {
+  const auto r = multiprefix_serial<int>({}, {}, 3);
+  EXPECT_TRUE(r.prefix.empty());
+  EXPECT_EQ(r.reduction, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(SerialMultiprefix, SingleElement) {
+  const std::vector<double> values = {3.5};
+  const std::vector<label_t> labels = {1};
+  const auto r = multiprefix_serial<double>(values, labels, 2);
+  EXPECT_EQ(r.prefix[0], 0.0);
+  EXPECT_EQ(r.reduction[1], 3.5);
+}
+
+TEST(SerialMultiprefix, MaxOperator) {
+  const std::vector<int> values = {3, 7, 5, 2, 9};
+  const std::vector<label_t> labels = {0, 0, 1, 0, 1};
+  const auto r = multiprefix_serial<int>(values, labels, 2, Max{});
+  const int lo = std::numeric_limits<int>::lowest();
+  EXPECT_EQ(r.prefix, (std::vector<int>{lo, 3, lo, 7, 5}));
+  EXPECT_EQ(r.reduction, (std::vector<int>{7, 9}));
+}
+
+TEST(SerialMultiprefix, MinOperatorOnDoubles) {
+  const std::vector<double> values = {3.0, -1.0, 5.0};
+  const std::vector<label_t> labels = {0, 0, 0};
+  const auto r = multiprefix_serial<double>(values, labels, 1, Min{});
+  EXPECT_EQ(r.prefix[0], std::numeric_limits<double>::max());
+  EXPECT_EQ(r.prefix[1], 3.0);
+  EXPECT_EQ(r.prefix[2], -1.0);
+  EXPECT_EQ(r.reduction[0], -1.0);
+}
+
+TEST(SerialMultiprefix, TimesOperator) {
+  const std::vector<int> values = {2, 3, 4};
+  const std::vector<label_t> labels = {0, 0, 0};
+  const auto r = multiprefix_serial<int>(values, labels, 1, Times{});
+  EXPECT_EQ(r.prefix, (std::vector<int>{1, 2, 6}));
+  EXPECT_EQ(r.reduction[0], 24);
+}
+
+TEST(SerialMultiprefix, BooleanOperators) {
+  const std::vector<std::uint8_t> values = {1, 0, 1, 1};
+  const std::vector<label_t> labels = {0, 0, 0, 1};
+  const auto and_r = multiprefix_serial<std::uint8_t>(values, labels, 2, LogicalAnd{});
+  EXPECT_EQ(and_r.prefix, (std::vector<std::uint8_t>{1, 1, 0, 1}));
+  EXPECT_EQ(and_r.reduction, (std::vector<std::uint8_t>{0, 1}));
+  const auto or_r = multiprefix_serial<std::uint8_t>(values, labels, 2, LogicalOr{});
+  EXPECT_EQ(or_r.prefix, (std::vector<std::uint8_t>{0, 1, 1, 0}));
+  EXPECT_EQ(or_r.reduction, (std::vector<std::uint8_t>{1, 1}));
+}
+
+TEST(SerialMultiprefix, SegmentedLabelsEmulateSegmentedScan) {
+  // §1: a segmented scan is multiprefix with one label per segment.
+  const std::vector<int> values = {1, 2, 3, 4, 5, 6};
+  const auto labels = segmented_labels(6, 3);
+  const auto r = multiprefix_serial<int>(values, labels, 2);
+  EXPECT_EQ(r.prefix, (std::vector<int>{0, 1, 3, 0, 4, 9}));
+  EXPECT_EQ(r.reduction, (std::vector<int>{6, 15}));
+}
+
+TEST(SerialMultiprefix, RejectsOutOfRangeLabel) {
+  const std::vector<int> values = {1};
+  const std::vector<label_t> labels = {5};
+  EXPECT_THROW(multiprefix_serial<int>(values, labels, 3), std::invalid_argument);
+}
+
+TEST(SerialMultiprefix, RejectsSizeMismatch) {
+  const std::vector<int> values = {1, 2};
+  const std::vector<label_t> labels = {0};
+  EXPECT_THROW(multiprefix_serial<int>(values, labels, 1), std::invalid_argument);
+}
+
+TEST(SerialMultiprefix, MatchesBruteforceOnRandomInputs) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.below(200);
+    const std::size_t m = 1 + rng.below(30);
+    const auto labels = uniform_labels(n, m, static_cast<std::uint64_t>(trial) + 1);
+    std::vector<int> values(n);
+    for (auto& v : values) v = static_cast<int>(rng.below(21)) - 10;
+    const auto got = multiprefix_serial<int>(values, labels, m);
+    const auto expected = multiprefix_bruteforce<int>(values, labels, m);
+    ASSERT_EQ(got.prefix, expected.prefix) << "trial " << trial;
+    ASSERT_EQ(got.reduction, expected.reduction) << "trial " << trial;
+  }
+}
+
+TEST(SerialMultireduce, MatchesFullMultiprefixReduction) {
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 1 + rng.below(300);
+    const std::size_t m = 1 + rng.below(50);
+    const auto labels = uniform_labels(n, m, static_cast<std::uint64_t>(trial) + 11);
+    std::vector<long> values(n);
+    for (auto& v : values) v = static_cast<long>(rng.below(1000));
+    const auto full = multiprefix_serial<long>(values, labels, m);
+    const auto red = multireduce_serial<long>(values, labels, m);
+    ASSERT_EQ(red, full.reduction);
+  }
+}
+
+TEST(SerialMultiprefix, LargeMWithFewLabelsTouchesOnlyReferencedBuckets) {
+  // m ≫ n must work and untouched buckets must hold the identity.
+  const std::vector<int> values = {1, 2};
+  const std::vector<label_t> labels = {100000, 100000};
+  const auto r = multiprefix_serial<int>(values, labels, 200000);
+  EXPECT_EQ(r.prefix, (std::vector<int>{0, 1}));
+  EXPECT_EQ(r.reduction[100000], 3);
+  EXPECT_EQ(r.reduction[0], 0);
+  EXPECT_EQ(r.reduction[199999], 0);
+}
+
+// ---- bruteforce self-check -----------------------------------------------------
+
+TEST(Bruteforce, DefinitionOnTinyExample) {
+  const std::vector<int> values = {4, 5, 6};
+  const std::vector<label_t> labels = {1, 0, 1};
+  const auto r = multiprefix_bruteforce<int>(values, labels, 2);
+  EXPECT_EQ(r.prefix, (std::vector<int>{0, 0, 4}));
+  EXPECT_EQ(r.reduction, (std::vector<int>{5, 10}));
+}
+
+}  // namespace
+}  // namespace mp

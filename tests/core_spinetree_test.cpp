@@ -1,0 +1,447 @@
+// Tests for the spinetree plan and the vectorized executor: structural
+// theorems, correctness across distributions/shapes/operators/arbitration,
+// plan reuse, multireduce, enumerate, and traced complexity bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+#include "core/serial.hpp"
+#include "core/spinetree_plan.hpp"
+#include "core/validate.hpp"
+
+namespace mp {
+namespace {
+
+std::vector<label_t> labels_for(const std::string& dist, std::size_t n, std::size_t& m,
+                                std::uint64_t seed) {
+  if (dist == "constant") {
+    m = 3;
+    return constant_labels(n, 1);
+  }
+  if (dist == "permutation") {
+    m = n;
+    return permutation_labels(n, seed);
+  }
+  if (dist == "segmented") {
+    const std::size_t run = 4;
+    m = (n + run - 1) / run;
+    return segmented_labels(n, run);
+  }
+  if (dist == "zipf") {
+    m = std::max<std::size_t>(1, n / 8);
+    return zipf_labels(n, m, 1.1, seed);
+  }
+  // uniform over m ≈ n/4 buckets
+  m = std::max<std::size_t>(1, n / 4);
+  return uniform_labels(n, m, seed);
+}
+
+std::vector<int> random_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(41)) - 20;  // includes negatives
+  return v;
+}
+
+// ---- structural property sweep -------------------------------------------------
+
+struct StructCase {
+  std::string dist;
+  std::size_t n;
+  double shape_factor;  // 0 = auto
+  std::uint64_t arb_seed;
+};
+
+class SpinetreeStructureTest : public ::testing::TestWithParam<StructCase> {};
+
+TEST_P(SpinetreeStructureTest, TheoremsHold) {
+  const auto& c = GetParam();
+  std::size_t m = 0;
+  const auto labels = labels_for(c.dist, c.n, m, 42);
+  const RowShape shape = c.shape_factor == 0.0 ? RowShape::auto_shape(c.n)
+                                               : RowShape::with_factor(c.n, c.shape_factor);
+  SpinetreePlan::Options options;
+  options.arbitration_seed = c.arb_seed;
+  const SpinetreePlan plan(labels, m, shape, options);
+  const auto error = check_spinetree_structure(plan, labels);
+  EXPECT_FALSE(error.has_value()) << *error;
+}
+
+std::vector<StructCase> structure_cases() {
+  std::vector<StructCase> cases;
+  for (const char* dist : {"uniform", "constant", "permutation", "segmented", "zipf"})
+    for (const std::size_t n : {1u, 2u, 9u, 64u, 100u, 257u, 1000u})
+      for (const double f : {0.0, 0.5, 1.0, 2.0})
+        for (const std::uint64_t seed : {0ULL, 7ULL})
+          cases.push_back({dist, n, f, seed});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpinetreeStructureTest,
+                         ::testing::ValuesIn(structure_cases()),
+                         [](const auto& name_info) {
+                           const auto& c = name_info.param;
+                           return c.dist + "_n" + std::to_string(c.n) + "_f" +
+                                  std::to_string(static_cast<int>(c.shape_factor * 10)) +
+                                  "_s" + std::to_string(c.arb_seed);
+                         });
+
+TEST(SpinetreePlan, PaperExampleNineElementsOneClass) {
+  // §2.2's example: 9 elements, all label 2, 3×3 grid. Exactly one spine
+  // element in each of rows 1 and 2 (0-based), none in row 0; all row-0
+  // elements share one parent, which sits in row 1.
+  const auto labels = constant_labels(9, 2);
+  const SpinetreePlan plan(labels, 4, RowShape::with_row_length(9, 3));
+  EXPECT_EQ(plan.spine_count(), 2u);
+  EXPECT_EQ(plan.spine_elements_of_row(0).size(), 0u);
+  EXPECT_EQ(plan.spine_elements_of_row(1).size(), 1u);
+  EXPECT_EQ(plan.spine_elements_of_row(2).size(), 1u);
+  const auto p0 = plan.parent_of_element(0);
+  EXPECT_GE(p0, plan.pivot());
+  EXPECT_EQ(plan.row_of(p0 - plan.pivot()), 1u);
+  EXPECT_EQ(plan.parent_of_element(1), p0);
+  EXPECT_EQ(plan.parent_of_element(2), p0);
+  // Top-row elements point at the bucket.
+  for (std::size_t e = 6; e < 9; ++e) {
+    EXPECT_TRUE(plan.parent_is_bucket(e));
+    EXPECT_EQ(plan.parent_of_element(e), 2u);
+  }
+}
+
+TEST(SpinetreePlan, SingleRowClassPointsAtBucket) {
+  // A class entirely inside one row has no spine elements at all.
+  const std::vector<label_t> labels = {0, 0, 0};
+  const SpinetreePlan plan(labels, 1, RowShape::with_row_length(3, 3));
+  EXPECT_EQ(plan.spine_count(), 0u);
+  for (std::size_t e = 0; e < 3; ++e) EXPECT_TRUE(plan.parent_is_bucket(e));
+}
+
+TEST(SpinetreePlan, DifferentArbitrationSeedsCanBuildDifferentTrees) {
+  const std::size_t n = 256;
+  const auto labels = uniform_labels(n, 4, 3);
+  const SpinetreePlan a(labels, 4, RowShape::square(n), {});
+  SpinetreePlan::Options opt;
+  opt.arbitration_seed = 1234;
+  const SpinetreePlan b(labels, 4, RowShape::square(n), opt);
+  bool differs = false;
+  for (std::size_t e = 0; e < n && !differs; ++e)
+    differs = a.parent_of_element(e) != b.parent_of_element(e);
+  EXPECT_TRUE(differs) << "seeded arbitration should pick different winners";
+}
+
+TEST(SpinetreePlan, ParallelBuildIsStructurallyValid) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::size_t m = 0;
+  const auto labels = labels_for("uniform", n, m, 5);
+  SpinetreePlan::Options options;
+  options.pool = &pool;
+  const SpinetreePlan plan(labels, m, RowShape::auto_shape(n), options);
+  const auto error = check_spinetree_structure(plan, labels);
+  EXPECT_FALSE(error.has_value()) << *error;
+}
+
+TEST(SpinetreePlan, RejectsBadArguments) {
+  const std::vector<label_t> labels = {0, 5};
+  EXPECT_THROW(SpinetreePlan(labels, 3), std::invalid_argument);  // label out of range
+  EXPECT_THROW(SpinetreePlan(labels, 0), std::invalid_argument);  // no buckets
+  const std::vector<label_t> ok = {0, 1};
+  EXPECT_THROW(SpinetreePlan(ok, 2, RowShape{1, 1}, SpinetreePlan::Options{}),
+               std::invalid_argument);  // grid too small
+}
+
+// ---- executor correctness sweep -------------------------------------------------
+
+struct ExecCase {
+  std::string dist;
+  std::size_t n;
+  double shape_factor;
+  bool compressed;
+  std::uint64_t arb_seed;
+};
+
+class SpinetreeExecutorTest : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(SpinetreeExecutorTest, MatchesSerialReferencePlusInt) {
+  const auto& c = GetParam();
+  std::size_t m = 0;
+  const auto labels = labels_for(c.dist, c.n, m, 11);
+  const auto values = random_values(c.n, 13);
+  const RowShape shape = c.shape_factor == 0.0 ? RowShape::auto_shape(c.n)
+                                               : RowShape::with_factor(c.n, c.shape_factor);
+  SpinetreePlan::Options po;
+  po.arbitration_seed = c.arb_seed;
+  const SpinetreePlan plan(labels, m, shape, po);
+
+  SpinetreeExecutor<int, Plus> exec(plan);
+  SpinetreeExecutor<int, Plus>::Options eo;
+  eo.compressed_spine = c.compressed;
+  MultiprefixResult<int> got(c.n, m, 0);
+  exec.execute(values, std::span<int>(got.prefix), std::span<int>(got.reduction), eo);
+
+  const auto expected = multiprefix_serial<int>(values, labels, m);
+  ASSERT_EQ(got.prefix, expected.prefix);
+  ASSERT_EQ(got.reduction, expected.reduction);
+}
+
+std::vector<ExecCase> exec_cases() {
+  std::vector<ExecCase> cases;
+  for (const char* dist : {"uniform", "constant", "permutation", "segmented", "zipf"})
+    for (const std::size_t n : {1u, 7u, 64u, 255u, 1024u, 3000u})
+      for (const double f : {0.0, 0.75, 2.0})
+        for (const bool compressed : {true, false})
+          cases.push_back({dist, n, f, compressed, compressed ? 0ULL : 5ULL});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpinetreeExecutorTest, ::testing::ValuesIn(exec_cases()),
+                         [](const auto& name_info) {
+                           const auto& c = name_info.param;
+                           return c.dist + "_n" + std::to_string(c.n) + "_f" +
+                                  std::to_string(static_cast<int>(c.shape_factor * 100)) +
+                                  (c.compressed ? "_comp" : "_full");
+                         });
+
+// ---- operator / type coverage ---------------------------------------------------
+
+template <class T, class Op>
+void expect_executor_matches_serial(std::span<const T> values,
+                                    std::span<const label_t> labels, std::size_t m,
+                                    Op op = {}) {
+  const SpinetreePlan plan(labels, m);
+  SpinetreeExecutor<T, Op> exec(plan, op);
+  MultiprefixResult<T> got(values.size(), m, op.template identity<T>());
+  exec.execute(values, std::span<T>(got.prefix), std::span<T>(got.reduction));
+  const auto expected = multiprefix_serial<T, Op>(values, labels, m, op);
+  ASSERT_EQ(got.prefix, expected.prefix);
+  ASSERT_EQ(got.reduction, expected.reduction);
+}
+
+TEST(SpinetreeExecutorOps, MaxMinTimesOnInts) {
+  const std::size_t n = 500;
+  std::size_t m = 0;
+  const auto labels = labels_for("uniform", n, m, 21);
+  const auto values = random_values(n, 22);
+  expect_executor_matches_serial<int, Max>(values, labels, m);
+  expect_executor_matches_serial<int, Min>(values, labels, m);
+  std::vector<int> small(n);
+  for (std::size_t i = 0; i < n; ++i) small[i] = 1 + static_cast<int>(i % 3);
+  expect_executor_matches_serial<int, Times>(small, labels, m);
+}
+
+TEST(SpinetreeExecutorOps, PlusAndMaxOnDoubles) {
+  const std::size_t n = 777;
+  std::size_t m = 0;
+  const auto labels = labels_for("zipf", n, m, 31);
+  Xoshiro256 rng(32);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.uniform() * 10.0 - 5.0;
+
+  // Max/Min are selections — exact equality holds. PLUS on doubles is not
+  // associative at the ulp level: the spinetree associates sums differently
+  // from the serial sweep, so compare with a tolerance.
+  expect_executor_matches_serial<double, Max>(values, labels, m);
+  expect_executor_matches_serial<double, Min>(values, labels, m);
+
+  const SpinetreePlan plan(labels, m);
+  SpinetreeExecutor<double, Plus> exec(plan);
+  MultiprefixResult<double> got(n, m, 0.0);
+  exec.execute(values, std::span<double>(got.prefix), std::span<double>(got.reduction));
+  const auto expected = multiprefix_serial<double>(values, labels, m);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_NEAR(got.prefix[i], expected.prefix[i], 1e-9) << "prefix at " << i;
+  for (std::size_t k = 0; k < m; ++k)
+    ASSERT_NEAR(got.reduction[k], expected.reduction[k], 1e-9) << "reduction at " << k;
+}
+
+TEST(SpinetreeExecutorOps, BitwiseOnUnsigned) {
+  const std::size_t n = 300;
+  std::size_t m = 0;
+  const auto labels = labels_for("uniform", n, m, 41);
+  Xoshiro256 rng(42);
+  std::vector<std::uint32_t> values(n);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng());
+  expect_executor_matches_serial<std::uint32_t, BitAnd>(values, labels, m);
+  expect_executor_matches_serial<std::uint32_t, BitOr>(values, labels, m);
+}
+
+/// Affine function composition: associative but NOT commutative. Combining
+/// (a,b) then (c,d) means applying x→ax+b first: result (ca, cb + d).
+struct AffineCompose {
+  template <class T>
+  constexpr T identity() const {
+    return T{1, 0};
+  }
+  template <class T>
+  constexpr T operator()(T f, T g) const {
+    return T{g.a * f.a, g.a * f.b + g.b};
+  }
+};
+struct Affine {
+  long a = 1, b = 0;
+  friend bool operator==(const Affine&, const Affine&) = default;
+  Affine() = default;
+  Affine(long a_, long b_) : a(a_), b(b_) {}
+};
+
+TEST(SpinetreeExecutorOps, NonCommutativeAffineComposition) {
+  // Vector order must be preserved exactly; any reordering of combines
+  // produces a different affine map with overwhelming probability.
+  const std::size_t n = 400;
+  std::size_t m = 0;
+  const auto labels = labels_for("uniform", n, m, 51);
+  Xoshiro256 rng(52);
+  std::vector<Affine> values(n);
+  for (auto& v : values) v = Affine{1 + static_cast<long>(rng.below(3)),
+                                    static_cast<long>(rng.below(7)) - 3};
+  expect_executor_matches_serial<Affine, AffineCompose>(values, labels, m);
+}
+
+TEST(SpinetreeExecutorOps, ZeroSumValuesNeedTheExplicitSpineFlag) {
+  // Regression for the paper's `rowsum != 0` spine test (DESIGN.md §2): a
+  // class whose children sum to zero must still propagate its spinesum.
+  // Alternating +1/-1 within one class makes many rowsums exactly 0.
+  const std::size_t n = 256;
+  const auto labels = constant_labels(n, 0);
+  std::vector<int> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = (i % 2 == 0) ? 1 : -1;
+  expect_executor_matches_serial<int, Plus>(values, labels, 1);
+}
+
+// ---- plan reuse, reduce, enumerate ---------------------------------------------
+
+TEST(SpinetreeExecutor, PlanReuseAcrossValueVectors) {
+  const std::size_t n = 1000;
+  std::size_t m = 0;
+  const auto labels = labels_for("uniform", n, m, 61);
+  const SpinetreePlan plan(labels, m);
+  SpinetreeExecutor<long, Plus> exec(plan);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Xoshiro256 rng(seed);
+    std::vector<long> values(n);
+    for (auto& v : values) v = static_cast<long>(rng.below(1000));
+    MultiprefixResult<long> got(n, m, 0);
+    exec.execute(values, std::span<long>(got.prefix), std::span<long>(got.reduction));
+    const auto expected = multiprefix_serial<long>(values, labels, m);
+    ASSERT_EQ(got.prefix, expected.prefix) << "seed " << seed;
+    ASSERT_EQ(got.reduction, expected.reduction) << "seed " << seed;
+  }
+}
+
+TEST(SpinetreeExecutor, ReduceMatchesExecuteReduction) {
+  const std::size_t n = 2000;
+  std::size_t m = 0;
+  const auto labels = labels_for("zipf", n, m, 71);
+  const auto values = random_values(n, 72);
+  const SpinetreePlan plan(labels, m);
+  SpinetreeExecutor<int, Plus> exec(plan);
+
+  std::vector<int> red_only(m, 0);
+  exec.reduce(values, std::span<int>(red_only));
+  MultiprefixResult<int> full(n, m, 0);
+  exec.execute(values, std::span<int>(full.prefix), std::span<int>(full.reduction));
+  EXPECT_EQ(red_only, full.reduction);
+}
+
+TEST(SpinetreeExecutor, EnumerateCountsPrecedingEqualLabels) {
+  const std::size_t n = 1500;
+  std::size_t m = 0;
+  const auto labels = labels_for("uniform", n, m, 81);
+  const SpinetreePlan plan(labels, m);
+  SpinetreeExecutor<std::uint32_t, Plus> exec(plan);
+  std::vector<std::uint32_t> rank(n), counts(m);
+  exec.enumerate(std::span<std::uint32_t>(rank), std::span<std::uint32_t>(counts));
+
+  const std::vector<std::uint32_t> ones(n, 1);
+  const auto expected = multiprefix_serial<std::uint32_t>(ones, labels, m);
+  EXPECT_EQ(rank, expected.prefix);
+  EXPECT_EQ(counts, expected.reduction);
+}
+
+TEST(SpinetreeExecutor, EmptyReductionSpanSkipsExtraction) {
+  const std::size_t n = 100;
+  std::size_t m = 0;
+  const auto labels = labels_for("uniform", n, m, 91);
+  const auto values = random_values(n, 92);
+  const SpinetreePlan plan(labels, m);
+  SpinetreeExecutor<int, Plus> exec(plan);
+  std::vector<int> prefix(n);
+  exec.execute(values, std::span<int>(prefix), {});
+  const auto expected = multiprefix_serial<int>(values, labels, m);
+  EXPECT_EQ(prefix, expected.prefix);
+}
+
+TEST(SpinetreeExecutor, RejectsWrongSizes) {
+  const std::vector<label_t> labels = {0, 1, 0};
+  const SpinetreePlan plan(labels, 2);
+  SpinetreeExecutor<int, Plus> exec(plan);
+  std::vector<int> values(3), prefix(2), reduction(2);
+  EXPECT_THROW(exec.execute(values, std::span<int>(prefix), std::span<int>(reduction)),
+               std::invalid_argument);
+  std::vector<int> bad_red(1);
+  std::vector<int> prefix3(3);
+  EXPECT_THROW(exec.execute(values, std::span<int>(prefix3), std::span<int>(bad_red)),
+               std::invalid_argument);
+}
+
+// ---- traced complexity ----------------------------------------------------------
+
+TEST(SpinetreeTrace, BuildIssuesTwoVectorOpsPerRowPlusInit) {
+  const std::size_t n = 900;  // 30 x 30
+  const auto labels = uniform_labels(n, 50, 3);
+  vm::Tracer tracer;
+  SpinetreePlan::Options options;
+  options.tracer = &tracer;
+  const SpinetreePlan plan(labels, 50, RowShape::square(n), options);
+  EXPECT_EQ(tracer.ops(vm::OpKind::kGather), 30u);
+  EXPECT_EQ(tracer.ops(vm::OpKind::kIota), 1u);
+  EXPECT_EQ(tracer.elements(vm::OpKind::kGather), n);
+}
+
+TEST(SpinetreeTrace, ExecutionWorkIsLinear) {
+  // W = O(n): the traced element count of a full execute must scale
+  // linearly with n at fixed load.
+  double per_element_small = 0, per_element_large = 0;
+  for (const std::size_t n : {1024u, 16384u}) {
+    const auto labels = uniform_labels(n, n / 8, 5);
+    const auto values = random_values(n, 6);
+    const SpinetreePlan plan(labels, n / 8, RowShape::square(n));
+    SpinetreeExecutor<int, Plus> exec(plan);
+    vm::Tracer tracer;
+    SpinetreeExecutor<int, Plus>::Options eo;
+    eo.tracer = &tracer;
+    MultiprefixResult<int> out(n, n / 8, 0);
+    exec.execute(values, std::span<int>(out.prefix), std::span<int>(out.reduction), eo);
+    const double per_element =
+        static_cast<double>(tracer.total_elements()) / static_cast<double>(n);
+    if (n == 1024u) per_element_small = per_element;
+    else per_element_large = per_element;
+  }
+  EXPECT_NEAR(per_element_small, per_element_large, per_element_small * 0.2);
+}
+
+TEST(SpinetreeTrace, ColumnSweepsIssueOneOpPerColumn) {
+  const std::size_t n = 400;  // 20 x 20
+  const auto labels = uniform_labels(n, 10, 7);
+  const auto values = random_values(n, 8);
+  const SpinetreePlan plan(labels, 10, RowShape::square(n));
+  SpinetreeExecutor<int, Plus> exec(plan);
+  vm::Tracer tracer;
+  SpinetreeExecutor<int, Plus>::Options eo;
+  eo.tracer = &tracer;
+  eo.compressed_spine = false;
+  MultiprefixResult<int> out(n, 10, 0);
+  exec.execute(values, std::span<int>(out.prefix), std::span<int>(out.reduction), eo);
+  // ROWSUMS: 20 scatter-combines; MULTISUMS: 20 gathers + 20 scatter-combines.
+  EXPECT_EQ(tracer.ops(vm::OpKind::kScatterCombine), 40u);
+  EXPECT_EQ(tracer.ops(vm::OpKind::kGather), 20u);
+  // SPINESUMS (full scan): one masked op per row.
+  EXPECT_EQ(tracer.ops(vm::OpKind::kMaskedScatterCombine), 20u);
+}
+
+}  // namespace
+}  // namespace mp

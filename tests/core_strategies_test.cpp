@@ -1,0 +1,249 @@
+// Tests for the strategy facade, the sort-based baseline, the chunked
+// algorithm and the thread-parallel executor — all against the serial
+// reference, including non-commutative operators and thread-count sweeps.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/multiprefix.hpp"
+#include "core/validate.hpp"
+
+namespace mp {
+namespace {
+
+std::vector<int> random_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(41)) - 20;
+  return v;
+}
+
+// ---- sort_by_label --------------------------------------------------------------
+
+TEST(SortByLabel, ProducesStableClassGrouping) {
+  const std::vector<label_t> labels = {2, 0, 2, 1, 0, 2};
+  const auto s = sort_by_label(labels, 3);
+  EXPECT_EQ(s.offsets, (std::vector<std::uint32_t>{0, 2, 3, 6}));
+  EXPECT_EQ(s.order, (std::vector<std::uint32_t>{1, 4, 3, 0, 2, 5}));
+}
+
+TEST(SortByLabel, EmptyAndSingle) {
+  const auto e = sort_by_label({}, 2);
+  EXPECT_EQ(e.offsets, (std::vector<std::uint32_t>{0, 0, 0}));
+  const std::vector<label_t> one = {1};
+  const auto s = sort_by_label(one, 2);
+  EXPECT_EQ(s.order, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(s.offsets, (std::vector<std::uint32_t>{0, 0, 1}));
+}
+
+TEST(SortByLabel, OrderIsAPermutationOnRandomInput) {
+  const auto labels = uniform_labels(5000, 97, 3);
+  const auto s = sort_by_label(labels, 97);
+  std::vector<bool> seen(5000, false);
+  for (const auto i : s.order) {
+    ASSERT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  // Labels are non-decreasing along the order.
+  for (std::size_t k = 1; k < s.order.size(); ++k)
+    ASSERT_LE(labels[s.order[k - 1]], labels[s.order[k]]);
+}
+
+// ---- strategy sweep ---------------------------------------------------------------
+
+struct StratCase {
+  Strategy strategy;
+  std::string dist;
+  std::size_t n;
+};
+
+class StrategyTest : public ::testing::TestWithParam<StratCase> {};
+
+TEST_P(StrategyTest, MatchesSerialReference) {
+  const auto& c = GetParam();
+  std::size_t m = 0;
+  std::vector<label_t> labels;
+  if (c.dist == "constant") {
+    m = 2;
+    labels = constant_labels(c.n, 1);
+  } else if (c.dist == "permutation") {
+    m = c.n;
+    labels = permutation_labels(c.n, 4);
+  } else {
+    m = std::max<std::size_t>(1, c.n / 6);
+    labels = uniform_labels(c.n, m, 4);
+  }
+  const auto values = random_values(c.n, 5);
+
+  const auto got = multiprefix<int>(values, labels, m, Plus{}, c.strategy);
+  const auto expected = multiprefix_serial<int>(values, labels, m);
+  ASSERT_EQ(got.prefix, expected.prefix);
+  ASSERT_EQ(got.reduction, expected.reduction);
+
+  const auto red = multireduce<int>(values, labels, m, Plus{}, c.strategy);
+  ASSERT_EQ(red, expected.reduction);
+}
+
+std::vector<StratCase> strategy_cases() {
+  std::vector<StratCase> cases;
+  for (const Strategy s : {Strategy::kSerial, Strategy::kVectorized, Strategy::kParallel,
+                           Strategy::kSortBased, Strategy::kChunked})
+    for (const char* dist : {"uniform", "constant", "permutation"})
+      for (const std::size_t n : {1u, 50u, 999u, 4096u}) cases.push_back({s, dist, n});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrategyTest, ::testing::ValuesIn(strategy_cases()),
+                         [](const auto& name_info) {
+                           const auto& c = name_info.param;
+                           std::string name = std::string(to_string(c.strategy)) + "_" + c.dist +
+                                              "_n" + std::to_string(c.n);
+                           for (auto& ch : name)
+                             if (ch == '-') ch = '_';
+                           return name;
+                         });
+
+TEST(StrategyFacade, NamesAreStable) {
+  EXPECT_STREQ(to_string(Strategy::kSerial), "serial");
+  EXPECT_STREQ(to_string(Strategy::kVectorized), "vectorized");
+  EXPECT_STREQ(to_string(Strategy::kParallel), "parallel");
+  EXPECT_STREQ(to_string(Strategy::kSortBased), "sort-based");
+  EXPECT_STREQ(to_string(Strategy::kChunked), "chunked");
+}
+
+// ---- chunked specifics ---------------------------------------------------------
+
+class ChunkedTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkedTest, AnyChunkCountMatchesSerial) {
+  const std::size_t chunks = GetParam();
+  ThreadPool pool(3);
+  const std::size_t n = 1234;
+  const std::size_t m = 40;
+  const auto labels = uniform_labels(n, m, 6);
+  const auto values = random_values(n, 7);
+  const auto got = multiprefix_chunked<int>(values, labels, m, pool, Plus{}, chunks);
+  const auto expected = multiprefix_serial<int>(values, labels, m);
+  ASSERT_EQ(got.prefix, expected.prefix);
+  ASSERT_EQ(got.reduction, expected.reduction);
+  const auto red = multireduce_chunked<int>(values, labels, m, pool, Plus{}, chunks);
+  ASSERT_EQ(red, expected.reduction);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ChunkedTest, ::testing::Values(1, 2, 3, 7, 16, 61, 1234));
+
+TEST(Chunked, MoreChunksThanElements) {
+  ThreadPool pool(2);
+  const std::vector<label_t> labels = {0, 1, 0};
+  const std::vector<int> values = {1, 2, 3};
+  const auto got = multiprefix_chunked<int>(values, labels, 2, pool, Plus{}, 10);
+  EXPECT_EQ(got.prefix, (std::vector<int>{0, 0, 1}));
+  EXPECT_EQ(got.reduction, (std::vector<int>{4, 2}));
+}
+
+TEST(Chunked, EmptyInput) {
+  ThreadPool pool(2);
+  const auto got = multiprefix_chunked<int>({}, {}, 3, pool);
+  EXPECT_TRUE(got.prefix.empty());
+  EXPECT_EQ(got.reduction, (std::vector<int>{0, 0, 0}));
+}
+
+// ---- non-commutative operator across all strategies ------------------------------
+
+struct AffineCompose {
+  template <class T>
+  constexpr T identity() const {
+    return T{1, 0};
+  }
+  template <class T>
+  constexpr T operator()(T f, T g) const {
+    return T{g.a * f.a, g.a * f.b + g.b};
+  }
+};
+struct Affine {
+  long a = 1, b = 0;
+  friend bool operator==(const Affine&, const Affine&) = default;
+  Affine() = default;
+  Affine(long a_, long b_) : a(a_), b(b_) {}
+};
+
+TEST(NonCommutative, EveryStrategyPreservesVectorOrder) {
+  const std::size_t n = 600;
+  const std::size_t m = 17;
+  const auto labels = uniform_labels(n, m, 8);
+  Xoshiro256 rng(9);
+  std::vector<Affine> values(n);
+  for (auto& v : values)
+    v = Affine{1 + static_cast<long>(rng.below(3)), static_cast<long>(rng.below(5)) - 2};
+
+  const auto expected = multiprefix_serial<Affine, AffineCompose>(values, labels, m);
+  for (const Strategy s : {Strategy::kVectorized, Strategy::kParallel, Strategy::kSortBased,
+                           Strategy::kChunked}) {
+    const auto got = multiprefix<Affine, AffineCompose>(values, labels, m, {}, s);
+    ASSERT_EQ(got.prefix, expected.prefix) << to_string(s);
+    ASSERT_EQ(got.reduction, expected.reduction) << to_string(s);
+  }
+}
+
+// ---- parallel executor thread sweep ------------------------------------------------
+
+class ParallelExecutorTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelExecutorTest, MatchesSerialAcrossThreadCounts) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 5000;
+  const std::size_t m = 123;
+  const auto labels = uniform_labels(n, m, 10);
+  const auto values = random_values(n, 11);
+
+  SpinetreePlan::Options po;
+  po.pool = &pool;
+  const SpinetreePlan plan(labels, m, RowShape::auto_shape(n), po);
+  ParallelSpinetreeExecutor<int, Plus> exec(plan, pool, Plus{}, /*grain=*/8);
+  MultiprefixResult<int> got(n, m, 0);
+  exec.execute(values, std::span<int>(got.prefix), std::span<int>(got.reduction));
+
+  const auto expected = multiprefix_serial<int>(values, labels, m);
+  ASSERT_EQ(got.prefix, expected.prefix);
+  ASSERT_EQ(got.reduction, expected.reduction);
+
+  std::vector<int> red(m, 0);
+  exec.reduce(values, std::span<int>(red));
+  ASSERT_EQ(red, expected.reduction);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelExecutorTest, ::testing::Values(1, 2, 4, 8));
+
+// ---- cross-strategy agreement on tricky shapes -------------------------------------
+
+TEST(Strategies, AllAgreeOnZeroSumValues) {
+  const std::size_t n = 512;
+  const auto labels = constant_labels(n, 0);
+  std::vector<int> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = (i % 2 == 0) ? 1 : -1;
+  const auto expected = multiprefix_serial<int>(values, labels, 1);
+  for (const Strategy s : {Strategy::kVectorized, Strategy::kParallel, Strategy::kSortBased,
+                           Strategy::kChunked}) {
+    const auto got = multiprefix<int>(values, labels, 1, Plus{}, s);
+    ASSERT_EQ(got.prefix, expected.prefix) << to_string(s);
+  }
+}
+
+TEST(Strategies, AllAgreeUnderMaxWithNegativeValues) {
+  const std::size_t n = 512;
+  const std::size_t m = 19;
+  const auto labels = uniform_labels(n, m, 14);
+  const auto values = random_values(n, 15);
+  const auto expected = multiprefix_serial<int, Max>(values, labels, m, Max{});
+  for (const Strategy s : {Strategy::kVectorized, Strategy::kParallel, Strategy::kSortBased,
+                           Strategy::kChunked}) {
+    const auto got = multiprefix<int, Max>(values, labels, m, Max{}, s);
+    ASSERT_EQ(got.prefix, expected.prefix) << to_string(s);
+    ASSERT_EQ(got.reduction, expected.reduction) << to_string(s);
+  }
+}
+
+}  // namespace
+}  // namespace mp

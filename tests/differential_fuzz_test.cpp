@@ -1,0 +1,134 @@
+// Differential fuzzing across every multiprefix implementation in the
+// repository. Each seed derives a random configuration (size, bucket count,
+// label distribution, value range, grid shape, arbitration) and checks that
+// all execution routes — serial, vectorized (both spine modes), threaded,
+// sort-based, chunked, the PRAM program and the simulated vector machine —
+// produce the identical result, which is itself validated against the
+// brute-force definition.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+#include "core/multiprefix.hpp"
+#include "core/validate.hpp"
+#include "pram/multiprefix_program.hpp"
+#include "vm/machine_multiprefix.hpp"
+
+namespace mp {
+namespace {
+
+struct FuzzConfig {
+  std::size_t n;
+  std::size_t m;
+  std::vector<label_t> labels;
+  std::vector<int> values;
+  RowShape shape;
+  std::uint64_t arb_seed;
+  bool positive_values;  // simulated machine requires positive partial sums
+};
+
+FuzzConfig derive(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  FuzzConfig cfg;
+  cfg.n = 1 + rng.below(800);
+  // Bucket count from tiny (heavy load) to larger than n (very light load).
+  const std::uint64_t mode = rng.below(4);
+  if (mode == 0) cfg.m = 1;
+  else if (mode == 1) cfg.m = 1 + rng.below(4);
+  else if (mode == 2) cfg.m = 1 + rng.below(cfg.n);
+  else cfg.m = cfg.n + 1 + rng.below(cfg.n + 8);
+
+  const std::uint64_t dist = rng.below(3);
+  if (dist == 0) cfg.labels = uniform_labels(cfg.n, cfg.m, rng());
+  else if (dist == 1) {
+    cfg.labels = zipf_labels(cfg.n, cfg.m, 1.0 + rng.uniform(), rng());
+  } else {
+    const std::size_t run = 1 + rng.below(9);
+    cfg.labels = segmented_labels(cfg.n, run);
+    for (auto& l : cfg.labels) l = l % static_cast<label_t>(cfg.m);
+  }
+
+  cfg.positive_values = rng.below(2) == 0;
+  cfg.values.resize(cfg.n);
+  for (auto& v : cfg.values)
+    v = cfg.positive_values ? 1 + static_cast<int>(rng.below(20))
+                            : static_cast<int>(rng.below(41)) - 20;
+
+  const std::size_t row_len = 1 + rng.below(2 * cfg.n);
+  cfg.shape = RowShape::with_row_length(cfg.n, row_len);
+  cfg.arb_seed = rng();
+  return cfg;
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialFuzz, AllImplementationsAgree) {
+  const FuzzConfig cfg = derive(GetParam());
+  const auto info = "n=" + std::to_string(cfg.n) + " m=" + std::to_string(cfg.m) +
+                    " row_len=" + std::to_string(cfg.shape.row_len);
+
+  // Ground truth from the definition.
+  const auto truth = multiprefix_bruteforce<int>(cfg.values, cfg.labels, cfg.m);
+  // Serial reference must match the definition.
+  const auto serial = multiprefix_serial<int>(cfg.values, cfg.labels, cfg.m);
+  ASSERT_EQ(serial.prefix, truth.prefix) << info;
+  ASSERT_EQ(serial.reduction, truth.reduction) << info;
+
+  // Vectorized spinetree with the fuzzed shape and arbitration, both
+  // SPINESUMS modes, and the structural theorems on the built plan.
+  {
+    SpinetreePlan::Options po;
+    po.arbitration_seed = cfg.arb_seed;
+    const SpinetreePlan plan(cfg.labels, cfg.m, cfg.shape, po);
+    const auto structure = check_spinetree_structure(plan, cfg.labels);
+    ASSERT_FALSE(structure.has_value()) << info << ": " << *structure;
+    for (const bool compressed : {true, false}) {
+      SpinetreeExecutor<int, Plus> exec(plan);
+      SpinetreeExecutor<int, Plus>::Options eo;
+      eo.compressed_spine = compressed;
+      MultiprefixResult<int> got(cfg.n, cfg.m, 0);
+      exec.execute(cfg.values, std::span<int>(got.prefix), std::span<int>(got.reduction), eo);
+      ASSERT_EQ(got.prefix, truth.prefix) << info << " compressed=" << compressed;
+      ASSERT_EQ(got.reduction, truth.reduction) << info;
+    }
+  }
+
+  // Strategy facade routes.
+  for (const Strategy s : {Strategy::kParallel, Strategy::kSortBased, Strategy::kChunked}) {
+    const auto got = multiprefix<int>(cfg.values, cfg.labels, cfg.m, Plus{}, s);
+    ASSERT_EQ(got.prefix, truth.prefix) << info << " strategy=" << to_string(s);
+    ASSERT_EQ(got.reduction, truth.reduction) << info;
+  }
+
+  // PRAM program under EREW checking: result and phase isolation.
+  {
+    std::vector<pram::word_t> words(cfg.values.begin(), cfg.values.end());
+    pram::Machine::Config mc;
+    mc.mode = pram::AccessMode::kEREW;
+    mc.arbitration_seed = cfg.arb_seed;
+    const auto got = pram::run_multiprefix_pram(words, cfg.labels, cfg.m, cfg.shape, mc);
+    for (std::size_t i = 0; i < cfg.n; ++i)
+      ASSERT_EQ(got.prefix[i], truth.prefix[i]) << info << " pram i=" << i;
+    for (const char* phase : {"ROWSUMS", "SPINESUMS", "REDUCTIONS", "MULTISUMS"})
+      ASSERT_EQ(got.phase(phase).violations, 0u) << info << " phase " << phase;
+  }
+
+  // Simulated vector machine (positive values only: it uses the paper's
+  // rowsum != 0 spine test).
+  if (cfg.positive_values) {
+    std::vector<vm::VectorMachine::word_t> words(cfg.values.begin(), cfg.values.end());
+    const auto sim = vm::run_multiprefix_simulated(words, cfg.labels, cfg.m, cfg.shape);
+    for (std::size_t i = 0; i < cfg.n; ++i)
+      ASSERT_EQ(sim.prefix[i], truth.prefix[i]) << info << " sim i=" << i;
+    for (std::size_t b = 0; b < cfg.m; ++b)
+      ASSERT_EQ(sim.reduction[b], truth.reduction[b]) << info;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range<std::uint64_t>(0, 48));
+
+}  // namespace
+}  // namespace mp

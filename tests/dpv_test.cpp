@@ -1,0 +1,198 @@
+// Tests for the data-parallel primitives layer and the split-radix sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/serial.hpp"
+#include "dpv/dpv.hpp"
+#include "dpv/split_radix_sort.hpp"
+
+namespace mp::dpv {
+namespace {
+
+// ---- elementwise ------------------------------------------------------------
+
+TEST(Dpv, MapAndZip) {
+  const std::vector<int> a = {1, 2, 3};
+  const std::vector<int> b = {10, 20, 30};
+  EXPECT_EQ(map<int>(a, [](int x) { return x * x; }), (std::vector<int>{1, 4, 9}));
+  EXPECT_EQ((zip<int, int>(a, b, [](int x, int y) { return x + y; })),
+            (std::vector<int>{11, 22, 33}));
+}
+
+TEST(Dpv, MapCanChangeType) {
+  const std::vector<int> a = {1, -2, 3};
+  const auto flags = map<int>(a, [](int x) { return static_cast<std::uint8_t>(x > 0); });
+  EXPECT_EQ(flags, (std::vector<std::uint8_t>{1, 0, 1}));
+}
+
+TEST(Dpv, Index) {
+  EXPECT_EQ(index(4), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(index(0).empty());
+}
+
+// ---- reduce / scan -------------------------------------------------------------
+
+TEST(Dpv, ReduceAndScan) {
+  const std::vector<int> v = {3, 1, 4, 1, 5};
+  EXPECT_EQ(reduce<int>(v), 14);
+  EXPECT_EQ(reduce<int>(v, Max{}), 5);
+  EXPECT_EQ(scan<int>(v), (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(Dpv, ScanBackendsAgree) {
+  Xoshiro256 rng(1);
+  std::vector<long> v(3000);
+  for (auto& x : v) x = static_cast<long>(rng.below(100)) - 50;
+  Context serial_ctx;
+  Context partition_ctx;
+  partition_ctx.partition_scans = true;
+  EXPECT_EQ(scan<long>(v, serial_ctx), scan<long>(v, partition_ctx));
+}
+
+// ---- movement -------------------------------------------------------------------
+
+TEST(Dpv, GatherAndPermuteRoundTrip) {
+  const std::vector<int> v = {10, 20, 30, 40};
+  const std::vector<std::uint32_t> perm = {2, 0, 3, 1};
+  const auto permuted = permute<int>(v, perm);
+  EXPECT_EQ(permuted, (std::vector<int>{20, 40, 10, 30}));
+  EXPECT_EQ(gather<int>(permuted, perm), (std::vector<int>{10, 20, 30, 40}));
+}
+
+TEST(Dpv, GatherAllowsRepeats) {
+  const std::vector<int> v = {7, 8};
+  const std::vector<std::uint32_t> idx = {0, 0, 1, 0};
+  EXPECT_EQ(gather<int>(v, idx), (std::vector<int>{7, 7, 8, 7}));
+}
+
+TEST(Dpv, OutOfRangeThrows) {
+  const std::vector<int> v = {1};
+  const std::vector<std::uint32_t> bad = {1};
+  EXPECT_THROW(gather<int>(v, bad), std::invalid_argument);
+  EXPECT_THROW(permute<int>(v, bad), std::invalid_argument);
+}
+
+TEST(Dpv, PackKeepsFlaggedInOrder) {
+  const std::vector<int> v = {1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> flags = {1, 0, 1, 0, 1};
+  EXPECT_EQ(pack<int>(v, flags), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(Dpv, PackEdges) {
+  const std::vector<int> v = {1, 2};
+  EXPECT_TRUE(pack<int>(v, std::vector<std::uint8_t>{0, 0}).empty());
+  EXPECT_EQ(pack<int>(v, std::vector<std::uint8_t>{1, 1}), v);
+  EXPECT_TRUE(pack<int>({}, {}).empty());
+}
+
+TEST(Dpv, PackMatchesStdCopyIf) {
+  Xoshiro256 rng(2);
+  std::vector<int> v(5000);
+  for (auto& x : v) x = static_cast<int>(rng.below(1000)) - 500;
+  const auto flags =
+      map<int>(v, [](int x) { return static_cast<std::uint8_t>(x % 3 == 0); });
+  std::vector<int> expected;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (flags[i]) expected.push_back(v[i]);
+  EXPECT_EQ(pack<int>(v, flags), expected);
+}
+
+TEST(Dpv, SplitIsAStablePartition) {
+  const std::vector<int> v = {5, 2, 7, 4, 9, 6};
+  const std::vector<std::uint8_t> flags = {1, 0, 1, 0, 1, 0};  // odd values
+  EXPECT_EQ(split<int>(v, flags), (std::vector<int>{2, 4, 6, 5, 7, 9}));
+}
+
+TEST(Dpv, SplitPositionsArePermutation) {
+  Xoshiro256 rng(3);
+  std::vector<std::uint8_t> flags(1000);
+  for (auto& f : flags) f = static_cast<std::uint8_t>(rng.below(2));
+  const auto pos = split_positions(flags);
+  std::vector<std::uint32_t> sorted(pos);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) ASSERT_EQ(sorted[i], i);
+}
+
+TEST(Dpv, SplitAllSameFlag) {
+  const std::vector<int> v = {1, 2, 3};
+  EXPECT_EQ(split<int>(v, std::vector<std::uint8_t>{0, 0, 0}), v);
+  EXPECT_EQ(split<int>(v, std::vector<std::uint8_t>{1, 1, 1}), v);
+}
+
+// ---- keyed primitives -------------------------------------------------------------
+
+TEST(Dpv, MultiprefixDelegatesCorrectly) {
+  const std::vector<int> values = {5, 1, 2, 4};
+  const std::vector<label_t> labels = {0, 1, 0, 1};
+  const auto r = multiprefix<int>(values, labels, 2);
+  const auto expected = multiprefix_serial<int>(values, labels, 2);
+  EXPECT_EQ(r.prefix, expected.prefix);
+  EXPECT_EQ(r.reduction, expected.reduction);
+  EXPECT_EQ(multireduce<int>(values, labels, 2), expected.reduction);
+}
+
+TEST(Dpv, EnumerateByKeyCounts) {
+  const std::vector<label_t> labels = {3, 3, 1, 3, 1};
+  const auto r = enumerate_by_key(labels, 4);
+  EXPECT_EQ(r.prefix, (std::vector<std::uint32_t>{0, 1, 0, 2, 1}));
+  EXPECT_EQ(r.reduction, (std::vector<std::uint32_t>{0, 2, 0, 3}));
+}
+
+// ---- split-radix sort -----------------------------------------------------------------
+
+TEST(SplitRadixSort, BitsFor) {
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(1024), 10u);
+  EXPECT_EQ(bits_for(1025), 11u);
+}
+
+TEST(SplitRadixSort, SortsAscending) {
+  Xoshiro256 rng(4);
+  std::vector<std::uint32_t> keys(3000);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(1 << 12));
+  const auto sorted = split_radix_sort(keys, 1 << 12);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(SplitRadixSort, RanksAreStable) {
+  Xoshiro256 rng(5);
+  std::vector<std::uint32_t> keys(2000);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(64));
+  const auto ranks = split_radix_ranks(keys, 64);
+  // stable reference
+  std::vector<std::uint32_t> idx(keys.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return keys[a] < keys[b]; });
+  std::vector<std::uint32_t> expected(keys.size());
+  for (std::size_t p = 0; p < idx.size(); ++p) expected[idx[p]] = static_cast<std::uint32_t>(p);
+  EXPECT_EQ(ranks, expected);
+}
+
+TEST(SplitRadixSort, AgreesAcrossContexts) {
+  Xoshiro256 rng(6);
+  std::vector<std::uint32_t> keys(1500);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(500));
+  Context partition_ctx;
+  partition_ctx.partition_scans = true;
+  EXPECT_EQ(split_radix_sort(keys, 500), split_radix_sort(keys, 500, partition_ctx));
+}
+
+TEST(SplitRadixSort, EdgeCases) {
+  EXPECT_TRUE(split_radix_sort({}, 4).empty());
+  const std::vector<std::uint32_t> one = {3};
+  EXPECT_EQ(split_radix_sort(one, 4), one);
+  const std::vector<std::uint32_t> bad = {9};
+  EXPECT_THROW(split_radix_sort(bad, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mp::dpv

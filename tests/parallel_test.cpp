@@ -1,0 +1,141 @@
+// Tests for the thread pool and the pardo loops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+namespace {
+
+TEST(ThreadPool, RunsEveryLaneExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](std::size_t lane) { hits[lane].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int value = 0;
+  pool.run([&](std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int job = 0; job < 50; ++job) pool.run([&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([](std::size_t lane) {
+                 if (lane == 3) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // Pool remains usable after an exception.
+  std::atomic<int> total{0};
+  pool.run([&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadPool, PropagatesCallerLaneException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([](std::size_t lane) {
+                 if (lane == 0) throw std::logic_error("caller lane");
+               }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, RejectsZeroLanes) { EXPECT_THROW(ThreadPool(0), std::invalid_argument); }
+
+TEST(ThreadPool, GlobalPoolExists) {
+  EXPECT_GE(ThreadPool::global().num_threads(), 1u);
+}
+
+// ---- parallel_for ----------------------------------------------------------
+
+class ParallelForTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 10007;  // prime, so chunks are uneven
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, 0, n, /*grain=*/1, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForTest, HonorsSubrange) {
+  ThreadPool pool(GetParam());
+  std::atomic<std::size_t> count{0};
+  parallel_for(pool, 100, 200, 1, [&](std::size_t i) {
+    EXPECT_GE(i, 100u);
+    EXPECT_LT(i, 200u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST_P(ParallelForTest, StridedVisitsExactlyTheStridedSet) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 5000, stride = 37, begin = 5;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_strided(pool, begin, n, stride, 1,
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i].load(), (i >= begin && (i - begin) % stride == 0) ? 1 : 0) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, ParallelForTest, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  parallel_for(pool, 10, 10, [](std::size_t) { FAIL() << "must not be called"; });
+  parallel_for_strided(pool, 10, 10, 3, 1, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, SmallRangeRunsInlineUnderGrain) {
+  ThreadPool pool(4);
+  // With grain larger than the range, the body runs on the calling thread.
+  const auto caller = std::this_thread::get_id();
+  parallel_for(pool, 0, 16, /*grain=*/1000,
+               [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+// ---- partition_range -------------------------------------------------------
+
+TEST(PartitionRange, CoversWithoutGapsOrOverlap) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 1001u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 7u, 16u}) {
+      const auto bounds = partition_range(n, parts);
+      ASSERT_EQ(bounds.size(), parts + 1);
+      EXPECT_EQ(bounds.front(), 0u);
+      EXPECT_EQ(bounds.back(), n);
+      for (std::size_t p = 0; p < parts; ++p) ASSERT_LE(bounds[p], bounds[p + 1]);
+    }
+  }
+}
+
+TEST(PartitionRange, PartsDifferByAtMostOne) {
+  const auto bounds = partition_range(100, 7);
+  std::size_t lo = 100, hi = 0;
+  for (std::size_t p = 0; p < 7; ++p) {
+    const std::size_t len = bounds[p + 1] - bounds[p];
+    lo = std::min(lo, len);
+    hi = std::max(hi, len);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+}  // namespace
+}  // namespace mp

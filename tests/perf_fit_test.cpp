@@ -1,0 +1,65 @@
+// Tests for the Hockney–Jesshope least-squares loop characterization.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "perf/fit.hpp"
+
+namespace mp::perf {
+namespace {
+
+TEST(FitLoop, RecoversExactLinearModel) {
+  // t(n) = 2ns * (n + 50)
+  std::vector<std::pair<std::size_t, double>> samples;
+  for (const std::size_t n : {100u, 500u, 1000u, 5000u, 20000u})
+    samples.emplace_back(n, 2e-9 * (static_cast<double>(n) + 50.0));
+  const auto fit = fit_loop(samples);
+  EXPECT_NEAR(fit.te_seconds, 2e-9, 1e-15);
+  EXPECT_NEAR(fit.n_half, 50.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLoop, PredictInvertsTheModel) {
+  std::vector<std::pair<std::size_t, double>> samples;
+  for (const std::size_t n : {64u, 256u, 1024u})
+    samples.emplace_back(n, 5e-9 * (static_cast<double>(n) + 20.0));
+  const auto fit = fit_loop(samples);
+  EXPECT_NEAR(fit.predict(512), 5e-9 * 532.0, 1e-12);
+}
+
+TEST(FitLoop, ToleratesNoise) {
+  Xoshiro256 rng(3);
+  std::vector<std::pair<std::size_t, double>> samples;
+  for (std::size_t n = 100; n <= 100000; n = n * 3 / 2) {
+    const double t = 3e-9 * (static_cast<double>(n) + 100.0);
+    samples.emplace_back(n, t * (1.0 + (rng.uniform() - 0.5) * 0.05));  // ±2.5% noise
+  }
+  const auto fit = fit_loop(samples);
+  EXPECT_NEAR(fit.te_seconds, 3e-9, 3e-10);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLoop, TwoPointsExactInterpolation) {
+  const std::vector<std::pair<std::size_t, double>> samples = {{10, 30.0}, {20, 50.0}};
+  const auto fit = fit_loop(samples);  // slope 2, intercept 10 -> n_half 5
+  EXPECT_NEAR(fit.te_seconds, 2.0, 1e-12);
+  EXPECT_NEAR(fit.n_half, 5.0, 1e-9);
+}
+
+TEST(FitLoop, RejectsDegenerateSamples) {
+  const std::vector<std::pair<std::size_t, double>> one = {{10, 1.0}};
+  EXPECT_THROW(fit_loop(one), std::invalid_argument);
+  const std::vector<std::pair<std::size_t, double>> same = {{10, 1.0}, {10, 2.0}};
+  EXPECT_THROW(fit_loop(same), std::invalid_argument);
+}
+
+TEST(FitLoop, ZeroSlopeYieldsZeroNHalf) {
+  const std::vector<std::pair<std::size_t, double>> flat = {{10, 1.0}, {20, 1.0}, {30, 1.0}};
+  const auto fit = fit_loop(flat);
+  EXPECT_NEAR(fit.te_seconds, 0.0, 1e-15);
+  EXPECT_EQ(fit.n_half, 0.0);
+}
+
+}  // namespace
+}  // namespace mp::perf

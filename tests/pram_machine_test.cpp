@@ -1,0 +1,163 @@
+// Tests for the synchronous PRAM simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pram/machine.hpp"
+
+namespace mp::pram {
+namespace {
+
+Machine::Config config(std::size_t procs, std::size_t words, AccessMode mode,
+                       WritePolicy policy = WritePolicy::kArbitrary,
+                       std::uint64_t seed = 0, bool strict = false) {
+  Machine::Config c;
+  c.processors = procs;
+  c.memory_words = words;
+  c.mode = mode;
+  c.policy = policy;
+  c.arbitration_seed = seed;
+  c.strict = strict;
+  return c;
+}
+
+TEST(PramMachine, PokePeekRoundTrip) {
+  Machine m(config(1, 8, AccessMode::kEREW));
+  m.poke(3, 42);
+  EXPECT_EQ(m.peek(3), 42);
+  EXPECT_EQ(m.peek(0), 0);
+}
+
+TEST(PramMachine, OutOfRangeAccessThrows) {
+  Machine m(config(1, 4, AccessMode::kCRCW));
+  EXPECT_THROW(m.poke(4, 1), std::invalid_argument);
+  EXPECT_THROW(m.peek(100), std::invalid_argument);
+  EXPECT_THROW(m.step(1, [](Processor& p) { p.read(9); }), std::invalid_argument);
+}
+
+TEST(PramMachine, ReadsSeeStartOfStepMemory) {
+  // Synchronous semantics: a swap is a single step with no temporary.
+  Machine m(config(2, 2, AccessMode::kEREW));
+  m.poke(0, 10);
+  m.poke(1, 20);
+  m.step(2, [](Processor& p) {
+    const word_t v = p.read(p.id() == 0 ? 1 : 0);
+    p.write(static_cast<addr_t>(p.id()), v);
+  });
+  EXPECT_EQ(m.peek(0), 20);
+  EXPECT_EQ(m.peek(1), 10);
+}
+
+TEST(PramMachine, SelfIncrementWithinOneStep) {
+  Machine m(config(1, 1, AccessMode::kEREW));
+  m.poke(0, 5);
+  m.step(1, [](Processor& p) { p.write(0, p.read(0) + 1); });
+  EXPECT_EQ(m.peek(0), 6);
+}
+
+TEST(PramMachine, ArbitraryWriteCommitsOneOfTheValues) {
+  Machine m(config(8, 1, AccessMode::kCRCW, WritePolicy::kArbitrary, 123));
+  m.step(8, [](Processor& p) { p.write(0, static_cast<word_t>(100 + p.id())); });
+  const word_t v = m.peek(0);
+  EXPECT_GE(v, 100);
+  EXPECT_LE(v, 107);
+}
+
+TEST(PramMachine, ArbitrationSeedsProduceDifferentWinners) {
+  std::set<word_t> winners;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Machine m(config(8, 1, AccessMode::kCRCW, WritePolicy::kArbitrary, seed));
+    m.step(8, [](Processor& p) { p.write(0, static_cast<word_t>(p.id())); });
+    winners.insert(m.peek(0));
+  }
+  EXPECT_GT(winners.size(), 1u) << "arbitration should vary with the seed";
+}
+
+TEST(PramMachine, PriorityLowestProcessorWins) {
+  Machine m(config(8, 1, AccessMode::kCRCW, WritePolicy::kPriority));
+  m.step(8, [](Processor& p) { p.write(0, static_cast<word_t>(100 + p.id())); });
+  EXPECT_EQ(m.peek(0), 100);
+}
+
+TEST(PramMachine, CombinePlusSumsAllValues) {
+  Machine m(config(5, 2, AccessMode::kCRCW, WritePolicy::kCombinePlus));
+  m.poke(0, 999);  // combining write REPLACES the cell
+  m.step(5, [](Processor& p) { p.write(0, static_cast<word_t>(p.id() + 1)); });
+  EXPECT_EQ(m.peek(0), 1 + 2 + 3 + 4 + 5);
+  EXPECT_EQ(m.peek(1), 0);
+}
+
+TEST(PramMachine, CombineMaxKeepsMaximum) {
+  Machine m(config(4, 1, AccessMode::kCRCW, WritePolicy::kCombineMax));
+  m.step(4, [](Processor& p) { p.write(0, static_cast<word_t>((p.id() * 7) % 10)); });
+  EXPECT_EQ(m.peek(0), 7);  // values 0,7,4,1
+}
+
+TEST(PramMachine, ErewDetectsConcurrentWrite) {
+  Machine m(config(2, 1, AccessMode::kEREW));
+  m.step(2, [](Processor& p) { p.write(0, 1); });
+  ASSERT_EQ(m.stats().violations.size(), 1u);
+  EXPECT_EQ(m.stats().violations[0].kind, Violation::Kind::kConcurrentWrite);
+  EXPECT_EQ(m.stats().violations[0].degree, 2u);
+}
+
+TEST(PramMachine, ErewDetectsConcurrentRead) {
+  Machine m(config(3, 1, AccessMode::kEREW));
+  m.step(3, [](Processor& p) { (void)p.read(0); });
+  ASSERT_EQ(m.stats().violations.size(), 1u);
+  EXPECT_EQ(m.stats().violations[0].kind, Violation::Kind::kConcurrentRead);
+  EXPECT_EQ(m.stats().violations[0].degree, 3u);
+}
+
+TEST(PramMachine, CrewAllowsConcurrentReadForbidsConcurrentWrite) {
+  Machine m(config(2, 2, AccessMode::kCREW));
+  m.step(2, [](Processor& p) { (void)p.read(0); });
+  EXPECT_TRUE(m.stats().violations.empty());
+  m.step(2, [](Processor& p) { p.write(1, 1); });
+  EXPECT_EQ(m.stats().violations.size(), 1u);
+}
+
+TEST(PramMachine, CrcwAllowsEverything) {
+  Machine m(config(4, 1, AccessMode::kCRCW));
+  m.step(4, [](Processor& p) {
+    (void)p.read(0);
+    p.write(0, 1);
+  });
+  EXPECT_TRUE(m.stats().violations.empty());
+  EXPECT_EQ(m.stats().write_conflicts, 1u);
+  EXPECT_EQ(m.stats().read_conflicts, 1u);
+}
+
+TEST(PramMachine, StrictModeThrows) {
+  Machine m(config(2, 1, AccessMode::kEREW, WritePolicy::kArbitrary, 0, /*strict=*/true));
+  EXPECT_THROW(m.step(2, [](Processor& p) { p.write(0, 1); }), ViolationError);
+}
+
+TEST(PramMachine, StatsCountStepsWorkReadsWrites) {
+  Machine m(config(4, 8, AccessMode::kCRCW));
+  m.step(4, [](Processor& p) {
+    (void)p.read(static_cast<addr_t>(p.id()));
+    p.write(static_cast<addr_t>(p.id() + 4), 1);
+  });
+  m.step(2, [](Processor& p) { p.write(static_cast<addr_t>(p.id()), 2); });
+  EXPECT_EQ(m.stats().steps, 2u);
+  EXPECT_EQ(m.stats().work, 6u);
+  EXPECT_EQ(m.stats().reads, 4u);
+  EXPECT_EQ(m.stats().writes, 6u);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().steps, 0u);
+}
+
+TEST(PramMachine, MaxWriteFaninTracked) {
+  Machine m(config(6, 2, AccessMode::kCRCW));
+  m.step(6, [](Processor& p) { p.write(p.id() < 4 ? 0 : 1, 1); });
+  EXPECT_EQ(m.stats().max_write_fanin, 4u);
+}
+
+TEST(PramMachine, ActiveBeyondProcessorsThrows) {
+  Machine m(config(2, 1, AccessMode::kCRCW));
+  EXPECT_THROW(m.step(3, [](Processor&) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mp::pram

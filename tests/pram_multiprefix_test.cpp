@@ -1,0 +1,340 @@
+// Executable versions of the paper's theoretical claims: the PRAM program's
+// correctness under adversarial arbitration, the EREW guarantee for phases
+// 2–4 (§2.2/§3.1), the S = O(√n) / W = O(n) bounds (§3), and the CRCW-PLUS
+// simulation (§1.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/labels.hpp"
+#include "core/serial.hpp"
+#include "pram/integer_sort_program.hpp"
+#include "pram/multiprefix_program.hpp"
+#include "pram/plus_simulation.hpp"
+
+namespace mp::pram {
+namespace {
+
+std::vector<word_t> make_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<word_t> v(n);
+  for (auto& x : v) x = static_cast<word_t>(rng.below(100)) - 50;
+  return v;
+}
+
+void expect_matches_serial(std::span<const word_t> values, std::span<const label_t> labels,
+                           std::size_t m, const PramMultiprefixResult& got) {
+  const auto expected = multiprefix_serial<word_t, Plus>(values, labels, m);
+  ASSERT_EQ(got.prefix.size(), expected.prefix.size());
+  for (std::size_t i = 0; i < expected.prefix.size(); ++i)
+    ASSERT_EQ(got.prefix[i], expected.prefix[i]) << "prefix mismatch at " << i;
+  for (std::size_t k = 0; k < m; ++k)
+    ASSERT_EQ(got.reduction[k], expected.reduction[k]) << "reduction mismatch at " << k;
+}
+
+// ---- correctness across distributions, shapes and arbitration seeds ---------
+
+struct PramCase {
+  std::size_t n;
+  std::size_t m;
+  const char* distribution;
+};
+
+class PramMultiprefixTest : public ::testing::TestWithParam<PramCase> {};
+
+TEST_P(PramMultiprefixTest, MatchesSerialReference) {
+  const auto& c = GetParam();
+  std::vector<label_t> labels;
+  if (std::string(c.distribution) == "uniform") labels = uniform_labels(c.n, c.m, 17);
+  else if (std::string(c.distribution) == "constant") labels = constant_labels(c.n, 0);
+  else labels = segmented_labels(c.n, 5);
+  const std::size_t m = std::string(c.distribution) == "segmented"
+                            ? (c.n + 4) / 5
+                            : c.m;
+  const auto values = make_values(c.n, 23);
+
+  for (const std::uint64_t seed : {0ULL, 1ULL, 99ULL}) {
+    Machine::Config config;
+    config.mode = AccessMode::kCRCW;
+    config.policy = WritePolicy::kArbitrary;
+    config.arbitration_seed = seed;
+    const auto got =
+        run_multiprefix_pram(values, labels, m, RowShape::square(c.n), config);
+    expect_matches_serial(values, labels, m, got);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PramMultiprefixTest,
+    ::testing::Values(PramCase{1, 1, "uniform"}, PramCase{9, 3, "uniform"},
+                      PramCase{64, 8, "uniform"}, PramCase{100, 10, "uniform"},
+                      PramCase{257, 31, "uniform"},   // non-square n, prime m
+                      PramCase{64, 1, "constant"},    // heaviest load
+                      PramCase{100, 100, "uniform"},  // light load
+                      PramCase{90, 0, "segmented"}),
+    [](const auto& name_info) {
+      return std::string(name_info.param.distribution) + "_n" + std::to_string(name_info.param.n) +
+             "_m" + std::to_string(name_info.param.m);
+    });
+
+TEST(PramMultiprefix, NonSquareShapesAgree) {
+  const std::size_t n = 120;
+  const auto labels = uniform_labels(n, 7, 5);
+  const auto values = make_values(n, 6);
+  for (const std::size_t row_len : {1u, 3u, 7u, 11u, 40u, 120u}) {
+    Machine::Config config;
+    const auto got = run_multiprefix_pram(values, labels, 7,
+                                          RowShape::with_row_length(n, row_len), config);
+    expect_matches_serial(values, labels, 7, got);
+  }
+}
+
+// ---- the EREW claim ----------------------------------------------------------
+
+TEST(PramMultiprefix, OnlySpinetreePhaseViolatesErew) {
+  // Run the whole program on an EREW-checked machine. With repeated labels
+  // the SPINETREE phase *must* produce conflicts (that is the point of the
+  // ARB write) and every other phase must be conflict-free — the paper's
+  // §2.2 claim, verified mechanically.
+  const std::size_t n = 144;
+  const auto labels = uniform_labels(n, 6, 3);  // heavy repetition
+  const auto values = make_values(n, 4);
+
+  Machine::Config config;
+  config.mode = AccessMode::kEREW;  // record violations, non-strict
+  const auto got = run_multiprefix_pram(values, labels, 6, RowShape::square(n), config);
+  expect_matches_serial(values, labels, 6, got);
+
+  EXPECT_GT(got.phase("SPINETREE").violations, 0u);
+  EXPECT_EQ(got.phase("INIT").violations, 0u);
+  EXPECT_EQ(got.phase("ROWSUMS").violations, 0u);
+  EXPECT_EQ(got.phase("SPINESUMS").violations, 0u);
+  EXPECT_EQ(got.phase("REDUCTIONS").violations, 0u);
+  EXPECT_EQ(got.phase("MULTISUMS").violations, 0u);
+}
+
+TEST(PramMultiprefix, ErewPhasesHoldForManyDistributionsAndSeeds) {
+  for (const std::uint64_t lseed : {1ULL, 2ULL, 3ULL}) {
+    for (const std::size_t m : {1u, 4u, 32u, 196u}) {
+      const std::size_t n = 196;
+      const auto labels = uniform_labels(n, m, lseed);
+      const auto values = make_values(n, lseed + 100);
+      Machine::Config config;
+      config.mode = AccessMode::kEREW;
+      config.arbitration_seed = lseed;
+      const auto got = run_multiprefix_pram(values, labels, m, RowShape::square(n), config);
+      for (const char* phase : {"ROWSUMS", "SPINESUMS", "REDUCTIONS", "MULTISUMS"})
+        ASSERT_EQ(got.phase(phase).violations, 0u)
+            << phase << " violated EREW with m=" << m << " seed=" << lseed;
+    }
+  }
+}
+
+TEST(PramMultiprefix, AllDistinctLabelsNeedNoArbAtAll) {
+  // With one element per class there are no concurrent accesses anywhere:
+  // the program runs violation-free even in strict EREW mode... except the
+  // SPINETREE reads are still exclusive (each bucket read once per row).
+  const std::size_t n = 49;
+  const auto labels = permutation_labels(n, 8);
+  const auto values = make_values(n, 9);
+  Machine::Config config;
+  config.mode = AccessMode::kEREW;
+  config.strict = true;
+  const auto got = run_multiprefix_pram(values, labels, n, RowShape::square(n), config);
+  expect_matches_serial(values, labels, n, got);
+}
+
+// ---- complexity bounds ---------------------------------------------------------
+
+TEST(PramMultiprefix, StepComplexityIsOrderSqrtN) {
+  // S = O(√n) for the four main phases (INIT/REDUCTIONS add O((n+m)/p),
+  // also O(√n) here since p = √n and m <= n).
+  for (const std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto labels = uniform_labels(n, n / 4, 7);
+    const auto values = make_values(n, 8);
+    const auto got =
+        run_multiprefix_pram(values, labels, n / 4, RowShape::square(n), {});
+    const double sqrt_n = std::sqrt(static_cast<double>(n));
+    EXPECT_LE(static_cast<double>(got.total_steps()), 8.0 * sqrt_n) << "n=" << n;
+    EXPECT_GE(static_cast<double>(got.total_steps()), sqrt_n) << "n=" << n;
+  }
+}
+
+TEST(PramMultiprefix, WorkComplexityIsLinear) {
+  // W = O(n + m): total processor-steps grow linearly, i.e. the algorithm is
+  // work efficient (§3).
+  for (const std::size_t n : {256u, 1024u, 4096u}) {
+    const auto labels = uniform_labels(n, n / 2, 3);
+    const auto values = make_values(n, 2);
+    const auto got =
+        run_multiprefix_pram(values, labels, n / 2, RowShape::square(n), {});
+    EXPECT_LE(got.total_work(), 8 * (n + n / 2)) << "n=" << n;
+    EXPECT_GE(got.total_work(), 4 * n) << "n=" << n;  // 4 full passes at least
+  }
+}
+
+TEST(PramMultiprefix, PhaseStepCountsMatchTheSchedule) {
+  // Square grid: SPINETREE/SPINESUMS take `rows` steps, ROWSUMS/MULTISUMS
+  // take `row_len` steps.
+  const std::size_t n = 400;  // 20 x 20
+  const auto labels = uniform_labels(n, 13, 1);
+  const auto values = make_values(n, 1);
+  const auto got = run_multiprefix_pram(values, labels, 13, RowShape::square(n), {});
+  EXPECT_EQ(got.phase("SPINETREE").steps, 20u);
+  EXPECT_EQ(got.phase("SPINESUMS").steps, 20u);
+  EXPECT_EQ(got.phase("ROWSUMS").steps, 20u);
+  EXPECT_EQ(got.phase("MULTISUMS").steps, 20u);
+  EXPECT_EQ(got.processors, 20u);
+}
+
+// ---- integer sorting at the PRAM level (Figure 11, §5.1) ------------------------
+
+std::vector<std::uint32_t> reference_ranks(std::span<const std::uint32_t> keys) {
+  std::vector<std::uint32_t> idx(keys.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return keys[a] < keys[b]; });
+  std::vector<std::uint32_t> rank(keys.size());
+  for (std::size_t p = 0; p < idx.size(); ++p) rank[idx[p]] = static_cast<std::uint32_t>(p);
+  return rank;
+}
+
+TEST(PramIntegerSort, RanksAreStableSortedRanks) {
+  Xoshiro256 rng(13);
+  for (const std::size_t n : {1u, 16u, 100u, 400u}) {
+    for (const std::size_t m : {1u, 8u, 64u}) {
+      std::vector<std::uint32_t> keys(n);
+      for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(m));
+      const auto got = run_integer_sort_pram(keys, m);
+      ASSERT_EQ(got.ranks, reference_ranks(keys)) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(PramIntegerSort, StepComplexityIsSqrtNPlusSqrtM) {
+  // S = O(√n + √m) (§5.1): the step count must track √n + √m, not n or m.
+  for (const std::size_t n : {256u, 1024u, 4096u}) {
+    const std::size_t m = n / 4;
+    Xoshiro256 rng(7);
+    std::vector<std::uint32_t> keys(n);
+    for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(m));
+    const auto got = run_integer_sort_pram(keys, m);
+    const double bound = std::sqrt(static_cast<double>(n)) + std::sqrt(static_cast<double>(m));
+    EXPECT_LE(static_cast<double>(got.total_steps()), 12.0 * bound) << "n=" << n;
+    EXPECT_GE(static_cast<double>(got.total_steps()), bound) << "n=" << n;
+  }
+}
+
+TEST(PramIntegerSort, WorkIsLinearInNPlusM) {
+  for (const std::size_t n : {1024u, 4096u}) {
+    const std::size_t m = n / 2;
+    Xoshiro256 rng(8);
+    std::vector<std::uint32_t> keys(n);
+    for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(m));
+    const auto got = run_integer_sort_pram(keys, m);
+    EXPECT_LE(got.total_work(), 12 * (n + m)) << "n=" << n;
+  }
+}
+
+TEST(PramIntegerSort, PhaseReportsCoverAllThreeSteps) {
+  const std::vector<std::uint32_t> keys = {3, 1, 3, 0, 2, 1, 3, 2, 0};
+  const auto got = run_integer_sort_pram(keys, 4);
+  bool sort1 = false, sort2 = false, sort3 = false;
+  for (const auto& p : got.phases) {
+    sort1 = sort1 || p.name.rfind("SORT1-", 0) == 0;
+    sort2 = sort2 || p.name.rfind("SORT2-", 0) == 0;
+    sort3 = sort3 || p.name.rfind("SORT3-", 0) == 0;
+  }
+  EXPECT_TRUE(sort1 && sort2 && sort3);
+  EXPECT_EQ(got.ranks, reference_ranks(keys));
+}
+
+// ---- CRCW-PLUS simulation (§1.2) ----------------------------------------------
+
+TEST(PlusSimulation, ConstantSlowdownAtNEqualsPSquared) {
+  // §1.2 quantified: simulating a combining write of n = p² requests with
+  // the multiprefix PRAM program on p CRCW-ARB processors takes O(n/p) = O(p)
+  // steps — the same order any p-processor machine needs just to read the
+  // requests, i.e. constant slowdown. The steps/p ratio must stay flat as
+  // p grows.
+  double first_ratio = 0.0;
+  for (const std::size_t p : {16u, 32u, 64u}) {
+    const std::size_t n = p * p;
+    const std::size_t cells = p;  // combining writes into p memory cells
+    const auto labels = uniform_labels(n, cells, 3);
+    const auto values = make_values(n, 4);
+    const auto run = run_multiprefix_pram(values, labels, cells,
+                                          RowShape::with_row_length(n, p), {});
+    const double ratio = static_cast<double>(run.total_steps()) / static_cast<double>(p);
+    if (first_ratio == 0.0) first_ratio = ratio;
+    EXPECT_NEAR(ratio, first_ratio, first_ratio * 0.25) << "p=" << p;
+  }
+  EXPECT_GT(first_ratio, 0.0);
+  EXPECT_LT(first_ratio, 12.0);  // a small constant
+}
+
+TEST(PlusSimulation, MatchesNativeCombiningWrite) {
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t words = 16;
+    std::vector<WriteRequest> requests;
+    const std::size_t count = 1 + rng.below(64);
+    for (std::size_t i = 0; i < count; ++i)
+      requests.push_back({static_cast<addr_t>(rng.below(words)),
+                          static_cast<word_t>(rng.below(19)) - 9});
+
+    std::vector<word_t> mem_sim(words), mem_native(words);
+    for (std::size_t a = 0; a < words; ++a) mem_sim[a] = mem_native[a] = static_cast<word_t>(a);
+
+    simulate_combining_write(requests, mem_sim);
+    native_combining_write(requests, mem_native);
+    ASSERT_EQ(mem_sim, mem_native) << "trial " << trial;
+  }
+}
+
+TEST(PlusSimulation, UntouchedCellsKeepContents) {
+  std::vector<word_t> mem = {7, 8, 9};
+  const std::vector<WriteRequest> requests = {{1, 100}, {1, 1}};
+  const auto touched = simulate_combining_write(requests, mem);
+  EXPECT_EQ(mem, (std::vector<word_t>{7, 101, 9}));
+  EXPECT_EQ(touched, (std::vector<addr_t>{1}));
+}
+
+TEST(PlusSimulation, EmptyRequestBatchIsNoop) {
+  std::vector<word_t> mem = {1, 2};
+  EXPECT_TRUE(simulate_combining_write({}, mem).empty());
+  EXPECT_EQ(mem, (std::vector<word_t>{1, 2}));
+}
+
+TEST(FetchAndAdd, ReturnsValuesInRequestOrder) {
+  // fetch-and-op made deterministic by vector order (§1): request i sees the
+  // cell after all earlier same-address requests.
+  std::vector<word_t> mem = {100, 200};
+  const std::vector<WriteRequest> requests = {{0, 1}, {0, 2}, {1, 5}, {0, 3}};
+  const auto fetched = simulate_fetch_and_add(requests, mem);
+  EXPECT_EQ(fetched, (std::vector<word_t>{100, 101, 200, 103}));
+  EXPECT_EQ(mem, (std::vector<word_t>{106, 205}));
+}
+
+TEST(FetchAndAdd, ManyRandomBatchesAgreeWithSequentialSemantics) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t words = 8;
+    std::vector<word_t> mem(words, 10), ref(words, 10);
+    std::vector<WriteRequest> requests;
+    for (std::size_t i = 0; i < 100; ++i)
+      requests.push_back({static_cast<addr_t>(rng.below(words)),
+                          static_cast<word_t>(rng.below(5))});
+    const auto fetched = simulate_fetch_and_add(requests, mem);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_EQ(fetched[i], ref[requests[i].addr]) << "trial " << trial << " req " << i;
+      ref[requests[i].addr] += requests[i].value;
+    }
+    ASSERT_EQ(mem, ref);
+  }
+}
+
+}  // namespace
+}  // namespace mp::pram

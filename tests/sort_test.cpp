@@ -1,0 +1,231 @@
+// Tests for the three integer-sort rankers and the NAS IS harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "common/nas_random.hpp"
+#include "common/rng.hpp"
+#include "sort/chunked_rank.hpp"
+#include "sort/counting_sort.hpp"
+#include "sort/mp_rank_sort.hpp"
+#include "sort/nas_is.hpp"
+#include "sort/radix_sort.hpp"
+
+namespace mp::sort {
+namespace {
+
+/// Reference stable ranks via std::stable_sort on indices.
+std::vector<std::uint32_t> reference_ranks(std::span<const std::uint32_t> keys) {
+  std::vector<std::uint32_t> idx(keys.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return keys[a] < keys[b]; });
+  std::vector<std::uint32_t> rank(keys.size());
+  for (std::size_t p = 0; p < idx.size(); ++p) rank[idx[p]] = static_cast<std::uint32_t>(p);
+  return rank;
+}
+
+std::vector<std::uint32_t> random_keys(std::size_t n, std::uint32_t m, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(m));
+  return keys;
+}
+
+// ---- ranker equivalence sweep -----------------------------------------------------
+
+struct RankerCase {
+  std::string ranker;
+  std::size_t n;
+  std::uint32_t m;
+};
+
+std::vector<std::uint32_t> run_ranker(const std::string& name,
+                                      std::span<const std::uint32_t> keys, std::size_t m) {
+  if (name == "counting") return counting_sort_ranks(keys, m);
+  if (name == "radix") return radix_sort_ranks(keys, m);
+  if (name == "chunked") return chunked_sort_ranks(keys, m);
+  return multiprefix_sort_ranks(keys, m);
+}
+
+class RankerTest : public ::testing::TestWithParam<RankerCase> {};
+
+TEST_P(RankerTest, MatchesStableSortRanks) {
+  const auto& c = GetParam();
+  const auto keys = random_keys(c.n, c.m, 7);
+  const auto got = run_ranker(c.ranker, keys, c.m);
+  const auto expected = reference_ranks(keys);
+  ASSERT_EQ(got, expected);
+}
+
+TEST_P(RankerTest, RanksProduceSortedStableOutput) {
+  const auto& c = GetParam();
+  const auto keys = random_keys(c.n, c.m, 8);
+  const auto ranks = run_ranker(c.ranker, keys, c.m);
+  EXPECT_TRUE(NasIsBenchmark::verify_stable_ranks(keys, ranks));
+}
+
+std::vector<RankerCase> ranker_cases() {
+  std::vector<RankerCase> cases;
+  for (const char* r : {"counting", "radix", "multiprefix", "chunked"})
+    for (const std::size_t n : {1u, 2u, 100u, 1000u, 10000u})
+      for (const std::uint32_t m : {1u, 2u, 16u, 1024u, 100000u}) cases.push_back({r, n, m});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RankerTest, ::testing::ValuesIn(ranker_cases()),
+                         [](const auto& name_info) {
+                           const auto& c = name_info.param;
+                           return c.ranker + "_n" + std::to_string(c.n) + "_m" +
+                                  std::to_string(c.m);
+                         });
+
+// ---- individual ranker details -----------------------------------------------------
+
+TEST(CountingSort, SortedOutput) {
+  const std::vector<std::uint32_t> keys = {5, 1, 4, 1, 5, 9, 2, 6};
+  const auto sorted = counting_sort(keys, 10);
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{1, 1, 2, 4, 5, 5, 6, 9}));
+}
+
+TEST(CountingSort, AllEqualKeysKeepOrder) {
+  const std::vector<std::uint32_t> keys(50, 3);
+  const auto ranks = counting_sort_ranks(keys, 4);
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(ranks[i], i);
+}
+
+TEST(CountingSort, RejectsOutOfRangeKey) {
+  const std::vector<std::uint32_t> keys = {4};
+  EXPECT_THROW(counting_sort_ranks(keys, 4), std::invalid_argument);
+}
+
+TEST(RadixSort, PassCountComputation) {
+  EXPECT_EQ(radix_passes(1 << 19, 10), 2u);
+  EXPECT_EQ(radix_passes(1 << 20, 10), 2u);
+  EXPECT_EQ(radix_passes((1 << 20) + 1, 10), 3u);
+  EXPECT_EQ(radix_passes(2, 10), 1u);
+  EXPECT_EQ(radix_passes(1, 10), 1u);
+  EXPECT_EQ(radix_passes(1 << 16, 8), 2u);
+}
+
+TEST(RadixSort, VariousDigitWidthsAgree) {
+  const auto keys = random_keys(5000, 1u << 19, 3);
+  const auto expected = reference_ranks(keys);
+  for (const unsigned bits : {4u, 8u, 10u, 16u})
+    ASSERT_EQ(radix_sort_ranks(keys, 1u << 19, bits), expected) << "bits=" << bits;
+}
+
+TEST(RadixSort, SortedOutputMatchesStdSort) {
+  auto keys = random_keys(3000, 77777, 4);
+  const auto got = radix_sort(keys, 77777);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(got, keys);
+}
+
+TEST(MultiprefixRanker, ReusableAcrossCalls) {
+  MultiprefixRanker ranker(1000);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto keys = random_keys(2000, 1000, seed + 1);
+    ASSERT_EQ(ranker.ranks(keys), reference_ranks(keys)) << "seed " << seed;
+  }
+}
+
+TEST(ApplyRanks, ScattersToSortedPositions) {
+  const std::vector<std::uint32_t> keys = {30, 10, 20};
+  const auto ranks = counting_sort_ranks(keys, 31);
+  const auto sorted = apply_ranks<std::uint32_t>(keys, ranks);
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{10, 20, 30}));
+}
+
+// ---- NAS IS harness ------------------------------------------------------------------
+
+TEST(NasIs, SpecPresets) {
+  EXPECT_EQ(NasIsSpec::class_s().n, 1u << 16);
+  EXPECT_EQ(NasIsSpec::class_s().b_max, 1u << 11);
+  EXPECT_EQ(NasIsSpec::class_w().n, 1u << 20);
+  EXPECT_EQ(NasIsSpec::class_a().n, 1u << 23);
+  EXPECT_EQ(NasIsSpec::class_a().b_max, 1u << 19);
+  EXPECT_EQ(NasIsSpec::class_a().iterations, 10);
+}
+
+TEST(NasIs, KeysAreDeterministicPerSpec) {
+  const NasIsBenchmark a(NasIsSpec::scaled(4096, 1u << 11));
+  const NasIsBenchmark b(NasIsSpec::scaled(4096, 1u << 11));
+  EXPECT_TRUE(std::equal(a.keys().begin(), a.keys().end(), b.keys().begin()));
+}
+
+class NasIsRankerTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NasIsRankerTest, SmallBenchmarkVerifies) {
+  const NasIsBenchmark bench(NasIsSpec::scaled(8192, 1u << 11));
+  const std::string name = GetParam();
+  const auto outcome = bench.run(
+      [&](std::span<const std::uint32_t> keys, std::size_t m) { return run_ranker(name, keys, m); });
+  EXPECT_TRUE(outcome.verified);
+  EXPECT_EQ(outcome.iteration_seconds.size(), 10u);
+  EXPECT_GE(outcome.rank_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rankers, NasIsRankerTest,
+                         ::testing::Values("counting", "radix", "multiprefix", "chunked"));
+
+TEST(ChunkedRanker, ExplicitPoolAndThreadSweep) {
+  const auto keys = random_keys(5000, 1u << 10, 11);
+  const auto expected = reference_ranks(keys);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(chunked_sort_ranks(keys, 1u << 10, pool), expected) << threads;
+  }
+}
+
+TEST(ChunkedRanker, EmptyInput) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(chunked_sort_ranks({}, 4, pool).empty());
+}
+
+TEST(NasIs, BrokenRankerFailsVerification) {
+  const NasIsBenchmark bench(NasIsSpec::scaled(1024, 1u << 8));
+  const auto outcome = bench.run([](std::span<const std::uint32_t> keys, std::size_t) {
+    // Identity "ranks": valid permutation but not sorted.
+    std::vector<std::uint32_t> r(keys.size());
+    std::iota(r.begin(), r.end(), 0u);
+    return r;
+  });
+  EXPECT_FALSE(outcome.verified);
+}
+
+TEST(NasIs, NonPermutationRanksFailVerification) {
+  const std::vector<std::uint32_t> keys = {1, 2, 3};
+  const std::vector<std::uint32_t> dup = {0, 0, 2};
+  EXPECT_FALSE(NasIsBenchmark::verify_stable_ranks(keys, dup));
+  const std::vector<std::uint32_t> out_of_range = {0, 1, 3};
+  EXPECT_FALSE(NasIsBenchmark::verify_stable_ranks(keys, out_of_range));
+  const std::vector<std::uint32_t> wrong_size = {0, 1};
+  EXPECT_FALSE(NasIsBenchmark::verify_stable_ranks(keys, wrong_size));
+}
+
+TEST(NasIs, UnstableRanksFailVerification) {
+  // Equal keys swapped: sorted but not stable.
+  const std::vector<std::uint32_t> keys = {5, 5};
+  EXPECT_TRUE(NasIsBenchmark::verify_stable_ranks(keys, std::vector<std::uint32_t>{0, 1}));
+  EXPECT_FALSE(NasIsBenchmark::verify_stable_ranks(keys, std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(NasIs, IterationTweaksChangeRanksBetweenIterations) {
+  // The per-iteration key modifications must actually change the problem:
+  // run two iterations manually and compare.
+  const NasIsBenchmark bench(NasIsSpec::scaled(1024, 1u << 8));
+  std::vector<std::uint32_t> keys(bench.keys().begin(), bench.keys().end());
+  keys[1] = 1;
+  keys[1 + 10] = (1u << 8) - 1;
+  const auto r1 = counting_sort_ranks(keys, 1u << 8);
+  keys[2] = 2;
+  keys[2 + 10] = (1u << 8) - 2;
+  const auto r2 = counting_sort_ranks(keys, 1u << 8);
+  EXPECT_NE(r1, r2);
+}
+
+}  // namespace
+}  // namespace mp::sort

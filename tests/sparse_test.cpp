@@ -1,0 +1,336 @@
+// Tests for sparse formats, generators, the three SpMV kernels and the Cray
+// cost models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "sparse/chunked_spmv.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/cray_cost.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense_ref.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/jagged_diagonal.hpp"
+#include "sparse/mp_spmv.hpp"
+
+namespace mp::sparse {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform() * 2.0 - 1.0;
+  return x;
+}
+
+void expect_near_vectors(std::span<const double> a, std::span<const double> b,
+                         double tol = 1e-9) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], b[i], tol) << "at " << i;
+}
+
+Coo<double> tiny_matrix() {
+  // 3x4:  [ 1 0 2 0 ]
+  //       [ 0 0 0 0 ]  <- empty row
+  //       [ 3 4 0 5 ]
+  Coo<double> coo;
+  coo.rows = 3;
+  coo.cols = 4;
+  coo.push(0, 0, 1);
+  coo.push(0, 2, 2);
+  coo.push(2, 0, 3);
+  coo.push(2, 1, 4);
+  coo.push(2, 3, 5);
+  return coo;
+}
+
+// ---- COO -------------------------------------------------------------------------
+
+TEST(Coo, PushAndBounds) {
+  Coo<double> coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.push(1, 1, 3.0);
+  EXPECT_EQ(coo.nnz(), 1u);
+  EXPECT_THROW(coo.push(2, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(coo.push(0, 2, 1.0), std::invalid_argument);
+}
+
+TEST(Coo, SortRowMajorOrdersEntries) {
+  Coo<double> coo;
+  coo.rows = coo.cols = 3;
+  coo.push(2, 1, 1.0);
+  coo.push(0, 2, 2.0);
+  coo.push(2, 0, 3.0);
+  coo.push(0, 1, 4.0);
+  coo.sort_row_major();
+  EXPECT_EQ(coo.row, (std::vector<std::uint32_t>{0, 0, 2, 2}));
+  EXPECT_EQ(coo.col, (std::vector<std::uint32_t>{1, 2, 0, 1}));
+  EXPECT_EQ(coo.val, (std::vector<double>{4.0, 2.0, 3.0, 1.0}));
+}
+
+TEST(Coo, RowLengths) {
+  const auto coo = tiny_matrix();
+  EXPECT_EQ(coo.row_lengths(), (std::vector<std::uint32_t>{2, 0, 3}));
+}
+
+// ---- CSR -------------------------------------------------------------------------
+
+TEST(Csr, FromCooBuildsCorrectStructure) {
+  const auto csr = Csr<double>::from_coo(tiny_matrix());
+  EXPECT_EQ(csr.row_ptr, (std::vector<std::uint32_t>{0, 2, 2, 5}));
+  EXPECT_EQ(csr.nnz(), 5u);
+  EXPECT_EQ(csr.row_lengths(), (std::vector<std::uint32_t>{2, 0, 3}));
+}
+
+TEST(Csr, SpmvTinyHandComputed) {
+  const auto coo = tiny_matrix();
+  const auto csr = Csr<double>::from_coo(coo);
+  const std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y(3);
+  csr_spmv<double>(csr, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1 * 1 + 2 * 3);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 3 * 1 + 4 * 2 + 5 * 4);
+}
+
+TEST(Csr, SpmvTracesOneOpPerRow) {
+  const auto csr = Csr<double>::from_coo(tiny_matrix());
+  const std::vector<double> x(4, 1.0);
+  std::vector<double> y(3);
+  vm::Tracer tracer;
+  csr_spmv<double>(csr, x, y, &tracer);
+  EXPECT_EQ(tracer.ops(vm::OpKind::kReduce), 3u);
+  EXPECT_EQ(tracer.elements(vm::OpKind::kReduce), 5u);
+}
+
+// ---- Jagged Diagonal ----------------------------------------------------------------
+
+TEST(JaggedDiagonal, StructureOfTinyMatrix) {
+  const auto jd = JaggedDiagonal<double>::from_csr(Csr<double>::from_coo(tiny_matrix()));
+  // Longest row has 3 entries -> 3 diagonals with lengths 2, 1... rows
+  // sorted by length: row2 (3), row0 (2), row1 (0).
+  EXPECT_EQ(jd.perm, (std::vector<std::uint32_t>{2, 0, 1}));
+  ASSERT_EQ(jd.num_diagonals(), 3u);
+  EXPECT_EQ(jd.diagonal_length(0), 2u);
+  EXPECT_EQ(jd.diagonal_length(1), 2u);
+  EXPECT_EQ(jd.diagonal_length(2), 1u);
+  EXPECT_EQ(jd.nnz(), 5u);
+}
+
+TEST(JaggedDiagonal, DiagonalLengthsAreNonIncreasing) {
+  const auto coo = random_matrix(200, 0.05, 3);
+  const auto jd = JaggedDiagonal<double>::from_csr(Csr<double>::from_coo(coo));
+  for (std::size_t d = 1; d < jd.num_diagonals(); ++d)
+    ASSERT_LE(jd.diagonal_length(d), jd.diagonal_length(d - 1));
+  EXPECT_EQ(jd.nnz(), coo.nnz());
+}
+
+TEST(JaggedDiagonal, EmptyMatrixRows) {
+  const auto jd = JaggedDiagonal<double>::from_csr(Csr<double>::from_coo(tiny_matrix()));
+  const std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y(3);
+  jd_spmv<double>(jd, x, y);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);  // empty row survives the permutation
+}
+
+// ---- kernel equivalence sweep ---------------------------------------------------------
+
+struct MatrixCase {
+  std::string kind;
+  std::size_t order;
+  double density;
+};
+
+class SpmvKernelTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(SpmvKernelTest, AllKernelsMatchDenseReference) {
+  const auto& c = GetParam();
+  const Coo<double> coo = c.kind == "circuit"
+                              ? circuit_matrix(c.order, 7.5, 3, 0.9, 11)
+                              : random_matrix(c.order, c.density, 11);
+  const auto x = random_vector(c.order, 12);
+  const auto expected = dense_reference_spmv<double>(coo, x);
+
+  const auto csr = Csr<double>::from_coo(coo);
+  std::vector<double> y_csr(c.order);
+  csr_spmv<double>(csr, x, y_csr);
+  expect_near_vectors(y_csr, expected);
+
+  const auto jd = JaggedDiagonal<double>::from_csr(csr);
+  std::vector<double> y_jd(c.order);
+  jd_spmv<double>(jd, x, y_jd);
+  expect_near_vectors(y_jd, expected);
+
+  MultiprefixSpmv<double> mp_spmv(coo);
+  std::vector<double> y_mp(c.order);
+  mp_spmv.apply(x, y_mp);
+  expect_near_vectors(y_mp, expected);
+
+  for (const std::size_t threads : {1u, 3u}) {
+    ThreadPool pool(threads);
+    ChunkedSpmv<double> chunked(coo, pool);
+    std::vector<double> y_ch(c.order);
+    chunked.apply(x, y_ch);
+    expect_near_vectors(y_ch, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrices, SpmvKernelTest,
+    ::testing::Values(MatrixCase{"random", 50, 0.2}, MatrixCase{"random", 100, 0.05},
+                      MatrixCase{"random", 300, 0.01}, MatrixCase{"random", 500, 0.004},
+                      MatrixCase{"random", 40, 1.0},  // fully dense
+                      MatrixCase{"circuit", 200, 0.0}, MatrixCase{"circuit", 500, 0.0}),
+    [](const auto& name_info) {
+      return name_info.param.kind + "_o" + std::to_string(name_info.param.order) + "_d" +
+             std::to_string(static_cast<int>(name_info.param.density * 1000));
+    });
+
+TEST(MultiprefixSpmv, PlanReuseAcrossManyVectors) {
+  // The iterative-solver pattern (§5.2.1): one setup, many evaluations.
+  const auto coo = random_matrix(300, 0.02, 21);
+  MultiprefixSpmv<double> spmv(coo);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto x = random_vector(300, seed + 31);
+    std::vector<double> y(300);
+    spmv.apply(x, y);
+    expect_near_vectors(y, dense_reference_spmv<double>(coo, x));
+  }
+}
+
+TEST(MultiprefixSpmv, RejectsWrongVectorSizes) {
+  const auto coo = random_matrix(10, 0.3, 5);
+  MultiprefixSpmv<double> spmv(coo);
+  std::vector<double> x(9), y(10);
+  EXPECT_THROW(spmv.apply(x, y), std::invalid_argument);
+}
+
+// ---- generators -------------------------------------------------------------------------
+
+TEST(Generators, RandomMatrixHitsTargetDensity) {
+  const std::size_t order = 400;
+  const double rho = 0.01;
+  const auto coo = random_matrix(order, rho, 7);
+  const auto target = static_cast<std::size_t>(rho * static_cast<double>(order * order));
+  EXPECT_EQ(coo.nnz(), target);
+}
+
+TEST(Generators, RandomMatrixHasNoEmptyRowsAndNoDuplicates) {
+  const auto coo = random_matrix(200, 0.01, 9);
+  const auto lens = coo.row_lengths();
+  for (const auto len : lens) EXPECT_GE(len, 1u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> positions;
+  for (std::size_t k = 0; k < coo.nnz(); ++k)
+    ASSERT_TRUE(positions.insert({coo.row[k], coo.col[k]}).second) << "duplicate entry";
+}
+
+TEST(Generators, RandomMatrixIsDeterministicPerSeed) {
+  const auto a = random_matrix(100, 0.05, 3);
+  const auto b = random_matrix(100, 0.05, 3);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.col, b.col);
+  const auto c = random_matrix(100, 0.05, 4);
+  EXPECT_NE(a.row != c.row || a.col != c.col, false);
+}
+
+TEST(Generators, CircuitMatrixHasFewVeryLongRows) {
+  const std::size_t order = 500;
+  const auto coo = circuit_matrix(order, 7.5, 3, 0.9, 13);
+  const auto lens = coo.row_lengths();
+  std::size_t long_rows = 0;
+  double total = 0;
+  for (const auto len : lens) {
+    total += len;
+    if (len > order / 2) ++long_rows;
+  }
+  EXPECT_EQ(long_rows, 3u) << "expected exactly the power/ground rows to be long";
+  // Excluding the dense rows, the average population stays small.
+  const double avg_sparse =
+      (total - 3.0 * static_cast<double>(order) * 0.9) / static_cast<double>(order - 3);
+  EXPECT_LT(avg_sparse, 12.0);
+  EXPECT_GT(avg_sparse, 5.0);
+}
+
+TEST(Generators, RejectsBadParameters) {
+  EXPECT_THROW(random_matrix(0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(random_matrix(10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(random_matrix(10, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(random_matrix(1000, 1e-6, 1), std::invalid_argument);  // rows would be empty
+  EXPECT_THROW(circuit_matrix(10, 0.5, 1, 0.9, 1), std::invalid_argument);
+  EXPECT_THROW(circuit_matrix(10, 5, 10, 0.9, 1), std::invalid_argument);
+}
+
+// ---- Cray cost models -------------------------------------------------------------------
+
+TEST(CrayCost, CsrReproducesPaperTable2Column) {
+  // The fitted CSR model must land within ~10% of the paper's published
+  // totals (times in the paper are milliseconds).
+  const struct {
+    std::size_t order;
+    double rho;
+    double paper_ms;
+  } rows[] = {{15000, 0.001, 30.29}, {10000, 0.001, 19.52}, {5000, 0.001, 9.48},
+              {2000, 0.005, 3.90},   {1000, 0.010, 1.95}};
+  for (const auto& r : rows) {
+    // Uniform model: every row has order*rho entries.
+    std::vector<std::uint32_t> lens(r.order,
+                                    static_cast<std::uint32_t>(
+                                        std::llround(static_cast<double>(r.order) * r.rho)));
+    const double ms = csr_cray_cost(lens).total_seconds() * 1e3;
+    EXPECT_NEAR(ms, r.paper_ms, r.paper_ms * 0.10) << "order " << r.order;
+  }
+}
+
+TEST(CrayCost, MpBeatsCsrForVerySparseLosesForDense) {
+  // The Table 2 crossover: multiprefix wins at order 5000, ρ=0.001; CSR wins
+  // at order 100, ρ=0.4.
+  {
+    std::vector<std::uint32_t> lens(5000, 5);
+    const double csr = csr_cray_cost(lens).total_seconds();
+    const double mpx = mp_cray_cost(25000, 5000).total_seconds();
+    EXPECT_LT(mpx, csr);
+  }
+  {
+    std::vector<std::uint32_t> lens(100, 40);
+    const double csr = csr_cray_cost(lens).total_seconds();
+    const double mpx = mp_cray_cost(4000, 100).total_seconds();
+    EXPECT_LT(csr, mpx);
+  }
+}
+
+TEST(CrayCost, JdTradesSetupForFastEvaluation) {
+  // Uniform very sparse matrix: JD evaluation beats CSR evaluation, but its
+  // setup dominates the one-shot total (Table 4's structure).
+  std::vector<std::uint32_t> lens(10000, 10);
+  const auto jd = jd_cray_cost(lens);
+  const auto csr = csr_cray_cost(lens);
+  EXPECT_LT(jd.eval_seconds, csr.eval_seconds / 3.0);
+  EXPECT_GT(jd.setup_seconds, jd.eval_seconds);
+}
+
+TEST(CrayCost, CircuitStructureBreaksJd) {
+  // Table 5: a few nearly-full rows explode the diagonal count and JD's
+  // evaluation advantage disappears.
+  const auto coo = circuit_matrix(2806, 7.5, 3, 0.95, 17);
+  const auto lens = coo.row_lengths();
+  const auto jd = jd_cray_cost(lens);
+  const auto mpx = mp_cray_cost(coo.nnz(), coo.rows);
+  EXPECT_GT(jd.eval_seconds, mpx.eval_seconds)
+      << "JD evaluation should collapse on circuit matrices";
+  EXPECT_LT(mpx.total_seconds(), jd.total_seconds());
+}
+
+TEST(CrayCost, MpSetupScalesWithNnzEvalDominates) {
+  const auto c = mp_cray_cost(225000, 15000);
+  EXPECT_GT(c.eval_seconds, c.setup_seconds);
+  // Same ballpark as the paper's measured MP column: setup 5.87 ms,
+  // eval 21.56 ms (within 40% — the model is Table 3 with no refitting).
+  EXPECT_NEAR(c.setup_seconds * 1e3, 5.87, 5.87 * 0.4);
+  EXPECT_NEAR(c.eval_seconds * 1e3, 21.56, 21.56 * 0.4);
+}
+
+}  // namespace
+}  // namespace mp::sparse

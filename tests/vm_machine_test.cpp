@@ -1,0 +1,376 @@
+// Tests for the simulated vector machine and the simulated multiprefix
+// program: instruction semantics, the emergent bank-conflict cost model,
+// and reproduction of the §4.3 load regimes by simulation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/serial.hpp"
+#include "vm/machine.hpp"
+#include "vm/machine_multiprefix.hpp"
+#include "vm/machine_sort.hpp"
+
+namespace mp::vm {
+namespace {
+
+VectorMachine::Config small_config(std::size_t words) {
+  VectorMachine::Config c;
+  c.memory_words = words;
+  return c;
+}
+
+// ---- instruction semantics ----------------------------------------------------
+
+TEST(VectorMachine, PokePeekAndReservedDummyWord) {
+  VectorMachine m(small_config(10));
+  EXPECT_EQ(m.memory_words(), 11u);  // +1 reserved dummy word
+  m.poke(3, 42);
+  EXPECT_EQ(m.peek(3), 42);
+}
+
+TEST(VectorMachine, LoadStoreRoundTrip) {
+  VectorMachine m(small_config(256));
+  for (std::size_t i = 0; i < 64; ++i) m.poke(i, static_cast<VectorMachine::word_t>(i * 3));
+  m.set_vl(64);
+  m.vload(0, 0);
+  m.vstore(0, 100);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(m.peek(100 + i), static_cast<long>(i * 3));
+}
+
+TEST(VectorMachine, StridedLoad) {
+  VectorMachine m(small_config(256));
+  for (std::size_t i = 0; i < 256; ++i) m.poke(i, static_cast<VectorMachine::word_t>(i));
+  m.set_vl(8);
+  m.vload(1, 5, 10);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(m.v(1)[i], static_cast<long>(5 + 10 * i));
+}
+
+TEST(VectorMachine, GatherScatter) {
+  VectorMachine m(small_config(128));
+  for (std::size_t i = 0; i < 16; ++i) m.poke(i, static_cast<VectorMachine::word_t>(100 + i));
+  m.set_vl(4);
+  m.viota(0, 3, -1);  // indices 3,2,1,0
+  m.vgather(1, 0, 0);
+  EXPECT_EQ(m.v(1)[0], 103);
+  EXPECT_EQ(m.v(1)[3], 100);
+  m.vscatter(1, 64, 0);  // memory[64+3..64+0] = 103..100
+  EXPECT_EQ(m.peek(67), 103);
+  EXPECT_EQ(m.peek(64), 100);
+}
+
+TEST(VectorMachine, ScatterDuplicateLastLaneWins) {
+  VectorMachine m(small_config(64));
+  m.set_vl(4);
+  m.vbroadcast(0, 7);       // all lanes target address 7
+  m.viota(1, 10, 1);        // values 10,11,12,13
+  m.vscatter(1, 0, 0);
+  EXPECT_EQ(m.peek(7), 13);
+}
+
+TEST(VectorMachine, ArithmeticAndCompare) {
+  VectorMachine m(small_config(64));
+  m.set_vl(4);
+  m.viota(0, 1, 1);   // 1,2,3,4
+  m.viota(1, 10, 10); // 10,20,30,40
+  m.vadd(2, 0, 1);
+  EXPECT_EQ(m.v(2)[3], 44);
+  m.vmul(3, 0, 0);
+  EXPECT_EQ(m.v(3)[2], 9);
+  m.vcmp_ne(0, 2);
+  EXPECT_TRUE(m.mask_any());
+  m.vbroadcast(4, 0);
+  m.vcmp_nonzero(4);
+  EXPECT_FALSE(m.mask_any());
+}
+
+TEST(VectorMachine, MaskedScatterWritesDummyForFalseLanes) {
+  VectorMachine m(small_config(64));
+  m.set_vl(4);
+  m.viota(0, 0, 1);        // addresses 0..3
+  m.viota(1, 0, 1);        // values 0,1,2,3 -> lanes 1..3 TRUE, lane 0 FALSE
+  m.vcmp_nonzero(1);
+  m.viota(2, 50, 1);       // payload 50..53
+  m.poke(0, -1);
+  m.vscatter_masked(2, 0, 0);
+  EXPECT_EQ(m.peek(0), -1);  // FALSE lane did not write its target
+  EXPECT_EQ(m.peek(1), 51);
+  EXPECT_EQ(m.peek(3), 53);
+}
+
+TEST(VectorMachine, MaskedScatterAllFalseSkipsChunk) {
+  VectorMachine m(small_config(64));
+  m.set_vl(8);
+  m.vbroadcast(1, 0);
+  m.vcmp_nonzero(1);
+  const auto before = m.stats();
+  m.vscatter_masked(1, 0, 1);
+  const auto after = m.stats();
+  EXPECT_EQ(after.skipped_chunks, before.skipped_chunks + 1);
+  EXPECT_EQ(after.memory_elements, before.memory_elements);  // no traffic
+}
+
+TEST(VectorMachine, BoundsChecking) {
+  VectorMachine m(small_config(16));
+  m.set_vl(4);
+  EXPECT_THROW(m.vload(0, 15, 2), std::invalid_argument);
+  m.vbroadcast(0, 100);
+  EXPECT_THROW(m.vgather(1, 0, 0), std::invalid_argument);
+  EXPECT_THROW(m.set_vl(0), std::invalid_argument);
+  EXPECT_THROW(m.set_vl(65), std::invalid_argument);
+}
+
+// ---- emergent memory-bank cost model --------------------------------------------
+
+TEST(VectorMachine, UnitStrideIsFasterThanBankAliasedStride) {
+  // With 64 banks and busy time 4, stride 64 hits one bank per lane group:
+  // the paper's "only 1/4 of the memory banks" effect, amplified.
+  VectorMachine fast(small_config(1 << 14));
+  fast.set_vl(64);
+  fast.vload(0, 0, 1);
+  VectorMachine slow(small_config(1 << 14));
+  slow.set_vl(64);
+  slow.vload(0, 0, 64);
+  EXPECT_GT(slow.stats().clocks, 3 * fast.stats().clocks);
+  EXPECT_GT(slow.stats().bank_stall_clocks, 0u);
+  EXPECT_EQ(fast.stats().bank_stall_clocks, 0u);
+}
+
+TEST(VectorMachine, SameAddressScatterSerializesOnOneBank) {
+  VectorMachine m(small_config(1 << 10));
+  m.set_vl(64);
+  m.vbroadcast(0, 5);
+  m.viota(1, 0, 1);
+  m.vscatter(1, 0, 0);
+  // 64 accesses to one bank: ~64 * bank_busy clocks.
+  EXPECT_GE(m.stats().clocks, 64 * m.config().bank_busy);
+}
+
+TEST(VectorMachine, StrideFourUsesQuarterOfBanks) {
+  // §4: a stride-4 record layout "would only make use of 1/4 of the memory
+  // banks available". On a 16-bank machine (so that a quarter of the banks
+  // cannot hide the bank busy time) stride 4 must be measurably slower
+  // than stride 1 and faster than a single-bank stream.
+  auto config = small_config(1 << 14);
+  config.banks = 16;
+  config.bank_busy = 8;  // a bank recovery longer than the 4-bank rotation
+  VectorMachine s1(config), s4(config), s16(config);
+  for (auto* m : {&s1, &s4, &s16}) m->set_vl(64);
+  s1.vload(0, 0, 1);
+  s4.vload(0, 0, 4);
+  s16.vload(0, 0, 16);
+  EXPECT_GT(s4.stats().clocks, s1.stats().clocks);
+  EXPECT_GT(s16.stats().clocks, s4.stats().clocks);
+}
+
+// ---- simulated multiprefix -------------------------------------------------------
+
+std::vector<VectorMachine::word_t> positive_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<VectorMachine::word_t> v(n);
+  // Strictly positive: the simulator uses the paper's `rowsum != 0` test.
+  for (auto& x : v) x = 1 + static_cast<VectorMachine::word_t>(rng.below(50));
+  return v;
+}
+
+struct SimCase {
+  std::string dist;
+  std::size_t n;
+  std::size_t m;
+};
+
+class SimulatedMultiprefixTest : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimulatedMultiprefixTest, MatchesSerialReference) {
+  const auto& c = GetParam();
+  const auto labels = c.dist == "constant" ? constant_labels(c.n, 0)
+                                           : uniform_labels(c.n, c.m, 5);
+  const auto values = positive_values(c.n, 7);
+  const auto sim = run_multiprefix_simulated(values, labels, c.m, RowShape::square(c.n));
+  const auto expected = multiprefix_serial<VectorMachine::word_t, Plus>(values, labels, c.m);
+  ASSERT_EQ(sim.prefix, expected.prefix);
+  ASSERT_EQ(sim.reduction, expected.reduction);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SimulatedMultiprefixTest,
+    ::testing::Values(SimCase{"uniform", 1, 1}, SimCase{"uniform", 9, 3},
+                      SimCase{"uniform", 100, 10}, SimCase{"uniform", 257, 31},
+                      SimCase{"uniform", 1024, 1024}, SimCase{"uniform", 2000, 7},
+                      SimCase{"constant", 256, 1}, SimCase{"constant", 500, 1}),
+    [](const auto& name_info) {
+      return name_info.param.dist + "_n" + std::to_string(name_info.param.n) + "_m" +
+             std::to_string(name_info.param.m);
+    });
+
+TEST(SimulatedMultiprefix, NonSquareShapesAgree) {
+  const std::size_t n = 300;
+  const auto labels = uniform_labels(n, 11, 3);
+  const auto values = positive_values(n, 4);
+  const auto expected = multiprefix_serial<VectorMachine::word_t, Plus>(values, labels, 11);
+  for (const std::size_t row_len : {1u, 5u, 17u, 64u, 100u, 300u}) {
+    const auto sim = run_multiprefix_simulated(values, labels, 11,
+                                               RowShape::with_row_length(n, row_len));
+    ASSERT_EQ(sim.prefix, expected.prefix) << "row_len " << row_len;
+    ASSERT_EQ(sim.reduction, expected.reduction) << "row_len " << row_len;
+  }
+}
+
+TEST(SimulatedMultiprefix, HeavyLoadInflatesSpinetreePhase) {
+  // §4.3 heavy load: all scatter/gathers hit one bucket — the SPINETREE
+  // phase must cost several times more clocks per element than at moderate
+  // load on the same machine.
+  const std::size_t n = 1 << 14;
+  const auto values = positive_values(n, 9);
+  const auto heavy =
+      run_multiprefix_simulated(values, constant_labels(n, 0), 1, RowShape::square(n));
+  const auto moderate = run_multiprefix_simulated(values, uniform_labels(n, n / 128, 3),
+                                                  n / 128, RowShape::square(n));
+  const double heavy_st =
+      static_cast<double>(heavy.phase_clocks.spinetree) / static_cast<double>(n);
+  const double moderate_st =
+      static_cast<double>(moderate.phase_clocks.spinetree) / static_cast<double>(n);
+  EXPECT_GT(heavy_st, 1.5 * moderate_st);
+}
+
+TEST(SimulatedMultiprefix, HeavyLoadSpinesumsSkipChunks) {
+  // §4.3: with one class there is at most one spine element per row, so
+  // almost every 64-lane SPINESUM chunk is all-FALSE and exits early.
+  const std::size_t n = 1 << 14;
+  const auto values = positive_values(n, 10);
+  const auto heavy =
+      run_multiprefix_simulated(values, constant_labels(n, 0), 1, RowShape::square(n));
+  EXPECT_GT(heavy.machine_stats.skipped_chunks, 0u);
+  const auto moderate = run_multiprefix_simulated(values, uniform_labels(n, n / 128, 3),
+                                                  n / 128, RowShape::square(n));
+  const double heavy_ss =
+      static_cast<double>(heavy.phase_clocks.spinesums) / static_cast<double>(n);
+  const double moderate_ss =
+      static_cast<double>(moderate.phase_clocks.spinesums) / static_cast<double>(n);
+  EXPECT_LT(heavy_ss, moderate_ss);
+}
+
+TEST(SimulatedMultiprefix, TotalCostIsLoadInsensitiveWithinAFactor) {
+  // The paper's headline (§4.3): extremes of load change the total by only
+  // a small factor, because phase penalties offset each other.
+  const std::size_t n = 1 << 14;
+  const auto values = positive_values(n, 11);
+  double lo = 1e300, hi = 0.0;
+  for (const std::size_t m : {std::size_t{1}, n / 128, n}) {
+    const auto labels = m == 1 ? constant_labels(n, 0) : uniform_labels(n, m, 3);
+    const auto sim = run_multiprefix_simulated(values, labels, m, RowShape::square(n));
+    lo = std::min(lo, sim.clocks_per_element());
+    hi = std::max(hi, sim.clocks_per_element());
+  }
+  EXPECT_LT(hi / lo, 2.5);
+}
+
+TEST(VectorMachine, ScalarAccessSemantics) {
+  VectorMachine m(small_config(64));
+  m.poke(5, 42);
+  EXPECT_EQ(m.sload(5), 42);
+  m.sstore(6, 7);
+  EXPECT_EQ(m.peek(6), 7);
+  EXPECT_EQ(m.sload_stream(6), 7);
+  m.sstore_stream(7, 9);
+  EXPECT_EQ(m.peek(7), 9);
+  EXPECT_THROW(m.sload(100), std::invalid_argument);
+}
+
+TEST(VectorMachine, DependentScalarAccessIsSlowerThanStreamed) {
+  VectorMachine a(small_config(1 << 10)), b(small_config(1 << 10));
+  for (int i = 0; i < 100; ++i) (void)a.sload(static_cast<std::size_t>(i));
+  for (int i = 0; i < 100; ++i) (void)b.sload_stream(static_cast<std::size_t>(i));
+  EXPECT_GT(a.stats().clocks, 3 * b.stats().clocks);
+}
+
+TEST(SimulatedMultiprefix, OnesOptimizationPreservesResultsAndSavesClocks) {
+  const std::size_t n = 4096;
+  const std::size_t m = 64;
+  const auto labels = uniform_labels(n, m, 3);
+  const std::vector<VectorMachine::word_t> ones(n, 1);
+  const auto plain = run_multiprefix_simulated(ones, labels, m, RowShape::square(n));
+  const auto fast = run_multiprefix_simulated(ones, labels, m, RowShape::square(n), {},
+                                              /*ones_optimization=*/true);
+  EXPECT_EQ(plain.prefix, fast.prefix);
+  EXPECT_EQ(plain.reduction, fast.reduction);
+  EXPECT_LT(fast.phase_clocks.rowsums, plain.phase_clocks.rowsums);
+  EXPECT_LT(fast.phase_clocks.prefixsums, plain.phase_clocks.prefixsums);
+}
+
+TEST(SimulatedMultiprefix, OnesOptimizationRejectsNonOnes) {
+  const std::vector<VectorMachine::word_t> values = {1, 2};
+  const std::vector<label_t> labels = {0, 0};
+  EXPECT_THROW(
+      run_multiprefix_simulated(values, labels, 1, RowShape::square(2), {}, true),
+      std::invalid_argument);
+}
+
+// ---- simulated integer sorting (Table 1 at the machine level) -------------------
+
+std::vector<std::uint32_t> reference_ranks(std::span<const std::uint32_t> keys) {
+  std::vector<std::uint32_t> idx(keys.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return keys[a] < keys[b]; });
+  std::vector<std::uint32_t> rank(keys.size());
+  for (std::size_t p = 0; p < idx.size(); ++p) rank[idx[p]] = static_cast<std::uint32_t>(p);
+  return rank;
+}
+
+TEST(SimulatedSort, CountingSortRanksAreCorrect) {
+  Xoshiro256 rng(3);
+  std::vector<std::uint32_t> keys(2000);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(128));
+  const auto sim = run_counting_sort_simulated(keys, 128);
+  EXPECT_EQ(sim.ranks, reference_ranks(keys));
+  EXPECT_GT(sim.clocks, 0u);
+}
+
+TEST(SimulatedSort, RankSortRanksAreCorrect) {
+  Xoshiro256 rng(4);
+  std::vector<std::uint32_t> keys(2000);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(128));
+  const auto sim = run_rank_sort_simulated(keys, 128, RowShape::square(keys.size()));
+  EXPECT_EQ(sim.ranks, reference_ranks(keys));
+}
+
+TEST(SimulatedSort, MultiprefixBeatsBucketSortOnTheVectorMachine) {
+  // Table 1's shape at the machine level: the fully vectorized multiprefix
+  // sort outruns the scalar-histogram bucket sort.
+  Xoshiro256 rng(5);
+  const std::size_t n = 1 << 14;
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(1 << 11));
+  const auto bucket = run_counting_sort_simulated(keys, 1 << 11);
+  const auto mp_sort = run_rank_sort_simulated(
+      keys, 1 << 11, RowShape::with_row_length(n, RowShape::square(n).row_len | 1));
+  EXPECT_EQ(bucket.ranks, mp_sort.ranks);
+  EXPECT_LT(mp_sort.clocks, bucket.clocks);
+}
+
+TEST(SimulatedSort, EdgeCases) {
+  const std::vector<std::uint32_t> single = {0};
+  EXPECT_EQ(run_counting_sort_simulated(single, 1).ranks, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(run_rank_sort_simulated(single, 1, RowShape::square(1)).ranks,
+            (std::vector<std::uint32_t>{0}));
+  const std::vector<std::uint32_t> bad = {5};
+  EXPECT_THROW(run_counting_sort_simulated(bad, 3), std::invalid_argument);
+}
+
+TEST(SimulatedMultiprefix, WorkEfficiencyClocksPerElementFlatInN) {
+  const auto small_values = positive_values(1 << 12, 12);
+  const auto large_values = positive_values(1 << 16, 12);
+  const auto small = run_multiprefix_simulated(small_values, uniform_labels(1 << 12, 64, 3),
+                                               64, RowShape::square(1 << 12));
+  const auto large = run_multiprefix_simulated(large_values, uniform_labels(1 << 16, 1024, 3),
+                                               1024, RowShape::square(1 << 16));
+  EXPECT_NEAR(large.clocks_per_element() / small.clocks_per_element(), 1.0, 0.5);
+}
+
+}  // namespace
+}  // namespace mp::vm

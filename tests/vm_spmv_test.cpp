@@ -1,0 +1,150 @@
+// Tests for the simulated-machine SpMV kernels: correctness against the
+// dense reference and the Table 2 / Table 5 cost-shape claims.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/dense_ref.hpp"
+#include "sparse/generators.hpp"
+#include "vm/machine_spmv.hpp"
+
+namespace mp::vm {
+namespace {
+
+using Word = VectorMachine::word_t;
+
+/// Positive-integer-valued matrix with the structure of a generated matrix.
+sparse::Coo<Word> integer_matrix(const sparse::Coo<double>& shape, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  sparse::Coo<Word> coo;
+  coo.rows = shape.rows;
+  coo.cols = shape.cols;
+  coo.row = shape.row;
+  coo.col = shape.col;
+  coo.val.resize(shape.nnz());
+  for (auto& v : coo.val) v = 1 + static_cast<Word>(rng.below(9));
+  return coo;
+}
+
+std::vector<Word> positive_x(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Word> x(n);
+  for (auto& v : x) v = 1 + static_cast<Word>(rng.below(9));
+  return x;
+}
+
+struct SpmvSimCase {
+  std::string kind;
+  std::size_t order;
+  double density;
+};
+
+class SimulatedSpmvTest : public ::testing::TestWithParam<SpmvSimCase> {};
+
+TEST_P(SimulatedSpmvTest, AllThreeKernelsMatchDenseReference) {
+  const auto& c = GetParam();
+  const auto pattern = c.kind == "circuit" ? sparse::circuit_matrix(c.order, 7.5, 2, 0.9, 11)
+                                           : sparse::random_matrix(c.order, c.density, 11);
+  const auto coo = integer_matrix(pattern, 3);
+  const auto x = positive_x(c.order, 4);
+  const auto expected = sparse::dense_reference_spmv<Word>(coo, x);
+
+  const auto csr = sparse::Csr<Word>::from_coo(coo);
+  const auto sim_csr = run_csr_spmv_simulated(csr, x);
+  ASSERT_EQ(sim_csr.y, expected);
+  EXPECT_EQ(sim_csr.setup_clocks, 0u);
+
+  const auto sim_jd = run_jd_spmv_simulated(csr, x);
+  ASSERT_EQ(sim_jd.y, expected);
+  EXPECT_GT(sim_jd.setup_clocks, 0u);
+
+  const auto sim_mp = run_mp_spmv_simulated(coo, x);
+  ASSERT_EQ(sim_mp.y, expected);
+  EXPECT_GT(sim_mp.setup_clocks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrices, SimulatedSpmvTest,
+    ::testing::Values(SpmvSimCase{"random", 60, 0.1}, SpmvSimCase{"random", 200, 0.02},
+                      SpmvSimCase{"random", 500, 0.004}, SpmvSimCase{"random", 30, 1.0},
+                      SpmvSimCase{"circuit", 150, 0.0}),
+    [](const auto& name_info) {
+      return name_info.param.kind + "_o" + std::to_string(name_info.param.order);
+    });
+
+TEST(SimulatedSpmv, Table2ShapeMpBeatsCsrOnVerySparse) {
+  // order 500 at rho = 0.004: two entries per row — CSR drowns in per-row
+  // startup, MP pays per-element costs only.
+  const auto pattern = sparse::random_matrix(500, 0.004, 7);
+  const auto coo = integer_matrix(pattern, 8);
+  const auto x = positive_x(500, 9);
+  const auto csr = run_csr_spmv_simulated(sparse::Csr<Word>::from_coo(coo), x);
+  const auto mpx = run_mp_spmv_simulated(coo, x);
+  EXPECT_LT(mpx.total_clocks(), csr.total_clocks());
+}
+
+TEST(SimulatedSpmv, Table2ShapeCsrWinsOnSmallDense) {
+  // order 40 at rho = 1.0: long rows amortize the startup and the matrix is
+  // tiny — CSR must win the one-shot total.
+  const auto pattern = sparse::random_matrix(40, 1.0, 7);
+  const auto coo = integer_matrix(pattern, 8);
+  const auto x = positive_x(40, 9);
+  const auto csr = run_csr_spmv_simulated(sparse::Csr<Word>::from_coo(coo), x);
+  const auto mpx = run_mp_spmv_simulated(coo, x);
+  EXPECT_LT(csr.total_clocks(), mpx.total_clocks());
+}
+
+TEST(SimulatedSpmv, Table4ShapeJdTradesSetupForEvaluation) {
+  const auto pattern = sparse::random_matrix(400, 0.01, 7);
+  const auto coo = integer_matrix(pattern, 8);
+  const auto x = positive_x(400, 9);
+  const auto csr_mat = sparse::Csr<Word>::from_coo(coo);
+  const auto csr = run_csr_spmv_simulated(csr_mat, x);
+  const auto jd = run_jd_spmv_simulated(csr_mat, x);
+  EXPECT_LT(jd.eval_clocks, csr.eval_clocks);     // JD evaluation is fastest
+  EXPECT_GT(jd.setup_clocks, jd.eval_clocks);     // but setup dominates it
+}
+
+TEST(SimulatedSpmv, Table5ShapeCircuitMatrixBreaksJdEvaluation) {
+  // A few nearly-full rows -> hundreds of near-empty diagonals: JD's
+  // per-element evaluation cost collapses relative to its own behaviour on
+  // a uniform matrix of the same population, while MP's per-element cost
+  // is structure-independent (the paper's "more consistent over matrices
+  // of varying structure").
+  const auto circuit_pattern = sparse::circuit_matrix(600, 7.5, 2, 0.95, 7);
+  const auto circuit = integer_matrix(circuit_pattern, 8);
+  const double circuit_nnz = static_cast<double>(circuit.nnz());
+  const auto uniform_pattern =
+      sparse::random_matrix(600, circuit_nnz / (600.0 * 600.0), 7);
+  const auto uniform = integer_matrix(uniform_pattern, 8);
+
+  const auto xc = positive_x(600, 9);
+  const auto jd_circuit = run_jd_spmv_simulated(sparse::Csr<Word>::from_coo(circuit), xc);
+  const auto jd_uniform = run_jd_spmv_simulated(sparse::Csr<Word>::from_coo(uniform), xc);
+  const double jd_circuit_cpe = static_cast<double>(jd_circuit.eval_clocks) / circuit_nnz;
+  const double jd_uniform_cpe =
+      static_cast<double>(jd_uniform.eval_clocks) / static_cast<double>(uniform.nnz());
+  EXPECT_GT(jd_circuit_cpe, 2.0 * jd_uniform_cpe)
+      << "JD evaluation should collapse on the circuit structure";
+
+  const auto mp_circuit = run_mp_spmv_simulated(circuit, xc);
+  const auto mp_uniform = run_mp_spmv_simulated(uniform, xc);
+  const double mp_circuit_cpe = static_cast<double>(mp_circuit.eval_clocks) / circuit_nnz;
+  const double mp_uniform_cpe =
+      static_cast<double>(mp_uniform.eval_clocks) / static_cast<double>(uniform.nnz());
+  EXPECT_NEAR(mp_circuit_cpe / mp_uniform_cpe, 1.0, 0.35)
+      << "MP evaluation should be structure-insensitive";
+
+  // And on totals (one setup + one evaluation, the Table 5 TOTAL columns)
+  // MP beats JD on the circuit matrix.
+  EXPECT_LT(mp_circuit.total_clocks(), jd_circuit.total_clocks());
+}
+
+TEST(SimulatedSpmv, RejectsBadVectorSize) {
+  const auto pattern = sparse::random_matrix(20, 0.2, 1);
+  const auto coo = integer_matrix(pattern, 2);
+  const std::vector<Word> x(19, 1);
+  EXPECT_THROW(run_mp_spmv_simulated(coo, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mp::vm
