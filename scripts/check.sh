@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Sanitizer CI gate: build and run the test suite under TSan, ASan and UBSan.
+#
+#   scripts/check.sh               # fault-injection + differential suites (fast)
+#   scripts/check.sh --full        # the entire ctest suite under each sanitizer
+#   scripts/check.sh --full tsan   # one sanitizer only
+#
+# TSan is the pass that actually exercises the paper's CRCW-ARB claim: the
+# SPINETREE overwrite phase races by design (arbitrary winner), and the
+# relaxed-atomic implementation must be the only racy access TSan sees.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=quick
+if [[ "${1:-}" == "--full" ]]; then
+  MODE=full
+  shift
+fi
+if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(tsan asan ubsan); fi
+
+# The quick gate covers the suites this layer is about: pool fault injection,
+# resilient fallback, input validation, and the differential fuzz sweep
+# (gtest suite names, as registered with ctest by gtest_discover_tests).
+QUICK_FILTER='FaultInjection|PoolReentrancy|PoolErrorReset|Resilient|FallbackChain'
+QUICK_FILTER+='|Status|ValidateLabels|ValidateInputs|FacadeValidation|MpError'
+QUICK_FILTER+='|AdversarialInputs|DifferentialFuzz|ThreadPool|ParallelFor'
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+for san in "${SANITIZERS[@]}"; do
+  echo "=== [$san] configure + build ==="
+  cmake --preset "$san" >/dev/null
+  cmake --build --preset "$san" -j "$JOBS" -- --no-print-directory >/dev/null
+  echo "=== [$san] ctest ($MODE) ==="
+  if [[ "$MODE" == full ]]; then
+    ctest --preset "$san"
+  else
+    ctest --preset "$san" -R "$QUICK_FILTER"
+  fi
+done
+echo "All sanitizer passes clean: ${SANITIZERS[*]} ($MODE)"

@@ -1,0 +1,157 @@
+// Structured error taxonomy for the execution layer.
+//
+// The paper's algorithm is correct only under preconditions the code cannot
+// express in the type system: every label must lie in [0, m), shapes must
+// agree, and the machine underneath (thread pool, allocator) must not fail
+// mid-phase. This header gives those failure modes names so callers can
+// distinguish "your input is malformed" (kInvalidLabel / kShapeMismatch —
+// retrying is pointless) from "the execution substrate failed"
+// (kPoolFailure / kExecutionFault — a degraded strategy may still succeed;
+// see core/resilient.hpp).
+//
+// `Status` is a cheap value type for in-band reporting; `MpError` wraps a
+// Status into an exception for the throwing entry points. The facade in
+// core/multiprefix.hpp validates with `validate_inputs` and throws MpError,
+// so malformed inputs are rejected with the precise offending index instead
+// of scribbling over out-of-range buckets (the Figure-2 sweep and the
+// spinetree build both index `reduction[label]` unchecked otherwise).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "common/labels.hpp"
+
+namespace mp {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidLabel,     // labels[index] >= m — the input violates §1's contract
+  kShapeMismatch,    // values/labels/output extents disagree
+  kPoolFailure,      // the thread pool cannot run the job (e.g. reentrancy)
+  kExecutionFault,   // a lane faulted mid-phase, or self-verification failed
+};
+
+constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidLabel: return "invalid-label";
+    case ErrorCode::kShapeMismatch: return "shape-mismatch";
+    case ErrorCode::kPoolFailure: return "pool-failure";
+    case ErrorCode::kExecutionFault: return "execution-fault";
+  }
+  return "unknown";
+}
+
+/// Value-type result of a validation or execution step. `index` pinpoints
+/// the offending element for kInvalidLabel (npos when not applicable).
+class Status {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  Status() = default;  // ok
+  Status(ErrorCode code, std::string message, std::size_t index = npos)
+      : code_(code), message_(std::move(message)), index_(index) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  /// Index of the offending element, or npos.
+  std::size_t index() const { return index_; }
+  const std::string& message() const { return message_; }
+
+  /// "invalid-label: label 9 at index 4 is out of range [0, 3)".
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    return std::string(mp::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+  std::size_t index_ = npos;
+};
+
+/// Exception form of a non-ok Status, thrown by the public facade and the
+/// thread pool. Carries the full Status so callers (notably the resilient
+/// driver) can branch on the code instead of parsing what().
+class MpError : public std::runtime_error {
+ public:
+  explicit MpError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+  MpError(ErrorCode code, std::string message, std::size_t index = Status::npos)
+      : MpError(Status(code, std::move(message), index)) {}
+
+  const Status& status() const { return status_; }
+  ErrorCode code() const { return status_.code(); }
+  std::size_t index() const { return status_.index(); }
+
+ private:
+  Status status_;
+};
+
+// ---- label-range validation -----------------------------------------------
+
+/// Single-pass vectorized label-range check: returns ok if every label is
+/// < m, otherwise kInvalidLabel naming the first offending index.
+///
+/// The hot path is branch-free: blocks of labels are OR-folded into four
+/// independent accumulators (auto-vectorizes to a compare+or per SIMD word),
+/// and only a tripped block is rescanned for the precise index — so the
+/// valid-input cost is one load + compare + or per label, O(n/width) vector
+/// ops, matching the validation-cost discipline of production collectives.
+inline Status validate_labels(std::span<const label_t> labels, std::size_t m) {
+  const std::size_t n = labels.size();
+  if (m > static_cast<std::size_t>(static_cast<label_t>(-1))) return Status::ok();
+  const label_t bound = static_cast<label_t>(m);
+  const label_t* p = labels.data();
+
+  constexpr std::size_t kBlock = 1024;
+  std::size_t base = 0;
+  while (base < n) {
+    const std::size_t len = n - base < kBlock ? n - base : kBlock;
+    // Branch-free OR-fold over the block, 4 accumulators to expose ILP.
+    label_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+      a0 |= static_cast<label_t>(p[base + i + 0] >= bound);
+      a1 |= static_cast<label_t>(p[base + i + 1] >= bound);
+      a2 |= static_cast<label_t>(p[base + i + 2] >= bound);
+      a3 |= static_cast<label_t>(p[base + i + 3] >= bound);
+    }
+    for (; i < len; ++i) a0 |= static_cast<label_t>(p[base + i] >= bound);
+    if ((a0 | a1 | a2 | a3) != 0) {
+      // Rare path: rescan the tripped block for the first offender.
+      for (std::size_t j = 0; j < len; ++j) {
+        if (p[base + j] >= bound) {
+          const std::size_t at = base + j;
+          return Status(ErrorCode::kInvalidLabel,
+                        "label " + std::to_string(p[at]) + " at index " + std::to_string(at) +
+                            " is out of range [0, " + std::to_string(m) + ")",
+                        at);
+        }
+      }
+    }
+    base += len;
+  }
+  return Status::ok();
+}
+
+/// Full input validation for a multiprefix call: shape agreement plus label
+/// range. Every Strategy entry point in core/multiprefix.hpp runs this
+/// before dispatch.
+inline Status validate_inputs(std::size_t values_size, std::span<const label_t> labels,
+                              std::size_t m) {
+  if (values_size != labels.size())
+    return Status(ErrorCode::kShapeMismatch,
+                  "values size " + std::to_string(values_size) + " != labels size " +
+                      std::to_string(labels.size()));
+  return validate_labels(labels, m);
+}
+
+}  // namespace mp

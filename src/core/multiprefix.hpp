@@ -13,6 +13,7 @@
 
 #include <span>
 
+#include "common/error.hpp"
 #include "core/chunked.hpp"
 #include "core/executor.hpp"
 #include "core/ops.hpp"
@@ -43,12 +44,25 @@ constexpr const char* to_string(Strategy s) {
   return "unknown";
 }
 
+/// Validates a (values, labels, m) triple before dispatch and throws the
+/// structured error on violation. Every Strategy entry point runs this, so
+/// malformed inputs are rejected with a precise index (error.hpp) instead of
+/// indexing out-of-range buckets inside the sweep. The check is one
+/// vectorized pass over the labels — O(n) with a small constant, negligible
+/// next to any of the algorithms themselves.
+inline void require_valid_inputs(std::size_t values_size, std::span<const label_t> labels,
+                                 std::size_t m) {
+  if (Status st = validate_inputs(values_size, labels, m); !st.is_ok())
+    throw MpError(std::move(st));
+}
+
 /// Computes the full multiprefix of `values` under `labels` (each < m).
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 MultiprefixResult<T> multiprefix(std::span<const T> values, std::span<const label_t> labels,
                                  std::size_t m, Op op = {},
                                  Strategy strategy = Strategy::kVectorized) {
+  require_valid_inputs(values.size(), labels, m);
   switch (strategy) {
     case Strategy::kSerial:
       return multiprefix_serial<T, Op>(values, labels, m, op);
@@ -82,6 +96,7 @@ template <class T, class Op = Plus>
 std::vector<T> multireduce(std::span<const T> values, std::span<const label_t> labels,
                            std::size_t m, Op op = {},
                            Strategy strategy = Strategy::kVectorized) {
+  require_valid_inputs(values.size(), labels, m);
   switch (strategy) {
     case Strategy::kSerial:
       return multireduce_serial<T, Op>(values, labels, m, op);

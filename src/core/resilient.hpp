@@ -1,0 +1,253 @@
+// Resilient multiprefix — graceful degradation across execution strategies.
+//
+// A production collective distinguishes "the input is wrong" from "the
+// machine under me failed". The first is hopeless (every strategy would
+// reject the same labels); the second is often survivable by retrying on a
+// simpler substrate. This driver encodes that policy:
+//
+//   kParallel   → kVectorized → kSerial      (threads, then one thread)
+//   kChunked    → kVectorized → kSerial
+//   kVectorized → kSerial
+//   kSortBased  → kSerial
+//   kSerial                                   (nothing simpler exists)
+//
+// A stage is abandoned only on MpError{kPoolFailure, kExecutionFault} or
+// std::bad_alloc (the serial sweep needs the least scratch memory);
+// kInvalidLabel / kShapeMismatch propagate immediately — see error.hpp.
+// Every attempt, fallback and failure cause is counted in a
+// FallbackCounters block (a process-wide one by default) so operators can
+// see degradation happening instead of silently running slow.
+//
+// Opt-in self-verification cross-checks a sampled window of each stage's
+// result against the brute-force definition (§1) in one extra O(n) pass —
+// the same differential discipline the fuzz suite applies, priced for
+// production. A mismatch counts as kExecutionFault and degrades further.
+// Caveat: the check compares with operator==, so it is meant for exactly
+// associative ops (integers, min/max, bitwise); floating-point PLUS may
+// legitimately differ across strategies by rounding.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/multiprefix.hpp"
+
+namespace mp {
+
+/// Observability block for the resilient driver. All counters are relaxed
+/// atomics: totals are exact, cross-counter consistency is best-effort.
+struct FallbackCounters {
+  std::atomic<std::uint64_t> attempts{0};          // stages tried
+  std::atomic<std::uint64_t> successes{0};         // calls that returned
+  std::atomic<std::uint64_t> fallbacks{0};         // stages abandoned
+  std::atomic<std::uint64_t> pool_failures{0};     // abandoned: kPoolFailure
+  std::atomic<std::uint64_t> execution_faults{0};  // abandoned: kExecutionFault/bad_alloc
+  std::atomic<std::uint64_t> verify_failures{0};   // abandoned: self-check mismatch
+  std::atomic<std::uint64_t> exhausted{0};         // whole chain failed
+
+  void reset() {
+    attempts = successes = fallbacks = 0;
+    pool_failures = execution_faults = verify_failures = exhausted = 0;
+  }
+};
+
+/// The process-wide counter block used when ResilientOptions::counters is
+/// null.
+inline FallbackCounters& global_fallback_counters() {
+  static FallbackCounters counters;
+  return counters;
+}
+
+struct ResilientOptions {
+  Strategy preferred = Strategy::kParallel;
+  /// Cross-check a sampled window of every stage's result against the §1
+  /// definition before accepting it (see file comment for the caveat).
+  bool self_verify = false;
+  std::size_t verify_window = 64;
+  std::uint64_t verify_seed = 0x5eed5eed5eedULL;
+  /// Counter block to update; null = global_fallback_counters().
+  FallbackCounters* counters = nullptr;
+  /// Called immediately before each stage runs. Observability / test seam:
+  /// throwing MpError(kExecutionFault or kPoolFailure) from here fails the
+  /// stage exactly as a lane fault would, which is how the fallback chain
+  /// itself is tested without real hardware faults.
+  std::function<void(Strategy)> attempt_hook;
+};
+
+/// What the resilient driver actually did, alongside the result.
+template <class T>
+struct ResilientOutcome {
+  MultiprefixResult<T> result;
+  Strategy used = Strategy::kSerial;  // stage that produced the result
+  std::size_t fallbacks = 0;          // stages abandoned before it
+  std::vector<Status> faults;         // why each abandoned stage failed
+};
+
+/// Degradation order for each preferred strategy (first entry = preferred).
+inline std::vector<Strategy> fallback_chain(Strategy preferred) {
+  switch (preferred) {
+    case Strategy::kParallel:
+      return {Strategy::kParallel, Strategy::kVectorized, Strategy::kSerial};
+    case Strategy::kChunked:
+      return {Strategy::kChunked, Strategy::kVectorized, Strategy::kSerial};
+    case Strategy::kVectorized:
+      return {Strategy::kVectorized, Strategy::kSerial};
+    case Strategy::kSortBased:
+      return {Strategy::kSortBased, Strategy::kSerial};
+    case Strategy::kSerial:
+      return {Strategy::kSerial};
+  }
+  return {Strategy::kSerial};
+}
+
+namespace detail {
+
+/// Picks the start of the verification window: deterministic in the seed,
+/// covering min(window, n) elements.
+inline std::pair<std::size_t, std::size_t> verify_span(std::size_t n, std::size_t window,
+                                                       std::uint64_t seed) {
+  const std::size_t len = window < n ? window : n;
+  Xoshiro256 rng(seed);
+  const std::size_t start = n > len ? rng.below(n - len + 1) : 0;
+  return {start, len};
+}
+
+/// Single-pass windowed brute-force check (§1 definition): recomputes the
+/// running per-class accumulator for every class that appears in
+/// [lo, lo + len) and compares prefix values inside the window (when
+/// `prefix` is nonnull) plus those classes' final reductions. O(n) time,
+/// O(window) space. Returns an ok Status or kExecutionFault naming a
+/// witness (prefix index, or n + class for a reduction mismatch).
+template <class T, class Op>
+Status verify_window(std::span<const T> values, std::span<const label_t> labels,
+                     const std::vector<T>* prefix, std::span<const T> reduction, Op op,
+                     std::size_t lo, std::size_t len, Strategy stage) {
+  const std::size_t n = values.size();
+  const std::size_t hi = lo + len < n ? lo + len : n;
+  const T id = op.template identity<T>();
+
+  std::unordered_map<label_t, T> acc;  // classes under scrutiny
+  for (std::size_t i = lo; i < hi; ++i) acc.emplace(labels[i], id);
+
+  auto mismatch = [&](std::size_t witness) {
+    return Status(ErrorCode::kExecutionFault,
+                  std::string("self-verification mismatch (") + to_string(stage) +
+                      ", witness " + std::to_string(witness) + ")",
+                  witness);
+  };
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto it = acc.find(labels[j]);
+    if (it == acc.end()) continue;
+    if (prefix != nullptr && j >= lo && j < hi && !((*prefix)[j] == it->second))
+      return mismatch(j);
+    it->second = op(it->second, values[j]);
+  }
+  for (const auto& [label, total] : acc)
+    if (!(reduction[label] == total)) return mismatch(n + label);
+  return Status::ok();
+}
+
+/// Shared fallback engine: walks the chain, classifies failures, maintains
+/// counters and the outcome log. `attempt(stage)` produces a result;
+/// `verify(stage, result)` returns ok or a fault that degrades further.
+template <class Result, class AttemptFn, class VerifyFn>
+Result run_chain(const ResilientOptions& options, std::vector<Status>& faults,
+                 std::size_t& fallbacks, Strategy& used, AttemptFn&& attempt,
+                 VerifyFn&& verify) {
+  FallbackCounters& counters =
+      options.counters != nullptr ? *options.counters : global_fallback_counters();
+  const std::vector<Strategy> chain = fallback_chain(options.preferred);
+  for (const Strategy stage : chain) {
+    counters.attempts.fetch_add(1, std::memory_order_relaxed);
+    Status fault;
+    try {
+      if (options.attempt_hook) options.attempt_hook(stage);
+      Result result = attempt(stage);
+      fault = verify(stage, result);
+      if (!fault.is_ok()) {
+        counters.verify_failures.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        counters.successes.fetch_add(1, std::memory_order_relaxed);
+        used = stage;
+        return result;
+      }
+    } catch (const MpError& e) {
+      if (e.code() != ErrorCode::kPoolFailure && e.code() != ErrorCode::kExecutionFault)
+        throw;  // input-contract violations fail identically everywhere
+      (e.code() == ErrorCode::kPoolFailure ? counters.pool_failures
+                                           : counters.execution_faults)
+          .fetch_add(1, std::memory_order_relaxed);
+      fault = e.status();
+    } catch (const std::bad_alloc&) {
+      counters.execution_faults.fetch_add(1, std::memory_order_relaxed);
+      fault = Status(ErrorCode::kExecutionFault,
+                     std::string("allocation failure in ") + to_string(stage) + " stage");
+    }
+    counters.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    faults.push_back(std::move(fault));
+    ++fallbacks;
+  }
+  counters.exhausted.fetch_add(1, std::memory_order_relaxed);
+  throw MpError(ErrorCode::kExecutionFault,
+                "all fallback stages failed (last: " + faults.back().to_string() + ")");
+}
+
+}  // namespace detail
+
+/// Multiprefix with graceful degradation (see file comment). Throws MpError
+/// immediately for malformed inputs; throws MpError(kExecutionFault) only
+/// when every stage of the chain has failed.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+ResilientOutcome<T> resilient_multiprefix(std::span<const T> values,
+                                          std::span<const label_t> labels, std::size_t m,
+                                          Op op = {}, const ResilientOptions& options = {}) {
+  require_valid_inputs(values.size(), labels, m);  // hopeless — never degrade
+  ResilientOutcome<T> outcome;
+  const auto [lo, len] =
+      detail::verify_span(values.size(), options.verify_window, options.verify_seed);
+  outcome.result = detail::run_chain<MultiprefixResult<T>>(
+      options, outcome.faults, outcome.fallbacks, outcome.used,
+      [&](Strategy stage) { return multiprefix<T, Op>(values, labels, m, op, stage); },
+      [&](Strategy stage, const MultiprefixResult<T>& result) {
+        if (!options.self_verify) return Status::ok();
+        return detail::verify_window<T, Op>(values, labels, &result.prefix,
+                                            result.reduction, op, lo, len, stage);
+      });
+  return outcome;
+}
+
+/// Multireduce with the same degradation policy. Self-verification recounts
+/// the sampled window's classes in one pass (no prefix portion by
+/// construction). `outcome_out`, when nonnull, receives the fallback log.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+std::vector<T> resilient_multireduce(std::span<const T> values,
+                                     std::span<const label_t> labels, std::size_t m,
+                                     Op op = {}, const ResilientOptions& options = {},
+                                     ResilientOutcome<T>* outcome_out = nullptr) {
+  require_valid_inputs(values.size(), labels, m);
+  ResilientOutcome<T> outcome;
+  const auto [lo, len] =
+      detail::verify_span(values.size(), options.verify_window, options.verify_seed);
+  std::vector<T> reduction = detail::run_chain<std::vector<T>>(
+      options, outcome.faults, outcome.fallbacks, outcome.used,
+      [&](Strategy stage) { return multireduce<T, Op>(values, labels, m, op, stage); },
+      [&](Strategy stage, const std::vector<T>& red) {
+        if (!options.self_verify) return Status::ok();
+        return detail::verify_window<T, Op>(values, labels, /*prefix=*/nullptr, red, op, lo,
+                                            len, stage);
+      });
+  if (outcome_out != nullptr) *outcome_out = std::move(outcome);
+  return reduction;
+}
+
+}  // namespace mp

@@ -1,0 +1,79 @@
+// Fault injection for the thread pool — making failure paths testable.
+//
+// The pool's recovery guarantees (exactly one exception surfaces on the
+// caller, the pool is reusable afterwards, nested run() is rejected instead
+// of deadlocking) are only guarantees if they are exercised. A FaultInjector
+// armed on a ThreadPool is invoked on every lane of every run() and may
+// throw or delay, simulating a lane that faults mid-phase or a straggler —
+// the two failure modes a production collective has to survive.
+//
+// ScriptedFaultInjector covers the canonical scripts:
+//   * throw-on-lane-k      — lane k throws MpError(kExecutionFault);
+//   * delay-on-lane-k      — lane k sleeps, exposing straggler/completion
+//                            races to TSan;
+//   * fail-nth-run         — only the nth run() since arming faults, so a
+//                            multi-phase algorithm can be failed mid-stream
+//                            (e.g. in the middle of the ROWSUMS column loop).
+// Scripts compose: restricting to a run index applies to both the throw and
+// the delay.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace mp {
+
+/// Hook invoked by ThreadPool::run() on every lane before the job body.
+/// `run_index` counts run() calls since the injector was armed (0-based).
+/// Implementations may throw (the pool propagates exactly one exception to
+/// the caller) or block (simulating stragglers). Must be thread-safe: lanes
+/// call concurrently.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual void on_lane(std::size_t run_index, std::size_t lane) = 0;
+};
+
+/// Deterministic, script-driven injector. See file comment for the scripts.
+class ScriptedFaultInjector : public FaultInjector {
+ public:
+  struct Script {
+    /// Lane that throws MpError(kExecutionFault). Empty = no throw.
+    std::optional<std::size_t> throw_on_lane;
+    /// Lane that sleeps for `delay` before running. Empty = no delay.
+    std::optional<std::size_t> delay_on_lane;
+    std::chrono::microseconds delay{500};
+    /// Restrict the script to the nth run() since arming (0-based).
+    /// Empty = the script applies to every run.
+    std::optional<std::size_t> only_on_run;
+  };
+
+  explicit ScriptedFaultInjector(Script script) : script_(script) {}
+
+  void on_lane(std::size_t run_index, std::size_t lane) override {
+    if (script_.only_on_run && *script_.only_on_run != run_index) return;
+    if (script_.delay_on_lane && *script_.delay_on_lane == lane)
+      std::this_thread::sleep_for(script_.delay);
+    if (script_.throw_on_lane && *script_.throw_on_lane == lane) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      throw MpError(ErrorCode::kExecutionFault,
+                    "injected fault on lane " + std::to_string(lane) + " (run " +
+                        std::to_string(run_index) + ")");
+    }
+  }
+
+  /// Number of faults actually injected so far.
+  std::size_t faults() const { return faults_.load(std::memory_order_relaxed); }
+
+ private:
+  Script script_;
+  std::atomic<std::size_t> faults_{0};
+};
+
+}  // namespace mp

@@ -3,8 +3,28 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/error.hpp"
+#include "parallel/fault_injector.hpp"
 
 namespace mp {
+
+namespace {
+
+// The pool (if any) whose lane the current thread is executing. Workers set
+// it for their lifetime; the caller thread sets it around its lane-0 stint.
+// Distinct pools nest legally (an outer pool's lane may drive an inner
+// pool), so this tracks the innermost pool only.
+thread_local const ThreadPool* tl_current_pool = nullptr;
+
+struct LaneScope {
+  const ThreadPool* prev;
+  explicit LaneScope(const ThreadPool* pool) : prev(tl_current_pool) {
+    tl_current_pool = pool;
+  }
+  ~LaneScope() { tl_current_pool = prev; }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) : lanes_(threads) {
   MP_REQUIRE(threads >= 1, "pool needs at least one lane");
@@ -22,9 +42,28 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::in_lane() const { return tl_current_pool == this; }
+
+void ThreadPool::set_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+  run_index_ = 0;
+}
+
+void ThreadPool::invoke(const std::function<void(std::size_t)>& fn, std::size_t run_index,
+                        std::size_t lane) {
+  if (injector_ != nullptr) injector_->on_lane(run_index, lane);
+  fn(lane);
+}
+
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  if (in_lane())
+    throw MpError(ErrorCode::kPoolFailure,
+                  "reentrant ThreadPool::run(): called from inside a lane of the same pool "
+                  "(the nested job would deadlock waiting on its own lane)");
+  const std::size_t run_index = run_index_++;
   if (lanes_ == 1) {  // no workers: degenerate synchronous execution
-    fn(0);
+    LaneScope scope(this);
+    invoke(fn, run_index, 0);
     return;
   }
   {
@@ -38,7 +77,8 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
 
   std::exception_ptr caller_error;
   try {
-    fn(0);  // lane 0 runs on the caller
+    LaneScope scope(this);
+    invoke(fn, run_index, 0);  // lane 0 runs on the caller
   } catch (...) {
     caller_error = std::current_exception();
   }
@@ -46,23 +86,31 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
+  // Consume the captured error before rethrowing so a throwing job leaves no
+  // state behind: the next run() starts from a clean slate either way.
+  std::exception_ptr lane_error = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
   if (caller_error) std::rethrow_exception(caller_error);
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (lane_error) std::rethrow_exception(lane_error);
 }
 
 void ThreadPool::worker_loop(std::size_t lane) {
+  LaneScope scope(this);
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t run_index = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
       if (shutdown_) return;
       seen_epoch = epoch_;
       job = job_;
+      run_index = run_index_ - 1;  // run() bumped it before publishing the job
     }
     try {
-      (*job)(lane);
+      invoke(*job, run_index, lane);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();

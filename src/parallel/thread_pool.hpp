@@ -7,6 +7,16 @@
 // paper assumes. Exceptions thrown by any lane are captured and the first one
 // is rethrown on the caller.
 //
+// Hardening (see common/error.hpp):
+//   * run() from inside a pool lane would deadlock (the caller lane would
+//     wait on workers that are waiting on it); reentrancy is detected and
+//     rejected with MpError(kPoolFailure) instead.
+//   * The captured-error slot is consumed before rethrow, so a throwing job
+//     never leaks state into the next run() — the pool is always reusable
+//     after a failure (regression-tested).
+//   * An optional FaultInjector is invoked on every lane of every run(),
+//     making the two guarantees above (and straggler behaviour) testable.
+//
 // The pool is intentionally simple (no work stealing): multiprefix's phases
 // are statically load-balanced, so static partitioning in parallel_for.hpp is
 // both faster and easier to reason about than a dynamic scheduler.
@@ -23,6 +33,8 @@
 
 namespace mp {
 
+class FaultInjector;
+
 class ThreadPool {
  public:
   /// Creates a pool that executes work on `threads` lanes (>= 1). Lane 0 is
@@ -36,14 +48,28 @@ class ThreadPool {
   std::size_t num_threads() const { return lanes_; }
 
   /// Runs fn(lane) for lane in [0, lanes) and blocks until all complete.
-  /// If any lane throws, the first exception is rethrown here after joining.
+  /// If any lane throws, the first exception is rethrown here after joining,
+  /// and the pool remains fully usable. Calling run() from inside a lane of
+  /// this pool throws MpError(kPoolFailure) — the nested job would deadlock.
   void run(const std::function<void(std::size_t)>& fn);
+
+  /// True when the current thread is executing inside a lane of this pool
+  /// (the condition under which run() would be reentrant).
+  bool in_lane() const;
+
+  /// Arms (or, with nullptr, disarms) a fault injector: injector->on_lane()
+  /// is invoked on every lane at the start of every subsequent run(), and
+  /// the run counter restarts at 0. The injector must outlive its arming.
+  /// Not thread-safe against concurrent run() — arm between jobs.
+  void set_fault_injector(FaultInjector* injector);
 
   /// A process-wide default pool sized to the hardware concurrency.
   static ThreadPool& global();
 
  private:
   void worker_loop(std::size_t lane);
+  void invoke(const std::function<void(std::size_t)>& fn, std::size_t run_index,
+              std::size_t lane);
 
   std::size_t lanes_;
   std::vector<std::thread> workers_;
@@ -56,6 +82,9 @@ class ThreadPool {
   std::size_t remaining_ = 0;     // workers still running the current job
   bool shutdown_ = false;
   std::exception_ptr first_error_;
+
+  FaultInjector* injector_ = nullptr;  // armed between jobs; read-only in run
+  std::size_t run_index_ = 0;          // runs since the injector was armed
 };
 
 }  // namespace mp

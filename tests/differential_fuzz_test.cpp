@@ -130,5 +130,90 @@ TEST_P(DifferentialFuzz, AllImplementationsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range<std::uint64_t>(0, 48));
 
+// ---- adversarial inputs ----------------------------------------------------
+//
+// Deterministic worst-case label vectors, each checked against the
+// brute-force definition across all 5 facade strategies (multiprefix and
+// multireduce): the degenerate sizes and the load extremes of Figure 10.
+
+constexpr Strategy kAllStrategies[] = {Strategy::kSerial, Strategy::kVectorized,
+                                       Strategy::kParallel, Strategy::kSortBased,
+                                       Strategy::kChunked};
+
+struct AdversarialCase {
+  const char* name;
+  std::size_t m;
+  std::vector<label_t> labels;
+};
+
+std::vector<AdversarialCase> adversarial_cases() {
+  std::vector<AdversarialCase> cases;
+  cases.push_back({"empty", 4, {}});                                   // n = 0
+  cases.push_back({"single-element", 4, {3}});                         // n = 1, boundary
+  cases.push_back({"one-bucket", 1, uniform_labels(257, 1, 1)});       // m = 1
+  cases.push_back({"all-same", 5, constant_labels(300, 3)});           // load = n
+  cases.push_back({"all-distinct", 300, permutation_labels(300, 2)});  // load = 1
+  cases.push_back({"zipf-skew", 64, zipf_labels(400, 64, 2.0, 3)});    // heavy head
+  {
+    // Alternating boundary: every label is 0 or m-1.
+    std::vector<label_t> alt(301);
+    for (std::size_t i = 0; i < alt.size(); ++i) alt[i] = i % 2 == 0 ? 0 : 6;
+    cases.push_back({"boundary-alternating", 7, std::move(alt)});
+  }
+  cases.push_back({"all-top-bucket", 9, constant_labels(128, 8)});     // label == m-1
+  return cases;
+}
+
+TEST(AdversarialInputs, AllStrategiesMatchBruteForce) {
+  for (const AdversarialCase& c : adversarial_cases()) {
+    const std::size_t n = c.labels.size();
+    std::vector<int> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<int>(i % 13) - 6;
+    const auto truth = multiprefix_bruteforce<int>(values, c.labels, c.m);
+    for (const Strategy s : kAllStrategies) {
+      const auto info = std::string(c.name) + " strategy=" + to_string(s);
+      const auto got = multiprefix<int>(values, c.labels, c.m, Plus{}, s);
+      ASSERT_EQ(got.prefix, truth.prefix) << info;
+      ASSERT_EQ(got.reduction, truth.reduction) << info;
+      const auto red = multireduce<int>(values, c.labels, c.m, Plus{}, s);
+      ASSERT_EQ(red, truth.reduction) << info;
+    }
+  }
+}
+
+TEST(AdversarialInputs, NonCommutativeOpSurvivesTheExtremes) {
+  // Max is associative, non-invertible, and sensitive to dropped elements;
+  // run the same adversarial set through it.
+  for (const AdversarialCase& c : adversarial_cases()) {
+    const std::size_t n = c.labels.size();
+    std::vector<int> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+      values[i] = static_cast<int>((i * 2654435761u) % 1000) - 500;
+    const auto truth = multiprefix_bruteforce<int>(values, c.labels, c.m, Max{});
+    for (const Strategy s : kAllStrategies) {
+      const auto got = multiprefix<int>(values, c.labels, c.m, Max{}, s);
+      ASSERT_EQ(got.prefix, truth.prefix) << c.name << " strategy=" << to_string(s);
+      ASSERT_EQ(got.reduction, truth.reduction) << c.name;
+    }
+  }
+}
+
+TEST(AdversarialInputs, OutOfRangeLabelRejectedWithPreciseIndex) {
+  // Hide a single out-of-range label in an otherwise-valid Zipf vector; all
+  // 5 strategies must reject with the same structured error.
+  std::vector<label_t> labels = zipf_labels(500, 32, 1.5, 4);
+  labels[317] = 32;  // == m
+  std::vector<int> values(labels.size(), 1);
+  for (const Strategy s : kAllStrategies) {
+    try {
+      multiprefix<int>(values, labels, 32, Plus{}, s);
+      FAIL() << to_string(s) << " accepted an out-of-range label";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidLabel) << to_string(s);
+      EXPECT_EQ(e.index(), 317u) << to_string(s);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mp

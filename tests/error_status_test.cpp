@@ -1,0 +1,195 @@
+// Tests for the structured error taxonomy (common/error.hpp) and the
+// vectorized label-range validator, including its wiring into every
+// Strategy entry point of the public facade.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/multiprefix.hpp"
+
+namespace mp {
+namespace {
+
+constexpr Strategy kAllStrategies[] = {Strategy::kSerial, Strategy::kVectorized,
+                                       Strategy::kParallel, Strategy::kSortBased,
+                                       Strategy::kChunked};
+
+// ---- Status / MpError ------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_TRUE(static_cast<bool>(st));
+  EXPECT_EQ(st.code(), ErrorCode::kOk);
+  EXPECT_EQ(st.index(), Status::npos);
+  EXPECT_EQ(st.to_string(), "ok");
+}
+
+TEST(Status, CarriesCodeMessageAndIndex) {
+  const Status st(ErrorCode::kInvalidLabel, "label 9 at index 4", 4);
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidLabel);
+  EXPECT_EQ(st.index(), 4u);
+  EXPECT_EQ(st.to_string(), "invalid-label: label 9 at index 4");
+}
+
+TEST(Status, ErrorCodeNames) {
+  EXPECT_STREQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(to_string(ErrorCode::kInvalidLabel), "invalid-label");
+  EXPECT_STREQ(to_string(ErrorCode::kShapeMismatch), "shape-mismatch");
+  EXPECT_STREQ(to_string(ErrorCode::kPoolFailure), "pool-failure");
+  EXPECT_STREQ(to_string(ErrorCode::kExecutionFault), "execution-fault");
+}
+
+TEST(MpError, WrapsStatusAndFormatsWhat) {
+  const MpError e(ErrorCode::kPoolFailure, "pool is gone");
+  EXPECT_EQ(e.code(), ErrorCode::kPoolFailure);
+  EXPECT_EQ(e.index(), Status::npos);
+  EXPECT_NE(std::string(e.what()).find("pool-failure"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("pool is gone"), std::string::npos);
+}
+
+TEST(MpError, IsACatchableStdException) {
+  try {
+    throw MpError(ErrorCode::kExecutionFault, "fault", 7);
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("execution-fault"), std::string::npos);
+    return;
+  }
+  FAIL() << "MpError must derive from std::runtime_error";
+}
+
+// ---- validate_labels -------------------------------------------------------
+
+TEST(ValidateLabels, EmptyIsOk) {
+  EXPECT_TRUE(validate_labels({}, 0).is_ok());
+  EXPECT_TRUE(validate_labels({}, 5).is_ok());
+}
+
+TEST(ValidateLabels, AllValidIsOk) {
+  const auto labels = uniform_labels(1000, 17, 42);
+  EXPECT_TRUE(validate_labels(labels, 17).is_ok());
+}
+
+TEST(ValidateLabels, BoundaryLabelIsValid) {
+  const std::vector<label_t> labels{0, 6, 6, 0, 6};
+  EXPECT_TRUE(validate_labels(labels, 7).is_ok());  // label == m-1 is legal
+}
+
+TEST(ValidateLabels, LabelEqualToMIsRejected) {
+  const std::vector<label_t> labels{0, 1, 7, 2};
+  const Status st = validate_labels(labels, 7);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidLabel);
+  EXPECT_EQ(st.index(), 2u);
+  EXPECT_NE(st.message().find("label 7"), std::string::npos);
+  EXPECT_NE(st.message().find("index 2"), std::string::npos);
+}
+
+TEST(ValidateLabels, FirstAndLastPositions) {
+  std::vector<label_t> labels(100, 0);
+  labels[0] = 9;
+  EXPECT_EQ(validate_labels(labels, 5).index(), 0u);
+  labels[0] = 0;
+  labels[99] = 5;
+  EXPECT_EQ(validate_labels(labels, 5).index(), 99u);
+}
+
+TEST(ValidateLabels, ReportsFirstOfManyOffenders) {
+  std::vector<label_t> labels(10, 1);
+  labels[3] = 8;
+  labels[7] = 9;
+  const Status st = validate_labels(labels, 2);
+  EXPECT_EQ(st.index(), 3u);  // the first offender, not an arbitrary one
+}
+
+TEST(ValidateLabels, ZeroBucketsRejectsEverything) {
+  const std::vector<label_t> labels{0};
+  const Status st = validate_labels(labels, 0);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.index(), 0u);
+}
+
+TEST(ValidateLabels, ExactIndexAcrossBlockBoundaries) {
+  // The validator scans in blocks; plant one offender at positions around
+  // the block size to verify the rescan finds the exact index.
+  Xoshiro256 rng(7);
+  for (const std::size_t at : {0ul, 1023ul, 1024ul, 1025ul, 4095ul, 4999ul}) {
+    std::vector<label_t> labels(5000);
+    for (auto& l : labels) l = static_cast<label_t>(rng.below(32));
+    labels[at] = 32;
+    const Status st = validate_labels(labels, 32);
+    ASSERT_FALSE(st.is_ok()) << at;
+    EXPECT_EQ(st.index(), at) << at;
+  }
+}
+
+TEST(ValidateLabels, HugeBucketCountAlwaysOk) {
+  // m beyond label_t's range: no 32-bit label can be out of range.
+  if constexpr (sizeof(std::size_t) > sizeof(label_t)) {
+    const std::vector<label_t> labels{std::numeric_limits<label_t>::max()};
+    const std::size_t m = static_cast<std::size_t>(std::numeric_limits<label_t>::max()) + 2;
+    EXPECT_TRUE(validate_labels(labels, m).is_ok());
+  }
+}
+
+TEST(ValidateInputs, ShapeMismatch) {
+  const std::vector<label_t> labels{0, 1};
+  const Status st = validate_inputs(3, labels, 2);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kShapeMismatch);
+}
+
+// ---- facade wiring ---------------------------------------------------------
+
+TEST(FacadeValidation, OutOfRangeLabelRejectedByEveryStrategy) {
+  const std::vector<int> values{1, 2, 3, 4, 5};
+  std::vector<label_t> labels{0, 1, 2, 1, 0};
+  labels[3] = 3;  // m = 3 below → out of range
+  for (const Strategy s : kAllStrategies) {
+    try {
+      multiprefix<int>(values, labels, 3, Plus{}, s);
+      FAIL() << "strategy " << to_string(s) << " accepted an out-of-range label";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidLabel) << to_string(s);
+      EXPECT_EQ(e.index(), 3u) << to_string(s);
+    }
+    try {
+      multireduce<int>(values, labels, 3, Plus{}, s);
+      FAIL() << "multireduce " << to_string(s) << " accepted an out-of-range label";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidLabel) << to_string(s);
+      EXPECT_EQ(e.index(), 3u) << to_string(s);
+    }
+  }
+}
+
+TEST(FacadeValidation, ShapeMismatchRejectedByEveryStrategy) {
+  const std::vector<int> values{1, 2, 3};
+  const std::vector<label_t> labels{0, 1};  // shorter than values
+  for (const Strategy s : kAllStrategies) {
+    try {
+      multiprefix<int>(values, labels, 2, Plus{}, s);
+      FAIL() << "strategy " << to_string(s) << " accepted mismatched shapes";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kShapeMismatch) << to_string(s);
+    }
+  }
+}
+
+TEST(FacadeValidation, ValidInputsStillAccepted) {
+  const std::vector<int> values{1, 2, 3, 4};
+  const std::vector<label_t> labels{1, 0, 1, 0};
+  for (const Strategy s : kAllStrategies) {
+    const auto r = multiprefix<int>(values, labels, 2, Plus{}, s);
+    EXPECT_EQ(r.prefix, (std::vector<int>{0, 0, 1, 2})) << to_string(s);
+    EXPECT_EQ(r.reduction, (std::vector<int>{6, 4})) << to_string(s);
+  }
+}
+
+}  // namespace
+}  // namespace mp

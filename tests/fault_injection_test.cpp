@@ -1,0 +1,270 @@
+// Fault-injection tests for the hardened thread pool: lane faults surface as
+// exactly one exception and leave the pool reusable, stragglers don't corrupt
+// the fork/join, nested run() is rejected instead of deadlocking, and the
+// error slot never leaks between jobs (including on the global pool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/multiprefix.hpp"
+#include "core/parallel_executor.hpp"
+#include "core/validate.hpp"
+#include "parallel/fault_injector.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+namespace {
+
+/// Disarms the pool's injector on scope exit, even when an assertion fails.
+struct InjectorScope {
+  ThreadPool& pool;
+  InjectorScope(ThreadPool& p, FaultInjector* injector) : pool(p) {
+    pool.set_fault_injector(injector);
+  }
+  ~InjectorScope() { pool.set_fault_injector(nullptr); }
+};
+
+TEST(FaultInjection, ThrowOnLaneSurfacesAsExecutionFault) {
+  ThreadPool pool(4);
+  ScriptedFaultInjector injector({.throw_on_lane = 2});
+  InjectorScope scope(pool, &injector);
+  try {
+    pool.run([](std::size_t) {});
+    FAIL() << "injected fault did not propagate";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kExecutionFault);
+    EXPECT_NE(std::string(e.what()).find("lane 2"), std::string::npos);
+  }
+  EXPECT_EQ(injector.faults(), 1u);
+}
+
+TEST(FaultInjection, CallerLaneFaultAlsoPropagates) {
+  ThreadPool pool(4);
+  ScriptedFaultInjector injector({.throw_on_lane = 0});
+  InjectorScope scope(pool, &injector);
+  EXPECT_THROW(pool.run([](std::size_t) {}), MpError);
+}
+
+TEST(FaultInjection, PoolRemainsUsableAfterInjectedFault) {
+  ThreadPool pool(4);
+  {
+    ScriptedFaultInjector injector({.throw_on_lane = 1});
+    InjectorScope scope(pool, &injector);
+    EXPECT_THROW(pool.run([](std::size_t) {}), MpError);
+  }
+  // Disarmed: the next job must see all lanes and no stale exception.
+  std::atomic<int> hits{0};
+  pool.run([&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(FaultInjection, FailNthRunFailsExactlyThatRun) {
+  ThreadPool pool(3);
+  ScriptedFaultInjector injector({.throw_on_lane = 1, .only_on_run = 2});
+  InjectorScope scope(pool, &injector);
+  pool.run([](std::size_t) {});  // run 0
+  pool.run([](std::size_t) {});  // run 1
+  EXPECT_THROW(pool.run([](std::size_t) {}), MpError);  // run 2 faults
+  pool.run([](std::size_t) {});  // run 3 is clean again
+  EXPECT_EQ(injector.faults(), 1u);
+}
+
+TEST(FaultInjection, ArmingResetsTheRunCounter) {
+  ThreadPool pool(2);
+  ScriptedFaultInjector injector({.throw_on_lane = 0, .only_on_run = 0});
+  pool.set_fault_injector(&injector);
+  EXPECT_THROW(pool.run([](std::size_t) {}), MpError);
+  pool.set_fault_injector(&injector);  // re-arming restarts run numbering
+  EXPECT_THROW(pool.run([](std::size_t) {}), MpError);
+  pool.set_fault_injector(nullptr);
+  EXPECT_EQ(injector.faults(), 2u);
+}
+
+TEST(FaultInjection, StragglerLaneStillCompletesJob) {
+  ThreadPool pool(4);
+  ScriptedFaultInjector injector(
+      {.delay_on_lane = 3, .delay = std::chrono::microseconds(2000)});
+  InjectorScope scope(pool, &injector);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](std::size_t lane) { hits[lane].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(FaultInjection, SingleLanePoolInjectsToo) {
+  ThreadPool pool(1);
+  ScriptedFaultInjector injector({.throw_on_lane = 0});
+  InjectorScope scope(pool, &injector);
+  EXPECT_THROW(pool.run([](std::size_t) {}), MpError);
+  // And recovers.
+  pool.set_fault_injector(nullptr);
+  int value = 0;
+  pool.run([&](std::size_t) { value = 1; });
+  EXPECT_EQ(value, 1);
+}
+
+// ---- reentrancy ------------------------------------------------------------
+
+TEST(PoolReentrancy, NestedRunThrowsPoolFailureInsteadOfDeadlocking) {
+  ThreadPool pool(4);
+  std::atomic<int> rejected{0};
+  pool.run([&](std::size_t lane) {
+    if (lane != 0) return;
+    try {
+      pool.run([](std::size_t) {});
+    } catch (const MpError& e) {
+      if (e.code() == ErrorCode::kPoolFailure) rejected.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 1);
+}
+
+TEST(PoolReentrancy, WorkerLaneIsAlsoProtected) {
+  ThreadPool pool(4);
+  std::atomic<int> rejected{0};
+  pool.run([&](std::size_t lane) {
+    if (lane != 2) return;  // a spawned worker, not the caller thread
+    try {
+      pool.run([](std::size_t) {});
+    } catch (const MpError& e) {
+      if (e.code() == ErrorCode::kPoolFailure) rejected.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 1);
+}
+
+TEST(PoolReentrancy, SingleLanePoolRejectsNestedRunToo) {
+  ThreadPool pool(1);
+  bool rejected = false;
+  pool.run([&](std::size_t) {
+    try {
+      pool.run([](std::size_t) {});
+    } catch (const MpError& e) {
+      rejected = e.code() == ErrorCode::kPoolFailure;
+    }
+  });
+  EXPECT_TRUE(rejected);
+}
+
+TEST(PoolReentrancy, DistinctPoolsMayNest) {
+  ThreadPool outer(2), inner(2);
+  std::atomic<int> inner_hits{0};
+  outer.run([&](std::size_t lane) {
+    if (lane != 0) return;
+    inner.run([&](std::size_t) { inner_hits.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_hits.load(), 2);
+}
+
+TEST(PoolReentrancy, InLaneReportsCorrectly) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.in_lane());
+  std::atomic<int> in{0};
+  pool.run([&](std::size_t) { in.fetch_add(pool.in_lane() ? 1 : 0); });
+  EXPECT_EQ(in.load(), 2);
+  EXPECT_FALSE(pool.in_lane());
+}
+
+TEST(PoolReentrancy, ParallelForInsideALaneIsRejectedNotDeadlocked) {
+  ThreadPool pool(4);
+  std::atomic<int> rejected{0};
+  parallel_for(pool, 0, 4, /*grain=*/1, [&](std::size_t i) {
+    if (i != 0) return;
+    try {
+      parallel_for(pool, 0, 1000, /*grain=*/1, [](std::size_t) {});
+    } catch (const MpError& e) {
+      if (e.code() == ErrorCode::kPoolFailure) rejected.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 1);
+}
+
+// ---- error-slot hygiene (regression: first_error_ must not leak) -----------
+
+TEST(PoolErrorReset, ThrowingJobDoesNotPoisonTheNextRun) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.run([](std::size_t lane) {
+                   if (lane == 1) throw std::runtime_error("boom");
+                 }),
+                 std::runtime_error);
+    // The very next run succeeds and must not rethrow the captured error.
+    std::atomic<int> hits{0};
+    EXPECT_NO_THROW(pool.run([&](std::size_t) { hits.fetch_add(1); }));
+    EXPECT_EQ(hits.load(), 4);
+  }
+}
+
+TEST(PoolErrorReset, GlobalPoolRecoversAfterThrowingJob) {
+  ThreadPool& pool = ThreadPool::global();
+  EXPECT_THROW(pool.run([](std::size_t lane) {
+                 if (lane == 0) throw std::runtime_error("global boom");
+               }),
+               std::runtime_error);
+  std::atomic<std::size_t> hits{0};
+  EXPECT_NO_THROW(pool.run([&](std::size_t) { hits.fetch_add(1); }));
+  EXPECT_EQ(hits.load(), pool.num_threads());
+}
+
+TEST(PoolErrorReset, ExactlyOneExceptionWhenEveryLaneThrows) {
+  ThreadPool pool(4);
+  std::atomic<int> thrown{0};
+  int caught = 0;
+  try {
+    pool.run([&](std::size_t lane) {
+      thrown.fetch_add(1);
+      throw std::runtime_error("lane " + std::to_string(lane));
+    });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(thrown.load(), 4);  // every lane threw...
+  EXPECT_EQ(caught, 1);         // ...but the caller sees exactly one
+  EXPECT_NO_THROW(pool.run([](std::size_t) {}));
+}
+
+// ---- exception propagation through the executor stack ----------------------
+
+TEST(FaultInjection, LaneFaultMidRowsumsSurfacesOnceAndPoolIsReusable) {
+  // Build a problem large enough that the phase loops actually fork (grain 1
+  // forces every parallel_for through the pool), then fault a later run() —
+  // run 0 is the scratch init, so run 2 lands inside the ROWSUMS column
+  // sweep. Exactly one exception must reach the caller, and the same
+  // plan/pool must produce a correct result immediately afterwards.
+  ThreadPool pool(4);
+  const std::size_t n = 600, m = 12;
+  const auto labels = uniform_labels(n, m, 99);
+  std::vector<int> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<int>(i % 17) - 8;
+
+  SpinetreePlan plan(labels, m);
+  ParallelSpinetreeExecutor<int, Plus> exec(plan, pool, Plus{}, /*grain=*/1);
+  MultiprefixResult<int> out(n, m, 0);
+
+  ScriptedFaultInjector injector({.throw_on_lane = 1, .only_on_run = 2});
+  int caught = 0;
+  {
+    InjectorScope scope(pool, &injector);
+    try {
+      exec.execute(values, std::span<int>(out.prefix), std::span<int>(out.reduction));
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kExecutionFault);
+      ++caught;
+    }
+  }
+  EXPECT_EQ(caught, 1);
+  EXPECT_EQ(injector.faults(), 1u);
+
+  // Pool and executor are both reusable; the retry must be correct.
+  exec.execute(values, std::span<int>(out.prefix), std::span<int>(out.reduction));
+  const auto truth = multiprefix_bruteforce<int>(values, labels, m);
+  EXPECT_EQ(out.prefix, truth.prefix);
+  EXPECT_EQ(out.reduction, truth.reduction);
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,295 @@
+// Tests for the resilient multiprefix driver: the kParallel → kVectorized →
+// kSerial degradation chain, failure classification, observability counters,
+// and the opt-in self-verification pass.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "core/resilient.hpp"
+#include "core/validate.hpp"
+#include "parallel/fault_injector.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+namespace {
+
+struct Problem {
+  std::vector<int> values;
+  std::vector<label_t> labels;
+  std::size_t m;
+};
+
+Problem make_problem(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Problem p;
+  p.m = m;
+  p.labels = uniform_labels(n, m, seed);
+  p.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) p.values[i] = static_cast<int>(i % 23) - 11;
+  return p;
+}
+
+/// Disarms the global pool's injector on scope exit.
+struct GlobalInjectorScope {
+  explicit GlobalInjectorScope(FaultInjector* injector) {
+    ThreadPool::global().set_fault_injector(injector);
+  }
+  ~GlobalInjectorScope() { ThreadPool::global().set_fault_injector(nullptr); }
+};
+
+TEST(FallbackChain, EncodesTheDegradationOrder) {
+  EXPECT_EQ(fallback_chain(Strategy::kParallel),
+            (std::vector<Strategy>{Strategy::kParallel, Strategy::kVectorized,
+                                   Strategy::kSerial}));
+  EXPECT_EQ(fallback_chain(Strategy::kChunked),
+            (std::vector<Strategy>{Strategy::kChunked, Strategy::kVectorized,
+                                   Strategy::kSerial}));
+  EXPECT_EQ(fallback_chain(Strategy::kVectorized),
+            (std::vector<Strategy>{Strategy::kVectorized, Strategy::kSerial}));
+  EXPECT_EQ(fallback_chain(Strategy::kSortBased),
+            (std::vector<Strategy>{Strategy::kSortBased, Strategy::kSerial}));
+  EXPECT_EQ(fallback_chain(Strategy::kSerial), (std::vector<Strategy>{Strategy::kSerial}));
+}
+
+TEST(Resilient, HappyPathUsesThePreferredStrategy) {
+  const Problem p = make_problem(500, 16, 1);
+  FallbackCounters counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kParallel;
+  options.counters = &counters;
+  const auto outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+  EXPECT_EQ(outcome.used, Strategy::kParallel);
+  EXPECT_EQ(outcome.fallbacks, 0u);
+  EXPECT_TRUE(outcome.faults.empty());
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(outcome.result.prefix, truth.prefix);
+  EXPECT_EQ(outcome.result.reduction, truth.reduction);
+  EXPECT_EQ(counters.attempts.load(), 1u);
+  EXPECT_EQ(counters.successes.load(), 1u);
+  EXPECT_EQ(counters.fallbacks.load(), 0u);
+}
+
+TEST(Resilient, RealPoolFaultDegradesToVectorized) {
+  // A fault injector on the global pool makes every run() throw, so the
+  // kParallel stage fails with a genuine lane fault; kVectorized never
+  // touches the pool and must rescue the call. n is chosen above the pardo
+  // grain so the phase loops actually fork.
+  if (ThreadPool::global().num_threads() < 2)
+    GTEST_SKIP() << "single-lane global pool: the pardo loops run inline and never "
+                    "touch the pool (the chunked test below covers this path)";
+  const Problem p = make_problem(9000, 16, 2);
+  ScriptedFaultInjector injector({.throw_on_lane = 0});
+  FallbackCounters counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kParallel;
+  options.counters = &counters;
+
+  ResilientOutcome<int> outcome;
+  {
+    GlobalInjectorScope scope(&injector);
+    outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+  }
+  EXPECT_EQ(outcome.used, Strategy::kVectorized);
+  EXPECT_EQ(outcome.fallbacks, 1u);
+  ASSERT_EQ(outcome.faults.size(), 1u);
+  EXPECT_EQ(outcome.faults[0].code(), ErrorCode::kExecutionFault);
+  EXPECT_GE(injector.faults(), 1u);
+  EXPECT_EQ(counters.execution_faults.load(), 1u);
+  EXPECT_EQ(counters.fallbacks.load(), 1u);
+  EXPECT_EQ(counters.successes.load(), 1u);
+
+  const auto serial = multiprefix_serial<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(outcome.result.prefix, serial.prefix);
+  EXPECT_EQ(outcome.result.reduction, serial.reduction);
+}
+
+TEST(Resilient, ChunkedPreferredAlsoDegradesUnderPoolFaults) {
+  const Problem p = make_problem(2000, 8, 3);
+  ScriptedFaultInjector injector({.throw_on_lane = 0});
+  FallbackCounters counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kChunked;
+  options.counters = &counters;
+  ResilientOutcome<int> outcome;
+  {
+    GlobalInjectorScope scope(&injector);
+    outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+  }
+  EXPECT_EQ(outcome.used, Strategy::kVectorized);
+  EXPECT_EQ(counters.execution_faults.load(), 1u);
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(outcome.result.prefix, truth.prefix);
+}
+
+TEST(Resilient, FullChainWalksDownToSerial) {
+  const Problem p = make_problem(300, 8, 4);
+  FallbackCounters counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kParallel;
+  options.counters = &counters;
+  // Fail everything that is not the serial reference — the structured-error
+  // test seam standing in for real faults on the two faster substrates.
+  options.attempt_hook = [](Strategy s) {
+    if (s != Strategy::kSerial)
+      throw MpError(s == Strategy::kParallel ? ErrorCode::kPoolFailure
+                                             : ErrorCode::kExecutionFault,
+                    std::string("simulated fault in ") + to_string(s));
+  };
+  const auto outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+  EXPECT_EQ(outcome.used, Strategy::kSerial);
+  EXPECT_EQ(outcome.fallbacks, 2u);
+  ASSERT_EQ(outcome.faults.size(), 2u);
+  EXPECT_EQ(outcome.faults[0].code(), ErrorCode::kPoolFailure);
+  EXPECT_EQ(outcome.faults[1].code(), ErrorCode::kExecutionFault);
+  EXPECT_EQ(counters.attempts.load(), 3u);
+  EXPECT_EQ(counters.pool_failures.load(), 1u);
+  EXPECT_EQ(counters.execution_faults.load(), 1u);
+  EXPECT_EQ(counters.fallbacks.load(), 2u);
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(outcome.result.prefix, truth.prefix);
+}
+
+TEST(Resilient, ExhaustedChainThrowsExecutionFault) {
+  const Problem p = make_problem(50, 4, 5);
+  FallbackCounters counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kVectorized;
+  options.counters = &counters;
+  options.attempt_hook = [](Strategy) {
+    throw MpError(ErrorCode::kExecutionFault, "everything is on fire");
+  };
+  try {
+    resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+    FAIL() << "an exhausted chain must throw";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kExecutionFault);
+    EXPECT_NE(std::string(e.what()).find("all fallback stages failed"), std::string::npos);
+  }
+  EXPECT_EQ(counters.exhausted.load(), 1u);
+  EXPECT_EQ(counters.attempts.load(), 2u);  // kVectorized, kSerial
+  EXPECT_EQ(counters.successes.load(), 0u);
+}
+
+TEST(Resilient, InvalidInputsNeverEnterTheChain) {
+  std::vector<int> values{1, 2, 3};
+  std::vector<label_t> labels{0, 9, 1};  // 9 out of range for m = 2
+  FallbackCounters counters;
+  ResilientOptions options;
+  options.counters = &counters;
+  bool hook_ran = false;
+  options.attempt_hook = [&](Strategy) { hook_ran = true; };
+  try {
+    resilient_multiprefix<int>(values, labels, 2, Plus{}, options);
+    FAIL() << "invalid label must be rejected";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidLabel);
+    EXPECT_EQ(e.index(), 1u);
+  }
+  EXPECT_FALSE(hook_ran);
+  EXPECT_EQ(counters.attempts.load(), 0u);  // degradation cannot fix bad input
+}
+
+TEST(Resilient, SelfVerifyAcceptsCorrectResults) {
+  const Problem p = make_problem(700, 12, 6);
+  FallbackCounters counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kParallel;
+  options.self_verify = true;
+  options.counters = &counters;
+  const auto outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+  EXPECT_EQ(outcome.used, Strategy::kParallel);
+  EXPECT_EQ(counters.verify_failures.load(), 0u);
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(outcome.result.prefix, truth.prefix);
+}
+
+TEST(Resilient, VerifyWindowDetectsCorruptedPrefix) {
+  const Problem p = make_problem(400, 10, 7);
+  auto result = multiprefix_serial<int>(p.values, p.labels, p.m);
+  result.prefix[123] += 1;  // simulate a torn write
+  const Status st = detail::verify_window<int, Plus>(
+      p.values, p.labels, &result.prefix, result.reduction, Plus{}, /*lo=*/100,
+      /*len=*/64, Strategy::kSerial);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kExecutionFault);
+  EXPECT_EQ(st.index(), 123u);
+}
+
+TEST(Resilient, VerifyWindowDetectsCorruptedReduction) {
+  const Problem p = make_problem(400, 10, 8);
+  auto result = multiprefix_serial<int>(p.values, p.labels, p.m);
+  const label_t victim = p.labels[150];
+  result.reduction[victim] -= 3;
+  const Status st = detail::verify_window<int, Plus>(
+      p.values, p.labels, &result.prefix, result.reduction, Plus{}, /*lo=*/140,
+      /*len=*/32, Strategy::kSerial);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.index(), p.values.size() + victim);
+}
+
+TEST(Resilient, VerifyFailureDegradesToTheNextStage) {
+  // Drive run_chain directly with an attempt that returns a corrupted result
+  // for the first stage only: self-verification must reject it and accept
+  // the clean second-stage result.
+  const Problem p = make_problem(300, 6, 9);
+  const auto truth = multiprefix_serial<int>(p.values, p.labels, p.m);
+  FallbackCounters counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kVectorized;  // chain: kVectorized, kSerial
+  options.counters = &counters;
+
+  std::vector<Status> faults;
+  std::size_t fallbacks = 0;
+  Strategy used = Strategy::kSerial;
+  const auto result = detail::run_chain<MultiprefixResult<int>>(
+      options, faults, fallbacks, used,
+      [&](Strategy stage) {
+        auto r = multiprefix_serial<int>(p.values, p.labels, p.m);
+        if (stage == Strategy::kVectorized) r.prefix[42] += 7;  // corrupt stage 1
+        return r;
+      },
+      [&](Strategy stage, const MultiprefixResult<int>& r) {
+        return detail::verify_window<int, Plus>(p.values, p.labels, &r.prefix, r.reduction,
+                                                Plus{}, /*lo=*/0, /*len=*/300, stage);
+      });
+  EXPECT_EQ(used, Strategy::kSerial);
+  EXPECT_EQ(fallbacks, 1u);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].index(), 42u);
+  EXPECT_EQ(counters.verify_failures.load(), 1u);
+  EXPECT_EQ(result.prefix, truth.prefix);
+}
+
+TEST(Resilient, MultireduceDegradesAndMatches) {
+  const Problem p = make_problem(600, 20, 10);
+  FallbackCounters counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kParallel;
+  options.self_verify = true;
+  options.counters = &counters;
+  options.attempt_hook = [](Strategy s) {
+    if (s == Strategy::kParallel)
+      throw MpError(ErrorCode::kPoolFailure, "simulated pool loss");
+  };
+  ResilientOutcome<int> outcome;
+  const auto reduction =
+      resilient_multireduce<int>(p.values, p.labels, p.m, Plus{}, options, &outcome);
+  EXPECT_EQ(outcome.used, Strategy::kVectorized);
+  EXPECT_EQ(outcome.fallbacks, 1u);
+  EXPECT_EQ(counters.pool_failures.load(), 1u);
+  EXPECT_EQ(reduction, multireduce_serial<int>(p.values, p.labels, p.m));
+}
+
+TEST(Resilient, GlobalCountersAreTheDefaultSink) {
+  const Problem p = make_problem(100, 4, 11);
+  FallbackCounters& global = global_fallback_counters();
+  const std::uint64_t before = global.successes.load();
+  ResilientOptions options;
+  options.preferred = Strategy::kSerial;
+  (void)resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+  EXPECT_EQ(global.successes.load(), before + 1);
+}
+
+}  // namespace
+}  // namespace mp
