@@ -8,7 +8,8 @@
 //   3. Plan amortization (§5.2.1): first call (setup + eval) vs. steady
 //      state (eval only) vs. the multireduce shortcut (§4.2).
 //
-// Flags: --n=N (default 2^20), --reps=N (default 3)
+// Flags: --n=N (default 2^20), --reps=N (default 3),
+//        --strategy=<name|all> (narrow/widen the section-1 sweep)
 #include "bench_common.hpp"
 #include "common/labels.hpp"
 #include "common/rng.hpp"
@@ -56,8 +57,10 @@ void paper_section(const mp::CliArgs& args) {
   } loads[] = {{"load=n", 0}, {"load=256", 256}, {"load=16", 16}, {"load=1", 1}};
 
   mp::TextTable strat({"strategy", "load=n (ms)", "load=256", "load=16", "load=1"});
-  for (const mp::Strategy s : {mp::Strategy::kSerial, mp::Strategy::kVectorized,
-                               mp::Strategy::kSortBased, mp::Strategy::kChunked}) {
+  const std::vector<mp::Strategy> strategies = mp::bench::strategies_from_flag(
+      args, {mp::Strategy::kSerial, mp::Strategy::kVectorized, mp::Strategy::kSortBased,
+             mp::Strategy::kChunked});
+  for (const mp::Strategy s : strategies) {
     std::vector<std::string> row = {mp::to_string(s)};
     for (const auto& l : loads) {
       const std::size_t m = l.load == 0 ? 1 : std::max<std::size_t>(1, n / l.load);

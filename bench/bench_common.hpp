@@ -7,17 +7,28 @@
 // economics, next to the Cray cost model's prediction.
 //
 // Flags: google-benchmark's own flags work as usual; additional --name=value
-// flags are consumed by the paper section (see each binary's header).
+// flags are consumed by the paper section (see each binary's header). Two
+// flags are shared across binaries:
+//
+//   --strategy=<name|all>   restrict a strategy sweep (strategies_from_flag)
+//   --json=<file>           emit the section's headline metrics as one flat
+//                           JSON object (JsonReporter) for CI smoke checks
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "core/strategy.hpp"
 
 namespace mp::bench {
 
@@ -39,5 +50,73 @@ template <class Fn>
 double seconds_best_of(std::size_t reps, Fn&& fn) {
   return time_best_of(reps, std::forward<Fn>(fn));
 }
+
+/// The strategies a paper section should sweep: `--strategy=<name>` narrows
+/// to one, `--strategy=all` expands to every concrete strategy, and no flag
+/// keeps the section's default list. Unknown names throw — a misspelled
+/// strategy must not silently benchmark the wrong thing.
+inline std::vector<Strategy> strategies_from_flag(const CliArgs& args,
+                                                  std::vector<Strategy> dflt) {
+  const std::string flag = args.get("strategy", std::string());
+  if (flag.empty()) return dflt;
+  if (flag == "all") {
+    std::vector<Strategy> all;
+    for (std::size_t i = 0; i < kStrategyCount; ++i) all.push_back(kStrategyInfo[i].id);
+    return all;
+  }
+  const auto parsed = parse_strategy(flag);
+  if (!parsed.has_value()) throw std::invalid_argument("unknown --strategy: " + flag);
+  return {*parsed};
+}
+
+/// Flat JSON metric sink for CI smoke runs: collect key/value pairs during
+/// the paper section, then write() one object to the --json path. Disabled
+/// (all calls no-ops) when constructed with an empty path.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void metric(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    add(key, buf);
+  }
+  void metric(const std::string& key, std::int64_t value) {
+    add(key, std::to_string(value));
+  }
+  void text(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    add(key, quoted);
+  }
+
+  /// Writes the collected object; throws std::runtime_error if the file
+  /// cannot be created (CI must notice a missing report).
+  void write() const {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) throw std::runtime_error("cannot write --json file: " + path_);
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i)
+      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(), i + 1 < fields_.size() ? "," : "");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+ private:
+  void add(const std::string& key, std::string rendered) {
+    if (enabled()) fields_.emplace_back(key, std::move(rendered));
+  }
+
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace mp::bench

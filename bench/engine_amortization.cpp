@@ -1,0 +1,184 @@
+// Engine amortization — what the plan cache, the per-thread workspace and
+// kAuto buy on serving-shaped traffic.
+//
+//   1. Cached vs. uncached repeated-label multireduce: the same (labels, m)
+//      served through an Engine with the plan cache on (steady state: cached
+//      plan + pooled scratch, only the numeric phases remain) vs. one with
+//      the cache off (every call rebuilds the spinetree — the pre-engine
+//      facade behaviour). This is §5.2.1's setup/evaluation split made
+//      automatic; the headline `speedup` is the cached-over-uncached ratio.
+//   2. kAuto vs. every fixed strategy across the Figure 10 load sweep: the
+//      resolver must track the best regime closely enough that it is never
+//      slower than the *worst* fixed choice at any load — the point of an
+//      auto mode is bounding the downside of a wrong static pick.
+//
+// Flags: --n=N (default 2^20), --load=L (section 1 bucket load n/m,
+// default 256), --reps=N (default 5), --json=<file> (headline metrics for
+// CI smoke checks; see scripts/check.sh)
+#include "bench_common.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+std::vector<int> random_values(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(100));
+  return v;
+}
+
+void BM_MultireduceUncached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = std::max<std::size_t>(1, n / 256);
+  const auto labels = mp::uniform_labels(n, m, 9);
+  const auto values = random_values(n, 4);
+  mp::Engine::Options options;
+  options.use_plan_cache = false;
+  mp::Engine engine(options);
+  for (auto _ : state) {
+    const auto r =
+        engine.multireduce<int>(values, labels, m, mp::Plus{}, mp::Strategy::kVectorized);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MultireduceUncached)->Arg(1 << 18)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_MultireduceCached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = std::max<std::size_t>(1, n / 256);
+  const auto labels = mp::uniform_labels(n, m, 9);
+  const auto values = random_values(n, 4);
+  mp::Engine engine;
+  for (auto _ : state) {
+    const auto r =
+        engine.multireduce<int>(values, labels, m, mp::Plus{}, mp::Strategy::kVectorized);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MultireduceCached)->Arg(1 << 18)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void paper_section(const mp::CliArgs& args) {
+  const auto n = static_cast<std::size_t>(args.get("n", std::int64_t{1} << 20));
+  const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{5}));
+  mp::bench::JsonReporter json(args.get("json", std::string()));
+  const auto values = random_values(n, 5);
+
+  // ---- 1. cached vs uncached repeated-label multireduce --------------------
+  const auto load = static_cast<std::size_t>(args.get("load", std::int64_t{256}));
+  const std::size_t m = std::max<std::size_t>(1, n / std::max<std::size_t>(1, load));
+  const auto labels = mp::uniform_labels(n, m, 9);
+
+  // The pre-engine cost model: rebuild the plan and reallocate the
+  // executor scratch on every call.
+  mp::Engine::Options uncached_options;
+  uncached_options.use_plan_cache = false;
+  uncached_options.use_workspace = false;
+  mp::Engine uncached(uncached_options);
+  const double uncached_s = mp::bench::seconds_best_of(reps, [&] {
+    const auto r =
+        uncached.multireduce<int>(values, labels, m, mp::Plus{}, mp::Strategy::kVectorized);
+    benchmark::DoNotOptimize(r.data());
+  });
+
+  mp::Engine cached;
+  const double cached_s = mp::bench::seconds_best_of(reps, [&] {
+    const auto r =
+        cached.multireduce<int>(values, labels, m, mp::Plus{}, mp::Strategy::kVectorized);
+    benchmark::DoNotOptimize(r.data());
+  });
+  const auto cache_stats = cached.plan_cache().stats();
+  const double speedup = cached_s > 0.0 ? uncached_s / cached_s : 0.0;
+
+  mp::TextTable amort({"engine", "ms / call", "plan builds"});
+  amort.add_row({"plan cache off (rebuild per call)", mp::TextTable::num(uncached_s * 1e3, 2),
+                 mp::TextTable::num(reps)});
+  amort.add_row({"plan cache on (steady state)", mp::TextTable::num(cached_s * 1e3, 2), "1"});
+  std::printf("1. repeated-label multireduce, n = %zu, m = %zu (load %zu)\n\n", n, m, load);
+  std::printf("%s", amort.render().c_str());
+  std::printf("\ncached/uncached speedup: %.2fx  (cache hits %llu, misses %llu)\n\n", speedup,
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses));
+
+  json.metric("n", static_cast<std::int64_t>(n));
+  json.metric("m", static_cast<std::int64_t>(m));
+  json.metric("uncached_ms", uncached_s * 1e3);
+  json.metric("cached_ms", cached_s * 1e3);
+  json.metric("speedup", speedup);
+  json.metric("cache_hits", static_cast<std::int64_t>(cache_stats.hits));
+  json.metric("cache_misses", static_cast<std::int64_t>(cache_stats.misses));
+
+  // ---- 2. kAuto vs fixed strategies across the Figure 10 load sweep --------
+  const struct {
+    const char* name;
+    std::size_t load;  // 0 = single bucket (load n)
+  } loads[] = {{"load=n", 0}, {"load=4096", 4096}, {"load=256", 256}, {"load=16", 16},
+               {"load=1", 1}};
+  const std::vector<mp::Strategy> fixed = {mp::Strategy::kSerial, mp::Strategy::kVectorized,
+                                           mp::Strategy::kParallel, mp::Strategy::kSortBased,
+                                           mp::Strategy::kChunked};
+
+  std::vector<std::string> header = {"load"};
+  for (const mp::Strategy s : fixed) header.push_back(mp::to_string(s));
+  header.push_back("auto");
+  header.push_back("auto/worst");
+  mp::TextTable sweep(header);
+
+  mp::Engine engine;  // one engine: fixed plan-based strategies and kAuto share its cache
+  double worst_ratio = 0.0;
+  for (const auto& l : loads) {
+    const std::size_t load = l.load == 0 ? n : l.load;
+    const std::size_t lm = std::max<std::size_t>(1, n / load);
+    const auto llabels = lm == 1 ? mp::constant_labels(n) : mp::uniform_labels(n, lm, 9);
+    std::vector<int> prefix(n), reduction(lm);
+    auto time_strategy = [&](mp::Strategy s) {
+      return mp::bench::seconds_best_of(reps, [&] {
+        engine.multiprefix_into<int>(values, llabels, std::span<int>(prefix),
+                                     std::span<int>(reduction), mp::Plus{}, s);
+        benchmark::DoNotOptimize(prefix.data());
+      });
+    };
+
+    std::vector<std::string> row = {l.name};
+    double worst = 0.0;
+    for (const mp::Strategy s : fixed) {
+      const double sec = time_strategy(s);
+      worst = std::max(worst, sec);
+      row.push_back(mp::TextTable::num(sec * 1e3, 2));
+    }
+    const double auto_sec = time_strategy(mp::Strategy::kAuto);
+    const double ratio = worst > 0.0 ? auto_sec / worst : 0.0;
+    worst_ratio = std::max(worst_ratio, ratio);
+    row.push_back(mp::TextTable::num(auto_sec * 1e3, 2));
+    row.push_back(mp::TextTable::num(ratio, 2));
+    sweep.add_row(std::move(row));
+  }
+  std::printf("2. full multiprefix by strategy and bucket load, n = %zu (ms)\n\n", n);
+  std::printf("%s", sweep.render().c_str());
+
+  const auto counters = engine.counters();
+  std::printf("\nauto picks:");
+  for (std::size_t i = 0; i < mp::kStrategyCount; ++i)
+    if (counters.auto_picks[i] != 0)
+      std::printf(" %s=%llu", mp::kStrategyInfo[i].name,
+                  static_cast<unsigned long long>(counters.auto_picks[i]));
+  std::printf("\nmax auto/worst-fixed ratio: %.2f (<= 1 means kAuto never lost to the worst\n"
+              "static pick at any load — the resolver bounds the downside)\n",
+              worst_ratio);
+
+  json.metric("auto_worst_ratio_max", worst_ratio);
+  json.write();
+  if (json.enabled()) std::printf("\nwrote %s\n", args.get("json", std::string()).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "Engine amortization: plan cache, workspace, kAuto",
+                        paper_section);
+}

@@ -97,6 +97,7 @@ void paper_section(const mp::CliArgs& args) {
       mp::SpinetreeExecutor<int, mp::Plus>::Options opts;
       opts.timings = &t;
       opts.compressed_spine = false;
+      opts.sequential_grid_sweeps = false;  // measure the paper's column sweeps
       exec.execute(values, std::span<int>(prefix), std::span<int>(reduction), opts);
       if (t.total() < best_total) {
         best_total = t.total();
@@ -128,6 +129,7 @@ void paper_section(const mp::CliArgs& args) {
       mp::SpinetreeExecutor<int, mp::Plus>::Options opts;
       opts.timings = &t;
       opts.compressed_spine = false;
+      opts.sequential_grid_sweeps = false;  // measure the paper's column sweeps
       exec.execute(values, std::span<int>(prefix), std::span<int>(reduction), opts);
       if (t.total() < best_total) {
         best_total = t.total();

@@ -16,7 +16,9 @@ int main() {
   const std::vector<mp::label_t> labels = {2, 3, 2, 3, 2, 2, 3, 2};
   const std::size_t m = 5;  // labels live in [0, 5)
 
-  // One call computes both outputs with the spinetree algorithm.
+  // One call computes both outputs. The facade dispatches through the
+  // engine (Strategy::kAuto): it picks an execution strategy from (n, m,
+  // pool), and recurring label vectors get their spinetree plan cached.
   const auto result = mp::multiprefix<int>(values, labels, m);
 
   std::printf("i      :");

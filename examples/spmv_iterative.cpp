@@ -4,7 +4,10 @@
 // dominant random sparse system, with A·x computed three ways — CSR,
 // jagged-diagonal and multiprefix — to show the setup/evaluation trade-off
 // the paper measures: the spinetree is built once and amortized over all
-// iterations, exactly the §5.2.1 scenario.
+// iterations, exactly the §5.2.1 scenario. (MultiprefixSpmv holds its plan
+// explicitly; callers who instead hit mp::multireduce with the same label
+// vector each iteration get the same amortization from the engine's plan
+// cache.)
 //
 //   $ spmv_iterative [--order=2000] [--rho=0.002] [--iters=25]
 #include <cmath>

@@ -4,6 +4,8 @@
 #   scripts/check.sh               # fault-injection + differential suites (fast)
 #   scripts/check.sh --full        # the entire ctest suite under each sanitizer
 #   scripts/check.sh --full tsan   # one sanitizer only
+#   scripts/check.sh --bench       # also run the engine amortization smoke
+#                                  # bench (Release) and emit BENCH_engine.json
 #
 # TSan is the pass that actually exercises the paper's CRCW-ARB claim: the
 # SPINETREE overwrite phase races by design (arbitrary winner), and the
@@ -12,18 +14,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE=quick
-if [[ "${1:-}" == "--full" ]]; then
-  MODE=full
-  shift
-fi
+BENCH=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --full) MODE=full; shift ;;
+    --bench) BENCH=1; shift ;;
+    *) break ;;
+  esac
+done
 if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(tsan asan ubsan); fi
 
 # The quick gate covers the suites this layer is about: pool fault injection,
-# resilient fallback, input validation, and the differential fuzz sweep
+# resilient fallback, input validation, the differential fuzz sweep, and the
+# engine layer (dispatch registry, plan cache, workspace, kAuto resolution)
 # (gtest suite names, as registered with ctest by gtest_discover_tests).
 QUICK_FILTER='FaultInjection|PoolReentrancy|PoolErrorReset|Resilient|FallbackChain'
 QUICK_FILTER+='|Status|ValidateLabels|ValidateInputs|FacadeValidation|MpError'
 QUICK_FILTER+='|AdversarialInputs|DifferentialFuzz|ThreadPool|ParallelFor'
+QUICK_FILTER+='|Engine|PlanCache|Workspace|StrategyFacade'
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 for san in "${SANITIZERS[@]}"; do
@@ -37,4 +45,17 @@ for san in "${SANITIZERS[@]}"; do
     ctest --preset "$san" -R "$QUICK_FILTER"
   fi
 done
+
+# Bench smoke: build the benchmarks in Release and run the engine
+# amortization headline metrics (plan-cache speedup, kAuto downside bound)
+# into BENCH_engine.json for trend tracking.
+if [[ "$BENCH" == 1 ]]; then
+  echo "=== [bench-smoke] configure + build ==="
+  cmake --preset bench-smoke >/dev/null
+  cmake --build --preset bench-smoke -j "$JOBS" --target engine_amortization \
+    -- --no-print-directory >/dev/null
+  echo "=== [bench-smoke] engine_amortization ==="
+  ./build-bench/bench/engine_amortization --benchmark_filter=NONE \
+    --n=262144 --reps=3 --json=BENCH_engine.json
+fi
 echo "All sanitizer passes clean: ${SANITIZERS[*]} ($MODE)"

@@ -21,6 +21,7 @@
 // it against the phase-parallel spinetree schedule.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -33,17 +34,22 @@
 
 namespace mp {
 
+/// Core chunked sweep writing into caller buffers; m = reduction.size().
+/// Every reduction slot is written (identity for unreferenced classes).
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
-MultiprefixResult<T> multiprefix_chunked(std::span<const T> values,
-                                         std::span<const label_t> labels, std::size_t m,
-                                         ThreadPool& pool, Op op = {},
-                                         std::size_t chunks_hint = 0) {
+void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t> labels,
+                              std::span<T> prefix, std::span<T> reduction, ThreadPool& pool,
+                              Op op = {}, std::size_t chunks_hint = 0) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
+  MP_REQUIRE(prefix.size() == values.size(), "prefix output size mismatch");
   const std::size_t n = values.size();
+  const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
-  MultiprefixResult<T> out(n, m, id);
-  if (n == 0) return out;
+  if (n == 0) {
+    std::fill(reduction.begin(), reduction.end(), id);
+    return;
+  }
 
   const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
   const std::vector<std::size_t> bounds = partition_range(n, chunks);
@@ -58,7 +64,7 @@ MultiprefixResult<T> multiprefix_chunked(std::span<const T> values,
       for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i) {
         MP_REQUIRE(labels[i] < m, "label out of range");
         T& cell = bucket[labels[i]];
-        out.prefix[i] = cell;
+        prefix[i] = cell;
         cell = op(cell, values[i]);
       }
     }
@@ -75,7 +81,7 @@ MultiprefixResult<T> multiprefix_chunked(std::span<const T> values,
       cell = acc;
       acc = next;
     }
-    out.reduction[k] = acc;
+    reduction[k] = acc;
   });
 
   // Pass 3: combine the chunk offset on the left of each local prefix.
@@ -83,23 +89,36 @@ MultiprefixResult<T> multiprefix_chunked(std::span<const T> values,
     for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
       const T* offset = local.data() + ch * m;
       for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i)
-        out.prefix[i] = op(offset[labels[i]], out.prefix[i]);
+        prefix[i] = op(offset[labels[i]], prefix[i]);
     }
   });
+}
 
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+MultiprefixResult<T> multiprefix_chunked(std::span<const T> values,
+                                         std::span<const label_t> labels, std::size_t m,
+                                         ThreadPool& pool, Op op = {},
+                                         std::size_t chunks_hint = 0) {
+  MultiprefixResult<T> out(values.size(), m, op.template identity<T>());
+  multiprefix_chunked_into<T, Op>(values, labels, std::span<T>(out.prefix),
+                                  std::span<T>(out.reduction), pool, op, chunks_hint);
   return out;
 }
 
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
-std::vector<T> multireduce_chunked(std::span<const T> values, std::span<const label_t> labels,
-                                   std::size_t m, ThreadPool& pool, Op op = {},
-                                   std::size_t chunks_hint = 0) {
+void multireduce_chunked_into(std::span<const T> values, std::span<const label_t> labels,
+                              std::span<T> reduction, ThreadPool& pool, Op op = {},
+                              std::size_t chunks_hint = 0) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
   const std::size_t n = values.size();
+  const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
-  std::vector<T> reduction(m, id);
-  if (n == 0) return reduction;
+  if (n == 0) {
+    std::fill(reduction.begin(), reduction.end(), id);
+    return;
+  }
 
   const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
   const std::vector<std::size_t> bounds = partition_range(n, chunks);
@@ -120,6 +139,16 @@ std::vector<T> multireduce_chunked(std::span<const T> values, std::span<const la
     for (std::size_t ch = 0; ch < chunks; ++ch) acc = op(acc, local[ch * m + k]);
     reduction[k] = acc;
   });
+}
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+std::vector<T> multireduce_chunked(std::span<const T> values, std::span<const label_t> labels,
+                                   std::size_t m, ThreadPool& pool, Op op = {},
+                                   std::size_t chunks_hint = 0) {
+  std::vector<T> reduction(m, op.template identity<T>());
+  multireduce_chunked_into<T, Op>(values, labels, std::span<T>(reduction), pool, op,
+                                  chunks_hint);
   return reduction;
 }
 

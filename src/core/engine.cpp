@@ -1,0 +1,94 @@
+#include "core/engine.hpp"
+
+namespace mp {
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(const Options& options) : options_(options), plan_cache_(options.cache) {}
+
+Engine& Engine::global() {
+  static Engine engine;
+  return engine;
+}
+
+Workspace& Engine::thread_workspace() {
+  static thread_local Workspace workspace;
+  return workspace;
+}
+
+ThreadPool& Engine::pool() const {
+  return options_.pool != nullptr ? *options_.pool : ThreadPool::global();
+}
+
+// The kAuto regime table (§4.3/§4.4, Figure 10):
+//
+//   n == 0                 → serial (nothing to amortize)
+//   no worker threads      → serial (the Figure 2 sweep is the best scalar
+//                              single-thread mapping; with no vector unit
+//                              and no threads, a cached plan buys nothing)
+//   recurring labels, n    → plan-based: the spinetree build is (or will
+//     past the serial range    be) cached, so only the numeric phases
+//                              remain — threaded when the size justifies it
+//   n below serial ceiling → serial (vector/thread startup dominates; the
+//                              paper's n_1/2 short-vector effect)
+//   load factor n/m ≥ 2    → chunked (work O(n + P·m); the dense P × m
+//                              matrix is small exactly when m is small)
+//   otherwise              → spinetree: phase-parallel at scale, else
+//                              single-thread vectorized
+Strategy Engine::resolve(Strategy requested, std::size_t n, std::size_t m,
+                         bool plan_available) const {
+  if (requested != Strategy::kAuto) return requested;
+  if (n == 0) return Strategy::kSerial;
+  const std::size_t threads = pool().num_threads();
+  if (threads < 2) return Strategy::kSerial;
+  if (plan_available && n >= options_.auto_serial_max_n) {
+    return n >= options_.auto_parallel_min_n ? Strategy::kParallel : Strategy::kVectorized;
+  }
+  if (n < options_.auto_serial_max_n) return Strategy::kSerial;
+  if (m <= n / 2) return Strategy::kChunked;
+  return n >= options_.auto_parallel_min_n ? Strategy::kParallel : Strategy::kVectorized;
+}
+
+Strategy Engine::resolved(Strategy requested, std::span<const label_t> labels,
+                          std::size_t m) {
+  if (requested != Strategy::kAuto) return requested;
+  bool plan_available = false;
+  if (options_.use_plan_cache) {
+    const PlanCache::Sighting sighting = plan_cache_.note(label_key(labels, m));
+    plan_available = sighting.has_plan || sighting.seen_before;
+  }
+  const Strategy s = resolve(Strategy::kAuto, labels.size(), m, plan_available);
+  counters_.auto_picks[strategy_index(s)].fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+std::shared_ptr<const SpinetreePlan> Engine::plan(std::span<const label_t> labels,
+                                                  std::size_t m, ThreadPool* build_pool) {
+  if (!options_.use_plan_cache) {
+    SpinetreePlan::Options build;
+    build.pool = build_pool;
+    return std::make_shared<const SpinetreePlan>(labels, m,
+                                                 RowShape::auto_shape(labels.size()), build);
+  }
+  return plan_cache_.get_or_build(labels, m, build_pool);
+}
+
+Engine::CountersSnapshot Engine::counters() const {
+  CountersSnapshot snap;
+  snap.calls = counters_.calls.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kStrategyCount; ++i) {
+    snap.runs[i] = counters_.runs[i].load(std::memory_order_relaxed);
+    snap.auto_picks[i] = counters_.auto_picks[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Engine::reset_counters() {
+  counters_.calls.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kStrategyCount; ++i) {
+    counters_.runs[i].store(0, std::memory_order_relaxed);
+    counters_.auto_picks[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mp

@@ -1,0 +1,328 @@
+// The execution engine: one dispatch table, one plan cache, one scratch
+// pool — the serving layer over the paper's algorithms.
+//
+// Before the engine, every entry point (the facade, the resilient wrappers,
+// SpMV, rank sort) re-implemented strategy dispatch as its own switch and
+// paid plan construction and scratch allocation per call. The engine
+// centralizes the three amortizations the paper identifies:
+//
+//   * strategy registry — kStrategyRegistry<T, Op> is the single table
+//     mapping a concrete Strategy to its multiprefix/multireduce runner;
+//     every dispatch in the library indexes this table (no per-call
+//     switches). The degradation links consumed by core/resilient.hpp come
+//     from the same row (strategy.hpp's fallback_next).
+//   * plan cache — spinetrees depend only on the labels (§5.2.1); recurring
+//     label vectors hit a thread-safe LRU (core/plan_cache.hpp) keyed by a
+//     128-bit fingerprint, so plan-based strategies pay construction once
+//     per distinct label vector instead of once per call.
+//   * workspace — per-thread scratch pools (core/workspace.hpp) make the
+//     steady state allocation-free: executors borrow rowsum/spinesum
+//     buffers and return them on destruction.
+//
+// Strategy::kAuto is resolved here, from the regime analysis of §4.3/§4.4
+// and Figure 10: tiny n is serial (startup dominates — the n_1/2 effect);
+// high load factor n/m favors the chunked two-level algorithm (work
+// O(n + P·m) with a small dense matrix); low load factor at scale runs the
+// spinetree, threaded when the pool and size justify it. The plan cache's
+// key-only "sightings" add the serving-shaped rule: a label vector seen
+// before promotes to a plan-based strategy, because its next plan is (or
+// will be) cached.
+//
+// The one-shot facade (core/multiprefix.hpp) is a thin shim over
+// Engine::global(); construct private Engines in tests to control options
+// and observe counters in isolation.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "core/chunked.hpp"
+#include "core/executor.hpp"
+#include "core/ops.hpp"
+#include "core/parallel_executor.hpp"
+#include "core/plan_cache.hpp"
+#include "core/result.hpp"
+#include "core/serial.hpp"
+#include "core/sort_based.hpp"
+#include "core/spinetree_plan.hpp"
+#include "core/strategy.hpp"
+#include "core/workspace.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+
+/// Validates a (values, labels, m) triple before dispatch and throws the
+/// structured error on violation. Every engine entry point runs this, so
+/// malformed inputs are rejected with a precise index (error.hpp) instead of
+/// indexing out-of-range buckets inside the sweep. The check is one
+/// vectorized pass over the labels — O(n) with a small constant, negligible
+/// next to any of the algorithms themselves.
+inline void require_valid_inputs(std::size_t values_size, std::span<const label_t> labels,
+                                 std::size_t m) {
+  if (Status st = validate_inputs(values_size, labels, m); !st.is_ok())
+    throw MpError(std::move(st));
+}
+
+class Engine {
+ public:
+  struct Options {
+    /// Plan cache budgets (entries and bytes); see core/plan_cache.hpp.
+    PlanCache::Options cache;
+    /// When false, every plan-based run builds a fresh plan (the pre-engine
+    /// behaviour; benchmarks measuring setup cost need this).
+    bool use_plan_cache = true;
+    /// When false, executors heap-allocate their scratch per call instead of
+    /// borrowing from the thread workspace — with use_plan_cache=false this
+    /// reproduces the pre-engine cost model exactly (ablation benchmarks).
+    bool use_workspace = true;
+    /// Pool for threaded strategies; null means ThreadPool::global().
+    ThreadPool* pool = nullptr;
+    /// kAuto: below this n the serial sweep wins (vector startup / n_1/2).
+    std::size_t auto_serial_max_n = 8192;
+    /// kAuto: minimum n before the phase-parallel schedule pays for its
+    /// fork/join; below it single-thread vectorized is preferred.
+    std::size_t auto_parallel_min_n = std::size_t{1} << 16;
+  };
+
+  /// Copyable snapshot of the dispatch counters. `runs` and `auto_picks`
+  /// are indexed by strategy_index() over the concrete strategies.
+  struct CountersSnapshot {
+    std::uint64_t calls = 0;
+    std::array<std::uint64_t, kStrategyCount> runs{};
+    std::array<std::uint64_t, kStrategyCount> auto_picks{};
+  };
+
+  Engine();
+  explicit Engine(const Options& options);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The process-wide engine the one-shot facade dispatches through.
+  static Engine& global();
+
+  /// Per-thread scratch pool shared by all engines (buffers stay NUMA/cache
+  /// local to the thread that uses them).
+  static Workspace& thread_workspace();
+
+  const Options& options() const { return options_; }
+  ThreadPool& pool() const;
+  /// The scratch pool executors should borrow from — the calling thread's
+  /// workspace, or null when the workspace ablation is off.
+  Workspace* scratch() const { return options_.use_workspace ? &thread_workspace() : nullptr; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// Resolves a requested strategy to a concrete one. Non-kAuto requests
+  /// pass through unchanged. kAuto applies the regime table (§4.3/Fig 10);
+  /// `plan_available` is the caller's knowledge that a plan for the labels
+  /// is cached or imminent (recurring label vector) and promotes plan-based
+  /// strategies. Pure function of its arguments plus the engine options.
+  Strategy resolve(Strategy requested, std::size_t n, std::size_t m,
+                   bool plan_available = false) const;
+
+  /// The (possibly cached) spinetree plan for (labels, m) with auto shape.
+  /// `build_pool`, when nonnull, parallelizes a cache-miss build — pass the
+  /// engine pool only from strategies already licensed to touch it.
+  std::shared_ptr<const SpinetreePlan> plan(std::span<const label_t> labels, std::size_t m,
+                                            ThreadPool* build_pool = nullptr);
+
+  /// Full multiprefix into caller buffers; m = reduction.size(),
+  /// prefix.size() must equal values.size(). All m reduction slots are
+  /// written (identity for unreferenced classes).
+  template <class T, class Op = Plus>
+    requires AssociativeOp<Op, T>
+  void multiprefix_into(std::span<const T> values, std::span<const label_t> labels,
+                        std::span<T> prefix, std::span<T> reduction, Op op = {},
+                        Strategy strategy = Strategy::kAuto);
+
+  /// Multireduce into a caller buffer; m = reduction.size().
+  template <class T, class Op = Plus>
+    requires AssociativeOp<Op, T>
+  void multireduce_into(std::span<const T> values, std::span<const label_t> labels,
+                        std::span<T> reduction, Op op = {},
+                        Strategy strategy = Strategy::kAuto);
+
+  /// Allocating forms of the above.
+  template <class T, class Op = Plus>
+    requires AssociativeOp<Op, T>
+  MultiprefixResult<T> multiprefix(std::span<const T> values, std::span<const label_t> labels,
+                                   std::size_t m, Op op = {},
+                                   Strategy strategy = Strategy::kAuto) {
+    MultiprefixResult<T> out(values.size(), m, op.template identity<T>());
+    multiprefix_into<T, Op>(values, labels, std::span<T>(out.prefix),
+                            std::span<T>(out.reduction), op, strategy);
+    return out;
+  }
+
+  template <class T, class Op = Plus>
+    requires AssociativeOp<Op, T>
+  std::vector<T> multireduce(std::span<const T> values, std::span<const label_t> labels,
+                             std::size_t m, Op op = {},
+                             Strategy strategy = Strategy::kAuto) {
+    std::vector<T> reduction(m, op.template identity<T>());
+    multireduce_into<T, Op>(values, labels, std::span<T>(reduction), op, strategy);
+    return reduction;
+  }
+
+  CountersSnapshot counters() const;
+  void reset_counters();
+
+ private:
+  /// kAuto resolution with the sighting side effect: notes the label key in
+  /// the cache (recurring-vector detection) and counts the pick.
+  Strategy resolved(Strategy requested, std::span<const label_t> labels, std::size_t m);
+
+  void count_run(Strategy s) {
+    counters_.calls.fetch_add(1, std::memory_order_relaxed);
+    counters_.runs[strategy_index(s)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> calls{0};
+    std::array<std::atomic<std::uint64_t>, kStrategyCount> runs{};
+    std::array<std::atomic<std::uint64_t>, kStrategyCount> auto_picks{};
+  };
+
+  Options options_;
+  PlanCache plan_cache_;
+  mutable AtomicCounters counters_;
+};
+
+namespace detail {
+
+// ---------------------------------------------------------------------------
+// Registry entries: one multiprefix and one multireduce runner per concrete
+// strategy, all with the uniform into-buffer signature. Inputs are already
+// validated; reduction.size() is m.
+
+template <class T, class Op>
+void run_serial_mp(Engine&, std::span<const T> values, std::span<const label_t> labels,
+                   std::span<T> prefix, std::span<T> reduction, Op op) {
+  // The Figure 2 sweep clears only referenced buckets; the into contract
+  // promises identity in the rest.
+  std::fill(reduction.begin(), reduction.end(), op.template identity<T>());
+  multiprefix_serial_into<T, Op>(values, labels, prefix, reduction, op);
+}
+
+template <class T, class Op>
+void run_serial_mr(Engine&, std::span<const T> values, std::span<const label_t> labels,
+                   std::span<T> reduction, Op op) {
+  std::fill(reduction.begin(), reduction.end(), op.template identity<T>());
+  multireduce_serial_into<T, Op>(values, labels, reduction, op);
+}
+
+template <class T, class Op>
+void run_vectorized_mp(Engine& eng, std::span<const T> values,
+                       std::span<const label_t> labels, std::span<T> prefix,
+                       std::span<T> reduction, Op op) {
+  // Never pass the pool here: this entry is the fallback stage that must
+  // work when the pool is faulted (core/resilient.hpp).
+  const auto plan = eng.plan(labels, reduction.size(), nullptr);
+  SpinetreeExecutor<T, Op> exec(*plan, op, eng.scratch());
+  exec.execute(values, prefix, reduction);
+}
+
+template <class T, class Op>
+void run_vectorized_mr(Engine& eng, std::span<const T> values,
+                       std::span<const label_t> labels, std::span<T> reduction, Op op) {
+  const auto plan = eng.plan(labels, reduction.size(), nullptr);
+  SpinetreeExecutor<T, Op> exec(*plan, op, eng.scratch());
+  exec.reduce(values, reduction);
+}
+
+template <class T, class Op>
+void run_parallel_mp(Engine& eng, std::span<const T> values, std::span<const label_t> labels,
+                     std::span<T> prefix, std::span<T> reduction, Op op) {
+  const auto plan = eng.plan(labels, reduction.size(), &eng.pool());
+  ParallelSpinetreeExecutor<T, Op> exec(*plan, eng.pool(), op, kDefaultGrain, eng.scratch());
+  exec.execute(values, prefix, reduction);
+}
+
+template <class T, class Op>
+void run_parallel_mr(Engine& eng, std::span<const T> values, std::span<const label_t> labels,
+                     std::span<T> reduction, Op op) {
+  const auto plan = eng.plan(labels, reduction.size(), &eng.pool());
+  ParallelSpinetreeExecutor<T, Op> exec(*plan, eng.pool(), op, kDefaultGrain, eng.scratch());
+  exec.reduce(values, reduction);
+}
+
+template <class T, class Op>
+void run_sort_based_mp(Engine&, std::span<const T> values, std::span<const label_t> labels,
+                       std::span<T> prefix, std::span<T> reduction, Op op) {
+  multiprefix_sort_based_into<T, Op>(values, labels, prefix, reduction, op);
+}
+
+template <class T, class Op>
+void run_sort_based_mr(Engine&, std::span<const T> values, std::span<const label_t> labels,
+                       std::span<T> reduction, Op op) {
+  multireduce_sort_based_into<T, Op>(values, labels, reduction, op);
+}
+
+template <class T, class Op>
+void run_chunked_mp(Engine& eng, std::span<const T> values, std::span<const label_t> labels,
+                    std::span<T> prefix, std::span<T> reduction, Op op) {
+  multiprefix_chunked_into<T, Op>(values, labels, prefix, reduction, eng.pool(), op);
+}
+
+template <class T, class Op>
+void run_chunked_mr(Engine& eng, std::span<const T> values, std::span<const label_t> labels,
+                    std::span<T> reduction, Op op) {
+  multireduce_chunked_into<T, Op>(values, labels, reduction, eng.pool(), op);
+}
+
+/// One row of the dispatch table.
+template <class T, class Op>
+struct StrategyFns {
+  void (*run_multiprefix)(Engine&, std::span<const T>, std::span<const label_t>,
+                          std::span<T>, std::span<T>, Op);
+  void (*run_multireduce)(Engine&, std::span<const T>, std::span<const label_t>,
+                          std::span<T>, Op);
+};
+
+/// THE strategy-dispatch table — indexed by strategy_index() in enum order,
+/// mirroring kStrategyInfo row for row. Every multiprefix/multireduce in the
+/// library dispatches through here.
+template <class T, class Op>
+inline constexpr std::array<StrategyFns<T, Op>, kStrategyCount> kStrategyRegistry = {{
+    {&run_serial_mp<T, Op>, &run_serial_mr<T, Op>},          // kSerial
+    {&run_vectorized_mp<T, Op>, &run_vectorized_mr<T, Op>},  // kVectorized
+    {&run_parallel_mp<T, Op>, &run_parallel_mr<T, Op>},      // kParallel
+    {&run_sort_based_mp<T, Op>, &run_sort_based_mr<T, Op>},  // kSortBased
+    {&run_chunked_mp<T, Op>, &run_chunked_mr<T, Op>},        // kChunked
+}};
+
+}  // namespace detail
+
+template <class T, class Op>
+  requires AssociativeOp<Op, T>
+void Engine::multiprefix_into(std::span<const T> values, std::span<const label_t> labels,
+                              std::span<T> prefix, std::span<T> reduction, Op op,
+                              Strategy strategy) {
+  require_valid_inputs(values.size(), labels, reduction.size());
+  MP_REQUIRE(prefix.size() == values.size(), "prefix output size mismatch");
+  const Strategy s = resolved(strategy, labels, reduction.size());
+  count_run(s);
+  detail::kStrategyRegistry<T, Op>[strategy_index(s)].run_multiprefix(*this, values, labels,
+                                                                      prefix, reduction, op);
+}
+
+template <class T, class Op>
+  requires AssociativeOp<Op, T>
+void Engine::multireduce_into(std::span<const T> values, std::span<const label_t> labels,
+                              std::span<T> reduction, Op op, Strategy strategy) {
+  require_valid_inputs(values.size(), labels, reduction.size());
+  const Strategy s = resolved(strategy, labels, reduction.size());
+  count_run(s);
+  detail::kStrategyRegistry<T, Op>[strategy_index(s)].run_multireduce(*this, values, labels,
+                                                                      reduction, op);
+}
+
+}  // namespace mp

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -38,6 +39,7 @@
 #include "core/ops.hpp"
 #include "core/result.hpp"
 #include "core/spinetree_plan.hpp"
+#include "core/workspace.hpp"
 #include "vm/tracer.hpp"
 
 namespace mp {
@@ -61,17 +63,48 @@ class SpinetreeExecutor {
     /// Visit only precomputed spine elements in SPINESUMS (identical result;
     /// the full scan is the paper-faithful masked loop).
     bool compressed_spine = true;
+    /// Run ROWSUMS/MULTISUMS in sequential element order instead of the
+    /// paper's column sweeps (identical result — see the phase comments; a
+    /// column sweep strides by row_len, one cache line per access on a
+    /// cache machine). Ignored when tracing: the trace must reflect the
+    /// vector-op structure. The Table 3 characterization turns this off to
+    /// measure the paper's loop shape.
+    bool sequential_grid_sweeps = true;
     /// If nonnull, records the vector operations each phase issues.
     vm::Tracer* tracer = nullptr;
     /// If nonnull, receives wall-clock seconds per phase.
     PhaseSeconds* timings = nullptr;
   };
 
-  explicit SpinetreeExecutor(const SpinetreePlan& plan, Op op = {})
+  /// With a Workspace, the rowsum/spinesum scratch is borrowed from (and on
+  /// destruction returned to) the pool instead of heap-allocated per
+  /// executor — the zero-allocation path for repeated execution. The
+  /// workspace must outlive the executor.
+  explicit SpinetreeExecutor(const SpinetreePlan& plan, Op op = {}, Workspace* ws = nullptr)
       : plan_(&plan),
         op_(op),
-        rowsum_(plan.m() + plan.n()),
-        spinesum_(plan.m() + plan.n()) {}
+        ws_(ws),
+        rowsum_(ws != nullptr ? ws->acquire<T>(plan.m() + plan.n())
+                              : std::vector<T>(plan.m() + plan.n())),
+        spinesum_(ws != nullptr ? ws->acquire<T>(plan.m() + plan.n())
+                                : std::vector<T>(plan.m() + plan.n())) {}
+
+  ~SpinetreeExecutor() {
+    if (ws_ != nullptr) {
+      ws_->release(std::move(rowsum_));
+      ws_->release(std::move(spinesum_));
+    }
+  }
+
+  SpinetreeExecutor(const SpinetreeExecutor&) = delete;
+  SpinetreeExecutor& operator=(const SpinetreeExecutor&) = delete;
+  SpinetreeExecutor(SpinetreeExecutor&& other) noexcept
+      : plan_(other.plan_),
+        op_(other.op_),
+        ws_(std::exchange(other.ws_, nullptr)),
+        rowsum_(std::move(other.rowsum_)),
+        spinesum_(std::move(other.spinesum_)) {}
+  SpinetreeExecutor& operator=(SpinetreeExecutor&&) = delete;
 
   const SpinetreePlan& plan() const { return *plan_; }
 
@@ -133,15 +166,27 @@ class SpinetreeExecutor {
     if (tracer) tracer->record(vm::OpKind::kFill, 2 * (m + n));
     lap(&PhaseSeconds::init);
 
-    // ROWSUMS: columns left to right.
-    for (std::size_t c = 0; c < L && c < n; ++c) {
-      std::size_t cnt = 0;
-      for (std::size_t i = c; i < n; i += L) {
+    // ROWSUMS: columns left to right. A parent's children all share one row
+    // and ascend by column there, so sequential element order applies each
+    // parent's updates in exactly the column-sweep order — bit-identical
+    // for non-commutative ops. Untraced runs default to it (the column
+    // sweep strides by L, a fresh cache line per access on a cache
+    // machine); the traced sweep is the paper's vector-op structure.
+    if (tracer == nullptr && options.sequential_grid_sweeps) {
+      for (std::size_t i = 0; i < n; ++i) {
         const auto s = spine[m + i];
         rowsum_[s] = op_(rowsum_[s], value(i));
-        ++cnt;
       }
-      if (tracer) tracer->record(vm::OpKind::kScatterCombine, cnt);
+    } else {
+      for (std::size_t c = 0; c < L && c < n; ++c) {
+        std::size_t cnt = 0;
+        for (std::size_t i = c; i < n; i += L) {
+          const auto s = spine[m + i];
+          rowsum_[s] = op_(rowsum_[s], value(i));
+          ++cnt;
+        }
+        if (tracer) tracer->record(vm::OpKind::kScatterCombine, cnt);
+      }
     }
     lap(&PhaseSeconds::rowsums);
 
@@ -184,19 +229,29 @@ class SpinetreeExecutor {
     lap(&PhaseSeconds::reduction);
 
     // MULTISUMS (the PREFIXSUM loop): columns left to right; skipped for
-    // multireduce.
+    // multireduce. Sequential order is valid for the same reason as
+    // ROWSUMS: each prefix[i]/spinesum[s] pair involves only parent s,
+    // whose children arrive in column order either way.
     if (prefix != nullptr) {
-      for (std::size_t c = 0; c < L && c < n; ++c) {
-        std::size_t cnt = 0;
-        for (std::size_t i = c; i < n; i += L) {
+      if (tracer == nullptr && options.sequential_grid_sweeps) {
+        for (std::size_t i = 0; i < n; ++i) {
           const auto s = spine[m + i];
           prefix[i] = spinesum_[s];
           spinesum_[s] = op_(spinesum_[s], value(i));
-          ++cnt;
         }
-        if (tracer) {
-          tracer->record(vm::OpKind::kGather, cnt);
-          tracer->record(vm::OpKind::kScatterCombine, cnt);
+      } else {
+        for (std::size_t c = 0; c < L && c < n; ++c) {
+          std::size_t cnt = 0;
+          for (std::size_t i = c; i < n; i += L) {
+            const auto s = spine[m + i];
+            prefix[i] = spinesum_[s];
+            spinesum_[s] = op_(spinesum_[s], value(i));
+            ++cnt;
+          }
+          if (tracer) {
+            tracer->record(vm::OpKind::kGather, cnt);
+            tracer->record(vm::OpKind::kScatterCombine, cnt);
+          }
         }
       }
     }
@@ -205,6 +260,7 @@ class SpinetreeExecutor {
 
   const SpinetreePlan* plan_;
   Op op_;
+  Workspace* ws_ = nullptr;
   std::vector<T> rowsum_;
   std::vector<T> spinesum_;
 };

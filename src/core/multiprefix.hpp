@@ -1,10 +1,13 @@
 // Public one-shot multiprefix API.
 //
-// This is the convenience facade over the library: pick a strategy, pass
-// values/labels, receive prefix sums and reductions. For repeated execution
-// with the same labels (e.g. iterative sparse matrix-vector products), use
-// SpinetreePlan + SpinetreeExecutor directly to amortize the spinetree
-// construction (paper §5.2.1).
+// This is the convenience facade over the library: pick a strategy (or let
+// kAuto pick one), pass values/labels, receive prefix sums and reductions.
+// Both calls are thin shims over the process-wide Engine (core/engine.hpp),
+// which owns the strategy registry, the plan cache, and the per-thread
+// scratch pools — so repeated calls with a recurring label vector amortize
+// spinetree construction automatically (paper §5.2.1). For explicit control
+// over caching, pools, and counters, construct an Engine directly; for fully
+// manual amortization, use SpinetreePlan + SpinetreeExecutor.
 //
 //   auto r = mp::multiprefix<int>(values, labels, m);              // PLUS
 //   auto r = mp::multiprefix<double>(values, labels, m, mp::Max{});
@@ -13,81 +16,17 @@
 
 #include <span>
 
-#include "common/error.hpp"
-#include "core/chunked.hpp"
-#include "core/executor.hpp"
-#include "core/ops.hpp"
-#include "core/parallel_executor.hpp"
-#include "core/result.hpp"
-#include "core/serial.hpp"
-#include "core/sort_based.hpp"
-#include "core/spinetree_plan.hpp"
+#include "core/engine.hpp"
 
 namespace mp {
-
-enum class Strategy {
-  kSerial,      // Figure 2 bucket sweep (the reference)
-  kVectorized,  // spinetree, single thread, vector-style loops (paper §4)
-  kParallel,    // spinetree, phase-parallel pardo on threads (paper §2.2)
-  kSortBased,   // counting-sort + segmented scan (the prior-art baseline)
-  kChunked,     // two-level chunked algorithm (coarse-grained spinetree)
-};
-
-constexpr const char* to_string(Strategy s) {
-  switch (s) {
-    case Strategy::kSerial: return "serial";
-    case Strategy::kVectorized: return "vectorized";
-    case Strategy::kParallel: return "parallel";
-    case Strategy::kSortBased: return "sort-based";
-    case Strategy::kChunked: return "chunked";
-  }
-  return "unknown";
-}
-
-/// Validates a (values, labels, m) triple before dispatch and throws the
-/// structured error on violation. Every Strategy entry point runs this, so
-/// malformed inputs are rejected with a precise index (error.hpp) instead of
-/// indexing out-of-range buckets inside the sweep. The check is one
-/// vectorized pass over the labels — O(n) with a small constant, negligible
-/// next to any of the algorithms themselves.
-inline void require_valid_inputs(std::size_t values_size, std::span<const label_t> labels,
-                                 std::size_t m) {
-  if (Status st = validate_inputs(values_size, labels, m); !st.is_ok())
-    throw MpError(std::move(st));
-}
 
 /// Computes the full multiprefix of `values` under `labels` (each < m).
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 MultiprefixResult<T> multiprefix(std::span<const T> values, std::span<const label_t> labels,
                                  std::size_t m, Op op = {},
-                                 Strategy strategy = Strategy::kVectorized) {
-  require_valid_inputs(values.size(), labels, m);
-  switch (strategy) {
-    case Strategy::kSerial:
-      return multiprefix_serial<T, Op>(values, labels, m, op);
-    case Strategy::kSortBased:
-      return multiprefix_sort_based<T, Op>(values, labels, m, op);
-    case Strategy::kChunked:
-      return multiprefix_chunked<T, Op>(values, labels, m, ThreadPool::global(), op);
-    case Strategy::kParallel: {
-      SpinetreePlan::Options opts;
-      opts.pool = &ThreadPool::global();
-      SpinetreePlan plan(labels, m, RowShape::auto_shape(labels.size()), opts);
-      MultiprefixResult<T> out(values.size(), m, op.template identity<T>());
-      ParallelSpinetreeExecutor<T, Op> exec(plan, ThreadPool::global(), op);
-      exec.execute(values, std::span<T>(out.prefix), std::span<T>(out.reduction));
-      return out;
-    }
-    case Strategy::kVectorized:
-    default: {
-      SpinetreePlan plan(labels, m);
-      MultiprefixResult<T> out(values.size(), m, op.template identity<T>());
-      SpinetreeExecutor<T, Op> exec(plan, op);
-      exec.execute(values, std::span<T>(out.prefix), std::span<T>(out.reduction));
-      return out;
-    }
-  }
+                                 Strategy strategy = Strategy::kAuto) {
+  return Engine::global().multiprefix<T, Op>(values, labels, m, op, strategy);
 }
 
 /// Computes only the per-label reductions (multireduce, paper §4.2).
@@ -95,33 +34,8 @@ template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 std::vector<T> multireduce(std::span<const T> values, std::span<const label_t> labels,
                            std::size_t m, Op op = {},
-                           Strategy strategy = Strategy::kVectorized) {
-  require_valid_inputs(values.size(), labels, m);
-  switch (strategy) {
-    case Strategy::kSerial:
-      return multireduce_serial<T, Op>(values, labels, m, op);
-    case Strategy::kSortBased:
-      return multireduce_sort_based<T, Op>(values, labels, m, op);
-    case Strategy::kChunked:
-      return multireduce_chunked<T, Op>(values, labels, m, ThreadPool::global(), op);
-    case Strategy::kParallel: {
-      SpinetreePlan::Options opts;
-      opts.pool = &ThreadPool::global();
-      SpinetreePlan plan(labels, m, RowShape::auto_shape(labels.size()), opts);
-      std::vector<T> reduction(m, op.template identity<T>());
-      ParallelSpinetreeExecutor<T, Op> exec(plan, ThreadPool::global(), op);
-      exec.reduce(values, std::span<T>(reduction));
-      return reduction;
-    }
-    case Strategy::kVectorized:
-    default: {
-      SpinetreePlan plan(labels, m);
-      std::vector<T> reduction(m, op.template identity<T>());
-      SpinetreeExecutor<T, Op> exec(plan, op);
-      exec.reduce(values, std::span<T>(reduction));
-      return reduction;
-    }
-  }
+                           Strategy strategy = Strategy::kAuto) {
+  return Engine::global().multireduce<T, Op>(values, labels, m, op, strategy);
 }
 
 }  // namespace mp

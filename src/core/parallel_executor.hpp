@@ -20,11 +20,13 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "core/ops.hpp"
 #include "core/spinetree_plan.hpp"
+#include "core/workspace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -34,14 +36,39 @@ template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 class ParallelSpinetreeExecutor {
  public:
+  /// With a Workspace, scratch is borrowed from (and returned to) the pool
+  /// instead of heap-allocated per executor; the workspace must outlive the
+  /// executor (see core/workspace.hpp).
   ParallelSpinetreeExecutor(const SpinetreePlan& plan, ThreadPool& pool, Op op = {},
-                            std::size_t grain = kDefaultGrain)
+                            std::size_t grain = kDefaultGrain, Workspace* ws = nullptr)
       : plan_(&plan),
         pool_(&pool),
         op_(op),
         grain_(grain),
-        rowsum_(plan.m() + plan.n()),
-        spinesum_(plan.m() + plan.n()) {}
+        ws_(ws),
+        rowsum_(ws != nullptr ? ws->acquire<T>(plan.m() + plan.n())
+                              : std::vector<T>(plan.m() + plan.n())),
+        spinesum_(ws != nullptr ? ws->acquire<T>(plan.m() + plan.n())
+                                : std::vector<T>(plan.m() + plan.n())) {}
+
+  ~ParallelSpinetreeExecutor() {
+    if (ws_ != nullptr) {
+      ws_->release(std::move(rowsum_));
+      ws_->release(std::move(spinesum_));
+    }
+  }
+
+  ParallelSpinetreeExecutor(const ParallelSpinetreeExecutor&) = delete;
+  ParallelSpinetreeExecutor& operator=(const ParallelSpinetreeExecutor&) = delete;
+  ParallelSpinetreeExecutor(ParallelSpinetreeExecutor&& other) noexcept
+      : plan_(other.plan_),
+        pool_(other.pool_),
+        op_(other.op_),
+        grain_(other.grain_),
+        ws_(std::exchange(other.ws_, nullptr)),
+        rowsum_(std::move(other.rowsum_)),
+        spinesum_(std::move(other.spinesum_)) {}
+  ParallelSpinetreeExecutor& operator=(ParallelSpinetreeExecutor&&) = delete;
 
   void execute(std::span<const T> values, std::span<T> prefix, std::span<T> reduction) {
     MP_REQUIRE(values.size() == plan_->n(), "values size mismatch");
@@ -65,6 +92,11 @@ class ParallelSpinetreeExecutor {
     const std::size_t rows = plan_->shape().rows;
     const auto spine = plan_->spine();
     const T id = op_.template identity<T>();
+
+    // Workspace-acquired scratch arrives empty (capacity only); size it
+    // before the parallel init sweep writes through operator[].
+    rowsum_.resize(m + n);
+    spinesum_.resize(m + n);
 
     parallel_for(*pool_, 0, m + n, grain_, [&](std::size_t i) {
       rowsum_[i] = id;
@@ -110,6 +142,7 @@ class ParallelSpinetreeExecutor {
   ThreadPool* pool_;
   Op op_;
   std::size_t grain_;
+  Workspace* ws_ = nullptr;
   std::vector<T> rowsum_;
   std::vector<T> spinesum_;
 };

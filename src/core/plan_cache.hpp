@@ -1,0 +1,260 @@
+// Thread-safe LRU cache of SpinetreePlans keyed by a fingerprint of the
+// label vector.
+//
+// The paper's amortization insight (§5.2.1) is that the spinetree depends
+// only on the labels: build once, evaluate many value vectors. The manual
+// form of that split is SpinetreePlan + executor; this cache makes it
+// automatic for traffic the caller did not restructure — iterative SpMV on
+// one sparsity pattern, NAS IS ranking iterations, any serving workload
+// that keys work by a recurring label vector.
+//
+// Keying. Hashing the full label vector is O(n), the same order as the
+// mandatory input validation, and avoids retaining a copy of the labels per
+// entry. The key is a 128-bit fingerprint — four independently-seeded
+// accumulators striped across 8-byte chunks (so the multiply latency chain
+// never gates the label stream), cross-folded into two 64-bit digests —
+// plus (n, m) checked exactly; a false hit needs a simultaneous collision
+// in both digests between two label vectors of identical length, which
+// is negligible against any realistic call volume. Capacity is bounded both
+// by entry count and by plan bytes (SpinetreePlan::memory_bytes), so a
+// stream of huge one-off label vectors cannot pin unbounded memory; a plan
+// larger than the whole byte budget is returned uncached.
+//
+// The cache also remembers label vectors it has merely *seen* (note()):
+// key-only entries cost a few dozen bytes and let the engine's kAuto detect
+// "this label vector is recurring" and promote it to a plan-based strategy
+// on second sight — the serving-shaped behaviour the engine exists for.
+//
+// Concurrency: one mutex guards the index; plans build outside the lock, so
+// two threads missing on the same key may both build and one build wins
+// (the loser's plan is still returned to its caller — correct, just not
+// shared). Returned shared_ptrs keep evicted plans alive while in use.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "common/labels.hpp"
+#include "core/row_shape.hpp"
+#include "core/spinetree_plan.hpp"
+
+namespace mp {
+
+/// 128-bit label-vector fingerprint plus exact (n, m).
+struct LabelKey {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  friend bool operator==(const LabelKey&, const LabelKey&) = default;
+};
+
+namespace detail {
+/// splitmix64 finalizer — full-avalanche 64-bit mix.
+inline constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace detail
+
+/// Fingerprints `labels` in one pass. Four accumulators advance
+/// independently (each sees every 4th 8-byte chunk), so the per-chunk
+/// multiply latency overlaps across lanes and the loop runs at near
+/// memory speed — this hash is on the cached-call fast path, where a
+/// serial mix chain would cost as much as an execution phase.
+inline LabelKey label_key(std::span<const label_t> labels, std::size_t m) {
+  constexpr std::uint64_t kP1 = 0x9e3779b97f4a7c15ULL;
+  constexpr std::uint64_t kP2 = 0xc2b2ae3d27d4eb4fULL;
+  const auto rotl = [](std::uint64_t x, unsigned r) { return (x << r) | (x >> (64u - r)); };
+  const auto step = [&](std::uint64_t acc, std::uint64_t w) {
+    return rotl(acc ^ (w * kP2), 29) * kP1;
+  };
+
+  LabelKey key;
+  key.n = labels.size();
+  key.m = m;
+  std::uint64_t acc0 = detail::mix64(key.n ^ 0x6a09e667f3bcc908ULL);
+  std::uint64_t acc1 = detail::mix64(key.n ^ 0xbb67ae8584caa73bULL);
+  std::uint64_t acc2 = detail::mix64(key.n ^ 0x3c6ef372fe94f82bULL);
+  std::uint64_t acc3 = detail::mix64(key.n ^ 0xa54ff53a5f1d36f1ULL);
+  const auto word = [&](std::size_t i) {
+    return static_cast<std::uint64_t>(labels[i]) |
+           (static_cast<std::uint64_t>(labels[i + 1]) << 32);
+  };
+  std::size_t i = 0;
+  for (; i + 8 <= labels.size(); i += 8) {
+    acc0 = step(acc0, word(i));
+    acc1 = step(acc1, word(i + 2));
+    acc2 = step(acc2, word(i + 4));
+    acc3 = step(acc3, word(i + 6));
+  }
+  std::uint64_t tail = kP1;
+  for (; i < labels.size(); ++i) tail = detail::mix64(tail ^ labels[i]);
+
+  // Cross-fold the 256 bits of accumulator state into two digests through
+  // different combinations; a false hit needs both to collide at equal n.
+  key.h1 = detail::mix64(acc0 ^ rotl(acc1, 17) ^ rotl(acc2, 31) ^ acc3 ^ tail);
+  key.h2 = detail::mix64(detail::mix64(acc1 ^ rotl(acc3, 19)) ^ rotl(acc0, 13) ^ acc2 ^
+                         (tail * kP2));
+  return key;
+}
+
+class PlanCache {
+ public:
+  struct Options {
+    std::size_t max_entries = 32;          // plan + key-only entries combined
+    std::size_t max_bytes = 128u << 20;    // byte budget over cached plans
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;               // get_or_build served from cache
+    std::uint64_t misses = 0;             // get_or_build had to build
+    std::uint64_t evictions = 0;          // cached plans dropped by LRU
+    std::uint64_t oversize_bypasses = 0;  // plans too large to cache at all
+  };
+
+  /// What note() learned about a key, *before* recording this sighting.
+  struct Sighting {
+    bool has_plan = false;
+    bool seen_before = false;
+  };
+
+  PlanCache() = default;
+  explicit PlanCache(const Options& options) : options_(options) {}
+
+  /// Records that `key` was requested (LRU-touching it) and reports whether
+  /// it was already known — the engine's recurring-labels detector.
+  Sighting note(const LabelKey& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      const Sighting seen{it->second->plan != nullptr, true};
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return seen;
+    }
+    lru_.push_front(Entry{key, nullptr, 0});
+    index_.emplace(key, lru_.begin());
+    evict_locked();
+    return Sighting{};
+  }
+
+  /// True when a plan for `key` is cached (no LRU touch, no stats).
+  bool contains(const LabelKey& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    return it != index_.end() && it->second->plan != nullptr;
+  }
+
+  /// The cached plan for (labels, m), building (with auto shape; on
+  /// `build_pool` when nonnull) and inserting on a miss. Plans over the
+  /// byte budget are built and returned but never inserted.
+  std::shared_ptr<const SpinetreePlan> get_or_build(std::span<const label_t> labels,
+                                                    std::size_t m,
+                                                    ThreadPool* build_pool = nullptr) {
+    const LabelKey key = label_key(labels, m);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = index_.find(key);
+      if (it != index_.end() && it->second->plan != nullptr) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->plan;
+      }
+      ++stats_.misses;
+    }
+
+    SpinetreePlan::Options build;
+    build.pool = build_pool;
+    auto plan = std::make_shared<const SpinetreePlan>(labels, m,
+                                                      RowShape::auto_shape(labels.size()), build);
+    const std::size_t bytes = plan->memory_bytes();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bytes > options_.max_bytes || options_.max_entries == 0) {
+      ++stats_.oversize_bypasses;
+      return plan;
+    }
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      if (it->second->plan != nullptr) return it->second->plan;  // concurrent build won
+      it->second->plan = plan;
+      it->second->bytes = bytes;
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.push_front(Entry{key, plan, bytes});
+      index_.emplace(key, lru_.begin());
+    }
+    plan_bytes_ += bytes;
+    evict_locked();
+    return plan;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// Total entries (plans + key-only sightings).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+  std::size_t plan_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_bytes_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.clear();
+    lru_.clear();
+    plan_bytes_ = 0;
+  }
+
+ private:
+  struct Entry {
+    LabelKey key;
+    std::shared_ptr<const SpinetreePlan> plan;  // null for key-only sightings
+    std::size_t bytes = 0;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const LabelKey& k) const {
+      return static_cast<std::size_t>(k.h1 ^ detail::mix64(k.h2));
+    }
+  };
+
+  /// Drops LRU-tail entries until both budgets hold. The most recent entry
+  /// always survives (any plan larger than max_bytes was never inserted).
+  void evict_locked() {
+    while (lru_.size() > 1 &&
+           (lru_.size() > options_.max_entries || plan_bytes_ > options_.max_bytes)) {
+      const Entry& tail = lru_.back();
+      if (tail.plan != nullptr) {
+        plan_bytes_ -= tail.bytes;
+        ++stats_.evictions;
+      }
+      index_.erase(tail.key);
+      lru_.pop_back();
+    }
+  }
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<LabelKey, std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t plan_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mp

@@ -11,6 +11,11 @@
 //   kSortBased  → kSerial
 //   kSerial                                   (nothing simpler exists)
 //
+// The chains are not hard-coded here: they are walked from the fallback_next
+// links in the strategy table (core/strategy.hpp), the same single source of
+// truth the engine's dispatch registry is indexed by. A preferred kAuto is
+// resolved to a concrete strategy by the engine before the chain is built.
+//
 // A stage is abandoned only on MpError{kPoolFailure, kExecutionFault} or
 // std::bad_alloc (the serial sweep needs the least scratch memory);
 // kInvalidLabel / kShapeMismatch propagate immediately — see error.hpp.
@@ -54,8 +59,15 @@ struct FallbackCounters {
   std::atomic<std::uint64_t> exhausted{0};         // whole chain failed
 
   void reset() {
-    attempts = successes = fallbacks = 0;
-    pool_failures = execution_faults = verify_failures = exhausted = 0;
+    // Plain chained `=` through atomics assigns the int result of each
+    // store, not the atomic — spell out the stores.
+    attempts.store(0, std::memory_order_relaxed);
+    successes.store(0, std::memory_order_relaxed);
+    fallbacks.store(0, std::memory_order_relaxed);
+    pool_failures.store(0, std::memory_order_relaxed);
+    execution_faults.store(0, std::memory_order_relaxed);
+    verify_failures.store(0, std::memory_order_relaxed);
+    exhausted.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -67,6 +79,8 @@ inline FallbackCounters& global_fallback_counters() {
 }
 
 struct ResilientOptions {
+  /// kAuto is resolved by Engine::global() from (n, m) before the chain is
+  /// walked.
   Strategy preferred = Strategy::kParallel;
   /// Cross-check a sampled window of every stage's result against the §1
   /// definition before accepting it (see file comment for the caveat).
@@ -91,22 +105,8 @@ struct ResilientOutcome {
   std::vector<Status> faults;         // why each abandoned stage failed
 };
 
-/// Degradation order for each preferred strategy (first entry = preferred).
-inline std::vector<Strategy> fallback_chain(Strategy preferred) {
-  switch (preferred) {
-    case Strategy::kParallel:
-      return {Strategy::kParallel, Strategy::kVectorized, Strategy::kSerial};
-    case Strategy::kChunked:
-      return {Strategy::kChunked, Strategy::kVectorized, Strategy::kSerial};
-    case Strategy::kVectorized:
-      return {Strategy::kVectorized, Strategy::kSerial};
-    case Strategy::kSortBased:
-      return {Strategy::kSortBased, Strategy::kSerial};
-    case Strategy::kSerial:
-      return {Strategy::kSerial};
-  }
-  return {Strategy::kSerial};
-}
+// Degradation order comes from fallback_chain (core/strategy.hpp): the
+// preferred strategy followed by its fallback_next links down to kSerial.
 
 namespace detail {
 
@@ -159,12 +159,12 @@ Status verify_window(std::span<const T> values, std::span<const label_t> labels,
 /// counters and the outcome log. `attempt(stage)` produces a result;
 /// `verify(stage, result)` returns ok or a fault that degrades further.
 template <class Result, class AttemptFn, class VerifyFn>
-Result run_chain(const ResilientOptions& options, std::vector<Status>& faults,
-                 std::size_t& fallbacks, Strategy& used, AttemptFn&& attempt,
-                 VerifyFn&& verify) {
+Result run_chain(const ResilientOptions& options, Strategy preferred,
+                 std::vector<Status>& faults, std::size_t& fallbacks, Strategy& used,
+                 AttemptFn&& attempt, VerifyFn&& verify) {
   FallbackCounters& counters =
       options.counters != nullptr ? *options.counters : global_fallback_counters();
-  const std::vector<Strategy> chain = fallback_chain(options.preferred);
+  const std::vector<Strategy> chain = fallback_chain(preferred);
   for (const Strategy stage : chain) {
     counters.attempts.fetch_add(1, std::memory_order_relaxed);
     Status fault;
@@ -212,10 +212,11 @@ ResilientOutcome<T> resilient_multiprefix(std::span<const T> values,
                                           Op op = {}, const ResilientOptions& options = {}) {
   require_valid_inputs(values.size(), labels, m);  // hopeless — never degrade
   ResilientOutcome<T> outcome;
+  const Strategy preferred = Engine::global().resolve(options.preferred, values.size(), m);
   const auto [lo, len] =
       detail::verify_span(values.size(), options.verify_window, options.verify_seed);
   outcome.result = detail::run_chain<MultiprefixResult<T>>(
-      options, outcome.faults, outcome.fallbacks, outcome.used,
+      options, preferred, outcome.faults, outcome.fallbacks, outcome.used,
       [&](Strategy stage) { return multiprefix<T, Op>(values, labels, m, op, stage); },
       [&](Strategy stage, const MultiprefixResult<T>& result) {
         if (!options.self_verify) return Status::ok();
@@ -236,10 +237,11 @@ std::vector<T> resilient_multireduce(std::span<const T> values,
                                      ResilientOutcome<T>* outcome_out = nullptr) {
   require_valid_inputs(values.size(), labels, m);
   ResilientOutcome<T> outcome;
+  const Strategy preferred = Engine::global().resolve(options.preferred, values.size(), m);
   const auto [lo, len] =
       detail::verify_span(values.size(), options.verify_window, options.verify_seed);
   std::vector<T> reduction = detail::run_chain<std::vector<T>>(
-      options, outcome.faults, outcome.fallbacks, outcome.used,
+      options, preferred, outcome.faults, outcome.fallbacks, outcome.used,
       [&](Strategy stage) { return multireduce<T, Op>(values, labels, m, op, stage); },
       [&](Strategy stage, const std::vector<T>& red) {
         if (!options.self_verify) return Status::ok();

@@ -49,15 +49,17 @@ inline LabelSortResult sort_by_label(std::span<const label_t> labels, std::size_
   return out;
 }
 
+/// Core sort-based sweep writing into caller buffers; m = reduction.size(),
+/// and every reduction slot is written (unreferenced classes get the
+/// identity from their empty segment).
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
-MultiprefixResult<T> multiprefix_sort_based(std::span<const T> values,
-                                            std::span<const label_t> labels, std::size_t m,
-                                            Op op = {}) {
+void multiprefix_sort_based_into(std::span<const T> values, std::span<const label_t> labels,
+                                 std::span<T> prefix, std::span<T> reduction, Op op = {}) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
-  const std::size_t n = values.size();
+  MP_REQUIRE(prefix.size() == values.size(), "prefix output size mismatch");
+  const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
-  MultiprefixResult<T> out(n, m, id);
 
   const LabelSortResult sorted = sort_by_label(labels, m);
 
@@ -67,23 +69,32 @@ MultiprefixResult<T> multiprefix_sort_based(std::span<const T> values,
     T acc = id;
     for (std::uint32_t pos = sorted.offsets[k]; pos < sorted.offsets[k + 1]; ++pos) {
       const std::uint32_t i = sorted.order[pos];
-      out.prefix[i] = acc;
+      prefix[i] = acc;
       acc = op(acc, values[i]);
     }
-    out.reduction[k] = acc;
+    reduction[k] = acc;
   }
+}
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+MultiprefixResult<T> multiprefix_sort_based(std::span<const T> values,
+                                            std::span<const label_t> labels, std::size_t m,
+                                            Op op = {}) {
+  MultiprefixResult<T> out(values.size(), m, op.template identity<T>());
+  multiprefix_sort_based_into<T, Op>(values, labels, std::span<T>(out.prefix),
+                                     std::span<T>(out.reduction), op);
   return out;
 }
 
 /// Multireduce via the same route (sort + per-segment reduction).
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
-std::vector<T> multireduce_sort_based(std::span<const T> values,
-                                      std::span<const label_t> labels, std::size_t m,
-                                      Op op = {}) {
+void multireduce_sort_based_into(std::span<const T> values, std::span<const label_t> labels,
+                                 std::span<T> reduction, Op op = {}) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
+  const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
-  std::vector<T> reduction(m, id);
   const LabelSortResult sorted = sort_by_label(labels, m);
   for (std::size_t k = 0; k < m; ++k) {
     T acc = id;
@@ -91,6 +102,15 @@ std::vector<T> multireduce_sort_based(std::span<const T> values,
       acc = op(acc, values[sorted.order[pos]]);
     reduction[k] = acc;
   }
+}
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+std::vector<T> multireduce_sort_based(std::span<const T> values,
+                                      std::span<const label_t> labels, std::size_t m,
+                                      Op op = {}) {
+  std::vector<T> reduction(m, op.template identity<T>());
+  multireduce_sort_based_into<T, Op>(values, labels, std::span<T>(reduction), op);
   return reduction;
 }
 

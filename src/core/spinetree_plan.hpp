@@ -100,6 +100,14 @@ class SpinetreePlan {
   /// Total number of spine elements.
   std::size_t spine_count() const { return spine_rows_.size(); }
 
+  /// Approximate heap footprint of the structure arrays — what the plan
+  /// cache charges against its byte budget.
+  std::size_t memory_bytes() const {
+    return spine_.capacity() * sizeof(index_t) + is_spine_.capacity() +
+           spine_rows_.capacity() * sizeof(index_t) +
+           spine_row_offsets_.capacity() * sizeof(std::size_t);
+  }
+
  private:
   void build_serial(std::span<const label_t> labels, const Options& options);
   void build_parallel(std::span<const label_t> labels, const Options& options);

@@ -1,0 +1,89 @@
+// The strategy vocabulary of the execution engine, and the one metadata
+// table that describes it.
+//
+// Every fact the library needs about a strategy — its wire name, whether it
+// runs on the thread pool, whether it consumes a SpinetreePlan (and hence
+// benefits from the plan cache), and which simpler substrate to fall back to
+// when the machine underneath fails — lives in kStrategyInfo. to_string,
+// parse_strategy and fallback_chain are all derived views of that table, and
+// the engine's registry (core/engine.hpp) is indexed by it, so adding a
+// strategy means adding exactly one row here and one registry entry there.
+//
+// kAuto is a request, not an implementation: the engine resolves it to a
+// concrete strategy from (n, m, load factor, pool availability, plan-cache
+// state) before dispatch — see Engine::resolve for the regime table.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace mp {
+
+enum class Strategy {
+  kSerial,      // Figure 2 bucket sweep (the reference)
+  kVectorized,  // spinetree, single thread, vector-style loops (paper §4)
+  kParallel,    // spinetree, phase-parallel pardo on threads (paper §2.2)
+  kSortBased,   // counting-sort + segmented scan (the prior-art baseline)
+  kChunked,     // two-level chunked algorithm (coarse-grained spinetree)
+  kAuto,        // resolved by the engine from the input regime (§4.3/Fig 10)
+};
+
+/// Number of concrete (dispatchable) strategies; kAuto is not one of them.
+inline constexpr std::size_t kStrategyCount = 5;
+
+struct StrategyInfo {
+  Strategy id;
+  const char* name;        // stable wire name (to_string / parse_strategy)
+  bool needs_pool;         // executes work on ThreadPool lanes
+  bool plan_based;         // consumes a SpinetreePlan (plan cache applies)
+  Strategy fallback_next;  // next simpler substrate; == id means terminal
+};
+
+/// The single source of truth about strategies. Indexed by the enum value.
+inline constexpr std::array<StrategyInfo, kStrategyCount + 1> kStrategyInfo = {{
+    {Strategy::kSerial, "serial", false, false, Strategy::kSerial},
+    {Strategy::kVectorized, "vectorized", false, true, Strategy::kSerial},
+    {Strategy::kParallel, "parallel", true, true, Strategy::kVectorized},
+    {Strategy::kSortBased, "sort-based", false, false, Strategy::kSerial},
+    {Strategy::kChunked, "chunked", true, false, Strategy::kVectorized},
+    {Strategy::kAuto, "auto", false, false, Strategy::kAuto},
+}};
+
+constexpr std::size_t strategy_index(Strategy s) { return static_cast<std::size_t>(s); }
+
+constexpr const StrategyInfo& strategy_info(Strategy s) {
+  return kStrategyInfo[strategy_index(s)];
+}
+
+constexpr const char* to_string(Strategy s) {
+  return strategy_index(s) < kStrategyInfo.size() ? strategy_info(s).name : "unknown";
+}
+
+/// Inverse of to_string: accepts "serial", "vectorized", "parallel",
+/// "sort-based", "chunked" and "auto"; nullopt for anything else.
+inline std::optional<Strategy> parse_strategy(std::string_view name) {
+  for (const StrategyInfo& info : kStrategyInfo)
+    if (name == info.name) return info.id;
+  return std::nullopt;
+}
+
+/// Degradation order for a preferred strategy: the strategy itself followed
+/// by its fallback_next links down to the terminal substrate (kSerial needs
+/// the least machine and ends every chain). kAuto must be resolved to a
+/// concrete strategy first (Engine::resolve); its chain is just {kAuto}.
+inline std::vector<Strategy> fallback_chain(Strategy preferred) {
+  std::vector<Strategy> chain;
+  Strategy s = preferred;
+  for (;;) {
+    chain.push_back(s);
+    const Strategy next = strategy_info(s).fallback_next;
+    if (next == s) break;
+    s = next;
+  }
+  return chain;
+}
+
+}  // namespace mp

@@ -1,0 +1,79 @@
+// Reusable typed scratch buffers — the zero-allocation substrate for
+// repeated execution.
+//
+// Every spinetree execution needs rowsum/spinesum scratch of size m + n
+// (the unpacked `spinerec` fields, Figure 9). The one-shot facade used to
+// allocate and free that scratch on every call, which dominates the cost of
+// serving repeated traffic once the plan itself is cached (§5.2.1). A
+// Workspace is a pool of previously-used vectors, keyed by element type:
+// executors acquire scratch on construction and release it on destruction,
+// so a steady-state stream of same-sized calls performs no heap allocation
+// at all (vector capacity survives the acquire/release round trip, and
+// the executors' `assign` only writes within it).
+//
+// Not thread-safe by design — the engine keeps one Workspace per thread
+// (Engine::thread_workspace), which also keeps buffers NUMA/cache warm.
+// Retention is bounded: at most kMaxPooledPerType vectors are kept per
+// element type; extra releases simply free their memory.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mp {
+
+class Workspace {
+ public:
+  /// Vectors retained per element type; releases beyond this deallocate.
+  static constexpr std::size_t kMaxPooledPerType = 4;
+
+  /// Usage counters (per-thread workspaces need no atomics).
+  struct Stats {
+    std::uint64_t acquires = 0;  // total acquire<T>() calls
+    std::uint64_t reuses = 0;    // acquires served from the pool
+    std::uint64_t releases = 0;  // vectors returned to the pool
+  };
+
+  /// Returns an empty vector with at least `capacity_hint` reserved,
+  /// preferring a pooled buffer (whose larger capacity is kept).
+  template <class T>
+  std::vector<T> acquire(std::size_t capacity_hint) {
+    ++stats_.acquires;
+    std::vector<T> v;
+    auto it = pools_.find(std::type_index(typeid(T)));
+    if (it != pools_.end() && !it->second.empty()) {
+      v = std::move(*std::any_cast<std::vector<T>>(&it->second.back()));
+      it->second.pop_back();
+      v.clear();
+      ++stats_.reuses;
+    }
+    if (v.capacity() < capacity_hint) v.reserve(capacity_hint);
+    return v;
+  }
+
+  /// Returns a buffer to the pool for later reuse (contents discarded).
+  template <class T>
+  void release(std::vector<T>&& v) {
+    if (v.capacity() == 0) return;
+    auto& pool = pools_[std::type_index(typeid(T))];
+    if (pool.size() >= kMaxPooledPerType) return;  // bound retained memory
+    ++stats_.releases;
+    pool.emplace_back(std::move(v));
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Frees every pooled buffer (stats are kept).
+  void clear() { pools_.clear(); }
+
+ private:
+  std::unordered_map<std::type_index, std::vector<std::any>> pools_;
+  Stats stats_;
+};
+
+}  // namespace mp

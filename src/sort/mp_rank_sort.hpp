@@ -19,18 +19,23 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/engine.hpp"
 #include "core/executor.hpp"
 #include "core/spinetree_plan.hpp"
 #include "vm/vector_ops.hpp"
 
 namespace mp::sort {
 
-/// Reusable ranker: the spinetree plan is rebuilt per call (keys change), but
-/// the scratch buffers persist across calls, which matters in the NAS loop.
+/// Reusable ranker: the spinetree plan depends on the keys, so each call
+/// consults the engine's plan cache (recurring key vectors — e.g. ranking
+/// the same permutation twice — skip the build; fresh keys build and the
+/// LRU recycles them). Scratch comes from the per-thread workspace, and the
+/// cumulative buffer persists across calls, which matters in the NAS loop.
 class MultiprefixRanker {
  public:
   explicit MultiprefixRanker(std::size_t m) : m_(m), cumulative_(m) {}
@@ -43,10 +48,19 @@ class MultiprefixRanker {
     if (n == 0) return rank;
 
     // Step 1: MP(1, key, +) — counts of preceding equal keys + bucket totals.
-    SpinetreePlan::Options options;
-    options.tracer = tracer;
-    SpinetreePlan plan(keys, m_, RowShape::auto_shape(n), options);
-    SpinetreeExecutor<std::uint32_t, Plus> exec(plan);
+    // A tracer run must observe the build's vector operations, so it forces
+    // a private (uncached) plan.
+    std::shared_ptr<const SpinetreePlan> plan;
+    if (tracer == nullptr) {
+      plan = Engine::global().plan(keys, m_);
+    } else {
+      SpinetreePlan::Options options;
+      options.tracer = tracer;
+      plan = std::make_shared<const SpinetreePlan>(keys, m_, RowShape::auto_shape(n),
+                                                   options);
+    }
+    SpinetreeExecutor<std::uint32_t, Plus> exec(*plan, Plus{},
+                                                &Engine::thread_workspace());
     SpinetreeExecutor<std::uint32_t, Plus>::Options exec_options;
     exec_options.tracer = tracer;
     exec.enumerate(std::span<std::uint32_t>(rank), std::span<std::uint32_t>(cumulative_),

@@ -301,6 +301,30 @@ TEST(SpinetreeExecutorOps, NonCommutativeAffineComposition) {
   expect_executor_matches_serial<Affine, AffineCompose>(values, labels, m);
 }
 
+TEST(SpinetreeExecutorOps, SequentialSweepsMatchColumnSweepsBitIdentically) {
+  // The untraced ROWSUMS/MULTISUMS fast path visits elements in sequential
+  // order rather than the paper's column order. Per parent the fold order
+  // is the same (children share a row, ascend by column), so even a
+  // non-commutative operator must produce bit-identical output.
+  const std::size_t n = 1500;
+  std::size_t m = 0;
+  const auto labels = labels_for("zipf", n, m, 53);
+  Xoshiro256 rng(54);
+  std::vector<Affine> values(n);
+  for (auto& v : values) v = Affine{1 + static_cast<long>(rng.below(3)),
+                                    static_cast<long>(rng.below(7)) - 3};
+  const SpinetreePlan plan(labels, m);
+  SpinetreeExecutor<Affine, AffineCompose> exec(plan);
+  MultiprefixResult<Affine> seq(n, m, Affine{}), col(n, m, Affine{});
+  SpinetreeExecutor<Affine, AffineCompose>::Options eo;
+  eo.sequential_grid_sweeps = true;
+  exec.execute(values, std::span<Affine>(seq.prefix), std::span<Affine>(seq.reduction), eo);
+  eo.sequential_grid_sweeps = false;
+  exec.execute(values, std::span<Affine>(col.prefix), std::span<Affine>(col.reduction), eo);
+  ASSERT_EQ(seq.prefix, col.prefix);
+  ASSERT_EQ(seq.reduction, col.reduction);
+}
+
 TEST(SpinetreeExecutorOps, ZeroSumValuesNeedTheExplicitSpineFlag) {
   // Regression for the paper's `rowsum != 0` spine test (DESIGN.md §2): a
   // class whose children sum to zero must still propagate its spinesum.

@@ -89,7 +89,7 @@ TEST_P(StrategyTest, MatchesSerialReference) {
 std::vector<StratCase> strategy_cases() {
   std::vector<StratCase> cases;
   for (const Strategy s : {Strategy::kSerial, Strategy::kVectorized, Strategy::kParallel,
-                           Strategy::kSortBased, Strategy::kChunked})
+                           Strategy::kSortBased, Strategy::kChunked, Strategy::kAuto})
     for (const char* dist : {"uniform", "constant", "permutation"})
       for (const std::size_t n : {1u, 50u, 999u, 4096u}) cases.push_back({s, dist, n});
   return cases;
@@ -111,6 +111,23 @@ TEST(StrategyFacade, NamesAreStable) {
   EXPECT_STREQ(to_string(Strategy::kParallel), "parallel");
   EXPECT_STREQ(to_string(Strategy::kSortBased), "sort-based");
   EXPECT_STREQ(to_string(Strategy::kChunked), "chunked");
+  EXPECT_STREQ(to_string(Strategy::kAuto), "auto");
+}
+
+TEST(StrategyFacade, ParseIsTheInverseOfToString) {
+  for (const StrategyInfo& info : kStrategyInfo) {
+    const auto parsed = parse_strategy(to_string(info.id));
+    ASSERT_TRUE(parsed.has_value()) << info.name;
+    EXPECT_EQ(*parsed, info.id);
+  }
+  EXPECT_FALSE(parse_strategy("").has_value());
+  EXPECT_FALSE(parse_strategy("Serial").has_value());
+  EXPECT_FALSE(parse_strategy("spinetree").has_value());
+}
+
+TEST(StrategyFacade, TableIndexMatchesEnumValue) {
+  for (std::size_t i = 0; i < kStrategyInfo.size(); ++i)
+    EXPECT_EQ(strategy_index(kStrategyInfo[i].id), i);
 }
 
 // ---- chunked specifics ---------------------------------------------------------

@@ -96,8 +96,10 @@ TEST_P(DifferentialFuzz, AllImplementationsAgree) {
     }
   }
 
-  // Strategy facade routes.
-  for (const Strategy s : {Strategy::kParallel, Strategy::kSortBased, Strategy::kChunked}) {
+  // Strategy facade routes (kAuto exercises the engine's resolver and, on
+  // recurring fuzz shapes, its plan cache).
+  for (const Strategy s : {Strategy::kParallel, Strategy::kSortBased, Strategy::kChunked,
+                           Strategy::kAuto}) {
     const auto got = multiprefix<int>(cfg.values, cfg.labels, cfg.m, Plus{}, s);
     ASSERT_EQ(got.prefix, truth.prefix) << info << " strategy=" << to_string(s);
     ASSERT_EQ(got.reduction, truth.reduction) << info;
@@ -133,12 +135,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range<std::uint64_t
 // ---- adversarial inputs ----------------------------------------------------
 //
 // Deterministic worst-case label vectors, each checked against the
-// brute-force definition across all 5 facade strategies (multiprefix and
-// multireduce): the degenerate sizes and the load extremes of Figure 10.
+// brute-force definition across every facade strategy (multiprefix and
+// multireduce), kAuto included: the degenerate sizes and the load extremes
+// of Figure 10.
 
-constexpr Strategy kAllStrategies[] = {Strategy::kSerial, Strategy::kVectorized,
-                                       Strategy::kParallel, Strategy::kSortBased,
-                                       Strategy::kChunked};
+constexpr Strategy kAllStrategies[] = {Strategy::kSerial,    Strategy::kVectorized,
+                                       Strategy::kParallel,  Strategy::kSortBased,
+                                       Strategy::kChunked,   Strategy::kAuto};
 
 struct AdversarialCase {
   const char* name;
@@ -196,6 +199,39 @@ TEST(AdversarialInputs, NonCommutativeOpSurvivesTheExtremes) {
       ASSERT_EQ(got.reduction, truth.reduction) << c.name;
     }
   }
+}
+
+// ---- engine cache-hit differential -----------------------------------------
+
+TEST(EngineDifferential, CacheHitPathIsBitIdenticalToColdPath) {
+  // Serve the same (labels, m) repeatedly through a private engine with
+  // kAuto: the first calls run cold, later ones hit the plan cache (and a
+  // promoted plan-based strategy). Every result must equal the serial
+  // reference bit for bit, and the cache must actually have been hit —
+  // otherwise this test would silently stop covering the cached path.
+  ThreadPool pool(3);  // kAuto is serial-only on a threadless host
+  Engine::Options options;
+  options.pool = &pool;
+  options.auto_serial_max_n = 64;     // force plan-based picks at this n
+  options.auto_parallel_min_n = 256;  // and let kParallel engage early
+  Engine engine(options);
+
+  const std::size_t n = 1500;
+  const std::size_t m = 37;
+  const auto labels = uniform_labels(n, m, 21);
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    std::vector<int> values(n);
+    Xoshiro256 rng(100 + round);
+    for (auto& v : values) v = static_cast<int>(rng.below(41)) - 20;
+
+    const auto truth = multiprefix_serial<int>(values, labels, m);
+    const auto got = engine.multiprefix<int>(values, labels, m);
+    ASSERT_EQ(got.prefix, truth.prefix) << "round " << round;
+    ASSERT_EQ(got.reduction, truth.reduction) << "round " << round;
+    const auto red = engine.multireduce<int>(values, labels, m);
+    ASSERT_EQ(red, truth.reduction) << "round " << round;
+  }
+  EXPECT_GT(engine.plan_cache().stats().hits, 0u);
 }
 
 TEST(AdversarialInputs, OutOfRangeLabelRejectedWithPreciseIndex) {

@@ -1,0 +1,364 @@
+// Tests for the execution engine layer: the plan cache (fingerprinting,
+// LRU + byte budgets, sightings), the per-thread workspace, kAuto
+// resolution, the dispatch counters, and the into-buffer entry points —
+// all against the serial reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "core/resilient.hpp"
+
+namespace mp {
+namespace {
+
+std::vector<int> random_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(41)) - 20;
+  return v;
+}
+
+// ---- label fingerprint ------------------------------------------------------
+
+TEST(PlanCache, LabelKeyIsDeterministicAndDiscriminating) {
+  const auto a = uniform_labels(999, 40, 1);
+  EXPECT_EQ(label_key(a, 40), label_key(a, 40));
+  EXPECT_FALSE(label_key(a, 40) == label_key(a, 41));  // same labels, other m
+
+  auto b = a;
+  b[500] = (b[500] + 1) % 40;  // one label differs
+  EXPECT_FALSE(label_key(a, 40) == label_key(b, 40));
+
+  const auto shorter = std::span<const label_t>(a).first(998);  // odd tail chunk
+  EXPECT_FALSE(label_key(a, 40) == label_key(shorter, 40));
+}
+
+// ---- plan cache -------------------------------------------------------------
+
+TEST(PlanCache, SecondRequestIsAHitAndSharesThePlan) {
+  PlanCache cache;
+  const auto labels = uniform_labels(500, 20, 2);
+  const auto p1 = cache.get_or_build(labels, 20);
+  const auto p2 = cache.get_or_build(labels, 20);
+  EXPECT_EQ(p1.get(), p2.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains(label_key(labels, 20)));
+}
+
+TEST(PlanCache, EntryBudgetEvictsLeastRecentlyUsed) {
+  PlanCache::Options options;
+  options.max_entries = 2;
+  PlanCache cache(options);
+  const auto a = uniform_labels(300, 10, 3);
+  const auto b = uniform_labels(300, 10, 4);
+  const auto c = uniform_labels(300, 10, 5);
+  (void)cache.get_or_build(a, 10);
+  (void)cache.get_or_build(b, 10);
+  (void)cache.get_or_build(a, 10);  // touch a: b is now the LRU tail
+  (void)cache.get_or_build(c, 10);  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.contains(label_key(a, 10)));
+  EXPECT_FALSE(cache.contains(label_key(b, 10)));
+  EXPECT_TRUE(cache.contains(label_key(c, 10)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PlanCache, ByteBudgetEvictsButKeepsTheNewestPlan) {
+  const auto a = uniform_labels(400, 16, 6);
+  const auto b = uniform_labels(400, 16, 7);
+  const std::size_t a_bytes = SpinetreePlan(a, 16).memory_bytes();
+  const std::size_t b_bytes = SpinetreePlan(b, 16).memory_bytes();
+
+  PlanCache::Options options;
+  options.max_bytes = a_bytes + b_bytes - 1;  // either alone fits, both do not
+  PlanCache cache(options);
+  (void)cache.get_or_build(a, 16);
+  (void)cache.get_or_build(b, 16);
+  EXPECT_LE(cache.plan_bytes(), options.max_bytes);
+  EXPECT_TRUE(cache.contains(label_key(b, 16)));
+  EXPECT_FALSE(cache.contains(label_key(a, 16)));
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(PlanCache, OversizePlanIsReturnedButNeverCached) {
+  PlanCache::Options options;
+  options.max_bytes = 16;  // smaller than any real plan
+  PlanCache cache(options);
+  const auto labels = uniform_labels(200, 8, 8);
+  const auto plan = cache.get_or_build(labels, 8);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->n(), 200u);
+  EXPECT_FALSE(cache.contains(label_key(labels, 8)));
+  EXPECT_EQ(cache.stats().oversize_bypasses, 1u);
+  EXPECT_EQ(cache.plan_bytes(), 0u);
+}
+
+TEST(PlanCache, NoteReportsRecurrenceAndPlanPresence) {
+  PlanCache cache;
+  const auto labels = uniform_labels(100, 5, 9);
+  const LabelKey key = label_key(labels, 5);
+
+  const auto first = cache.note(key);
+  EXPECT_FALSE(first.seen_before);
+  EXPECT_FALSE(first.has_plan);
+
+  const auto second = cache.note(key);
+  EXPECT_TRUE(second.seen_before);
+  EXPECT_FALSE(second.has_plan);  // key-only sighting, no plan yet
+
+  (void)cache.get_or_build(labels, 5);
+  const auto third = cache.note(key);
+  EXPECT_TRUE(third.seen_before);
+  EXPECT_TRUE(third.has_plan);
+}
+
+// ---- workspace --------------------------------------------------------------
+
+TEST(Workspace, RoundTripReusesTheSameAllocation) {
+  Workspace ws;
+  auto v = ws.acquire<int>(100);
+  v.resize(100, 7);
+  const int* data = v.data();
+  ws.release(std::move(v));
+
+  auto w = ws.acquire<int>(50);
+  EXPECT_EQ(w.data(), data);  // same buffer came back
+  EXPECT_TRUE(w.empty());     // contents discarded
+  EXPECT_GE(w.capacity(), 100u);
+  const auto stats = ws.stats();
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_EQ(stats.reuses, 1u);
+  EXPECT_EQ(stats.releases, 1u);
+}
+
+TEST(Workspace, RetentionIsBoundedPerType) {
+  Workspace ws;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> v;
+    v.reserve(16);
+    ws.release(std::move(v));
+  }
+  EXPECT_EQ(ws.stats().releases, Workspace::kMaxPooledPerType);
+}
+
+TEST(Workspace, ExecutorsRoundTripTheirScratch) {
+  Workspace ws;
+  const auto labels = uniform_labels(800, 30, 10);
+  const auto values = random_values(800, 11);
+  const SpinetreePlan plan(labels, 30);
+  const auto truth = multireduce_serial<int>(values, labels, 30);
+
+  for (int round = 0; round < 3; ++round) {
+    SpinetreeExecutor<int, Plus> exec(plan, Plus{}, &ws);
+    std::vector<int> reduction(30);
+    exec.reduce(values, std::span<int>(reduction));
+    ASSERT_EQ(reduction, truth) << "round " << round;
+  }
+  const auto stats = ws.stats();
+  EXPECT_EQ(stats.acquires, 6u);  // 2 buffers x 3 executors
+  EXPECT_EQ(stats.reuses, 4u);    // all but the first executor's pair
+}
+
+// ---- kAuto resolution -------------------------------------------------------
+
+TEST(EngineResolve, ConcreteRequestsPassThrough) {
+  Engine engine;
+  for (const StrategyInfo& info : kStrategyInfo) {
+    if (info.id == Strategy::kAuto) continue;
+    EXPECT_EQ(engine.resolve(info.id, 0, 1), info.id);
+    EXPECT_EQ(engine.resolve(info.id, 1 << 20, 1 << 10), info.id);
+  }
+}
+
+TEST(EngineResolve, RegimeTable) {
+  ThreadPool pool(4);
+  Engine::Options options;
+  options.pool = &pool;
+  Engine engine(options);
+  const std::size_t serial_max = options.auto_serial_max_n;
+  const std::size_t parallel_min = options.auto_parallel_min_n;
+
+  // Empty and small inputs: serial (startup dominates — the n_1/2 effect).
+  EXPECT_EQ(engine.resolve(Strategy::kAuto, 0, 1), Strategy::kSerial);
+  EXPECT_EQ(engine.resolve(Strategy::kAuto, serial_max - 1, 16), Strategy::kSerial);
+
+  // Heavy load (m << n): the chunked two-level algorithm.
+  EXPECT_EQ(engine.resolve(Strategy::kAuto, serial_max, serial_max / 4), Strategy::kChunked);
+
+  // Light load at scale: the spinetree, threaded once n justifies it.
+  EXPECT_EQ(engine.resolve(Strategy::kAuto, parallel_min, parallel_min),
+            Strategy::kParallel);
+  EXPECT_EQ(engine.resolve(Strategy::kAuto, serial_max, serial_max), Strategy::kVectorized);
+
+  // A recurring label vector promotes to a plan-based strategy regardless of
+  // load (its plan is, or will be, cached).
+  EXPECT_EQ(engine.resolve(Strategy::kAuto, serial_max, serial_max / 4,
+                           /*plan_available=*/true),
+            Strategy::kVectorized);
+  EXPECT_EQ(engine.resolve(Strategy::kAuto, parallel_min, parallel_min / 4,
+                           /*plan_available=*/true),
+            Strategy::kParallel);
+}
+
+TEST(EngineResolve, SingleThreadPoolNeverPicksThreadedStrategies) {
+  ThreadPool pool(1);
+  Engine::Options options;
+  options.pool = &pool;
+  Engine engine(options);
+  for (const std::size_t n : {std::size_t{1} << 14, std::size_t{1} << 20}) {
+    const Strategy cold = engine.resolve(Strategy::kAuto, n, n / 8);
+    EXPECT_FALSE(strategy_info(cold).needs_pool) << n;
+    const Strategy warm = engine.resolve(Strategy::kAuto, n, n / 8, /*plan_available=*/true);
+    EXPECT_FALSE(strategy_info(warm).needs_pool) << n;
+  }
+}
+
+TEST(EngineResolve, SecondSightOfALabelVectorPromotesToPlanBased) {
+  ThreadPool pool(3);
+  Engine::Options options;
+  options.pool = &pool;
+  options.auto_serial_max_n = 64;
+  options.auto_parallel_min_n = std::size_t{1} << 30;  // keep it single-thread
+  Engine engine(options);
+
+  const std::size_t n = 1200;
+  const std::size_t m = 30;  // heavy load: cold pick is kChunked
+  const auto labels = uniform_labels(n, m, 12);
+  const auto values = random_values(n, 13);
+  const auto truth = multireduce_serial<int>(values, labels, m);
+
+  ASSERT_EQ(engine.multireduce<int>(values, labels, m), truth);  // cold: chunked
+  ASSERT_EQ(engine.multireduce<int>(values, labels, m), truth);  // warm: vectorized
+  ASSERT_EQ(engine.multireduce<int>(values, labels, m), truth);  // cached plan
+
+  const auto counters = engine.counters();
+  EXPECT_EQ(counters.auto_picks[strategy_index(Strategy::kChunked)], 1u);
+  EXPECT_EQ(counters.auto_picks[strategy_index(Strategy::kVectorized)], 2u);
+  EXPECT_GT(engine.plan_cache().stats().hits, 0u);
+}
+
+// ---- counters ---------------------------------------------------------------
+
+TEST(EngineCounters, RunsSumToCallsAndResetClears) {
+  Engine engine;
+  const auto labels = uniform_labels(200, 10, 14);
+  const auto values = random_values(200, 15);
+  for (const Strategy s : {Strategy::kSerial, Strategy::kSortBased, Strategy::kAuto})
+    (void)engine.multireduce<int>(values, labels, 10, Plus{}, s);
+
+  auto counters = engine.counters();
+  EXPECT_EQ(counters.calls, 3u);
+  std::uint64_t run_sum = 0, pick_sum = 0;
+  for (std::size_t i = 0; i < kStrategyCount; ++i) {
+    run_sum += counters.runs[i];
+    pick_sum += counters.auto_picks[i];
+  }
+  EXPECT_EQ(run_sum, 3u);
+  EXPECT_EQ(pick_sum, 1u);  // exactly the kAuto call
+  EXPECT_GE(counters.runs[strategy_index(Strategy::kSerial)], 1u);
+
+  engine.reset_counters();
+  counters = engine.counters();
+  EXPECT_EQ(counters.calls, 0u);
+  for (std::size_t i = 0; i < kStrategyCount; ++i) {
+    EXPECT_EQ(counters.runs[i], 0u);
+    EXPECT_EQ(counters.auto_picks[i], 0u);
+  }
+}
+
+// ---- into-buffer entry points ----------------------------------------------
+
+TEST(EngineInto, EveryStrategyFillsCallerBuffersIdentically) {
+  Engine engine;
+  const std::size_t n = 700;
+  const std::size_t m = 50;
+  // Only the lower half of the buckets is referenced: the into contract
+  // still requires identity in the rest, whatever garbage was there.
+  const auto labels = uniform_labels(n, m / 2, 16);
+  const auto values = random_values(n, 17);
+  const auto truth = engine.multiprefix<int>(values, labels, m, Plus{}, Strategy::kSerial);
+
+  for (const StrategyInfo& info : kStrategyInfo) {
+    if (info.id == Strategy::kAuto) continue;
+    std::vector<int> prefix(n, -999), reduction(m, -999);
+    engine.multiprefix_into<int>(values, labels, std::span<int>(prefix),
+                                 std::span<int>(reduction), Plus{}, info.id);
+    ASSERT_EQ(prefix, truth.prefix) << info.name;
+    ASSERT_EQ(reduction, truth.reduction) << info.name;
+
+    std::vector<int> red(m, -999);
+    engine.multireduce_into<int>(values, labels, std::span<int>(red), Plus{}, info.id);
+    ASSERT_EQ(red, truth.reduction) << info.name;
+  }
+}
+
+TEST(EngineInto, RejectsMalformedInputsBeforeDispatch) {
+  Engine engine;
+  std::vector<label_t> labels = {0, 1, 5};  // 5 out of range for m = 3
+  const std::vector<int> values = {1, 2, 3};
+  std::vector<int> prefix(3), reduction(3);
+  try {
+    engine.multiprefix_into<int>(values, labels, std::span<int>(prefix),
+                                 std::span<int>(reduction));
+    FAIL() << "out-of-range label accepted";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidLabel);
+    EXPECT_EQ(e.index(), 2u);
+  }
+  EXPECT_EQ(engine.counters().calls, 0u);  // rejected before any run counted
+}
+
+// ---- engine-level plan sharing ---------------------------------------------
+
+TEST(EnginePlan, CacheOffBuildsAFreshPlanPerRequest) {
+  Engine::Options options;
+  options.use_plan_cache = false;
+  Engine engine(options);
+  const auto labels = uniform_labels(300, 12, 18);
+  const auto p1 = engine.plan(labels, 12);
+  const auto p2 = engine.plan(labels, 12);
+  EXPECT_NE(p1.get(), p2.get());
+  EXPECT_EQ(engine.plan_cache().size(), 0u);
+}
+
+TEST(EnginePlan, CacheOnSharesAcrossConsumers) {
+  Engine engine;
+  const auto labels = uniform_labels(300, 12, 19);
+  const auto p1 = engine.plan(labels, 12);
+  const auto p2 = engine.plan(labels, 12);
+  EXPECT_EQ(p1.get(), p2.get());
+}
+
+// ---- resilient integration --------------------------------------------------
+
+TEST(EngineResilient, AutoPreferenceResolvesBeforeTheChainIsWalked) {
+  const std::size_t n = 5000;
+  const std::size_t m = 100;
+  const auto labels = uniform_labels(n, m, 20);
+  const auto values = random_values(n, 21);
+  const auto truth = multiprefix_serial<int>(values, labels, m);
+
+  ResilientOptions options;
+  options.preferred = Strategy::kAuto;
+  FallbackCounters counters;
+  options.counters = &counters;
+  const auto outcome = resilient_multiprefix<int>(values, labels, m, Plus{}, options);
+  EXPECT_NE(outcome.used, Strategy::kAuto);  // a concrete stage produced it
+  EXPECT_EQ(outcome.result.prefix, truth.prefix);
+  EXPECT_EQ(outcome.result.reduction, truth.reduction);
+  EXPECT_EQ(outcome.fallbacks, 0u);
+
+  counters.attempts.fetch_add(1);
+  counters.reset();
+  EXPECT_EQ(counters.attempts.load(), 0u);
+  EXPECT_EQ(counters.successes.load(), 0u);
+}
+
+}  // namespace
+}  // namespace mp

@@ -243,7 +243,7 @@ TEST(Resilient, VerifyFailureDegradesToTheNextStage) {
   std::size_t fallbacks = 0;
   Strategy used = Strategy::kSerial;
   const auto result = detail::run_chain<MultiprefixResult<int>>(
-      options, faults, fallbacks, used,
+      options, options.preferred, faults, fallbacks, used,
       [&](Strategy stage) {
         auto r = multiprefix_serial<int>(p.values, p.labels, p.m);
         if (stage == Strategy::kVectorized) r.prefix[42] += 7;  // corrupt stage 1
