@@ -132,8 +132,8 @@ void paper_section(const mp::CliArgs& args) {
   mp::Engine engine;  // one engine: fixed plan-based strategies and kAuto share its cache
   double worst_ratio = 0.0;
   for (const auto& l : loads) {
-    const std::size_t load = l.load == 0 ? n : l.load;
-    const std::size_t lm = std::max<std::size_t>(1, n / load);
+    const std::size_t bucket_load = l.load == 0 ? n : l.load;
+    const std::size_t lm = std::max<std::size_t>(1, n / bucket_load);
     const auto llabels = lm == 1 ? mp::constant_labels(n) : mp::uniform_labels(n, lm, 9);
     std::vector<int> prefix(n), reduction(lm);
     auto time_strategy = [&](mp::Strategy s) {
@@ -170,6 +170,55 @@ void paper_section(const mp::CliArgs& args) {
   std::printf("\nmax auto/worst-fixed ratio: %.2f (<= 1 means kAuto never lost to the worst\n"
               "static pick at any load — the resolver bounds the downside)\n",
               worst_ratio);
+
+  // ---- 3. fork/join overhead: run_raw vs a std::function per fork ----------
+  //
+  // parallel_for used to construct a std::function per call; its capture set
+  // exceeds libstdc++'s 16-byte small-object buffer, so every fork paid a
+  // heap allocation — once per spinetree level in the parallel executor.
+  // It now publishes a (function pointer, context) pair into the pool's
+  // reusable job slot (ThreadPool::run_raw). Measure both per-fork costs on
+  // this pool and assert the raw path did not regress: it must be at least
+  // as fast as the per-fork std::function route.
+  {
+    mp::ThreadPool fork_pool(1);  // lanes run inline: isolates per-fork setup cost
+    constexpr std::size_t kForks = 200000;
+    std::size_t sink = 0;
+    std::vector<std::size_t> cells(8, 1);
+
+    const double raw_s = mp::bench::seconds_best_of(reps, [&] {
+      for (std::size_t it = 0; it < kForks; ++it) {
+        mp::parallel_for(fork_pool, 0, cells.size(), /*grain=*/0,
+                         [&](std::size_t i) { sink += cells[i]; });
+      }
+    });
+    const double fn_s = mp::bench::seconds_best_of(reps, [&] {
+      for (std::size_t it = 0; it < kForks; ++it) {
+        // The pre-PR shape: a fresh std::function whose captures spill to
+        // the heap, handed to the pool per fork.
+        const std::function<void(std::size_t)> job = [&sink, &cells, it](std::size_t) {
+          for (std::size_t i = 0; i < cells.size(); ++i) sink += cells[i] + (it & 0);
+        };
+        fork_pool.run(job);
+      }
+    });
+    benchmark::DoNotOptimize(sink);
+
+    const double raw_ns = raw_s / kForks * 1e9;
+    const double fn_ns = fn_s / kForks * 1e9;
+    const double fork_speedup = raw_ns > 0.0 ? fn_ns / raw_ns : 0.0;
+    const bool fork_ok = raw_ns <= fn_ns * 1.05;  // 5% measurement slack
+    std::printf("\n3. fork/join overhead per parallel_for call (1-lane pool)\n\n"
+                "   run_raw (reused job slot): %8.1f ns\n"
+                "   std::function per fork:    %8.1f ns\n"
+                "   speedup: %.2fx — assertion raw <= fn: %s\n",
+                raw_ns, fn_ns, fork_speedup, fork_ok ? "PASS" : "FAIL");
+
+    json.metric("forkjoin_raw_ns", raw_ns);
+    json.metric("forkjoin_fn_ns", fn_ns);
+    json.metric("forkjoin_speedup", fork_speedup);
+    json.metric("forkjoin_assert_pass", static_cast<std::int64_t>(fork_ok ? 1 : 0));
+  }
 
   json.metric("auto_worst_ratio_max", worst_ratio);
   json.write();

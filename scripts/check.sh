@@ -5,7 +5,9 @@
 #   scripts/check.sh --full        # the entire ctest suite under each sanitizer
 #   scripts/check.sh --full tsan   # one sanitizer only
 #   scripts/check.sh --bench       # also run the engine amortization smoke
-#                                  # bench (Release) and emit BENCH_engine.json
+#                                  # bench (Release, BENCH_engine.json) and the
+#                                  # SIMD kernel bench at the host's native ISA
+#                                  # (bench-simd preset, BENCH_simd.json)
 #
 # TSan is the pass that actually exercises the paper's CRCW-ARB claim: the
 # SPINETREE overwrite phase races by design (arbitrary winner), and the
@@ -30,8 +32,9 @@ if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(tsan asan ubsan); fi
 # (gtest suite names, as registered with ctest by gtest_discover_tests).
 QUICK_FILTER='FaultInjection|PoolReentrancy|PoolErrorReset|Resilient|FallbackChain'
 QUICK_FILTER+='|Status|ValidateLabels|ValidateInputs|FacadeValidation|MpError'
-QUICK_FILTER+='|AdversarialInputs|DifferentialFuzz|ThreadPool|ParallelFor'
+QUICK_FILTER+='|AdversarialInputs|DifferentialFuzz|PinnedLevelFuzz|ThreadPool|ParallelFor'
 QUICK_FILTER+='|Engine|PlanCache|Workspace|StrategyFacade'
+QUICK_FILTER+='|Simd'
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 for san in "${SANITIZERS[@]}"; do
@@ -57,5 +60,15 @@ if [[ "$BENCH" == 1 ]]; then
   echo "=== [bench-smoke] engine_amortization ==="
   ./build-bench/bench/engine_amortization --benchmark_filter=NONE \
     --n=262144 --reps=3 --json=BENCH_engine.json
+
+  # SIMD kernels: built with MP_ENABLE_NATIVE=ON so the dispatched tiers
+  # lower to the build host's widest ISA (what the speedup criteria assume).
+  echo "=== [bench-simd] configure + build ==="
+  cmake --preset bench-simd >/dev/null
+  cmake --build --preset bench-simd -j "$JOBS" --target simd_kernels \
+    -- --no-print-directory >/dev/null
+  echo "=== [bench-simd] simd_kernels ==="
+  ./build-bench-simd/bench/simd_kernels --benchmark_filter=NONE \
+    --n=1048576 --reps=3 --json=BENCH_simd.json
 fi
 echo "All sanitizer passes clean: ${SANITIZERS[*]} ($MODE)"

@@ -31,6 +31,7 @@
 #include "core/result.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/kernels.hpp"
 
 namespace mp {
 
@@ -57,12 +58,17 @@ void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t
   // chunk-major P × m matrix of local class totals.
   std::vector<T> local(chunks * m, id);
 
-  // Pass 1: local multiprefix per chunk.
+  // Pass 1: local multiprefix per chunk. Labels are range-checked once per
+  // chunk up front (one vectorized max sweep) so the bucket loop is
+  // branch-free.
   pool.run([&](std::size_t lane) {
     for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+      const std::size_t len = bounds[ch + 1] - bounds[ch];
+      if (len == 0) continue;
+      MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
+                 "label out of range");
       T* bucket = local.data() + ch * m;
       for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i) {
-        MP_REQUIRE(labels[i] < m, "label out of range");
         T& cell = bucket[labels[i]];
         prefix[i] = cell;
         cell = op(cell, values[i]);
@@ -72,16 +78,13 @@ void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t
 
   // Pass 2: exclusive scan across chunks for every label; the total becomes
   // the reduction. After this, local[ch*m + k] holds the op-sum of class k
-  // over all chunks *before* ch.
-  parallel_for(pool, 0, m, [&](std::size_t k) {
-    T acc = id;
-    for (std::size_t ch = 0; ch < chunks; ++ch) {
-      T& cell = local[ch * m + k];
-      const T next = op(acc, cell);
-      cell = acc;
-      acc = next;
-    }
-    reduction[k] = acc;
+  // over all chunks *before* ch. Adjacent labels are adjacent columns of the
+  // chunk-major matrix, so the kernel scans a register-width of labels per
+  // step with contiguous loads; each column's combine order is untouched
+  // (bit-identical for floats too).
+  parallel_for_blocked(pool, 0, m, /*grain=*/256, [&](std::size_t k0, std::size_t k1) {
+    simd::column_exclusive_scan<T, Op>(local.data(), chunks, m, k0, k1,
+                                       reduction.data(), op);
   });
 
   // Pass 3: combine the chunk offset on the left of each local prefix.
@@ -126,18 +129,18 @@ void multireduce_chunked_into(std::span<const T> values, std::span<const label_t
 
   pool.run([&](std::size_t lane) {
     for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+      const std::size_t len = bounds[ch + 1] - bounds[ch];
+      if (len == 0) continue;
+      MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
+                 "label out of range");
       T* bucket = local.data() + ch * m;
-      for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i) {
-        MP_REQUIRE(labels[i] < m, "label out of range");
+      for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i)
         bucket[labels[i]] = op(bucket[labels[i]], values[i]);
-      }
     }
   });
 
-  parallel_for(pool, 0, m, [&](std::size_t k) {
-    T acc = id;
-    for (std::size_t ch = 0; ch < chunks; ++ch) acc = op(acc, local[ch * m + k]);
-    reduction[k] = acc;
+  parallel_for_blocked(pool, 0, m, /*grain=*/256, [&](std::size_t k0, std::size_t k1) {
+    simd::column_reduce<T, Op>(local.data(), chunks, m, k0, k1, reduction.data(), op);
   });
 }
 

@@ -4,7 +4,12 @@ namespace mp {
 
 Engine::Engine() : Engine(Options{}) {}
 
-Engine::Engine(const Options& options) : options_(options), plan_cache_(options.cache) {}
+Engine::Engine(const Options& options) : options_(options), plan_cache_(options.cache) {
+  // The kernel tier is process-wide state (the kernels are shared by every
+  // strategy and every engine); an engine constructed with an explicit tier
+  // pins it for all subsequent dispatches.
+  if (options_.simd_level) simd::set_active_level(*options_.simd_level);
+}
 
 Engine& Engine::global() {
   static Engine engine;

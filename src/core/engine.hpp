@@ -55,6 +55,8 @@
 #include "core/strategy.hpp"
 #include "core/workspace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
 
 namespace mp {
 
@@ -89,6 +91,14 @@ class Engine {
     /// kAuto: minimum n before the phase-parallel schedule pays for its
     /// fork/join; below it single-thread vectorized is preferred.
     std::size_t auto_parallel_min_n = std::size_t{1} << 16;
+    /// SIMD kernel tier for every strategy this engine dispatches (the
+    /// kernels themselves live in simd/kernels.hpp and are shared by all
+    /// strategies, so there is no separate "simd strategy" to pick — kAuto
+    /// and the fallback chain inherit the tier for free). Unset means keep
+    /// the process default: MP_SIMD_LEVEL env if set, else the detected
+    /// widest profitable tier. Constructing an engine with a set level
+    /// applies it process-wide (simd::set_active_level).
+    std::optional<simd::SimdLevel> simd_level;
   };
 
   /// Copyable snapshot of the dispatch counters. `runs` and `auto_picks`
@@ -113,6 +123,9 @@ class Engine {
   static Workspace& thread_workspace();
 
   const Options& options() const { return options_; }
+  /// The SIMD tier kernels will dispatch on for calls made now (the
+  /// process-wide active level; see Options::simd_level).
+  simd::SimdLevel simd_level() const { return simd::active_level(); }
   ThreadPool& pool() const;
   /// The scratch pool executors should borrow from — the calling thread's
   /// workspace, or null when the workspace ablation is off.
@@ -208,14 +221,14 @@ void run_serial_mp(Engine&, std::span<const T> values, std::span<const label_t> 
                    std::span<T> prefix, std::span<T> reduction, Op op) {
   // The Figure 2 sweep clears only referenced buckets; the into contract
   // promises identity in the rest.
-  std::fill(reduction.begin(), reduction.end(), op.template identity<T>());
+  simd::fill(reduction, op.template identity<T>());
   multiprefix_serial_into<T, Op>(values, labels, prefix, reduction, op);
 }
 
 template <class T, class Op>
 void run_serial_mr(Engine&, std::span<const T> values, std::span<const label_t> labels,
                    std::span<T> reduction, Op op) {
-  std::fill(reduction.begin(), reduction.end(), op.template identity<T>());
+  simd::fill(reduction, op.template identity<T>());
   multireduce_serial_into<T, Op>(values, labels, reduction, op);
 }
 

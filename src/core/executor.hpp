@@ -40,6 +40,7 @@
 #include "core/result.hpp"
 #include "core/spinetree_plan.hpp"
 #include "core/workspace.hpp"
+#include "simd/kernels.hpp"
 #include "vm/tracer.hpp"
 
 namespace mp {
@@ -160,9 +161,13 @@ class SpinetreeExecutor {
       }
     };
 
-    // Initialization: clear all temporaries (one parallel step, Figure 3).
-    rowsum_.assign(m + n, id);
-    spinesum_.assign(m + n, id);
+    // Initialization: clear all temporaries (one parallel step, Figure 3) —
+    // a SIMD broadcast-store sweep (workspace-acquired scratch arrives with
+    // capacity only, so size first).
+    rowsum_.resize(m + n);
+    spinesum_.resize(m + n);
+    simd::fill(std::span<T>(rowsum_), id);
+    simd::fill(std::span<T>(spinesum_), id);
     if (tracer) tracer->record(vm::OpKind::kFill, 2 * (m + n));
     lap(&PhaseSeconds::init);
 
@@ -223,7 +228,8 @@ class SpinetreeExecutor {
     // row) — vector order preserved. It must precede MULTISUMS, which
     // consumes the spinesum values.
     if (!reduction.empty()) {
-      for (std::size_t b = 0; b < m; ++b) reduction[b] = op_(spinesum_[b], rowsum_[b]);
+      simd::combine(std::span<const T>(spinesum_.data(), m),
+                    std::span<const T>(rowsum_.data(), m), reduction.first(m), op_);
       if (tracer) tracer->record(vm::OpKind::kElementwise, m);
     }
     lap(&PhaseSeconds::reduction);

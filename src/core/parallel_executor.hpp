@@ -29,6 +29,7 @@
 #include "core/workspace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/kernels.hpp"
 
 namespace mp {
 
@@ -98,9 +99,9 @@ class ParallelSpinetreeExecutor {
     rowsum_.resize(m + n);
     spinesum_.resize(m + n);
 
-    parallel_for(*pool_, 0, m + n, grain_, [&](std::size_t i) {
-      rowsum_[i] = id;
-      spinesum_[i] = id;
+    parallel_for_blocked(*pool_, 0, m + n, grain_, [&](std::size_t lo, std::size_t hi) {
+      simd::fill(std::span<T>(rowsum_.data() + lo, hi - lo), id);
+      simd::fill(std::span<T>(spinesum_.data() + lo, hi - lo), id);
     });
 
     // ROWSUMS: pardo over each column; parents within a column are distinct.
@@ -122,8 +123,11 @@ class ParallelSpinetreeExecutor {
     }
 
     if (!reduction.empty()) {
-      parallel_for(*pool_, 0, m, grain_,
-                   [&](std::size_t b) { reduction[b] = op_(spinesum_[b], rowsum_[b]); });
+      parallel_for_blocked(*pool_, 0, m, grain_, [&](std::size_t lo, std::size_t hi) {
+        simd::combine(std::span<const T>(spinesum_.data() + lo, hi - lo),
+                      std::span<const T>(rowsum_.data() + lo, hi - lo),
+                      reduction.subspan(lo, hi - lo), op_);
+      });
     }
 
     // MULTISUMS: pardo over each column.

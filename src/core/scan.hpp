@@ -9,6 +9,11 @@
 // in parallel. Both the serial recurrence and the partition method are
 // provided, plus the multiprefix-as-scan route used by tests to demonstrate
 // the degenerate-case equivalence.
+//
+// The `*_serial` recurrences are the scalar references; the dispatched
+// entry points (inclusive_scan / exclusive_scan, and the block loops of the
+// partition method) route through simd/kernels.hpp, whose scalar tier is the
+// same recurrence — forcing SimdLevel::kScalar reproduces them exactly.
 #pragma once
 
 #include <span>
@@ -18,6 +23,7 @@
 #include "core/ops.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/kernels.hpp"
 
 namespace mp {
 
@@ -46,6 +52,21 @@ T inclusive_scan_serial(std::span<T> data, Op op = {}) {
   return acc;
 }
 
+/// In-place exclusive scan, SIMD-dispatched (simd/kernels.hpp: in-register
+/// shift-and-combine tree + running carry). Returns the grand total.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+T exclusive_scan(std::span<T> data, Op op = {}) {
+  return simd::exclusive_scan<T, Op>(data, op);
+}
+
+/// In-place inclusive scan, SIMD-dispatched. Returns the grand total.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+T inclusive_scan(std::span<T> data, Op op = {}) {
+  return simd::inclusive_scan<T, Op>(data, op);
+}
+
 /// In-place exclusive scan by the partition method [HJ88] (§5.1.1):
 ///   1. partition into `blocks` near-equal blocks;
 ///   2. reduce each block (parallel);
@@ -67,20 +88,15 @@ T exclusive_scan_partition(std::span<T> data, ThreadPool& pool, Op op = {},
 
   std::vector<T> totals(blocks, id);
   parallel_for(pool, 0, blocks, /*grain=*/1, [&](std::size_t b) {
-    T acc = id;
-    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) acc = op(acc, data[i]);
-    totals[b] = acc;
+    totals[b] = simd::reduce<T, Op>(
+        std::span<const T>(data.data() + bounds[b], bounds[b + 1] - bounds[b]), op);
   });
 
   const T grand_total = exclusive_scan_serial<T, Op>(totals, op);
 
   parallel_for(pool, 0, blocks, /*grain=*/1, [&](std::size_t b) {
-    T acc = totals[b];
-    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
-      const T next = op(acc, data[i]);
-      data[i] = acc;
-      acc = next;
-    }
+    simd::exclusive_scan_seeded<T, Op>(
+        std::span<T>(data.data() + bounds[b], bounds[b + 1] - bounds[b]), totals[b], op);
   });
   return grand_total;
 }

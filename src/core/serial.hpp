@@ -16,6 +16,7 @@
 #include "common/labels.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
+#include "simd/kernels.hpp"
 
 namespace mp {
 
@@ -30,11 +31,12 @@ void multiprefix_serial_into(std::span<const T> values, std::span<const label_t>
   const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
 
-  // Initialization (Figure 2): clear only the buckets referenced by labels.
-  for (const label_t l : labels) {
-    MP_REQUIRE(l < m, "label out of range");
-    reduction[l] = id;
-  }
+  // One vectorized range check up front (the engine facade has already
+  // validated labels; this guards direct callers), then the Figure 2
+  // initialization — clear only the buckets referenced by labels — runs
+  // branch-free.
+  if (!labels.empty()) MP_REQUIRE(simd::max_label(labels) < m, "label out of range");
+  for (const label_t l : labels) reduction[l] = id;
   // Main sweep: save the running bucket value, then fold in the element.
   for (std::size_t i = 0; i < values.size(); ++i) {
     T& bucket = reduction[labels[i]];
@@ -63,10 +65,8 @@ void multireduce_serial_into(std::span<const T> values, std::span<const label_t>
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
   const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
-  for (const label_t l : labels) {
-    MP_REQUIRE(l < m, "label out of range");
-    reduction[l] = id;
-  }
+  if (!labels.empty()) MP_REQUIRE(simd::max_label(labels) < m, "label out of range");
+  for (const label_t l : labels) reduction[l] = id;
   for (std::size_t i = 0; i < values.size(); ++i) {
     T& bucket = reduction[labels[i]];
     bucket = op(bucket, values[i]);

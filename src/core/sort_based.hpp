@@ -21,6 +21,7 @@
 #include "common/labels.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
+#include "simd/kernels.hpp"
 
 namespace mp {
 
@@ -34,18 +35,19 @@ struct LabelSortResult {
 
 inline LabelSortResult sort_by_label(std::span<const label_t> labels, std::size_t m) {
   const std::size_t n = labels.size();
+  // One up-front range check instead of a branch per scattered element — the
+  // engine facade (core/validate.hpp) has already validated labels on every
+  // Engine path, so this re-check is a single vectorized sweep, and the
+  // histogram/scatter loops below run branch-free.
+  if (n != 0) MP_REQUIRE(simd::max_label(labels) < m, "label out of range");
   LabelSortResult out;
   out.offsets.assign(m + 1, 0);
-  for (const label_t l : labels) {
-    MP_REQUIRE(l < m, "label out of range");
-    ++out.offsets[l + 1];
-  }
-  for (std::size_t k = 0; k < m; ++k) out.offsets[k + 1] += out.offsets[k];
+  simd::histogram(labels, out.offsets.data() + 1, m);
+  simd::inclusive_scan(std::span<std::uint32_t>(out.offsets.data() + 1, m));
 
   std::vector<std::uint32_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
   out.order.resize(n);
-  for (std::size_t i = 0; i < n; ++i)
-    out.order[cursor[labels[i]]++] = static_cast<std::uint32_t>(i);
+  simd::rank_scatter(labels, cursor.data(), out.order.data());
   return out;
 }
 

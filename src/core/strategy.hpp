@@ -12,6 +12,16 @@
 // kAuto is a request, not an implementation: the engine resolves it to a
 // concrete strategy from (n, m, load factor, pool availability, plan-cache
 // state) before dispatch — see Engine::resolve for the regime table.
+//
+// The SIMD kernel tier (simd/dispatch.hpp) is the *other* axis of dispatch,
+// deliberately not a strategy: every row of this table routes its inner
+// loops through the per-kernel function-pointer tables in simd/kernels.hpp,
+// which select lane width by simd::active_level(). So kAuto resolution, the
+// fallback chains and every direct strategy request all pick up the widest
+// profitable kernels with zero call-site changes — degrading the strategy
+// (e.g. kParallel → kVectorized → kSerial on pool failure) never forfeits
+// vectorization, and pinning SimdLevel::kScalar recovers the exact pre-SIMD
+// scalar recurrences on any strategy.
 #pragma once
 
 #include <array>

@@ -8,6 +8,12 @@
 //
 // parallel_for_strided handles the paper's column sweeps, where the elements
 // of a column are separated by the row length.
+//
+// All variants fork through ThreadPool::run_raw with the loop body kept on
+// the caller's stack and a captureless trampoline in the pool's reusable job
+// slot — no std::function, no heap allocation per fork. The parallel
+// executor forks once per spinetree level, so this overhead used to be paid
+// L times per multiprefix (bench/engine_amortization.cpp tracks it).
 #pragma once
 
 #include <algorithm>
@@ -34,13 +40,50 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, std::siz
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
-  const std::size_t chunk = (count + lanes - 1) / lanes;
-  pool.run([&](std::size_t lane) {
-    const std::size_t lo = begin + lane * chunk;
-    if (lo >= end) return;
-    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
-    for (std::size_t i = lo; i < hi; ++i) body(i);
-  });
+  struct Ctx {
+    std::size_t begin, end, chunk;
+    Body* body;
+  };
+  Ctx ctx{begin, end, (count + lanes - 1) / lanes, &body};
+  pool.run_raw(
+      [](void* p, std::size_t lane) {
+        const Ctx& c = *static_cast<const Ctx*>(p);
+        const std::size_t lo = c.begin + lane * c.chunk;
+        if (lo >= c.end) return;
+        const std::size_t hi = lo + c.chunk < c.end ? lo + c.chunk : c.end;
+        for (std::size_t i = lo; i < hi; ++i) (*c.body)(i);
+      },
+      &ctx);
+}
+
+/// Like parallel_for, but hands each lane its whole contiguous subrange as
+/// body(lo, hi) — the shape SIMD kernels want (one kernel call per lane
+/// instead of one lambda call per element).
+template <class Body>
+void parallel_for_blocked(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t grain, Body&& body) {
+  MP_ASSERT(begin <= end);
+  const std::size_t count = end - begin;
+  if (count == 0) return;
+  const std::size_t lanes = pool.num_threads();
+  if (lanes == 1 || count <= grain) {
+    body(begin, end);
+    return;
+  }
+  struct Ctx {
+    std::size_t begin, end, chunk;
+    Body* body;
+  };
+  Ctx ctx{begin, end, (count + lanes - 1) / lanes, &body};
+  pool.run_raw(
+      [](void* p, std::size_t lane) {
+        const Ctx& c = *static_cast<const Ctx*>(p);
+        const std::size_t lo = c.begin + lane * c.chunk;
+        if (lo >= c.end) return;
+        const std::size_t hi = lo + c.chunk < c.end ? lo + c.chunk : c.end;
+        (*c.body)(lo, hi);
+      },
+      &ctx);
 }
 
 template <class Body>
@@ -61,13 +104,20 @@ void parallel_for_strided(ThreadPool& pool, std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; i += stride) body(i);
     return;
   }
-  const std::size_t chunk = (count + lanes - 1) / lanes;
-  pool.run([&](std::size_t lane) {
-    const std::size_t first = lane * chunk;
-    if (first >= count) return;
-    const std::size_t last = first + chunk < count ? first + chunk : count;
-    for (std::size_t k = first; k < last; ++k) body(begin + k * stride);
-  });
+  struct Ctx {
+    std::size_t begin, stride, count, chunk;
+    Body* body;
+  };
+  Ctx ctx{begin, stride, count, (count + lanes - 1) / lanes, &body};
+  pool.run_raw(
+      [](void* p, std::size_t lane) {
+        const Ctx& c = *static_cast<const Ctx*>(p);
+        const std::size_t first = lane * c.chunk;
+        if (first >= c.count) return;
+        const std::size_t last = first + c.chunk < c.count ? first + c.chunk : c.count;
+        for (std::size_t k = first; k < last; ++k) (*c.body)(c.begin + k * c.stride);
+      },
+      &ctx);
 }
 
 /// Splits [0, n) into `parts` near-equal contiguous ranges; returns the

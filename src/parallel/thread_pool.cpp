@@ -49,13 +49,23 @@ void ThreadPool::set_fault_injector(FaultInjector* injector) {
   run_index_ = 0;
 }
 
-void ThreadPool::invoke(const std::function<void(std::size_t)>& fn, std::size_t run_index,
-                        std::size_t lane) {
+void ThreadPool::invoke(RawFn fn, void* ctx, std::size_t run_index, std::size_t lane) {
   if (injector_ != nullptr) injector_->on_lane(run_index, lane);
-  fn(lane);
+  fn(ctx, lane);
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  // Convenience wrapper: the std::function stays on the caller's stack and is
+  // reached through the context pointer — run() itself adds no allocation on
+  // top of whatever the caller's std::function construction cost.
+  run_raw(
+      [](void* ctx, std::size_t lane) {
+        (*static_cast<const std::function<void(std::size_t)>*>(ctx))(lane);
+      },
+      const_cast<std::function<void(std::size_t)>*>(&fn));
+}
+
+void ThreadPool::run_raw(RawFn fn, void* ctx) {
   if (in_lane())
     throw MpError(ErrorCode::kPoolFailure,
                   "reentrant ThreadPool::run(): called from inside a lane of the same pool "
@@ -63,12 +73,13 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   const std::size_t run_index = run_index_++;
   if (lanes_ == 1) {  // no workers: degenerate synchronous execution
     LaneScope scope(this);
-    invoke(fn, run_index, 0);
+    invoke(fn, ctx, run_index, 0);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
+    job_ = fn;
+    job_ctx_ = ctx;
     remaining_ = lanes_ - 1;
     first_error_ = nullptr;
     ++epoch_;
@@ -78,7 +89,7 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   std::exception_ptr caller_error;
   try {
     LaneScope scope(this);
-    invoke(fn, run_index, 0);  // lane 0 runs on the caller
+    invoke(fn, ctx, run_index, 0);  // lane 0 runs on the caller
   } catch (...) {
     caller_error = std::current_exception();
   }
@@ -86,6 +97,7 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
+  job_ctx_ = nullptr;
   // Consume the captured error before rethrowing so a throwing job leaves no
   // state behind: the next run() starts from a clean slate either way.
   std::exception_ptr lane_error = first_error_;
@@ -99,7 +111,8 @@ void ThreadPool::worker_loop(std::size_t lane) {
   LaneScope scope(this);
   std::uint64_t seen_epoch = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* job = nullptr;
+    RawFn job = nullptr;
+    void* ctx = nullptr;
     std::size_t run_index = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -107,10 +120,11 @@ void ThreadPool::worker_loop(std::size_t lane) {
       if (shutdown_) return;
       seen_epoch = epoch_;
       job = job_;
-      run_index = run_index_ - 1;  // run() bumped it before publishing the job
+      ctx = job_ctx_;
+      run_index = run_index_ - 1;  // run_raw() bumped it before publishing
     }
     try {
-      invoke(*job, run_index, lane);
+      invoke(job, ctx, run_index, lane);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();

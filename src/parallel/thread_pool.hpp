@@ -53,6 +53,18 @@ class ThreadPool {
   /// this pool throws MpError(kPoolFailure) — the nested job would deadlock.
   void run(const std::function<void(std::size_t)>& fn);
 
+  /// The non-allocating fork/join primitive underneath run(): publishes a
+  /// plain (function pointer, context) pair to the per-pool job slot instead
+  /// of materializing a std::function. A capturing parallel_for lambda
+  /// exceeds libstdc++'s 16-byte small-object buffer, so the std::function
+  /// route heap-allocates on *every* fork — measurable when the parallel
+  /// executor forks once per spinetree level. parallel_for.hpp builds on
+  /// this: the caller keeps the real body on its stack and passes a
+  /// captureless trampoline. Same blocking, exception and reentrancy
+  /// semantics as run().
+  using RawFn = void (*)(void* ctx, std::size_t lane);
+  void run_raw(RawFn fn, void* ctx);
+
   /// True when the current thread is executing inside a lane of this pool
   /// (the condition under which run() would be reentrant).
   bool in_lane() const;
@@ -68,8 +80,7 @@ class ThreadPool {
 
  private:
   void worker_loop(std::size_t lane);
-  void invoke(const std::function<void(std::size_t)>& fn, std::size_t run_index,
-              std::size_t lane);
+  void invoke(RawFn fn, void* ctx, std::size_t run_index, std::size_t lane);
 
   std::size_t lanes_;
   std::vector<std::thread> workers_;
@@ -77,7 +88,9 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  // The per-pool job slot, reused across forks (no per-run allocation).
+  RawFn job_ = nullptr;
+  void* job_ctx_ = nullptr;
   std::uint64_t epoch_ = 0;       // incremented per run(); wakes workers
   std::size_t remaining_ = 0;     // workers still running the current job
   bool shutdown_ = false;

@@ -1,0 +1,84 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "simd/vec.hpp"
+
+namespace mp::simd {
+
+namespace {
+
+// Programmatic override; -1 = unset, else the SimdLevel value.
+std::atomic<int> g_override{-1};
+
+SimdLevel env_or_detected() {
+  static const SimdLevel level = [] {
+    if (const char* env = std::getenv("MP_SIMD_LEVEL")) {
+      if (const auto parsed = parse_simd_level(env)) return *parsed;
+    }
+    return detected_level();
+  }();
+  return level;
+}
+
+}  // namespace
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::k128: return "128";
+    case SimdLevel::k256: return "256";
+    case SimdLevel::k512: return "512";
+  }
+  return "unknown";
+}
+
+std::optional<SimdLevel> parse_simd_level(std::string_view name) {
+  if (name == "scalar" || name == "none") return SimdLevel::kScalar;
+  if (name == "128" || name == "sse2" || name == "sse") return SimdLevel::k128;
+  if (name == "256" || name == "avx2") return SimdLevel::k256;
+  if (name == "512" || name == "avx512") return SimdLevel::k512;
+  return std::nullopt;
+}
+
+SimdLevel detected_level() {
+  static const SimdLevel level = [] {
+    if constexpr (!kHasVectorExt) return SimdLevel::kScalar;
+#if defined(__x86_64__) || defined(__i386__)
+    SimdLevel best = SimdLevel::k128;  // SSE2 is the x86-64 baseline
+#if defined(__AVX2__)
+    if (__builtin_cpu_supports("avx2")) best = SimdLevel::k256;
+#endif
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+    if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw"))
+      best = SimdLevel::k512;
+#endif
+    return best;
+#else
+    // Non-x86 with vector extensions (e.g. AArch64 NEON): 128-bit lanes are
+    // the universally profitable tier; wider needs target-specific tuning.
+    return SimdLevel::k128;
+#endif
+  }();
+  return level;
+}
+
+SimdLevel active_level() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  return env_or_detected();
+}
+
+void set_active_level(std::optional<SimdLevel> level) {
+  g_override.store(level ? static_cast<int>(*level) : -1, std::memory_order_relaxed);
+}
+
+ScopedSimdLevel::ScopedSimdLevel(SimdLevel level)
+    : previous_(g_override.exchange(static_cast<int>(level), std::memory_order_relaxed)) {}
+
+ScopedSimdLevel::~ScopedSimdLevel() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace mp::simd

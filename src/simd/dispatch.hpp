@@ -1,0 +1,73 @@
+// Runtime selection of the SIMD kernel tier.
+//
+// Every kernel in simd/kernels.hpp is compiled at four lane widths — scalar,
+// 128-bit, 256-bit and 512-bit — and dispatched through a function-pointer
+// table indexed by `SimdLevel`. The default level is resolved once per
+// process, cpuid-style:
+//
+//   detected_level()  widest tier that is both compiled for (the target ISA
+//                     macros __AVX2__/__AVX512F__; see MP_ENABLE_NATIVE) and
+//                     supported by the running CPU (__builtin_cpu_supports).
+//                     Capped at 128-bit in portable builds: wider generic
+//                     vectors are legal there but lower to split SSE2 ops,
+//                     whose cross-lane shuffles are not worth it.
+//   MP_SIMD_LEVEL     environment override, read once: "scalar", "128"/
+//                     "sse2", "256"/"avx2", "512"/"avx512" ("auto" = unset).
+//   set_active_level  programmatic override (Engine option, tests). The
+//                     ScopedSimdLevel guard is what the differential tests
+//                     use to pin each tier in turn.
+//
+// Precedence: set_active_level > MP_SIMD_LEVEL > detected_level. Forcing a
+// tier above detected_level() is functionally safe — the portable lowering
+// executes on any CPU the binary targets — it only forgoes the performance
+// reasoning above. That is what makes "fuzz every level on every host"
+// possible.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace mp::simd {
+
+enum class SimdLevel : unsigned char {
+  kScalar = 0,  // plain scalar loops (the pre-SIMD reference path)
+  k128 = 1,     // 16-byte lanes (SSE2 / NEON class)
+  k256 = 2,     // 32-byte lanes (AVX2 class)
+  k512 = 3,     // 64-byte lanes (AVX-512 class)
+};
+
+inline constexpr std::size_t kSimdLevelCount = 4;
+
+constexpr std::size_t level_index(SimdLevel l) { return static_cast<std::size_t>(l); }
+
+const char* to_string(SimdLevel level);
+
+/// Parses "scalar", "128"/"sse2", "256"/"avx2", "512"/"avx512"; nullopt for
+/// anything else (including "auto", which means "no override").
+std::optional<SimdLevel> parse_simd_level(std::string_view name);
+
+/// Widest tier profitable on this (build target, running CPU) pair.
+SimdLevel detected_level();
+
+/// The tier kernels dispatch on by default: the programmatic override if
+/// set, else the MP_SIMD_LEVEL environment override, else detected_level().
+SimdLevel active_level();
+
+/// Sets (or with nullopt clears) the process-wide programmatic override.
+void set_active_level(std::optional<SimdLevel> level);
+
+/// RAII pin of the active level — test/bench helper. Not safe against
+/// concurrent scopes on different threads (the override is process-wide).
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level);
+  ~ScopedSimdLevel();
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  int previous_;  // encoded prior override (-1 = none)
+};
+
+}  // namespace mp::simd

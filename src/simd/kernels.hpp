@@ -1,0 +1,477 @@
+// SIMD kernels for the multiprefix hot loops, dispatched by SimdLevel.
+//
+// Each kernel is compiled at the four tiers of simd/dispatch.hpp (scalar and
+// 128/256/512-bit lanes) and selected through a per-kernel function-pointer
+// table. The scalar entries are byte-for-byte the reference recurrences the
+// rest of the library was built on, so forcing SimdLevel::kScalar reproduces
+// the pre-SIMD behaviour exactly; the vector entries are the
+// Zhang–Wang–Ross-style kernels (arXiv 2312.14874) mapped onto the paper's
+// Y-MP pipeline model:
+//
+//   inclusive/exclusive scan  in-register shift-and-combine tree (log2 W
+//                             steps) per block, plus a running broadcast
+//                             carry — §3 of Zhang et al. Associativity alone
+//                             justifies the tree: the shifted operand always
+//                             combines on the left of the later elements, so
+//                             non-commutative operators are preserved (the
+//                             combine is reassociated, which matters only
+//                             for floating-point rounding).
+//   reduce                    order-preserving pairwise fold: adjacent lanes
+//                             combine (even, odd) per step, so the operand
+//                             order of every op() call respects vector order.
+//   histogram                 conflict-free sub-histograms: four interleaved
+//                             count tables break the store-to-load forwarding
+//                             chains that serialize repeated labels (the
+//                             counting-sort inner loop of core/sort_based.hpp
+//                             and §5.1.1's NAS IS kernel).
+//   rank_scatter              the counting-sort cursor scatter. Inherently
+//                             sequential per class (each slot depends on the
+//                             cursor's exact running value), so every tier
+//                             runs the same branch-free loop — label
+//                             validation is hoisted to one up-front
+//                             max_label() sweep instead of a per-element
+//                             check.
+//   column scans              the chunked strategy's pass-2 recurrence,
+//                             batched across labels: adjacent labels occupy
+//                             adjacent columns of the chunk-major P × m
+//                             matrix, so W label columns scan in lockstep
+//                             with contiguous loads. No reassociation at all
+//                             — each column's combine order is unchanged —
+//                             hence bit-identical for every type, floats
+//                             included.
+//   fill / combine            the executors' identity-fill and reduction-
+//                             extraction sweeps (op(spinesum, rowsum)).
+//
+// Operators without a vector mapping (custom test operators, the logical
+// AND/OR over arbitrary T) degrade to the scalar entry at every tier via
+// kVectorizable — the dispatch table is total.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/labels.hpp"
+#include "core/ops.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/vec.hpp"
+
+namespace mp::simd {
+
+// ---- operator → vector-extension mapping -----------------------------------
+
+/// kVecOpOk<Op, T>: Op has a lane-wise vector implementation for element T.
+template <class Op, class T>
+inline constexpr bool kVecOpOk = false;
+template <class T>
+inline constexpr bool kVecOpOk<Plus, T> = true;
+template <class T>
+inline constexpr bool kVecOpOk<Times, T> = true;
+template <class T>
+inline constexpr bool kVecOpOk<Min, T> = true;
+template <class T>
+inline constexpr bool kVecOpOk<Max, T> = true;
+template <class T>
+inline constexpr bool kVecOpOk<BitAnd, T> = std::is_integral_v<T>;
+template <class T>
+inline constexpr bool kVecOpOk<BitOr, T> = std::is_integral_v<T>;
+
+/// A (T, Op) pair runs the vector tiers; everything else degrades to the
+/// scalar entry of every dispatch table.
+template <class Op, class T>
+inline constexpr bool kVectorizable =
+    kHasVectorExt && std::is_arithmetic_v<T> && !std::is_same_v<T, bool> && kVecOpOk<Op, T>;
+
+#if MP_SIMD_VECTOR_EXT
+/// Lane-wise op(a, b). The ternary-select forms mirror the scalar operators
+/// in core/ops.hpp exactly (including NaN behaviour for Min/Max: the scalar
+/// comparison decides, lane by lane).
+template <SimdElement T, std::size_t W>
+inline Vec<T, W> vapply(Plus, Vec<T, W> a, Vec<T, W> b) {
+  return Vec<T, W>{a.v + b.v};
+}
+template <SimdElement T, std::size_t W>
+inline Vec<T, W> vapply(Times, Vec<T, W> a, Vec<T, W> b) {
+  return Vec<T, W>{a.v * b.v};
+}
+template <SimdElement T, std::size_t W>
+inline Vec<T, W> vapply(Min, Vec<T, W> a, Vec<T, W> b) {
+  return Vec<T, W>{b.v < a.v ? b.v : a.v};
+}
+template <SimdElement T, std::size_t W>
+inline Vec<T, W> vapply(Max, Vec<T, W> a, Vec<T, W> b) {
+  return Vec<T, W>{a.v < b.v ? b.v : a.v};
+}
+template <SimdElement T, std::size_t W>
+inline Vec<T, W> vapply(BitAnd, Vec<T, W> a, Vec<T, W> b) {
+  return Vec<T, W>{a.v & b.v};
+}
+template <SimdElement T, std::size_t W>
+inline Vec<T, W> vapply(BitOr, Vec<T, W> a, Vec<T, W> b) {
+  return Vec<T, W>{a.v | b.v};
+}
+#endif  // MP_SIMD_VECTOR_EXT
+
+namespace detail {
+
+/// In-register inclusive scan: log2(W) shift-and-combine steps. After step
+/// s, lane i holds the combine of lanes [max(0, i - 2^s + 1), i] — the
+/// shifted (earlier) operand is always on the left.
+template <class Op, class T, std::size_t W>
+inline Vec<T, W> scan_within(Vec<T, W> x, Vec<T, W> idv, Op op) {
+  return [&]<std::size_t... Ss>(std::index_sequence<Ss...>) {
+    Vec<T, W> r = x;
+    ((r = vapply(op, shift_up<(std::size_t{1} << Ss)>(r, idv), r)), ...);
+    return r;
+  }(std::make_index_sequence<std::bit_width(W) - 1>{});
+}
+
+/// Order-preserving horizontal fold: adjacent lanes combine pairwise, so
+/// every op() sees its left operand earlier in vector order.
+template <class Op, class T, std::size_t W>
+inline T fold_adjacent(Vec<T, W> x, Op op) {
+  if constexpr (W == 2) {
+    return op(x.lane(0), x.lane(1));
+  } else {
+    return fold_adjacent(vapply(op, even_lanes(x), odd_lanes(x)), op);
+  }
+}
+
+/// Lane count of tier `bytes` for element T, floored at 2 for wide elements.
+template <class T>
+constexpr std::size_t lanes_of(std::size_t bytes) {
+  return bytes / sizeof(T) < 2 ? 2 : bytes / sizeof(T);
+}
+
+// ---- scan family ------------------------------------------------------------
+
+template <class T, class Op, std::size_t W>
+T inclusive_scan_impl(T* p, std::size_t n, Op op) {
+  const T id = op.template identity<T>();
+  T acc = id;
+  std::size_t i = 0;
+  if constexpr (W > 1 && kVectorizable<Op, T>) {
+    if (n >= 2 * W) {
+      using V = Vec<T, W>;
+      const V idv = V::broadcast(id);
+      V carry = idv;
+      for (; i + W <= n; i += W) {
+        V x = V::load(p + i);
+        x = vapply(op, carry, scan_within(x, idv, op));
+        x.store(p + i);
+        carry = V::broadcast(x.back());
+      }
+      acc = carry.lane(0);
+    }
+  }
+  for (; i < n; ++i) {
+    acc = op(acc, p[i]);
+    p[i] = acc;
+  }
+  return acc;
+}
+
+template <class T, class Op, std::size_t W>
+T exclusive_scan_seeded_impl(T* p, std::size_t n, T seed, Op op) {
+  T acc = seed;
+  std::size_t i = 0;
+  if constexpr (W > 1 && kVectorizable<Op, T>) {
+    if (n >= 2 * W) {
+      using V = Vec<T, W>;
+      const V idv = V::broadcast(op.template identity<T>());
+      for (; i + W <= n; i += W) {
+        const V y = scan_within(V::load(p + i), idv, op);  // inclusive within block
+        const V e = shift_up<1>(y, idv);                   // exclusive within block
+        vapply(op, V::broadcast(acc), e).store(p + i);
+        acc = op(acc, y.back());
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const T next = op(acc, p[i]);
+    p[i] = acc;
+    acc = next;
+  }
+  return acc;
+}
+
+template <class T, class Op, std::size_t W>
+T reduce_impl(const T* p, std::size_t n, Op op) {
+  T acc = op.template identity<T>();
+  std::size_t i = 0;
+  if constexpr (W > 1 && kVectorizable<Op, T>) {
+    for (; i + W <= n; i += W) acc = op(acc, fold_adjacent(Vec<T, W>::load(p + i), op));
+  }
+  for (; i < n; ++i) acc = op(acc, p[i]);
+  return acc;
+}
+
+// ---- elementwise sweeps -----------------------------------------------------
+
+template <class T, std::size_t W>
+void fill_impl(T* p, std::size_t n, T value) {
+  std::size_t i = 0;
+  if constexpr (W > 1 && kHasVectorExt && std::is_arithmetic_v<T> && !std::is_same_v<T, bool>) {
+    const auto v = Vec<T, W>::broadcast(value);
+    for (; i + W <= n; i += W) v.store(p + i);
+  }
+  for (; i < n; ++i) p[i] = value;
+}
+
+template <class T, class Op, std::size_t W>
+void combine_impl(const T* a, const T* b, T* dst, std::size_t n, Op op) {
+  std::size_t i = 0;
+  if constexpr (W > 1 && kVectorizable<Op, T>) {
+    for (; i + W <= n; i += W)
+      vapply(op, Vec<T, W>::load(a + i), Vec<T, W>::load(b + i)).store(dst + i);
+  }
+  for (; i < n; ++i) dst[i] = op(a[i], b[i]);
+}
+
+// ---- column scans (chunked pass 2, batched across labels) -------------------
+
+template <class T, class Op, std::size_t W>
+void column_exclusive_scan_impl(T* matrix, std::size_t rows, std::size_t stride,
+                                std::size_t col_begin, std::size_t col_end, T* reduction,
+                                Op op) {
+  const T id = op.template identity<T>();
+  std::size_t c = col_begin;
+  if constexpr (W > 1 && kVectorizable<Op, T>) {
+    using V = Vec<T, W>;
+    const V idv = V::broadcast(id);
+    for (; c + W <= col_end; c += W) {
+      V acc = idv;
+      for (std::size_t r = 0; r < rows; ++r) {
+        T* cell = matrix + r * stride + c;
+        const V x = V::load(cell);
+        acc.store(cell);
+        acc = vapply(op, acc, x);
+      }
+      acc.store(reduction + c);
+    }
+  }
+  for (; c < col_end; ++c) {
+    T acc = id;
+    for (std::size_t r = 0; r < rows; ++r) {
+      T& cell = matrix[r * stride + c];
+      const T next = op(acc, cell);
+      cell = acc;
+      acc = next;
+    }
+    reduction[c] = acc;
+  }
+}
+
+template <class T, class Op, std::size_t W>
+void column_reduce_impl(const T* matrix, std::size_t rows, std::size_t stride,
+                        std::size_t col_begin, std::size_t col_end, T* reduction, Op op) {
+  const T id = op.template identity<T>();
+  std::size_t c = col_begin;
+  if constexpr (W > 1 && kVectorizable<Op, T>) {
+    using V = Vec<T, W>;
+    const V idv = V::broadcast(id);
+    for (; c + W <= col_end; c += W) {
+      V acc = idv;
+      for (std::size_t r = 0; r < rows; ++r)
+        acc = vapply(op, acc, V::load(matrix + r * stride + c));
+      acc.store(reduction + c);
+    }
+  }
+  for (; c < col_end; ++c) {
+    T acc = id;
+    for (std::size_t r = 0; r < rows; ++r) acc = op(acc, matrix[r * stride + c]);
+    reduction[c] = acc;
+  }
+}
+
+// ---- histogram --------------------------------------------------------------
+
+inline void histogram_scalar(const label_t* labels, std::size_t n, std::uint32_t* counts,
+                             std::size_t) {
+  for (std::size_t i = 0; i < n; ++i) ++counts[labels[i]];
+}
+
+/// Four interleaved sub-histograms: consecutive elements hit distinct count
+/// tables, so a run of equal labels advances four independent dependency
+/// chains instead of one store-to-load-forwarding chain. Falls back to the
+/// plain loop when the sub-tables would cost more than they save.
+inline void histogram_ilp(const label_t* labels, std::size_t n, std::uint32_t* counts,
+                          std::size_t m) {
+  if (n < 4 * (m + 64)) {  // zeroing + merging 3m counters must amortize
+    histogram_scalar(labels, n, counts, m);
+    return;
+  }
+  std::vector<std::uint32_t> sub(3 * m, 0);
+  std::uint32_t* c1 = sub.data();
+  std::uint32_t* c2 = c1 + m;
+  std::uint32_t* c3 = c2 + m;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ++counts[labels[i]];
+    ++c1[labels[i + 1]];
+    ++c2[labels[i + 2]];
+    ++c3[labels[i + 3]];
+  }
+  for (; i < n; ++i) ++counts[labels[i]];
+  for (std::size_t k = 0; k < m; ++k) counts[k] += c1[k] + c2[k] + c3[k];
+}
+
+}  // namespace detail
+
+// ---- dispatched entry points ------------------------------------------------
+//
+// Each entry point owns one function-pointer table indexed by SimdLevel;
+// entry 0 is always the scalar reference. Callers default to the process
+// active_level() — pass a level only to pin a tier (tests, benches).
+
+/// In-place inclusive scan; returns the grand total.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+T inclusive_scan(std::span<T> data, Op op = {}, SimdLevel level = active_level()) {
+  using Fn = T (*)(T*, std::size_t, Op);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::inclusive_scan_impl<T, Op, 1>,
+      &detail::inclusive_scan_impl<T, Op, detail::lanes_of<T>(16)>,
+      &detail::inclusive_scan_impl<T, Op, detail::lanes_of<T>(32)>,
+      &detail::inclusive_scan_impl<T, Op, detail::lanes_of<T>(64)>,
+  };
+  return kTable[level_index(level)](data.data(), data.size(), op);
+}
+
+/// In-place exclusive scan seeded with `seed` (the partition method's block
+/// offset); returns the combine of seed and all elements.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+T exclusive_scan_seeded(std::span<T> data, T seed, Op op = {},
+                        SimdLevel level = active_level()) {
+  using Fn = T (*)(T*, std::size_t, T, Op);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::exclusive_scan_seeded_impl<T, Op, 1>,
+      &detail::exclusive_scan_seeded_impl<T, Op, detail::lanes_of<T>(16)>,
+      &detail::exclusive_scan_seeded_impl<T, Op, detail::lanes_of<T>(32)>,
+      &detail::exclusive_scan_seeded_impl<T, Op, detail::lanes_of<T>(64)>,
+  };
+  return kTable[level_index(level)](data.data(), data.size(), seed, op);
+}
+
+/// In-place exclusive scan from the identity; returns the grand total.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+T exclusive_scan(std::span<T> data, Op op = {}, SimdLevel level = active_level()) {
+  return exclusive_scan_seeded<T, Op>(data, op.template identity<T>(), op, level);
+}
+
+/// Order-preserving reduction of a contiguous range.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+T reduce(std::span<const T> data, Op op = {}, SimdLevel level = active_level()) {
+  using Fn = T (*)(const T*, std::size_t, Op);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::reduce_impl<T, Op, 1>,
+      &detail::reduce_impl<T, Op, detail::lanes_of<T>(16)>,
+      &detail::reduce_impl<T, Op, detail::lanes_of<T>(32)>,
+      &detail::reduce_impl<T, Op, detail::lanes_of<T>(64)>,
+  };
+  return kTable[level_index(level)](data.data(), data.size(), op);
+}
+
+/// data[i] = value — the executors' identity-fill sweep.
+template <class T>
+void fill(std::span<T> data, T value, SimdLevel level = active_level()) {
+  using Fn = void (*)(T*, std::size_t, T);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::fill_impl<T, 1>,
+      &detail::fill_impl<T, detail::lanes_of<T>(16)>,
+      &detail::fill_impl<T, detail::lanes_of<T>(32)>,
+      &detail::fill_impl<T, detail::lanes_of<T>(64)>,
+  };
+  kTable[level_index(level)](data.data(), data.size(), value);
+}
+
+/// dst[i] = op(a[i], b[i]) — the reduction-extraction sweep
+/// (op(spinesum, rowsum), vector order preserved lane-wise).
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+void combine(std::span<const T> a, std::span<const T> b, std::span<T> dst, Op op = {},
+             SimdLevel level = active_level()) {
+  using Fn = void (*)(const T*, const T*, T*, std::size_t, Op);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::combine_impl<T, Op, 1>,
+      &detail::combine_impl<T, Op, detail::lanes_of<T>(16)>,
+      &detail::combine_impl<T, Op, detail::lanes_of<T>(32)>,
+      &detail::combine_impl<T, Op, detail::lanes_of<T>(64)>,
+  };
+  kTable[level_index(level)](a.data(), b.data(), dst.data(), dst.size(), op);
+}
+
+/// Exclusive scan down each column c in [col_begin, col_end) of a row-major
+/// rows × stride matrix, writing each column's total to reduction[c]. The
+/// chunked strategy's pass-2 recurrence, batched W labels at a time.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+void column_exclusive_scan(T* matrix, std::size_t rows, std::size_t stride,
+                           std::size_t col_begin, std::size_t col_end, T* reduction,
+                           Op op = {}, SimdLevel level = active_level()) {
+  using Fn = void (*)(T*, std::size_t, std::size_t, std::size_t, std::size_t, T*, Op);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::column_exclusive_scan_impl<T, Op, 1>,
+      &detail::column_exclusive_scan_impl<T, Op, detail::lanes_of<T>(16)>,
+      &detail::column_exclusive_scan_impl<T, Op, detail::lanes_of<T>(32)>,
+      &detail::column_exclusive_scan_impl<T, Op, detail::lanes_of<T>(64)>,
+  };
+  kTable[level_index(level)](matrix, rows, stride, col_begin, col_end, reduction, op);
+}
+
+/// Column reductions only (the multireduce form of the above).
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+void column_reduce(const T* matrix, std::size_t rows, std::size_t stride,
+                   std::size_t col_begin, std::size_t col_end, T* reduction, Op op = {},
+                   SimdLevel level = active_level()) {
+  using Fn = void (*)(const T*, std::size_t, std::size_t, std::size_t, std::size_t, T*, Op);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::column_reduce_impl<T, Op, 1>,
+      &detail::column_reduce_impl<T, Op, detail::lanes_of<T>(16)>,
+      &detail::column_reduce_impl<T, Op, detail::lanes_of<T>(32)>,
+      &detail::column_reduce_impl<T, Op, detail::lanes_of<T>(64)>,
+  };
+  kTable[level_index(level)](matrix, rows, stride, col_begin, col_end, reduction, op);
+}
+
+/// counts[l] += #occurrences of l — the counting-sort histogram. Labels must
+/// be < m (validate first: max_label / validate_labels); counts has m slots.
+inline void histogram(std::span<const label_t> labels, std::uint32_t* counts, std::size_t m,
+                      SimdLevel level = active_level()) {
+  using Fn = void (*)(const label_t*, std::size_t, std::uint32_t*, std::size_t);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::histogram_scalar,
+      &detail::histogram_ilp,
+      &detail::histogram_ilp,
+      &detail::histogram_ilp,
+  };
+  kTable[level_index(level)](labels.data(), labels.size(), counts, m);
+}
+
+/// order[cursor[labels[i]]++] = i — the counting-sort cursor scatter,
+/// branch-free (labels pre-validated). Sequential per class by construction:
+/// each slot depends on the cursor's exact running value, so every tier runs
+/// this same loop; the SIMD win is the hoisted validation plus the
+/// vectorized histogram/scan that set `cursor` up.
+inline void rank_scatter(std::span<const label_t> labels, std::uint32_t* cursor,
+                         std::uint32_t* order) {
+  const std::size_t n = labels.size();
+  const label_t* l = labels.data();
+  for (std::size_t i = 0; i < n; ++i)
+    order[cursor[l[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+/// Maximum label of a non-empty vector — the one up-front range check that
+/// replaces per-element MP_REQUIREs in the sweep loops.
+inline label_t max_label(std::span<const label_t> labels, SimdLevel level = active_level()) {
+  return reduce<label_t, Max>(labels, Max{}, level);
+}
+
+}  // namespace mp::simd

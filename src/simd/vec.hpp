@@ -1,0 +1,179 @@
+// Portable fixed-width SIMD lane types — the modern stand-in for the paper's
+// Y-MP vector registers.
+//
+// `Vec<T, W>` wraps a GCC/Clang vector-extension type of W lanes of T. The
+// compiler lowers arithmetic on these types to the widest instructions the
+// *target ISA* allows: under the default build that is baseline SSE2 on
+// x86-64 (wider Vecs are split into several 128-bit operations — still a
+// large win over the scalar recurrences), and under -march=native
+// (MP_ENABLE_NATIVE=ON) real AVX2/AVX-512 code. Because the lowering is
+// always legal for the compile target, *every* lane width is functionally
+// safe to execute on every machine the binary runs on; runtime dispatch
+// (simd/dispatch.hpp) only chooses which width is profitable.
+//
+// On compilers without the vector extensions a scalar fallback `Vec` keeps
+// everything compiling; kernels then collapse to their scalar loops
+// (simd/kernels.hpp gates on `kHasVectorExt`).
+//
+// All loads/stores go through memcpy (unaligned-safe; compiles to plain
+// vector moves). Cross-lane data movement uses __builtin_shufflevector,
+// available in GCC >= 12 and Clang.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#if defined(__GNUC__) && defined(__has_builtin)
+#if __has_builtin(__builtin_shufflevector)
+#define MP_SIMD_VECTOR_EXT 1
+#endif
+#endif
+#ifndef MP_SIMD_VECTOR_EXT
+#define MP_SIMD_VECTOR_EXT 0
+#endif
+
+namespace mp::simd {
+
+inline constexpr bool kHasVectorExt = MP_SIMD_VECTOR_EXT != 0;
+
+/// Lane element types: the arithmetic types the paper's operators range over
+/// (INTEGER and FLOATING; BOOLEAN rides on the integer types).
+template <class T>
+concept SimdElement = std::is_arithmetic_v<T> && !std::is_same_v<T, bool>;
+
+#if MP_SIMD_VECTOR_EXT
+
+template <SimdElement T, std::size_t W>
+  requires(W >= 2 && (W & (W - 1)) == 0)
+struct Vec {
+  static constexpr std::size_t kLanes = W;
+  typedef T native __attribute__((vector_size(W * sizeof(T))));
+  native v;
+
+  static Vec load(const T* p) {
+    Vec r;
+    std::memcpy(&r.v, p, sizeof(r.v));
+    return r;
+  }
+  void store(T* p) const { std::memcpy(p, &v, sizeof(v)); }
+  /// All lanes = x (zero-vector plus scalar broadcasts in the extension).
+  static Vec broadcast(T x) { return Vec{native{} + x}; }
+  T lane(std::size_t i) const { return v[i]; }
+  T back() const { return v[W - 1]; }
+};
+
+namespace detail {
+
+template <std::size_t S, SimdElement T, std::size_t W, std::size_t... Is>
+inline typename Vec<T, W>::native shift_up_seq(typename Vec<T, W>::native v,
+                                               typename Vec<T, W>::native fill,
+                                               std::index_sequence<Is...>) {
+  // Result lane i takes `fill` for i < S, else lane i - S of v. Lane W is
+  // the first lane of the concatenated (v, fill) pair's second operand.
+  return __builtin_shufflevector(v, fill,
+                                 (Is < S ? static_cast<int>(W) : static_cast<int>(Is - S))...);
+}
+
+template <SimdElement T, std::size_t W, std::size_t... Is>
+inline auto even_lanes_seq(typename Vec<T, W>::native v, std::index_sequence<Is...>) {
+  return __builtin_shufflevector(v, v, static_cast<int>(2 * Is)...);
+}
+
+template <SimdElement T, std::size_t W, std::size_t... Is>
+inline auto odd_lanes_seq(typename Vec<T, W>::native v, std::index_sequence<Is...>) {
+  return __builtin_shufflevector(v, v, static_cast<int>(2 * Is + 1)...);
+}
+
+}  // namespace detail
+
+/// Lanes shifted toward higher indices by S; vacated low lanes take the
+/// corresponding lane of `fill` (the identity vector, for scan trees).
+template <std::size_t S, SimdElement T, std::size_t W>
+inline Vec<T, W> shift_up(Vec<T, W> x, Vec<T, W> fill) {
+  static_assert(S <= W);
+  if constexpr (S == 0) {
+    return x;
+  } else if constexpr (S == W) {
+    return fill;
+  } else {
+    return Vec<T, W>{
+        detail::shift_up_seq<S, T, W>(x.v, fill.v, std::make_index_sequence<W>{})};
+  }
+}
+
+/// Even/odd lane extraction (half-width results) — the order-preserving
+/// pairwise tree reduce is built from these: lane i of the combined result
+/// is op(v[2i], v[2i+1]), i.e. adjacent elements combine, so associativity
+/// alone (no commutativity) justifies the tree.
+template <SimdElement T, std::size_t W>
+  requires(W >= 4)
+inline Vec<T, W / 2> even_lanes(Vec<T, W> x) {
+  return Vec<T, W / 2>{detail::even_lanes_seq<T, W>(x.v, std::make_index_sequence<W / 2>{})};
+}
+
+template <SimdElement T, std::size_t W>
+  requires(W >= 4)
+inline Vec<T, W / 2> odd_lanes(Vec<T, W> x) {
+  return Vec<T, W / 2>{detail::odd_lanes_seq<T, W>(x.v, std::make_index_sequence<W / 2>{})};
+}
+
+#else  // !MP_SIMD_VECTOR_EXT — scalar stand-in so kernels still compile.
+
+template <SimdElement T, std::size_t W>
+  requires(W >= 2 && (W & (W - 1)) == 0)
+struct Vec {
+  static constexpr std::size_t kLanes = W;
+  T v[W];
+
+  static Vec load(const T* p) {
+    Vec r;
+    std::memcpy(r.v, p, sizeof(r.v));
+    return r;
+  }
+  void store(T* p) const { std::memcpy(p, v, sizeof(v)); }
+  static Vec broadcast(T x) {
+    Vec r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = x;
+    return r;
+  }
+  T lane(std::size_t i) const { return v[i]; }
+  T back() const { return v[W - 1]; }
+};
+
+template <std::size_t S, SimdElement T, std::size_t W>
+inline Vec<T, W> shift_up(Vec<T, W> x, Vec<T, W> fill) {
+  Vec<T, W> r;
+  for (std::size_t i = 0; i < W; ++i) r.v[i] = i < S ? fill.v[i] : x.v[i - S];
+  return r;
+}
+
+template <SimdElement T, std::size_t W>
+  requires(W >= 4)
+inline Vec<T, W / 2> even_lanes(Vec<T, W> x) {
+  Vec<T, W / 2> r;
+  for (std::size_t i = 0; i < W / 2; ++i) r.v[i] = x.v[2 * i];
+  return r;
+}
+
+template <SimdElement T, std::size_t W>
+  requires(W >= 4)
+inline Vec<T, W / 2> odd_lanes(Vec<T, W> x) {
+  Vec<T, W / 2> r;
+  for (std::size_t i = 0; i < W / 2; ++i) r.v[i] = x.v[2 * i + 1];
+  return r;
+}
+
+#endif  // MP_SIMD_VECTOR_EXT
+
+/// Lane counts for the three vector-register tiers. At least 2 lanes: a
+/// 1-lane "vector" is the scalar path, dispatched separately.
+template <SimdElement T>
+inline constexpr std::size_t kLanes128 = 16 / sizeof(T) < 2 ? 2 : 16 / sizeof(T);
+template <SimdElement T>
+inline constexpr std::size_t kLanes256 = 32 / sizeof(T);
+template <SimdElement T>
+inline constexpr std::size_t kLanes512 = 64 / sizeof(T);
+
+}  // namespace mp::simd

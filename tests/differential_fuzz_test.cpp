@@ -15,6 +15,7 @@
 #include "core/multiprefix.hpp"
 #include "core/validate.hpp"
 #include "pram/multiprefix_program.hpp"
+#include "simd/dispatch.hpp"
 #include "vm/machine_multiprefix.hpp"
 
 namespace mp {
@@ -131,6 +132,40 @@ TEST_P(DifferentialFuzz, AllImplementationsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range<std::uint64_t>(0, 48));
+
+// The same differential property with the SIMD kernel tier pinned to each of
+// the four dispatch levels in turn (what MP_SIMD_LEVEL would do process-wide):
+// every strategy must produce the serial reference bit for bit at every tier,
+// since no strategy's inner loop reassociates value combines.
+class PinnedLevelFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, mp::simd::SimdLevel>> {};
+
+TEST_P(PinnedLevelFuzz, AllStrategiesAgreeAtEveryTier) {
+  const FuzzConfig cfg = derive(std::get<0>(GetParam()) + 1000);  // fresh shapes
+  const simd::SimdLevel level = std::get<1>(GetParam());
+  const simd::ScopedSimdLevel pin(level);
+  const auto info = "n=" + std::to_string(cfg.n) + " m=" + std::to_string(cfg.m) +
+                    " level=" + simd::to_string(level);
+
+  const auto truth = multiprefix_bruteforce<int>(cfg.values, cfg.labels, cfg.m);
+  for (const Strategy s : {Strategy::kSerial, Strategy::kVectorized, Strategy::kParallel,
+                           Strategy::kSortBased, Strategy::kChunked, Strategy::kAuto}) {
+    const auto got = multiprefix<int>(cfg.values, cfg.labels, cfg.m, Plus{}, s);
+    ASSERT_EQ(got.prefix, truth.prefix) << info << " strategy=" << to_string(s);
+    ASSERT_EQ(got.reduction, truth.reduction) << info << " strategy=" << to_string(s);
+    const auto red = multireduce<int>(cfg.values, cfg.labels, cfg.m, Max{}, s);
+    ASSERT_EQ(red, multiprefix_bruteforce<int>(cfg.values, cfg.labels, cfg.m, Max{}).reduction)
+        << info << " strategy=" << to_string(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByLevel, PinnedLevelFuzz,
+    ::testing::Combine(::testing::Range<std::uint64_t>(0, 12),
+                       ::testing::Values(mp::simd::SimdLevel::kScalar,
+                                         mp::simd::SimdLevel::k128,
+                                         mp::simd::SimdLevel::k256,
+                                         mp::simd::SimdLevel::k512)));
 
 // ---- adversarial inputs ----------------------------------------------------
 //

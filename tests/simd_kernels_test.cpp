@@ -1,0 +1,445 @@
+// Differential tests of the SIMD kernel layer (src/simd/) against the scalar
+// references, across operators, element types, lengths (every tail residue of
+// every lane width, plus n = 0 and 1) and all four forced dispatch tiers.
+//
+// Bit-identity expectations follow the reassociation analysis in
+// simd/kernels.hpp: integer kernels, float Min/Max, fill/combine, histogram
+// and the column scans are exact at every tier; float/double Plus and Times
+// *scans and reduces* reassociate, so those compare with a relative
+// tolerance. The end-to-end section pins each tier and requires bit-identical
+// multiprefix/multireduce results from every strategy — including floats,
+// because no strategy's inner loop reassociates value combines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "core/multiprefix.hpp"
+#include "core/scan.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
+
+namespace mp {
+namespace {
+
+using simd::ScopedSimdLevel;
+using simd::SimdLevel;
+
+constexpr SimdLevel kAllLevels[] = {SimdLevel::kScalar, SimdLevel::k128, SimdLevel::k256,
+                                    SimdLevel::k512};
+
+// Lengths covering n = 0, 1 and every residue mod the widest lane count (16
+// lanes for 4-byte elements at the 512-bit tier).
+std::vector<std::size_t> test_lengths() {
+  std::vector<std::size_t> lengths = {0, 1};
+  for (std::size_t n = 2; n <= 34; ++n) lengths.push_back(n);
+  for (std::size_t n : {63, 64, 65, 127, 128, 129, 255, 257, 1000, 4096, 4097})
+    lengths.push_back(n);
+  return lengths;
+}
+
+template <class T>
+std::vector<T> random_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<T> v(n);
+  // Small positive values: keeps integer Times in range and float Plus/Times
+  // well-conditioned for the tolerance comparison.
+  for (auto& x : v) x = static_cast<T>(1 + rng.below(9));
+  return v;
+}
+
+template <class T>
+void expect_equal(const std::vector<T>& got, const std::vector<T>& want, bool exact,
+                  const std::string& info) {
+  ASSERT_EQ(got.size(), want.size()) << info;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (exact) {
+      ASSERT_EQ(got[i], want[i]) << info << " i=" << i;
+    } else {
+      const double g = static_cast<double>(got[i]), w = static_cast<double>(want[i]);
+      ASSERT_NEAR(g, w, 1e-5 * (std::abs(w) + 1.0)) << info << " i=" << i;
+    }
+  }
+}
+
+/// exact = bitwise comparison required (everything except reassociating
+/// float/double Plus and Times).
+template <class T, class Op>
+void check_scan_family(Op op, bool exact, const char* tag) {
+  for (const std::size_t n : test_lengths()) {
+    const auto base = random_values<T>(n, 0xC0FFEE + n);
+    auto ref_inc = base;
+    const T ref_inc_total = inclusive_scan_serial<T, Op>(ref_inc, op);
+    auto ref_exc = base;
+    const T ref_exc_total = exclusive_scan_serial<T, Op>(ref_exc, op);
+    for (const SimdLevel level : kAllLevels) {
+      const std::string info =
+          std::string(tag) + " n=" + std::to_string(n) + " level=" + to_string(level);
+      auto inc = base;
+      const T inc_total = simd::inclusive_scan(std::span<T>(inc), op, level);
+      expect_equal(inc, ref_inc, exact, info + " inclusive");
+      auto exc = base;
+      const T exc_total = simd::exclusive_scan(std::span<T>(exc), op, level);
+      expect_equal(exc, ref_exc, exact, info + " exclusive");
+      const T red = simd::reduce(std::span<const T>(base), op, level);
+      if (exact) {
+        ASSERT_EQ(inc_total, ref_inc_total) << info;
+        ASSERT_EQ(exc_total, ref_exc_total) << info;
+        ASSERT_EQ(red, ref_inc_total) << info;
+      } else {
+        const double want = static_cast<double>(ref_inc_total);
+        const double tol = 1e-5 * (std::abs(want) + 1.0);
+        ASSERT_NEAR(static_cast<double>(inc_total), want, tol) << info;
+        ASSERT_NEAR(static_cast<double>(exc_total), want, tol) << info;
+        ASSERT_NEAR(static_cast<double>(red), want, tol) << info;
+      }
+      // Seeded exclusive scan (the partition method's block pass).
+      auto seeded = base;
+      auto ref_seeded = base;
+      const T seed = op.template identity<T>();
+      const T st = simd::exclusive_scan_seeded(std::span<T>(seeded), seed, op, level);
+      T acc = seed;
+      for (auto& x : ref_seeded) {
+        const T next = op(acc, x);
+        x = acc;
+        acc = next;
+      }
+      expect_equal(seeded, ref_seeded, exact, info + " seeded");
+      if (exact) ASSERT_EQ(st, acc) << info << " seeded total";
+    }
+  }
+}
+
+TEST(SimdScan, PlusInt32) { check_scan_family<std::int32_t>(Plus{}, true, "i32+"); }
+TEST(SimdScan, PlusInt64) { check_scan_family<std::int64_t>(Plus{}, true, "i64+"); }
+TEST(SimdScan, PlusUint32) { check_scan_family<std::uint32_t>(Plus{}, true, "u32+"); }
+TEST(SimdScan, PlusFloat) { check_scan_family<float>(Plus{}, false, "f32+"); }
+TEST(SimdScan, PlusDouble) { check_scan_family<double>(Plus{}, false, "f64+"); }
+TEST(SimdScan, MaxInt32) { check_scan_family<std::int32_t>(Max{}, true, "i32 max"); }
+TEST(SimdScan, MaxFloat) { check_scan_family<float>(Max{}, true, "f32 max"); }
+TEST(SimdScan, MaxDouble) { check_scan_family<double>(Max{}, true, "f64 max"); }
+TEST(SimdScan, MinInt64) { check_scan_family<std::int64_t>(Min{}, true, "i64 min"); }
+TEST(SimdScan, MinDouble) { check_scan_family<double>(Min{}, true, "f64 min"); }
+TEST(SimdScan, BitAndUint32) { check_scan_family<std::uint32_t>(BitAnd{}, true, "u32 and"); }
+TEST(SimdScan, BitOrUint32) { check_scan_family<std::uint32_t>(BitOr{}, true, "u32 or"); }
+TEST(SimdScan, BitOrInt64) { check_scan_family<std::int64_t>(BitOr{}, true, "i64 or"); }
+
+TEST(SimdScan, TimesDoubleTolerance) {
+  // Keep products near 1 so the tolerance comparison is meaningful.
+  for (const std::size_t n : {0ul, 1ul, 17ul, 333ul}) {
+    Xoshiro256 rng(n);
+    std::vector<double> base(n);
+    for (auto& x : base) x = 0.9 + 0.2 * rng.uniform();
+    auto ref = base;
+    inclusive_scan_serial<double, Times>(ref, Times{});
+    for (const SimdLevel level : kAllLevels) {
+      auto got = base;
+      simd::inclusive_scan(std::span<double>(got), Times{}, level);
+      expect_equal(got, ref, false, "f64* n=" + std::to_string(n));
+    }
+  }
+}
+
+// Operators with no vector mapping must still dispatch (scalar entry in every
+// table slot) and agree exactly.
+TEST(SimdScan, LogicalOpsFallBackToScalarAtEveryLevel) {
+  for (const std::size_t n : {0ul, 1ul, 33ul, 500ul}) {
+    Xoshiro256 rng(7 + n);
+    std::vector<int> base(n);
+    for (auto& x : base) x = static_cast<int>(rng.below(2));
+    auto ref = base;
+    inclusive_scan_serial<int, LogicalOr>(ref, LogicalOr{});
+    for (const SimdLevel level : kAllLevels) {
+      auto got = base;
+      simd::inclusive_scan(std::span<int>(got), LogicalOr{}, level);
+      ASSERT_EQ(got, ref) << "n=" << n << " level=" << to_string(level);
+    }
+  }
+}
+
+// ---- histogram / scatter ----------------------------------------------------
+
+TEST(SimdHistogram, MatchesScalarAcrossDistributionsAndLevels) {
+  struct Case {
+    const char* name;
+    std::vector<label_t> labels;
+    std::size_t m;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"empty", {}, 8});
+  cases.push_back({"uniform", uniform_labels(100000, 512, 1), 512});
+  cases.push_back({"one-class", constant_labels(5000, 3), 7});  // worst store-forwarding
+  cases.push_back({"runs", segmented_labels(65536, 8), 8192});
+  cases.push_back({"zipf", zipf_labels(50000, 100, 1.5, 9), 100});
+  cases.push_back({"tiny", uniform_labels(7, 3, 5), 3});  // below the ILP gate
+  for (const Case& c : cases) {
+    std::vector<std::uint32_t> ref(c.m, 0);
+    simd::histogram(c.labels, ref.data(), c.m, SimdLevel::kScalar);
+    std::uint32_t total = 0;
+    for (const std::uint32_t x : ref) total += x;
+    ASSERT_EQ(total, c.labels.size()) << c.name;
+    for (const SimdLevel level : kAllLevels) {
+      std::vector<std::uint32_t> got(c.m, 0);
+      simd::histogram(c.labels, got.data(), c.m, level);
+      ASSERT_EQ(got, ref) << c.name << " level=" << to_string(level);
+    }
+    // Accumulation contract: counts are added into, not overwritten.
+    std::vector<std::uint32_t> biased(c.m, 5);
+    simd::histogram(c.labels, biased.data(), c.m);
+    for (std::size_t k = 0; k < c.m; ++k)
+      ASSERT_EQ(biased[k], ref[k] + 5) << c.name << " k=" << k;
+  }
+}
+
+TEST(SimdRankScatter, ProducesStableCountingSortOrder) {
+  const std::size_t n = 20000, m = 97;
+  const auto labels = zipf_labels(n, m, 1.2, 11);
+  std::vector<std::uint32_t> offsets(m + 1, 0);
+  simd::histogram(labels, offsets.data() + 1, m);
+  simd::inclusive_scan(std::span<std::uint32_t>(offsets.data() + 1, m));
+  ASSERT_EQ(offsets[m], n);
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<std::uint32_t> order(n);
+  simd::rank_scatter(labels, cursor.data(), order.data());
+  for (std::size_t k = 1; k < n; ++k) {
+    const label_t a = labels[order[k - 1]], b = labels[order[k]];
+    ASSERT_TRUE(a < b || (a == b && order[k - 1] < order[k])) << "k=" << k;
+  }
+}
+
+TEST(SimdReduce, MaxLabelMatchesStdMax) {
+  for (const std::size_t n : {1ul, 15ul, 16ul, 1000ul}) {
+    const auto labels = uniform_labels(n, 1000, 13 + n);
+    label_t want = 0;
+    for (const label_t l : labels) want = std::max(want, l);
+    for (const SimdLevel level : kAllLevels)
+      ASSERT_EQ(simd::max_label(labels, level), want) << "n=" << n;
+  }
+}
+
+// ---- column kernels ---------------------------------------------------------
+
+template <class T, class Op>
+void check_column_kernels(Op op, const char* tag) {
+  for (const std::size_t m : {1ul, 7ul, 16ul, 33ul, 257ul}) {
+    for (const std::size_t rows : {1ul, 2ul, 13ul}) {
+      Xoshiro256 rng(m * 31 + rows);
+      std::vector<T> base(rows * m);
+      for (auto& x : base) x = static_cast<T>(1 + rng.below(9));
+      // Scalar reference.
+      auto ref = base;
+      std::vector<T> ref_red(m);
+      const T id = op.template identity<T>();
+      for (std::size_t c = 0; c < m; ++c) {
+        T acc = id;
+        for (std::size_t r = 0; r < rows; ++r) {
+          T& cell = ref[r * m + c];
+          const T next = op(acc, cell);
+          cell = acc;
+          acc = next;
+        }
+        ref_red[c] = acc;
+      }
+      for (const SimdLevel level : kAllLevels) {
+        const std::string info = std::string(tag) + " m=" + std::to_string(m) +
+                                 " rows=" + std::to_string(rows) +
+                                 " level=" + to_string(level);
+        auto got = base;
+        std::vector<T> red(m);
+        simd::column_exclusive_scan<T, Op>(got.data(), rows, m, 0, m, red.data(), op, level);
+        ASSERT_EQ(got, ref) << info;
+        ASSERT_EQ(red, ref_red) << info;
+        std::vector<T> red2(m);
+        simd::column_reduce<T, Op>(base.data(), rows, m, 0, m, red2.data(), op, level);
+        ASSERT_EQ(red2, ref_red) << info;
+        // Partial column ranges (the parallel_for_blocked shape).
+        if (m >= 7) {
+          auto part = base;
+          std::vector<T> pred(m, id);
+          simd::column_exclusive_scan<T, Op>(part.data(), rows, m, 2, m - 3, pred.data(), op,
+                                             level);
+          for (std::size_t c = 2; c < m - 3; ++c) {
+            ASSERT_EQ(pred[c], ref_red[c]) << info << " c=" << c;
+            for (std::size_t r = 0; r < rows; ++r)
+              ASSERT_EQ(part[r * m + c], ref[r * m + c]) << info << " c=" << c;
+          }
+          // Columns outside the range are untouched.
+          for (std::size_t r = 0; r < rows; ++r) {
+            ASSERT_EQ(part[r * m + 0], base[r * m + 0]) << info;
+            ASSERT_EQ(part[r * m + m - 1], base[r * m + m - 1]) << info;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdColumn, PlusInt32) { check_column_kernels<std::int32_t>(Plus{}, "i32+"); }
+TEST(SimdColumn, PlusDouble) { check_column_kernels<double>(Plus{}, "f64+"); }
+TEST(SimdColumn, MaxInt64) { check_column_kernels<std::int64_t>(Max{}, "i64 max"); }
+
+// Column scans never reassociate a column's combine order, so even float Plus
+// is bit-identical at every tier.
+TEST(SimdColumn, FloatPlusIsBitIdentical) {
+  const std::size_t rows = 9, m = 100;
+  Xoshiro256 rng(3);
+  std::vector<float> base(rows * m);
+  for (auto& x : base) x = static_cast<float>(rng.uniform()) * 1e3f - 500.0f;
+  auto ref = base;
+  std::vector<float> ref_red(m);
+  simd::column_exclusive_scan<float, Plus>(ref.data(), rows, m, 0, m, ref_red.data(), Plus{},
+                                           SimdLevel::kScalar);
+  for (const SimdLevel level : {SimdLevel::k128, SimdLevel::k256, SimdLevel::k512}) {
+    auto got = base;
+    std::vector<float> red(m);
+    simd::column_exclusive_scan<float, Plus>(got.data(), rows, m, 0, m, red.data(), Plus{},
+                                             level);
+    ASSERT_EQ(got, ref) << to_string(level);
+    ASSERT_EQ(red, ref_red) << to_string(level);
+  }
+}
+
+// ---- fill / combine ---------------------------------------------------------
+
+TEST(SimdElementwise, FillAndCombineAllLevels) {
+  for (const std::size_t n : test_lengths()) {
+    for (const SimdLevel level : kAllLevels) {
+      std::vector<double> a(n, -1.0), b = random_values<double>(n, n), dst(n);
+      simd::fill(std::span<double>(a), 2.5, level);
+      for (const double x : a) ASSERT_EQ(x, 2.5) << "n=" << n;
+      simd::combine(std::span<const double>(a), std::span<const double>(b),
+                    std::span<double>(dst), Plus{}, level);
+      for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(dst[i], 2.5 + b[i]) << "n=" << n;
+      // Non-commutative order check with Max over mixed signs.
+      std::vector<int> x = {-5, 3, 0}, y = {1, -7, 0}, out(3);
+      if (n == 0) {
+        simd::combine(std::span<const int>(x), std::span<const int>(y), std::span<int>(out),
+                      Max{}, level);
+        ASSERT_EQ(out, (std::vector<int>{1, 3, 0}));
+      }
+    }
+  }
+}
+
+// ---- dispatch machinery -----------------------------------------------------
+
+TEST(SimdDispatch, ParseAndToString) {
+  EXPECT_EQ(simd::parse_simd_level("scalar"), SimdLevel::kScalar);
+  EXPECT_EQ(simd::parse_simd_level("none"), SimdLevel::kScalar);
+  EXPECT_EQ(simd::parse_simd_level("128"), SimdLevel::k128);
+  EXPECT_EQ(simd::parse_simd_level("sse2"), SimdLevel::k128);
+  EXPECT_EQ(simd::parse_simd_level("256"), SimdLevel::k256);
+  EXPECT_EQ(simd::parse_simd_level("avx2"), SimdLevel::k256);
+  EXPECT_EQ(simd::parse_simd_level("512"), SimdLevel::k512);
+  EXPECT_EQ(simd::parse_simd_level("avx512"), SimdLevel::k512);
+  EXPECT_FALSE(simd::parse_simd_level("auto").has_value());
+  EXPECT_FALSE(simd::parse_simd_level("bogus").has_value());
+  for (const SimdLevel level : kAllLevels)
+    EXPECT_EQ(simd::parse_simd_level(to_string(level)), level);
+}
+
+TEST(SimdDispatch, ScopedPinNestsAndRestores) {
+  const SimdLevel ambient = simd::active_level();
+  {
+    ScopedSimdLevel outer(SimdLevel::kScalar);
+    EXPECT_EQ(simd::active_level(), SimdLevel::kScalar);
+    {
+      ScopedSimdLevel inner(SimdLevel::k256);
+      EXPECT_EQ(simd::active_level(), SimdLevel::k256);
+    }
+    EXPECT_EQ(simd::active_level(), SimdLevel::kScalar);
+  }
+  EXPECT_EQ(simd::active_level(), ambient);
+}
+
+TEST(SimdDispatch, EngineOptionPinsLevel) {
+  Engine::Options options;
+  options.simd_level = SimdLevel::kScalar;
+  {
+    Engine engine(options);
+    EXPECT_EQ(engine.simd_level(), SimdLevel::kScalar);
+  }
+  simd::set_active_level(std::nullopt);  // clear the process-wide pin
+}
+
+// ---- end-to-end: forced tiers through every strategy ------------------------
+
+// `sparse_values`: mostly the Times identity with ~n/101 twos, so per-label
+// products stay far below 2^63 even when zipf concentrates a label — a dense
+// 1..9 draw would overflow int64 (UB, and UBSan rightly flags it).
+template <class T, class Op>
+void check_all_strategies_all_levels(Op op, const char* tag, bool sparse_values = false) {
+  const std::size_t n = 3000, m = 61;
+  const auto labels = zipf_labels(n, m, 1.3, 17);
+  Xoshiro256 rng(99);
+  std::vector<T> values(n);
+  if (sparse_values) {
+    for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<T>(i % 101 == 0 ? 2 : 1);
+  } else {
+    for (auto& v : values) v = static_cast<T>(1 + rng.below(9));
+  }
+
+  // The reference: serial strategy at forced-scalar tier — exactly the
+  // pre-SIMD recurrences.
+  MultiprefixResult<T> truth(n, m, op.template identity<T>());
+  {
+    ScopedSimdLevel pin(SimdLevel::kScalar);
+    truth = multiprefix<T>(values, labels, m, op, Strategy::kSerial);
+  }
+  for (const SimdLevel level : kAllLevels) {
+    ScopedSimdLevel pin(level);
+    for (const Strategy s : {Strategy::kSerial, Strategy::kVectorized, Strategy::kParallel,
+                             Strategy::kSortBased, Strategy::kChunked, Strategy::kAuto}) {
+      const std::string info =
+          std::string(tag) + " level=" + to_string(level) + " strategy=" + to_string(s);
+      const auto got = multiprefix<T>(values, labels, m, op, s);
+      ASSERT_EQ(got.prefix, truth.prefix) << info;
+      ASSERT_EQ(got.reduction, truth.reduction) << info;
+      const auto red = multireduce<T>(values, labels, m, op, s);
+      ASSERT_EQ(red, truth.reduction) << info;
+    }
+  }
+}
+
+TEST(SimdEndToEnd, PlusInt32) { check_all_strategies_all_levels<std::int32_t>(Plus{}, "i32+"); }
+TEST(SimdEndToEnd, TimesInt64) {
+  check_all_strategies_all_levels<std::int64_t>(Times{}, "i64*", /*sparse_values=*/true);
+}
+TEST(SimdEndToEnd, MaxInt32) { check_all_strategies_all_levels<std::int32_t>(Max{}, "max"); }
+TEST(SimdEndToEnd, MinInt32) { check_all_strategies_all_levels<std::int32_t>(Min{}, "min"); }
+TEST(SimdEndToEnd, BitAndUint32) {
+  check_all_strategies_all_levels<std::uint32_t>(BitAnd{}, "and");
+}
+TEST(SimdEndToEnd, BitOrUint32) {
+  check_all_strategies_all_levels<std::uint32_t>(BitOr{}, "or");
+}
+// No multiprefix strategy reassociates value combines, so floats are
+// bit-identical across tiers end to end (the analysis simd/kernels.hpp
+// relies on — this test is its regression guard).
+TEST(SimdEndToEnd, PlusDoubleBitIdentical) {
+  check_all_strategies_all_levels<double>(Plus{}, "f64+");
+}
+
+TEST(SimdEndToEnd, DispatchedScanMatchesPartitionMethod) {
+  ThreadPool pool(3);
+  for (const std::size_t n : {1ul, 1000ul, 100000ul}) {
+    std::vector<std::int64_t> a = random_values<std::int64_t>(n, n), b = a, c = a;
+    const auto ta = exclusive_scan_serial<std::int64_t>(std::span<std::int64_t>(a));
+    const auto tb = exclusive_scan<std::int64_t>(std::span<std::int64_t>(b));
+    const auto tc =
+        exclusive_scan_partition<std::int64_t>(std::span<std::int64_t>(c), pool);
+    ASSERT_EQ(b, a) << "n=" << n;
+    ASSERT_EQ(c, a) << "n=" << n;
+    ASSERT_EQ(tb, ta);
+    ASSERT_EQ(tc, ta);
+  }
+}
+
+}  // namespace
+}  // namespace mp
