@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/run_context.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/strategy.hpp"
@@ -118,5 +119,28 @@ class JsonReporter {
   std::string path_;
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Emits a FallbackCounters block (common/run_context.hpp) into the JSON
+/// report, one metric per counter under `prefix` — so CI smoke runs see
+/// degraded-mode behaviour (fallbacks taken, retries burned, budget
+/// demotions, governance stops) as first-class numbers, not just a green
+/// exit code.
+inline void report_fallback_counters(JsonReporter& json, const FallbackCounters& counters,
+                                     const std::string& prefix = "fallback_") {
+  const auto put = [&](const char* name, const std::atomic<std::uint64_t>& value) {
+    json.metric(prefix + name, static_cast<std::int64_t>(value.load()));
+  };
+  put("attempts", counters.attempts);
+  put("successes", counters.successes);
+  put("fallbacks", counters.fallbacks);
+  put("pool_failures", counters.pool_failures);
+  put("execution_faults", counters.execution_faults);
+  put("verify_failures", counters.verify_failures);
+  put("exhausted", counters.exhausted);
+  put("retries", counters.retries);
+  put("cancellations", counters.cancellations);
+  put("deadlines_exceeded", counters.deadlines_exceeded);
+  put("budget_degrades", counters.budget_degrades);
+}
 
 }  // namespace mp::bench

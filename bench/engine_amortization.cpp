@@ -19,6 +19,7 @@
 #include "common/labels.hpp"
 #include "common/rng.hpp"
 #include "core/engine.hpp"
+#include "core/resilient.hpp"
 
 namespace {
 
@@ -218,6 +219,53 @@ void paper_section(const mp::CliArgs& args) {
     json.metric("forkjoin_fn_ns", fn_ns);
     json.metric("forkjoin_speedup", fork_speedup);
     json.metric("forkjoin_assert_pass", static_cast<std::int64_t>(fork_ok ? 1 : 0));
+  }
+
+  // ---- 4. governed degraded-mode smoke -------------------------------------
+  //
+  // Two scripted degradations, counted into a local FallbackCounters block
+  // and emitted to the JSON report: a resilient run whose preferred stage
+  // faults (the fallback chain rescues it), and a byte-budgeted governed
+  // run the engine demotes to the zero-scratch serial sweep. CI smoke
+  // checks thereby watch the degradation machinery itself, not only the
+  // happy path.
+  {
+    const std::size_t dn = std::min<std::size_t>(n, 1u << 16);
+    const auto dlabels = mp::uniform_labels(dn, 64, 7);
+    std::vector<int> dvalues(dn);
+    for (std::size_t i = 0; i < dn; ++i) dvalues[i] = static_cast<int>(i % 23) - 11;
+
+    mp::FallbackCounters counters;
+    mp::ResilientOptions ropts;
+    ropts.preferred = mp::Strategy::kChunked;
+    ropts.counters = &counters;
+    ropts.attempt_hook = [](mp::Strategy s) {
+      if (s == mp::Strategy::kChunked)
+        throw mp::MpError(mp::ErrorCode::kExecutionFault, "scripted bench fault");
+    };
+    const double resilient_s = mp::bench::seconds_best_of(reps, [&] {
+      benchmark::DoNotOptimize(
+          mp::resilient_multiprefix<int>(dvalues, dlabels, 64, mp::Plus{}, ropts));
+    });
+
+    mp::RunContext ctx;
+    ctx.byte_budget = 64;  // fits only the serial sweep's zero scratch
+    ctx.counters = &counters;
+    const double governed_s = mp::bench::seconds_best_of(reps, [&] {
+      benchmark::DoNotOptimize(engine.multiprefix<int>(dvalues, dlabels, 64, mp::Plus{},
+                                                       mp::Strategy::kChunked, ctx));
+    });
+
+    std::printf("\n4. degraded-mode smoke, n = %zu (ms)\n\n"
+                "   resilient (chunked faulted -> fallback): %8.2f\n"
+                "   governed (64-byte budget -> serial):     %8.2f\n"
+                "   fallbacks=%llu budget_degrades=%llu\n",
+                dn, resilient_s * 1e3, governed_s * 1e3,
+                static_cast<unsigned long long>(counters.fallbacks.load()),
+                static_cast<unsigned long long>(counters.budget_degrades.load()));
+    json.metric("degraded_resilient_ms", resilient_s * 1e3);
+    json.metric("degraded_governed_ms", governed_s * 1e3);
+    mp::bench::report_fallback_counters(json, counters);
   }
 
   json.metric("auto_worst_ratio_max", worst_ratio);

@@ -4,6 +4,9 @@
 #   scripts/check.sh               # fault-injection + differential suites (fast)
 #   scripts/check.sh --full        # the entire ctest suite under each sanitizer
 #   scripts/check.sh --full tsan   # one sanitizer only
+#   scripts/check.sh --chaos       # chaos + governance suites under ASan and
+#                                  # TSan with a hard per-test timeout — the
+#                                  # randomized fault-schedule gate
 #   scripts/check.sh --bench       # also run the engine amortization smoke
 #                                  # bench (Release, BENCH_engine.json) and the
 #                                  # SIMD kernel bench at the host's native ISA
@@ -20,11 +23,14 @@ BENCH=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --full) MODE=full; shift ;;
+    --chaos) MODE=chaos; shift ;;
     --bench) BENCH=1; shift ;;
     *) break ;;
   esac
 done
-if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(tsan asan ubsan); fi
+if [[ $# -gt 0 ]]; then SANITIZERS=("$@")
+elif [[ "$MODE" == chaos ]]; then SANITIZERS=(asan tsan)
+else SANITIZERS=(tsan asan ubsan); fi
 
 # The quick gate covers the suites this layer is about: pool fault injection,
 # resilient fallback, input validation, the differential fuzz sweep, and the
@@ -35,6 +41,14 @@ QUICK_FILTER+='|Status|ValidateLabels|ValidateInputs|FacadeValidation|MpError'
 QUICK_FILTER+='|AdversarialInputs|DifferentialFuzz|PinnedLevelFuzz|ThreadPool|ParallelFor'
 QUICK_FILTER+='|Engine|PlanCache|Workspace|StrategyFacade'
 QUICK_FILTER+='|Simd'
+QUICK_FILTER+='|Chaos|RunContext|Governance|DegenerateInputs'
+
+# The chaos gate replays the randomized fault schedules (chaos_test) plus the
+# governance and fault-path suites under ASan and TSan. Every test already
+# carries a ctest TIMEOUT property; --timeout tightens it here so a hung
+# cooperative checkpoint fails loudly instead of stalling CI.
+CHAOS_FILTER='Chaos|RunContext|Governance|DegenerateInputs|FaultInjection|Resilient'
+CHAOS_FILTER+='|PlanCacheStorm'
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 for san in "${SANITIZERS[@]}"; do
@@ -44,6 +58,8 @@ for san in "${SANITIZERS[@]}"; do
   echo "=== [$san] ctest ($MODE) ==="
   if [[ "$MODE" == full ]]; then
     ctest --preset "$san"
+  elif [[ "$MODE" == chaos ]]; then
+    ctest --preset "$san" -R "$CHAOS_FILTER" --timeout 120
   else
     ctest --preset "$san" -R "$QUICK_FILTER"
   fi

@@ -32,6 +32,9 @@ enum class ErrorCode {
   kShapeMismatch,    // values/labels/output extents disagree
   kPoolFailure,      // the thread pool cannot run the job (e.g. reentrancy)
   kExecutionFault,   // a lane faulted mid-phase, or self-verification failed
+  kCancelled,        // the caller's cancel token fired (common/run_context.hpp)
+  kDeadlineExceeded, // the run's deadline expired at a checkpoint
+  kBudgetExceeded,   // a scratch request overflowed the run's byte budget
 };
 
 constexpr const char* to_string(ErrorCode code) {
@@ -41,6 +44,9 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kShapeMismatch: return "shape-mismatch";
     case ErrorCode::kPoolFailure: return "pool-failure";
     case ErrorCode::kExecutionFault: return "execution-fault";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kBudgetExceeded: return "budget-exceeded";
   }
   return "unknown";
 }

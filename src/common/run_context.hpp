@@ -1,0 +1,261 @@
+// Run governance — deadlines, cooperative cancellation, memory budgets and
+// retry policy for a single multiprefix/multireduce run.
+//
+// The resilient driver (core/resilient.hpp) reacts to *reported* failures;
+// a production collective also has to bound what a run may consume before
+// anything fails: wall-clock (a deadline), progress (a cancellation token
+// the caller can flip), and memory (a byte budget for scratch). RunContext
+// carries all three plus a bounded retry policy, and is threaded from the
+// Engine facade through every Strategy, both executors and the pardo layer.
+//
+// The enforcement discipline mirrors the paper's phase structure: every
+// strategy is a sequence of passes over chunk/row/column ranges, and the
+// boundaries between chunks are the only points where no partially-combined
+// value is in flight. Checkpoints are therefore *cooperative* and placed at
+// chunk granularity (kCancelCheckBlock indices): a cancelled or
+// deadline-expired run throws MpError(kCancelled / kDeadlineExceeded) within
+// one chunk's latency, and the output spans hold either untouched or fully
+// written prefixes — never a torn combine. Budget violations surface as
+// MpError(kBudgetExceeded) from the charge site (Workspace::acquire or a
+// strategy's own scratch), which the engine converts into degradation to a
+// lower-footprint strategy instead of an OOM kill.
+//
+// Everything here is allocation-free on the hot path: poll() is one or two
+// relaxed atomic loads plus (when a deadline is armed) a clock read, paid
+// once per kCancelCheckBlock elements.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mp {
+
+/// Shared cancellation flag. CancelSource owns the flag (caller side);
+/// CancelToken is the read-only view a RunContext carries. Copies share the
+/// same flag, so a token outlives the run that observes it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True when the owning CancelSource has requested cancellation. A default
+  /// token (no source) is never cancelled.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token is connected to a source at all.
+  bool can_be_cancelled() const { return flag_ != nullptr; }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<std::atomic<bool>> flag) : flag_(std::move(flag)) {}
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Flips the flag; every token handed out observes it on its next poll.
+  /// Idempotent and safe to call from any thread (including concurrently
+  /// with the governed run itself — that is the whole point).
+  void request_cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const { return flag_->load(std::memory_order_relaxed); }
+
+  CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Bounded retry for *transient* substrate failures (kPoolFailure): the
+/// engine re-runs the same strategy up to max_retries times, sleeping
+/// `backoff` between attempts, before the fallback chain engages. The
+/// default is no retries — identical to the pre-governance behaviour.
+struct RetryPolicy {
+  std::size_t max_retries = 0;
+  std::chrono::microseconds backoff{100};
+};
+
+/// Observability block for degraded-mode execution. Shared by the resilient
+/// driver and the engine's governed dispatch. All counters are relaxed
+/// atomics: totals are exact, cross-counter consistency is best-effort.
+struct FallbackCounters {
+  std::atomic<std::uint64_t> attempts{0};          // stages tried
+  std::atomic<std::uint64_t> successes{0};         // calls that returned
+  std::atomic<std::uint64_t> fallbacks{0};         // stages abandoned
+  std::atomic<std::uint64_t> pool_failures{0};     // abandoned: kPoolFailure
+  std::atomic<std::uint64_t> execution_faults{0};  // abandoned: kExecutionFault/bad_alloc
+  std::atomic<std::uint64_t> verify_failures{0};   // abandoned: self-check mismatch
+  std::atomic<std::uint64_t> exhausted{0};         // whole chain failed
+  std::atomic<std::uint64_t> retries{0};           // same-strategy retry after kPoolFailure
+  std::atomic<std::uint64_t> cancellations{0};     // runs ended by the cancel token
+  std::atomic<std::uint64_t> deadlines_exceeded{0};  // runs ended by the deadline
+  std::atomic<std::uint64_t> budget_degrades{0};   // strategy demoted to fit the byte budget
+
+  void reset() {
+    // Plain chained `=` through atomics assigns the int result of each
+    // store, not the atomic — spell out the stores.
+    attempts.store(0, std::memory_order_relaxed);
+    successes.store(0, std::memory_order_relaxed);
+    fallbacks.store(0, std::memory_order_relaxed);
+    pool_failures.store(0, std::memory_order_relaxed);
+    execution_faults.store(0, std::memory_order_relaxed);
+    verify_failures.store(0, std::memory_order_relaxed);
+    exhausted.store(0, std::memory_order_relaxed);
+    retries.store(0, std::memory_order_relaxed);
+    cancellations.store(0, std::memory_order_relaxed);
+    deadlines_exceeded.store(0, std::memory_order_relaxed);
+    budget_degrades.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// The process-wide counter block used when no explicit block is given.
+inline FallbackCounters& global_fallback_counters() {
+  static FallbackCounters counters;
+  return counters;
+}
+
+/// Indices processed between cooperative checkpoints inside pass loops —
+/// the "chunk" of the one-chunk-latency cancellation guarantee. Matches
+/// kDefaultGrain so a checkpoint never lands inside a lane's SIMD kernel
+/// call.
+inline constexpr std::size_t kCancelCheckBlock = 4096;
+
+/// Per-run governance: deadline, cancellation, byte budget, retry policy.
+/// Non-copyable (it carries the run's live budget accounting); pass by
+/// reference from the caller's stack and bind `&ctx` down the pass loops.
+/// Thread-safe: lanes poll and charge concurrently.
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunContext() = default;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Absolute deadline; unset means unbounded.
+  std::optional<Clock::time_point> deadline;
+  /// Cancellation token; a default token never fires.
+  CancelToken cancel;
+  /// Scratch byte budget for the run; 0 means unbounded. Charged by
+  /// Workspace (via BudgetScope) and by strategies' own scratch.
+  std::size_t byte_budget = 0;
+  /// Bounded retry for transient kPoolFailure before fallback engages.
+  RetryPolicy retry;
+  /// Counter block for degraded-mode events; null = global_fallback_counters().
+  FallbackCounters* counters = nullptr;
+
+  /// Convenience: deadline `timeout` from now.
+  void set_timeout(Clock::duration timeout) { deadline = Clock::now() + timeout; }
+
+  /// True when any governance dimension is armed — the engine takes the
+  /// governed dispatch path only then, so an ungoverned call costs nothing.
+  bool governed() const {
+    return deadline.has_value() || cancel.can_be_cancelled() || byte_budget != 0 ||
+           retry.max_retries != 0;
+  }
+
+  bool memory_governed() const { return byte_budget != 0; }
+
+  FallbackCounters& sink() const {
+    return counters != nullptr ? *counters : global_fallback_counters();
+  }
+
+  /// Non-throwing governance check: kOk, kCancelled or kDeadlineExceeded.
+  /// Does not touch counters — the engine counts once per run at the catch
+  /// site, not once per chunk per lane.
+  Status poll() const {
+    if (cancel.cancelled())
+      return Status(ErrorCode::kCancelled, "run cancelled by caller");
+    if (deadline && Clock::now() >= *deadline)
+      return Status(ErrorCode::kDeadlineExceeded, "run deadline expired");
+    return Status::ok();
+  }
+
+  /// Throwing form of poll(), for use at chunk boundaries inside pass loops.
+  void checkpoint() const {
+    if (Status st = poll(); !st.is_ok()) throw MpError(std::move(st));
+  }
+
+  /// Charges `bytes` against the budget; kBudgetExceeded when it doesn't
+  /// fit (the charge is not recorded then, so the caller may degrade and
+  /// retry with a smaller footprint).
+  Status charge(std::size_t bytes) const {
+    if (byte_budget == 0 || bytes == 0) return Status::ok();
+    std::size_t used = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (bytes > byte_budget - used)
+        return Status(ErrorCode::kBudgetExceeded,
+                      "scratch request of " + std::to_string(bytes) +
+                          " bytes exceeds remaining budget (" +
+                          std::to_string(byte_budget - used) + " of " +
+                          std::to_string(byte_budget) + " bytes left)");
+      if (used_.compare_exchange_weak(used, used + bytes, std::memory_order_relaxed))
+        return Status::ok();
+    }
+  }
+
+  /// Returns previously charged bytes to the budget (scratch released).
+  void uncharge(std::size_t bytes) const {
+    if (byte_budget == 0 || bytes == 0) return;
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::size_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+
+  std::size_t remaining_bytes() const {
+    if (byte_budget == 0) return static_cast<std::size_t>(-1);
+    const std::size_t used = used_.load(std::memory_order_relaxed);
+    return used < byte_budget ? byte_budget - used : 0;
+  }
+
+  /// The ungoverned context every defaulted entry point binds to — all
+  /// checks compile down to loads of never-set fields.
+  static const RunContext& none() {
+    static const RunContext ctx;
+    return ctx;
+  }
+
+ private:
+  mutable std::atomic<std::size_t> used_{0};
+};
+
+/// Nullable-checkpoint helper for the pass loops: strategies take
+/// `const RunContext* rc = nullptr` so ungoverned callers pay one pointer
+/// test per chunk, nothing more.
+inline void checkpoint(const RunContext* rc) {
+  if (rc != nullptr) rc->checkpoint();
+}
+
+/// RAII charge against a context's byte budget: throws
+/// MpError(kBudgetExceeded) on construction when the request does not fit,
+/// uncharges on destruction. Null context = no-op.
+class BudgetCharge {
+ public:
+  BudgetCharge(const RunContext* rc, std::size_t bytes)
+      : rc_(rc != nullptr && rc->memory_governed() ? rc : nullptr), bytes_(bytes) {
+    if (rc_ == nullptr) return;
+    if (Status st = rc_->charge(bytes_); !st.is_ok()) throw MpError(std::move(st));
+  }
+  ~BudgetCharge() {
+    if (rc_ != nullptr) rc_->uncharge(bytes_);
+  }
+  BudgetCharge(const BudgetCharge&) = delete;
+  BudgetCharge& operator=(const BudgetCharge&) = delete;
+
+ private:
+  const RunContext* rc_;
+  std::size_t bytes_;
+};
+
+}  // namespace mp

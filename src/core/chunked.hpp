@@ -27,8 +27,10 @@
 
 #include "common/assert.hpp"
 #include "common/labels.hpp"
+#include "common/run_context.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
+#include "parallel/fault_injector.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/kernels.hpp"
@@ -41,7 +43,8 @@ template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t> labels,
                               std::span<T> prefix, std::span<T> reduction, ThreadPool& pool,
-                              Op op = {}, std::size_t chunks_hint = 0) {
+                              Op op = {}, std::size_t chunks_hint = 0,
+                              const RunContext* rc = nullptr) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
   MP_REQUIRE(prefix.size() == values.size(), "prefix output size mismatch");
   const std::size_t n = values.size();
@@ -55,26 +58,41 @@ void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t
   const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
   const std::vector<std::size_t> bounds = partition_range(n, chunks);
 
-  // chunk-major P × m matrix of local class totals.
+  // chunk-major P × m matrix of local class totals — the algorithm's whole
+  // scratch footprint, charged against the run's byte budget (and exposed
+  // to the allocation-fault seam) before the allocation happens.
+  BudgetCharge scratch(rc, chunks * m * sizeof(T));
+  notify_alloc(chunks * m * sizeof(T));
   std::vector<T> local(chunks * m, id);
 
   // Pass 1: local multiprefix per chunk. Labels are range-checked once per
   // chunk up front (one vectorized max sweep) so the bucket loop is
-  // branch-free.
-  pool.run([&](std::size_t lane) {
-    for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
-      const std::size_t len = bounds[ch + 1] - bounds[ch];
-      if (len == 0) continue;
-      MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
-                 "label out of range");
-      T* bucket = local.data() + ch * m;
-      for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i) {
-        T& cell = bucket[labels[i]];
-        prefix[i] = cell;
-        cell = op(cell, values[i]);
-      }
-    }
-  });
+  // branch-free. Governed runs checkpoint every kCancelCheckBlock elements
+  // inside each lane's chunk walk (chunk boundaries are the safe points: no
+  // bucket is mid-combine between elements).
+  pool.run(
+      [&](std::size_t lane) {
+        for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+          const std::size_t len = bounds[ch + 1] - bounds[ch];
+          if (len == 0) continue;
+          MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
+                     "label out of range");
+          T* bucket = local.data() + ch * m;
+          std::size_t i = bounds[ch];
+          while (i < bounds[ch + 1]) {
+            checkpoint(rc);
+            const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
+                                         ? i + kCancelCheckBlock
+                                         : bounds[ch + 1];
+            for (; i < stop; ++i) {
+              T& cell = bucket[labels[i]];
+              prefix[i] = cell;
+              cell = op(cell, values[i]);
+            }
+          }
+        }
+      },
+      rc);
 
   // Pass 2: exclusive scan across chunks for every label; the total becomes
   // the reduction. After this, local[ch*m + k] holds the op-sum of class k
@@ -82,19 +100,30 @@ void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t
   // chunk-major matrix, so the kernel scans a register-width of labels per
   // step with contiguous loads; each column's combine order is untouched
   // (bit-identical for floats too).
-  parallel_for_blocked(pool, 0, m, /*grain=*/256, [&](std::size_t k0, std::size_t k1) {
-    simd::column_exclusive_scan<T, Op>(local.data(), chunks, m, k0, k1,
-                                       reduction.data(), op);
-  });
+  parallel_for_blocked(
+      pool, 0, m, /*grain=*/256,
+      [&](std::size_t k0, std::size_t k1) {
+        simd::column_exclusive_scan<T, Op>(local.data(), chunks, m, k0, k1,
+                                           reduction.data(), op);
+      },
+      rc);
 
   // Pass 3: combine the chunk offset on the left of each local prefix.
-  pool.run([&](std::size_t lane) {
-    for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
-      const T* offset = local.data() + ch * m;
-      for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i)
-        prefix[i] = op(offset[labels[i]], prefix[i]);
-    }
-  });
+  pool.run(
+      [&](std::size_t lane) {
+        for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+          const T* offset = local.data() + ch * m;
+          std::size_t i = bounds[ch];
+          while (i < bounds[ch + 1]) {
+            checkpoint(rc);
+            const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
+                                         ? i + kCancelCheckBlock
+                                         : bounds[ch + 1];
+            for (; i < stop; ++i) prefix[i] = op(offset[labels[i]], prefix[i]);
+          }
+        }
+      },
+      rc);
 }
 
 template <class T, class Op = Plus>
@@ -102,10 +131,11 @@ template <class T, class Op = Plus>
 MultiprefixResult<T> multiprefix_chunked(std::span<const T> values,
                                          std::span<const label_t> labels, std::size_t m,
                                          ThreadPool& pool, Op op = {},
-                                         std::size_t chunks_hint = 0) {
+                                         std::size_t chunks_hint = 0,
+                                         const RunContext* rc = nullptr) {
   MultiprefixResult<T> out(values.size(), m, op.template identity<T>());
   multiprefix_chunked_into<T, Op>(values, labels, std::span<T>(out.prefix),
-                                  std::span<T>(out.reduction), pool, op, chunks_hint);
+                                  std::span<T>(out.reduction), pool, op, chunks_hint, rc);
   return out;
 }
 
@@ -113,7 +143,7 @@ template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 void multireduce_chunked_into(std::span<const T> values, std::span<const label_t> labels,
                               std::span<T> reduction, ThreadPool& pool, Op op = {},
-                              std::size_t chunks_hint = 0) {
+                              std::size_t chunks_hint = 0, const RunContext* rc = nullptr) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
   const std::size_t n = values.size();
   const std::size_t m = reduction.size();
@@ -125,33 +155,47 @@ void multireduce_chunked_into(std::span<const T> values, std::span<const label_t
 
   const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
   const std::vector<std::size_t> bounds = partition_range(n, chunks);
+  BudgetCharge scratch(rc, chunks * m * sizeof(T));
+  notify_alloc(chunks * m * sizeof(T));
   std::vector<T> local(chunks * m, id);
 
-  pool.run([&](std::size_t lane) {
-    for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
-      const std::size_t len = bounds[ch + 1] - bounds[ch];
-      if (len == 0) continue;
-      MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
-                 "label out of range");
-      T* bucket = local.data() + ch * m;
-      for (std::size_t i = bounds[ch]; i < bounds[ch + 1]; ++i)
-        bucket[labels[i]] = op(bucket[labels[i]], values[i]);
-    }
-  });
+  pool.run(
+      [&](std::size_t lane) {
+        for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+          const std::size_t len = bounds[ch + 1] - bounds[ch];
+          if (len == 0) continue;
+          MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
+                     "label out of range");
+          T* bucket = local.data() + ch * m;
+          std::size_t i = bounds[ch];
+          while (i < bounds[ch + 1]) {
+            checkpoint(rc);
+            const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
+                                         ? i + kCancelCheckBlock
+                                         : bounds[ch + 1];
+            for (; i < stop; ++i) bucket[labels[i]] = op(bucket[labels[i]], values[i]);
+          }
+        }
+      },
+      rc);
 
-  parallel_for_blocked(pool, 0, m, /*grain=*/256, [&](std::size_t k0, std::size_t k1) {
-    simd::column_reduce<T, Op>(local.data(), chunks, m, k0, k1, reduction.data(), op);
-  });
+  parallel_for_blocked(
+      pool, 0, m, /*grain=*/256,
+      [&](std::size_t k0, std::size_t k1) {
+        simd::column_reduce<T, Op>(local.data(), chunks, m, k0, k1, reduction.data(), op);
+      },
+      rc);
 }
 
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 std::vector<T> multireduce_chunked(std::span<const T> values, std::span<const label_t> labels,
                                    std::size_t m, ThreadPool& pool, Op op = {},
-                                   std::size_t chunks_hint = 0) {
+                                   std::size_t chunks_hint = 0,
+                                   const RunContext* rc = nullptr) {
   std::vector<T> reduction(m, op.template identity<T>());
   multireduce_chunked_into<T, Op>(values, labels, std::span<T>(reduction), pool, op,
-                                  chunks_hint);
+                                  chunks_hint, rc);
   return reduction;
 }
 

@@ -54,6 +54,18 @@ Strategy Engine::resolve(Strategy requested, std::size_t n, std::size_t m,
   return n >= options_.auto_parallel_min_n ? Strategy::kParallel : Strategy::kVectorized;
 }
 
+Strategy Engine::budget_fit(Strategy preferred, std::size_t n, std::size_t m,
+                            std::size_t elem_size, std::size_t budget) const {
+  const std::size_t threads = pool().num_threads();
+  Strategy stage = preferred;
+  for (;;) {
+    if (strategy_scratch_bytes(stage, n, m, elem_size, threads) <= budget) return stage;
+    const Strategy next = strategy_info(stage).fallback_next;
+    if (next == stage) return stage;  // terminal (kSerial: zero scratch)
+    stage = next;
+  }
+}
+
 Strategy Engine::resolved(Strategy requested, std::span<const label_t> labels,
                           std::size_t m) {
   if (requested != Strategy::kAuto) return requested;

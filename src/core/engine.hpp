@@ -39,10 +39,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/labels.hpp"
+#include "common/run_context.hpp"
 #include "core/chunked.hpp"
 #include "core/executor.hpp"
 #include "core/ops.hpp"
@@ -149,29 +151,35 @@ class Engine {
 
   /// Full multiprefix into caller buffers; m = reduction.size(),
   /// prefix.size() must equal values.size(). All m reduction slots are
-  /// written (identity for unreferenced classes).
+  /// written (identity for unreferenced classes). `ctx` governs the run
+  /// (deadline, cancellation, byte budget, retries — see
+  /// common/run_context.hpp); the default context is ungoverned and adds no
+  /// cost.
   template <class T, class Op = Plus>
     requires AssociativeOp<Op, T>
   void multiprefix_into(std::span<const T> values, std::span<const label_t> labels,
                         std::span<T> prefix, std::span<T> reduction, Op op = {},
-                        Strategy strategy = Strategy::kAuto);
+                        Strategy strategy = Strategy::kAuto,
+                        const RunContext& ctx = RunContext::none());
 
   /// Multireduce into a caller buffer; m = reduction.size().
   template <class T, class Op = Plus>
     requires AssociativeOp<Op, T>
   void multireduce_into(std::span<const T> values, std::span<const label_t> labels,
                         std::span<T> reduction, Op op = {},
-                        Strategy strategy = Strategy::kAuto);
+                        Strategy strategy = Strategy::kAuto,
+                        const RunContext& ctx = RunContext::none());
 
   /// Allocating forms of the above.
   template <class T, class Op = Plus>
     requires AssociativeOp<Op, T>
   MultiprefixResult<T> multiprefix(std::span<const T> values, std::span<const label_t> labels,
                                    std::size_t m, Op op = {},
-                                   Strategy strategy = Strategy::kAuto) {
+                                   Strategy strategy = Strategy::kAuto,
+                                   const RunContext& ctx = RunContext::none()) {
     MultiprefixResult<T> out(values.size(), m, op.template identity<T>());
     multiprefix_into<T, Op>(values, labels, std::span<T>(out.prefix),
-                            std::span<T>(out.reduction), op, strategy);
+                            std::span<T>(out.reduction), op, strategy, ctx);
     return out;
   }
 
@@ -179,9 +187,10 @@ class Engine {
     requires AssociativeOp<Op, T>
   std::vector<T> multireduce(std::span<const T> values, std::span<const label_t> labels,
                              std::size_t m, Op op = {},
-                             Strategy strategy = Strategy::kAuto) {
+                             Strategy strategy = Strategy::kAuto,
+                             const RunContext& ctx = RunContext::none()) {
     std::vector<T> reduction(m, op.template identity<T>());
-    multireduce_into<T, Op>(values, labels, std::span<T>(reduction), op, strategy);
+    multireduce_into<T, Op>(values, labels, std::span<T>(reduction), op, strategy, ctx);
     return reduction;
   }
 
@@ -189,6 +198,85 @@ class Engine {
   void reset_counters();
 
  private:
+  /// First strategy along `preferred`'s fallback chain whose estimated
+  /// scratch (strategy_scratch_bytes) fits `budget` bytes; kSerial (zero
+  /// scratch) always fits. Pre-emptive arm of budget governance.
+  Strategy budget_fit(Strategy preferred, std::size_t n, std::size_t m,
+                      std::size_t elem_size, std::size_t budget) const;
+
+  /// The governed dispatch loop shared by multiprefix_into/multireduce_into.
+  /// invoke(stage, rc) must run the registry row for `stage`, writing the
+  /// full output (so a degraded rerun simply overwrites any partial result —
+  /// bit-identical outputs either way, every strategy computes the same
+  /// function). Policy:
+  ///   * kCancelled / kDeadlineExceeded — counted once, rethrown (no stage
+  ///     can outrun a deadline that already expired);
+  ///   * kPoolFailure — retried in place up to ctx.retry.max_retries times
+  ///     with backoff (transient substrate failure), then rethrown for the
+  ///     resilient chain;
+  ///   * kBudgetExceeded / bad_alloc under a budget — degrade to the serial
+  ///     sweep (zero scratch) and rerun.
+  template <class Invoke>
+  void governed_dispatch(Strategy s, std::size_t n, std::size_t m, std::size_t elem_size,
+                         const RunContext& ctx, Invoke&& invoke) {
+    if (!ctx.governed()) {
+      invoke(s, static_cast<const RunContext*>(nullptr));
+      return;
+    }
+    FallbackCounters& counters = ctx.sink();
+    if (Status st = ctx.poll(); !st.is_ok()) {  // refuse dead-on-arrival runs
+      (st.code() == ErrorCode::kCancelled ? counters.cancellations
+                                          : counters.deadlines_exceeded)
+          .fetch_add(1, std::memory_order_relaxed);
+      throw MpError(std::move(st));
+    }
+    Strategy stage = s;
+    if (ctx.memory_governed()) {
+      stage = budget_fit(s, n, m, elem_size, ctx.remaining_bytes());
+      if (stage != s) counters.budget_degrades.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::size_t attempt = 0;
+    for (;;) {
+      try {
+        Workspace::BudgetScope budget(scratch(), &ctx);
+        invoke(stage, &ctx);
+        return;
+      } catch (const MpError& e) {
+        if (e.code() == ErrorCode::kCancelled || e.code() == ErrorCode::kDeadlineExceeded) {
+          (e.code() == ErrorCode::kCancelled ? counters.cancellations
+                                             : counters.deadlines_exceeded)
+              .fetch_add(1, std::memory_order_relaxed);
+          throw;
+        }
+        if (e.code() == ErrorCode::kBudgetExceeded && stage != Strategy::kSerial) {
+          counters.budget_degrades.fetch_add(1, std::memory_order_relaxed);
+          stage = Strategy::kSerial;  // zero scratch always fits
+          continue;
+        }
+        if (e.code() == ErrorCode::kPoolFailure && attempt < ctx.retry.max_retries) {
+          ++attempt;
+          counters.retries.fetch_add(1, std::memory_order_relaxed);
+          if (ctx.retry.backoff.count() > 0) std::this_thread::sleep_for(ctx.retry.backoff);
+          // The backoff may have consumed the deadline — counted poll, as
+          // in the precheck above.
+          if (Status st = ctx.poll(); !st.is_ok()) {
+            (st.code() == ErrorCode::kCancelled ? counters.cancellations
+                                                : counters.deadlines_exceeded)
+                .fetch_add(1, std::memory_order_relaxed);
+            throw MpError(std::move(st));
+          }
+          continue;
+        }
+        throw;
+      } catch (const std::bad_alloc&) {
+        if (!ctx.memory_governed() || stage == Strategy::kSerial) throw;
+        counters.budget_degrades.fetch_add(1, std::memory_order_relaxed);
+        stage = Strategy::kSerial;
+        continue;
+      }
+    }
+  }
+
   /// kAuto resolution with the sighting side effect: notes the label key in
   /// the cache (recurring-vector detection) and counts the pick.
   Strategy resolved(Strategy requested, std::span<const label_t> labels, std::size_t m);
@@ -214,90 +302,109 @@ namespace detail {
 // ---------------------------------------------------------------------------
 // Registry entries: one multiprefix and one multireduce runner per concrete
 // strategy, all with the uniform into-buffer signature. Inputs are already
-// validated; reduction.size() is m.
+// validated; reduction.size() is m. `rc` is the run's governance context
+// (null for ungoverned dispatch) — every runner threads it down to the pass
+// loops so checkpoints fire at chunk boundaries.
 
 template <class T, class Op>
 void run_serial_mp(Engine&, std::span<const T> values, std::span<const label_t> labels,
-                   std::span<T> prefix, std::span<T> reduction, Op op) {
+                   std::span<T> prefix, std::span<T> reduction, Op op,
+                   const RunContext* rc) {
   // The Figure 2 sweep clears only referenced buckets; the into contract
   // promises identity in the rest.
   simd::fill(reduction, op.template identity<T>());
-  multiprefix_serial_into<T, Op>(values, labels, prefix, reduction, op);
+  multiprefix_serial_into<T, Op>(values, labels, prefix, reduction, op, rc);
 }
 
 template <class T, class Op>
 void run_serial_mr(Engine&, std::span<const T> values, std::span<const label_t> labels,
-                   std::span<T> reduction, Op op) {
+                   std::span<T> reduction, Op op, const RunContext* rc) {
   simd::fill(reduction, op.template identity<T>());
-  multireduce_serial_into<T, Op>(values, labels, reduction, op);
+  multireduce_serial_into<T, Op>(values, labels, reduction, op, rc);
 }
 
 template <class T, class Op>
 void run_vectorized_mp(Engine& eng, std::span<const T> values,
                        std::span<const label_t> labels, std::span<T> prefix,
-                       std::span<T> reduction, Op op) {
+                       std::span<T> reduction, Op op, const RunContext* rc) {
   // Never pass the pool here: this entry is the fallback stage that must
   // work when the pool is faulted (core/resilient.hpp).
+  checkpoint(rc);  // a cache-miss plan build is a whole phase of work
   const auto plan = eng.plan(labels, reduction.size(), nullptr);
   SpinetreeExecutor<T, Op> exec(*plan, op, eng.scratch());
-  exec.execute(values, prefix, reduction);
+  typename SpinetreeExecutor<T, Op>::Options opts;
+  opts.ctx = rc;
+  exec.execute(values, prefix, reduction, opts);
 }
 
 template <class T, class Op>
 void run_vectorized_mr(Engine& eng, std::span<const T> values,
-                       std::span<const label_t> labels, std::span<T> reduction, Op op) {
+                       std::span<const label_t> labels, std::span<T> reduction, Op op,
+                       const RunContext* rc) {
+  checkpoint(rc);
   const auto plan = eng.plan(labels, reduction.size(), nullptr);
   SpinetreeExecutor<T, Op> exec(*plan, op, eng.scratch());
-  exec.reduce(values, reduction);
+  typename SpinetreeExecutor<T, Op>::Options opts;
+  opts.ctx = rc;
+  exec.reduce(values, reduction, opts);
 }
 
 template <class T, class Op>
 void run_parallel_mp(Engine& eng, std::span<const T> values, std::span<const label_t> labels,
-                     std::span<T> prefix, std::span<T> reduction, Op op) {
+                     std::span<T> prefix, std::span<T> reduction, Op op,
+                     const RunContext* rc) {
+  checkpoint(rc);
   const auto plan = eng.plan(labels, reduction.size(), &eng.pool());
-  ParallelSpinetreeExecutor<T, Op> exec(*plan, eng.pool(), op, kDefaultGrain, eng.scratch());
+  ParallelSpinetreeExecutor<T, Op> exec(*plan, eng.pool(), op, kDefaultGrain, eng.scratch(),
+                                        rc);
   exec.execute(values, prefix, reduction);
 }
 
 template <class T, class Op>
 void run_parallel_mr(Engine& eng, std::span<const T> values, std::span<const label_t> labels,
-                     std::span<T> reduction, Op op) {
+                     std::span<T> reduction, Op op, const RunContext* rc) {
+  checkpoint(rc);
   const auto plan = eng.plan(labels, reduction.size(), &eng.pool());
-  ParallelSpinetreeExecutor<T, Op> exec(*plan, eng.pool(), op, kDefaultGrain, eng.scratch());
+  ParallelSpinetreeExecutor<T, Op> exec(*plan, eng.pool(), op, kDefaultGrain, eng.scratch(),
+                                        rc);
   exec.reduce(values, reduction);
 }
 
 template <class T, class Op>
 void run_sort_based_mp(Engine&, std::span<const T> values, std::span<const label_t> labels,
-                       std::span<T> prefix, std::span<T> reduction, Op op) {
-  multiprefix_sort_based_into<T, Op>(values, labels, prefix, reduction, op);
+                       std::span<T> prefix, std::span<T> reduction, Op op,
+                       const RunContext* rc) {
+  multiprefix_sort_based_into<T, Op>(values, labels, prefix, reduction, op, rc);
 }
 
 template <class T, class Op>
 void run_sort_based_mr(Engine&, std::span<const T> values, std::span<const label_t> labels,
-                       std::span<T> reduction, Op op) {
-  multireduce_sort_based_into<T, Op>(values, labels, reduction, op);
+                       std::span<T> reduction, Op op, const RunContext* rc) {
+  multireduce_sort_based_into<T, Op>(values, labels, reduction, op, rc);
 }
 
 template <class T, class Op>
 void run_chunked_mp(Engine& eng, std::span<const T> values, std::span<const label_t> labels,
-                    std::span<T> prefix, std::span<T> reduction, Op op) {
-  multiprefix_chunked_into<T, Op>(values, labels, prefix, reduction, eng.pool(), op);
+                    std::span<T> prefix, std::span<T> reduction, Op op,
+                    const RunContext* rc) {
+  multiprefix_chunked_into<T, Op>(values, labels, prefix, reduction, eng.pool(), op,
+                                  /*chunks_hint=*/0, rc);
 }
 
 template <class T, class Op>
 void run_chunked_mr(Engine& eng, std::span<const T> values, std::span<const label_t> labels,
-                    std::span<T> reduction, Op op) {
-  multireduce_chunked_into<T, Op>(values, labels, reduction, eng.pool(), op);
+                    std::span<T> reduction, Op op, const RunContext* rc) {
+  multireduce_chunked_into<T, Op>(values, labels, reduction, eng.pool(), op,
+                                  /*chunks_hint=*/0, rc);
 }
 
 /// One row of the dispatch table.
 template <class T, class Op>
 struct StrategyFns {
   void (*run_multiprefix)(Engine&, std::span<const T>, std::span<const label_t>,
-                          std::span<T>, std::span<T>, Op);
+                          std::span<T>, std::span<T>, Op, const RunContext*);
   void (*run_multireduce)(Engine&, std::span<const T>, std::span<const label_t>,
-                          std::span<T>, Op);
+                          std::span<T>, Op, const RunContext*);
 };
 
 /// THE strategy-dispatch table — indexed by strategy_index() in enum order,
@@ -318,24 +425,39 @@ template <class T, class Op>
   requires AssociativeOp<Op, T>
 void Engine::multiprefix_into(std::span<const T> values, std::span<const label_t> labels,
                               std::span<T> prefix, std::span<T> reduction, Op op,
-                              Strategy strategy) {
+                              Strategy strategy, const RunContext& ctx) {
   require_valid_inputs(values.size(), labels, reduction.size());
   MP_REQUIRE(prefix.size() == values.size(), "prefix output size mismatch");
+  if (values.empty()) {  // nothing to sweep: the into contract is identity fills
+    simd::fill(reduction, op.template identity<T>());
+    return;
+  }
   const Strategy s = resolved(strategy, labels, reduction.size());
   count_run(s);
-  detail::kStrategyRegistry<T, Op>[strategy_index(s)].run_multiprefix(*this, values, labels,
-                                                                      prefix, reduction, op);
+  governed_dispatch(s, values.size(), reduction.size(), sizeof(T), ctx,
+                    [&](Strategy stage, const RunContext* rc) {
+                      detail::kStrategyRegistry<T, Op>[strategy_index(stage)].run_multiprefix(
+                          *this, values, labels, prefix, reduction, op, rc);
+                    });
 }
 
 template <class T, class Op>
   requires AssociativeOp<Op, T>
 void Engine::multireduce_into(std::span<const T> values, std::span<const label_t> labels,
-                              std::span<T> reduction, Op op, Strategy strategy) {
+                              std::span<T> reduction, Op op, Strategy strategy,
+                              const RunContext& ctx) {
   require_valid_inputs(values.size(), labels, reduction.size());
+  if (values.empty()) {
+    simd::fill(reduction, op.template identity<T>());
+    return;
+  }
   const Strategy s = resolved(strategy, labels, reduction.size());
   count_run(s);
-  detail::kStrategyRegistry<T, Op>[strategy_index(s)].run_multireduce(*this, values, labels,
-                                                                      reduction, op);
+  governed_dispatch(s, values.size(), reduction.size(), sizeof(T), ctx,
+                    [&](Strategy stage, const RunContext* rc) {
+                      detail::kStrategyRegistry<T, Op>[strategy_index(stage)].run_multireduce(
+                          *this, values, labels, reduction, op, rc);
+                    });
 }
 
 }  // namespace mp

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/run_context.hpp"
 #include "common/timer.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
@@ -75,6 +76,11 @@ class SpinetreeExecutor {
     vm::Tracer* tracer = nullptr;
     /// If nonnull, receives wall-clock seconds per phase.
     PhaseSeconds* timings = nullptr;
+    /// If nonnull, governance checkpoints run at phase and chunk
+    /// boundaries — see common/run_context.hpp. A cancelled or
+    /// deadline-expired execution throws within one chunk's latency,
+    /// between element combines (never mid-write).
+    const RunContext* ctx = nullptr;
   };
 
   /// With a Workspace, the rowsum/spinesum scratch is borrowed from (and on
@@ -152,6 +158,7 @@ class SpinetreeExecutor {
     const std::size_t rows = plan_->shape().rows;
     const auto spine = plan_->spine();
     vm::Tracer* tracer = options.tracer;
+    const RunContext* rc = options.ctx;
     const T id = op_.template identity<T>();
     Timer phase_timer;
     auto lap = [&](double PhaseSeconds::*field) {
@@ -164,6 +171,7 @@ class SpinetreeExecutor {
     // Initialization: clear all temporaries (one parallel step, Figure 3) —
     // a SIMD broadcast-store sweep (workspace-acquired scratch arrives with
     // capacity only, so size first).
+    checkpoint(rc);
     rowsum_.resize(m + n);
     spinesum_.resize(m + n);
     simd::fill(std::span<T>(rowsum_), id);
@@ -178,12 +186,19 @@ class SpinetreeExecutor {
     // sweep strides by L, a fresh cache line per access on a cache
     // machine); the traced sweep is the paper's vector-op structure.
     if (tracer == nullptr && options.sequential_grid_sweeps) {
-      for (std::size_t i = 0; i < n; ++i) {
-        const auto s = spine[m + i];
-        rowsum_[s] = op_(rowsum_[s], value(i));
+      std::size_t i = 0;
+      while (i < n) {
+        checkpoint(rc);
+        const std::size_t stop =
+            rc != nullptr && n - i > kCancelCheckBlock ? i + kCancelCheckBlock : n;
+        for (; i < stop; ++i) {
+          const auto s = spine[m + i];
+          rowsum_[s] = op_(rowsum_[s], value(i));
+        }
       }
     } else {
       for (std::size_t c = 0; c < L && c < n; ++c) {
+        checkpoint(rc);  // one column per iteration — the paper's chunk
         std::size_t cnt = 0;
         for (std::size_t i = c; i < n; i += L) {
           const auto s = spine[m + i];
@@ -198,6 +213,7 @@ class SpinetreeExecutor {
     // SPINESUMS: rows bottom to top.
     if (options.compressed_spine) {
       for (std::size_t r = 0; r < rows; ++r) {
+        if (rc != nullptr && (r & 255) == 0) rc->checkpoint();  // row = chunk
         const auto elems = plan_->spine_elements_of_row(r);
         for (const auto e : elems) {
           const auto p = spine[m + e];
@@ -209,6 +225,7 @@ class SpinetreeExecutor {
     } else {
       const auto flags = plan_->is_spine_flags();
       for (std::size_t r = 0; r < rows; ++r) {
+        if (rc != nullptr && (r & 255) == 0) rc->checkpoint();
         const std::size_t lo = r * L;
         const std::size_t hi = lo + L < n ? lo + L : n;
         for (std::size_t i = lo; i < hi; ++i) {
@@ -228,6 +245,7 @@ class SpinetreeExecutor {
     // row) — vector order preserved. It must precede MULTISUMS, which
     // consumes the spinesum values.
     if (!reduction.empty()) {
+      checkpoint(rc);
       simd::combine(std::span<const T>(spinesum_.data(), m),
                     std::span<const T>(rowsum_.data(), m), reduction.first(m), op_);
       if (tracer) tracer->record(vm::OpKind::kElementwise, m);
@@ -240,13 +258,20 @@ class SpinetreeExecutor {
     // whose children arrive in column order either way.
     if (prefix != nullptr) {
       if (tracer == nullptr && options.sequential_grid_sweeps) {
-        for (std::size_t i = 0; i < n; ++i) {
-          const auto s = spine[m + i];
-          prefix[i] = spinesum_[s];
-          spinesum_[s] = op_(spinesum_[s], value(i));
+        std::size_t i = 0;
+        while (i < n) {
+          checkpoint(rc);
+          const std::size_t stop =
+              rc != nullptr && n - i > kCancelCheckBlock ? i + kCancelCheckBlock : n;
+          for (; i < stop; ++i) {
+            const auto s = spine[m + i];
+            prefix[i] = spinesum_[s];
+            spinesum_[s] = op_(spinesum_[s], value(i));
+          }
         }
       } else {
         for (std::size_t c = 0; c < L && c < n; ++c) {
+          checkpoint(rc);
           std::size_t cnt = 0;
           for (std::size_t i = c; i < n; i += L) {
             const auto s = spine[m + i];

@@ -21,12 +21,16 @@
 namespace mp {
 
 /// Computes the full multiprefix of `values` under `labels` (each < m).
+/// `ctx` optionally governs the run — deadline, cancellation token, byte
+/// budget, retry policy (common/run_context.hpp); the default context is
+/// ungoverned.
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 MultiprefixResult<T> multiprefix(std::span<const T> values, std::span<const label_t> labels,
                                  std::size_t m, Op op = {},
-                                 Strategy strategy = Strategy::kAuto) {
-  return Engine::global().multiprefix<T, Op>(values, labels, m, op, strategy);
+                                 Strategy strategy = Strategy::kAuto,
+                                 const RunContext& ctx = RunContext::none()) {
+  return Engine::global().multiprefix<T, Op>(values, labels, m, op, strategy, ctx);
 }
 
 /// Computes only the per-label reductions (multireduce, paper §4.2).
@@ -34,8 +38,9 @@ template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 std::vector<T> multireduce(std::span<const T> values, std::span<const label_t> labels,
                            std::size_t m, Op op = {},
-                           Strategy strategy = Strategy::kAuto) {
-  return Engine::global().multireduce<T, Op>(values, labels, m, op, strategy);
+                           Strategy strategy = Strategy::kAuto,
+                           const RunContext& ctx = RunContext::none()) {
+  return Engine::global().multireduce<T, Op>(values, labels, m, op, strategy, ctx);
 }
 
 }  // namespace mp

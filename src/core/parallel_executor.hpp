@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/run_context.hpp"
 #include "core/ops.hpp"
 #include "core/spinetree_plan.hpp"
 #include "core/workspace.hpp"
@@ -39,13 +40,17 @@ class ParallelSpinetreeExecutor {
  public:
   /// With a Workspace, scratch is borrowed from (and returned to) the pool
   /// instead of heap-allocated per executor; the workspace must outlive the
-  /// executor (see core/workspace.hpp).
+  /// executor (see core/workspace.hpp). With a RunContext, every pardo
+  /// checkpoints at chunk boundaries (common/run_context.hpp); the context
+  /// must outlive the executor's runs.
   ParallelSpinetreeExecutor(const SpinetreePlan& plan, ThreadPool& pool, Op op = {},
-                            std::size_t grain = kDefaultGrain, Workspace* ws = nullptr)
+                            std::size_t grain = kDefaultGrain, Workspace* ws = nullptr,
+                            const RunContext* rc = nullptr)
       : plan_(&plan),
         pool_(&pool),
         op_(op),
         grain_(grain),
+        rc_(rc),
         ws_(ws),
         rowsum_(ws != nullptr ? ws->acquire<T>(plan.m() + plan.n())
                               : std::vector<T>(plan.m() + plan.n())),
@@ -66,6 +71,7 @@ class ParallelSpinetreeExecutor {
         pool_(other.pool_),
         op_(other.op_),
         grain_(other.grain_),
+        rc_(other.rc_),
         ws_(std::exchange(other.ws_, nullptr)),
         rowsum_(std::move(other.rowsum_)),
         spinesum_(std::move(other.spinesum_)) {}
@@ -96,48 +102,67 @@ class ParallelSpinetreeExecutor {
 
     // Workspace-acquired scratch arrives empty (capacity only); size it
     // before the parallel init sweep writes through operator[].
+    checkpoint(rc_);
     rowsum_.resize(m + n);
     spinesum_.resize(m + n);
 
-    parallel_for_blocked(*pool_, 0, m + n, grain_, [&](std::size_t lo, std::size_t hi) {
-      simd::fill(std::span<T>(rowsum_.data() + lo, hi - lo), id);
-      simd::fill(std::span<T>(spinesum_.data() + lo, hi - lo), id);
-    });
+    parallel_for_blocked(
+        *pool_, 0, m + n, grain_,
+        [&](std::size_t lo, std::size_t hi) {
+          simd::fill(std::span<T>(rowsum_.data() + lo, hi - lo), id);
+          simd::fill(std::span<T>(spinesum_.data() + lo, hi - lo), id);
+        },
+        rc_);
 
     // ROWSUMS: pardo over each column; parents within a column are distinct.
+    // The column sweeps are the chunk boundaries — a checkpoint between two
+    // columns sees every prior column fully combined.
     for (std::size_t c = 0; c < L && c < n; ++c) {
-      parallel_for_strided(*pool_, c, n, L, grain_, [&](std::size_t i) {
-        const auto s = spine[m + i];
-        rowsum_[s] = op_(rowsum_[s], values[i]);
-      });
+      parallel_for_strided(
+          *pool_, c, n, L, grain_,
+          [&](std::size_t i) {
+            const auto s = spine[m + i];
+            rowsum_[s] = op_(rowsum_[s], values[i]);
+          },
+          rc_);
     }
 
     // SPINESUMS: pardo over the spine elements of each row, bottom to top.
     for (std::size_t r = 0; r < rows; ++r) {
+      if (rc_ != nullptr && (r & 255) == 0) rc_->checkpoint();
       const auto elems = plan_->spine_elements_of_row(r);
-      parallel_for(*pool_, 0, elems.size(), grain_, [&](std::size_t k) {
-        const auto e = elems[k];
-        const auto p = spine[m + e];
-        spinesum_[p] = op_(spinesum_[m + e], rowsum_[m + e]);
-      });
+      parallel_for(
+          *pool_, 0, elems.size(), grain_,
+          [&](std::size_t k) {
+            const auto e = elems[k];
+            const auto p = spine[m + e];
+            spinesum_[p] = op_(spinesum_[m + e], rowsum_[m + e]);
+          },
+          rc_);
     }
 
     if (!reduction.empty()) {
-      parallel_for_blocked(*pool_, 0, m, grain_, [&](std::size_t lo, std::size_t hi) {
-        simd::combine(std::span<const T>(spinesum_.data() + lo, hi - lo),
-                      std::span<const T>(rowsum_.data() + lo, hi - lo),
-                      reduction.subspan(lo, hi - lo), op_);
-      });
+      parallel_for_blocked(
+          *pool_, 0, m, grain_,
+          [&](std::size_t lo, std::size_t hi) {
+            simd::combine(std::span<const T>(spinesum_.data() + lo, hi - lo),
+                          std::span<const T>(rowsum_.data() + lo, hi - lo),
+                          reduction.subspan(lo, hi - lo), op_);
+          },
+          rc_);
     }
 
     // MULTISUMS: pardo over each column.
     if (prefix != nullptr) {
       for (std::size_t c = 0; c < L && c < n; ++c) {
-        parallel_for_strided(*pool_, c, n, L, grain_, [&](std::size_t i) {
-          const auto s = spine[m + i];
-          prefix[i] = spinesum_[s];
-          spinesum_[s] = op_(spinesum_[s], values[i]);
-        });
+        parallel_for_strided(
+            *pool_, c, n, L, grain_,
+            [&](std::size_t i) {
+              const auto s = spine[m + i];
+              prefix[i] = spinesum_[s];
+              spinesum_[s] = op_(spinesum_[s], values[i]);
+            },
+            rc_);
       }
     }
   }
@@ -146,6 +171,7 @@ class ParallelSpinetreeExecutor {
   ThreadPool* pool_;
   Op op_;
   std::size_t grain_;
+  const RunContext* rc_ = nullptr;
   Workspace* ws_ = nullptr;
   std::vector<T> rowsum_;
   std::vector<T> spinesum_;

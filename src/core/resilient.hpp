@@ -16,9 +16,11 @@
 // truth the engine's dispatch registry is indexed by. A preferred kAuto is
 // resolved to a concrete strategy by the engine before the chain is built.
 //
-// A stage is abandoned only on MpError{kPoolFailure, kExecutionFault} or
-// std::bad_alloc (the serial sweep needs the least scratch memory);
-// kInvalidLabel / kShapeMismatch propagate immediately — see error.hpp.
+// A stage is abandoned only on MpError{kPoolFailure, kExecutionFault,
+// kBudgetExceeded} or std::bad_alloc (the serial sweep needs the least
+// scratch memory); kInvalidLabel / kShapeMismatch propagate immediately,
+// as do the governance stops kCancelled / kDeadlineExceeded
+// (common/run_context.hpp) — see error.hpp.
 // Every attempt, fallback and failure cause is counted in a
 // FallbackCounters block (a process-wide one by default) so operators can
 // see degradation happening instead of silently running slow.
@@ -43,40 +45,14 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/run_context.hpp"
 #include "core/multiprefix.hpp"
 
 namespace mp {
 
-/// Observability block for the resilient driver. All counters are relaxed
-/// atomics: totals are exact, cross-counter consistency is best-effort.
-struct FallbackCounters {
-  std::atomic<std::uint64_t> attempts{0};          // stages tried
-  std::atomic<std::uint64_t> successes{0};         // calls that returned
-  std::atomic<std::uint64_t> fallbacks{0};         // stages abandoned
-  std::atomic<std::uint64_t> pool_failures{0};     // abandoned: kPoolFailure
-  std::atomic<std::uint64_t> execution_faults{0};  // abandoned: kExecutionFault/bad_alloc
-  std::atomic<std::uint64_t> verify_failures{0};   // abandoned: self-check mismatch
-  std::atomic<std::uint64_t> exhausted{0};         // whole chain failed
-
-  void reset() {
-    // Plain chained `=` through atomics assigns the int result of each
-    // store, not the atomic — spell out the stores.
-    attempts.store(0, std::memory_order_relaxed);
-    successes.store(0, std::memory_order_relaxed);
-    fallbacks.store(0, std::memory_order_relaxed);
-    pool_failures.store(0, std::memory_order_relaxed);
-    execution_faults.store(0, std::memory_order_relaxed);
-    verify_failures.store(0, std::memory_order_relaxed);
-    exhausted.store(0, std::memory_order_relaxed);
-  }
-};
-
-/// The process-wide counter block used when ResilientOptions::counters is
-/// null.
-inline FallbackCounters& global_fallback_counters() {
-  static FallbackCounters counters;
-  return counters;
-}
+// FallbackCounters and global_fallback_counters() live in
+// common/run_context.hpp now (the engine's governed dispatch shares the
+// block); this header re-exposes them by inclusion, unchanged.
 
 struct ResilientOptions {
   /// kAuto is resolved by Engine::global() from (n, m) before the chain is
@@ -87,13 +63,20 @@ struct ResilientOptions {
   bool self_verify = false;
   std::size_t verify_window = 64;
   std::uint64_t verify_seed = 0x5eed5eed5eedULL;
-  /// Counter block to update; null = global_fallback_counters().
+  /// Counter block to update; null = context->counters, else
+  /// global_fallback_counters().
   FallbackCounters* counters = nullptr;
   /// Called immediately before each stage runs. Observability / test seam:
   /// throwing MpError(kExecutionFault or kPoolFailure) from here fails the
   /// stage exactly as a lane fault would, which is how the fallback chain
   /// itself is tested without real hardware faults.
   std::function<void(Strategy)> attempt_hook;
+  /// Run governance (deadline, cancellation, budget, retries —
+  /// common/run_context.hpp), threaded into every stage's engine dispatch.
+  /// kCancelled / kDeadlineExceeded are *not* degradable: no simpler
+  /// substrate can outrun an expired deadline, so they propagate through
+  /// the chain immediately. Must outlive the call. Null = ungoverned.
+  const RunContext* context = nullptr;
 };
 
 /// What the resilient driver actually did, alongside the result.
@@ -163,9 +146,15 @@ Result run_chain(const ResilientOptions& options, Strategy preferred,
                  std::vector<Status>& faults, std::size_t& fallbacks, Strategy& used,
                  AttemptFn&& attempt, VerifyFn&& verify) {
   FallbackCounters& counters =
-      options.counters != nullptr ? *options.counters : global_fallback_counters();
+      options.counters != nullptr
+          ? *options.counters
+          : (options.context != nullptr ? options.context->sink()
+                                        : global_fallback_counters());
   const std::vector<Strategy> chain = fallback_chain(preferred);
   for (const Strategy stage : chain) {
+    // A cancelled or deadline-expired call must not start another stage —
+    // the engine already counted the event; here we just stop walking.
+    if (options.context != nullptr) options.context->checkpoint();
     counters.attempts.fetch_add(1, std::memory_order_relaxed);
     Status fault;
     try {
@@ -180,8 +169,13 @@ Result run_chain(const ResilientOptions& options, Strategy preferred,
         return result;
       }
     } catch (const MpError& e) {
-      if (e.code() != ErrorCode::kPoolFailure && e.code() != ErrorCode::kExecutionFault)
-        throw;  // input-contract violations fail identically everywhere
+      // Degradable: substrate failures (pool, lane fault, budget). Not
+      // degradable: input-contract violations (identical everywhere) and
+      // governance stops (kCancelled / kDeadlineExceeded — no stage can
+      // outrun them).
+      if (e.code() != ErrorCode::kPoolFailure && e.code() != ErrorCode::kExecutionFault &&
+          e.code() != ErrorCode::kBudgetExceeded)
+        throw;
       (e.code() == ErrorCode::kPoolFailure ? counters.pool_failures
                                            : counters.execution_faults)
           .fetch_add(1, std::memory_order_relaxed);
@@ -215,9 +209,11 @@ ResilientOutcome<T> resilient_multiprefix(std::span<const T> values,
   const Strategy preferred = Engine::global().resolve(options.preferred, values.size(), m);
   const auto [lo, len] =
       detail::verify_span(values.size(), options.verify_window, options.verify_seed);
+  const RunContext& ctx =
+      options.context != nullptr ? *options.context : RunContext::none();
   outcome.result = detail::run_chain<MultiprefixResult<T>>(
       options, preferred, outcome.faults, outcome.fallbacks, outcome.used,
-      [&](Strategy stage) { return multiprefix<T, Op>(values, labels, m, op, stage); },
+      [&](Strategy stage) { return multiprefix<T, Op>(values, labels, m, op, stage, ctx); },
       [&](Strategy stage, const MultiprefixResult<T>& result) {
         if (!options.self_verify) return Status::ok();
         return detail::verify_window<T, Op>(values, labels, &result.prefix,
@@ -240,9 +236,11 @@ std::vector<T> resilient_multireduce(std::span<const T> values,
   const Strategy preferred = Engine::global().resolve(options.preferred, values.size(), m);
   const auto [lo, len] =
       detail::verify_span(values.size(), options.verify_window, options.verify_seed);
+  const RunContext& ctx =
+      options.context != nullptr ? *options.context : RunContext::none();
   std::vector<T> reduction = detail::run_chain<std::vector<T>>(
       options, preferred, outcome.faults, outcome.fallbacks, outcome.used,
-      [&](Strategy stage) { return multireduce<T, Op>(values, labels, m, op, stage); },
+      [&](Strategy stage) { return multireduce<T, Op>(values, labels, m, op, stage, ctx); },
       [&](Strategy stage, const std::vector<T>& red) {
         if (!options.self_verify) return Status::ok();
         return detail::verify_window<T, Op>(values, labels, /*prefix=*/nullptr, red, op, lo,

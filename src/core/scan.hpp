@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/run_context.hpp"
 #include "core/ops.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -77,7 +78,7 @@ T inclusive_scan(std::span<T> data, Op op = {}) {
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 T exclusive_scan_partition(std::span<T> data, ThreadPool& pool, Op op = {},
-                           std::size_t blocks_hint = 0) {
+                           std::size_t blocks_hint = 0, const RunContext* rc = nullptr) {
   const std::size_t n = data.size();
   const T id = op.template identity<T>();
   if (n == 0) return id;
@@ -86,18 +87,30 @@ T exclusive_scan_partition(std::span<T> data, ThreadPool& pool, Op op = {},
       blocks_hint != 0 ? blocks_hint : std::max<std::size_t>(1, pool.num_threads() * 4);
   const std::vector<std::size_t> bounds = partition_range(n, blocks);
 
+  // Governance checkpoints sit at the method's own phase boundaries (each
+  // block is one kernel sweep — the natural chunk).
+  checkpoint(rc);
+  BudgetCharge scratch(rc, blocks * sizeof(T));
   std::vector<T> totals(blocks, id);
-  parallel_for(pool, 0, blocks, /*grain=*/1, [&](std::size_t b) {
-    totals[b] = simd::reduce<T, Op>(
-        std::span<const T>(data.data() + bounds[b], bounds[b + 1] - bounds[b]), op);
-  });
+  parallel_for(
+      pool, 0, blocks, /*grain=*/1,
+      [&](std::size_t b) {
+        checkpoint(rc);
+        totals[b] = simd::reduce<T, Op>(
+            std::span<const T>(data.data() + bounds[b], bounds[b + 1] - bounds[b]), op);
+      },
+      rc);
 
   const T grand_total = exclusive_scan_serial<T, Op>(totals, op);
 
-  parallel_for(pool, 0, blocks, /*grain=*/1, [&](std::size_t b) {
-    simd::exclusive_scan_seeded<T, Op>(
-        std::span<T>(data.data() + bounds[b], bounds[b + 1] - bounds[b]), totals[b], op);
-  });
+  parallel_for(
+      pool, 0, blocks, /*grain=*/1,
+      [&](std::size_t b) {
+        checkpoint(rc);
+        simd::exclusive_scan_seeded<T, Op>(
+            std::span<T>(data.data() + bounds[b], bounds[b + 1] - bounds[b]), totals[b], op);
+      },
+      rc);
   return grand_total;
 }
 

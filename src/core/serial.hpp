@@ -14,6 +14,7 @@
 
 #include "common/assert.hpp"
 #include "common/labels.hpp"
+#include "common/run_context.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
 #include "simd/kernels.hpp"
@@ -25,9 +26,11 @@ namespace mp {
 template <class T, class Op>
   requires AssociativeOp<Op, T>
 void multiprefix_serial_into(std::span<const T> values, std::span<const label_t> labels,
-                             std::span<T> prefix, std::span<T> reduction, Op op = {}) {
+                             std::span<T> prefix, std::span<T> reduction, Op op = {},
+                             const RunContext* rc = nullptr) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
   MP_REQUIRE(prefix.size() == values.size(), "prefix output size mismatch");
+  const std::size_t n = values.size();
   const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
 
@@ -38,10 +41,18 @@ void multiprefix_serial_into(std::span<const T> values, std::span<const label_t>
   if (!labels.empty()) MP_REQUIRE(simd::max_label(labels) < m, "label out of range");
   for (const label_t l : labels) reduction[l] = id;
   // Main sweep: save the running bucket value, then fold in the element.
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    T& bucket = reduction[labels[i]];
-    prefix[i] = bucket;
-    bucket = op(bucket, values[i]);
+  // Governed runs checkpoint at kCancelCheckBlock boundaries — between
+  // elements, so no bucket is ever left mid-combine.
+  std::size_t i = 0;
+  while (i < n) {
+    checkpoint(rc);
+    const std::size_t stop =
+        rc != nullptr && n - i > kCancelCheckBlock ? i + kCancelCheckBlock : n;
+    for (; i < stop; ++i) {
+      T& bucket = reduction[labels[i]];
+      prefix[i] = bucket;
+      bucket = op(bucket, values[i]);
+    }
   }
 }
 
@@ -61,15 +72,23 @@ MultiprefixResult<T> multiprefix_serial(std::span<const T> values,
 template <class T, class Op>
   requires AssociativeOp<Op, T>
 void multireduce_serial_into(std::span<const T> values, std::span<const label_t> labels,
-                             std::span<T> reduction, Op op = {}) {
+                             std::span<T> reduction, Op op = {},
+                             const RunContext* rc = nullptr) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
+  const std::size_t n = values.size();
   const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
   if (!labels.empty()) MP_REQUIRE(simd::max_label(labels) < m, "label out of range");
   for (const label_t l : labels) reduction[l] = id;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    T& bucket = reduction[labels[i]];
-    bucket = op(bucket, values[i]);
+  std::size_t i = 0;
+  while (i < n) {
+    checkpoint(rc);
+    const std::size_t stop =
+        rc != nullptr && n - i > kCancelCheckBlock ? i + kCancelCheckBlock : n;
+    for (; i < stop; ++i) {
+      T& bucket = reduction[labels[i]];
+      bucket = op(bucket, values[i]);
+    }
   }
 }
 

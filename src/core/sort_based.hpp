@@ -19,6 +19,7 @@
 
 #include "common/assert.hpp"
 #include "common/labels.hpp"
+#include "common/run_context.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
 #include "simd/kernels.hpp"
@@ -33,20 +34,27 @@ struct LabelSortResult {
   std::vector<std::uint32_t> offsets;  // size m + 1; class k at [offsets[k], offsets[k+1])
 };
 
-inline LabelSortResult sort_by_label(std::span<const label_t> labels, std::size_t m) {
+inline LabelSortResult sort_by_label(std::span<const label_t> labels, std::size_t m,
+                                     const RunContext* rc = nullptr) {
   const std::size_t n = labels.size();
   // One up-front range check instead of a branch per scattered element — the
   // engine facade (core/validate.hpp) has already validated labels on every
   // Engine path, so this re-check is a single vectorized sweep, and the
   // histogram/scatter loops below run branch-free.
   if (n != 0) MP_REQUIRE(simd::max_label(labels) < m, "label out of range");
+  // Each phase below is one whole-vector kernel sweep; the checkpoints sit
+  // at the phase boundaries (the chunk structure of this algorithm).
+  checkpoint(rc);
+  BudgetCharge scratch(rc, n * sizeof(std::uint32_t) + 2 * (m + 1) * sizeof(std::uint32_t));
   LabelSortResult out;
   out.offsets.assign(m + 1, 0);
   simd::histogram(labels, out.offsets.data() + 1, m);
+  checkpoint(rc);
   simd::inclusive_scan(std::span<std::uint32_t>(out.offsets.data() + 1, m));
 
   std::vector<std::uint32_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
   out.order.resize(n);
+  checkpoint(rc);
   simd::rank_scatter(labels, cursor.data(), out.order.data());
   return out;
 }
@@ -57,19 +65,28 @@ inline LabelSortResult sort_by_label(std::span<const label_t> labels, std::size_
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 void multiprefix_sort_based_into(std::span<const T> values, std::span<const label_t> labels,
-                                 std::span<T> prefix, std::span<T> reduction, Op op = {}) {
+                                 std::span<T> prefix, std::span<T> reduction, Op op = {},
+                                 const RunContext* rc = nullptr) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
   MP_REQUIRE(prefix.size() == values.size(), "prefix output size mismatch");
   const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
 
-  const LabelSortResult sorted = sort_by_label(labels, m);
+  const LabelSortResult sorted = sort_by_label(labels, m, rc);
 
   // Segmented exclusive scan per class, scattered back through the stable
   // order (ascending original index within a class = vector order).
+  // Governed runs checkpoint every kCancelCheckBlock scattered elements,
+  // independent of segment shape (one huge class checkpoints as often as
+  // many small ones).
+  std::size_t since_check = 0;
   for (std::size_t k = 0; k < m; ++k) {
     T acc = id;
     for (std::uint32_t pos = sorted.offsets[k]; pos < sorted.offsets[k + 1]; ++pos) {
+      if (rc != nullptr && ++since_check >= kCancelCheckBlock) {
+        since_check = 0;
+        rc->checkpoint();
+      }
       const std::uint32_t i = sorted.order[pos];
       prefix[i] = acc;
       acc = op(acc, values[i]);
@@ -93,15 +110,22 @@ MultiprefixResult<T> multiprefix_sort_based(std::span<const T> values,
 template <class T, class Op = Plus>
   requires AssociativeOp<Op, T>
 void multireduce_sort_based_into(std::span<const T> values, std::span<const label_t> labels,
-                                 std::span<T> reduction, Op op = {}) {
+                                 std::span<T> reduction, Op op = {},
+                                 const RunContext* rc = nullptr) {
   MP_REQUIRE(values.size() == labels.size(), "values/labels size mismatch");
   const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
-  const LabelSortResult sorted = sort_by_label(labels, m);
+  const LabelSortResult sorted = sort_by_label(labels, m, rc);
+  std::size_t since_check = 0;
   for (std::size_t k = 0; k < m; ++k) {
     T acc = id;
-    for (std::uint32_t pos = sorted.offsets[k]; pos < sorted.offsets[k + 1]; ++pos)
+    for (std::uint32_t pos = sorted.offsets[k]; pos < sorted.offsets[k + 1]; ++pos) {
+      if (rc != nullptr && ++since_check >= kCancelCheckBlock) {
+        since_check = 0;
+        rc->checkpoint();
+      }
       acc = op(acc, values[sorted.order[pos]]);
+    }
     reduction[k] = acc;
   }
 }

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -78,6 +79,32 @@ inline std::optional<Strategy> parse_strategy(std::string_view name) {
   for (const StrategyInfo& info : kStrategyInfo)
     if (name == info.name) return info.id;
   return std::nullopt;
+}
+
+/// Upper-bound scratch footprint (bytes) of one run of a concrete strategy
+/// on an (n, m) problem with `elem_size`-byte elements and `threads` pool
+/// lanes. Used by the engine's budget governance (common/run_context.hpp)
+/// to demote a strategy whose scratch cannot fit the run's byte budget
+/// *before* allocating it. The estimates mirror the allocations each
+/// strategy actually makes:
+///   serial      — in-place Figure 2 sweep, no scratch;
+///   vectorized/ — two (m+n) rowsum/spinesum vectors plus the plan's spine
+///   parallel      array (uint32 per node; counted in case of a cache miss);
+///   sort-based  — the order permutation + offsets/cursor (uint32 each);
+///   chunked     — the threads × m local bucket matrix.
+inline constexpr std::size_t strategy_scratch_bytes(Strategy s, std::size_t n, std::size_t m,
+                                                    std::size_t elem_size,
+                                                    std::size_t threads) {
+  switch (s) {
+    case Strategy::kSerial: return 0;
+    case Strategy::kVectorized:
+    case Strategy::kParallel:
+      return 2 * (m + n) * elem_size + (m + n) * sizeof(std::uint32_t);
+    case Strategy::kSortBased:
+      return n * sizeof(std::uint32_t) + 2 * (m + 1) * sizeof(std::uint32_t);
+    case Strategy::kChunked: return threads * m * elem_size;
+    default: return 0;
+  }
 }
 
 /// Degradation order for a preferred strategy: the strategy itself followed

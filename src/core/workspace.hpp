@@ -15,6 +15,15 @@
 // (Engine::thread_workspace), which also keeps buffers NUMA/cache warm.
 // Retention is bounded: at most kMaxPooledPerType vectors are kept per
 // element type; extra releases simply free their memory.
+//
+// Governance (common/run_context.hpp): a BudgetScope binds a RunContext to
+// the workspace for the duration of one engine dispatch. While bound, every
+// acquire charges its bytes against the context's byte budget — a request
+// that does not fit throws MpError(kBudgetExceeded), which the engine
+// converts into degradation to a lower-footprint strategy instead of an
+// OOM. All charges are returned when the scope ends. Acquires also pass
+// through the allocation-fault seam (parallel/fault_injector.hpp), so chaos
+// tests can script std::bad_alloc here without exhausting the heap.
 #pragma once
 
 #include <any>
@@ -24,6 +33,9 @@
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/run_context.hpp"
+#include "parallel/fault_injector.hpp"
 
 namespace mp {
 
@@ -44,6 +56,12 @@ class Workspace {
   template <class T>
   std::vector<T> acquire(std::size_t capacity_hint) {
     ++stats_.acquires;
+    const std::size_t bytes = capacity_hint * sizeof(T);
+    notify_alloc(bytes);
+    if (bound_ != nullptr) {
+      if (Status st = bound_->charge(bytes); !st.is_ok()) throw MpError(std::move(st));
+      charged_ += bytes;
+    }
     std::vector<T> v;
     auto it = pools_.find(std::type_index(typeid(T)));
     if (it != pools_.end() && !it->second.empty()) {
@@ -71,9 +89,39 @@ class Workspace {
   /// Frees every pooled buffer (stats are kept).
   void clear() { pools_.clear(); }
 
+  /// Binds a RunContext's byte budget to this workspace for the scope's
+  /// lifetime (see file comment). Nests: the previous binding (and its
+  /// accounting) is restored on destruction. Null workspace or an
+  /// unbudgeted context are no-ops.
+  class BudgetScope {
+   public:
+    BudgetScope(Workspace* ws, const RunContext* rc) : ws_(ws) {
+      if (ws_ == nullptr) return;
+      prev_bound_ = ws_->bound_;
+      prev_charged_ = ws_->charged_;
+      ws_->bound_ = (rc != nullptr && rc->memory_governed()) ? rc : nullptr;
+      ws_->charged_ = 0;
+    }
+    ~BudgetScope() {
+      if (ws_ == nullptr) return;
+      if (ws_->bound_ != nullptr) ws_->bound_->uncharge(ws_->charged_);
+      ws_->bound_ = prev_bound_;
+      ws_->charged_ = prev_charged_;
+    }
+    BudgetScope(const BudgetScope&) = delete;
+    BudgetScope& operator=(const BudgetScope&) = delete;
+
+   private:
+    Workspace* ws_;
+    const RunContext* prev_bound_ = nullptr;
+    std::size_t prev_charged_ = 0;
+  };
+
  private:
   std::unordered_map<std::type_index, std::vector<std::any>> pools_;
   Stats stats_;
+  const RunContext* bound_ = nullptr;  // active BudgetScope's context
+  std::size_t charged_ = 0;            // bytes charged under the active scope
 };
 
 }  // namespace mp

@@ -1,35 +1,53 @@
-// Fault injection for the thread pool — making failure paths testable.
+// Fault injection for the thread pool and the allocator seam — making
+// failure paths testable.
 //
 // The pool's recovery guarantees (exactly one exception surfaces on the
 // caller, the pool is reusable afterwards, nested run() is rejected instead
 // of deadlocking) are only guarantees if they are exercised. A FaultInjector
 // armed on a ThreadPool is invoked on every lane of every run() and may
 // throw or delay, simulating a lane that faults mid-phase or a straggler —
-// the two failure modes a production collective has to survive.
+// the two failure modes a production collective has to survive. The same
+// injector can also be armed on the process-wide allocation seam
+// (set_alloc_fault_injector): Workspace::acquire and the strategies' own
+// scratch allocations call notify_alloc() first, so scripted std::bad_alloc
+// exercises the budget/degradation machinery without actually exhausting
+// the heap.
 //
 // ScriptedFaultInjector covers the canonical scripts:
-//   * throw-on-lane-k      — lane k throws MpError(kExecutionFault);
+//   * throw-on-lane-k      — lane k throws MpError(throw_error), default
+//                            kExecutionFault (kPoolFailure scripts the
+//                            transient-retry path);
 //   * delay-on-lane-k      — lane k sleeps, exposing straggler/completion
 //                            races to TSan;
+//   * delay-all-lanes      — every lane sleeps: deadline pressure, making a
+//                            short RunContext deadline expire mid-run;
 //   * fail-nth-run         — only the nth run() since arming faults, so a
 //                            multi-phase algorithm can be failed mid-stream
-//                            (e.g. in the middle of the ROWSUMS column loop).
-// Scripts compose: restricting to a run index applies to both the throw and
-// the delay.
+//                            (e.g. in the middle of the ROWSUMS column loop);
+//   * fail-nth-alloc       — the nth notify_alloc() since arming throws
+//                            std::bad_alloc (persistently, if asked).
+// Scripts compose: restricting to a run index applies to the throw and the
+// delays.
+//
+// Arming is test-scoped state; use ScopedFaultInjector so a failing test
+// cannot leak an armed injector into later suites.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <new>
 #include <optional>
 #include <string>
 #include <thread>
 
 #include "common/error.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mp {
 
-/// Hook invoked by ThreadPool::run() on every lane before the job body.
+/// Hook invoked by ThreadPool::run() on every lane before the job body, and
+/// (when armed on the allocation seam) by scratch allocation sites.
 /// `run_index` counts run() calls since the injector was armed (0-based).
 /// Implementations may throw (the pool propagates exactly one exception to
 /// the caller) or block (simulating stragglers). Must be thread-safe: lanes
@@ -38,42 +56,134 @@ class FaultInjector {
  public:
   virtual ~FaultInjector() = default;
   virtual void on_lane(std::size_t run_index, std::size_t lane) = 0;
+  /// Invoked before a governed scratch allocation of `bytes`; may throw
+  /// std::bad_alloc to simulate memory pressure. Default: no fault.
+  virtual void on_alloc(std::size_t bytes) { (void)bytes; }
 };
+
+// ---- process-wide allocation seam -----------------------------------------
+
+namespace detail {
+inline std::atomic<FaultInjector*>& alloc_injector_slot() {
+  static std::atomic<FaultInjector*> slot{nullptr};
+  return slot;
+}
+}  // namespace detail
+
+/// Arms (or, with nullptr, disarms) the allocation-fault seam; returns the
+/// previously armed injector so scopes can nest. The injector must outlive
+/// its arming.
+inline FaultInjector* set_alloc_fault_injector(FaultInjector* injector) {
+  return detail::alloc_injector_slot().exchange(injector, std::memory_order_acq_rel);
+}
+
+/// Called by scratch allocation sites (Workspace::acquire, the chunked
+/// algorithm's bucket matrix) before allocating `bytes`. One relaxed load
+/// when nothing is armed.
+inline void notify_alloc(std::size_t bytes) {
+  if (FaultInjector* injector = detail::alloc_injector_slot().load(std::memory_order_acquire))
+    injector->on_alloc(bytes);
+}
 
 /// Deterministic, script-driven injector. See file comment for the scripts.
 class ScriptedFaultInjector : public FaultInjector {
  public:
   struct Script {
-    /// Lane that throws MpError(kExecutionFault). Empty = no throw.
+    /// Lane that throws MpError(throw_error). Empty = no throw.
     std::optional<std::size_t> throw_on_lane;
+    /// Error code for throw_on_lane faults. kPoolFailure scripts the
+    /// transient failure the retry policy absorbs; kExecutionFault (the
+    /// default) scripts a lane fault the fallback chain handles.
+    ErrorCode throw_error = ErrorCode::kExecutionFault;
     /// Lane that sleeps for `delay` before running. Empty = no delay.
     std::optional<std::size_t> delay_on_lane;
+    /// Every lane sleeps for `delay` — deadline pressure for RunContext
+    /// deadline tests (the run makes progress, just slowly).
+    bool delay_all_lanes = false;
     std::chrono::microseconds delay{500};
-    /// Restrict the script to the nth run() since arming (0-based).
+    /// Restrict the lane script to the nth run() since arming (0-based).
     /// Empty = the script applies to every run.
     std::optional<std::size_t> only_on_run;
+    /// The nth notify_alloc() since arming (0-based) throws std::bad_alloc.
+    /// Empty = allocations never fault.
+    std::optional<std::size_t> fail_alloc_after;
+    /// With fail_alloc_after: every allocation from the nth on also fails
+    /// (sustained memory pressure) instead of exactly one.
+    bool fail_alloc_persistent = false;
   };
 
   explicit ScriptedFaultInjector(Script script) : script_(script) {}
 
   void on_lane(std::size_t run_index, std::size_t lane) override {
     if (script_.only_on_run && *script_.only_on_run != run_index) return;
-    if (script_.delay_on_lane && *script_.delay_on_lane == lane)
+    if (script_.delay_all_lanes ||
+        (script_.delay_on_lane && *script_.delay_on_lane == lane))
       std::this_thread::sleep_for(script_.delay);
     if (script_.throw_on_lane && *script_.throw_on_lane == lane) {
       faults_.fetch_add(1, std::memory_order_relaxed);
-      throw MpError(ErrorCode::kExecutionFault,
+      throw MpError(script_.throw_error,
                     "injected fault on lane " + std::to_string(lane) + " (run " +
                         std::to_string(run_index) + ")");
     }
   }
 
-  /// Number of faults actually injected so far.
+  void on_alloc(std::size_t bytes) override {
+    (void)bytes;
+    if (!script_.fail_alloc_after) return;
+    const std::size_t index = alloc_index_.fetch_add(1, std::memory_order_relaxed);
+    const bool hit = script_.fail_alloc_persistent ? index >= *script_.fail_alloc_after
+                                                   : index == *script_.fail_alloc_after;
+    if (hit) {
+      alloc_faults_.fetch_add(1, std::memory_order_relaxed);
+      throw std::bad_alloc();
+    }
+  }
+
+  /// Number of lane faults actually injected so far.
   std::size_t faults() const { return faults_.load(std::memory_order_relaxed); }
+  /// Number of allocation faults actually injected so far.
+  std::size_t alloc_faults() const { return alloc_faults_.load(std::memory_order_relaxed); }
 
  private:
   Script script_;
   std::atomic<std::size_t> faults_{0};
+  std::atomic<std::size_t> alloc_index_{0};
+  std::atomic<std::size_t> alloc_faults_{0};
+};
+
+/// RAII arming of a FaultInjector on a pool and/or the allocation seam.
+/// Disarms (and restores the previous alloc injector) on destruction, so a
+/// throwing test body cannot poison later suites with a still-armed
+/// injector — the state-leak bug the scope guards in the fault tests used
+/// to hand-roll.
+class ScopedFaultInjector {
+ public:
+  /// Arms `injector` on `pool` lanes; with arm_alloc, also on the
+  /// process-wide allocation seam. Pass pool = nullptr for alloc-only
+  /// arming.
+  ScopedFaultInjector(ThreadPool* pool, FaultInjector& injector, bool arm_alloc = false)
+      : pool_(pool) {
+    if (pool_ != nullptr) pool_->set_fault_injector(&injector);
+    if (arm_alloc) {
+      prev_alloc_ = set_alloc_fault_injector(&injector);
+      armed_alloc_ = true;
+    }
+  }
+  ScopedFaultInjector(ThreadPool& pool, FaultInjector& injector, bool arm_alloc = false)
+      : ScopedFaultInjector(&pool, injector, arm_alloc) {}
+
+  ~ScopedFaultInjector() {
+    if (pool_ != nullptr) pool_->set_fault_injector(nullptr);
+    if (armed_alloc_) set_alloc_fault_injector(prev_alloc_);
+  }
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  FaultInjector* prev_alloc_ = nullptr;
+  bool armed_alloc_ = false;
 };
 
 }  // namespace mp

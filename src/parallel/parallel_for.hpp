@@ -14,6 +14,14 @@
 // slot — no std::function, no heap allocation per fork. The parallel
 // executor forks once per spinetree level, so this overhead used to be paid
 // L times per multiprefix (bench/engine_amortization.cpp tracks it).
+//
+// Every variant takes an optional RunContext (common/run_context.hpp): when
+// governed, each lane runs a cooperative checkpoint every kCancelCheckBlock
+// indices, so a cancelled or deadline-expired loop throws within one
+// chunk's latency. An exception from a worker-lane checkpoint surfaces on
+// the caller through the pool's normal first-error channel. When rc is null
+// (the default) the loops are byte-for-byte the ungoverned originals —
+// governance costs one pointer test per fork.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/run_context.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mp {
@@ -29,95 +38,141 @@ namespace mp {
 /// Default threshold below which parallel loops run inline.
 inline constexpr std::size_t kDefaultGrain = 4096;
 
+namespace detail {
+
+/// Runs body(i) over [lo, hi) with a checkpoint every kCancelCheckBlock
+/// indices when governed. The ungoverned path is the plain loop.
+template <class Body>
+void governed_index_loop(std::size_t lo, std::size_t hi, Body& body, const RunContext* rc) {
+  if (rc == nullptr) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+    return;
+  }
+  while (lo < hi) {
+    rc->checkpoint();
+    const std::size_t stop = hi - lo > kCancelCheckBlock ? lo + kCancelCheckBlock : hi;
+    for (std::size_t i = lo; i < stop; ++i) body(i);
+    lo = stop;
+  }
+}
+
+/// Runs body(lo2, hi2) over sub-blocks of [lo, hi) with a checkpoint before
+/// each when governed; ungoverned, body is called exactly once on [lo, hi)
+/// (the single-kernel-call shape SIMD callers rely on for speed).
+template <class Body>
+void governed_block_loop(std::size_t lo, std::size_t hi, Body& body, const RunContext* rc) {
+  if (rc == nullptr) {
+    body(lo, hi);
+    return;
+  }
+  while (lo < hi) {
+    rc->checkpoint();
+    const std::size_t stop = hi - lo > kCancelCheckBlock ? lo + kCancelCheckBlock : hi;
+    body(lo, stop);
+    lo = stop;
+  }
+}
+
+}  // namespace detail
+
 template <class Body>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t grain,
-                  Body&& body) {
+                  Body&& body, const RunContext* rc = nullptr) {
   MP_ASSERT(begin <= end);
   const std::size_t count = end - begin;
   if (count == 0) return;
   const std::size_t lanes = pool.num_threads();
   if (lanes == 1 || count <= grain) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    detail::governed_index_loop(begin, end, body, rc);
     return;
   }
   struct Ctx {
     std::size_t begin, end, chunk;
     Body* body;
+    const RunContext* rc;
   };
-  Ctx ctx{begin, end, (count + lanes - 1) / lanes, &body};
+  Ctx ctx{begin, end, (count + lanes - 1) / lanes, &body, rc};
   pool.run_raw(
       [](void* p, std::size_t lane) {
         const Ctx& c = *static_cast<const Ctx*>(p);
         const std::size_t lo = c.begin + lane * c.chunk;
         if (lo >= c.end) return;
         const std::size_t hi = lo + c.chunk < c.end ? lo + c.chunk : c.end;
-        for (std::size_t i = lo; i < hi; ++i) (*c.body)(i);
+        detail::governed_index_loop(lo, hi, *c.body, c.rc);
       },
-      &ctx);
+      &ctx, rc);
 }
 
 /// Like parallel_for, but hands each lane its whole contiguous subrange as
 /// body(lo, hi) — the shape SIMD kernels want (one kernel call per lane
-/// instead of one lambda call per element).
+/// instead of one lambda call per element). Governed runs split the
+/// subrange at checkpoint boundaries, so a body must accept any partition
+/// of its range (all in-tree callers are range-algebra sweeps that do).
 template <class Body>
 void parallel_for_blocked(ThreadPool& pool, std::size_t begin, std::size_t end,
-                          std::size_t grain, Body&& body) {
+                          std::size_t grain, Body&& body, const RunContext* rc = nullptr) {
   MP_ASSERT(begin <= end);
   const std::size_t count = end - begin;
   if (count == 0) return;
   const std::size_t lanes = pool.num_threads();
   if (lanes == 1 || count <= grain) {
-    body(begin, end);
+    detail::governed_block_loop(begin, end, body, rc);
     return;
   }
   struct Ctx {
     std::size_t begin, end, chunk;
     Body* body;
+    const RunContext* rc;
   };
-  Ctx ctx{begin, end, (count + lanes - 1) / lanes, &body};
+  Ctx ctx{begin, end, (count + lanes - 1) / lanes, &body, rc};
   pool.run_raw(
       [](void* p, std::size_t lane) {
         const Ctx& c = *static_cast<const Ctx*>(p);
         const std::size_t lo = c.begin + lane * c.chunk;
         if (lo >= c.end) return;
         const std::size_t hi = lo + c.chunk < c.end ? lo + c.chunk : c.end;
-        (*c.body)(lo, hi);
+        detail::governed_block_loop(lo, hi, *c.body, c.rc);
       },
-      &ctx);
+      &ctx, rc);
 }
 
 template <class Body>
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body) {
-  parallel_for(pool, begin, end, kDefaultGrain, std::forward<Body>(body));
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body,
+                  const RunContext* rc = nullptr) {
+  parallel_for(pool, begin, end, kDefaultGrain, std::forward<Body>(body), rc);
 }
 
 /// Runs body(i) for i in {begin, begin+stride, ...} with i < end, partitioned
 /// across lanes. Used for the paper's column access pattern.
 template <class Body>
 void parallel_for_strided(ThreadPool& pool, std::size_t begin, std::size_t end,
-                          std::size_t stride, std::size_t grain, Body&& body) {
+                          std::size_t stride, std::size_t grain, Body&& body,
+                          const RunContext* rc = nullptr) {
   MP_ASSERT(stride > 0);
   if (begin >= end) return;
   const std::size_t count = (end - begin + stride - 1) / stride;
   const std::size_t lanes = pool.num_threads();
   if (lanes == 1 || count <= grain) {
-    for (std::size_t i = begin; i < end; i += stride) body(i);
+    auto at = [&](std::size_t k) { body(begin + k * stride); };
+    detail::governed_index_loop(0, count, at, rc);
     return;
   }
   struct Ctx {
     std::size_t begin, stride, count, chunk;
     Body* body;
+    const RunContext* rc;
   };
-  Ctx ctx{begin, stride, count, (count + lanes - 1) / lanes, &body};
+  Ctx ctx{begin, stride, count, (count + lanes - 1) / lanes, &body, rc};
   pool.run_raw(
       [](void* p, std::size_t lane) {
         const Ctx& c = *static_cast<const Ctx*>(p);
         const std::size_t first = lane * c.chunk;
         if (first >= c.count) return;
         const std::size_t last = first + c.chunk < c.count ? first + c.chunk : c.count;
-        for (std::size_t k = first; k < last; ++k) (*c.body)(c.begin + k * c.stride);
+        auto at = [&](std::size_t k) { (*c.body)(c.begin + k * c.stride); };
+        detail::governed_index_loop(first, last, at, c.rc);
       },
-      &ctx);
+      &ctx, rc);
 }
 
 /// Splits [0, n) into `parts` near-equal contiguous ranges; returns the

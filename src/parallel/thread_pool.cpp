@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
+#include "common/run_context.hpp"
 #include "parallel/fault_injector.hpp"
 
 namespace mp {
@@ -63,6 +64,16 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
         (*static_cast<const std::function<void(std::size_t)>*>(ctx))(lane);
       },
       const_cast<std::function<void(std::size_t)>*>(&fn));
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn, const RunContext* rc) {
+  if (rc != nullptr) rc->checkpoint();
+  run(fn);
+}
+
+void ThreadPool::run_raw(RawFn fn, void* ctx, const RunContext* rc) {
+  if (rc != nullptr) rc->checkpoint();
+  run_raw(fn, ctx);
 }
 
 void ThreadPool::run_raw(RawFn fn, void* ctx) {

@@ -34,6 +34,7 @@
 namespace mp {
 
 class FaultInjector;
+class RunContext;
 
 class ThreadPool {
  public:
@@ -64,6 +65,14 @@ class ThreadPool {
   /// semantics as run().
   using RawFn = void (*)(void* ctx, std::size_t lane);
   void run_raw(RawFn fn, void* ctx);
+
+  /// Governed forms: run a final cooperative checkpoint against `rc` before
+  /// dispatching the fork (a cancelled or deadline-expired run never pays
+  /// for another fork/join). rc may be null (ungoverned). In-flight lanes
+  /// are not interrupted — cancellation inside a job is the job's business,
+  /// via the checkpoints parallel_for.hpp plants at chunk boundaries.
+  void run(const std::function<void(std::size_t)>& fn, const RunContext* rc);
+  void run_raw(RawFn fn, void* ctx, const RunContext* rc);
 
   /// True when the current thread is executing inside a lane of this pool
   /// (the condition under which run() would be reentrant).

@@ -1,0 +1,256 @@
+// Chaos harness for the governed execution layer. Every seed derives a
+// random problem plus a randomized fault schedule — lane faults, scripted
+// allocation failures, lane delays, deadlines, a concurrent canceller
+// thread, byte budgets and retry policies, in any combination — and
+// replays it against the engine (private pool) and the resilient driver
+// (global pool). The invariant under all of it is the containment
+// contract from common/run_context.hpp:
+//
+//   every run either returns the bit-identical result of the serial
+//   definition, or throws exactly one *typed* error (MpError with a
+//   governance/substrate code, or std::bad_alloc) — never a wrong
+//   answer, a torn output, or a stuck pool;
+//
+// and after the schedule is disarmed, the same engine/pool must serve a
+// clean call correctly (no fault leaks into later traffic). Run under
+// ASan/TSan by scripts/check.sh --chaos.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <new>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "core/multiprefix.hpp"
+#include "core/resilient.hpp"
+#include "core/validate.hpp"
+#include "parallel/fault_injector.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr Strategy kConcrete[] = {Strategy::kSerial, Strategy::kVectorized,
+                                  Strategy::kParallel, Strategy::kSortBased,
+                                  Strategy::kChunked, Strategy::kAuto};
+
+struct ChaosPlan {
+  // Problem.
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::vector<label_t> labels;
+  std::vector<int> values;
+  Strategy strategy = Strategy::kAuto;
+
+  // Fault schedule.
+  ScriptedFaultInjector::Script script;
+  bool arm_pool = false;
+  bool arm_alloc = false;
+
+  // Governance.
+  bool use_deadline = false;
+  std::chrono::microseconds deadline_after{0};
+  bool use_cancel = false;
+  std::chrono::microseconds cancel_after{0};
+  std::size_t byte_budget = 0;
+  std::size_t max_retries = 0;
+  std::size_t pool_threads = 2;
+};
+
+ChaosPlan derive_chaos(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
+  ChaosPlan cp;
+  cp.n = 1 + rng.below(3000);
+  const std::uint64_t mode = rng.below(4);
+  if (mode == 0) cp.m = 1;
+  else if (mode == 1) cp.m = 1 + rng.below(8);
+  else if (mode == 2) cp.m = 1 + rng.below(cp.n);
+  else cp.m = cp.n + 1 + rng.below(64);
+
+  if (rng.below(3) == 0) {
+    cp.labels = zipf_labels(cp.n, cp.m, 1.0 + rng.uniform(), rng());
+  } else {
+    cp.labels = uniform_labels(cp.n, cp.m, rng());
+  }
+  cp.values.resize(cp.n);
+  for (auto& v : cp.values) v = static_cast<int>(rng.below(41)) - 20;
+  cp.strategy = kConcrete[rng.below(6)];
+  cp.pool_threads = 2 + rng.below(3);
+
+  // Fault schedule: each dimension is armed independently, so seeds cover
+  // single faults, stacked faults, and the fault-free baseline alike.
+  if (rng.below(2) == 0) {
+    cp.arm_pool = true;
+    cp.script.throw_on_lane = rng.below(cp.pool_threads);
+    cp.script.throw_error =
+        rng.below(2) == 0 ? ErrorCode::kPoolFailure : ErrorCode::kExecutionFault;
+    if (rng.below(2) == 0) cp.script.only_on_run = rng.below(4);
+  }
+  if (rng.below(3) == 0) {
+    cp.arm_pool = true;
+    if (rng.below(2) == 0) cp.script.delay_all_lanes = true;
+    else cp.script.delay_on_lane = rng.below(cp.pool_threads);
+    cp.script.delay = std::chrono::microseconds(50 + rng.below(1500));
+  }
+  if (rng.below(3) == 0) {
+    cp.arm_alloc = true;
+    cp.script.fail_alloc_after = rng.below(4);
+    cp.script.fail_alloc_persistent = rng.below(2) == 0;
+  }
+
+  // Governance schedule.
+  if (rng.below(3) == 0) {
+    cp.use_deadline = true;
+    cp.deadline_after = std::chrono::microseconds(rng.below(2000));
+  }
+  if (rng.below(3) == 0) {
+    cp.use_cancel = true;
+    cp.cancel_after = std::chrono::microseconds(rng.below(500));
+  }
+  if (rng.below(3) == 0) cp.byte_budget = 1 + rng.below(std::size_t{1} << 20);
+  if (rng.below(2) == 0) cp.max_retries = rng.below(3);
+  return cp;
+}
+
+bool is_allowed_chaos_error(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kCancelled:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kBudgetExceeded:
+    case ErrorCode::kExecutionFault:
+    case ErrorCode::kPoolFailure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Fires request_cancel() after a delay on its own thread; joined on scope
+/// exit so a throwing assertion cannot leak the thread.
+class Canceller {
+ public:
+  Canceller(CancelSource& source, std::chrono::microseconds after)
+      : thread_([&source, after] {
+          std::this_thread::sleep_for(after);
+          source.request_cancel();
+        }) {}
+  ~Canceller() { thread_.join(); }
+
+ private:
+  std::thread thread_;
+};
+
+class ChaosEngine : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosEngine, EveryScheduleYieldsTruthOrATypedError) {
+  const ChaosPlan cp = derive_chaos(GetParam());
+  const auto info = "n=" + std::to_string(cp.n) + " m=" + std::to_string(cp.m) +
+                    " strategy=" + to_string(cp.strategy);
+  const auto truth = multiprefix_bruteforce<int>(cp.values, cp.labels, cp.m);
+
+  ThreadPool pool(cp.pool_threads);
+  Engine::Options eo;
+  eo.pool = &pool;
+  Engine engine(eo);
+
+  FallbackCounters counters;
+  RunContext ctx;
+  if (cp.use_deadline) ctx.set_timeout(cp.deadline_after);
+  CancelSource source;
+  if (cp.use_cancel) ctx.cancel = source.token();
+  ctx.byte_budget = cp.byte_budget;
+  ctx.retry.max_retries = cp.max_retries;
+  ctx.retry.backoff = 20us;
+  ctx.counters = &counters;
+
+  ScriptedFaultInjector injector(cp.script);
+  {
+    ScopedFaultInjector scope(cp.arm_pool ? &pool : nullptr, injector, cp.arm_alloc);
+    std::optional<Canceller> canceller;
+    if (cp.use_cancel) canceller.emplace(source, cp.cancel_after);
+    try {
+      const auto got =
+          engine.multiprefix<int>(cp.values, cp.labels, cp.m, Plus{}, cp.strategy, ctx);
+      // Survived the schedule: the output must be the definition, bit for
+      // bit — degraded, retried, or not.
+      ASSERT_EQ(got.prefix, truth.prefix) << info;
+      ASSERT_EQ(got.reduction, truth.reduction) << info;
+    } catch (const MpError& e) {
+      ASSERT_TRUE(is_allowed_chaos_error(e.code()))
+          << info << ": unexpected error " << e.what();
+    } catch (const std::bad_alloc&) {
+      // Scripted allocation failure on an ungoverned-memory run: typed and
+      // clean is exactly the contract.
+    }
+  }
+  EXPECT_EQ(ctx.used_bytes(), 0u) << info;  // all budget charges returned
+
+  // Disarmed: the same engine and pool must serve the call cleanly.
+  const auto clean = engine.multiprefix<int>(cp.values, cp.labels, cp.m, Plus{}, cp.strategy);
+  ASSERT_EQ(clean.prefix, truth.prefix) << info << " (post-chaos rerun)";
+  ASSERT_EQ(clean.reduction, truth.reduction) << info << " (post-chaos rerun)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ChaosEngine, ::testing::Range<std::uint64_t>(0, 128));
+
+class ChaosResilient : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosResilient, DegradationAbsorbsFaultsOrFailsTyped) {
+  const ChaosPlan cp = derive_chaos(GetParam() + 10'000);  // fresh shapes
+  const auto info = "n=" + std::to_string(cp.n) + " m=" + std::to_string(cp.m) +
+                    " preferred=" + to_string(cp.strategy);
+  const auto truth = multiprefix_bruteforce<int>(cp.values, cp.labels, cp.m);
+
+  FallbackCounters counters;
+  RunContext ctx;
+  if (cp.use_deadline) ctx.set_timeout(cp.deadline_after);
+  CancelSource source;
+  if (cp.use_cancel) ctx.cancel = source.token();
+  ctx.byte_budget = cp.byte_budget;
+  ctx.retry.max_retries = cp.max_retries;
+  ctx.retry.backoff = 20us;
+  ctx.counters = &counters;
+
+  ResilientOptions options;
+  options.preferred = cp.strategy;
+  options.context = &ctx;
+  options.self_verify = GetParam() % 2 == 0;
+
+  ScriptedFaultInjector injector(cp.script);
+  {
+    ScopedFaultInjector scope(cp.arm_pool ? &ThreadPool::global() : nullptr, injector,
+                              cp.arm_alloc);
+    std::optional<Canceller> canceller;
+    if (cp.use_cancel) canceller.emplace(source, cp.cancel_after);
+    try {
+      const auto outcome =
+          resilient_multiprefix<int>(cp.values, cp.labels, cp.m, Plus{}, options);
+      ASSERT_EQ(outcome.result.prefix, truth.prefix) << info;
+      ASSERT_EQ(outcome.result.reduction, truth.reduction) << info;
+      // Whatever the chain went through, the log and counters must agree.
+      ASSERT_EQ(outcome.faults.size(), outcome.fallbacks) << info;
+    } catch (const MpError& e) {
+      ASSERT_TRUE(is_allowed_chaos_error(e.code()))
+          << info << ": unexpected error " << e.what();
+    } catch (const std::bad_alloc&) {
+    }
+  }
+
+  // The global pool and engine survive every schedule for the next caller.
+  const auto clean = multireduce<int>(cp.values, cp.labels, cp.m);
+  ASSERT_EQ(clean, truth.reduction) << info << " (post-chaos rerun)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ChaosResilient, ::testing::Range<std::uint64_t>(0, 128));
+
+}  // namespace
+}  // namespace mp

@@ -43,6 +43,9 @@ TEST(Status, ErrorCodeNames) {
   EXPECT_STREQ(to_string(ErrorCode::kShapeMismatch), "shape-mismatch");
   EXPECT_STREQ(to_string(ErrorCode::kPoolFailure), "pool-failure");
   EXPECT_STREQ(to_string(ErrorCode::kExecutionFault), "execution-fault");
+  EXPECT_STREQ(to_string(ErrorCode::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(ErrorCode::kDeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(to_string(ErrorCode::kBudgetExceeded), "budget-exceeded");
 }
 
 TEST(MpError, WrapsStatusAndFormatsWhat) {

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <new>
 #include <stdexcept>
 #include <vector>
 
@@ -20,19 +21,10 @@
 namespace mp {
 namespace {
 
-/// Disarms the pool's injector on scope exit, even when an assertion fails.
-struct InjectorScope {
-  ThreadPool& pool;
-  InjectorScope(ThreadPool& p, FaultInjector* injector) : pool(p) {
-    pool.set_fault_injector(injector);
-  }
-  ~InjectorScope() { pool.set_fault_injector(nullptr); }
-};
-
 TEST(FaultInjection, ThrowOnLaneSurfacesAsExecutionFault) {
   ThreadPool pool(4);
   ScriptedFaultInjector injector({.throw_on_lane = 2});
-  InjectorScope scope(pool, &injector);
+  ScopedFaultInjector scope(pool, injector);
   try {
     pool.run([](std::size_t) {});
     FAIL() << "injected fault did not propagate";
@@ -46,7 +38,7 @@ TEST(FaultInjection, ThrowOnLaneSurfacesAsExecutionFault) {
 TEST(FaultInjection, CallerLaneFaultAlsoPropagates) {
   ThreadPool pool(4);
   ScriptedFaultInjector injector({.throw_on_lane = 0});
-  InjectorScope scope(pool, &injector);
+  ScopedFaultInjector scope(pool, injector);
   EXPECT_THROW(pool.run([](std::size_t) {}), MpError);
 }
 
@@ -54,7 +46,7 @@ TEST(FaultInjection, PoolRemainsUsableAfterInjectedFault) {
   ThreadPool pool(4);
   {
     ScriptedFaultInjector injector({.throw_on_lane = 1});
-    InjectorScope scope(pool, &injector);
+    ScopedFaultInjector scope(pool, injector);
     EXPECT_THROW(pool.run([](std::size_t) {}), MpError);
   }
   // Disarmed: the next job must see all lanes and no stale exception.
@@ -66,7 +58,7 @@ TEST(FaultInjection, PoolRemainsUsableAfterInjectedFault) {
 TEST(FaultInjection, FailNthRunFailsExactlyThatRun) {
   ThreadPool pool(3);
   ScriptedFaultInjector injector({.throw_on_lane = 1, .only_on_run = 2});
-  InjectorScope scope(pool, &injector);
+  ScopedFaultInjector scope(pool, injector);
   pool.run([](std::size_t) {});  // run 0
   pool.run([](std::size_t) {});  // run 1
   EXPECT_THROW(pool.run([](std::size_t) {}), MpError);  // run 2 faults
@@ -89,7 +81,7 @@ TEST(FaultInjection, StragglerLaneStillCompletesJob) {
   ThreadPool pool(4);
   ScriptedFaultInjector injector(
       {.delay_on_lane = 3, .delay = std::chrono::microseconds(2000)});
-  InjectorScope scope(pool, &injector);
+  ScopedFaultInjector scope(pool, injector);
   std::vector<std::atomic<int>> hits(4);
   pool.run([&](std::size_t lane) { hits[lane].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
@@ -98,13 +90,40 @@ TEST(FaultInjection, StragglerLaneStillCompletesJob) {
 TEST(FaultInjection, SingleLanePoolInjectsToo) {
   ThreadPool pool(1);
   ScriptedFaultInjector injector({.throw_on_lane = 0});
-  InjectorScope scope(pool, &injector);
+  ScopedFaultInjector scope(pool, injector);
   EXPECT_THROW(pool.run([](std::size_t) {}), MpError);
   // And recovers.
   pool.set_fault_injector(nullptr);
   int value = 0;
   pool.run([&](std::size_t) { value = 1; });
   EXPECT_EQ(value, 1);
+}
+
+// ---- the allocation seam ---------------------------------------------------
+
+TEST(FaultInjection, AllocSeamFaultsTheScriptedAllocation) {
+  ScriptedFaultInjector injector({.fail_alloc_after = 1});
+  ScopedFaultInjector scope(nullptr, injector, /*arm_alloc=*/true);
+  notify_alloc(64);                               // allocation 0: clean
+  EXPECT_THROW(notify_alloc(64), std::bad_alloc);  // allocation 1: scripted
+  notify_alloc(64);                               // one-shot script: clean again
+  EXPECT_EQ(injector.alloc_faults(), 1u);
+}
+
+TEST(FaultInjection, ScopedInjectorRestoresThePreviousAllocInjector) {
+  // Nested scopes: the inner (fault-free) script shadows the outer one and
+  // hands it back on destruction — so suites can layer alloc chaos without
+  // coordinating.
+  ScriptedFaultInjector outer({.fail_alloc_after = 0, .fail_alloc_persistent = true});
+  ScriptedFaultInjector inner({});
+  ScopedFaultInjector outer_scope(nullptr, outer, /*arm_alloc=*/true);
+  {
+    ScopedFaultInjector inner_scope(nullptr, inner, /*arm_alloc=*/true);
+    notify_alloc(64);  // inner armed: no fault
+    EXPECT_EQ(outer.alloc_faults(), 0u);
+  }
+  EXPECT_THROW(notify_alloc(64), std::bad_alloc);  // outer restored
+  EXPECT_EQ(outer.alloc_faults(), 1u);
 }
 
 // ---- reentrancy ------------------------------------------------------------
@@ -248,7 +267,7 @@ TEST(FaultInjection, LaneFaultMidRowsumsSurfacesOnceAndPoolIsReusable) {
   ScriptedFaultInjector injector({.throw_on_lane = 1, .only_on_run = 2});
   int caught = 0;
   {
-    InjectorScope scope(pool, &injector);
+    ScopedFaultInjector scope(pool, injector);
     try {
       exec.execute(values, std::span<int>(out.prefix), std::span<int>(out.reduction));
     } catch (const MpError& e) {

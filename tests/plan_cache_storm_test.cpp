@@ -1,0 +1,136 @@
+// Concurrency storm over the PlanCache: many threads hammer a tiny cache
+// (4 entries, a few-KB byte budget) with a shared working set of label
+// vectors, mixing note()/get_or_build()/contains()/stats()/clear() so
+// inserts race evictions, concurrent builds race each other, and clear()
+// races everything. Run under TSan by the sanitizer gate (scripts/check.sh)
+// — the assertions here check the accounting invariants; the data-race
+// checking is the sanitizer's job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/labels.hpp"
+#include "core/plan_cache.hpp"
+
+namespace mp {
+namespace {
+
+struct Workload {
+  std::vector<label_t> labels;
+  std::size_t m;
+  LabelKey key;
+};
+
+std::vector<Workload> make_working_set() {
+  // A dozen distinct shapes: small plans that fit the byte budget together
+  // with larger ones that crowd it (forcing evictions) — all far below the
+  // oversize bypass threshold except the biggest, which may trip it
+  // depending on plan layout. Either path must stay consistent.
+  std::vector<Workload> set;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::size_t n = 32 + i * 48;
+    const std::size_t m = 4 + i;
+    Workload w{uniform_labels(n, m, 1000 + i), m, {}};
+    w.key = label_key(w.labels, m);
+    set.push_back(std::move(w));
+  }
+  return set;
+}
+
+TEST(PlanCacheStorm, ConcurrentInsertEvictAndClearStaysConsistent) {
+  PlanCache::Options options;
+  options.max_entries = 4;
+  options.max_bytes = 64u << 10;
+  PlanCache cache(options);
+  const std::vector<Workload> set = make_working_set();
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 200;
+  std::atomic<std::uint64_t> builds{0};   // get_or_build calls issued
+  std::atomic<std::uint64_t> served{0};   // non-null plans returned
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        const Workload& w = set[(t * 7 + i) % set.size()];
+        switch ((t + i) % 5) {
+          case 0:
+          case 1: {  // the hot path: look up or build
+            builds.fetch_add(1, std::memory_order_relaxed);
+            const auto plan = cache.get_or_build(w.labels, w.m);
+            ASSERT_NE(plan, nullptr);
+            // The returned plan matches the key even if it was evicted (or
+            // bypassed) the instant it was built.
+            ASSERT_EQ(plan->m(), w.m);
+            served.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          case 2:  // recurring-labels sightings race the builds
+            (void)cache.note(w.key);
+            break;
+          case 3:  // read-side probes
+            (void)cache.contains(w.key);
+            (void)cache.stats();
+            (void)cache.size();
+            (void)cache.plan_bytes();
+            break;
+          case 4:  // a periodic flush races everything above
+            if (i % 50 == 0) cache.clear();
+            else (void)cache.get_or_build(w.labels, w.m);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Accounting invariants after the storm. Stats survive clear(), so the
+  // ledger covers every get_or_build issued (case 4's non-clear branch
+  // issues builds it does not count in `builds` — hence >=).
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(served.load(), builds.load());
+  EXPECT_GE(stats.hits + stats.misses, builds.load());
+  EXPECT_LE(stats.evictions + stats.oversize_bypasses, stats.misses);
+  EXPECT_LE(cache.size(), options.max_entries);
+  EXPECT_LE(cache.plan_bytes(), options.max_bytes);
+
+  // The cache still works after the storm: a fresh lookup is a miss-then-hit.
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.plan_bytes(), 0u);
+  const auto first = cache.get_or_build(set[0].labels, set[0].m);
+  const auto second = cache.get_or_build(set[0].labels, set[0].m);
+  EXPECT_EQ(first, second);  // served from cache, same plan object
+  EXPECT_TRUE(cache.contains(set[0].key));
+}
+
+TEST(PlanCacheStorm, ConcurrentBuildersOfOneKeyShareOrDuplicateSafely) {
+  // All threads miss on the same key at once: one build wins the insert,
+  // the losers keep their private plans (documented behaviour) — every
+  // returned plan must still be usable and the cache must hold exactly one.
+  PlanCache cache;
+  const std::vector<label_t> labels = uniform_labels(512, 16, 77);
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const SpinetreePlan>> plans(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] { plans[t] = cache.get_or_build(labels, 16); });
+  for (auto& th : threads) th.join();
+
+  for (const auto& plan : plans) {
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->m(), 16u);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  // Steady state: later lookups all hit the one cached winner.
+  const auto cached = cache.get_or_build(labels, 16);
+  EXPECT_EQ(cache.get_or_build(labels, 16), cached);
+}
+
+}  // namespace
+}  // namespace mp

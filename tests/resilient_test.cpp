@@ -30,14 +30,6 @@ Problem make_problem(std::size_t n, std::size_t m, std::uint64_t seed) {
   return p;
 }
 
-/// Disarms the global pool's injector on scope exit.
-struct GlobalInjectorScope {
-  explicit GlobalInjectorScope(FaultInjector* injector) {
-    ThreadPool::global().set_fault_injector(injector);
-  }
-  ~GlobalInjectorScope() { ThreadPool::global().set_fault_injector(nullptr); }
-};
-
 TEST(FallbackChain, EncodesTheDegradationOrder) {
   EXPECT_EQ(fallback_chain(Strategy::kParallel),
             (std::vector<Strategy>{Strategy::kParallel, Strategy::kVectorized,
@@ -87,7 +79,7 @@ TEST(Resilient, RealPoolFaultDegradesToVectorized) {
 
   ResilientOutcome<int> outcome;
   {
-    GlobalInjectorScope scope(&injector);
+    ScopedFaultInjector scope(ThreadPool::global(), injector);
     outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
   }
   EXPECT_EQ(outcome.used, Strategy::kVectorized);
@@ -113,7 +105,7 @@ TEST(Resilient, ChunkedPreferredAlsoDegradesUnderPoolFaults) {
   options.counters = &counters;
   ResilientOutcome<int> outcome;
   {
-    GlobalInjectorScope scope(&injector);
+    ScopedFaultInjector scope(ThreadPool::global(), injector);
     outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
   }
   EXPECT_EQ(outcome.used, Strategy::kVectorized);

@@ -1,0 +1,631 @@
+// Tests for run governance (common/run_context.hpp) and the engine's
+// governed dispatch: cancellation tokens, deadlines, byte budgets with
+// degradation to lower-footprint strategies, bounded retry of transient
+// pool failures, and the typed-error contract on degenerate inputs across
+// every facade entry point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "core/multiprefix.hpp"
+#include "core/resilient.hpp"
+#include "core/validate.hpp"
+#include "core/workspace.hpp"
+#include "parallel/fault_injector.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Problem {
+  std::vector<int> values;
+  std::vector<label_t> labels;
+  std::size_t m;
+};
+
+Problem make_problem(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Problem p;
+  p.m = m;
+  p.labels = uniform_labels(n, m, seed);
+  p.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) p.values[i] = static_cast<int>(i % 19) - 9;
+  return p;
+}
+
+// ---- token / context unit surface ------------------------------------------
+
+TEST(RunContext, DefaultTokenIsNeverCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.can_be_cancelled());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(RunContext::none().governed());
+  EXPECT_TRUE(RunContext::none().poll().is_ok());
+}
+
+TEST(RunContext, CancelSourceFlipsEveryToken) {
+  CancelSource source;
+  const CancelToken a = source.token();
+  const CancelToken b = source.token();  // copies share the flag
+  EXPECT_TRUE(a.can_be_cancelled());
+  EXPECT_FALSE(a.cancelled());
+  source.request_cancel();
+  source.request_cancel();  // idempotent
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(RunContext, PollReportsTypedGovernanceStops) {
+  RunContext ctx;
+  EXPECT_TRUE(ctx.poll().is_ok());
+
+  ctx.deadline = RunContext::Clock::now() - 1ms;  // already expired
+  EXPECT_EQ(ctx.poll().code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_THROW(ctx.checkpoint(), MpError);
+
+  // Cancellation takes precedence over the deadline check.
+  CancelSource source;
+  ctx.cancel = source.token();
+  source.request_cancel();
+  EXPECT_EQ(ctx.poll().code(), ErrorCode::kCancelled);
+
+  // The nullable helper is a no-op on null and throws through a pointer.
+  checkpoint(nullptr);
+  try {
+    checkpoint(&ctx);
+    FAIL() << "checkpoint must throw for a cancelled context";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+}
+
+TEST(RunContext, EveryGovernanceDimensionArmsTheContext) {
+  RunContext deadline;
+  deadline.set_timeout(1h);
+  EXPECT_TRUE(deadline.governed());
+
+  CancelSource source;
+  RunContext cancel;
+  cancel.cancel = source.token();
+  EXPECT_TRUE(cancel.governed());
+  EXPECT_FALSE(cancel.memory_governed());
+
+  RunContext budget;
+  budget.byte_budget = 1024;
+  EXPECT_TRUE(budget.governed());
+  EXPECT_TRUE(budget.memory_governed());
+
+  RunContext retry;
+  retry.retry.max_retries = 1;
+  EXPECT_TRUE(retry.governed());
+}
+
+TEST(RunContext, ChargeAccountsAgainstTheByteBudget) {
+  RunContext ctx;
+  ctx.byte_budget = 100;
+  EXPECT_TRUE(ctx.charge(60).is_ok());
+  EXPECT_EQ(ctx.used_bytes(), 60u);
+  EXPECT_EQ(ctx.remaining_bytes(), 40u);
+
+  // A rejected charge is not recorded: the caller may degrade and retry.
+  const Status st = ctx.charge(50);
+  EXPECT_EQ(st.code(), ErrorCode::kBudgetExceeded);
+  EXPECT_EQ(ctx.used_bytes(), 60u);
+
+  ctx.uncharge(60);
+  EXPECT_EQ(ctx.used_bytes(), 0u);
+  EXPECT_TRUE(ctx.charge(100).is_ok());  // exact fit is allowed
+  ctx.uncharge(100);
+
+  // Unbudgeted contexts accept anything and track nothing.
+  RunContext unbounded;
+  EXPECT_TRUE(unbounded.charge(std::size_t{1} << 40).is_ok());
+  EXPECT_EQ(unbounded.used_bytes(), 0u);
+}
+
+TEST(RunContext, BudgetChargeRaiiReleasesOnScopeExit) {
+  RunContext ctx;
+  ctx.byte_budget = 64;
+  {
+    BudgetCharge charge(&ctx, 48);
+    EXPECT_EQ(ctx.used_bytes(), 48u);
+    try {
+      BudgetCharge overflow(&ctx, 32);
+      FAIL() << "over-budget charge must throw";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBudgetExceeded);
+    }
+    EXPECT_EQ(ctx.used_bytes(), 48u);  // failed charge left no residue
+  }
+  EXPECT_EQ(ctx.used_bytes(), 0u);
+  BudgetCharge noop(nullptr, 1 << 20);  // null context is a no-op
+}
+
+TEST(RunContext, WorkspaceBudgetScopeChargesAcquiresAndReleases) {
+  Workspace ws;
+  RunContext ctx;
+  ctx.byte_budget = 1024;
+  {
+    Workspace::BudgetScope scope(&ws, &ctx);
+    auto small = ws.acquire<int>(64);  // 256 bytes — fits
+    EXPECT_EQ(ctx.used_bytes(), 256u);
+    try {
+      auto big = ws.acquire<int>(512);  // 2048 bytes — does not
+      FAIL() << "acquire past the budget must throw";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBudgetExceeded);
+    }
+    ws.release(std::move(small));
+  }
+  // Scope exit returned every charge, and an unbound workspace is free again.
+  EXPECT_EQ(ctx.used_bytes(), 0u);
+  auto v = ws.acquire<int>(4096);
+  EXPECT_EQ(ctx.used_bytes(), 0u);
+  ws.release(std::move(v));
+  // Binding tolerates a null workspace (the engine's workspace ablation).
+  Workspace::BudgetScope null_scope(nullptr, &ctx);
+}
+
+TEST(RunContext, ScratchEstimatesDriveBudgetFitting) {
+  // The serial sweep is the zero-scratch terminal every budget fits.
+  EXPECT_EQ(strategy_scratch_bytes(Strategy::kSerial, 1000, 64, 8, 4), 0u);
+  EXPECT_EQ(strategy_scratch_bytes(Strategy::kChunked, 1000, 64, 4, 3),
+            3u * 64u * 4u);
+  // Plan-based strategies scale with n + m; more classes cost more scratch.
+  EXPECT_GT(strategy_scratch_bytes(Strategy::kVectorized, 1000, 128, 4, 1),
+            strategy_scratch_bytes(Strategy::kVectorized, 1000, 16, 4, 1));
+}
+
+// ---- engine-governed dispatch ----------------------------------------------
+
+TEST(Governance, PreCancelledRunIsRefusedBeforeAnyWork) {
+  const Problem p = make_problem(300, 8, 1);
+  CancelSource source;
+  source.request_cancel();
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.cancel = source.token();
+  ctx.counters = &counters;
+
+  // The into-form shows the output is untouched by a dead-on-arrival run.
+  std::vector<int> prefix(p.values.size(), 42), reduction(p.m, 42);
+  try {
+    Engine::global().multiprefix_into<int>(p.values, p.labels, std::span<int>(prefix),
+                                           std::span<int>(reduction), Plus{},
+                                           Strategy::kSerial, ctx);
+    FAIL() << "cancelled run must not execute";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+  EXPECT_EQ(counters.cancellations.load(), 1u);
+  for (const int v : prefix) ASSERT_EQ(v, 42);
+  for (const int v : reduction) ASSERT_EQ(v, 42);
+}
+
+TEST(Governance, PreExpiredDeadlineIsRefusedBeforeAnyWork) {
+  const Problem p = make_problem(300, 8, 2);
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.deadline = RunContext::Clock::now() - 1ms;
+  ctx.counters = &counters;
+  try {
+    multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kSerial, ctx);
+    FAIL() << "expired deadline must refuse the run";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(counters.deadlines_exceeded.load(), 1u);
+}
+
+TEST(Governance, GovernedRunIsBitIdenticalToUngoverned) {
+  // Arming every dimension with room to spare must not change a single bit
+  // of output on any strategy — governance only adds checkpoints.
+  const Problem p = make_problem(2500, 32, 3);
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  CancelSource source;  // never fired
+  for (const Strategy s : {Strategy::kSerial, Strategy::kVectorized, Strategy::kParallel,
+                           Strategy::kSortBased, Strategy::kChunked, Strategy::kAuto}) {
+    RunContext ctx;
+    ctx.set_timeout(1h);
+    ctx.cancel = source.token();
+    ctx.byte_budget = std::size_t{1} << 30;
+    ctx.retry.max_retries = 1;
+    const auto got = multiprefix<int>(p.values, p.labels, p.m, Plus{}, s, ctx);
+    ASSERT_EQ(got.prefix, truth.prefix) << to_string(s);
+    ASSERT_EQ(got.reduction, truth.reduction) << to_string(s);
+    const auto red = multireduce<int>(p.values, p.labels, p.m, Plus{}, s, ctx);
+    ASSERT_EQ(red, truth.reduction) << to_string(s);
+    // Every scratch charge was returned when the dispatch scope closed.
+    EXPECT_EQ(ctx.used_bytes(), 0u) << to_string(s);
+  }
+}
+
+TEST(Governance, DeadlinePressureStopsAMidFlightRun) {
+  // Stragglers on every lane (the injector's deadline-pressure script) make
+  // a 2 ms deadline expire while the chunked passes are still running; the
+  // run must stop at the next chunk boundary with the typed error, far
+  // sooner than the delayed run would have finished.
+  ThreadPool pool(2);
+  Engine::Options eo;
+  eo.pool = &pool;
+  Engine engine(eo);
+  const Problem p = make_problem(20000, 16, 4);
+
+  ScriptedFaultInjector injector({.delay_all_lanes = true, .delay = 20ms});
+  ScopedFaultInjector scope(pool, injector);
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.set_timeout(2ms);
+  ctx.counters = &counters;
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kChunked, ctx);
+    FAIL() << "the deadline must fire under lane delays";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 2s);  // one chunk's latency, not the full delayed run
+  EXPECT_EQ(counters.deadlines_exceeded.load(), 1u);
+}
+
+TEST(Governance, CancellationStopsAMidFlightRun) {
+  ThreadPool pool(2);
+  Engine::Options eo;
+  eo.pool = &pool;
+  Engine engine(eo);
+  const Problem p = make_problem(20000, 16, 5);
+
+  ScriptedFaultInjector injector({.delay_all_lanes = true, .delay = 10ms});
+  ScopedFaultInjector scope(pool, injector);
+  CancelSource source;
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.cancel = source.token();
+  ctx.counters = &counters;
+
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(2ms);
+    source.request_cancel();
+  });
+  try {
+    engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kChunked, ctx);
+    canceller.join();
+    FAIL() << "the cancel token must stop the run";
+  } catch (const MpError& e) {
+    canceller.join();
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+  EXPECT_EQ(counters.cancellations.load(), 1u);
+
+  // The same engine and pool serve a clean call immediately afterwards.
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  const auto got = engine.multiprefix<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(got.prefix, truth.prefix);
+}
+
+TEST(Governance, ByteBudgetDegradesToSerialWithIdenticalResult) {
+  // 100 bytes fit no strategy's scratch except the serial sweep's zero, so
+  // budget fitting demotes pre-emptively instead of failing mid-run — and
+  // the output is the same bits the requested strategy would have produced.
+  Engine engine{Engine::Options{}};
+  const Problem p = make_problem(4000, 64, 6);
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.byte_budget = 100;
+  ctx.counters = &counters;
+  const auto got = engine.multiprefix<int>(p.values, p.labels, p.m, Plus{},
+                                           Strategy::kChunked, ctx);
+  EXPECT_EQ(got.prefix, truth.prefix);
+  EXPECT_EQ(got.reduction, truth.reduction);
+  EXPECT_GE(counters.budget_degrades.load(), 1u);
+  EXPECT_EQ(ctx.used_bytes(), 0u);
+
+  const auto red = engine.multireduce<int>(p.values, p.labels, p.m, Plus{},
+                                           Strategy::kChunked, ctx);
+  EXPECT_EQ(red, truth.reduction);
+}
+
+TEST(Governance, ScriptedAllocFailureDegradesUnderABudget) {
+  // A scripted bad_alloc out of the first Workspace acquire is treated like
+  // a budget violation when the run is memory-governed: degrade to the
+  // zero-scratch serial sweep and still return the right answer.
+  Engine engine{Engine::Options{}};
+  const Problem p = make_problem(900, 24, 7);
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+
+  ScriptedFaultInjector injector({.fail_alloc_after = 0});
+  ScopedFaultInjector scope(nullptr, injector, /*arm_alloc=*/true);
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.byte_budget = std::size_t{1} << 30;  // roomy: only the fault bites
+  ctx.counters = &counters;
+  const auto got = engine.multiprefix<int>(p.values, p.labels, p.m, Plus{},
+                                           Strategy::kVectorized, ctx);
+  EXPECT_EQ(got.prefix, truth.prefix);
+  EXPECT_EQ(got.reduction, truth.reduction);
+  EXPECT_EQ(counters.budget_degrades.load(), 1u);
+  EXPECT_EQ(injector.alloc_faults(), 1u);
+}
+
+TEST(Governance, UngovernedAllocFailureStillPropagates) {
+  // Without a budget there is no license to degrade: the bad_alloc surfaces
+  // unchanged, and the engine is healthy for the next (clean) call.
+  Engine engine{Engine::Options{}};
+  const Problem p = make_problem(900, 24, 8);
+  {
+    ScriptedFaultInjector injector({.fail_alloc_after = 0});
+    ScopedFaultInjector scope(nullptr, injector, /*arm_alloc=*/true);
+    EXPECT_THROW(engine.multiprefix<int>(p.values, p.labels, p.m, Plus{},
+                                         Strategy::kVectorized),
+                 std::bad_alloc);
+  }
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  const auto got =
+      engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kVectorized);
+  EXPECT_EQ(got.prefix, truth.prefix);
+}
+
+TEST(Governance, RetryAbsorbsATransientPoolFailure) {
+  // The first pool run faults with kPoolFailure (a transient substrate
+  // error); the retry policy re-runs the same strategy in place instead of
+  // degrading, and the second attempt completes correctly.
+  ThreadPool pool(2);
+  Engine::Options eo;
+  eo.pool = &pool;
+  Engine engine(eo);
+  const Problem p = make_problem(3000, 12, 9);
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+
+  ScriptedFaultInjector injector(
+      {.throw_on_lane = 0, .throw_error = ErrorCode::kPoolFailure, .only_on_run = 0});
+  ScopedFaultInjector scope(pool, injector);
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.retry.max_retries = 2;
+  ctx.retry.backoff = 50us;
+  ctx.counters = &counters;
+  const auto got = engine.multiprefix<int>(p.values, p.labels, p.m, Plus{},
+                                           Strategy::kChunked, ctx);
+  EXPECT_EQ(got.prefix, truth.prefix);
+  EXPECT_EQ(got.reduction, truth.reduction);
+  EXPECT_EQ(counters.retries.load(), 1u);
+  EXPECT_EQ(injector.faults(), 1u);
+}
+
+TEST(Governance, ExhaustedRetriesPropagateThePoolFailure) {
+  ThreadPool pool(2);
+  Engine::Options eo;
+  eo.pool = &pool;
+  Engine engine(eo);
+  const Problem p = make_problem(3000, 12, 10);
+
+  // Every run faults: the budgeted retries burn down, then the error
+  // surfaces for the resilient chain (or the caller) to handle.
+  ScriptedFaultInjector injector(
+      {.throw_on_lane = 0, .throw_error = ErrorCode::kPoolFailure});
+  ScopedFaultInjector scope(pool, injector);
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.retry.max_retries = 2;
+  ctx.retry.backoff = 50us;
+  ctx.counters = &counters;
+  try {
+    engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kChunked, ctx);
+    FAIL() << "persistent pool failure must surface after the retries";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPoolFailure);
+  }
+  EXPECT_EQ(counters.retries.load(), 2u);
+  EXPECT_EQ(injector.faults(), 3u);  // initial attempt + two retries
+}
+
+// ---- resilient driver under governance -------------------------------------
+
+TEST(Governance, ResilientCountsIntoTheContextSink) {
+  const Problem p = make_problem(2000, 8, 11);
+  ScriptedFaultInjector injector({.throw_on_lane = 0});
+  ScopedFaultInjector scope(ThreadPool::global(), injector);
+
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.set_timeout(1h);
+  ctx.counters = &counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kChunked;
+  options.context = &ctx;  // counters flow to the context's sink
+
+  const auto outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+  EXPECT_EQ(outcome.used, Strategy::kVectorized);
+  EXPECT_EQ(outcome.fallbacks, 1u);
+  EXPECT_EQ(counters.execution_faults.load(), 1u);
+  EXPECT_EQ(counters.successes.load(), 1u);
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(outcome.result.prefix, truth.prefix);
+}
+
+TEST(Governance, ResilientDoesNotDegradePastACancellation) {
+  // No simpler substrate can outrun a flipped cancel token: the chain must
+  // stop walking instead of burning attempts on every stage.
+  const Problem p = make_problem(400, 8, 12);
+  CancelSource source;
+  source.request_cancel();
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.cancel = source.token();
+  ctx.counters = &counters;
+  ResilientOptions options;
+  options.preferred = Strategy::kParallel;
+  options.context = &ctx;
+  try {
+    resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+    FAIL() << "cancellation must propagate through the chain";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+  EXPECT_EQ(counters.attempts.load(), 0u);
+
+  // Budget-capped resilient runs, by contrast, do degrade — and match.
+  // 16 bytes fit no chunked bucket matrix at any thread count.
+  RunContext budget;
+  budget.byte_budget = 16;
+  budget.counters = &counters;
+  ResilientOptions capped;
+  capped.preferred = Strategy::kChunked;
+  capped.context = &budget;
+  const auto outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, capped);
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(outcome.result.prefix, truth.prefix);
+  EXPECT_GE(counters.budget_degrades.load(), 1u);
+}
+
+// ---- degenerate inputs across every entry point ----------------------------
+
+TEST(DegenerateInputs, EmptyInputIsAnIdentityAcrossAllEntryPoints) {
+  const std::vector<int> values;
+  const std::vector<label_t> labels;
+  const std::size_t m = 3;
+  const std::vector<int> identity(m, 0);
+  RunContext ctx;
+  ctx.set_timeout(1h);
+  ctx.byte_budget = 1 << 20;
+
+  const RunContext* contexts[] = {nullptr, &ctx};
+  for (const RunContext* rc : contexts) {
+    const RunContext& use = rc != nullptr ? *rc : RunContext::none();
+    const auto mp_result = multiprefix<int>(values, labels, m, Plus{}, Strategy::kAuto, use);
+    EXPECT_TRUE(mp_result.prefix.empty());
+    EXPECT_EQ(mp_result.reduction, identity);
+    EXPECT_EQ(multireduce<int>(values, labels, m, Plus{}, Strategy::kAuto, use), identity);
+
+    std::vector<int> reduction(m, 42);
+    Engine::global().multiprefix_into<int>(values, labels, std::span<int>(),
+                                           std::span<int>(reduction), Plus{},
+                                           Strategy::kSerial, use);
+    EXPECT_EQ(reduction, identity);
+    std::fill(reduction.begin(), reduction.end(), 42);
+    Engine::global().multireduce_into<int>(values, labels, std::span<int>(reduction),
+                                           Plus{}, Strategy::kSerial, use);
+    EXPECT_EQ(reduction, identity);
+
+    ResilientOptions options;
+    options.context = rc;
+    const auto outcome = resilient_multiprefix<int>(values, labels, m, Plus{}, options);
+    EXPECT_TRUE(outcome.result.prefix.empty());
+    EXPECT_EQ(outcome.result.reduction, identity);
+    EXPECT_EQ(resilient_multireduce<int>(values, labels, m, Plus{}, options), identity);
+  }
+}
+
+TEST(DegenerateInputs, ZeroClassesWithNoDataIsEmptyEverywhere) {
+  const std::vector<int> values;
+  const std::vector<label_t> labels;
+  const auto result = multiprefix<int>(values, labels, 0);
+  EXPECT_TRUE(result.prefix.empty());
+  EXPECT_TRUE(result.reduction.empty());
+  EXPECT_TRUE(multireduce<int>(values, labels, 0).empty());
+  Engine::global().multiprefix_into<int>(values, labels, std::span<int>(), std::span<int>());
+  Engine::global().multireduce_into<int>(values, labels, std::span<int>());
+  EXPECT_TRUE(resilient_multiprefix<int>(values, labels, 0).result.reduction.empty());
+  EXPECT_TRUE(resilient_multireduce<int>(values, labels, 0).empty());
+}
+
+TEST(DegenerateInputs, ZeroClassesWithDataIsATypedRejectionEverywhere) {
+  const std::vector<int> values{1, 2, 3};
+  const std::vector<label_t> labels{0, 0, 0};  // every label out of range for m = 0
+  const auto expect_invalid = [](auto&& call) {
+    try {
+      call();
+      FAIL() << "m == 0 with data must be rejected";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidLabel);
+      EXPECT_EQ(e.index(), 0u);
+    }
+  };
+  expect_invalid([&] { multiprefix<int>(values, labels, 0); });
+  expect_invalid([&] { multireduce<int>(values, labels, 0); });
+  std::vector<int> prefix(values.size());
+  expect_invalid([&] {
+    Engine::global().multiprefix_into<int>(values, labels, std::span<int>(prefix),
+                                           std::span<int>());
+  });
+  expect_invalid([&] { Engine::global().multireduce_into<int>(values, labels, std::span<int>()); });
+  expect_invalid([&] { resilient_multiprefix<int>(values, labels, 0); });
+  expect_invalid([&] { resilient_multireduce<int>(values, labels, 0); });
+}
+
+TEST(DegenerateInputs, SingleLabelClassMatchesUnderGovernance) {
+  // m == 1 degenerates multiprefix into a plain prefix sum; every strategy,
+  // governed or not, must agree with the definition.
+  const std::size_t n = 700;
+  const std::vector<label_t> labels = constant_labels(n, 0);
+  std::vector<int> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<int>(i % 7) - 3;
+  const auto truth = multiprefix_bruteforce<int>(values, labels, 1);
+
+  RunContext ctx;
+  ctx.set_timeout(1h);
+  ctx.byte_budget = std::size_t{1} << 30;
+  for (const Strategy s : {Strategy::kSerial, Strategy::kVectorized, Strategy::kParallel,
+                           Strategy::kSortBased, Strategy::kChunked, Strategy::kAuto}) {
+    const auto got = multiprefix<int>(values, labels, 1, Plus{}, s, ctx);
+    ASSERT_EQ(got.prefix, truth.prefix) << to_string(s);
+    ASSERT_EQ(got.reduction, truth.reduction) << to_string(s);
+  }
+}
+
+TEST(DegenerateInputs, ValidationPrecedesGovernance) {
+  // A malformed call with a cancelled context must report the input error:
+  // governance bounds work, it never masks a contract violation.
+  const std::vector<int> values{1, 2, 3};
+  const std::vector<label_t> labels{0, 7, 1};  // 7 out of range for m = 2
+  CancelSource source;
+  source.request_cancel();
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.cancel = source.token();
+  ctx.counters = &counters;
+
+  const auto expect_invalid = [](auto&& call) {
+    try {
+      call();
+      FAIL() << "invalid label must win over cancellation";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidLabel);
+      EXPECT_EQ(e.index(), 1u);
+    }
+  };
+  expect_invalid([&] { multiprefix<int>(values, labels, 2, Plus{}, Strategy::kAuto, ctx); });
+  expect_invalid([&] { multireduce<int>(values, labels, 2, Plus{}, Strategy::kAuto, ctx); });
+  std::vector<int> prefix(3), reduction(2);
+  expect_invalid([&] {
+    Engine::global().multiprefix_into<int>(values, labels, std::span<int>(prefix),
+                                           std::span<int>(reduction), Plus{},
+                                           Strategy::kAuto, ctx);
+  });
+  expect_invalid([&] {
+    Engine::global().multireduce_into<int>(values, labels, std::span<int>(reduction), Plus{},
+                                           Strategy::kAuto, ctx);
+  });
+  ResilientOptions options;
+  options.context = &ctx;
+  expect_invalid([&] { resilient_multiprefix<int>(values, labels, 2, Plus{}, options); });
+  expect_invalid([&] { resilient_multireduce<int>(values, labels, 2, Plus{}, options); });
+  EXPECT_EQ(counters.cancellations.load(), 0u);  // governance never engaged
+}
+
+}  // namespace
+}  // namespace mp
