@@ -30,6 +30,8 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/strategy.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace mp::bench {
 
@@ -141,6 +143,15 @@ inline void report_fallback_counters(JsonReporter& json, const FallbackCounters&
   put("cancellations", counters.cancellations);
   put("deadlines_exceeded", counters.deadlines_exceeded);
   put("budget_degrades", counters.budget_degrades);
+}
+
+/// Emits a Tracer's aggregated metrics (obs/export.hpp) into the JSON
+/// report under `prefix` — phase counts/latencies, governance events, and
+/// per-strategy/per-tier histograms become CI-diffable numbers alongside
+/// the section's own headline metrics.
+inline void report_trace_metrics(JsonReporter& json, const obs::Tracer& tracer,
+                                 const std::string& prefix = "") {
+  for (const auto& [key, value] : obs::metrics(tracer)) json.metric(prefix + key, value);
 }
 
 }  // namespace mp::bench

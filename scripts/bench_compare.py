@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh bench JSON against the committed baseline.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
+
+Both files are the flat key->value objects written by the bench binaries'
+--json flag (bench_common.hpp JsonReporter). The gate enforces three rules:
+
+  1. Relative regression: every ratio metric (key "speedup" or ending in
+     "_speedup") present in both files must not drop more than --tolerance
+     (default 15%) below the baseline value. Ratio metrics are compared
+     because they are roughly host-portable; absolute millisecond fields are
+     reported but never gated (CI runners and dev boxes differ too much).
+  2. Absolute floors: FLOORS pins invariants that must hold regardless of
+     the baseline — e.g. a dispatched SIMD path must never lose to the
+     scalar kernel it replaced. Floors get a small measurement-noise
+     allowance (--noise, default 5%). A floor can be waived by adding the
+     key to WAIVERS with a reason; the waiver is printed loudly so it
+     cannot rot silently.
+  3. Hard asserts: keys ending in "_assert_pass" must equal 1 (the bench
+     binary already decided; this just refuses to ignore it).
+
+Exit status 0 = all gates pass, 1 = at least one failure (CI fails the job).
+"""
+
+import argparse
+import json
+import sys
+
+# Invariant floors on ratio metrics, independent of the baseline file.
+# chunked_speedup: pass 2 of the chunked strategy picks its column-kernel
+# tier at dispatch time (simd::column_kernel_level), so the dispatched run
+# must be at least as fast as pinned-scalar. The pre-fix 512-bit column walk
+# measured 0.92x at n=2^20 — this floor is the regression test for that fix.
+FLOORS = {
+    "chunked_speedup": 1.0,
+}
+
+# Documented waivers: key -> reason. A waived floor is reported, not
+# enforced. Keep this empty unless a floor is knowingly violated on a
+# specific runner class; the reason string should say where and why.
+WAIVERS = {}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    if not isinstance(data, dict):
+        sys.exit(f"bench_compare: {path} is not a flat JSON object")
+    return data
+
+
+def is_ratio_key(key):
+    return key == "speedup" or key.endswith("_speedup")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max relative drop vs baseline for ratio metrics")
+    parser.add_argument("--noise", type=float, default=0.05,
+                        help="measurement-noise allowance applied to FLOORS")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures = []
+
+    print(f"bench_compare: {args.current} vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%}, floor noise {args.noise:.0%})")
+
+    for key in sorted(set(baseline) | set(current)):
+        base, cur = baseline.get(key), current.get(key)
+        if not is_ratio_key(key):
+            continue
+        if cur is None:
+            failures.append(f"{key}: present in baseline but missing from current run")
+            continue
+        if base is None:
+            print(f"  NEW    {key} = {cur:.3f} (no baseline)")
+            continue
+        limit = base * (1.0 - args.tolerance)
+        status = "ok" if cur >= limit else "REGRESSION"
+        print(f"  {status:10s} {key}: {cur:.3f} vs baseline {base:.3f} "
+              f"(limit {limit:.3f})")
+        if cur < limit:
+            failures.append(f"{key}: {cur:.3f} regressed >{args.tolerance:.0%} "
+                            f"below baseline {base:.3f}")
+
+    for key, floor in sorted(FLOORS.items()):
+        cur = current.get(key)
+        if cur is None:
+            continue  # this bench file doesn't carry the metric
+        if key in WAIVERS:
+            print(f"  WAIVED {key} >= {floor} ({WAIVERS[key]})")
+            continue
+        limit = floor * (1.0 - args.noise)
+        if cur < limit:
+            failures.append(f"{key}: {cur:.3f} below floor {floor} "
+                            f"(noise-adjusted limit {limit:.3f})")
+        else:
+            print(f"  floor ok   {key}: {cur:.3f} >= {floor} (-{args.noise:.0%} noise)")
+
+    for key, cur in sorted(current.items()):
+        if key.endswith("_assert_pass") and cur != 1:
+            failures.append(f"{key}: bench-internal assertion failed ({cur})")
+
+    if failures:
+        print("\nbench_compare: FAILED")
+        for f in failures:
+            print(f"  * {f}")
+        return 1
+    print("bench_compare: all gates pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,11 @@
 #   scripts/check.sh --bench       # also run the engine amortization smoke
 #                                  # bench (Release, BENCH_engine.json) and the
 #                                  # SIMD kernel bench at the host's native ISA
-#                                  # (bench-simd preset, BENCH_simd.json)
+#                                  # (bench-simd preset, BENCH_simd.json), then
+#                                  # gate both against the committed baselines
+#                                  # (scripts/bench_compare.py)
+#   scripts/check.sh --bench-only  # the bench smoke + gate without any
+#                                  # sanitizer pass (the CI bench job)
 #
 # TSan is the pass that actually exercises the paper's CRCW-ARB claim: the
 # SPINETREE overwrite phase races by design (arbitrary winner), and the
@@ -25,6 +29,7 @@ while [[ $# -gt 0 ]]; do
     --full) MODE=full; shift ;;
     --chaos) MODE=chaos; shift ;;
     --bench) BENCH=1; shift ;;
+    --bench-only) BENCH=1; MODE=none; shift ;;
     *) break ;;
   esac
 done
@@ -42,15 +47,21 @@ QUICK_FILTER+='|AdversarialInputs|DifferentialFuzz|PinnedLevelFuzz|ThreadPool|Pa
 QUICK_FILTER+='|Engine|PlanCache|Workspace|StrategyFacade'
 QUICK_FILTER+='|Simd'
 QUICK_FILTER+='|Chaos|RunContext|Governance|DegenerateInputs'
+# Observability layer: TracerCore/EngineTracing/etc., and above all the
+# concurrent-recording test — TSan over that suite is the data-race gate for
+# the whole span/metrics recording path.
+QUICK_FILTER+='|TracerCore|EngineTracing|ResilientTracing|ChromeExport|MetricsExport'
+QUICK_FILTER+='|ConcurrentRecording|ScopedTracerScopes'
 
 # The chaos gate replays the randomized fault schedules (chaos_test) plus the
 # governance and fault-path suites under ASan and TSan. Every test already
 # carries a ctest TIMEOUT property; --timeout tightens it here so a hung
 # cooperative checkpoint fails loudly instead of stalling CI.
 CHAOS_FILTER='Chaos|RunContext|Governance|DegenerateInputs|FaultInjection|Resilient'
-CHAOS_FILTER+='|PlanCacheStorm'
+CHAOS_FILTER+='|PlanCacheStorm|ConcurrentRecording|ResilientTracing'
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+if [[ "$MODE" == none ]]; then SANITIZERS=(); fi
 for san in "${SANITIZERS[@]}"; do
   echo "=== [$san] configure + build ==="
   cmake --preset "$san" >/dev/null
@@ -65,9 +76,12 @@ for san in "${SANITIZERS[@]}"; do
   fi
 done
 
-# Bench smoke: build the benchmarks in Release and run the engine
-# amortization headline metrics (plan-cache speedup, kAuto downside bound)
-# into BENCH_engine.json for trend tracking.
+# Bench smoke: build the benchmarks in Release, run the engine amortization
+# and SIMD kernel headline metrics into the build trees, then gate them
+# against the committed baselines (scripts/bench_compare.py: >15% regression
+# of any speedup field fails, plus absolute floors like chunked_speedup >=
+# 1.0). To refresh a baseline intentionally, copy the fresh file over the
+# committed one and commit it with the change that moved the number.
 if [[ "$BENCH" == 1 ]]; then
   echo "=== [bench-smoke] configure + build ==="
   cmake --preset bench-smoke >/dev/null
@@ -75,7 +89,7 @@ if [[ "$BENCH" == 1 ]]; then
     -- --no-print-directory >/dev/null
   echo "=== [bench-smoke] engine_amortization ==="
   ./build-bench/bench/engine_amortization --benchmark_filter=NONE \
-    --n=262144 --reps=3 --json=BENCH_engine.json
+    --n=262144 --reps=3 --json=build-bench/BENCH_engine.json
 
   # SIMD kernels: built with MP_ENABLE_NATIVE=ON so the dispatched tiers
   # lower to the build host's widest ISA (what the speedup criteria assume).
@@ -85,6 +99,14 @@ if [[ "$BENCH" == 1 ]]; then
     -- --no-print-directory >/dev/null
   echo "=== [bench-simd] simd_kernels ==="
   ./build-bench-simd/bench/simd_kernels --benchmark_filter=NONE \
-    --n=1048576 --reps=3 --json=BENCH_simd.json
+    --n=1048576 --reps=3 --json=build-bench-simd/BENCH_simd.json
+
+  echo "=== [bench-gate] compare against committed baselines ==="
+  python3 scripts/bench_compare.py BENCH_engine.json build-bench/BENCH_engine.json
+  python3 scripts/bench_compare.py BENCH_simd.json build-bench-simd/BENCH_simd.json
 fi
-echo "All sanitizer passes clean: ${SANITIZERS[*]} ($MODE)"
+if [[ "$MODE" == none ]]; then
+  echo "Bench smoke + regression gate clean"
+else
+  echo "All sanitizer passes clean: ${SANITIZERS[*]} ($MODE)"
+fi

@@ -38,6 +38,10 @@
 
 namespace mp {
 
+namespace obs {
+class Tracer;  // src/obs/trace.hpp — forward-declared to keep common below obs
+}  // namespace obs
+
 /// Shared cancellation flag. CancelSource owns the flag (caller side);
 /// CancelToken is the read-only view a RunContext carries. Copies share the
 /// same flag, so a token outlives the run that observes it.
@@ -154,6 +158,9 @@ class RunContext {
   RetryPolicy retry;
   /// Counter block for degraded-mode events; null = global_fallback_counters().
   FallbackCounters* counters = nullptr;
+  /// Span/metrics sink for this run; null defers to the ambient tracer
+  /// (obs::sink_for). Highest-precedence way to trace one run.
+  obs::Tracer* tracer = nullptr;
 
   /// Convenience: deadline `timeout` from now.
   void set_timeout(Clock::duration timeout) { deadline = Clock::now() + timeout; }
@@ -175,6 +182,7 @@ class RunContext {
   /// Does not touch counters — the engine counts once per run at the catch
   /// site, not once per chunk per lane.
   Status poll() const {
+    polls_.fetch_add(1, std::memory_order_relaxed);
     if (cancel.cancelled())
       return Status(ErrorCode::kCancelled, "run cancelled by caller");
     if (deadline && Clock::now() >= *deadline)
@@ -213,6 +221,10 @@ class RunContext {
 
   std::size_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
 
+  /// Cooperative checkpoint polls observed so far — the tracer attributes
+  /// the per-attempt delta to its dispatch span (kCheckpointPoll events).
+  std::uint64_t poll_count() const { return polls_.load(std::memory_order_relaxed); }
+
   std::size_t remaining_bytes() const {
     if (byte_budget == 0) return static_cast<std::size_t>(-1);
     const std::size_t used = used_.load(std::memory_order_relaxed);
@@ -228,6 +240,7 @@ class RunContext {
 
  private:
   mutable std::atomic<std::size_t> used_{0};
+  mutable std::atomic<std::uint64_t> polls_{0};
 };
 
 /// Nullable-checkpoint helper for the pass loops: strategies take

@@ -30,6 +30,7 @@
 #include "common/run_context.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
+#include "obs/trace.hpp"
 #include "parallel/fault_injector.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -57,42 +58,53 @@ void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t
 
   const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
   const std::vector<std::size_t> bounds = partition_range(n, chunks);
+  obs::Tracer* obs_tracer = obs::sink_for(rc);  // null = all spans inert
+  // Pass-2 kernel tier, picked once at dispatch time for the matrix height
+  // (512-bit column batches lose on the strided walk — see
+  // simd::column_kernel_level).
+  const simd::SimdLevel col_level = simd::column_kernel_level(simd::active_level(), chunks);
 
   // chunk-major P × m matrix of local class totals — the algorithm's whole
   // scratch footprint, charged against the run's byte budget (and exposed
   // to the allocation-fault seam) before the allocation happens.
   BudgetCharge scratch(rc, chunks * m * sizeof(T));
   notify_alloc(chunks * m * sizeof(T));
+  obs::note_bytes(obs_tracer, chunks * m * sizeof(T));
   std::vector<T> local(chunks * m, id);
 
   // Pass 1: local multiprefix per chunk. Labels are range-checked once per
   // chunk up front (one vectorized max sweep) so the bucket loop is
   // branch-free. Governed runs checkpoint every kCancelCheckBlock elements
   // inside each lane's chunk walk (chunk boundaries are the safe points: no
-  // bucket is mid-combine between elements).
-  pool.run(
-      [&](std::size_t lane) {
-        for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
-          const std::size_t len = bounds[ch + 1] - bounds[ch];
-          if (len == 0) continue;
-          MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
-                     "label out of range");
-          T* bucket = local.data() + ch * m;
-          std::size_t i = bounds[ch];
-          while (i < bounds[ch + 1]) {
-            checkpoint(rc);
-            const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
-                                         ? i + kCancelCheckBlock
-                                         : bounds[ch + 1];
-            for (; i < stop; ++i) {
-              T& cell = bucket[labels[i]];
-              prefix[i] = cell;
-              cell = op(cell, values[i]);
+  // bucket is mid-combine between elements). The chunked passes are the
+  // coarse-grained spinetree phases: pass 1 is ROWSUMS with rows of width
+  // n/P, pass 2 the SPINESUMS recurrence, pass 3 MULTISUMS.
+  {
+    obs::ScopedSpan span(obs_tracer, obs::Phase::kRowsums);
+    pool.run(
+        [&](std::size_t lane) {
+          for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+            const std::size_t len = bounds[ch + 1] - bounds[ch];
+            if (len == 0) continue;
+            MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
+                       "label out of range");
+            T* bucket = local.data() + ch * m;
+            std::size_t i = bounds[ch];
+            while (i < bounds[ch + 1]) {
+              checkpoint(rc);
+              const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
+                                           ? i + kCancelCheckBlock
+                                           : bounds[ch + 1];
+              for (; i < stop; ++i) {
+                T& cell = bucket[labels[i]];
+                prefix[i] = cell;
+                cell = op(cell, values[i]);
+              }
             }
           }
-        }
-      },
-      rc);
+        },
+        rc);
+  }
 
   // Pass 2: exclusive scan across chunks for every label; the total becomes
   // the reduction. After this, local[ch*m + k] holds the op-sum of class k
@@ -100,30 +112,36 @@ void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t
   // chunk-major matrix, so the kernel scans a register-width of labels per
   // step with contiguous loads; each column's combine order is untouched
   // (bit-identical for floats too).
-  parallel_for_blocked(
-      pool, 0, m, /*grain=*/256,
-      [&](std::size_t k0, std::size_t k1) {
-        simd::column_exclusive_scan<T, Op>(local.data(), chunks, m, k0, k1,
-                                           reduction.data(), op);
-      },
-      rc);
+  {
+    obs::ScopedSpan span(obs_tracer, obs::Phase::kSpinesums);
+    parallel_for_blocked(
+        pool, 0, m, /*grain=*/256,
+        [&](std::size_t k0, std::size_t k1) {
+          simd::column_exclusive_scan<T, Op>(local.data(), chunks, m, k0, k1,
+                                             reduction.data(), op, col_level);
+        },
+        rc);
+  }
 
   // Pass 3: combine the chunk offset on the left of each local prefix.
-  pool.run(
-      [&](std::size_t lane) {
-        for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
-          const T* offset = local.data() + ch * m;
-          std::size_t i = bounds[ch];
-          while (i < bounds[ch + 1]) {
-            checkpoint(rc);
-            const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
-                                         ? i + kCancelCheckBlock
-                                         : bounds[ch + 1];
-            for (; i < stop; ++i) prefix[i] = op(offset[labels[i]], prefix[i]);
+  {
+    obs::ScopedSpan span(obs_tracer, obs::Phase::kMultisums);
+    pool.run(
+        [&](std::size_t lane) {
+          for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+            const T* offset = local.data() + ch * m;
+            std::size_t i = bounds[ch];
+            while (i < bounds[ch + 1]) {
+              checkpoint(rc);
+              const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
+                                           ? i + kCancelCheckBlock
+                                           : bounds[ch + 1];
+              for (; i < stop; ++i) prefix[i] = op(offset[labels[i]], prefix[i]);
+            }
           }
-        }
-      },
-      rc);
+        },
+        rc);
+  }
 }
 
 template <class T, class Op = Plus>
@@ -155,36 +173,46 @@ void multireduce_chunked_into(std::span<const T> values, std::span<const label_t
 
   const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
   const std::vector<std::size_t> bounds = partition_range(n, chunks);
+  obs::Tracer* obs_tracer = obs::sink_for(rc);
+  const simd::SimdLevel col_level = simd::column_kernel_level(simd::active_level(), chunks);
   BudgetCharge scratch(rc, chunks * m * sizeof(T));
   notify_alloc(chunks * m * sizeof(T));
+  obs::note_bytes(obs_tracer, chunks * m * sizeof(T));
   std::vector<T> local(chunks * m, id);
 
-  pool.run(
-      [&](std::size_t lane) {
-        for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
-          const std::size_t len = bounds[ch + 1] - bounds[ch];
-          if (len == 0) continue;
-          MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
-                     "label out of range");
-          T* bucket = local.data() + ch * m;
-          std::size_t i = bounds[ch];
-          while (i < bounds[ch + 1]) {
-            checkpoint(rc);
-            const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
-                                         ? i + kCancelCheckBlock
-                                         : bounds[ch + 1];
-            for (; i < stop; ++i) bucket[labels[i]] = op(bucket[labels[i]], values[i]);
+  {
+    obs::ScopedSpan span(obs_tracer, obs::Phase::kRowsums);
+    pool.run(
+        [&](std::size_t lane) {
+          for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
+            const std::size_t len = bounds[ch + 1] - bounds[ch];
+            if (len == 0) continue;
+            MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
+                       "label out of range");
+            T* bucket = local.data() + ch * m;
+            std::size_t i = bounds[ch];
+            while (i < bounds[ch + 1]) {
+              checkpoint(rc);
+              const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
+                                           ? i + kCancelCheckBlock
+                                           : bounds[ch + 1];
+              for (; i < stop; ++i) bucket[labels[i]] = op(bucket[labels[i]], values[i]);
+            }
           }
-        }
-      },
-      rc);
+        },
+        rc);
+  }
 
-  parallel_for_blocked(
-      pool, 0, m, /*grain=*/256,
-      [&](std::size_t k0, std::size_t k1) {
-        simd::column_reduce<T, Op>(local.data(), chunks, m, k0, k1, reduction.data(), op);
-      },
-      rc);
+  {
+    obs::ScopedSpan span(obs_tracer, obs::Phase::kSpinesums);
+    parallel_for_blocked(
+        pool, 0, m, /*grain=*/256,
+        [&](std::size_t k0, std::size_t k1) {
+          simd::column_reduce<T, Op>(local.data(), chunks, m, k0, k1, reduction.data(), op,
+                                     col_level);
+        },
+        rc);
+  }
 }
 
 template <class T, class Op = Plus>

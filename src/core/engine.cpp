@@ -84,6 +84,7 @@ std::shared_ptr<const SpinetreePlan> Engine::plan(std::span<const label_t> label
   if (!options_.use_plan_cache) {
     SpinetreePlan::Options build;
     build.pool = build_pool;
+    obs::ScopedSpan span(obs::active_tracer(), obs::Phase::kPlanBuild);
     return std::make_shared<const SpinetreePlan>(labels, m,
                                                  RowShape::auto_shape(labels.size()), build);
   }

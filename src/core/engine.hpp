@@ -56,6 +56,7 @@
 #include "core/spinetree_plan.hpp"
 #include "core/strategy.hpp"
 #include "core/workspace.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/dispatch.hpp"
 #include "simd/kernels.hpp"
@@ -93,6 +94,11 @@ class Engine {
     /// kAuto: minimum n before the phase-parallel schedule pays for its
     /// fork/join; below it single-thread vectorized is preferred.
     std::size_t auto_parallel_min_n = std::size_t{1} << 16;
+    /// Span/metrics sink for every run this engine dispatches (off by
+    /// default — the disabled path costs two pointer tests). Overridden per
+    /// run by RunContext::tracer; when both are null the ambient tracer
+    /// (obs::ScopedTracer / MP_TRACE) applies.
+    obs::Tracer* tracer = nullptr;
     /// SIMD kernel tier for every strategy this engine dispatches (the
     /// kernels themselves live in simd/kernels.hpp and are shared by all
     /// strategies, so there is no separate "simd strategy" to pick — kAuto
@@ -216,46 +222,102 @@ class Engine {
   ///     resilient chain;
   ///   * kBudgetExceeded / bad_alloc under a budget — degrade to the serial
   ///     sweep (zero scratch) and rerun.
+  /// The span/metrics sink for a run: RunContext::tracer wins, then the
+  /// engine option, then the ambient tracer (ScopedTracer / MP_TRACE).
+  /// Tracing disabled = all three null — the instrumentation below reduces
+  /// to pointer tests.
+  obs::Tracer* run_tracer(const RunContext& ctx) const {
+    if (ctx.tracer != nullptr) return ctx.tracer;
+    if (options_.tracer != nullptr) return options_.tracer;
+    return obs::active_tracer();
+  }
+
+  /// One strategy attempt under a kDispatch span tagged (strategy, SIMD
+  /// tier), with the context's checkpoint-poll delta attributed to the span
+  /// whether the attempt returns or throws.
+  template <class Invoke>
+  void traced_attempt(obs::Tracer* tracer, Strategy stage, const RunContext* rc,
+                      Invoke&& invoke) {
+    if (tracer == nullptr) {
+      invoke(stage, rc);
+      return;
+    }
+    obs::ScopedSpan span(tracer, obs::Phase::kDispatch,
+                         static_cast<int>(strategy_index(stage)),
+                         static_cast<int>(simd::level_index(simd::active_level())));
+    const std::uint64_t polls0 = rc != nullptr ? rc->poll_count() : 0;
+    const auto settle = [&] {
+      const std::uint64_t polls = (rc != nullptr ? rc->poll_count() : 0) - polls0;
+      span.note_polls(polls);
+      obs::count(tracer, obs::Event::kCheckpointPoll, polls);
+    };
+    try {
+      invoke(stage, rc);
+    } catch (...) {
+      settle();
+      throw;
+    }
+    settle();
+  }
+
   template <class Invoke>
   void governed_dispatch(Strategy s, std::size_t n, std::size_t m, std::size_t elem_size,
                          const RunContext& ctx, Invoke&& invoke) {
+    obs::Tracer* tracer = run_tracer(ctx);
     if (!ctx.governed()) {
-      invoke(s, static_cast<const RunContext*>(nullptr));
+      if (tracer == nullptr) {  // the zero-cost fast path: two pointer tests
+        invoke(s, static_cast<const RunContext*>(nullptr));
+        return;
+      }
+      obs::ScopedBind bind(tracer);  // executors/plan cache resolve the same sink
+      traced_attempt(tracer, s, nullptr, invoke);
       return;
     }
+    obs::ScopedBind bind(tracer);
     FallbackCounters& counters = ctx.sink();
     if (Status st = ctx.poll(); !st.is_ok()) {  // refuse dead-on-arrival runs
       (st.code() == ErrorCode::kCancelled ? counters.cancellations
                                           : counters.deadlines_exceeded)
           .fetch_add(1, std::memory_order_relaxed);
+      obs::count(tracer, st.code() == ErrorCode::kCancelled
+                             ? obs::Event::kCancelled
+                             : obs::Event::kDeadlineExceeded);
       throw MpError(std::move(st));
     }
     Strategy stage = s;
     if (ctx.memory_governed()) {
       stage = budget_fit(s, n, m, elem_size, ctx.remaining_bytes());
-      if (stage != s) counters.budget_degrades.fetch_add(1, std::memory_order_relaxed);
+      if (stage != s) {
+        counters.budget_degrades.fetch_add(1, std::memory_order_relaxed);
+        obs::count(tracer, obs::Event::kBudgetDegrade);
+      }
     }
     std::size_t attempt = 0;
     for (;;) {
       try {
         Workspace::BudgetScope budget(scratch(), &ctx);
-        invoke(stage, &ctx);
+        traced_attempt(tracer, stage, &ctx, invoke);
         return;
       } catch (const MpError& e) {
         if (e.code() == ErrorCode::kCancelled || e.code() == ErrorCode::kDeadlineExceeded) {
           (e.code() == ErrorCode::kCancelled ? counters.cancellations
                                              : counters.deadlines_exceeded)
               .fetch_add(1, std::memory_order_relaxed);
+          obs::count(tracer, e.code() == ErrorCode::kCancelled
+                                 ? obs::Event::kCancelled
+                                 : obs::Event::kDeadlineExceeded);
           throw;
         }
         if (e.code() == ErrorCode::kBudgetExceeded && stage != Strategy::kSerial) {
           counters.budget_degrades.fetch_add(1, std::memory_order_relaxed);
+          obs::count(tracer, obs::Event::kBudgetDegrade);
           stage = Strategy::kSerial;  // zero scratch always fits
           continue;
         }
         if (e.code() == ErrorCode::kPoolFailure && attempt < ctx.retry.max_retries) {
           ++attempt;
           counters.retries.fetch_add(1, std::memory_order_relaxed);
+          obs::count(tracer, obs::Event::kRetry);
           if (ctx.retry.backoff.count() > 0) std::this_thread::sleep_for(ctx.retry.backoff);
           // The backoff may have consumed the deadline — counted poll, as
           // in the precheck above.
@@ -263,6 +325,9 @@ class Engine {
             (st.code() == ErrorCode::kCancelled ? counters.cancellations
                                                 : counters.deadlines_exceeded)
                 .fetch_add(1, std::memory_order_relaxed);
+            obs::count(tracer, st.code() == ErrorCode::kCancelled
+                                   ? obs::Event::kCancelled
+                                   : obs::Event::kDeadlineExceeded);
             throw MpError(std::move(st));
           }
           continue;
@@ -271,6 +336,7 @@ class Engine {
       } catch (const std::bad_alloc&) {
         if (!ctx.memory_governed() || stage == Strategy::kSerial) throw;
         counters.budget_degrades.fetch_add(1, std::memory_order_relaxed);
+        obs::count(tracer, obs::Event::kBudgetDegrade);
         stage = Strategy::kSerial;
         continue;
       }

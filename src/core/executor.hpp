@@ -41,6 +41,7 @@
 #include "core/result.hpp"
 #include "core/spinetree_plan.hpp"
 #include "core/workspace.hpp"
+#include "obs/trace.hpp"
 #include "simd/kernels.hpp"
 #include "vm/tracer.hpp"
 
@@ -159,6 +160,7 @@ class SpinetreeExecutor {
     const auto spine = plan_->spine();
     vm::Tracer* tracer = options.tracer;
     const RunContext* rc = options.ctx;
+    obs::Tracer* obs_tracer = obs::sink_for(rc);  // null = all spans inert
     const T id = op_.template identity<T>();
     Timer phase_timer;
     auto lap = [&](double PhaseSeconds::*field) {
@@ -172,10 +174,13 @@ class SpinetreeExecutor {
     // a SIMD broadcast-store sweep (workspace-acquired scratch arrives with
     // capacity only, so size first).
     checkpoint(rc);
-    rowsum_.resize(m + n);
-    spinesum_.resize(m + n);
-    simd::fill(std::span<T>(rowsum_), id);
-    simd::fill(std::span<T>(spinesum_), id);
+    {
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kInit);
+      rowsum_.resize(m + n);
+      spinesum_.resize(m + n);
+      simd::fill(std::span<T>(rowsum_), id);
+      simd::fill(std::span<T>(spinesum_), id);
+    }
     if (tracer) tracer->record(vm::OpKind::kFill, 2 * (m + n));
     lap(&PhaseSeconds::init);
 
@@ -185,59 +190,64 @@ class SpinetreeExecutor {
     // for non-commutative ops. Untraced runs default to it (the column
     // sweep strides by L, a fresh cache line per access on a cache
     // machine); the traced sweep is the paper's vector-op structure.
-    if (tracer == nullptr && options.sequential_grid_sweeps) {
-      std::size_t i = 0;
-      while (i < n) {
-        checkpoint(rc);
-        const std::size_t stop =
-            rc != nullptr && n - i > kCancelCheckBlock ? i + kCancelCheckBlock : n;
-        for (; i < stop; ++i) {
-          const auto s = spine[m + i];
-          rowsum_[s] = op_(rowsum_[s], value(i));
+    {
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kRowsums);
+      if (tracer == nullptr && options.sequential_grid_sweeps) {
+        std::size_t i = 0;
+        while (i < n) {
+          checkpoint(rc);
+          const std::size_t stop =
+              rc != nullptr && n - i > kCancelCheckBlock ? i + kCancelCheckBlock : n;
+          for (; i < stop; ++i) {
+            const auto s = spine[m + i];
+            rowsum_[s] = op_(rowsum_[s], value(i));
+          }
         }
-      }
-    } else {
-      for (std::size_t c = 0; c < L && c < n; ++c) {
-        checkpoint(rc);  // one column per iteration — the paper's chunk
-        std::size_t cnt = 0;
-        for (std::size_t i = c; i < n; i += L) {
-          const auto s = spine[m + i];
-          rowsum_[s] = op_(rowsum_[s], value(i));
-          ++cnt;
+      } else {
+        for (std::size_t c = 0; c < L && c < n; ++c) {
+          checkpoint(rc);  // one column per iteration — the paper's chunk
+          std::size_t cnt = 0;
+          for (std::size_t i = c; i < n; i += L) {
+            const auto s = spine[m + i];
+            rowsum_[s] = op_(rowsum_[s], value(i));
+            ++cnt;
+          }
+          if (tracer) tracer->record(vm::OpKind::kScatterCombine, cnt);
         }
-        if (tracer) tracer->record(vm::OpKind::kScatterCombine, cnt);
       }
     }
     lap(&PhaseSeconds::rowsums);
 
     // SPINESUMS: rows bottom to top.
-    if (options.compressed_spine) {
-      for (std::size_t r = 0; r < rows; ++r) {
-        if (rc != nullptr && (r & 255) == 0) rc->checkpoint();  // row = chunk
-        const auto elems = plan_->spine_elements_of_row(r);
-        for (const auto e : elems) {
-          const auto p = spine[m + e];
-          spinesum_[p] = op_(spinesum_[m + e], rowsum_[m + e]);
+    {
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kSpinesums);
+      if (options.compressed_spine) {
+        for (std::size_t r = 0; r < rows; ++r) {
+          if (rc != nullptr && (r & 255) == 0) rc->checkpoint();  // row = chunk
+          const auto elems = plan_->spine_elements_of_row(r);
+          for (const auto e : elems) {
+            const auto p = spine[m + e];
+            spinesum_[p] = op_(spinesum_[m + e], rowsum_[m + e]);
+          }
+          if (tracer && !elems.empty())
+            tracer->record(vm::OpKind::kScatterCombine, elems.size());
         }
-        if (tracer && !elems.empty())
-          tracer->record(vm::OpKind::kScatterCombine, elems.size());
-      }
-    } else {
-      const auto flags = plan_->is_spine_flags();
-      for (std::size_t r = 0; r < rows; ++r) {
-        if (rc != nullptr && (r & 255) == 0) rc->checkpoint();
-        const std::size_t lo = r * L;
-        const std::size_t hi = lo + L < n ? lo + L : n;
-        for (std::size_t i = lo; i < hi; ++i) {
-          if (!flags[i]) continue;
-          const auto p = spine[m + i];
-          spinesum_[p] = op_(spinesum_[m + i], rowsum_[m + i]);
+      } else {
+        const auto flags = plan_->is_spine_flags();
+        for (std::size_t r = 0; r < rows; ++r) {
+          if (rc != nullptr && (r & 255) == 0) rc->checkpoint();
+          const std::size_t lo = r * L;
+          const std::size_t hi = lo + L < n ? lo + L : n;
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (!flags[i]) continue;
+            const auto p = spine[m + i];
+            spinesum_[p] = op_(spinesum_[m + i], rowsum_[m + i]);
+          }
+          if (tracer && lo < hi)
+            tracer->record(vm::OpKind::kMaskedScatterCombine, hi - lo);
         }
-        if (tracer && lo < hi)
-          tracer->record(vm::OpKind::kMaskedScatterCombine, hi - lo);
       }
     }
-
     lap(&PhaseSeconds::spinesums);
 
     // Reduction extraction happens here, directly after SPINESUMS (§4.2):
@@ -246,6 +256,7 @@ class SpinetreeExecutor {
     // consumes the spinesum values.
     if (!reduction.empty()) {
       checkpoint(rc);
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kReduction);
       simd::combine(std::span<const T>(spinesum_.data(), m),
                     std::span<const T>(rowsum_.data(), m), reduction.first(m), op_);
       if (tracer) tracer->record(vm::OpKind::kElementwise, m);
@@ -257,6 +268,7 @@ class SpinetreeExecutor {
     // ROWSUMS: each prefix[i]/spinesum[s] pair involves only parent s,
     // whose children arrive in column order either way.
     if (prefix != nullptr) {
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kMultisums);
       if (tracer == nullptr && options.sequential_grid_sweeps) {
         std::size_t i = 0;
         while (i < n) {

@@ -28,6 +28,7 @@
 #include "core/ops.hpp"
 #include "core/spinetree_plan.hpp"
 #include "core/workspace.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/kernels.hpp"
@@ -99,49 +100,60 @@ class ParallelSpinetreeExecutor {
     const std::size_t rows = plan_->shape().rows;
     const auto spine = plan_->spine();
     const T id = op_.template identity<T>();
+    obs::Tracer* obs_tracer = obs::sink_for(rc_);  // null = all spans inert
 
     // Workspace-acquired scratch arrives empty (capacity only); size it
     // before the parallel init sweep writes through operator[].
     checkpoint(rc_);
-    rowsum_.resize(m + n);
-    spinesum_.resize(m + n);
+    {
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kInit);
+      rowsum_.resize(m + n);
+      spinesum_.resize(m + n);
 
-    parallel_for_blocked(
-        *pool_, 0, m + n, grain_,
-        [&](std::size_t lo, std::size_t hi) {
-          simd::fill(std::span<T>(rowsum_.data() + lo, hi - lo), id);
-          simd::fill(std::span<T>(spinesum_.data() + lo, hi - lo), id);
-        },
-        rc_);
+      parallel_for_blocked(
+          *pool_, 0, m + n, grain_,
+          [&](std::size_t lo, std::size_t hi) {
+            simd::fill(std::span<T>(rowsum_.data() + lo, hi - lo), id);
+            simd::fill(std::span<T>(spinesum_.data() + lo, hi - lo), id);
+          },
+          rc_);
+    }
 
     // ROWSUMS: pardo over each column; parents within a column are distinct.
     // The column sweeps are the chunk boundaries — a checkpoint between two
     // columns sees every prior column fully combined.
-    for (std::size_t c = 0; c < L && c < n; ++c) {
-      parallel_for_strided(
-          *pool_, c, n, L, grain_,
-          [&](std::size_t i) {
-            const auto s = spine[m + i];
-            rowsum_[s] = op_(rowsum_[s], values[i]);
-          },
-          rc_);
+    {
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kRowsums);
+      for (std::size_t c = 0; c < L && c < n; ++c) {
+        parallel_for_strided(
+            *pool_, c, n, L, grain_,
+            [&](std::size_t i) {
+              const auto s = spine[m + i];
+              rowsum_[s] = op_(rowsum_[s], values[i]);
+            },
+            rc_);
+      }
     }
 
     // SPINESUMS: pardo over the spine elements of each row, bottom to top.
-    for (std::size_t r = 0; r < rows; ++r) {
-      if (rc_ != nullptr && (r & 255) == 0) rc_->checkpoint();
-      const auto elems = plan_->spine_elements_of_row(r);
-      parallel_for(
-          *pool_, 0, elems.size(), grain_,
-          [&](std::size_t k) {
-            const auto e = elems[k];
-            const auto p = spine[m + e];
-            spinesum_[p] = op_(spinesum_[m + e], rowsum_[m + e]);
-          },
-          rc_);
+    {
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kSpinesums);
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (rc_ != nullptr && (r & 255) == 0) rc_->checkpoint();
+        const auto elems = plan_->spine_elements_of_row(r);
+        parallel_for(
+            *pool_, 0, elems.size(), grain_,
+            [&](std::size_t k) {
+              const auto e = elems[k];
+              const auto p = spine[m + e];
+              spinesum_[p] = op_(spinesum_[m + e], rowsum_[m + e]);
+            },
+            rc_);
+      }
     }
 
     if (!reduction.empty()) {
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kReduction);
       parallel_for_blocked(
           *pool_, 0, m, grain_,
           [&](std::size_t lo, std::size_t hi) {
@@ -154,6 +166,7 @@ class ParallelSpinetreeExecutor {
 
     // MULTISUMS: pardo over each column.
     if (prefix != nullptr) {
+      obs::ScopedSpan span(obs_tracer, obs::Phase::kMultisums);
       for (std::size_t c = 0; c < L && c < n; ++c) {
         parallel_for_strided(
             *pool_, c, n, L, grain_,

@@ -42,6 +42,7 @@
 #include "common/labels.hpp"
 #include "core/row_shape.hpp"
 #include "core/spinetree_plan.hpp"
+#include "obs/trace.hpp"
 
 namespace mp {
 
@@ -161,21 +162,29 @@ class PlanCache {
                                                     std::size_t m,
                                                     ThreadPool* build_pool = nullptr) {
     const LabelKey key = label_key(labels, m);
+    obs::Tracer* tracer = obs::active_tracer();
     {
       std::lock_guard<std::mutex> lock(mu_);
       const auto it = index_.find(key);
       if (it != index_.end() && it->second->plan != nullptr) {
         ++stats_.hits;
         lru_.splice(lru_.begin(), lru_, it->second);
+        obs::count(tracer, obs::Event::kPlanCacheHit);
         return it->second->plan;
       }
       ++stats_.misses;
     }
+    obs::count(tracer, obs::Event::kPlanCacheMiss);
 
     SpinetreePlan::Options build;
     build.pool = build_pool;
-    auto plan = std::make_shared<const SpinetreePlan>(labels, m,
-                                                      RowShape::auto_shape(labels.size()), build);
+    std::shared_ptr<const SpinetreePlan> plan;
+    {
+      // SPINETREE: the plan-construction phase of the paper's Table 3.
+      obs::ScopedSpan span(tracer, obs::Phase::kPlanBuild);
+      plan = std::make_shared<const SpinetreePlan>(labels, m,
+                                                   RowShape::auto_shape(labels.size()), build);
+    }
     const std::size_t bytes = plan->memory_bytes();
 
     std::lock_guard<std::mutex> lock(mu_);

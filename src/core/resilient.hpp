@@ -47,6 +47,7 @@
 #include "common/rng.hpp"
 #include "common/run_context.hpp"
 #include "core/multiprefix.hpp"
+#include "obs/trace.hpp"
 
 namespace mp {
 
@@ -151,11 +152,19 @@ Result run_chain(const ResilientOptions& options, Strategy preferred,
           : (options.context != nullptr ? options.context->sink()
                                         : global_fallback_counters());
   const std::vector<Strategy> chain = fallback_chain(preferred);
+  // Span sink: the context's tracer, else the ambient one. Each stage gets
+  // a kAttempt span (strategy tagged); the engine's kDispatch span and the
+  // strategy's phase spans nest inside it, so a trace of a degraded run
+  // shows the whole chain attempt by attempt.
+  obs::Tracer* tracer = obs::sink_for(options.context);
+  obs::ScopedBind bind(tracer);
   for (const Strategy stage : chain) {
     // A cancelled or deadline-expired call must not start another stage —
     // the engine already counted the event; here we just stop walking.
     if (options.context != nullptr) options.context->checkpoint();
     counters.attempts.fetch_add(1, std::memory_order_relaxed);
+    obs::ScopedSpan attempt_span(tracer, obs::Phase::kAttempt,
+                                 static_cast<int>(strategy_index(stage)));
     Status fault;
     try {
       if (options.attempt_hook) options.attempt_hook(stage);
@@ -186,6 +195,10 @@ Result run_chain(const ResilientOptions& options, Strategy preferred,
                      std::string("allocation failure in ") + to_string(stage) + " stage");
     }
     counters.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    obs::count(tracer, obs::Event::kFallbackHop);
+    if (tracer != nullptr)
+      tracer->add_hop(static_cast<int>(strategy_index(stage)),
+                      static_cast<int>(simd::level_index(simd::active_level())));
     faults.push_back(std::move(fault));
     ++fallbacks;
   }

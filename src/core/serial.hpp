@@ -17,6 +17,7 @@
 #include "common/run_context.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
+#include "obs/trace.hpp"
 #include "simd/kernels.hpp"
 
 namespace mp {
@@ -39,6 +40,7 @@ void multiprefix_serial_into(std::span<const T> values, std::span<const label_t>
   // initialization — clear only the buckets referenced by labels — runs
   // branch-free.
   if (!labels.empty()) MP_REQUIRE(simd::max_label(labels) < m, "label out of range");
+  obs::ScopedSpan span(obs::sink_for(rc), obs::Phase::kSweep);
   for (const label_t l : labels) reduction[l] = id;
   // Main sweep: save the running bucket value, then fold in the element.
   // Governed runs checkpoint at kCancelCheckBlock boundaries — between
@@ -79,6 +81,7 @@ void multireduce_serial_into(std::span<const T> values, std::span<const label_t>
   const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
   if (!labels.empty()) MP_REQUIRE(simd::max_label(labels) < m, "label out of range");
+  obs::ScopedSpan span(obs::sink_for(rc), obs::Phase::kSweep);
   for (const label_t l : labels) reduction[l] = id;
   std::size_t i = 0;
   while (i < n) {

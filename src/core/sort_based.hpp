@@ -22,6 +22,7 @@
 #include "common/run_context.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
+#include "obs/trace.hpp"
 #include "simd/kernels.hpp"
 
 namespace mp {
@@ -45,7 +46,11 @@ inline LabelSortResult sort_by_label(std::span<const label_t> labels, std::size_
   // Each phase below is one whole-vector kernel sweep; the checkpoints sit
   // at the phase boundaries (the chunk structure of this algorithm).
   checkpoint(rc);
-  BudgetCharge scratch(rc, n * sizeof(std::uint32_t) + 2 * (m + 1) * sizeof(std::uint32_t));
+  const std::size_t scratch_bytes =
+      n * sizeof(std::uint32_t) + 2 * (m + 1) * sizeof(std::uint32_t);
+  BudgetCharge scratch(rc, scratch_bytes);
+  obs::ScopedSpan span(obs::sink_for(rc), obs::Phase::kSort);
+  obs::note_bytes(obs::sink_for(rc), scratch_bytes);
   LabelSortResult out;
   out.offsets.assign(m + 1, 0);
   simd::histogram(labels, out.offsets.data() + 1, m);
@@ -79,6 +84,7 @@ void multiprefix_sort_based_into(std::span<const T> values, std::span<const labe
   // Governed runs checkpoint every kCancelCheckBlock scattered elements,
   // independent of segment shape (one huge class checkpoints as often as
   // many small ones).
+  obs::ScopedSpan span(obs::sink_for(rc), obs::Phase::kSegScan);
   std::size_t since_check = 0;
   for (std::size_t k = 0; k < m; ++k) {
     T acc = id;
@@ -116,6 +122,7 @@ void multireduce_sort_based_into(std::span<const T> values, std::span<const labe
   const std::size_t m = reduction.size();
   const T id = op.template identity<T>();
   const LabelSortResult sorted = sort_by_label(labels, m, rc);
+  obs::ScopedSpan span(obs::sink_for(rc), obs::Phase::kSegScan);
   std::size_t since_check = 0;
   for (std::size_t k = 0; k < m; ++k) {
     T acc = id;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/run_context.hpp"
+#include "obs/trace.hpp"
 #include "parallel/fault_injector.hpp"
 
 namespace mp {
@@ -62,6 +63,9 @@ class Workspace {
       if (Status st = bound_->charge(bytes); !st.is_ok()) throw MpError(std::move(st));
       charged_ += bytes;
     }
+    // Attribute the scratch to the enclosing span (the tracer records the
+    // per-span delta of this thread's charged-bytes counter).
+    obs::note_bytes(obs::active_tracer(), bytes);
     std::vector<T> v;
     auto it = pools_.find(std::type_index(typeid(T)));
     if (it != pools_.end() && !it->second.empty()) {

@@ -1,0 +1,172 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mp::obs {
+
+namespace {
+
+// Presentation labels for the span tags. These mirror strategy_index order
+// (core/strategy.hpp) and SIMD tier order (simd/dispatch.hpp) by
+// convention — obs sits below both layers, so the mapping is documented
+// here rather than included.
+const char* strategy_label(int tag, char* buf, std::size_t buf_size) {
+  static const char* const kNames[] = {"serial", "vectorized", "parallel",
+                                       "sort_based", "chunked"};
+  if (tag >= 0 && static_cast<std::size_t>(tag) < std::size(kNames)) return kNames[tag];
+  std::snprintf(buf, buf_size, "s%d", tag);
+  return buf;
+}
+
+const char* tier_label(int tag, char* buf, std::size_t buf_size) {
+  static const char* const kNames[] = {"scalar", "128", "256", "512"};
+  if (tag >= 0 && static_cast<std::size_t>(tag) < std::size(kNames)) return kNames[tag];
+  std::snprintf(buf, buf_size, "t%d", tag);
+  return buf;
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer::Snapshot& snap) {
+  std::string out;
+  out.reserve(128 + snap.spans.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char sbuf[16];
+  char tbuf[16];
+  for (const Tracer::SnapshotSpan& span : snap.spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    append_json_escaped(out, to_string(span.phase));
+    out += "\",\"cat\":\"mp\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(span.tid);
+    // trace_event timestamps are microseconds; keep ns precision as decimals.
+    out += ",\"ts\":" + format_double(static_cast<double>(span.start_ns) / 1e3);
+    out += ",\"dur\":" + format_double(static_cast<double>(span.dur_ns) / 1e3);
+    out += ",\"args\":{\"depth\":" + std::to_string(span.depth);
+    out += ",\"seq\":" + std::to_string(span.seq);
+    if (span.strategy >= 0) {
+      out += ",\"strategy\":\"";
+      append_json_escaped(out, strategy_label(span.strategy, sbuf, sizeof(sbuf)));
+      out += '"';
+    }
+    if (span.simd >= 0) {
+      out += ",\"simd\":\"";
+      append_json_escaped(out, tier_label(span.simd, tbuf, sizeof(tbuf)));
+      out += '"';
+    }
+    if (span.bytes != 0) out += ",\"bytes\":" + std::to_string(span.bytes);
+    if (span.polls != 0) out += ",\"polls\":" + std::to_string(span.polls);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  return chrome_trace_json(tracer.snapshot());
+}
+
+std::vector<std::pair<std::string, double>> metrics(const Tracer::Snapshot& snap) {
+  std::vector<std::pair<std::string, double>> out;
+  const auto put = [&out](std::string key, double value) {
+    out.emplace_back(std::move(key), value);
+  };
+
+  std::uint64_t total_spans = 0;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) total_spans += snap.phases[p].count;
+  put("trace_spans_total", static_cast<double>(total_spans));
+  if (snap.dropped_spans != 0)
+    put("trace_spans_dropped", static_cast<double>(snap.dropped_spans));
+  put("trace_threads", static_cast<double>(snap.threads));
+  if (snap.bytes_charged != 0)
+    put("trace_bytes_charged", static_cast<double>(snap.bytes_charged));
+
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    if (snap.phases[p].count == 0) continue;
+    const std::string base = std::string("phase_") + slug(static_cast<Phase>(p));
+    put(base + "_count", static_cast<double>(snap.phases[p].count));
+    put(base + "_ns", static_cast<double>(snap.phases[p].total_ns));
+  }
+
+  for (std::size_t e = 0; e < kEventCount; ++e) {
+    if (snap.events[e] == 0) continue;
+    put(std::string("event_") + to_string(static_cast<Event>(e)),
+        static_cast<double>(snap.events[e]));
+  }
+
+  char sbuf[16];
+  char tbuf[16];
+  for (std::size_t s = 0; s < Tracer::kStrategyAxis; ++s)
+    for (std::size_t t = 0; t < Tracer::kTierAxis; ++t) {
+      const StrategyTierAgg& cell = snap.cells[s][t];
+      if (cell.count == 0) continue;
+      const std::string base =
+          std::string("strategy_") +
+          strategy_label(static_cast<int>(s), sbuf, sizeof(sbuf)) + "_" +
+          tier_label(static_cast<int>(t), tbuf, sizeof(tbuf));
+      put(base + "_count", static_cast<double>(cell.count));
+      put(base + "_ns", static_cast<double>(cell.total_ns));
+      put(base + "_min_ns", static_cast<double>(cell.min_ns));
+      put(base + "_max_ns", static_cast<double>(cell.max_ns));
+      if (cell.bytes != 0) put(base + "_bytes", static_cast<double>(cell.bytes));
+      if (cell.polls != 0) put(base + "_polls", static_cast<double>(cell.polls));
+      if (cell.hops != 0) put(base + "_hops", static_cast<double>(cell.hops));
+      for (std::size_t b = 0; b < cell.lat_log2.size(); ++b)
+        if (cell.lat_log2[b] != 0)
+          put(base + "_lat2_" + std::to_string(b), static_cast<double>(cell.lat_log2[b]));
+    }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> metrics(const Tracer& tracer) {
+  return metrics(tracer.snapshot());
+}
+
+std::string metrics_json(const Tracer& tracer) {
+  const auto fields = metrics(tracer);
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out += "  \"";
+    append_json_escaped(out, fields[i].first.c_str());
+    out += "\": " + format_double(fields[i].second);
+    if (i + 1 < fields.size()) out += ',';
+    out += '\n';
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string metrics_summary(const Tracer& tracer) {
+  std::string out = "[mp::obs] trace metrics\n";
+  for (const auto& [key, value] : metrics(tracer))
+    out += "  " + key + " = " + format_double(value) + "\n";
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot open for write: " + path);
+  const std::size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0)
+    throw std::runtime_error("short write: " + path);
+}
+
+}  // namespace mp::obs

@@ -1,0 +1,49 @@
+// Exporters for mp::obs::Tracer snapshots.
+//
+// Two output shapes, matching the two consumers:
+//   * chrome_trace_json — Chrome trace_event JSON ("X" complete events, one
+//     per recorded span) loadable in chrome://tracing / Perfetto for
+//     timeline inspection of a governed run;
+//   * metrics / metrics_json — a flat key→value map (phase totals,
+//     per-strategy/per-tier histograms, governance events) merged into
+//     bench_common's JsonReporter output for CI trend tracking.
+//
+// Both take the tracer by const reference and call snapshot() — so they
+// must only run while no traced runs are in flight (same rule as
+// Tracer::snapshot()).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mp::obs {
+
+/// Chrome trace_event JSON for the tracer's recorded spans. Span tags are
+/// rendered with the conventional names (strategy_index order from
+/// core/strategy.hpp, SIMD tier order from simd/dispatch.hpp) — these are
+/// presentation labels only; unknown tags render as "s<i>"/"t<i>".
+std::string chrome_trace_json(const Tracer& tracer);
+std::string chrome_trace_json(const Tracer::Snapshot& snap);
+
+/// Flat metrics: phase counts/durations, per-(strategy × tier) latency and
+/// resource aggregates, governance event counts. Only nonzero entries are
+/// emitted. Keys are stable slugs (phase_rowsums_ns, strategy_parallel_256_count,
+/// event_fallback_hops, ...).
+std::vector<std::pair<std::string, double>> metrics(const Tracer& tracer);
+std::vector<std::pair<std::string, double>> metrics(const Tracer::Snapshot& snap);
+
+/// The metrics rendered as one flat JSON object.
+std::string metrics_json(const Tracer& tracer);
+
+/// Human-readable digest (one line per nonzero phase/cell/event) — what the
+/// MP_TRACE=1 exit dump prints to stderr.
+std::string metrics_summary(const Tracer& tracer);
+
+/// Writes `contents` to `path`; throws std::runtime_error on failure (CI
+/// must notice a missing trace).
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace mp::obs

@@ -1,0 +1,247 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/export.hpp"
+
+namespace mp::obs {
+
+namespace detail {
+std::atomic<Tracer*> g_process_tracer{nullptr};
+thread_local Tracer* tl_tracer = nullptr;
+
+// Per-thread single-entry log cache: avoids the registry mutex on every
+// span. Keyed by the tracer's globally unique id — ids are never reused, so
+// a cached pointer can never alias a different (later) tracer, and a cached
+// entry for a destroyed tracer is simply never matched again.
+namespace {
+thread_local std::uint64_t tl_cached_tracer_id = 0;
+thread_local Tracer::ThreadLog* tl_cached_log = nullptr;
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+}  // namespace
+}  // namespace detail
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kPlanBuild:  return "SPINETREE";
+    case Phase::kInit:       return "INIT";
+    case Phase::kRowsums:    return "ROWSUMS";
+    case Phase::kSpinesums:  return "SPINESUMS";
+    case Phase::kReduction:  return "REDUCTION";
+    case Phase::kMultisums:  return "MULTISUMS";
+    case Phase::kSweep:      return "SWEEP";
+    case Phase::kSort:       return "SORT";
+    case Phase::kSegScan:    return "SEGSCAN";
+    case Phase::kDispatch:   return "dispatch";
+    case Phase::kPlanLookup: return "plan-lookup";
+    case Phase::kFork:       return "fork-join";
+    case Phase::kAttempt:    return "attempt";
+  }
+  return "?";
+}
+
+const char* slug(Phase phase) {
+  switch (phase) {
+    case Phase::kPlanBuild:  return "spinetree";
+    case Phase::kInit:       return "init";
+    case Phase::kRowsums:    return "rowsums";
+    case Phase::kSpinesums:  return "spinesums";
+    case Phase::kReduction:  return "reduction";
+    case Phase::kMultisums:  return "multisums";
+    case Phase::kSweep:      return "sweep";
+    case Phase::kSort:       return "sort";
+    case Phase::kSegScan:    return "segscan";
+    case Phase::kDispatch:   return "dispatch";
+    case Phase::kPlanLookup: return "plan_lookup";
+    case Phase::kFork:       return "fork";
+    case Phase::kAttempt:    return "attempt";
+  }
+  return "?";
+}
+
+const char* to_string(Event event) {
+  switch (event) {
+    case Event::kCancelled:        return "cancelled";
+    case Event::kDeadlineExceeded: return "deadline_exceeded";
+    case Event::kBudgetDegrade:    return "budget_degrades";
+    case Event::kRetry:            return "retries";
+    case Event::kFallbackHop:      return "fallback_hops";
+    case Event::kCheckpointPoll:   return "checkpoint_polls";
+    case Event::kPlanCacheHit:     return "plan_cache_hits";
+    case Event::kPlanCacheMiss:    return "plan_cache_misses";
+  }
+  return "?";
+}
+
+Tracer::Tracer(bool record_spans)
+    : record_spans_(record_spans),
+      id_(detail::g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() {
+  // Detach from the ambient slots so a dangling pointer cannot be resolved
+  // after destruction (tests frequently scope tracers tightly).
+  Tracer* self = this;
+  detail::g_process_tracer.compare_exchange_strong(self, nullptr,
+                                                   std::memory_order_relaxed);
+  if (detail::tl_tracer == this) detail::tl_tracer = nullptr;
+}
+
+Tracer::ThreadLog& Tracer::thread_log() {
+  if (detail::tl_cached_tracer_id == id_ && detail::tl_cached_log != nullptr)
+    return *detail::tl_cached_log;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto log = std::make_unique<ThreadLog>(static_cast<std::uint32_t>(logs_.size()));
+  if (record_spans_) log->spans.reserve(256);
+  ThreadLog* raw = log.get();
+  logs_.push_back(std::move(log));
+  detail::tl_cached_tracer_id = id_;
+  detail::tl_cached_log = raw;
+  return *raw;
+}
+
+void Tracer::close_span(ThreadLog& log, SpanRecord rec) {
+  const std::size_t phase = static_cast<std::size_t>(rec.phase);
+  const std::uint64_t ns = rec.dur_ns > 0 ? static_cast<std::uint64_t>(rec.dur_ns) : 0;
+  log.phases[phase].count += 1;
+  log.phases[phase].total_ns += ns;
+  if (rec.strategy >= 0 && static_cast<std::size_t>(rec.strategy) < kStrategyAxis) {
+    const std::size_t tier =
+        rec.simd >= 0 && static_cast<std::size_t>(rec.simd) < kTierAxis
+            ? static_cast<std::size_t>(rec.simd)
+            : 0;
+    StrategyTierAgg& cell = log.cells[static_cast<std::size_t>(rec.strategy)][tier];
+    cell.count += 1;
+    cell.total_ns += ns;
+    if (ns < cell.min_ns) cell.min_ns = ns;
+    if (ns > cell.max_ns) cell.max_ns = ns;
+    cell.bytes += rec.bytes;
+    cell.polls += rec.polls;
+    // floor(log2(ns)) bucket; ns==0 lands in bucket 0, >=2^31 saturates.
+    std::size_t bucket = ns == 0 ? 0 : static_cast<std::size_t>(std::bit_width(ns)) - 1;
+    if (bucket >= cell.lat_log2.size()) bucket = cell.lat_log2.size() - 1;
+    cell.lat_log2[bucket] += 1;
+  }
+  if (!record_spans_) return;
+  if (log.spans.size() >= kMaxSpansPerThread) {
+    ++log.dropped;
+    return;
+  }
+  log.spans.push_back(rec);
+}
+
+Tracer::Snapshot Tracer::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.threads = logs_.size();
+  for (const auto& log : logs_) {
+    out.dropped_spans += log->dropped;
+    out.bytes_charged += log->bytes_charged.load(std::memory_order_relaxed);
+    for (std::size_t e = 0; e < kEventCount; ++e)
+      out.events[e] += log->events[e].load(std::memory_order_relaxed);
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      out.phases[p].count += log->phases[p].count;
+      out.phases[p].total_ns += log->phases[p].total_ns;
+    }
+    for (std::size_t s = 0; s < kStrategyAxis; ++s)
+      for (std::size_t t = 0; t < kTierAxis; ++t) {
+        const StrategyTierAgg& src = log->cells[s][t];
+        if (src.count == 0) continue;
+        StrategyTierAgg& dst = out.cells[s][t];
+        dst.count += src.count;
+        dst.total_ns += src.total_ns;
+        if (src.min_ns < dst.min_ns) dst.min_ns = src.min_ns;
+        if (src.max_ns > dst.max_ns) dst.max_ns = src.max_ns;
+        dst.bytes += src.bytes;
+        dst.polls += src.polls;
+        dst.hops += src.hops;
+        for (std::size_t b = 0; b < src.lat_log2.size(); ++b)
+          dst.lat_log2[b] += src.lat_log2[b];
+      }
+    for (const SpanRecord& rec : log->spans) {
+      SnapshotSpan span;
+      static_cast<SpanRecord&>(span) = rec;
+      span.tid = log->tid;
+      out.spans.push_back(span);
+    }
+  }
+  return out;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& log : logs_) {
+    log->spans.clear();
+    log->dropped = 0;
+    log->seq = 0;
+    log->depth = 0;
+    log->bytes_charged.store(0, std::memory_order_relaxed);
+    for (auto& e : log->events) e.store(0, std::memory_order_relaxed);
+    log->phases.fill(PhaseAgg{});
+    for (auto& row : log->cells) row.fill(StrategyTierAgg{});
+  }
+}
+
+Tracer* set_process_tracer(Tracer* tracer) {
+  return detail::g_process_tracer.exchange(tracer, std::memory_order_relaxed);
+}
+
+ScopedTracer::ScopedTracer(Tracer& tracer, Scope scope) : scope_(scope) {
+  if (scope_ == Scope::kThread) {
+    previous_ = detail::tl_tracer;
+    detail::tl_tracer = &tracer;
+  } else {
+    previous_ = set_process_tracer(&tracer);
+  }
+}
+
+ScopedTracer::~ScopedTracer() {
+  if (scope_ == Scope::kThread)
+    detail::tl_tracer = previous_;
+  else
+    set_process_tracer(previous_);
+}
+
+namespace {
+
+// MP_TRACE support: "1" enables a process tracer and prints a metrics
+// summary to stderr at exit; any other non-empty value is treated as a path
+// and additionally receives the Chrome trace_event JSON. The static object
+// lives in this TU, which is always linked when any instrumentation site
+// calls active_tracer() (the globals above live here too), so the dump runs
+// without any registration step.
+struct EnvTracer {
+  EnvTracer() {
+    const char* env = std::getenv("MP_TRACE");
+    if (env == nullptr || env[0] == '\0' || std::string(env) == "0") return;
+    if (std::string(env) != "1") path = env;
+    tracer = std::make_unique<Tracer>();
+    set_process_tracer(tracer.get());
+  }
+
+  ~EnvTracer() {
+    if (tracer == nullptr) return;
+    set_process_tracer(nullptr);
+    if (!path.empty()) {
+      try {
+        write_file(path, chrome_trace_json(*tracer));
+        std::fprintf(stderr, "[mp::obs] Chrome trace written to %s\n", path.c_str());
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "[mp::obs] MP_TRACE dump failed: %s\n", err.what());
+      }
+    }
+    std::fprintf(stderr, "%s", metrics_summary(*tracer).c_str());
+  }
+
+  std::unique_ptr<Tracer> tracer;
+  std::string path;
+};
+
+EnvTracer g_env_tracer;
+
+}  // namespace
+
+}  // namespace mp::obs

@@ -1,0 +1,349 @@
+// Phase-level tracing and metrics — the observability layer of the engine.
+//
+// The paper's whole cost argument is phase-structured: Table 3 prices
+// SPINETREE (plan construction), ROWSUMS, SPINESUMS and MULTISUMS
+// separately, because each phase has a different vector-economics profile.
+// The engine reproduces that structure at runtime but, before this layer,
+// exposed only scalar FallbackCounters — no way to see *where* a governed
+// run spends its time, which strategy attempt a fallback chain actually
+// executed, or whether a SIMD-tier change moved one phase or all of them.
+//
+// mp::obs::Tracer records:
+//   * spans — one timed interval per algorithm phase per strategy attempt
+//     (plan build, INIT, ROWSUMS, SPINESUMS, reduction extraction,
+//     MULTISUMS, the serial sweep, sort/segmented-scan passes, thread-pool
+//     fork/joins, resilient-driver attempts), nested by thread;
+//   * per-(strategy × SIMD tier) histograms — latency (log2 buckets),
+//     workspace bytes charged, governance checkpoint polls, fallback hops;
+//   * governance events — cancellations, deadline expiries, budget
+//     demotions, retries, fallback hops, plan-cache hits/misses — the same
+//     vocabulary as FallbackCounters, observable per tracer instead of
+//     process-wide.
+//
+// Recording is lock-free per thread: each thread appends to its own
+// ThreadLog (registered under the tracer's mutex once per thread), so
+// concurrent runs never contend. Aggregation (snapshot()) merges the logs;
+// call it only while no traced runs are in flight.
+//
+// Cost discipline: with no tracer active every instrumentation site is one
+// thread-local load plus a null test — the disabled path stays on the
+// engine's zero-allocation fast path and its outputs are bit-identical to
+// an untraced build. Tracing is enabled per run (RunContext::tracer), per
+// engine (Engine::Options::tracer), per scope (ScopedTracer) or process-wide
+// (MP_TRACE environment variable — see trace.cpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/run_context.hpp"
+
+namespace mp::obs {
+
+/// Algorithm phases a span can cover. The first block mirrors the paper's
+/// Table 3 phase breakdown (SPINETREE is plan construction; the chunked
+/// strategy's three passes map onto ROWSUMS/SPINESUMS/MULTISUMS — it is the
+/// coarse-grained spinetree, see core/chunked.hpp); the second block covers
+/// the serving layers around the algorithms.
+enum class Phase : std::uint8_t {
+  kPlanBuild = 0,  // SPINETREE — spinetree construction (plan-cache miss)
+  kInit,           // scratch identity fill (Figure 3 initialization)
+  kRowsums,        // ROWSUMS column sweep / chunked pass 1
+  kSpinesums,      // SPINESUMS row recurrence / chunked pass 2
+  kReduction,      // reduction extraction (§4.2)
+  kMultisums,      // MULTISUMS column sweep / chunked pass 3
+  kSweep,          // serial Figure-2 bucket sweep (one-pass strategies)
+  kSort,           // sort-based: counting-sort rank construction
+  kSegScan,        // sort-based: segmented scan + scatter-back
+  kDispatch,       // one engine strategy attempt (strategy/tier tagged)
+  kPlanLookup,     // plan-cache probe (a miss nests kPlanBuild)
+  kFork,           // one ThreadPool fork/join
+  kAttempt,        // resilient-driver stage attempt (strategy tagged)
+};
+inline constexpr std::size_t kPhaseCount = 13;
+
+/// Countable one-shot events — the governance vocabulary of
+/// FallbackCounters (common/run_context.hpp) plus the plan-cache outcomes.
+enum class Event : std::uint8_t {
+  kCancelled = 0,      // run ended by the cancel token
+  kDeadlineExceeded,   // run ended by the deadline
+  kBudgetDegrade,      // strategy demoted to fit the byte budget
+  kRetry,              // same-strategy retry after kPoolFailure
+  kFallbackHop,        // a stage abandoned for a simpler substrate
+  kCheckpointPoll,     // cooperative governance polls observed
+  kPlanCacheHit,       // plan served from the cache
+  kPlanCacheMiss,      // plan built on demand
+};
+inline constexpr std::size_t kEventCount = 8;
+
+/// Display name ("ROWSUMS") and metrics slug ("rowsums").
+const char* to_string(Phase phase);
+const char* slug(Phase phase);
+const char* to_string(Event event);
+
+/// One closed span. Timestamps are nanoseconds relative to the tracer's
+/// epoch; `depth` is the nesting depth on the recording thread when the
+/// span opened, so containment can be asserted without re-deriving it.
+struct SpanRecord {
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::uint64_t bytes = 0;  // workspace bytes charged while open (this thread)
+  std::uint64_t polls = 0;  // governance checkpoint polls attributed (kDispatch)
+  std::uint32_t seq = 0;    // per-thread open order
+  std::uint16_t depth = 0;
+  Phase phase = Phase::kDispatch;
+  std::int8_t strategy = -1;  // strategy_index(), or -1 when not applicable
+  std::int8_t simd = -1;      // simd level_index(), or -1 when not applicable
+};
+
+/// Latency/bytes aggregate for one (strategy, SIMD tier) cell.
+struct StrategyTierAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = ~std::uint64_t{0};
+  std::uint64_t max_ns = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t hops = 0;
+  /// lat_log2[b] counts spans with floor(log2(ns)) == b (b = bit_width - 1).
+  std::array<std::uint64_t, 32> lat_log2{};
+};
+
+struct PhaseAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+class Tracer {
+ public:
+  /// Strategy axis of the aggregate table: the concrete strategies (indexed
+  /// by strategy_index) — sized independently of core/strategy.hpp so this
+  /// layer stays below core in the dependency order.
+  static constexpr std::size_t kStrategyAxis = 8;
+  static constexpr std::size_t kTierAxis = 4;
+  /// Spans retained per thread; beyond it spans are counted as dropped
+  /// (aggregates keep accumulating — only the timeline is truncated).
+  static constexpr std::size_t kMaxSpansPerThread = std::size_t{1} << 20;
+
+  /// Per-thread recording buffer. Appended to lock-free by its owning
+  /// thread; read by snapshot() only while no traced runs are in flight.
+  struct ThreadLog {
+    explicit ThreadLog(std::uint32_t id) : tid(id) {}
+    std::uint32_t tid;
+    std::uint32_t seq = 0;
+    std::uint16_t depth = 0;
+    std::vector<SpanRecord> spans;
+    std::uint64_t dropped = 0;
+    std::atomic<std::uint64_t> bytes_charged{0};
+    std::array<std::atomic<std::uint64_t>, kEventCount> events{};
+    std::array<PhaseAgg, kPhaseCount> phases{};
+    std::array<std::array<StrategyTierAgg, kTierAxis>, kStrategyAxis> cells{};
+  };
+
+  struct SnapshotSpan : SpanRecord {
+    std::uint32_t tid = 0;
+  };
+
+  /// Merged view of every thread's log. Spans are ordered (tid, seq).
+  struct Snapshot {
+    std::vector<SnapshotSpan> spans;
+    std::array<PhaseAgg, kPhaseCount> phases{};
+    std::array<std::array<StrategyTierAgg, kTierAxis>, kStrategyAxis> cells{};
+    std::array<std::uint64_t, kEventCount> events{};
+    std::uint64_t bytes_charged = 0;
+    std::uint64_t dropped_spans = 0;
+    std::size_t threads = 0;
+  };
+
+  /// `record_spans` false keeps only the aggregates (histograms, events) —
+  /// for always-on production counters without timeline memory.
+  explicit Tracer(bool record_spans = true);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool record_spans() const { return record_spans_; }
+
+  /// Identity used by the per-thread log cache; unique per Tracer instance
+  /// process-wide (never reused, so a stale cache entry can never alias a
+  /// new tracer).
+  std::uint64_t id() const { return id_; }
+
+  /// The calling thread's log, registering it on first use (the only
+  /// locking recording ever does, once per thread per tracer).
+  ThreadLog& thread_log();
+
+  /// Nanoseconds since this tracer's construction (span timestamps).
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void count(Event event, std::uint64_t delta = 1) {
+    thread_log().events[static_cast<std::size_t>(event)].fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  void add_bytes(std::uint64_t bytes) {
+    thread_log().bytes_charged.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Attributes one fallback hop to the (strategy, tier) cell of the stage
+  /// that was abandoned (the resilient driver's per-strategy hop counter).
+  void add_hop(int strategy, int simd) {
+    if (strategy < 0 || static_cast<std::size_t>(strategy) >= kStrategyAxis) return;
+    const std::size_t tier = simd >= 0 && static_cast<std::size_t>(simd) < kTierAxis
+                                 ? static_cast<std::size_t>(simd)
+                                 : 0;
+    thread_log().cells[static_cast<std::size_t>(strategy)][tier].hops += 1;
+  }
+
+  /// Merges all thread logs. Call only while no traced runs are in flight
+  /// (between runs, after joins) — recording threads append without locks.
+  Snapshot snapshot() const;
+
+  /// Drops all recorded spans and aggregates (thread registrations are
+  /// kept, so reset between benchmark sections is cheap and lock-free for
+  /// the recording threads).
+  void reset();
+
+ private:
+  friend class ScopedSpan;
+
+  void close_span(ThreadLog& log, SpanRecord rec);
+
+  const bool record_spans_;
+  const std::uint64_t id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards logs_ (registration + snapshot/reset)
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+namespace detail {
+/// Process-wide tracer (set_process_tracer / MP_TRACE) and the per-thread
+/// override (ScopedTracer, engine dispatch binding). Defined in trace.cpp.
+extern std::atomic<Tracer*> g_process_tracer;
+extern thread_local Tracer* tl_tracer;
+}  // namespace detail
+
+/// The tracer instrumentation sites should record into: the thread-bound
+/// tracer if one is active, else the process-wide one, else null (tracing
+/// disabled — every helper below is a no-op on null).
+inline Tracer* active_tracer() {
+  Tracer* t = detail::tl_tracer;
+  return t != nullptr ? t : detail::g_process_tracer.load(std::memory_order_relaxed);
+}
+
+/// Per-run precedence: an explicit RunContext tracer wins over the ambient
+/// one. This is how the engine threads the sink through every strategy,
+/// both executors and the pool without widening any signature.
+inline Tracer* sink_for(const RunContext* rc) {
+  if (rc != nullptr && rc->tracer != nullptr) return rc->tracer;
+  return active_tracer();
+}
+
+/// Installs (or with null clears) the process-wide tracer. Returns the
+/// previous one.
+Tracer* set_process_tracer(Tracer* tracer);
+
+/// RAII tracer activation. kThread binds the calling thread only (what the
+/// engine uses internally, and what tests use for isolation); kProcess
+/// swaps the process-wide tracer (concurrent-recording tests).
+class ScopedTracer {
+ public:
+  enum class Scope { kThread, kProcess };
+  explicit ScopedTracer(Tracer& tracer, Scope scope = Scope::kThread);
+  ~ScopedTracer();
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Scope scope_;
+  Tracer* previous_;
+};
+
+/// Thread-binds `tracer` for one engine dispatch so nested sink_for()
+/// resolution (executors, plan cache, workspace, pool) sees the same sink
+/// the dispatch resolved — null tracer binds nothing (zero-cost disabled
+/// path).
+class ScopedBind {
+ public:
+  explicit ScopedBind(Tracer* tracer) : previous_(detail::tl_tracer), bound_(tracer) {
+    if (bound_ != nullptr) detail::tl_tracer = bound_;
+  }
+  ~ScopedBind() {
+    if (bound_ != nullptr) detail::tl_tracer = previous_;
+  }
+  ScopedBind(const ScopedBind&) = delete;
+  ScopedBind& operator=(const ScopedBind&) = delete;
+
+ private:
+  Tracer* previous_;
+  Tracer* bound_;
+};
+
+/// RAII span. Null tracer = fully inert (one branch at open and close).
+/// Bytes are attributed automatically: the delta of the recording thread's
+/// bytes_charged counter between open and close.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Tracer* tracer, Phase phase, int strategy = -1, int simd = -1)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    log_ = &tracer_->thread_log();
+    rec_.phase = phase;
+    rec_.strategy = static_cast<std::int8_t>(strategy);
+    rec_.simd = static_cast<std::int8_t>(simd);
+    rec_.seq = log_->seq++;
+    rec_.depth = log_->depth++;
+    bytes0_ = log_->bytes_charged.load(std::memory_order_relaxed);
+    rec_.start_ns = tracer_->now_ns();
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    rec_.dur_ns = tracer_->now_ns() - rec_.start_ns;
+    rec_.bytes += log_->bytes_charged.load(std::memory_order_relaxed) - bytes0_;
+    --log_->depth;
+    tracer_->close_span(*log_, rec_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Governance checkpoint polls to attribute to this span (the engine
+  /// records the RunContext's poll-count delta across the attempt).
+  void note_polls(std::uint64_t polls) {
+    if (tracer_ != nullptr) rec_.polls += polls;
+  }
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  Tracer::ThreadLog* log_ = nullptr;
+  std::uint64_t bytes0_ = 0;
+  SpanRecord rec_;
+};
+
+/// Event helper tolerating a null sink.
+inline void count(Tracer* tracer, Event event, std::uint64_t delta = 1) {
+  if (tracer != nullptr && delta != 0) tracer->count(event, delta);
+}
+
+/// Bytes helper tolerating a null sink (Workspace::acquire, strategy
+/// scratch allocations).
+inline void note_bytes(Tracer* tracer, std::uint64_t bytes) {
+  if (tracer != nullptr && bytes != 0) tracer->add_bytes(bytes);
+}
+
+}  // namespace mp::obs

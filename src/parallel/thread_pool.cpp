@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/error.hpp"
 #include "common/run_context.hpp"
+#include "obs/trace.hpp"
 #include "parallel/fault_injector.hpp"
 
 namespace mp {
@@ -81,6 +82,10 @@ void ThreadPool::run_raw(RawFn fn, void* ctx) {
     throw MpError(ErrorCode::kPoolFailure,
                   "reentrant ThreadPool::run(): called from inside a lane of the same pool "
                   "(the nested job would deadlock waiting on its own lane)");
+  // One fork/join span per pool dispatch, on the caller's thread; every
+  // parallel_for / parallel_for_blocked funnels through here, so call sites
+  // need no instrumentation of their own.
+  obs::ScopedSpan fork_span(obs::active_tracer(), obs::Phase::kFork);
   const std::size_t run_index = run_index_++;
   if (lanes_ == 1) {  // no workers: degenerate synchronous execution
     LaneScope scope(this);

@@ -441,6 +441,23 @@ void column_reduce(const T* matrix, std::size_t rows, std::size_t stride,
   kTable[level_index(level)](matrix, rows, stride, col_begin, col_end, reduction, op);
 }
 
+/// The tier the chunked pass-2 column kernels (column_exclusive_scan /
+/// column_reduce) should dispatch on, chosen per call from the active tier
+/// and the matrix height. Unlike the contiguous sweeps above, these kernels
+/// stride a full row (stride × sizeof(T) bytes) between every vector load,
+/// so wider batches buy no extra locality — and at 512 bits the batch's
+/// cache-line span makes the strided walk a net loss (measured ~0.92x vs
+/// scalar at n=2^20 on an AVX-512 host; see BENCH_simd.json's
+/// chunked_speedup and the bench gate asserting >= 1.0). A matrix under two
+/// rows has no cross-chunk recurrence to batch at all. Every tier computes
+/// bit-identical results (each column's combine order is fixed), so this is
+/// purely a performance choice.
+inline SimdLevel column_kernel_level(SimdLevel active, std::size_t rows) {
+  if (rows < 2) return SimdLevel::kScalar;
+  if (active == SimdLevel::k512) return SimdLevel::k256;
+  return active;
+}
+
 /// counts[l] += #occurrences of l — the counting-sort histogram. Labels must
 /// be < m (validate first: max_label / validate_labels); counts has m slots.
 inline void histogram(std::span<const label_t> labels, std::uint32_t* counts, std::size_t m,

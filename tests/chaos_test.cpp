@@ -31,6 +31,7 @@
 #include "core/multiprefix.hpp"
 #include "core/resilient.hpp"
 #include "core/validate.hpp"
+#include "obs/trace.hpp"
 #include "parallel/fault_injector.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -134,6 +135,24 @@ bool is_allowed_chaos_error(ErrorCode code) {
   }
 }
 
+/// Every governed-dispatch counter increment is mirrored into the tracer's
+/// event vocabulary (obs/trace.hpp), so under any fault schedule the two
+/// observability surfaces must agree exactly.
+void expect_events_match_counters(const obs::Tracer& tracer,
+                                  const FallbackCounters& counters,
+                                  const std::string& info) {
+  const auto snap = tracer.snapshot();
+  const auto event = [&](obs::Event e) {
+    return snap.events[static_cast<std::size_t>(e)];
+  };
+  EXPECT_EQ(event(obs::Event::kCancelled), counters.cancellations.load()) << info;
+  EXPECT_EQ(event(obs::Event::kDeadlineExceeded), counters.deadlines_exceeded.load())
+      << info;
+  EXPECT_EQ(event(obs::Event::kBudgetDegrade), counters.budget_degrades.load()) << info;
+  EXPECT_EQ(event(obs::Event::kRetry), counters.retries.load()) << info;
+  EXPECT_EQ(event(obs::Event::kFallbackHop), counters.fallbacks.load()) << info;
+}
+
 /// Fires request_cancel() after a delay on its own thread; joined on scope
 /// exit so a throwing assertion cannot leak the thread.
 class Canceller {
@@ -171,6 +190,8 @@ TEST_P(ChaosEngine, EveryScheduleYieldsTruthOrATypedError) {
   ctx.retry.max_retries = cp.max_retries;
   ctx.retry.backoff = 20us;
   ctx.counters = &counters;
+  obs::Tracer tracer(/*record_spans=*/false);  // aggregate-only: events + cells
+  ctx.tracer = &tracer;
 
   ScriptedFaultInjector injector(cp.script);
   {
@@ -193,6 +214,7 @@ TEST_P(ChaosEngine, EveryScheduleYieldsTruthOrATypedError) {
     }
   }
   EXPECT_EQ(ctx.used_bytes(), 0u) << info;  // all budget charges returned
+  expect_events_match_counters(tracer, counters, info);
 
   // Disarmed: the same engine and pool must serve the call cleanly.
   const auto clean = engine.multiprefix<int>(cp.values, cp.labels, cp.m, Plus{}, cp.strategy);
@@ -219,6 +241,8 @@ TEST_P(ChaosResilient, DegradationAbsorbsFaultsOrFailsTyped) {
   ctx.retry.max_retries = cp.max_retries;
   ctx.retry.backoff = 20us;
   ctx.counters = &counters;
+  obs::Tracer tracer(/*record_spans=*/false);
+  ctx.tracer = &tracer;
 
   ResilientOptions options;
   options.preferred = cp.strategy;
@@ -244,6 +268,7 @@ TEST_P(ChaosResilient, DegradationAbsorbsFaultsOrFailsTyped) {
     } catch (const std::bad_alloc&) {
     }
   }
+  expect_events_match_counters(tracer, counters, info);
 
   // The global pool and engine survive every schedule for the next caller.
   const auto clean = multireduce<int>(cp.values, cp.labels, cp.m);

@@ -1,0 +1,441 @@
+// Tests for the observability layer (src/obs): span recording and
+// aggregation, sink resolution precedence, engine/executor phase spans,
+// governance events, fallback-chain nesting, the Chrome trace_event
+// exporter (golden file), and concurrent recording (TSan-clean under the
+// sanitizer gate).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "core/resilient.hpp"
+#include "core/validate.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "parallel/fault_injector.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mp {
+namespace {
+
+using obs::Event;
+using obs::Phase;
+using obs::Tracer;
+
+struct Problem {
+  std::vector<int> values;
+  std::vector<label_t> labels;
+  std::size_t m;
+};
+
+Problem make_problem(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Problem p;
+  p.m = m;
+  p.labels = uniform_labels(n, m, seed);
+  p.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) p.values[i] = static_cast<int>(i % 23) - 11;
+  return p;
+}
+
+std::uint64_t event_count(const Tracer::Snapshot& snap, Event e) {
+  return snap.events[static_cast<std::size_t>(e)];
+}
+
+const obs::PhaseAgg& phase_agg(const Tracer::Snapshot& snap, Phase p) {
+  return snap.phases[static_cast<std::size_t>(p)];
+}
+
+/// Every span of `inner` phase must sit inside some same-thread span of
+/// `outer` phase at a strictly smaller depth — the containment claim a
+/// nested trace makes.
+void expect_nested(const Tracer::Snapshot& snap, Phase inner, Phase outer) {
+  for (const auto& in : snap.spans) {
+    if (in.phase != inner) continue;
+    const bool contained = std::any_of(
+        snap.spans.begin(), snap.spans.end(), [&](const Tracer::SnapshotSpan& out) {
+          return out.phase == outer && out.tid == in.tid && out.depth < in.depth &&
+                 out.start_ns <= in.start_ns &&
+                 out.start_ns + out.dur_ns >= in.start_ns + in.dur_ns;
+        });
+    EXPECT_TRUE(contained) << "unnested " << to_string(inner) << " span (depth "
+                           << in.depth << ", seq " << in.seq << ")";
+  }
+}
+
+TEST(TracerCore, RecordsNestedSpansWithDepthAndSeq) {
+  Tracer tracer;
+  {
+    obs::ScopedSpan outer(&tracer, Phase::kAttempt, /*strategy=*/2);
+    obs::ScopedSpan mid(&tracer, Phase::kDispatch, /*strategy=*/2, /*simd=*/1);
+    { obs::ScopedSpan leaf(&tracer, Phase::kRowsums); }
+    tracer.count(Event::kRetry);
+    tracer.add_bytes(100);
+  }
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(snap.spans.size(), 3u);
+  // Spans close leaf-first; depth/seq reflect open order.
+  EXPECT_EQ(snap.spans[0].phase, Phase::kRowsums);
+  EXPECT_EQ(snap.spans[0].depth, 2u);
+  EXPECT_EQ(snap.spans[1].phase, Phase::kDispatch);
+  EXPECT_EQ(snap.spans[1].depth, 1u);
+  EXPECT_EQ(snap.spans[2].phase, Phase::kAttempt);
+  EXPECT_EQ(snap.spans[2].depth, 0u);
+  EXPECT_EQ(snap.spans[2].seq, 0u);
+  expect_nested(snap, Phase::kRowsums, Phase::kDispatch);
+  expect_nested(snap, Phase::kDispatch, Phase::kAttempt);
+  // The dispatch cell aggregates under (strategy=2, tier=1).
+  EXPECT_EQ(snap.cells[2][1].count, 1u);
+  // Bytes charged while the outer span was open are attributed to it.
+  EXPECT_EQ(snap.spans[2].bytes, 100u);
+  EXPECT_EQ(snap.bytes_charged, 100u);
+  EXPECT_EQ(event_count(snap, Event::kRetry), 1u);
+  EXPECT_EQ(snap.threads, 1u);
+}
+
+TEST(TracerCore, NullSinkIsInert) {
+  // The disabled path everywhere: helpers must be no-ops on a null tracer.
+  obs::ScopedSpan span(nullptr, Phase::kRowsums);
+  EXPECT_FALSE(span.active());
+  span.note_polls(5);
+  obs::count(nullptr, Event::kCancelled);
+  obs::note_bytes(nullptr, 1024);
+  EXPECT_EQ(obs::sink_for(nullptr), obs::active_tracer());
+}
+
+TEST(TracerCore, AggregateOnlyModeKeepsHistogramsButNoTimeline) {
+  Tracer tracer(/*record_spans=*/false);
+  { obs::ScopedSpan span(&tracer, Phase::kSweep, /*strategy=*/0, /*simd=*/0); }
+  const auto snap = tracer.snapshot();
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_EQ(phase_agg(snap, Phase::kSweep).count, 1u);
+  EXPECT_EQ(snap.cells[0][0].count, 1u);
+  EXPECT_EQ(snap.dropped_spans, 0u);  // aggregate-only is not "dropped"
+}
+
+TEST(TracerCore, ResetClearsEverythingButKeepsRegistration) {
+  Tracer tracer;
+  { obs::ScopedSpan span(&tracer, Phase::kSort); }
+  tracer.count(Event::kPlanCacheHit);
+  tracer.reset();
+  auto snap = tracer.snapshot();
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_EQ(phase_agg(snap, Phase::kSort).count, 0u);
+  EXPECT_EQ(event_count(snap, Event::kPlanCacheHit), 0u);
+  EXPECT_EQ(snap.threads, 1u);  // the thread log survives for cheap reuse
+  { obs::ScopedSpan span(&tracer, Phase::kSort); }
+  snap = tracer.snapshot();
+  EXPECT_EQ(phase_agg(snap, Phase::kSort).count, 1u);
+  EXPECT_EQ(snap.threads, 1u);
+}
+
+TEST(EngineTracing, GovernedRunEmitsOneSpanPerPhasePerAttempt) {
+  // The acceptance shape: a governed vectorized run must produce the plan
+  // build (cache miss) plus every Figure-3 executor phase under exactly one
+  // dispatch span, and the cache outcome as events.
+  const Problem p = make_problem(20000, 64, 7);
+  Tracer tracer;
+  Engine::Options opts;
+  opts.tracer = &tracer;
+  Engine engine(opts);
+  RunContext ctx;
+  ctx.byte_budget = std::size_t{1} << 30;  // governed, never binding
+  ctx.tracer = nullptr;                    // exercise the engine-option sink
+
+  const auto result =
+      engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kVectorized, ctx);
+  auto snap = tracer.snapshot();
+  EXPECT_EQ(phase_agg(snap, Phase::kDispatch).count, 1u);
+  EXPECT_EQ(phase_agg(snap, Phase::kPlanBuild).count, 1u);
+  EXPECT_EQ(event_count(snap, Event::kPlanCacheMiss), 1u);
+  for (const Phase phase : {Phase::kInit, Phase::kRowsums, Phase::kSpinesums,
+                            Phase::kReduction, Phase::kMultisums}) {
+    EXPECT_GE(phase_agg(snap, phase).count, 1u) << to_string(phase);
+    expect_nested(snap, phase, Phase::kDispatch);
+  }
+  // The dispatch cell is tagged (vectorized, current tier) and carries the
+  // workspace bytes the run charged.
+  const auto& cell = snap.cells[strategy_index(Strategy::kVectorized)]
+                               [simd::level_index(simd::active_level())];
+  EXPECT_EQ(cell.count, 1u);
+  EXPECT_GT(snap.bytes_charged, 0u);
+
+  // A second run over the same labels hits the plan cache: no new build.
+  engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kVectorized, ctx);
+  snap = tracer.snapshot();
+  EXPECT_EQ(phase_agg(snap, Phase::kPlanBuild).count, 1u);
+  EXPECT_EQ(event_count(snap, Event::kPlanCacheHit), 1u);
+  EXPECT_EQ(phase_agg(snap, Phase::kDispatch).count, 2u);
+
+  const auto truth = multiprefix_serial<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(result.prefix, truth.prefix);
+  EXPECT_EQ(result.reduction, truth.reduction);
+}
+
+TEST(EngineTracing, RunContextTracerWinsOverEngineOption) {
+  const Problem p = make_problem(500, 8, 11);
+  Tracer engine_tracer;
+  Tracer run_tracer;
+  Engine::Options opts;
+  opts.tracer = &engine_tracer;
+  Engine engine(opts);
+  RunContext ctx;
+  ctx.tracer = &run_tracer;
+  ctx.byte_budget = std::size_t{1} << 30;
+  engine.multireduce<int>(p.values, p.labels, p.m, Plus{}, Strategy::kSerial, ctx);
+  EXPECT_EQ(engine_tracer.snapshot().spans.size(), 0u);
+  const auto snap = run_tracer.snapshot();
+  EXPECT_EQ(phase_agg(snap, Phase::kDispatch).count, 1u);
+  EXPECT_EQ(phase_agg(snap, Phase::kSweep).count, 1u);
+}
+
+TEST(EngineTracing, UngovernedTracedRunsStillRecord) {
+  // Tracing must not require governance: an ungoverned call through an
+  // engine with a tracer takes the traced (not the zero-cost) path.
+  const Problem p = make_problem(600, 8, 12);
+  Tracer tracer;
+  Engine::Options opts;
+  opts.tracer = &tracer;
+  Engine engine(opts);
+  engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kSortBased);
+  const auto snap = tracer.snapshot();
+  EXPECT_EQ(phase_agg(snap, Phase::kDispatch).count, 1u);
+  EXPECT_EQ(phase_agg(snap, Phase::kSort).count, 1u);
+  EXPECT_EQ(phase_agg(snap, Phase::kSegScan).count, 1u);
+  expect_nested(snap, Phase::kSort, Phase::kDispatch);
+}
+
+TEST(EngineTracing, DisabledTracingIsBitIdenticalAndRecordsNothing) {
+  const Problem p = make_problem(10000, 32, 13);
+  Engine plain;  // no tracer anywhere: the two-pointer-test fast path
+  Tracer idle;   // constructed but never bound — must stay empty
+  const auto untraced =
+      plain.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kVectorized);
+
+  Tracer tracer;
+  Engine::Options opts;
+  opts.tracer = &tracer;
+  Engine traced_engine(opts);
+  const auto traced = traced_engine.multiprefix<int>(p.values, p.labels, p.m, Plus{},
+                                                     Strategy::kVectorized);
+  EXPECT_EQ(untraced.prefix, traced.prefix);
+  EXPECT_EQ(untraced.reduction, traced.reduction);
+
+  const auto snap = idle.snapshot();
+  EXPECT_EQ(snap.spans.size(), 0u);
+  EXPECT_EQ(snap.threads, 0u);
+  for (std::size_t e = 0; e < obs::kEventCount; ++e) EXPECT_EQ(snap.events[e], 0u);
+}
+
+TEST(EngineTracing, GovernanceStopsAndDegradesAreCountedAsEvents) {
+  const Problem p = make_problem(4000, 16, 17);
+  Engine engine;
+
+  // Dead-on-arrival cancellation is counted before any stage runs.
+  Tracer cancel_tracer;
+  CancelSource source;
+  source.request_cancel();
+  RunContext cancelled;
+  cancelled.cancel = source.token();
+  cancelled.tracer = &cancel_tracer;
+  EXPECT_THROW(
+      engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kSerial, cancelled),
+      MpError);
+  auto snap = cancel_tracer.snapshot();
+  EXPECT_EQ(event_count(snap, Event::kCancelled), 1u);
+  EXPECT_EQ(phase_agg(snap, Phase::kDispatch).count, 0u);
+
+  // A budget too small for the vectorized plan demotes to the serial sweep:
+  // one budget-degrade event, and the dispatch span is tagged serial.
+  Tracer budget_tracer;
+  RunContext tight;
+  tight.byte_budget = 256;
+  tight.tracer = &budget_tracer;
+  engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kVectorized, tight);
+  snap = budget_tracer.snapshot();
+  EXPECT_GE(event_count(snap, Event::kBudgetDegrade), 1u);
+  EXPECT_EQ(phase_agg(snap, Phase::kDispatch).count, 1u);
+  bool serial_tagged = false;
+  for (const auto& span : snap.spans)
+    if (span.phase == Phase::kDispatch &&
+        span.strategy == static_cast<std::int8_t>(strategy_index(Strategy::kSerial)))
+      serial_tagged = true;
+  EXPECT_TRUE(serial_tagged);
+}
+
+TEST(ResilientTracing, SpansNestUnderTheFallbackChain) {
+  // A faulted pool fails the chunked stage for real; the vectorized rescue
+  // succeeds. The trace must show both attempts, the dispatch span nested in
+  // each, the hop event, and the hop attributed to the abandoned stage's
+  // (strategy × tier) cell.
+  const Problem p = make_problem(2000, 8, 19);
+  ScriptedFaultInjector injector({.throw_on_lane = 0});
+  FallbackCounters counters;
+  Tracer tracer;
+  RunContext ctx;
+  ctx.tracer = &tracer;
+  ResilientOptions options;
+  options.preferred = Strategy::kChunked;
+  options.counters = &counters;
+  options.context = &ctx;
+
+  ResilientOutcome<int> outcome;
+  {
+    ScopedFaultInjector scope(ThreadPool::global(), injector);
+    outcome = resilient_multiprefix<int>(p.values, p.labels, p.m, Plus{}, options);
+  }
+  EXPECT_EQ(outcome.used, Strategy::kVectorized);
+  EXPECT_EQ(outcome.fallbacks, 1u);
+
+  const auto snap = tracer.snapshot();
+  EXPECT_EQ(phase_agg(snap, Phase::kAttempt).count, 2u);
+  EXPECT_EQ(phase_agg(snap, Phase::kDispatch).count, 2u);
+  EXPECT_EQ(event_count(snap, Event::kFallbackHop), 1u);
+  expect_nested(snap, Phase::kDispatch, Phase::kAttempt);
+  // The failed chunked attempt still closed its pass-1 span on the way out.
+  EXPECT_GE(phase_agg(snap, Phase::kRowsums).count, 2u);
+  expect_nested(snap, Phase::kRowsums, Phase::kAttempt);
+  const auto& hop_cell = snap.cells[strategy_index(Strategy::kChunked)]
+                                   [simd::level_index(simd::active_level())];
+  EXPECT_EQ(hop_cell.hops, 1u);
+  // The rescue stage's cell carries no hop.
+  const auto& ok_cell = snap.cells[strategy_index(Strategy::kVectorized)]
+                                  [simd::level_index(simd::active_level())];
+  EXPECT_EQ(ok_cell.hops, 0u);
+
+  const auto truth = multiprefix_bruteforce<int>(p.values, p.labels, p.m);
+  EXPECT_EQ(outcome.result.prefix, truth.prefix);
+}
+
+TEST(ChromeExport, MatchesTheGoldenFile) {
+  // Hand-built snapshot (timestamps are deterministic) against the
+  // committed golden — any format drift in the exporter fails loudly.
+  Tracer::Snapshot snap;
+  Tracer::SnapshotSpan a;
+  a.start_ns = 1000;
+  a.dur_ns = 2500;
+  a.seq = 0;
+  a.depth = 0;
+  a.phase = Phase::kRowsums;
+  a.tid = 0;
+  Tracer::SnapshotSpan b;
+  b.start_ns = 4096;
+  b.dur_ns = 128;
+  b.bytes = 4096;
+  b.polls = 3;
+  b.seq = 1;
+  b.depth = 1;
+  b.phase = Phase::kDispatch;
+  b.strategy = 2;  // "parallel" by strategy_index convention
+  b.simd = 2;      // "256" by tier convention
+  b.tid = 0;
+  snap.spans = {a, b};
+
+  std::ifstream golden(MP_OBS_GOLDEN, std::ios::binary);
+  ASSERT_TRUE(golden.is_open()) << "missing golden file: " << MP_OBS_GOLDEN;
+  std::stringstream contents;
+  contents << golden.rdbuf();
+  EXPECT_EQ(obs::chrome_trace_json(snap), contents.str());
+}
+
+TEST(ChromeExport, RealTraceIsWellFormed) {
+  const Problem p = make_problem(3000, 16, 23);
+  Tracer tracer;
+  Engine::Options opts;
+  opts.tracer = &tracer;
+  Engine engine(opts);
+  engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kVectorized);
+  const std::string json = obs::chrome_trace_json(tracer);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ROWSUMS\""), std::string::npos);
+  EXPECT_NE(json.find("\"strategy\":\"vectorized\""), std::string::npos);
+  // Balanced object braces — cheap structural sanity without a JSON parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(MetricsExport, EmitsStableKeysForBenchReports) {
+  const Problem p = make_problem(3000, 16, 29);
+  Tracer tracer;
+  Engine::Options opts;
+  opts.tracer = &tracer;
+  Engine engine(opts);
+  engine.multiprefix<int>(p.values, p.labels, p.m, Plus{}, Strategy::kVectorized);
+  const auto fields = obs::metrics(tracer);
+  const auto has = [&](const std::string& key) {
+    return std::any_of(fields.begin(), fields.end(),
+                       [&](const auto& kv) { return kv.first == key; });
+  };
+  EXPECT_TRUE(has("trace_spans_total"));
+  EXPECT_TRUE(has("trace_threads"));
+  EXPECT_TRUE(has("phase_rowsums_count"));
+  EXPECT_TRUE(has("phase_spinetree_ns"));
+  EXPECT_TRUE(has("event_plan_cache_misses"));
+  const std::string cell = std::string("strategy_vectorized_") +
+                           (simd::active_level() == simd::SimdLevel::kScalar ? "scalar"
+                            : simd::active_level() == simd::SimdLevel::k128  ? "128"
+                            : simd::active_level() == simd::SimdLevel::k256  ? "256"
+                                                                            : "512");
+  EXPECT_TRUE(has(cell + "_count")) << cell;
+  // metrics_json renders every key it listed.
+  const std::string json = obs::metrics_json(tracer);
+  EXPECT_NE(json.find("\"trace_spans_total\""), std::string::npos);
+}
+
+TEST(ConcurrentRecording, ThreadsMergeWithoutLoss) {
+  // Four threads record through the process-wide slot concurrently; the
+  // snapshot must account for every span, event and byte. Run under TSan in
+  // the sanitizer gate, this is the data-race check for the whole recording
+  // path (registration, per-thread logs, relaxed counters).
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kSpansPerThread = 2000;
+  Tracer tracer;
+  obs::ScopedTracer bind(tracer, obs::ScopedTracer::Scope::kProcess);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+        Tracer* sink = obs::active_tracer();
+        obs::ScopedSpan span(sink, Phase::kSweep, /*strategy=*/0, /*simd=*/0);
+        obs::count(sink, Event::kCheckpointPoll);
+        obs::note_bytes(sink, 8);
+      }
+    });
+  for (auto& th : threads) th.join();
+  const auto snap = tracer.snapshot();
+  EXPECT_EQ(phase_agg(snap, Phase::kSweep).count, kThreads * kSpansPerThread);
+  EXPECT_EQ(snap.spans.size(), kThreads * kSpansPerThread);
+  EXPECT_EQ(event_count(snap, Event::kCheckpointPoll), kThreads * kSpansPerThread);
+  EXPECT_EQ(snap.bytes_charged, kThreads * kSpansPerThread * 8u);
+  EXPECT_EQ(snap.cells[0][0].count, kThreads * kSpansPerThread);
+  EXPECT_EQ(snap.threads, kThreads);
+  EXPECT_EQ(snap.dropped_spans, 0u);
+}
+
+TEST(ScopedTracerScopes, ThreadAndProcessPrecedence) {
+  Tracer process_tracer;
+  Tracer thread_tracer;
+  Tracer* const ambient = obs::active_tracer();  // MP_TRACE may be set
+  {
+    obs::ScopedTracer process_bind(process_tracer, obs::ScopedTracer::Scope::kProcess);
+    EXPECT_EQ(obs::active_tracer(), &process_tracer);
+    {
+      obs::ScopedTracer thread_bind(thread_tracer);  // kThread wins locally
+      EXPECT_EQ(obs::active_tracer(), &thread_tracer);
+    }
+    EXPECT_EQ(obs::active_tracer(), &process_tracer);
+  }
+  EXPECT_EQ(obs::active_tracer(), ambient);
+}
+
+}  // namespace
+}  // namespace mp
