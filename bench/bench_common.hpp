@@ -143,6 +143,12 @@ inline void report_fallback_counters(JsonReporter& json, const FallbackCounters&
   put("cancellations", counters.cancellations);
   put("deadlines_exceeded", counters.deadlines_exceeded);
   put("budget_degrades", counters.budget_degrades);
+  put("overload_sheds", counters.overload_sheds);
+  put("breaker_trips", counters.breaker_trips);
+  put("breaker_probes", counters.breaker_probes);
+  put("breaker_resets", counters.breaker_resets);
+  put("drain_cancels", counters.drain_cancels);
+  put("coalesced_batches", counters.coalesced_batches);
 }
 
 /// Emits a Tracer's aggregated metrics (obs/export.hpp) into the JSON

@@ -1,0 +1,273 @@
+// Serving-frontend soak — what the async frontend costs and what the
+// coalescer buys.
+//
+//   1. Coalescing on vs. off for the same wave of K small same-class
+//      multireduce requests, pre-queued behind a pinned worker and then
+//      released: batched dispatch folds them into segmented passes — one
+//      engine call over the concatenated problem with offset labels — while
+//      the control frontend (coalesce_max_requests = 1) pays the dequeue /
+//      dispatch / resolve cycle per request. The headline
+//      `coalesce_speedup` is gated by a floor in scripts/bench_compare.py:
+//      if batching ever loses to per-request dispatch, the coalescer is
+//      dead weight. K direct Engine calls are reported alongside as the
+//      no-serving-layer reference (`sequential_ms`, not gated: it has no
+//      queue, no futures, and no cross-thread handoff to amortize).
+//   2. Burst-loop overload soak: C client threads each fire R requests at a
+//      deliberately undersized frontend (small queue, few workers) in
+//      bursts of 16 outstanding futures — enough concurrent demand to
+//      overrun the admission queue, so load shedding actually engages.
+//      Reported: accepted throughput, p50/p99 accepted latency, shed rate,
+//      and the full fallback-counter block — the overload numbers CI
+//      watches are the same counters the chaos suite cross-checks against
+//      obs events.
+//
+// Flags: --requests=K (coalesce section, default 128), --reqn=N (elements
+// per coalesced request, default 128 — small requests are the coalescer's
+// target: batching trades one assemble-copy for K-1 dispatch cycles, a
+// trade that inverts once per-request work dwarfs dispatch overhead),
+// --clients=C (soak, default 4),
+// --per-client=R (default 200), --reps=N (default 5), --json=<file>.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "serve/frontend.hpp"
+
+namespace {
+
+std::vector<int> random_values(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(100));
+  return v;
+}
+
+// Spin-gate used to pin the dispatcher while requests pile up, so the
+// coalesce measurement always sees full batches instead of racing admission.
+struct Gate {
+  std::atomic<bool> open{false};
+  void release() { open.store(true, std::memory_order_release); }
+  void wait() const {
+    // Busy-yield, not sleep: a sleeping waiter adds scheduler latency inside
+    // the timed region, which would be charged to the coalesced path.
+    while (!open.load(std::memory_order_acquire)) std::this_thread::yield();
+  }
+};
+
+void BM_FrontendSubmitResolve(benchmark::State& state) {
+  // Round-trip cost of one uncontended request through the frontend: queue,
+  // dequeue, dispatch, promise — the overhead a caller pays over a direct
+  // Engine call.
+  mp::serve::Frontend fe;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto labels = mp::uniform_labels(n, 16, 3);
+  const auto values = random_values(n, 7);
+  for (auto _ : state) {
+    auto f = fe.submit_multireduce<int>(values, labels, 16);
+    benchmark::DoNotOptimize(f.get().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FrontendSubmitResolve)->Arg(1 << 10)->Arg(1 << 14)->Unit(benchmark::kMicrosecond);
+
+void coalesce_section(const mp::CliArgs& args, mp::bench::JsonReporter& json) {
+  const auto requests = static_cast<std::size_t>(args.get("requests", std::int64_t{128}));
+  const auto reqn = static_cast<std::size_t>(args.get("reqn", std::int64_t{128}));
+  const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{5}));
+  const std::size_t m = 16;
+
+  std::vector<std::vector<mp::label_t>> labels(requests);
+  std::vector<std::vector<int>> values(requests);
+  for (std::size_t r = 0; r < requests; ++r) {
+    labels[r] = mp::uniform_labels(reqn, m, 100 + r);
+    values[r] = random_values(reqn, 200 + r);
+  }
+
+  // Sequential baseline: K direct Engine calls, each paying its own
+  // dispatch, plan lookup, and scratch round-trip.
+  mp::Engine& engine = mp::Engine::global();
+  std::vector<int> reduction(m);
+  const double sequential_s = mp::bench::seconds_best_of(reps, [&] {
+    for (std::size_t r = 0; r < requests; ++r) {
+      engine.multireduce_into<int>(values[r], labels[r], std::span<int>(reduction),
+                                   mp::Plus{}, mp::Strategy::kAuto);
+      benchmark::DoNotOptimize(reduction.data());
+    }
+  });
+
+  // Serving path, A/B on the coalescer: pin the single dispatcher behind a
+  // gate, pre-queue the whole wave, then time release-to-resolution. Both
+  // frontends run the identical wave through the identical submit path; the
+  // only difference is whether the dispatcher may fold queued neighbours
+  // into one segmented engine pass.
+  Gate* gate = nullptr;
+  const auto timed_wave = [&](mp::serve::Frontend& fe) {
+    double best = 1e300;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Gate g;
+      gate = &g;
+      // The plug occupies the worker (double-typed: a different request
+      // class, so it can never join the int batch behind it).
+      auto plug = fe.submit_multireduce<double>(std::vector<double>(64, 1.0),
+                                                mp::uniform_labels(64, 4, 9), 4);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));  // worker pins
+      std::vector<std::future<std::vector<int>>> futures;
+      futures.reserve(requests);
+      for (std::size_t r = 0; r < requests; ++r)
+        futures.push_back(fe.submit_multireduce<int>(values[r], labels[r], m));
+      gate = nullptr;  // subsequent dispatches run unimpeded
+      const auto t0 = std::chrono::steady_clock::now();
+      g.release();
+      (void)plug.get();
+      for (auto& f : futures) benchmark::DoNotOptimize(f.get().data());
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    fe.wait_idle();
+    return best;
+  };
+
+  mp::serve::FrontendOptions fo;
+  fo.workers = 1;
+  fo.attempt_hook = [&gate](mp::Strategy) {
+    if (gate != nullptr) gate->wait();
+  };
+
+  fo.coalesce_max_requests = requests;
+  mp::serve::Frontend batched(fo);
+  const double coalesced_s = timed_wave(batched);
+  const std::uint64_t batches = batched.stats().coalesced_batches;
+
+  fo.coalesce_max_requests = 1;  // control: per-request dispatch
+  mp::serve::Frontend unbatched(fo);
+  const double unbatched_s = timed_wave(unbatched);
+
+  const double speedup = coalesced_s > 0.0 ? unbatched_s / coalesced_s : 0.0;
+  mp::TextTable table({"path", "ms / wave", "engine passes"});
+  table.add_row({"direct Engine calls (no serving layer)",
+                 mp::TextTable::num(sequential_s * 1e3, 3), mp::TextTable::num(requests)});
+  table.add_row({"frontend, per-request dispatch", mp::TextTable::num(unbatched_s * 1e3, 3),
+                 mp::TextTable::num(requests)});
+  table.add_row({"frontend, coalesced", mp::TextTable::num(coalesced_s * 1e3, 3),
+                 mp::TextTable::num(batches / reps)});
+  std::printf("1. coalescing, %zu requests x n = %zu, m = %zu\n\n", requests, reqn, m);
+  std::printf("%s", table.render().c_str());
+  std::printf("\ncoalesce speedup (frontend batched vs per-request): %.2fx "
+              "(%llu batches over %zu reps)\n\n",
+              speedup, static_cast<unsigned long long>(batches), reps);
+
+  json.metric("coalesce_requests", static_cast<std::int64_t>(requests));
+  json.metric("coalesce_reqn", static_cast<std::int64_t>(reqn));
+  json.metric("sequential_ms", sequential_s * 1e3);
+  json.metric("unbatched_ms", unbatched_s * 1e3);
+  json.metric("coalesced_ms", coalesced_s * 1e3);
+  json.metric("coalesce_speedup", speedup);
+}
+
+void soak_section(const mp::CliArgs& args, mp::bench::JsonReporter& json) {
+  const auto clients = static_cast<std::size_t>(args.get("clients", std::int64_t{4}));
+  const auto per_client = static_cast<std::size_t>(args.get("per-client", std::int64_t{200}));
+
+  mp::FallbackCounters counters;
+  mp::serve::FrontendOptions fo;
+  fo.workers = 2;
+  fo.queue_depth = 32;  // deliberately undersized: overload is the point
+  fo.counters = &counters;
+  mp::serve::Frontend fe(fo);
+
+  std::atomic<std::uint64_t> accepted{0}, shed{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      mp::Xoshiro256 rng(0xC0FFEE + c);
+      latencies[c].reserve(per_client);
+      constexpr std::size_t kBurst = 16;
+      std::size_t issued = 0;
+      while (issued < per_client) {
+        const std::size_t wave = std::min(kBurst, per_client - issued);
+        std::vector<std::pair<std::future<std::vector<int>>,
+                              std::chrono::steady_clock::time_point>> wave_futures;
+        wave_futures.reserve(wave);
+        for (std::size_t i = 0; i < wave; ++i, ++issued) {
+          const std::size_t n = 256 + rng.below(4096);
+          const std::size_t lm = 1 + rng.below(64);
+          auto labels = mp::uniform_labels(n, lm, rng());
+          auto values = random_values(n, rng());
+          wave_futures.emplace_back(
+              fe.submit_multireduce<int>(std::move(values), std::move(labels), lm),
+              std::chrono::steady_clock::now());
+        }
+        for (auto& [f, t0] : wave_futures) {
+          try {
+            benchmark::DoNotOptimize(f.get().data());
+            const auto t1 = std::chrono::steady_clock::now();
+            accepted.fetch_add(1, std::memory_order_relaxed);
+            latencies[c].push_back(std::chrono::duration<double>(t1 - t0).count());
+          } catch (const mp::MpError& e) {
+            if (e.code() != mp::ErrorCode::kOverloaded) throw;
+            shed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto wall1 = std::chrono::steady_clock::now();
+  fe.wait_idle();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const auto pct = [&](double p) {
+    if (all.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(all.size() - 1));
+    return all[idx];
+  };
+  const double wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  const std::uint64_t total = clients * per_client;
+  const double throughput = wall_s > 0.0 ? static_cast<double>(accepted.load()) / wall_s : 0.0;
+  const double shed_rate = total > 0 ? static_cast<double>(shed.load()) / static_cast<double>(total) : 0.0;
+
+  std::printf("2. burst-loop soak, %zu clients x %zu requests, queue_depth = %zu\n\n",
+              clients, per_client, fo.queue_depth);
+  mp::TextTable table({"metric", "value"});
+  table.add_row({"accepted throughput (req/s)", mp::TextTable::num(throughput, 0)});
+  table.add_row({"p50 latency (ms)", mp::TextTable::num(pct(0.50) * 1e3, 3)});
+  table.add_row({"p99 latency (ms)", mp::TextTable::num(pct(0.99) * 1e3, 3)});
+  table.add_row({"shed rate", mp::TextTable::num(shed_rate, 3)});
+  std::printf("%s\n", table.render().c_str());
+
+  json.metric("soak_clients", static_cast<std::int64_t>(clients));
+  json.metric("soak_requests", static_cast<std::int64_t>(total));
+  json.metric("soak_throughput_rps", throughput);
+  json.metric("soak_p50_ms", pct(0.50) * 1e3);
+  json.metric("soak_p99_ms", pct(0.99) * 1e3);
+  json.metric("soak_shed_rate", shed_rate);
+  // Accounting must balance exactly: every submission either resolved a
+  // value or threw kOverloaded. CI refuses to ignore a mismatch.
+  json.metric("soak_accounting_assert_pass",
+              std::int64_t{accepted.load() + shed.load() == total ? 1 : 0});
+  mp::bench::report_fallback_counters(json, counters, "serve_");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "serving frontend: coalescing & overload soak",
+                        [](const mp::CliArgs& args) {
+                          mp::bench::JsonReporter json(args.get("json", std::string()));
+                          coalesce_section(args, json);
+                          soak_section(args, json);
+                          json.write();
+                        });
+}

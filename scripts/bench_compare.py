@@ -35,6 +35,10 @@ import sys
 # measured 0.92x at n=2^20 — this floor is the regression test for that fix.
 FLOORS = {
     "chunked_speedup": 1.0,
+    # coalesce_speedup: the serving frontend's batched dispatch of compatible
+    # small requests must beat submitting them to the Engine one at a time —
+    # otherwise the coalescer is pure complexity and should be ripped out.
+    "coalesce_speedup": 1.0,
 }
 
 # Documented waivers: key -> reason. A waived floor is reported, not
@@ -47,15 +51,49 @@ def load(path):
     try:
         with open(path) as f:
             data = json.load(f)
-    except (OSError, ValueError) as err:
+    except OSError as err:
         sys.exit(f"bench_compare: cannot read {path}: {err}")
+    except ValueError as err:
+        sys.exit(f"bench_compare: {path} is not valid JSON ({err}); "
+                 "expected the flat object written by a bench binary's --json flag")
     if not isinstance(data, dict):
-        sys.exit(f"bench_compare: {path} is not a flat JSON object")
+        sys.exit(f"bench_compare: {path} is not a flat JSON object "
+                 f"(got {type(data).__name__}); "
+                 "expected the flat object written by a bench binary's --json flag")
     return data
 
 
 def is_ratio_key(key):
     return key == "speedup" or key.endswith("_speedup")
+
+
+def numeric(value, key, path, failures):
+    """Returns the value as float, or None after recording a diagnostic.
+
+    The JsonReporter only emits numbers and strings; a string (or bool/null)
+    where a gated metric should be means the bench binary or a hand edit
+    corrupted the file — name the key and file instead of crashing on '<'.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        failures.append(f"{key}: non-numeric value {value!r} in {path} "
+                        "(gated metrics must be numbers)")
+        return None
+    return float(value)
+
+
+def list_keys(baseline, current):
+    """--list-keys: show every key in either file and how the gate treats it."""
+    for key in sorted(set(baseline) | set(current)):
+        gates = []
+        if is_ratio_key(key):
+            gates.append("ratio-gated")
+        if key in FLOORS:
+            gates.append(f"floor>={FLOORS[key]}" + (" (waived)" if key in WAIVERS else ""))
+        if key.endswith("_assert_pass"):
+            gates.append("hard-assert")
+        where = ("both" if key in baseline and key in current
+                 else "baseline-only" if key in baseline else "current-only")
+        print(f"  {key:40s} {where:13s} {', '.join(gates) if gates else 'reported only'}")
 
 
 def main():
@@ -66,24 +104,41 @@ def main():
                         help="max relative drop vs baseline for ratio metrics")
     parser.add_argument("--noise", type=float, default=0.05,
                         help="measurement-noise allowance applied to FLOORS")
+    parser.add_argument("--list-keys", action="store_true",
+                        help="list every key in either file and how the gate "
+                             "treats it, then exit without gating")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
     current = load(args.current)
     failures = []
 
+    if args.list_keys:
+        print(f"bench_compare: keys in {args.baseline} / {args.current}")
+        list_keys(baseline, current)
+        return 0
+
     print(f"bench_compare: {args.current} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%}, floor noise {args.noise:.0%})")
 
     for key in sorted(set(baseline) | set(current)):
-        base, cur = baseline.get(key), current.get(key)
         if not is_ratio_key(key):
             continue
-        if cur is None:
-            failures.append(f"{key}: present in baseline but missing from current run")
+        if key not in current:
+            failures.append(
+                f"{key}: present in baseline but missing from current run — "
+                "the bench stopped emitting a gated metric (rename or dropped "
+                "json.metric call?); update the baseline if intentional")
             continue
+        cur = numeric(current[key], key, args.current, failures)
+        if cur is None:
+            continue
+        if key not in baseline:
+            print(f"  NEW    {key} = {cur:.3f} (no baseline — commit a refreshed "
+                  "baseline file to start gating it)")
+            continue
+        base = numeric(baseline[key], key, args.baseline, failures)
         if base is None:
-            print(f"  NEW    {key} = {cur:.3f} (no baseline)")
             continue
         limit = base * (1.0 - args.tolerance)
         status = "ok" if cur >= limit else "REGRESSION"
@@ -94,9 +149,11 @@ def main():
                             f"below baseline {base:.3f}")
 
     for key, floor in sorted(FLOORS.items()):
-        cur = current.get(key)
-        if cur is None:
+        if key not in current:
             continue  # this bench file doesn't carry the metric
+        cur = numeric(current[key], key, args.current, failures)
+        if cur is None:
+            continue
         if key in WAIVERS:
             print(f"  WAIVED {key} >= {floor} ({WAIVERS[key]})")
             continue
@@ -108,7 +165,10 @@ def main():
             print(f"  floor ok   {key}: {cur:.3f} >= {floor} (-{args.noise:.0%} noise)")
 
     for key, cur in sorted(current.items()):
-        if key.endswith("_assert_pass") and cur != 1:
+        if not key.endswith("_assert_pass"):
+            continue
+        val = numeric(cur, key, args.current, failures)
+        if val is not None and val != 1:
             failures.append(f"{key}: bench-internal assertion failed ({cur})")
 
     if failures:

@@ -7,11 +7,18 @@
 #   scripts/check.sh --chaos       # chaos + governance suites under ASan and
 #                                  # TSan with a hard per-test timeout — the
 #                                  # randomized fault-schedule gate
+#   scripts/check.sh --soak        # serving-frontend long soak under TSan:
+#                                  # elevated client/schedule counts
+#                                  # (MP_SOAK_CLIENTS/MP_SOAK_SCHEDULES) over
+#                                  # the ServeSoak suite — the label-triggered
+#                                  # CI job for the async frontend
 #   scripts/check.sh --bench       # also run the engine amortization smoke
-#                                  # bench (Release, BENCH_engine.json) and the
+#                                  # bench (Release, BENCH_engine.json), the
 #                                  # SIMD kernel bench at the host's native ISA
-#                                  # (bench-simd preset, BENCH_simd.json), then
-#                                  # gate both against the committed baselines
+#                                  # (bench-simd preset, BENCH_simd.json), and
+#                                  # the serving frontend coalesce/soak bench
+#                                  # (BENCH_serving.json), then gate all three
+#                                  # against the committed baselines
 #                                  # (scripts/bench_compare.py)
 #   scripts/check.sh --bench-only  # the bench smoke + gate without any
 #                                  # sanitizer pass (the CI bench job)
@@ -28,6 +35,7 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --full) MODE=full; shift ;;
     --chaos) MODE=chaos; shift ;;
+    --soak) MODE=soak; shift ;;
     --bench) BENCH=1; shift ;;
     --bench-only) BENCH=1; MODE=none; shift ;;
     *) break ;;
@@ -35,6 +43,7 @@ while [[ $# -gt 0 ]]; do
 done
 if [[ $# -gt 0 ]]; then SANITIZERS=("$@")
 elif [[ "$MODE" == chaos ]]; then SANITIZERS=(asan tsan)
+elif [[ "$MODE" == soak ]]; then SANITIZERS=(tsan)
 else SANITIZERS=(tsan asan ubsan); fi
 
 # The quick gate covers the suites this layer is about: pool fault injection,
@@ -52,6 +61,11 @@ QUICK_FILTER+='|Chaos|RunContext|Governance|DegenerateInputs'
 # the whole span/metrics recording path.
 QUICK_FILTER+='|TracerCore|EngineTracing|ResilientTracing|ChromeExport|MetricsExport'
 QUICK_FILTER+='|ConcurrentRecording|ScopedTracerScopes'
+# Serving frontend: admission/shedding/coalescing/breaker/drain determinism
+# (ServeFrontend) and the multi-client soak (ServeSoak) — the frontend is a
+# lock-and-cv machine shared by worker threads, so TSan over these suites is
+# the data-race gate for the whole serving path.
+QUICK_FILTER+='|ServeFrontend|ServeSoak'
 
 # The chaos gate replays the randomized fault schedules (chaos_test) plus the
 # governance and fault-path suites under ASan and TSan. Every test already
@@ -59,6 +73,16 @@ QUICK_FILTER+='|ConcurrentRecording|ScopedTracerScopes'
 # cooperative checkpoint fails loudly instead of stalling CI.
 CHAOS_FILTER='Chaos|RunContext|Governance|DegenerateInputs|FaultInjection|Resilient'
 CHAOS_FILTER+='|PlanCacheStorm|ConcurrentRecording|ResilientTracing'
+CHAOS_FILTER+='|ServeFrontend|ServeSoak'
+
+# The soak gate runs only the serving soak, but big: more client threads and
+# more randomized schedules per run, under TSan. The binary is invoked
+# directly instead of through ctest — MP_SOAK_SCHEDULES scales the gtest
+# parameter range at process start, and ctest only knows the names that were
+# enumerated at build time.
+: "${MP_SOAK_CLIENTS:=8}"
+: "${MP_SOAK_SCHEDULES:=64}"
+export MP_SOAK_CLIENTS MP_SOAK_SCHEDULES
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 if [[ "$MODE" == none ]]; then SANITIZERS=(); fi
@@ -71,6 +95,9 @@ for san in "${SANITIZERS[@]}"; do
     ctest --preset "$san"
   elif [[ "$MODE" == chaos ]]; then
     ctest --preset "$san" -R "$CHAOS_FILTER" --timeout 120
+  elif [[ "$MODE" == soak ]]; then
+    echo "=== [$san] serve soak: ${MP_SOAK_CLIENTS} clients x ${MP_SOAK_SCHEDULES} schedules ==="
+    "./build-$san/tests/serve_soak_test" --gtest_brief=1
   else
     ctest --preset "$san" -R "$QUICK_FILTER"
   fi
@@ -101,9 +128,18 @@ if [[ "$BENCH" == 1 ]]; then
   ./build-bench-simd/bench/simd_kernels --benchmark_filter=NONE \
     --n=1048576 --reps=3 --json=build-bench-simd/BENCH_simd.json
 
+  # Serving frontend: coalescing A/B + burst overload soak (same Release
+  # tree as the engine smoke). Gated on coalesce_speedup (floor >= 1.0).
+  echo "=== [bench-smoke] serving_soak ==="
+  cmake --build --preset bench-smoke -j "$JOBS" --target serving_soak \
+    -- --no-print-directory >/dev/null
+  ./build-bench/bench/serving_soak --benchmark_filter=NONE \
+    --reps=3 --json=build-bench/BENCH_serving.json
+
   echo "=== [bench-gate] compare against committed baselines ==="
   python3 scripts/bench_compare.py BENCH_engine.json build-bench/BENCH_engine.json
   python3 scripts/bench_compare.py BENCH_simd.json build-bench-simd/BENCH_simd.json
+  python3 scripts/bench_compare.py BENCH_serving.json build-bench/BENCH_serving.json
 fi
 if [[ "$MODE" == none ]]; then
   echo "Bench smoke + regression gate clean"

@@ -35,6 +35,9 @@ enum class ErrorCode {
   kCancelled,        // the caller's cancel token fired (common/run_context.hpp)
   kDeadlineExceeded, // the run's deadline expired at a checkpoint
   kBudgetExceeded,   // a scratch request overflowed the run's byte budget
+  kOverloaded,       // admission shed the request (serve/frontend.hpp) — the
+                     // queue, byte, or tenant bound was hit, or the frontend
+                     // is draining; retrying later (with backoff) is sane
 };
 
 constexpr const char* to_string(ErrorCode code) {
@@ -47,6 +50,7 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::kBudgetExceeded: return "budget-exceeded";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

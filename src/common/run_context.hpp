@@ -105,6 +105,14 @@ struct FallbackCounters {
   std::atomic<std::uint64_t> cancellations{0};     // runs ended by the cancel token
   std::atomic<std::uint64_t> deadlines_exceeded{0};  // runs ended by the deadline
   std::atomic<std::uint64_t> budget_degrades{0};   // strategy demoted to fit the byte budget
+  // Serving-frontend vocabulary (serve/frontend.hpp); every increment is
+  // mirrored as the matching obs::Event so both surfaces always agree.
+  std::atomic<std::uint64_t> overload_sheds{0};    // admissions rejected kOverloaded
+  std::atomic<std::uint64_t> breaker_trips{0};     // circuit breaker cells opened
+  std::atomic<std::uint64_t> breaker_probes{0};    // half-open probe dispatches
+  std::atomic<std::uint64_t> breaker_resets{0};    // cells closed by probe success
+  std::atomic<std::uint64_t> drain_cancels{0};     // queued requests cancelled at drain
+  std::atomic<std::uint64_t> coalesced_batches{0};  // multi-request segmented passes
 
   void reset() {
     // Plain chained `=` through atomics assigns the int result of each
@@ -120,6 +128,12 @@ struct FallbackCounters {
     cancellations.store(0, std::memory_order_relaxed);
     deadlines_exceeded.store(0, std::memory_order_relaxed);
     budget_degrades.store(0, std::memory_order_relaxed);
+    overload_sheds.store(0, std::memory_order_relaxed);
+    breaker_trips.store(0, std::memory_order_relaxed);
+    breaker_probes.store(0, std::memory_order_relaxed);
+    breaker_resets.store(0, std::memory_order_relaxed);
+    drain_cancels.store(0, std::memory_order_relaxed);
+    coalesced_batches.store(0, std::memory_order_relaxed);
   }
 };
 

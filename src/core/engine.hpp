@@ -149,6 +149,17 @@ class Engine {
   Strategy resolve(Strategy requested, std::size_t n, std::size_t m,
                    bool plan_available = false) const;
 
+  /// Public form of the kAuto sighting + resolution for external
+  /// dispatchers (the serving frontend picks its strategy *before* dispatch
+  /// so it can route around circuit-breaker-open cells along the fallback
+  /// chain): notes the label vector in the plan cache — the recurring-labels
+  /// detector that promotes plan-based strategies — and resolves `requested`
+  /// exactly as the engine's own entry points would.
+  Strategy resolve_for(std::span<const label_t> labels, std::size_t m,
+                       Strategy requested = Strategy::kAuto) {
+    return resolved(requested, labels, m);
+  }
+
   /// The (possibly cached) spinetree plan for (labels, m) with auto shape.
   /// `build_pool`, when nonnull, parallelizes a cache-miss build — pass the
   /// engine pool only from strategies already licensed to touch it.

@@ -55,6 +55,18 @@ namespace mp {
 // common/run_context.hpp now (the engine's governed dispatch shares the
 // block); this header re-exposes them by inclusion, unchanged.
 
+/// The one shared definition of "a simpler substrate may still succeed":
+/// substrate failures degrade along fallback_next; input-contract
+/// violations (identical on every strategy) and governance stops
+/// (kCancelled / kDeadlineExceeded — no stage can outrun them) do not.
+/// Used by run_chain below and by the serving frontend's breaker-aware
+/// dispatch loop (serve/frontend.cpp), so the two degradation paths can
+/// never drift apart.
+inline constexpr bool degradable_error(ErrorCode code) {
+  return code == ErrorCode::kPoolFailure || code == ErrorCode::kExecutionFault ||
+         code == ErrorCode::kBudgetExceeded;
+}
+
 struct ResilientOptions {
   /// kAuto is resolved by Engine::global() from (n, m) before the chain is
   /// walked.
@@ -178,13 +190,10 @@ Result run_chain(const ResilientOptions& options, Strategy preferred,
         return result;
       }
     } catch (const MpError& e) {
-      // Degradable: substrate failures (pool, lane fault, budget). Not
-      // degradable: input-contract violations (identical everywhere) and
-      // governance stops (kCancelled / kDeadlineExceeded — no stage can
-      // outrun them).
-      if (e.code() != ErrorCode::kPoolFailure && e.code() != ErrorCode::kExecutionFault &&
-          e.code() != ErrorCode::kBudgetExceeded)
-        throw;
+      // Degradable or not is decided by degradable_error (shared with the
+      // serving frontend's dispatch loop): substrate failures hop, contract
+      // violations and governance stops propagate.
+      if (!degradable_error(e.code())) throw;
       (e.code() == ErrorCode::kPoolFailure ? counters.pool_failures
                                            : counters.execution_faults)
           .fetch_add(1, std::memory_order_relaxed);

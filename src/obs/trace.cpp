@@ -39,6 +39,9 @@ const char* to_string(Phase phase) {
     case Phase::kPlanLookup: return "plan-lookup";
     case Phase::kFork:       return "fork-join";
     case Phase::kAttempt:    return "attempt";
+    case Phase::kAdmit:      return "admit";
+    case Phase::kCoalesce:   return "coalesce";
+    case Phase::kDrain:      return "drain";
   }
   return "?";
 }
@@ -58,6 +61,9 @@ const char* slug(Phase phase) {
     case Phase::kPlanLookup: return "plan_lookup";
     case Phase::kFork:       return "fork";
     case Phase::kAttempt:    return "attempt";
+    case Phase::kAdmit:      return "admit";
+    case Phase::kCoalesce:   return "coalesce";
+    case Phase::kDrain:      return "drain";
   }
   return "?";
 }
@@ -72,6 +78,12 @@ const char* to_string(Event event) {
     case Event::kCheckpointPoll:   return "checkpoint_polls";
     case Event::kPlanCacheHit:     return "plan_cache_hits";
     case Event::kPlanCacheMiss:    return "plan_cache_misses";
+    case Event::kShedOverload:     return "overload_sheds";
+    case Event::kBreakerTrip:      return "breaker_trips";
+    case Event::kBreakerProbe:     return "breaker_probes";
+    case Event::kBreakerReset:     return "breaker_resets";
+    case Event::kDrainCancel:      return "drain_cancels";
+    case Event::kCoalescedBatch:   return "coalesced_batches";
   }
   return "?";
 }

@@ -66,8 +66,11 @@ enum class Phase : std::uint8_t {
   kPlanLookup,     // plan-cache probe (a miss nests kPlanBuild)
   kFork,           // one ThreadPool fork/join
   kAttempt,        // resilient-driver stage attempt (strategy tagged)
+  kAdmit,          // serving frontend: validation + admission of one submit
+  kCoalesce,       // serving frontend: batch assembly + coalesced dispatch
+  kDrain,          // serving frontend: the whole drain/shutdown window
 };
-inline constexpr std::size_t kPhaseCount = 13;
+inline constexpr std::size_t kPhaseCount = 16;
 
 /// Countable one-shot events — the governance vocabulary of
 /// FallbackCounters (common/run_context.hpp) plus the plan-cache outcomes.
@@ -80,8 +83,14 @@ enum class Event : std::uint8_t {
   kCheckpointPoll,     // cooperative governance polls observed
   kPlanCacheHit,       // plan served from the cache
   kPlanCacheMiss,      // plan built on demand
+  kShedOverload,       // admission rejected a request kOverloaded
+  kBreakerTrip,        // a circuit-breaker cell opened
+  kBreakerProbe,       // a half-open probe request was dispatched
+  kBreakerReset,       // a cell closed after successful probes
+  kDrainCancel,        // a queued request was cancelled by the drain deadline
+  kCoalescedBatch,     // several requests dispatched as one segmented pass
 };
-inline constexpr std::size_t kEventCount = 8;
+inline constexpr std::size_t kEventCount = 14;
 
 /// Display name ("ROWSUMS") and metrics slug ("rowsums").
 const char* to_string(Phase phase);

@@ -86,6 +86,9 @@ void ThreadPool::run_raw(RawFn fn, void* ctx) {
   // parallel_for / parallel_for_blocked funnels through here, so call sites
   // need no instrumentation of their own.
   obs::ScopedSpan fork_span(obs::active_tracer(), obs::Phase::kFork);
+  // Concurrent external dispatchers (serving-frontend workers) take turns
+  // at the single job slot; the uncontended cost is one atomic pair.
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
   const std::size_t run_index = run_index_++;
   if (lanes_ == 1) {  // no workers: degenerate synchronous execution
     LaneScope scope(this);

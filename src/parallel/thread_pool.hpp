@@ -11,6 +11,11 @@
 //   * run() from inside a pool lane would deadlock (the caller lane would
 //     wait on workers that are waiting on it); reentrancy is detected and
 //     rejected with MpError(kPoolFailure) instead.
+//   * run() from several *distinct* threads is safe: the pool has one job
+//     slot, so concurrent external dispatches serialize on a dispatch mutex
+//     (first come, first served). This is what lets the async serving
+//     frontend's workers share one pool — before it, concurrent run() calls
+//     corrupted the fork/join accounting.
 //   * The captured-error slot is consumed before rethrow, so a throwing job
 //     never leaks state into the next run() — the pool is always reusable
 //     after a failure (regression-tested).
@@ -94,6 +99,10 @@ class ThreadPool {
   std::size_t lanes_;
   std::vector<std::thread> workers_;
 
+  // Serializes whole fork/joins from distinct external threads (the job
+  // slot below holds one job at a time). Never held by lane code, so a
+  // lane driving a *different* pool cannot deadlock on it.
+  std::mutex dispatch_mu_;
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -1,0 +1,208 @@
+// Per-(strategy × request-class) circuit breakers for the serving frontend.
+//
+// The resilient driver (core/resilient.hpp) walks the fallback chain *per
+// call*: every request pays a doomed attempt against a persistently sick
+// strategy before hopping. At serving volume that is an outage amplifier —
+// thousands of requests each burning a pool fork that is known to fault.
+// A circuit breaker is the memo of that chain walk: after enough failures
+// inside a sliding window the cell *opens* and traffic routes straight to
+// the next substrate (strategy.hpp's fallback_next) without attempting the
+// sick one; after a cooldown the cell goes *half-open* and lets a limited
+// probe through, closing again only when probes succeed.
+//
+// Cells are keyed by (request class, strategy): a faulting float-PLUS
+// kParallel must not blind integer-MAX traffic to a healthy kParallel. The
+// terminal strategy of every chain (kSerial — zero scratch, no pool) is
+// never skipped regardless of its cell state, so an open breaker can not
+// turn "degraded" into "unavailable".
+//
+// Concurrency: one mutex per cell, held for a few loads/stores around each
+// dispatch — request-granular, uncontended in the common (closed) state.
+// Transitions are reported back to the caller (Admission/Outcome) so the
+// frontend can mirror them into FallbackCounters and obs::Events at the
+// moment they happen; the breaker itself stays observability-free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/strategy.hpp"
+
+namespace mp::serve {
+
+struct BreakerOptions {
+  /// Outcomes remembered per cell (sliding window, capped at 64).
+  std::size_t window = 16;
+  /// Failures are judged only once the window holds this many outcomes.
+  std::size_t min_samples = 8;
+  /// Open when failures/outcomes inside the window reaches this fraction.
+  double failure_threshold = 0.5;
+  /// How long an open cell rejects before going half-open.
+  std::chrono::milliseconds open_cooldown{25};
+  /// Consecutive probe successes required to close a half-open cell.
+  std::size_t probes_to_close = 2;
+};
+
+/// One breaker cell. All methods are thread-safe; transition flags in the
+/// return values fire exactly once per transition across all threads.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// admit(): may this dispatch attempt the strategy now?
+  struct Admission {
+    bool allow = true;   // false = route around (cell is open)
+    bool probe = false;  // true = this attempt is the half-open probe
+  };
+
+  /// on_success()/on_failure(): what the outcome did to the cell.
+  struct Outcome {
+    bool tripped = false;  // cell opened (closed→open or a probe failed)
+    bool closed = false;   // cell closed (probe quota met)
+  };
+
+  explicit CircuitBreaker(const BreakerOptions& options) : options_(options) {
+    if (options_.window > 64) options_.window = 64;
+    if (options_.window == 0) options_.window = 1;
+    if (options_.min_samples == 0) options_.min_samples = 1;
+  }
+
+  Admission admit(Clock::time_point now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        return {};
+      case State::kOpen:
+        if (now - opened_at_ < options_.open_cooldown) return {false, false};
+        state_ = State::kHalfOpen;
+        probe_outstanding_ = false;
+        probe_successes_ = 0;
+        [[fallthrough]];
+      case State::kHalfOpen:
+        if (probe_outstanding_) return {false, false};  // one probe at a time
+        probe_outstanding_ = true;
+        return {true, true};
+    }
+    return {};
+  }
+
+  Outcome on_success(bool was_probe) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kHalfOpen) {
+      if (was_probe) probe_outstanding_ = false;
+      if (++probe_successes_ >= options_.probes_to_close) {
+        state_ = State::kClosed;
+        reset_window_locked();
+        return {false, true};
+      }
+      return {};
+    }
+    if (state_ == State::kClosed) push_locked(false);
+    return {};
+  }
+
+  Outcome on_failure(Clock::time_point now, bool was_probe) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kHalfOpen) {
+      // Any failure while half-open re-opens immediately — the substrate is
+      // still sick; restart the cooldown from this evidence.
+      if (was_probe) probe_outstanding_ = false;
+      state_ = State::kOpen;
+      opened_at_ = now;
+      reset_window_locked();
+      return {true, false};
+    }
+    if (state_ == State::kClosed) {
+      push_locked(true);
+      if (filled_ >= options_.min_samples &&
+          static_cast<double>(failures_) >=
+              options_.failure_threshold * static_cast<double>(filled_)) {
+        state_ = State::kOpen;
+        opened_at_ = now;
+        reset_window_locked();
+        return {true, false};
+      }
+    }
+    return {};
+  }
+
+  /// A dispatch that ended in a governance stop (cancel/deadline) is no
+  /// evidence about the strategy: release the probe slot, record nothing.
+  void abandon(bool was_probe) {
+    if (!was_probe) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kHalfOpen) probe_outstanding_ = false;
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+ private:
+  /// Ring of the last `window` outcomes packed into a bitmask.
+  void push_locked(bool failure) {
+    const std::uint64_t bit = std::uint64_t{1} << pos_;
+    if (filled_ == options_.window) {
+      if ((ring_ & bit) != 0) --failures_;  // evict the outcome this slot held
+    } else {
+      ++filled_;
+    }
+    if (failure) {
+      ring_ |= bit;
+      ++failures_;
+    } else {
+      ring_ &= ~bit;
+    }
+    pos_ = (pos_ + 1) % options_.window;
+  }
+
+  void reset_window_locked() {
+    ring_ = 0;
+    pos_ = 0;
+    filled_ = 0;
+    failures_ = 0;
+  }
+
+  BreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  Clock::time_point opened_at_{};
+  std::uint64_t ring_ = 0;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+  std::size_t failures_ = 0;
+  std::size_t probe_successes_ = 0;
+  bool probe_outstanding_ = false;
+};
+
+/// The frontend's breaker table: one lazily-created cell per
+/// (request class, concrete strategy). Cells are never destroyed while the
+/// bank lives, so returned references stay valid without refcounting; the
+/// population is bounded by (#instantiated (T, Op, kind) classes ×
+/// kStrategyCount).
+class BreakerBank {
+ public:
+  explicit BreakerBank(const BreakerOptions& options) : options_(options) {}
+
+  CircuitBreaker& cell(std::uint64_t class_id, Strategy strategy) {
+    const std::uint64_t key = class_id * kStrategyCount + strategy_index(strategy);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cells_.find(key);
+    if (it == cells_.end())
+      it = cells_.emplace(key, std::make_unique<CircuitBreaker>(options_)).first;
+    return *it->second;
+  }
+
+ private:
+  BreakerOptions options_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<CircuitBreaker>> cells_;
+};
+
+}  // namespace mp::serve

@@ -1,0 +1,448 @@
+#include "serve/frontend.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/resilient.hpp"  // degradable_error — shared degradation policy
+#include "simd/dispatch.hpp"
+
+namespace mp::serve {
+
+namespace detail {
+
+std::uint64_t next_class_id() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+Frontend::Frontend(const FrontendOptions& options)
+    : options_(options),
+      engine_(options.engine != nullptr ? options.engine : &Engine::global()),
+      breakers_(options.breaker) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.coalesce_max_requests == 0) options_.coalesce_max_requests = 1;
+  // Combined labels are offset by the running m-prefix-sum and must stay
+  // representable; clamp the cap rather than trusting the caller.
+  options_.coalesce_max_m = std::min<std::size_t>(
+      options_.coalesce_max_m, static_cast<std::size_t>(static_cast<label_t>(-1)) / 2);
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Frontend::~Frontend() {
+  drain(std::chrono::milliseconds{0});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+obs::Tracer* Frontend::tracer() const {
+  return options_.tracer != nullptr ? options_.tracer : obs::active_tracer();
+}
+
+FallbackCounters& Frontend::counters() const {
+  return options_.counters != nullptr ? *options_.counters : global_fallback_counters();
+}
+
+void Frontend::count_mirrored(std::atomic<std::uint64_t> FallbackCounters::*counter,
+                              obs::Event event, std::uint64_t delta) {
+  (counters().*counter).fetch_add(delta, std::memory_order_relaxed);
+  obs::count(tracer(), event, delta);
+}
+
+void Frontend::set_tenant(TenantId tenant, const TenantOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_[tenant].options = options;
+}
+
+void Frontend::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_drained_.wait(lock, [&] { return queued_ == 0 && executing_ == 0; });
+}
+
+bool Frontend::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+FrontendStats Frontend::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FrontendStats out = stats_;
+  out.queued = queued_;
+  out.queued_bytes = queued_bytes_;
+  out.in_flight = executing_;
+  return out;
+}
+
+void Frontend::shed(std::unique_ptr<detail::Request> req,
+                    std::uint64_t FrontendStats::*stat, const char* why) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++(stats_.*stat);
+    ++stats_.failed;
+  }
+  count_mirrored(&FallbackCounters::overload_sheds, obs::Event::kShedOverload);
+  req->fail(Status(ErrorCode::kOverloaded, why));
+}
+
+void Frontend::finish_submit(std::unique_ptr<detail::Request> req, std::size_t m,
+                             std::size_t elem_size, const SubmitOptions& opts) {
+  obs::ScopedSpan admit_span(tracer(), obs::Phase::kAdmit);
+  req->tenant = opts.tenant;
+  req->strategy = opts.strategy;
+  if (opts.timeout) req->deadline = std::chrono::steady_clock::now() + *opts.timeout;
+  req->byte_budget = opts.byte_budget;
+  // Governed requests never coalesce: a batch member's deadline or budget
+  // must not fail its batch-mates.
+  req->coalescable = opts.coalescable && !req->deadline && opts.byte_budget == 0;
+  req->m = m;
+  req->bytes = req->n * (elem_size + sizeof(label_t)) + m * elem_size;
+
+  // Contract violations are typed rejects, not sheds — they would fail
+  // identically after queueing, so fail them before consuming queue space.
+  if (Status st = validate_inputs(req->n, req->labels_view, m); !st.is_ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+      ++stats_.rejected_invalid;
+      ++stats_.failed;
+    }
+    req->fail(std::move(st));
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (draining_) {
+    lock.unlock();
+    shed(std::move(req), &FrontendStats::shed_draining, "frontend is draining");
+    return;
+  }
+  if (queued_ >= options_.queue_depth) {
+    lock.unlock();
+    shed(std::move(req), &FrontendStats::shed_queue_full, "admission queue is full");
+    return;
+  }
+  if (queued_bytes_ + req->bytes > options_.queue_bytes) {
+    lock.unlock();
+    shed(std::move(req), &FrontendStats::shed_bytes, "admission queue byte bound reached");
+    return;
+  }
+  auto [it, inserted] = tenants_.try_emplace(opts.tenant);
+  TenantQueue& tq = it->second;
+  if (inserted) tq.options = options_.default_tenant;
+  if (tq.in_flight >= tq.options.max_in_flight) {
+    lock.unlock();
+    shed(std::move(req), &FrontendStats::shed_tenant, "tenant in-flight cap reached");
+    return;
+  }
+
+  ++stats_.admitted;
+  ++queued_;
+  queued_bytes_ += req->bytes;
+  stats_.peak_queued = std::max<std::uint64_t>(stats_.peak_queued, queued_);
+  stats_.peak_queued_bytes = std::max<std::uint64_t>(stats_.peak_queued_bytes, queued_bytes_);
+  ++tq.in_flight;
+  tq.queued_bytes += req->bytes;
+  tq.queue.push_back(std::move(req));
+  if (!tq.in_ring) {
+    tq.in_ring = true;
+    ring_.push_back(opts.tenant);
+  }
+  lock.unlock();
+  cv_work_.notify_one();
+}
+
+void Frontend::pull_coalescable_locked(std::vector<std::unique_ptr<detail::Request>>& batch,
+                                       std::size_t& total_n, std::size_t& total_m) {
+  const detail::Request& head = *batch.front();
+  if (!head.coalescable || head.n > options_.coalesce_request_max_n) return;
+  const auto pull_from = [&](TenantQueue& tq) {
+    // Only a *front-run* of matching requests is taken, so per-tenant FIFO
+    // order is preserved — the batch result slicing relies on nothing more
+    // than within-request element order, but callers still observe their
+    // own submissions completing in order.
+    while (batch.size() < options_.coalesce_max_requests && !tq.queue.empty()) {
+      const detail::Request& cand = *tq.queue.front();
+      if (cand.class_id != head.class_id || !cand.coalescable ||
+          cand.n > options_.coalesce_request_max_n)
+        break;
+      if (total_n + cand.n > options_.coalesce_max_n) break;
+      if (total_m + cand.m > options_.coalesce_max_m) break;
+      total_n += cand.n;
+      total_m += cand.m;
+      --queued_;
+      queued_bytes_ -= cand.bytes;
+      tq.queued_bytes -= cand.bytes;
+      batch.push_back(std::move(tq.queue.front()));
+      tq.queue.pop_front();
+    }
+  };
+  pull_from(tenants_[head.tenant]);
+  for (const TenantId id : ring_) {
+    if (id == head.tenant) continue;
+    if (batch.size() >= options_.coalesce_max_requests) break;
+    pull_from(tenants_[id]);
+  }
+}
+
+std::vector<std::unique_ptr<detail::Request>> Frontend::pop_batch_locked() {
+  std::vector<std::unique_ptr<detail::Request>> batch;
+  while (!ring_.empty()) {
+    const TenantId id = ring_.front();
+    TenantQueue& tq = tenants_[id];
+    if (tq.queue.empty()) {  // emptied by a coalescing pull: lazy cleanup
+      tq.in_ring = false;
+      tq.deficit = 0;
+      ring_.pop_front();
+      continue;
+    }
+    if (tq.deficit == 0) tq.deficit = std::max<std::uint32_t>(1, tq.options.weight);
+    --tq.deficit;
+    batch.push_back(std::move(tq.queue.front()));
+    tq.queue.pop_front();
+    --queued_;
+    queued_bytes_ -= batch.front()->bytes;
+    tq.queued_bytes -= batch.front()->bytes;
+    std::size_t total_n = batch.front()->n;
+    std::size_t total_m = batch.front()->m;
+    pull_coalescable_locked(batch, total_n, total_m);
+    if (tq.queue.empty()) {
+      tq.in_ring = false;
+      tq.deficit = 0;
+      ring_.pop_front();
+    } else if (tq.deficit == 0) {  // turn over: rotate to the back
+      ring_.pop_front();
+      ring_.push_back(id);
+    }
+    break;
+  }
+  return batch;
+}
+
+void Frontend::worker_loop() {
+  for (;;) {
+    std::vector<std::unique_ptr<detail::Request>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stopping_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stopping_, nothing left to serve
+      batch = pop_batch_locked();
+      if (batch.empty()) continue;
+      executing_ += batch.size();
+    }
+    process_batch(batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      executing_ -= batch.size();
+      for (const auto& req : batch) --tenants_[req->tenant].in_flight;
+      if (queued_ == 0 && executing_ == 0) cv_drained_.notify_all();
+    }
+    cv_work_.notify_one();  // more queued work may be waiting behind us
+  }
+}
+
+bool Frontend::dispatch_chain(std::uint64_t class_id, Strategy preferred,
+                              const RunContext& ctx,
+                              const std::function<void(Strategy)>& attempt,
+                              const std::function<void(Status)>& fail_all) {
+  // Same sink resolution and counter/event pairing as detail::run_chain —
+  // the chaos suite asserts the two surfaces agree exactly.
+  obs::Tracer* tracer = ctx.tracer != nullptr ? ctx.tracer : obs::active_tracer();
+  obs::ScopedBind bind(tracer);
+  FallbackCounters& counters = ctx.sink();
+  const std::vector<Strategy> chain = fallback_chain(preferred);
+  Status last;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Strategy stage = chain[i];
+    const bool terminal = i + 1 == chain.size();
+    CircuitBreaker& cell = breakers_.cell(class_id, stage);
+    const CircuitBreaker::Admission adm = cell.admit(std::chrono::steady_clock::now());
+    if (!adm.allow && !terminal) {
+      // Open cell: route straight to the next substrate without paying the
+      // doomed attempt. The terminal stage is never skipped — an open
+      // breaker must degrade service, not deny it.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.breaker_skips;
+      continue;
+    }
+    if (adm.probe)
+      count_mirrored(&FallbackCounters::breaker_probes, obs::Event::kBreakerProbe);
+    counters.attempts.fetch_add(1, std::memory_order_relaxed);
+    Status fault;
+    try {
+      obs::ScopedSpan attempt_span(tracer, obs::Phase::kAttempt,
+                                   static_cast<int>(strategy_index(stage)));
+      if (options_.attempt_hook) options_.attempt_hook(stage);
+      attempt(stage);
+      counters.successes.fetch_add(1, std::memory_order_relaxed);
+      const CircuitBreaker::Outcome outcome = cell.on_success(adm.probe);
+      if (outcome.closed)
+        count_mirrored(&FallbackCounters::breaker_resets, obs::Event::kBreakerReset);
+      return true;
+    } catch (const MpError& e) {
+      if (!degradable_error(e.code())) {
+        // Governance stop (cancel/deadline — the engine already counted it)
+        // or a contract violation: no stage can do better, and the outcome
+        // says nothing about the strategy's health.
+        cell.abandon(adm.probe);
+        fail_all(e.status());
+        return false;
+      }
+      (e.code() == ErrorCode::kPoolFailure ? counters.pool_failures
+                                           : counters.execution_faults)
+          .fetch_add(1, std::memory_order_relaxed);
+      fault = e.status();
+    } catch (const std::bad_alloc&) {
+      counters.execution_faults.fetch_add(1, std::memory_order_relaxed);
+      fault = Status(ErrorCode::kExecutionFault,
+                     std::string("allocation failure in ") + to_string(stage) + " stage");
+    }
+    const CircuitBreaker::Outcome outcome =
+        cell.on_failure(std::chrono::steady_clock::now(), adm.probe);
+    if (outcome.tripped) {
+      count_mirrored(&FallbackCounters::breaker_trips, obs::Event::kBreakerTrip);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.breaker_trips;
+    }
+    counters.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    obs::count(tracer, obs::Event::kFallbackHop);
+    if (tracer != nullptr)
+      tracer->add_hop(static_cast<int>(strategy_index(stage)),
+                      static_cast<int>(simd::level_index(simd::active_level())));
+    last = std::move(fault);
+  }
+  counters.exhausted.fetch_add(1, std::memory_order_relaxed);
+  fail_all(Status(ErrorCode::kExecutionFault,
+                  "all fallback stages failed or were skipped (last: " + last.to_string() +
+                      ")"));
+  return false;
+}
+
+void Frontend::run_single(detail::Request& req) {
+  const auto now = std::chrono::steady_clock::now();
+  if (req.deadline && now >= *req.deadline) {
+    // Expired while queued: the engine never sees this run, so the frontend
+    // itself counts the governance stop (same pairing the engine uses).
+    count_mirrored(&FallbackCounters::deadlines_exceeded, obs::Event::kDeadlineExceeded);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.expired_in_queue;
+      ++stats_.failed;
+    }
+    req.fail(Status(ErrorCode::kDeadlineExceeded, "deadline expired while queued"));
+    return;
+  }
+  RunContext ctx;
+  ctx.deadline = req.deadline;
+  ctx.cancel = drain_source_.token();  // every run observes the drain
+  ctx.byte_budget = req.byte_budget;
+  ctx.counters = options_.counters;
+  ctx.tracer = options_.tracer;
+  const Strategy preferred = engine_->resolve_for(req.labels_view, req.m, req.strategy);
+  const bool ok = dispatch_chain(
+      req.class_id, preferred, ctx,
+      [&](Strategy stage) { req.run(*engine_, stage, ctx); },
+      [&](Status status) { req.fail(std::move(status)); });
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.single_dispatches;
+  ++(ok ? stats_.completed : stats_.failed);
+  // Every charge must have been uncharged by scope exit — a nonzero residue
+  // is a leak in the budget accounting, not load.
+  if (req.byte_budget != 0 && ctx.used_bytes() != 0) ++stats_.budget_leaks;
+}
+
+void Frontend::process_batch(std::vector<std::unique_ptr<detail::Request>>& batch) {
+  if (batch.size() == 1) {
+    run_single(*batch.front());
+    return;
+  }
+  obs::ScopedSpan span(tracer(), obs::Phase::kCoalesce);
+  count_mirrored(&FallbackCounters::coalesced_batches, obs::Event::kCoalescedBatch);
+  std::size_t total_n = 0;
+  std::size_t total_m = 0;
+  for (const auto& req : batch) {
+    total_n += req->n;
+    total_m += req->m;
+  }
+  // Batch members are ungoverned by construction (pull_coalescable_locked),
+  // so the context carries only the drain token. The combined label vector
+  // is synthesized per batch — resolve on shape alone rather than noting a
+  // never-recurring key in the plan cache's sighting detector.
+  RunContext ctx;
+  ctx.cancel = drain_source_.token();
+  ctx.counters = options_.counters;
+  ctx.tracer = options_.tracer;
+  const Strategy preferred = engine_->resolve(batch.front()->strategy, total_n, total_m);
+  detail::Request::BatchFn batch_fn = batch.front()->batch_fn;
+  const std::span<const std::unique_ptr<detail::Request>> members(batch.data(),
+                                                                  batch.size());
+  const bool ok = dispatch_chain(
+      batch.front()->class_id, preferred, ctx,
+      [&](Strategy stage) { batch_fn(*engine_, stage, ctx, members); },
+      [&](Status status) {
+        for (const auto& req : batch) req->fail(status);
+      });
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.coalesced_batches;
+  stats_.coalesced_requests += batch.size();
+  (ok ? stats_.completed : stats_.failed) += batch.size();
+}
+
+bool Frontend::drain(std::chrono::milliseconds deadline) {
+  obs::ScopedSpan span(tracer(), obs::Phase::kDrain);
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;  // admission is off from this point on, permanently
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  const bool clean = cv_drained_.wait_until(
+      lock, until, [&] { return queued_ == 0 && executing_ == 0; });
+  if (clean) return true;
+
+  // Deadline expired with work still pending: flip the frontend cancel
+  // source (every in-flight run observes it at its next chunk checkpoint)
+  // and resolve everything still queued right now.
+  drain_source_.request_cancel();
+  const bool first_flush = !drain_fired_;
+  drain_fired_ = true;
+  std::vector<std::unique_ptr<detail::Request>> flushed;
+  if (first_flush) {
+    for (auto& [id, tq] : tenants_) {
+      while (!tq.queue.empty()) {
+        auto req = std::move(tq.queue.front());
+        tq.queue.pop_front();
+        tq.queued_bytes -= req->bytes;
+        --tq.in_flight;
+        --queued_;
+        queued_bytes_ -= req->bytes;
+        flushed.push_back(std::move(req));
+      }
+      tq.in_ring = false;
+      tq.deficit = 0;
+    }
+    ring_.clear();
+    stats_.drain_cancelled += flushed.size();
+    stats_.failed += flushed.size();
+  }
+  lock.unlock();
+  for (auto& req : flushed) {
+    // Two pairings per request: the governance stop itself, and the drain
+    // provenance (so operators can tell a drain flush from caller cancels).
+    count_mirrored(&FallbackCounters::cancellations, obs::Event::kCancelled);
+    count_mirrored(&FallbackCounters::drain_cancels, obs::Event::kDrainCancel);
+    req->fail(Status(ErrorCode::kCancelled, "frontend drain deadline expired"));
+  }
+  flushed.clear();
+  lock.lock();
+  // In-flight runs stop within one chunk of the cancel; wait them out.
+  cv_drained_.wait(lock, [&] { return queued_ == 0 && executing_ == 0; });
+  return false;
+}
+
+}  // namespace mp::serve

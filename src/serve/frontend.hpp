@@ -1,0 +1,458 @@
+// mp::serve::Frontend — the overload-resilient async serving entry.
+//
+// Everything below core/engine.hpp answers "how do I run one multiprefix
+// fast"; this layer answers "how do I stay up when a million callers ask at
+// once". A Frontend owns a bounded admission queue and a small pool of
+// dispatcher threads in front of one Engine, and turns the blocking
+// engine calls into `submit(...) -> std::future` with an explicit overload
+// policy:
+//
+//   * bounded admission — the queue has hard depth and byte bounds plus a
+//     per-tenant in-flight cap; a submit that would exceed any of them is
+//     *shed* immediately with a typed MpError(kOverloaded) future. Nothing
+//     ever blocks the caller and queue memory cannot grow without bound.
+//   * weighted fair dequeue — each tenant has a weight; dispatchers drain
+//     tenant queues round-robin in weight-proportional shares, so one
+//     tenant's storm delays only that tenant (its excess is shed by its own
+//     cap long before it can starve the others).
+//   * request coalescing — compatible small requests (same value type, op
+//     and kind; no per-request governance) are batched into ONE segmented
+//     engine pass: request r's labels are offset by the m-prefix-sum, the
+//     values are concatenated, and the combined reduction is sliced back
+//     per request. This is the paper's §5.2.1 amortization applied across
+//     *callers* instead of across calls — hundreds of n<1k requests become
+//     a single well-vectorized dispatch (bench/serving_soak measures the
+//     win). Within-class element order is preserved, so results stay
+//     bit-identical to running each request alone.
+//   * circuit breakers — each (request class × strategy) cell trips after a
+//     failure-rate threshold over a sliding window (serve/breaker.hpp) and
+//     routes traffic down the fallback_next chain without paying the doomed
+//     attempt; half-open probes restore the strategy when it heals.
+//   * graceful drain — drain() stops admission, runs down queued and
+//     in-flight work, and at the drain deadline cancels the rest through
+//     the frontend's CancelSource (queued requests resolve kCancelled, in-
+//     flight runs stop at their next chunk checkpoint). Every future ever
+//     handed out resolves — to a result or a typed error — and the leak
+//     check (`budget_leaks` must stay 0) asserts all budget bytes returned.
+//
+// Per-request governance: SubmitOptions carries a relative deadline and a
+// scratch byte budget, threaded through the engine as a RunContext exactly
+// like the synchronous entry points. Governed requests never coalesce (a
+// batch member's deadline must not fail its batch-mates), they dispatch
+// singly along the breaker-aware fallback chain.
+//
+// Observability: every shed/trip/probe/reset/drain-cancel/coalesce is
+// counted in the FallbackCounters block *and* mirrored as the matching
+// obs::Event, the discipline the governed engine dispatch established —
+// the two surfaces must always agree (serve_soak_test asserts it under
+// chaos). Queue depth / bytes / in-flight are exposed as gauges in stats().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "core/ops.hpp"
+#include "core/result.hpp"
+#include "core/strategy.hpp"
+#include "obs/trace.hpp"
+#include "serve/breaker.hpp"
+
+namespace mp::serve {
+
+using TenantId = std::uint32_t;
+
+struct TenantOptions {
+  /// Fair-share weight: a tenant with weight w is served w requests per
+  /// round-robin cycle when backlogged against other tenants.
+  std::uint32_t weight = 1;
+  /// Hard cap on this tenant's queued + executing requests; submits beyond
+  /// it are shed kOverloaded so one tenant's storm cannot fill the queue.
+  std::size_t max_in_flight = 256;
+};
+
+struct SubmitOptions {
+  TenantId tenant = 0;
+  Strategy strategy = Strategy::kAuto;
+  /// Relative deadline, armed at admission time. Expired-in-queue requests
+  /// resolve kDeadlineExceeded without ever dispatching.
+  std::optional<std::chrono::steady_clock::duration> timeout;
+  /// Scratch byte budget for the run (see RunContext::byte_budget).
+  std::size_t byte_budget = 0;
+  /// Opt out of batching for a latency-critical single request. Requests
+  /// with a timeout or budget never coalesce regardless.
+  bool coalescable = true;
+};
+
+struct FrontendOptions {
+  /// Engine to dispatch through; null = Engine::global().
+  Engine* engine = nullptr;
+  /// Dispatcher threads owned by the frontend.
+  std::size_t workers = 2;
+  /// Hard bound on queued requests; beyond it submits shed kOverloaded.
+  std::size_t queue_depth = 1024;
+  /// Hard bound on queued payload bytes (values + labels + output).
+  std::size_t queue_bytes = std::size_t{64} << 20;
+  /// Coalescing caps: requests per batch, elements per batch, and combined
+  /// class count per batch (label offsets must stay dense and small).
+  std::size_t coalesce_max_requests = 64;
+  std::size_t coalesce_max_n = std::size_t{1} << 18;
+  std::size_t coalesce_max_m = std::size_t{1} << 20;
+  /// Only requests with n at most this coalesce (big requests amortize
+  /// their own dispatch; batching them just adds latency to batch-mates).
+  std::size_t coalesce_request_max_n = 8192;
+  /// Defaults for tenants never configured via set_tenant().
+  TenantOptions default_tenant;
+  BreakerOptions breaker;
+  /// Counter block mirrored by every frontend event; null = the global one.
+  FallbackCounters* counters = nullptr;
+  /// Span/metrics sink threaded into every dispatch; null = ambient.
+  obs::Tracer* tracer = nullptr;
+  /// Test seam, same contract as ResilientOptions::attempt_hook: runs
+  /// before each strategy attempt; throwing MpError(kPoolFailure /
+  /// kExecutionFault) fails the attempt exactly as a lane fault would.
+  std::function<void(Strategy)> attempt_hook;
+};
+
+/// Copyable stats snapshot; totals are exact, gauges are instantaneous.
+struct FrontendStats {
+  // Admission.
+  std::uint64_t submitted = 0;       // submit() calls observed
+  std::uint64_t admitted = 0;        // requests that entered the queue
+  std::uint64_t shed_queue_full = 0;  // kOverloaded: depth bound
+  std::uint64_t shed_bytes = 0;       // kOverloaded: byte bound
+  std::uint64_t shed_tenant = 0;      // kOverloaded: tenant in-flight cap
+  std::uint64_t shed_draining = 0;    // kOverloaded: submitted after drain
+  std::uint64_t rejected_invalid = 0;  // kInvalidLabel/kShapeMismatch at admission
+  // Completion.
+  std::uint64_t completed = 0;        // futures resolved with a result
+  std::uint64_t failed = 0;           // futures resolved with a typed error
+  std::uint64_t expired_in_queue = 0;  // kDeadlineExceeded before dispatch
+  std::uint64_t drain_cancelled = 0;   // kCancelled by the drain deadline
+  // Dispatch shape.
+  std::uint64_t single_dispatches = 0;
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t coalesced_requests = 0;  // requests served via a batch
+  // Breaker.
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t breaker_resets = 0;
+  std::uint64_t breaker_skips = 0;  // attempts avoided because a cell was open
+  // Invariants.
+  std::uint64_t budget_leaks = 0;  // runs that ended with budget bytes still charged
+  // Gauges.
+  std::size_t queued = 0;
+  std::size_t queued_bytes = 0;
+  std::size_t in_flight = 0;
+  std::uint64_t peak_queued = 0;
+  std::uint64_t peak_queued_bytes = 0;
+};
+
+namespace detail {
+
+enum class RequestKind : std::uint8_t { kMultiprefix, kMultireduce };
+
+/// Monotonically increasing id per (T, Op, kind) instantiation — the
+/// coalescing compatibility key and the breaker's class axis.
+std::uint64_t next_class_id();
+
+template <class T, class Op, RequestKind K>
+std::uint64_t class_id_of() {
+  static const std::uint64_t id = next_class_id();
+  return id;
+}
+
+/// Type-erased queued request. The typed payload (values, labels, promise)
+/// lives in the derived class; everything the queue, scheduler, breaker and
+/// drain logic need is visible here untyped.
+struct Request {
+  virtual ~Request() = default;
+
+  TenantId tenant = 0;
+  Strategy strategy = Strategy::kAuto;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::size_t byte_budget = 0;
+  bool coalescable = true;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::size_t bytes = 0;        // payload charged against the queue byte bound
+  std::uint64_t class_id = 0;   // (T, Op, kind) compatibility class
+
+  std::span<const label_t> labels_view;  // for admission-time validation
+
+  /// Runs this request alone on `stage`, fulfilling the promise on success.
+  virtual void run(Engine& engine, Strategy stage, const RunContext& ctx) = 0;
+  /// Resolves the promise with a typed error; must be called at most once
+  /// and never after run() succeeded.
+  virtual void fail(Status status) noexcept = 0;
+
+  /// Coalesced execution for a homogeneous batch of this request's class:
+  /// one segmented engine pass, then per-request result slicing. Fulfills
+  /// every member's promise on success; throws without touching any
+  /// promise on failure (the caller fails or retries the members).
+  using BatchFn = void (*)(Engine&, Strategy, const RunContext&,
+                           std::span<const std::unique_ptr<Request>>);
+  BatchFn batch_fn = nullptr;
+};
+
+/// Concatenates a batch into one (values, labels) problem with per-request
+/// label offsets. Returns the per-request reduction offsets (size
+/// batch.size() + 1; back() == total m).
+template <class T, class TypedReq>
+std::vector<std::size_t> assemble_batch(std::span<const std::unique_ptr<Request>> batch,
+                                        std::vector<T>& values,
+                                        std::vector<label_t>& labels) {
+  std::size_t total_n = 0;
+  std::vector<std::size_t> m_offsets;
+  m_offsets.reserve(batch.size() + 1);
+  m_offsets.push_back(0);
+  for (const auto& r : batch) {
+    total_n += r->n;
+    m_offsets.push_back(m_offsets.back() + r->m);
+  }
+  values.reserve(total_n);
+  labels.reserve(total_n);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto* req = static_cast<const TypedReq*>(batch[i].get());
+    const label_t base = static_cast<label_t>(m_offsets[i]);
+    values.insert(values.end(), req->values.begin(), req->values.end());
+    for (const label_t l : req->labels) labels.push_back(l + base);
+  }
+  return m_offsets;
+}
+
+template <class T, class Op>
+struct MrRequest final : Request {
+  std::vector<T> values;
+  std::vector<label_t> labels;
+  Op op;
+  std::promise<std::vector<T>> promise;
+
+  void run(Engine& engine, Strategy stage, const RunContext& ctx) override {
+    std::vector<T> reduction(m, op.template identity<T>());
+    engine.multireduce_into<T, Op>(values, labels, std::span<T>(reduction), op, stage, ctx);
+    promise.set_value(std::move(reduction));
+  }
+
+  void fail(Status status) noexcept override {
+    promise.set_exception(std::make_exception_ptr(MpError(std::move(status))));
+  }
+
+  static void run_batch(Engine& engine, Strategy stage, const RunContext& ctx,
+                        std::span<const std::unique_ptr<Request>> batch) {
+    std::vector<T> values;
+    std::vector<label_t> labels;
+    const auto m_offsets = assemble_batch<T, MrRequest>(batch, values, labels);
+    const Op op = static_cast<MrRequest*>(batch.front().get())->op;
+    std::vector<T> reduction(m_offsets.back(), op.template identity<T>());
+    engine.multireduce_into<T, Op>(values, labels, std::span<T>(reduction), op, stage, ctx);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto* req = static_cast<MrRequest*>(batch[i].get());
+      const T* lo = reduction.data() + m_offsets[i];
+      const T* hi = reduction.data() + m_offsets[i + 1];
+      req->promise.set_value(std::vector<T>(lo, hi));
+    }
+  }
+};
+
+template <class T, class Op>
+struct MpRequest final : Request {
+  std::vector<T> values;
+  std::vector<label_t> labels;
+  Op op;
+  std::promise<MultiprefixResult<T>> promise;
+
+  void run(Engine& engine, Strategy stage, const RunContext& ctx) override {
+    MultiprefixResult<T> out(n, m, op.template identity<T>());
+    engine.multiprefix_into<T, Op>(values, labels, std::span<T>(out.prefix),
+                                   std::span<T>(out.reduction), op, stage, ctx);
+    promise.set_value(std::move(out));
+  }
+
+  void fail(Status status) noexcept override {
+    promise.set_exception(std::make_exception_ptr(MpError(std::move(status))));
+  }
+
+  static void run_batch(Engine& engine, Strategy stage, const RunContext& ctx,
+                        std::span<const std::unique_ptr<Request>> batch) {
+    std::vector<T> values;
+    std::vector<label_t> labels;
+    const auto m_offsets = assemble_batch<T, MpRequest>(batch, values, labels);
+    const Op op = static_cast<MpRequest*>(batch.front().get())->op;
+    const T id = op.template identity<T>();
+    std::vector<T> prefix(values.size(), id);
+    std::vector<T> reduction(m_offsets.back(), id);
+    engine.multiprefix_into<T, Op>(values, labels, std::span<T>(prefix),
+                                   std::span<T>(reduction), op, stage, ctx);
+    std::size_t base_n = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto* req = static_cast<MpRequest*>(batch[i].get());
+      MultiprefixResult<T> out;
+      out.prefix.assign(prefix.data() + base_n, prefix.data() + base_n + req->n);
+      out.reduction.assign(reduction.data() + m_offsets[i],
+                           reduction.data() + m_offsets[i + 1]);
+      base_n += req->n;
+      req->promise.set_value(std::move(out));
+    }
+  }
+};
+
+}  // namespace detail
+
+class Frontend {
+ public:
+  explicit Frontend(const FrontendOptions& options = {});
+  /// Destruction is an implicit drain with a zero deadline: admission
+  /// stops, queued requests resolve kCancelled, in-flight runs are
+  /// cancelled at their next checkpoint, and the workers are joined. No
+  /// future is ever abandoned.
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Async multireduce: the future resolves to the m-slot reduction vector,
+  /// or throws MpError on get() — kOverloaded (shed), kInvalidLabel /
+  /// kShapeMismatch (rejected at admission), kDeadlineExceeded, kCancelled
+  /// (drain), kBudgetExceeded, or a substrate error after the whole
+  /// fallback chain failed. Never blocks.
+  template <class T, class Op = Plus>
+    requires AssociativeOp<Op, T>
+  std::future<std::vector<T>> submit_multireduce(std::vector<T> values,
+                                                 std::vector<label_t> labels, std::size_t m,
+                                                 Op op = {}, const SubmitOptions& opts = {}) {
+    auto req = std::make_unique<detail::MrRequest<T, Op>>();
+    req->values = std::move(values);
+    req->labels = std::move(labels);
+    req->op = op;
+    req->n = req->values.size();
+    req->labels_view = req->labels;
+    req->class_id =
+        detail::class_id_of<T, Op, detail::RequestKind::kMultireduce>();
+    req->batch_fn = &detail::MrRequest<T, Op>::run_batch;
+    auto future = req->promise.get_future();
+    finish_submit(std::move(req), m, sizeof(T), opts);
+    return future;
+  }
+
+  /// Async multiprefix; same error contract as submit_multireduce.
+  template <class T, class Op = Plus>
+    requires AssociativeOp<Op, T>
+  std::future<MultiprefixResult<T>> submit_multiprefix(std::vector<T> values,
+                                                       std::vector<label_t> labels,
+                                                       std::size_t m, Op op = {},
+                                                       const SubmitOptions& opts = {}) {
+    auto req = std::make_unique<detail::MpRequest<T, Op>>();
+    req->values = std::move(values);
+    req->labels = std::move(labels);
+    req->op = op;
+    req->n = req->values.size();
+    req->labels_view = req->labels;
+    req->class_id =
+        detail::class_id_of<T, Op, detail::RequestKind::kMultiprefix>();
+    req->batch_fn = &detail::MpRequest<T, Op>::run_batch;
+    auto future = req->promise.get_future();
+    finish_submit(std::move(req), m, sizeof(T), opts);
+    return future;
+  }
+
+  /// Configure a tenant's weight and in-flight cap (idempotent; applies to
+  /// subsequent admissions).
+  void set_tenant(TenantId tenant, const TenantOptions& options);
+
+  /// Graceful shutdown: stops admission immediately, runs down queued and
+  /// in-flight work, and — if anything is still pending when `deadline`
+  /// elapses — cancels it through the frontend CancelSource (queued
+  /// requests resolve kCancelled at once; in-flight runs stop at their next
+  /// chunk checkpoint) and waits for the stragglers to resolve. Returns
+  /// true when everything resolved before the deadline, false when the
+  /// cancellation path had to fire. Terminal: the frontend sheds all
+  /// traffic afterwards. Safe to call more than once.
+  bool drain(std::chrono::milliseconds deadline);
+
+  /// Block until no request is queued or executing. Unlike drain() this does
+  /// not stop admission — it is a quiescence barrier, not a shutdown. After
+  /// it returns, stats() reflects every request whose future has resolved
+  /// (futures resolve inside the worker, slightly before the bookkeeping).
+  void wait_idle();
+
+  bool draining() const;
+  FrontendStats stats() const;
+  Engine& engine() const { return *engine_; }
+
+ private:
+  struct TenantQueue {
+    TenantOptions options;
+    std::deque<std::unique_ptr<detail::Request>> queue;
+    std::size_t queued_bytes = 0;
+    std::size_t in_flight = 0;  // queued + executing
+    std::uint32_t deficit = 0;  // requests left in this round-robin turn
+    bool in_ring = false;
+  };
+
+  void finish_submit(std::unique_ptr<detail::Request> req, std::size_t m,
+                     std::size_t elem_size, const SubmitOptions& opts);
+  void shed(std::unique_ptr<detail::Request> req, std::uint64_t FrontendStats::*stat,
+            const char* why);
+
+  void worker_loop();
+  /// Pops the next dispatch unit (one request, or a coalescable run of the
+  /// same class) under the queue lock. Empty result = spurious wake.
+  std::vector<std::unique_ptr<detail::Request>> pop_batch_locked();
+  void pull_coalescable_locked(std::vector<std::unique_ptr<detail::Request>>& batch,
+                               std::size_t& total_n, std::size_t& total_m);
+
+  void process_batch(std::vector<std::unique_ptr<detail::Request>>& batch);
+  void run_single(detail::Request& req);
+  /// Breaker-aware fallback-chain walk shared by singles and batches. True =
+  /// the attempt callback succeeded on some stage (promises fulfilled);
+  /// false = every promise involved was resolved with a typed error via
+  /// fail_all.
+  bool dispatch_chain(std::uint64_t class_id, Strategy preferred, const RunContext& ctx,
+                      const std::function<void(Strategy)>& attempt,
+                      const std::function<void(Status)>& fail_all);
+
+  obs::Tracer* tracer() const;
+  FallbackCounters& counters() const;
+  /// One increment, two surfaces: the FallbackCounters field and the
+  /// mirrored obs::Event always move together.
+  void count_mirrored(std::atomic<std::uint64_t> FallbackCounters::*counter,
+                      obs::Event event, std::uint64_t delta = 1);
+
+  FrontendOptions options_;
+  Engine* engine_;
+  CancelSource drain_source_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;     // workers: queue non-empty or stopping
+  std::condition_variable cv_drained_;  // drain(): queued == 0 && executing == 0
+  std::unordered_map<TenantId, TenantQueue> tenants_;
+  std::deque<TenantId> ring_;  // tenants with non-empty queues, RR order
+  std::size_t queued_ = 0;
+  std::size_t queued_bytes_ = 0;
+  std::size_t executing_ = 0;
+  bool draining_ = false;
+  bool drain_fired_ = false;
+  bool stopping_ = false;
+  FrontendStats stats_;
+
+  BreakerBank breakers_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mp::serve

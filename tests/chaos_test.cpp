@@ -172,8 +172,11 @@ class ChaosEngine : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosEngine, EveryScheduleYieldsTruthOrATypedError) {
   const ChaosPlan cp = derive_chaos(GetParam());
-  const auto info = "n=" + std::to_string(cp.n) + " m=" + std::to_string(cp.m) +
-                    " strategy=" + to_string(cp.strategy);
+  // The seed leads every failure message: it is the whole reproducer (the
+  // schedule is a pure function of it), so a CI log line alone replays the
+  // failure via --gtest_filter=*/EveryScheduleYieldsTruthOrATypedError/<seed>.
+  const auto info = "seed=" + std::to_string(GetParam()) + " n=" + std::to_string(cp.n) +
+                    " m=" + std::to_string(cp.m) + " strategy=" + to_string(cp.strategy);
   const auto truth = multiprefix_bruteforce<int>(cp.values, cp.labels, cp.m);
 
   ThreadPool pool(cp.pool_threads);
@@ -228,8 +231,8 @@ class ChaosResilient : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosResilient, DegradationAbsorbsFaultsOrFailsTyped) {
   const ChaosPlan cp = derive_chaos(GetParam() + 10'000);  // fresh shapes
-  const auto info = "n=" + std::to_string(cp.n) + " m=" + std::to_string(cp.m) +
-                    " preferred=" + to_string(cp.strategy);
+  const auto info = "seed=" + std::to_string(GetParam()) + " n=" + std::to_string(cp.n) +
+                    " m=" + std::to_string(cp.m) + " preferred=" + to_string(cp.strategy);
   const auto truth = multiprefix_bruteforce<int>(cp.values, cp.labels, cp.m);
 
   FallbackCounters counters;

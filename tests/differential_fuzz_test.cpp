@@ -68,7 +68,9 @@ class DifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DifferentialFuzz, AllImplementationsAgree) {
   const FuzzConfig cfg = derive(GetParam());
-  const auto info = "n=" + std::to_string(cfg.n) + " m=" + std::to_string(cfg.m) +
+  // seed first: the one-token reproducer for any failure line in a CI log.
+  const auto info = "seed=" + std::to_string(GetParam()) + " n=" + std::to_string(cfg.n) +
+                    " m=" + std::to_string(cfg.m) +
                     " row_len=" + std::to_string(cfg.shape.row_len);
 
   // Ground truth from the definition.
@@ -144,7 +146,8 @@ TEST_P(PinnedLevelFuzz, AllStrategiesAgreeAtEveryTier) {
   const FuzzConfig cfg = derive(std::get<0>(GetParam()) + 1000);  // fresh shapes
   const simd::SimdLevel level = std::get<1>(GetParam());
   const simd::ScopedSimdLevel pin(level);
-  const auto info = "n=" + std::to_string(cfg.n) + " m=" + std::to_string(cfg.m) +
+  const auto info = "seed=" + std::to_string(std::get<0>(GetParam())) +
+                    " n=" + std::to_string(cfg.n) + " m=" + std::to_string(cfg.m) +
                     " level=" + simd::to_string(level);
 
   const auto truth = multiprefix_bruteforce<int>(cfg.values, cfg.labels, cfg.m);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -58,6 +59,30 @@ TEST(ThreadPool, PropagatesCallerLaneException) {
 }
 
 TEST(ThreadPool, RejectsZeroLanes) { EXPECT_THROW(ThreadPool(0), std::invalid_argument); }
+
+TEST(ThreadPool, ConcurrentExternalDispatchersSerializeSafely) {
+  // Several threads fork/join on the same pool at once — the serving
+  // frontend's workers do exactly this. The dispatch lock must serialize
+  // them so no job observes another job's lane counters.
+  ThreadPool pool(3);
+  constexpr int kDispatchers = 4;
+  constexpr int kRounds = 50;
+  std::atomic<int> total{0};
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(kDispatchers);
+  for (int d = 0; d < kDispatchers; ++d) {
+    dispatchers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<std::atomic<int>> hits(pool.num_threads());
+        pool.run([&](std::size_t lane) { hits[lane].fetch_add(1); });
+        for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+        total.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : dispatchers) t.join();
+  EXPECT_EQ(total.load(), kDispatchers * kRounds);
+}
 
 TEST(ThreadPool, GlobalPoolExists) {
   EXPECT_GE(ThreadPool::global().num_threads(), 1u);

@@ -132,5 +132,109 @@ TEST(PlanCacheStorm, ConcurrentBuildersOfOneKeyShareOrDuplicateSafely) {
   EXPECT_EQ(cache.get_or_build(labels, 16), cached);
 }
 
+TEST(PlanCacheStorm, ClearHammerDuringLookupsNeverBreaksServing) {
+  // A dedicated thread calls clear() in a tight loop — not periodically like
+  // the mixed storm above, but as fast as the lock allows — while the other
+  // threads look up and build. Every lookup must still return a usable plan
+  // and the accounting must stay coherent no matter where the flush lands.
+  PlanCache::Options options;
+  options.max_entries = 4;
+  options.max_bytes = 64u << 10;
+  PlanCache cache(options);
+  const std::vector<Workload> set = make_working_set();
+
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    while (!stop.load(std::memory_order_relaxed)) cache.clear();
+  });
+
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kIters = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        const Workload& w = set[(t * 5 + i) % set.size()];
+        const auto plan = cache.get_or_build(w.labels, w.m);
+        ASSERT_NE(plan, nullptr);
+        ASSERT_EQ(plan->m(), w.m);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  hammer.join();
+
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.hits + stats.misses, kThreads * kIters);
+  EXPECT_LE(cache.size(), options.max_entries);
+  EXPECT_LE(cache.plan_bytes(), options.max_bytes);
+  // Still serves once the hammer stops.
+  EXPECT_NE(cache.get_or_build(set[0].labels, set[0].m), nullptr);
+}
+
+TEST(PlanCacheStorm, ZeroCapacityCacheBypassesEveryBuildButStillServes) {
+  // max_entries = 0 turns the cache into a pure pass-through: every build
+  // succeeds (callers must never be denied a plan) but nothing is retained.
+  PlanCache::Options options;
+  options.max_entries = 0;
+  PlanCache cache(options);
+  const std::vector<label_t> labels = uniform_labels(256, 8, 5);
+  const LabelKey key = label_key(labels, 8);
+
+  constexpr std::size_t kCalls = 5;
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    const auto plan = cache.get_or_build(labels, 8);
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->m(), 8u);
+  }
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.plan_bytes(), 0u);
+  EXPECT_FALSE(cache.contains(key));
+  EXPECT_EQ(stats.hits, 0u);  // nothing retained, so nothing ever hits
+  EXPECT_EQ(stats.misses, kCalls);
+  EXPECT_EQ(stats.oversize_bypasses, kCalls);
+}
+
+TEST(PlanCacheStorm, SingleEntryByteBudgetEvictsOrBypassesDeterministically) {
+  // Measure one small plan's footprint, then pin the byte budget to exactly
+  // that footprint: the cache can hold at most that one plan.
+  const std::vector<label_t> small_a = uniform_labels(64, 4, 21);
+  const std::vector<label_t> small_b = uniform_labels(64, 4, 22);  // same shape
+  const std::vector<label_t> large = uniform_labels(1024, 64, 23);
+  std::size_t one_plan_bytes = 0;
+  {
+    PlanCache probe;
+    ASSERT_NE(probe.get_or_build(small_a, 4), nullptr);
+    one_plan_bytes = probe.plan_bytes();
+    ASSERT_GT(one_plan_bytes, 0u);
+  }
+
+  PlanCache::Options options;
+  options.max_bytes = one_plan_bytes;
+  PlanCache cache(options);
+
+  // Fits exactly.
+  ASSERT_NE(cache.get_or_build(small_a, 4), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.plan_bytes(), one_plan_bytes);
+
+  // Far over budget: bypassed outright, the resident plan survives.
+  ASSERT_NE(cache.get_or_build(large, 64), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains(label_key(small_a, 4)));
+  EXPECT_GE(cache.stats().oversize_bypasses, 1u);
+
+  // A same-shape sibling contends for the single slot: whichever of the two
+  // is resident afterwards, the budget holds and at most one plan remains.
+  ASSERT_NE(cache.get_or_build(small_b, 4), nullptr);
+  EXPECT_LE(cache.size(), 1u);
+  EXPECT_LE(cache.plan_bytes(), options.max_bytes);
+  EXPECT_FALSE(cache.contains(label_key(small_a, 4)) &&
+               cache.contains(label_key(small_b, 4)));
+}
+
 }  // namespace
 }  // namespace mp

@@ -1,0 +1,500 @@
+// Behavioural tests for the serving frontend (serve/frontend.hpp): typed
+// load shedding at every admission bound, weighted fair dequeue, request
+// coalescing with bit-identical results, circuit-breaker trip / half-open /
+// reset around the fallback chain, per-request governance, and graceful
+// drain that resolves every future. The randomized multi-client soak lives
+// in serve_soak_test.cpp; these are the deterministic single-property
+// checks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "core/multiprefix.hpp"
+#include "obs/trace.hpp"
+#include "serve/frontend.hpp"
+
+namespace mp::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+ErrorCode code_of(std::future<std::vector<int>>& f) {
+  try {
+    (void)f.get();
+    return ErrorCode::kOk;
+  } catch (const MpError& e) {
+    return e.code();
+  }
+}
+
+std::vector<int> iota_values(std::size_t n, int base = 0) {
+  std::vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = base + static_cast<int>(i % 23) - 11;
+  return v;
+}
+
+/// Blocks every dispatch in attempt_hook until released — the way these
+/// tests pin the workers so admissions pile up deterministically.
+struct Gate {
+  std::atomic<bool> open{false};
+  void release() { open.store(true, std::memory_order_relaxed); }
+  void wait() const {
+    while (!open.load(std::memory_order_relaxed)) std::this_thread::sleep_for(100us);
+  }
+};
+
+TEST(ServeFrontend, ResultsMatchTheEngineBitForBit) {
+  Frontend fe;
+  const std::size_t n = 5000, m = 16;
+  const auto labels = uniform_labels(n, m, 42);
+  const auto values = iota_values(n);
+  const auto truth = Engine::global().multireduce<int>(values, labels, m, Plus{},
+                                                       Strategy::kSerial);
+
+  auto red = fe.submit_multireduce<int>(values, labels, m);
+  auto mp = fe.submit_multiprefix<int>(values, labels, m);
+  EXPECT_EQ(red.get(), truth);
+  const auto full = mp.get();
+  const auto ref = Engine::global().multiprefix<int>(values, labels, m, Plus{},
+                                                     Strategy::kSerial);
+  EXPECT_EQ(full.prefix, ref.prefix);
+  EXPECT_EQ(full.reduction, ref.reduction);
+
+  fe.wait_idle();  // futures resolve just before the worker's bookkeeping
+  const FrontendStats stats = fe.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServeFrontend, MalformedInputsRejectTypedWithoutQueueing) {
+  Frontend fe;
+  auto bad_label = fe.submit_multireduce<int>({1, 2, 3}, {0, 9, 1}, /*m=*/4);
+  EXPECT_EQ(code_of(bad_label), ErrorCode::kInvalidLabel);
+  auto bad_shape = fe.submit_multireduce<int>({1, 2, 3}, {0, 1}, /*m=*/4);
+  EXPECT_EQ(code_of(bad_shape), ErrorCode::kShapeMismatch);
+  const FrontendStats stats = fe.stats();
+  EXPECT_EQ(stats.rejected_invalid, 2u);
+  EXPECT_EQ(stats.admitted, 0u);
+}
+
+TEST(ServeFrontend, QueueDepthBoundShedsTypedOverloaded) {
+  Gate gate;
+  FallbackCounters counters;
+  obs::Tracer tracer(/*record_spans=*/false);
+  FrontendOptions fo;
+  fo.workers = 1;
+  fo.queue_depth = 4;
+  fo.counters = &counters;
+  fo.tracer = &tracer;
+  fo.attempt_hook = [&](Strategy) { gate.wait(); };
+  Frontend fe(fo);
+
+  const auto labels = uniform_labels(256, 8, 1);
+  const auto values = iota_values(256);
+  std::vector<std::future<std::vector<int>>> futures;
+  // 1 executing (worker pinned in the hook) + 4 queued + the rest shed.
+  futures.push_back(fe.submit_multireduce<int>(values, labels, 8));
+  std::this_thread::sleep_for(5ms);  // let the worker dequeue and pin
+  for (int i = 0; i < 8; ++i)
+    futures.push_back(fe.submit_multireduce<int>(values, labels, 8));
+  gate.release();
+
+  std::size_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const ErrorCode code = code_of(f);
+    if (code == ErrorCode::kOk) ++ok;
+    else if (code == ErrorCode::kOverloaded) ++shed;
+    else FAIL() << "unexpected code " << to_string(code);
+  }
+  EXPECT_GE(ok, 5u);  // the pinned one + everything that queued
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(ok + shed, futures.size());
+  const FrontendStats stats = fe.stats();
+  EXPECT_EQ(stats.shed_queue_full, shed);
+  EXPECT_EQ(counters.overload_sheds.load(), shed);
+  EXPECT_EQ(tracer.snapshot().events[static_cast<std::size_t>(obs::Event::kShedOverload)],
+            shed);
+  EXPECT_LE(stats.peak_queued, fo.queue_depth);
+}
+
+TEST(ServeFrontend, QueueByteBoundShedsTypedOverloaded) {
+  Gate gate;
+  FrontendOptions fo;
+  fo.workers = 1;
+  fo.queue_bytes = 16u << 10;  // a couple of 4 KiB requests fit, not ten
+  fo.attempt_hook = [&](Strategy) { gate.wait(); };
+  Frontend fe(fo);
+
+  const std::size_t n = 512;  // ~4 KiB values + ~2 KiB labels per request
+  const auto labels = uniform_labels(n, 8, 2);
+  const auto values = iota_values(n);
+  std::vector<std::future<std::vector<int>>> futures;
+  futures.push_back(fe.submit_multireduce<int>(values, labels, 8));
+  std::this_thread::sleep_for(5ms);  // let the worker dequeue and pin
+  for (int i = 0; i < 9; ++i)
+    futures.push_back(fe.submit_multireduce<int>(values, labels, 8));
+  gate.release();
+
+  std::size_t shed = 0;
+  for (auto& f : futures) {
+    const ErrorCode code = code_of(f);
+    if (code == ErrorCode::kOverloaded) ++shed;
+    else ASSERT_EQ(code, ErrorCode::kOk);
+  }
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(fe.stats().shed_bytes, shed);
+  EXPECT_LE(fe.stats().peak_queued_bytes, fo.queue_bytes);
+}
+
+TEST(ServeFrontend, TenantInFlightCapShedsThatTenantOnly) {
+  Gate gate;
+  FrontendOptions fo;
+  fo.workers = 1;
+  fo.default_tenant.max_in_flight = 3;
+  fo.attempt_hook = [&](Strategy) { gate.wait(); };
+  Frontend fe(fo);
+
+  const auto labels = uniform_labels(64, 4, 3);
+  const auto values = iota_values(64);
+  SubmitOptions noisy;
+  noisy.tenant = 7;
+  std::vector<std::future<std::vector<int>>> noisy_futures;
+  for (int i = 0; i < 8; ++i)
+    noisy_futures.push_back(fe.submit_multireduce<int>(values, labels, 4, Plus{}, noisy));
+  // The well-behaved tenant admits fine while tenant 7 is over its cap.
+  SubmitOptions quiet;
+  quiet.tenant = 8;
+  auto quiet_future = fe.submit_multireduce<int>(values, labels, 4, Plus{}, quiet);
+  gate.release();
+
+  std::size_t ok = 0, shed = 0;
+  for (auto& f : noisy_futures) {
+    const ErrorCode code = code_of(f);
+    if (code == ErrorCode::kOverloaded) ++shed;
+    else if (code == ErrorCode::kOk) ++ok;
+  }
+  EXPECT_EQ(ok, 3u);   // exactly the cap
+  EXPECT_EQ(shed, 5u);
+  EXPECT_EQ(code_of(quiet_future), ErrorCode::kOk);
+  EXPECT_EQ(fe.stats().shed_tenant, shed);
+}
+
+TEST(ServeFrontend, WeightedFairDequeueLetsASmallTenantThroughABacklog) {
+  Gate gate;
+  FrontendOptions fo;
+  fo.workers = 1;
+  fo.default_tenant.max_in_flight = 64;
+  fo.attempt_hook = [&](Strategy) {
+    gate.wait();
+    std::this_thread::sleep_for(2ms);  // make dispatch order observable
+  };
+  Frontend fe(fo);
+
+  const auto labels = uniform_labels(64, 4, 4);
+  const auto values = iota_values(64);
+  SubmitOptions storm;
+  storm.tenant = 1;
+  storm.coalescable = false;  // force one dispatch per request
+  std::vector<std::future<std::vector<int>>> storm_futures;
+  for (int i = 0; i < 20; ++i)
+    storm_futures.push_back(fe.submit_multireduce<int>(values, labels, 4, Plus{}, storm));
+  SubmitOptions late;
+  late.tenant = 2;
+  late.coalescable = false;
+  auto late_future = fe.submit_multireduce<int>(values, labels, 4, Plus{}, late);
+  gate.release();
+
+  // Fair round-robin serves tenant 2 within a couple of dispatch slots even
+  // though 20 tenant-1 requests were queued ahead of it; FIFO would finish
+  // all 20 first.
+  late_future.wait();
+  std::size_t storm_done = 0;
+  for (auto& f : storm_futures)
+    if (f.wait_for(0s) == std::future_status::ready) ++storm_done;
+  EXPECT_LT(storm_done, 10u);
+  for (auto& f : storm_futures) EXPECT_EQ(code_of(f), ErrorCode::kOk);
+}
+
+TEST(ServeFrontend, CompatibleSmallRequestsCoalesceBitIdentically) {
+  Gate gate;
+  FallbackCounters counters;
+  FrontendOptions fo;
+  fo.workers = 1;
+  fo.counters = &counters;
+  fo.attempt_hook = [&](Strategy) { gate.wait(); };
+  Frontend fe(fo);
+
+  // Pin the worker with an incompatible plug (double vs int — different
+  // request class) so the coalescable batch queues up behind it whole.
+  const auto plug_labels = uniform_labels(128, 4, 5);
+  auto plug = fe.submit_multireduce<double>(std::vector<double>(128, 1.5), plug_labels, 4);
+
+  constexpr std::size_t kBatch = 8;
+  std::vector<std::future<MultiprefixResult<int>>> futures;
+  std::vector<MultiprefixResult<int>> truths;
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    const std::size_t n = 200 + 40 * r;
+    const std::size_t m = 3 + r;
+    const auto labels = uniform_labels(n, m, 100 + r);
+    const auto values = iota_values(n, static_cast<int>(r));
+    truths.push_back(Engine::global().multiprefix<int>(values, labels, m, Plus{},
+                                                       Strategy::kSerial));
+    futures.push_back(fe.submit_multiprefix<int>(values, labels, m));
+  }
+  gate.release();
+  (void)plug.get();
+
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    const auto got = futures[r].get();
+    EXPECT_EQ(got.prefix, truths[r].prefix) << "request " << r;
+    EXPECT_EQ(got.reduction, truths[r].reduction) << "request " << r;
+  }
+  fe.wait_idle();
+  const FrontendStats stats = fe.stats();
+  EXPECT_EQ(stats.coalesced_batches, 1u);
+  EXPECT_EQ(stats.coalesced_requests, kBatch);
+  EXPECT_EQ(counters.coalesced_batches.load(), 1u);
+}
+
+TEST(ServeFrontend, GovernedRequestsNeverJoinABatch) {
+  Gate gate;
+  FrontendOptions fo;
+  fo.workers = 1;
+  fo.attempt_hook = [&](Strategy) { gate.wait(); };
+  Frontend fe(fo);
+
+  const auto plug_labels = uniform_labels(128, 4, 6);
+  auto plug = fe.submit_multireduce<double>(std::vector<double>(128, 0.5), plug_labels, 4);
+
+  const auto labels = uniform_labels(256, 8, 7);
+  const auto values = iota_values(256);
+  SubmitOptions governed;
+  governed.timeout = 10s;  // far away — present, so the request is governed
+  std::vector<std::future<std::vector<int>>> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(fe.submit_multireduce<int>(values, labels, 8, Plus{}, governed));
+  gate.release();
+  (void)plug.get();
+  for (auto& f : futures) EXPECT_EQ(code_of(f), ErrorCode::kOk);
+
+  fe.wait_idle();
+  const FrontendStats stats = fe.stats();
+  EXPECT_EQ(stats.coalesced_batches, 0u);
+  EXPECT_EQ(stats.single_dispatches, 5u);  // plug + the four governed singles
+}
+
+TEST(ServeFrontend, ExpiredInQueueResolvesDeadlineExceededWithoutDispatch) {
+  Gate gate;
+  FallbackCounters counters;
+  FrontendOptions fo;
+  fo.workers = 1;
+  fo.counters = &counters;
+  fo.attempt_hook = [&](Strategy) { gate.wait(); };
+  Frontend fe(fo);
+
+  const auto plug_labels = uniform_labels(64, 4, 8);
+  auto plug = fe.submit_multireduce<double>(std::vector<double>(64, 1.0), plug_labels, 4);
+
+  SubmitOptions opts;
+  opts.timeout = 1ms;  // expires while the worker is pinned
+  auto doomed =
+      fe.submit_multireduce<int>(iota_values(64), uniform_labels(64, 4, 9), 4, Plus{}, opts);
+  std::this_thread::sleep_for(5ms);
+  gate.release();
+  (void)plug.get();
+
+  EXPECT_EQ(code_of(doomed), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(fe.stats().expired_in_queue, 1u);
+  EXPECT_EQ(counters.deadlines_exceeded.load(), 1u);
+}
+
+TEST(ServeFrontend, ByteBudgetDemotesAndNeverLeaks) {
+  FallbackCounters counters;
+  FrontendOptions fo;
+  fo.counters = &counters;
+  Frontend fe(fo);
+
+  const std::size_t n = 20000, m = 64;
+  const auto labels = uniform_labels(n, m, 10);
+  const auto values = iota_values(n);
+  const auto truth =
+      Engine::global().multireduce<int>(values, labels, m, Plus{}, Strategy::kSerial);
+  SubmitOptions opts;
+  opts.strategy = Strategy::kVectorized;  // wants (m+n)-scale scratch
+  opts.byte_budget = 1024;                // nowhere near enough: demote to serial
+  auto f = fe.submit_multireduce<int>(values, labels, m, Plus{}, opts);
+  EXPECT_EQ(f.get(), truth);
+  fe.wait_idle();
+  EXPECT_GE(counters.budget_degrades.load(), 1u);
+  EXPECT_EQ(fe.stats().budget_leaks, 0u);
+}
+
+TEST(ServeFrontend, BreakerTripsRoutesAroundThenProbesClosed) {
+  std::atomic<bool> fail_parallel{true};
+  FallbackCounters counters;
+  obs::Tracer tracer(/*record_spans=*/false);
+  FrontendOptions fo;
+  fo.workers = 1;
+  fo.counters = &counters;
+  fo.tracer = &tracer;
+  fo.breaker.window = 4;
+  fo.breaker.min_samples = 2;
+  fo.breaker.failure_threshold = 0.5;
+  fo.breaker.open_cooldown = 250ms;  // wide margin: sequential submits must
+                                     // not accidentally outlast the cooldown
+  fo.breaker.probes_to_close = 1;
+  fo.attempt_hook = [&](Strategy s) {
+    if (s == Strategy::kParallel && fail_parallel.load(std::memory_order_relaxed))
+      throw MpError(ErrorCode::kExecutionFault, "injected lane fault");
+  };
+  Frontend fe(fo);
+
+  const auto labels = uniform_labels(1024, 16, 11);
+  const auto values = iota_values(1024);
+  const auto truth =
+      Engine::global().multireduce<int>(values, labels, 16, Plus{}, Strategy::kSerial);
+  SubmitOptions opts;
+  opts.strategy = Strategy::kParallel;
+  const auto submit_one = [&] {
+    auto f = fe.submit_multireduce<int>(values, labels, 16, Plus{}, opts);
+    EXPECT_EQ(f.get(), truth);  // degraded result is still the right result
+  };
+
+  // Two failures fill min_samples at 100% failure rate: the cell trips on
+  // the second, with both requests served via the fallback chain.
+  submit_one();
+  submit_one();
+  EXPECT_EQ(counters.breaker_trips.load(), 1u);
+  EXPECT_GE(counters.fallbacks.load(), 2u);
+
+  // Open: dispatch routes straight to kVectorized without attempting the
+  // sick stage — no new pool faults, breaker_skips grows.
+  const std::uint64_t faults_before = counters.execution_faults.load();
+  submit_one();
+  EXPECT_EQ(counters.execution_faults.load(), faults_before);
+  EXPECT_GE(fe.stats().breaker_skips, 1u);
+
+  // Heal the substrate, wait out the cooldown: the next request is the
+  // half-open probe, succeeds, and closes the cell.
+  fail_parallel.store(false, std::memory_order_relaxed);
+  std::this_thread::sleep_for(300ms);
+  submit_one();
+  fe.wait_idle();  // breaker_resets lands after the probe's future resolves
+  EXPECT_GE(counters.breaker_probes.load(), 1u);
+  EXPECT_EQ(counters.breaker_resets.load(), 1u);
+  // Closed again: kParallel serves directly.
+  submit_one();
+  fe.wait_idle();
+
+  // Every breaker counter increment was mirrored as the matching event.
+  const auto snap = tracer.snapshot();
+  const auto event = [&](obs::Event e) { return snap.events[static_cast<std::size_t>(e)]; };
+  EXPECT_EQ(event(obs::Event::kBreakerTrip), counters.breaker_trips.load());
+  EXPECT_EQ(event(obs::Event::kBreakerProbe), counters.breaker_probes.load());
+  EXPECT_EQ(event(obs::Event::kBreakerReset), counters.breaker_resets.load());
+  EXPECT_EQ(event(obs::Event::kFallbackHop), counters.fallbacks.load());
+}
+
+TEST(ServeFrontend, DrainFlushesQueuedCancelsInFlightAndShedsAfter) {
+  Gate gate;
+  FallbackCounters counters;
+  obs::Tracer tracer(/*record_spans=*/false);
+  FrontendOptions fo;
+  fo.workers = 1;
+  fo.counters = &counters;
+  fo.tracer = &tracer;
+  fo.attempt_hook = [&](Strategy) { gate.wait(); };
+  Frontend fe(fo);
+
+  const auto labels = uniform_labels(64, 4, 12);
+  const auto values = iota_values(64);
+  auto in_flight = fe.submit_multireduce<int>(values, labels, 4);
+  std::this_thread::sleep_for(2ms);  // let the worker pick it up and pin
+  std::vector<std::future<std::vector<int>>> queued;
+  SubmitOptions opts;
+  opts.coalescable = false;
+  for (int i = 0; i < 5; ++i)
+    queued.push_back(fe.submit_multireduce<int>(values, labels, 4, Plus{}, opts));
+
+  // Unpin the worker shortly after the drain deadline fires, so the drain
+  // exercises both paths: flush-queued and cancel-in-flight.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(20ms);
+    gate.release();
+  });
+  const bool clean = fe.drain(5ms);
+  releaser.join();
+  EXPECT_FALSE(clean);
+  EXPECT_TRUE(fe.draining());
+
+  // Every queued future resolved kCancelled at the deadline; the in-flight
+  // one observed the cancel at its first checkpoint after release.
+  for (auto& f : queued) EXPECT_EQ(code_of(f), ErrorCode::kCancelled);
+  EXPECT_EQ(code_of(in_flight), ErrorCode::kCancelled);
+
+  const FrontendStats stats = fe.stats();
+  EXPECT_EQ(stats.drain_cancelled, 5u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.budget_leaks, 0u);
+  EXPECT_EQ(counters.drain_cancels.load(), 5u);
+  const auto snap = tracer.snapshot();
+  EXPECT_EQ(snap.events[static_cast<std::size_t>(obs::Event::kDrainCancel)],
+            counters.drain_cancels.load());
+  EXPECT_EQ(snap.events[static_cast<std::size_t>(obs::Event::kCancelled)],
+            counters.cancellations.load());
+
+  // Terminal: everything after the drain sheds typed.
+  auto late = fe.submit_multireduce<int>(values, labels, 4);
+  EXPECT_EQ(code_of(late), ErrorCode::kOverloaded);
+  EXPECT_EQ(fe.stats().shed_draining, 1u);
+}
+
+TEST(ServeFrontend, CleanDrainReturnsTrueAndResolvesEverything) {
+  Frontend fe;
+  const auto labels = uniform_labels(512, 8, 13);
+  const auto values = iota_values(512);
+  std::vector<std::future<std::vector<int>>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(fe.submit_multireduce<int>(values, labels, 8));
+  EXPECT_TRUE(fe.drain(5s));
+  for (auto& f : futures) EXPECT_EQ(code_of(f), ErrorCode::kOk);
+  EXPECT_EQ(fe.stats().drain_cancelled, 0u);
+}
+
+TEST(ServeFrontend, DestructionResolvesEveryOutstandingFuture) {
+  Gate gate;
+  std::vector<std::future<std::vector<int>>> futures;
+  {
+    FrontendOptions fo;
+    fo.workers = 1;
+    fo.attempt_hook = [&](Strategy) { gate.wait(); };
+    Frontend fe(fo);
+    const auto labels = uniform_labels(64, 4, 14);
+    const auto values = iota_values(64);
+    SubmitOptions opts;
+    opts.coalescable = false;
+    for (int i = 0; i < 6; ++i)
+      futures.push_back(fe.submit_multireduce<int>(values, labels, 4, Plus{}, opts));
+    gate.release();
+    // ~fe drains: zero deadline, so whatever has not finished resolves
+    // kCancelled — but nothing is ever left unresolved.
+  }
+  for (auto& f : futures) {
+    const ErrorCode code = code_of(f);
+    EXPECT_TRUE(code == ErrorCode::kOk || code == ErrorCode::kCancelled)
+        << to_string(code);
+  }
+}
+
+}  // namespace
+}  // namespace mp::serve

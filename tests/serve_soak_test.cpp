@@ -1,0 +1,263 @@
+// Randomized multi-client soak for the serving frontend. Every seed derives
+// a frontend configuration (worker count, queue bounds, tenant weights and
+// caps, breaker tuning, an injected fault rate) plus several client threads
+// submitting mixed traffic — random shapes, tenants, strategies, deadlines,
+// budgets, coalescing opt-outs — at rates the queue bounds cannot absorb.
+// Half the schedules drain the frontend while the clients are still
+// submitting. The serving contract under all of it:
+//
+//   * every future resolves — to the bit-identical serial-definition result
+//     or to exactly one typed error from the allowed overload/governance/
+//     substrate set — no hangs, no torn outputs, no abandoned promises;
+//   * queue memory stays inside the configured bounds (peak gauges);
+//   * the budget ledger balances (budget_leaks == 0);
+//   * FallbackCounters and the tracer's event surface agree exactly.
+//
+// Scale knobs for the CI long-soak job: MP_SOAK_SCHEDULES (default 24) and
+// MP_SOAK_CLIENTS (default 3). Run under ASan/TSan by scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "core/validate.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/frontend.hpp"
+
+namespace mp::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::uint64_t env_or(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+bool is_allowed_serve_error(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverloaded:        // admission shed
+    case ErrorCode::kCancelled:         // drain
+    case ErrorCode::kDeadlineExceeded:  // per-request deadline
+    case ErrorCode::kBudgetExceeded:    // per-request byte budget
+    case ErrorCode::kExecutionFault:    // injected faults exhausted the chain
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Same discipline as chaos_test: every counter increment anywhere in the
+/// stack (engine governance, breaker transitions, admission sheds, drain
+/// flushes, coalesced batches) must be mirrored as the matching event.
+void expect_events_match_counters(const obs::Tracer& tracer,
+                                  const FallbackCounters& counters,
+                                  const std::string& info) {
+  const auto snap = tracer.snapshot();
+  const auto event = [&](obs::Event e) {
+    return snap.events[static_cast<std::size_t>(e)];
+  };
+  EXPECT_EQ(event(obs::Event::kCancelled), counters.cancellations.load()) << info;
+  EXPECT_EQ(event(obs::Event::kDeadlineExceeded), counters.deadlines_exceeded.load())
+      << info;
+  EXPECT_EQ(event(obs::Event::kBudgetDegrade), counters.budget_degrades.load()) << info;
+  EXPECT_EQ(event(obs::Event::kRetry), counters.retries.load()) << info;
+  EXPECT_EQ(event(obs::Event::kFallbackHop), counters.fallbacks.load()) << info;
+  EXPECT_EQ(event(obs::Event::kShedOverload), counters.overload_sheds.load()) << info;
+  EXPECT_EQ(event(obs::Event::kBreakerTrip), counters.breaker_trips.load()) << info;
+  EXPECT_EQ(event(obs::Event::kBreakerProbe), counters.breaker_probes.load()) << info;
+  EXPECT_EQ(event(obs::Event::kBreakerReset), counters.breaker_resets.load()) << info;
+  EXPECT_EQ(event(obs::Event::kDrainCancel), counters.drain_cancels.load()) << info;
+  EXPECT_EQ(event(obs::Event::kCoalescedBatch), counters.coalesced_batches.load()) << info;
+}
+
+constexpr Strategy kRequestable[] = {Strategy::kSerial,    Strategy::kVectorized,
+                                     Strategy::kParallel,  Strategy::kSortBased,
+                                     Strategy::kChunked,   Strategy::kAuto};
+
+/// One submitted request with the future and its ground truth, so the main
+/// thread can audit every outcome after the storm.
+struct Submission {
+  std::variant<std::future<std::vector<int>>, std::future<MultiprefixResult<int>>> future;
+  std::vector<int> truth_reduction;
+  std::vector<int> truth_prefix;  // empty for multireduce submissions
+};
+
+std::uint64_t mix(std::uint64_t x) {  // splitmix64 finalizer
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class ServeSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServeSoak, OverloadedTrafficResolvesEveryFutureTypedOrBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  const std::string info = "seed=" + std::to_string(seed);
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eed);
+
+  const std::size_t clients =
+      static_cast<std::size_t>(env_or("MP_SOAK_CLIENTS", 3));
+  const std::size_t requests_per_client = 24 + rng.below(24);
+  const bool drain_mid_soak = seed % 2 == 0;
+
+  ThreadPool pool(2 + rng.below(3));
+  Engine::Options eo;
+  eo.pool = &pool;
+  Engine engine(eo);
+
+  FallbackCounters counters;
+  obs::Tracer tracer(/*record_spans=*/false);
+  std::atomic<std::uint64_t> dispatch_no{0};
+  const std::uint64_t fault_mod = rng.below(3) == 0 ? 0 : 3 + rng.below(8);
+
+  FrontendOptions fo;
+  fo.engine = &engine;
+  fo.workers = 1 + rng.below(3);
+  fo.queue_depth = 8 + rng.below(57);
+  fo.queue_bytes = std::size_t{1} << (16 + rng.below(4));
+  fo.coalesce_max_requests = 2 + rng.below(31);
+  fo.default_tenant.weight = 1 + static_cast<std::uint32_t>(rng.below(3));
+  fo.default_tenant.max_in_flight = 4 + rng.below(29);
+  fo.breaker.window = 4 + rng.below(12);
+  fo.breaker.min_samples = 2 + rng.below(4);
+  fo.breaker.open_cooldown = std::chrono::milliseconds(1 + rng.below(5));
+  fo.breaker.probes_to_close = 1 + rng.below(2);
+  fo.counters = &counters;
+  fo.tracer = &tracer;
+  if (fault_mod != 0) {
+    fo.attempt_hook = [&dispatch_no, fault_mod, seed](Strategy) {
+      const std::uint64_t k = dispatch_no.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t h = mix(k ^ (seed << 17));
+      if (h % fault_mod == 0)
+        throw MpError(h & 1 ? ErrorCode::kPoolFailure : ErrorCode::kExecutionFault,
+                      "soak-injected fault");
+    };
+  }
+  Frontend fe(fo);
+  fe.set_tenant(1, {/*weight=*/3, /*max_in_flight=*/fo.default_tenant.max_in_flight});
+
+  std::vector<std::vector<Submission>> per_client(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Xoshiro256 crng(mix(seed) ^ (c * 0xc0ffee));
+      auto& out = per_client[c];
+      out.reserve(requests_per_client);
+      for (std::size_t r = 0; r < requests_per_client; ++r) {
+        const std::size_t n = 1 + crng.below(2500);
+        const std::uint64_t mode = crng.below(4);
+        const std::size_t m = mode == 0   ? 1
+                              : mode == 1 ? 1 + crng.below(8)
+                              : mode == 2 ? 1 + crng.below(n)
+                                          : n + 1 + crng.below(32);
+        auto labels = crng.below(3) == 0 ? zipf_labels(n, m, 1.0 + crng.uniform(), crng())
+                                         : uniform_labels(n, m, crng());
+        std::vector<int> values(n);
+        for (auto& v : values) v = static_cast<int>(crng.below(41)) - 20;
+        const auto truth = multiprefix_bruteforce<int>(values, labels, m);
+
+        SubmitOptions opts;
+        opts.tenant = static_cast<TenantId>(crng.below(3));
+        opts.strategy = kRequestable[crng.below(6)];
+        opts.coalescable = crng.below(4) != 0;
+        if (crng.below(5) == 0)
+          opts.timeout = std::chrono::microseconds(crng.below(3000));
+        if (crng.below(5) == 0) opts.byte_budget = 1 + crng.below(std::size_t{1} << 18);
+
+        Submission sub;
+        sub.truth_reduction = truth.reduction;
+        if (crng.below(3) == 0) {
+          sub.truth_prefix = truth.prefix;
+          sub.future = fe.submit_multiprefix<int>(std::move(values), std::move(labels), m,
+                                                  Plus{}, opts);
+        } else {
+          sub.future = fe.submit_multireduce<int>(std::move(values), std::move(labels), m,
+                                                  Plus{}, opts);
+        }
+        out.push_back(std::move(sub));
+        if (crng.below(8) == 0) std::this_thread::sleep_for(100us);
+      }
+    });
+  }
+
+  bool drained_clean = true;
+  if (drain_mid_soak) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + rng.below(8)));
+    drained_clean = fe.drain(std::chrono::milliseconds(rng.below(10)));
+  }
+  for (auto& t : threads) t.join();
+  if (!drain_mid_soak) drained_clean = fe.drain(30s);
+
+  // Every future must already be resolved: drain() does not return while
+  // anything is queued or in flight, and post-drain submits shed instantly.
+  std::size_t accepted = 0, rejected = 0;
+  for (auto& client : per_client) {
+    for (auto& sub : client) {
+      const auto audit = [&](auto& future, const auto check_value) {
+        ASSERT_EQ(future.wait_for(0s), std::future_status::ready)
+            << info << ": unresolved future (drained_clean=" << drained_clean << ")";
+        try {
+          auto value = future.get();
+          check_value(value);
+          ++accepted;
+        } catch (const MpError& e) {
+          EXPECT_TRUE(is_allowed_serve_error(e.code()))
+              << info << ": unexpected error " << e.what();
+          ++rejected;
+        }
+      };
+      if (auto* red = std::get_if<std::future<std::vector<int>>>(&sub.future)) {
+        audit(*red, [&](const std::vector<int>& value) {
+          EXPECT_EQ(value, sub.truth_reduction) << info;  // bit-identical or bust
+        });
+      } else {
+        auto& full = std::get<std::future<MultiprefixResult<int>>>(sub.future);
+        audit(full, [&](const MultiprefixResult<int>& value) {
+          EXPECT_EQ(value.prefix, sub.truth_prefix) << info;
+          EXPECT_EQ(value.reduction, sub.truth_reduction) << info;
+        });
+      }
+    }
+  }
+
+  const FrontendStats stats = fe.stats();
+  EXPECT_EQ(accepted + rejected, clients * requests_per_client) << info;
+  EXPECT_EQ(stats.completed + stats.failed, stats.submitted) << info;
+  EXPECT_EQ(stats.queued, 0u) << info;
+  EXPECT_EQ(stats.in_flight, 0u) << info;
+  // Bounded memory: admission never let the queue outgrow its bounds.
+  EXPECT_LE(stats.peak_queued, fo.queue_depth) << info;
+  EXPECT_LE(stats.peak_queued_bytes, fo.queue_bytes) << info;
+  // The budget ledger balanced on every governed run.
+  EXPECT_EQ(stats.budget_leaks, 0u) << info;
+  expect_events_match_counters(tracer, counters, info);
+
+  // The engine and pool survive the storm for the next caller.
+  const std::vector<int> values{1, 2, 3, 4, 5};
+  const std::vector<label_t> labels{0, 1, 0, 1, 0};
+  EXPECT_EQ(engine.multireduce<int>(values, labels, 2), (std::vector<int>{9, 6}))
+      << info << " (post-soak rerun)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ServeSoak,
+                         ::testing::Range<std::uint64_t>(
+                             0, env_or("MP_SOAK_SCHEDULES", 24)));
+
+}  // namespace
+}  // namespace mp::serve
