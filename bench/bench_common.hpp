@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/dtype.hpp"
 #include "common/run_context.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -70,6 +71,20 @@ inline std::vector<Strategy> strategies_from_flag(const CliArgs& args,
   const auto parsed = parse_strategy(flag);
   if (!parsed.has_value()) throw std::invalid_argument("unknown --strategy: " + flag);
   return {*parsed};
+}
+
+/// `--dtype=` / `--op=` for sections that sweep the erased request space.
+/// Thin aliases over CliArgs' typed getters — which themselves defer to the
+/// single parse/format source of truth in common/dtype.hpp — kept here so
+/// bench code reads symmetrically with strategies_from_flag.
+inline DType dtype_from_flag(const CliArgs& args, DType dflt = DType::kInt32,
+                             const std::string& flag = "dtype") {
+  return args.get(flag, dflt);
+}
+
+inline OpKind op_from_flag(const CliArgs& args, OpKind dflt = OpKind::kPlus,
+                           const std::string& flag = "op") {
+  return args.get(flag, dflt);
 }
 
 /// Flat JSON metric sink for CI smoke runs: collect key/value pairs during

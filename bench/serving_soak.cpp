@@ -20,13 +20,24 @@
 //      and the full fallback-counter block — the overload numbers CI
 //      watches are the same counters the chaos suite cross-checks against
 //      obs events.
+//   3. Plan-cache contention A/B: T tenants, each with its own recurring
+//      label shape (chosen by fingerprint to live on distinct cache
+//      shards), hammer the get_or_build hit path concurrently against a
+//      single-mutex cache (shards = 1, the old design) and the sharded
+//      default. Reported: wall time and hit-latency p99 for both layouts,
+//      the blocked-acquisition counters, the shard-hit spread, and two
+//      gated ratios — `cache_shard_speedup` (sharded must not lose the
+//      storm it exists to win, floor >= 1.0) and `cache_single_hit_speedup`
+//      (an uncontended single-tenant hit must not pay for the sharding,
+//      floor >= 0.9).
 //
 // Flags: --requests=K (coalesce section, default 128), --reqn=N (elements
 // per coalesced request, default 128 — small requests are the coalescer's
 // target: batching trades one assemble-copy for K-1 dispatch cycles, a
 // trade that inverts once per-request work dwarfs dispatch overhead),
 // --clients=C (soak, default 4),
-// --per-client=R (default 200), --reps=N (default 5), --json=<file>.
+// --per-client=R (default 200), --tenants=T (contention section, default 8),
+// --hits-per-tenant=K (default 20000), --reps=N (default 5), --json=<file>.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -37,6 +48,7 @@
 #include "common/labels.hpp"
 #include "common/rng.hpp"
 #include "core/engine.hpp"
+#include "core/plan_cache.hpp"
 #include "serve/frontend.hpp"
 
 namespace {
@@ -260,6 +272,135 @@ void soak_section(const mp::CliArgs& args, mp::bench::JsonReporter& json) {
   mp::bench::report_fallback_counters(json, counters, "serve_");
 }
 
+void cache_contention_section(const mp::CliArgs& args, mp::bench::JsonReporter& json) {
+  const auto tenants = static_cast<std::size_t>(args.get("tenants", std::int64_t{8}));
+  const auto hits =
+      static_cast<std::size_t>(args.get("hits-per-tenant", std::int64_t{20000}));
+  const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{5}));
+  const std::size_t m = 16;
+
+  // Shard count pinned (not auto) so the A/B measures the same geometry on
+  // every host — auto follows hardware_concurrency, which would quietly turn
+  // this into a 1-vs-1 comparison on a small runner. Production keeps auto.
+  mp::PlanCache::Options sharded_opts;
+  sharded_opts.shards = 8;
+  mp::PlanCache sharded(sharded_opts);
+  mp::PlanCache::Options single_opts;
+  single_opts.shards = 1;
+  mp::PlanCache single(single_opts);
+
+  // One recurring shape per tenant, chosen by fingerprint to land on
+  // pairwise-distinct shards while the shard count allows it — the
+  // disjoint-tenant regime the sharding targets.
+  std::vector<std::vector<mp::label_t>> shapes;
+  std::vector<bool> used(sharded.shard_count(), false);
+  for (std::uint64_t seed = 1; shapes.size() < tenants; ++seed) {
+    auto labels = mp::uniform_labels(64 + 8 * shapes.size(), m, 7000 + seed);
+    const std::size_t shard = sharded.shard_of(mp::label_key(labels, m));
+    if (shapes.size() < used.size() && used[shard]) continue;
+    used[shard] = true;
+    shapes.push_back(std::move(labels));
+  }
+
+  const auto pct99 = [](std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[static_cast<std::size_t>(0.99 * static_cast<double>(v.size() - 1))];
+  };
+
+  // T threads x K hot hits, per-call latencies recorded; best wall of reps
+  // (the p99 travels with the best rep so both numbers describe one run).
+  struct Storm {
+    double wall_s;
+    double p99_s;
+  };
+  const auto storm = [&](mp::PlanCache& cache) {
+    for (const auto& labels : shapes) (void)cache.get_or_build(labels, m);  // warm
+    Storm best{1e300, 0.0};
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      std::vector<std::vector<double>> lat(tenants);
+      std::vector<std::thread> threads;
+      threads.reserve(tenants);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t t = 0; t < tenants; ++t) {
+        threads.emplace_back([&, t] {
+          lat[t].reserve(hits);
+          for (std::size_t i = 0; i < hits; ++i) {
+            const auto c0 = std::chrono::steady_clock::now();
+            benchmark::DoNotOptimize(cache.get_or_build(shapes[t], m).get());
+            const auto c1 = std::chrono::steady_clock::now();
+            lat[t].push_back(std::chrono::duration<double>(c1 - c0).count());
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double wall = std::chrono::duration<double>(t1 - t0).count();
+      if (wall < best.wall_s) {
+        std::vector<double> all;
+        for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+        best = {wall, pct99(all)};
+      }
+    }
+    return best;
+  };
+
+  const Storm single_storm = storm(single);
+  const Storm sharded_storm = storm(sharded);
+
+  // Uncontended single-tenant hit cost: the price one caller pays per
+  // lookup with nobody else around — sharding must not tax this path.
+  const auto hit_cost = [&](mp::PlanCache& cache) {
+    return mp::bench::seconds_best_of(reps, [&] {
+             for (std::size_t i = 0; i < hits; ++i)
+               benchmark::DoNotOptimize(cache.get_or_build(shapes[0], m).get());
+           }) /
+           static_cast<double>(hits);
+  };
+  const double single_hit_s = hit_cost(single);
+  const double sharded_hit_s = hit_cost(sharded);
+
+  const std::uint64_t single_contended = single.stats().lock_contended;
+  const std::uint64_t sharded_contended = sharded.stats().lock_contended;
+  std::size_t shards_used = 0;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s)
+    if (sharded.shard_stats(s).hits > 0) ++shards_used;
+
+  const double shard_speedup =
+      sharded_storm.wall_s > 0.0 ? single_storm.wall_s / sharded_storm.wall_s : 0.0;
+  const double hit_speedup = sharded_hit_s > 0.0 ? single_hit_s / sharded_hit_s : 0.0;
+
+  std::printf("3. plan-cache contention, %zu tenants x %zu hits, %zu shards\n\n", tenants,
+              hits, sharded.shard_count());
+  mp::TextTable table({"cache", "wall ms / storm", "hit p99 us", "blocked acquisitions"});
+  table.add_row({"single mutex (shards = 1)",
+                 mp::TextTable::num(single_storm.wall_s * 1e3, 3),
+                 mp::TextTable::num(single_storm.p99_s * 1e6, 3),
+                 mp::TextTable::num(single_contended)});
+  table.add_row({"sharded", mp::TextTable::num(sharded_storm.wall_s * 1e3, 3),
+                 mp::TextTable::num(sharded_storm.p99_s * 1e6, 3),
+                 mp::TextTable::num(sharded_contended)});
+  std::printf("%s", table.render().c_str());
+  std::printf("\nshard speedup: %.2fx over %zu shards (%zu used); uncontended hit %.0f ns "
+              "-> %.0f ns\n\n",
+              shard_speedup, sharded.shard_count(), shards_used, single_hit_s * 1e9,
+              sharded_hit_s * 1e9);
+
+  json.metric("cache_tenants", static_cast<std::int64_t>(tenants));
+  json.metric("cache_shard_count", static_cast<std::int64_t>(sharded.shard_count()));
+  json.metric("cache_shards_used", static_cast<std::int64_t>(shards_used));
+  json.metric("cache_single_wall_ms", single_storm.wall_s * 1e3);
+  json.metric("cache_sharded_wall_ms", sharded_storm.wall_s * 1e3);
+  json.metric("cache_single_p99_us", single_storm.p99_s * 1e6);
+  json.metric("cache_sharded_p99_us", sharded_storm.p99_s * 1e6);
+  json.metric("cache_single_contended", static_cast<std::int64_t>(single_contended));
+  json.metric("cache_sharded_contended", static_cast<std::int64_t>(sharded_contended));
+  json.metric("cache_shard_speedup", shard_speedup);
+  json.metric("cache_single_hit_ns", single_hit_s * 1e9);
+  json.metric("cache_sharded_hit_ns", sharded_hit_s * 1e9);
+  json.metric("cache_single_hit_speedup", hit_speedup);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -268,6 +409,7 @@ int main(int argc, char** argv) {
                           mp::bench::JsonReporter json(args.get("json", std::string()));
                           coalesce_section(args, json);
                           soak_section(args, json);
+                          cache_contention_section(args, json);
                           json.write();
                         });
 }

@@ -1,0 +1,151 @@
+/* mp.h — C ABI for the multiprefix library.
+ *
+ * The minimal, stable C surface over the type-erased engine ABI
+ * (src/core/erased.hpp): opaque engine/frontend handles, a plain request
+ * descriptor naming the element type, operator and operation as data, and
+ * buffer-view submit. Everything here is C11; the header must compile with
+ * a C compiler (CI guards it with -std=c11) and with C++ (capi.cpp
+ * static_asserts that every enum value below matches its C++ counterpart
+ * numerically — the values are the contract, and they are append-only).
+ *
+ * Memory model: the library never retains caller buffers past the call
+ * (synchronous runs write in place; submits copy at admission). Handles are
+ * created/destroyed by matching mp_*_create / mp_*_destroy pairs; every
+ * mp_future must be destroyed exactly once, waited or not.
+ */
+#ifndef MP_H
+#define MP_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Status codes. Values 0..9 mirror mp::ErrorCode (common/error.hpp) in enum
+ * order; MP_ERR_UNKNOWN covers non-mp exceptions crossing the boundary. */
+typedef enum mp_status {
+  MP_OK = 0,
+  MP_ERR_INVALID_LABEL,
+  MP_ERR_SHAPE_MISMATCH,
+  MP_ERR_POOL_FAILURE,
+  MP_ERR_EXECUTION_FAULT,
+  MP_ERR_CANCELLED,
+  MP_ERR_DEADLINE_EXCEEDED,
+  MP_ERR_BUDGET_EXCEEDED,
+  MP_ERR_OVERLOADED,
+  MP_ERR_UNSUPPORTED,
+  MP_ERR_UNKNOWN = 255
+} mp_status;
+
+/* Element types; values mirror mp::DType (common/dtype.hpp). */
+typedef enum mp_dtype {
+  MP_DTYPE_INT32 = 0,
+  MP_DTYPE_INT64 = 1,
+  MP_DTYPE_FLOAT32 = 2,
+  MP_DTYPE_FLOAT64 = 3
+} mp_dtype;
+
+/* Associative operators; values mirror mp::OpKind. */
+typedef enum mp_op {
+  MP_OP_PLUS = 0,
+  MP_OP_TIMES = 1,
+  MP_OP_MIN = 2,
+  MP_OP_MAX = 3
+} mp_op;
+
+/* Operation; values mirror mp::RequestOp (core/erased.hpp). */
+typedef enum mp_kind {
+  MP_KIND_MULTIPREFIX = 0,
+  MP_KIND_MULTIREDUCE = 1
+} mp_kind;
+
+/* Execution strategy; values mirror mp::strategy_index (core/strategy.hpp).
+ * MP_STRATEGY_AUTO lets the engine resolve from the input regime — the
+ * right default for every caller that is not benchmarking a strategy. */
+typedef enum mp_strategy {
+  MP_STRATEGY_SERIAL = 0,
+  MP_STRATEGY_VECTORIZED = 1,
+  MP_STRATEGY_PARALLEL = 2,
+  MP_STRATEGY_SORT_BASED = 3,
+  MP_STRATEGY_CHUNKED = 4,
+  MP_STRATEGY_AUTO = 5
+} mp_strategy;
+
+/* Field-for-field mirror of mp::RequestDesc, with the enums widened to
+ * int32_t so the struct layout is identical on every ABI. */
+typedef struct mp_request_desc {
+  int32_t dtype; /* an mp_dtype value */
+  int32_t op;    /* an mp_op value */
+  int32_t kind;  /* an mp_kind value */
+} mp_request_desc;
+
+/* Class labels; matches mp::label_t (capi.cpp static_asserts the width).
+ * Every label must lie in [0, m). */
+typedef uint32_t mp_label;
+
+typedef struct mp_engine mp_engine;     /* opaque: an mp::Engine */
+typedef struct mp_frontend mp_frontend; /* opaque: an mp::serve::Frontend */
+typedef struct mp_future mp_future;     /* opaque: a pending submit's result */
+
+/* Stable name of a status code ("ok", "invalid-label", ...). Never NULL. */
+const char* mp_status_name(mp_status status);
+
+/* Bytes per element of a dtype; 0 for an invalid value. */
+size_t mp_dtype_size(int32_t dtype);
+
+/* ---- engine: synchronous runs ---------------------------------------- */
+
+/* A private engine with default options. NULL only on allocation failure. */
+mp_engine* mp_engine_create(void);
+
+/* The process-global engine (shared plan cache and counters). Do not
+ * destroy; mp_engine_destroy on it is a safe no-op. */
+mp_engine* mp_engine_global(void);
+
+void mp_engine_destroy(mp_engine* engine); /* NULL-safe */
+
+/* One synchronous erased run. `values` holds n elements of desc->dtype,
+ * `labels` n labels, `reduction` receives m elements (every slot written;
+ * identity for unreferenced classes). For MP_KIND_MULTIPREFIX, `prefix`
+ * receives n elements; for MP_KIND_MULTIREDUCE pass prefix = NULL.
+ * `strategy` is an mp_strategy value (MP_STRATEGY_AUTO to let the engine
+ * pick). Returns MP_OK or the mapped error; on error the output buffers
+ * hold unspecified partial data. */
+mp_status mp_run(mp_engine* engine, const mp_request_desc* desc, const void* values,
+                 const mp_label* labels, size_t n, void* prefix, void* reduction,
+                 size_t m, int32_t strategy);
+
+/* ---- frontend: async buffer-view submit ------------------------------- */
+
+/* An async serving frontend over `engine` (NULL = the global engine) with
+ * `workers` dispatcher threads (0 = the library default). */
+mp_frontend* mp_frontend_create(mp_engine* engine, size_t workers);
+
+/* Drains (zero deadline: pending work is cancelled) and destroys. Futures
+ * already handed out stay valid until mp_future_destroy. NULL-safe. */
+void mp_frontend_destroy(mp_frontend* frontend);
+
+/* Asynchronous erased submit for tenant `tenant`. The values/labels buffers
+ * are copied before return and may be freed immediately. Returns NULL only
+ * on allocation failure; every other outcome (including shed/rejected
+ * requests) is reported by mp_future_wait on the returned handle. */
+mp_future* mp_submit(mp_frontend* frontend, const mp_request_desc* desc,
+                     const void* values, const mp_label* labels, size_t n, size_t m,
+                     uint32_t tenant);
+
+/* Blocks until the submit resolves and copies the result out: `reduction`
+ * receives m elements, and — for MP_KIND_MULTIPREFIX submits — `prefix`
+ * receives n elements (pass NULL for multireduce). Returns MP_OK or the
+ * typed error the future resolved with. Call at most once per future;
+ * subsequent calls return MP_ERR_UNKNOWN. */
+mp_status mp_future_wait(mp_future* future, void* prefix, void* reduction);
+
+void mp_future_destroy(mp_future* future); /* NULL-safe; waited or not */
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* MP_H */

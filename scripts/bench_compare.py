@@ -39,6 +39,14 @@ FLOORS = {
     # small requests must beat submitting them to the Engine one at a time —
     # otherwise the coalescer is pure complexity and should be ripped out.
     "coalesce_speedup": 1.0,
+    # cache_shard_speedup: the sharded plan cache must not lose the
+    # many-tenant disjoint-shape storm to the single mutex it replaced —
+    # that storm is the one workload the sharding exists for.
+    "cache_shard_speedup": 1.0,
+    # cache_single_hit_speedup: an uncontended single-tenant hit must not
+    # pay materially for the sharding (one extra hash-mix and an atomic
+    # stamp); 0.9 allows timing noise on a ~100ns operation, nothing more.
+    "cache_single_hit_speedup": 0.9,
 }
 
 # Documented waivers: key -> reason. A waived floor is reported, not

@@ -66,6 +66,9 @@ QUICK_FILTER+='|ConcurrentRecording|ScopedTracerScopes'
 # lock-and-cv machine shared by worker threads, so TSan over these suites is
 # the data-race gate for the whole serving path.
 QUICK_FILTER+='|ServeFrontend|ServeSoak'
+# Type-erased ABI: descriptor validation, erased-vs-templated dispatch, the
+# sharded plan cache's accessors, and the C surface driven from C++.
+QUICK_FILTER+='|ErasedApi|ErasedDifferential|CApi'
 
 # The chaos gate replays the randomized fault schedules (chaos_test) plus the
 # governance and fault-path suites under ASan and TSan. Every test already

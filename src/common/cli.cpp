@@ -47,4 +47,20 @@ bool CliArgs::get(const std::string& name, bool dflt) const {
   throw std::invalid_argument("bad boolean flag --" + name + "=" + it->second);
 }
 
+DType CliArgs::get(const std::string& name, DType dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  if (const auto parsed = parse_dtype(it->second)) return *parsed;
+  throw std::invalid_argument("bad dtype flag --" + name + "=" + it->second +
+                              " (want int32/int64/float32/float64)");
+}
+
+OpKind CliArgs::get(const std::string& name, OpKind dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  if (const auto parsed = parse_op_kind(it->second)) return *parsed;
+  throw std::invalid_argument("bad op flag --" + name + "=" + it->second +
+                              " (want plus/times/min/max)");
+}
+
 }  // namespace mp

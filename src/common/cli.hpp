@@ -10,6 +10,8 @@
 #include <map>
 #include <string>
 
+#include "common/dtype.hpp"
+
 namespace mp {
 
 /// Parsed view of argv. Copies the strings; argv is not modified.
@@ -24,6 +26,11 @@ class CliArgs {
   std::int64_t get(const std::string& name, std::int64_t dflt) const;
   double get(const std::string& name, double dflt) const;
   bool get(const std::string& name, bool dflt) const;
+  /// Element-type / operator flags, parsed by the single source of truth in
+  /// common/dtype.hpp (so --dtype=f64 and --op=add spell the same thing
+  /// everywhere). Unknown names throw std::invalid_argument naming the flag.
+  DType get(const std::string& name, DType dflt) const;
+  OpKind get(const std::string& name, OpKind dflt) const;
 
  private:
   std::map<std::string, std::string> values_;  // flag -> value ("" for bare flags)

@@ -1,0 +1,104 @@
+// Runtime element-type and operator vocabulary for the type-erased ABI.
+//
+// Everything below the engine is templated over (T, Op) — the right call for
+// the kernels, where the combine must inline into the SIMD loops. But a
+// serving boundary cannot be a template: FFI callers, wire protocols and
+// runtime-configured clients name their element type and operator as *data*.
+// This header is the single source of truth for that data vocabulary: the
+// enums, their sizes, and the one parse/format pair shared by the CLI layer
+// (common/cli.cpp), the bench flag helpers (bench/bench_common.hpp), the
+// erased dispatch table (core/erased.hpp) and the C ABI (include/mp.h, whose
+// enum values mirror these by definition — see src/ffi/capi.cpp's
+// static_asserts).
+//
+// The operator set is the intersection that is well-defined for every
+// supported dtype: kPlus/kTimes/kMin/kMax. The bitwise ops of core/ops.hpp
+// stay template-only — they do not instantiate for float/double, so admitting
+// them here would turn a compile-time error into a runtime one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mp {
+
+/// Element types the erased ABI can carry. Values are a stable ABI contract
+/// (the C header mirrors them numerically); append, never reorder.
+enum class DType : std::uint8_t {
+  kInt32 = 0,
+  kInt64,
+  kFloat32,
+  kFloat64,
+};
+inline constexpr std::size_t kDTypeCount = 4;
+
+/// Associative operators the erased ABI can name. Same stability contract.
+enum class OpKind : std::uint8_t {
+  kPlus = 0,
+  kTimes,
+  kMin,
+  kMax,
+};
+inline constexpr std::size_t kOpKindCount = 4;
+
+constexpr std::size_t dtype_index(DType dtype) { return static_cast<std::size_t>(dtype); }
+constexpr std::size_t op_index(OpKind op) { return static_cast<std::size_t>(op); }
+
+/// True when the numeric value (e.g. an int that crossed the C ABI) names a
+/// live enumerator — the erased entry points validate with these instead of
+/// trusting the cast.
+constexpr bool dtype_valid(DType dtype) { return dtype_index(dtype) < kDTypeCount; }
+constexpr bool op_kind_valid(OpKind op) { return op_index(op) < kOpKindCount; }
+
+constexpr std::size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::kInt32: return 4;
+    case DType::kInt64: return 8;
+    case DType::kFloat32: return 4;
+    case DType::kFloat64: return 8;
+  }
+  return 0;
+}
+
+constexpr const char* to_string(DType dtype) {
+  switch (dtype) {
+    case DType::kInt32: return "int32";
+    case DType::kInt64: return "int64";
+    case DType::kFloat32: return "float32";
+    case DType::kFloat64: return "float64";
+  }
+  return "unknown";
+}
+
+constexpr const char* to_string(OpKind op) {
+  switch (op) {
+    case OpKind::kPlus: return "plus";
+    case OpKind::kTimes: return "times";
+    case OpKind::kMin: return "min";
+    case OpKind::kMax: return "max";
+  }
+  return "unknown";
+}
+
+/// Parses the to_string() spelling (plus the common aliases callers actually
+/// type); nullopt for anything else — misspelled flags must not silently
+/// dispatch the wrong kernel.
+constexpr std::optional<DType> parse_dtype(std::string_view name) {
+  if (name == "int32" || name == "i32") return DType::kInt32;
+  if (name == "int64" || name == "i64") return DType::kInt64;
+  if (name == "float32" || name == "f32" || name == "float") return DType::kFloat32;
+  if (name == "float64" || name == "f64" || name == "double") return DType::kFloat64;
+  return std::nullopt;
+}
+
+constexpr std::optional<OpKind> parse_op_kind(std::string_view name) {
+  if (name == "plus" || name == "add" || name == "sum") return OpKind::kPlus;
+  if (name == "times" || name == "mul" || name == "prod") return OpKind::kTimes;
+  if (name == "min") return OpKind::kMin;
+  if (name == "max") return OpKind::kMax;
+  return std::nullopt;
+}
+
+}  // namespace mp

@@ -38,6 +38,9 @@ enum class ErrorCode {
   kOverloaded,       // admission shed the request (serve/frontend.hpp) — the
                      // queue, byte, or tenant bound was hit, or the frontend
                      // is draining; retrying later (with backoff) is sane
+  kUnsupported,      // a type-erased request named a dtype/op/kind outside
+                     // the dispatch table (core/erased.hpp) — the request is
+                     // malformed at the ABI level; retrying is pointless
 };
 
 constexpr const char* to_string(ErrorCode code) {
@@ -51,6 +54,7 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::kBudgetExceeded: return "budget-exceeded";
     case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kUnsupported: return "unsupported";
   }
   return "unknown";
 }

@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include "common/assert.hpp"
+
 namespace mp {
 
 Engine::Engine() : Engine(Options{}) {}
@@ -89,6 +91,78 @@ std::shared_ptr<const SpinetreePlan> Engine::plan(std::span<const label_t> label
                                                  RowShape::auto_shape(labels.size()), build);
   }
   return plan_cache_.get_or_build(labels, m, build_pool);
+}
+
+// ---------------------------------------------------------------------------
+// The erased dispatch table. One trampoline pair per (dtype, op) cell, each a
+// direct call into the templated entry points — which index the same
+// kStrategyRegistry<T, Op> every C++ caller uses, so the erased path cannot
+// diverge from the templated one (there is no second kernel body to drift).
+// Built here, once, so the library carries exactly kDTypeCount × kOpKindCount
+// instantiations regardless of how many translation units touch the ABI.
+
+namespace {
+
+struct ErasedOps {
+  void (*run_multiprefix)(Engine&, const void*, const label_t*, void*, void*, std::size_t,
+                          std::size_t, Strategy, const RunContext&);
+  void (*run_multireduce)(Engine&, const void*, const label_t*, void*, std::size_t,
+                          std::size_t, Strategy, const RunContext&);
+};
+
+template <class T, class Op>
+void erased_mp(Engine& eng, const void* values, const label_t* labels, void* prefix,
+               void* reduction, std::size_t n, std::size_t m, Strategy strategy,
+               const RunContext& ctx) {
+  eng.multiprefix_into<T, Op>(std::span<const T>(static_cast<const T*>(values), n),
+                              std::span<const label_t>(labels, n),
+                              std::span<T>(static_cast<T*>(prefix), n),
+                              std::span<T>(static_cast<T*>(reduction), m), Op{}, strategy,
+                              ctx);
+}
+
+template <class T, class Op>
+void erased_mr(Engine& eng, const void* values, const label_t* labels, void* reduction,
+               std::size_t n, std::size_t m, Strategy strategy, const RunContext& ctx) {
+  eng.multireduce_into<T, Op>(std::span<const T>(static_cast<const T*>(values), n),
+                              std::span<const label_t>(labels, n),
+                              std::span<T>(static_cast<T*>(reduction), m), Op{}, strategy,
+                              ctx);
+}
+
+template <class T>
+constexpr std::array<ErasedOps, kOpKindCount> erased_row() {
+  // Column order is the OpKind enum order (common/dtype.hpp) by definition.
+  return {{{&erased_mp<T, Plus>, &erased_mr<T, Plus>},
+           {&erased_mp<T, Times>, &erased_mr<T, Times>},
+           {&erased_mp<T, Min>, &erased_mr<T, Min>},
+           {&erased_mp<T, Max>, &erased_mr<T, Max>}}};
+}
+
+// Row order is the DType enum order.
+constexpr std::array<std::array<ErasedOps, kOpKindCount>, kDTypeCount> kErasedRegistry = {{
+    erased_row<std::int32_t>(),
+    erased_row<std::int64_t>(),
+    erased_row<float>(),
+    erased_row<double>(),
+}};
+
+}  // namespace
+
+void Engine::run(const RequestDesc& desc, const void* values, const label_t* labels,
+                 void* prefix, void* reduction, std::size_t n, std::size_t m,
+                 Strategy strategy, const RunContext& ctx) {
+  if (Status st = validate_request_desc(desc); !st.is_ok()) throw MpError(std::move(st));
+  MP_REQUIRE(reduction != nullptr || m == 0, "erased run needs a reduction buffer");
+  MP_REQUIRE((values != nullptr && labels != nullptr) || n == 0,
+             "erased run needs values and labels buffers");
+  const ErasedOps& ops = kErasedRegistry[dtype_index(desc.dtype)][op_index(desc.op)];
+  if (desc.kind == RequestOp::kMultiprefix) {
+    MP_REQUIRE(prefix != nullptr || n == 0, "multiprefix request needs a prefix buffer");
+    ops.run_multiprefix(*this, values, labels, prefix, reduction, n, m, strategy, ctx);
+  } else {
+    ops.run_multireduce(*this, values, labels, reduction, n, m, strategy, ctx);
+  }
 }
 
 Engine::CountersSnapshot Engine::counters() const {

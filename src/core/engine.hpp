@@ -46,6 +46,7 @@
 #include "common/labels.hpp"
 #include "common/run_context.hpp"
 #include "core/chunked.hpp"
+#include "core/erased.hpp"
 #include "core/executor.hpp"
 #include "core/ops.hpp"
 #include "core/parallel_executor.hpp"
@@ -210,6 +211,22 @@ class Engine {
     multireduce_into<T, Op>(values, labels, std::span<T>(reduction), op, strategy, ctx);
     return reduction;
   }
+
+  /// Non-template entry point of the type-erased ABI: dispatches a
+  /// runtime-described request (core/erased.hpp) through the exact
+  /// kStrategyRegistry<T, Op> instantiation the templated API indexes, so
+  /// erased and templated results are bit-identical by construction. Buffers
+  /// are raw because the element type is data: `values` holds n elements of
+  /// desc.dtype, `reduction` m elements, and `prefix` n elements (required
+  /// for kMultiprefix, ignored for kMultireduce — pass null). Throws MpError
+  /// with kUnsupported for descriptors outside the dispatch table; every
+  /// other behaviour (validation, kAuto resolution, governance, counters)
+  /// is the templated entry point's, because it *is* the templated entry
+  /// point one function-pointer hop down. Defined in engine.cpp, where the
+  /// dispatch table over (kDTypeCount × kOpKindCount) is built once.
+  void run(const RequestDesc& desc, const void* values, const label_t* labels, void* prefix,
+           void* reduction, std::size_t n, std::size_t m,
+           Strategy strategy = Strategy::kAuto, const RunContext& ctx = RunContext::none());
 
   CountersSnapshot counters() const;
   void reset_counters();

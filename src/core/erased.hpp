@@ -1,0 +1,108 @@
+// Type-erased request descriptors for the engine's non-template ABI.
+//
+// The templated entry points (Engine::multiprefix_into<T, Op>) are the fast
+// path for C++ callers that know their types at compile time. The erased path
+// exists for everyone else: FFI bindings, runtime-configured clients, and the
+// serving frontend's dtype-generic admission. A RequestDesc carries what the
+// template parameters used to — element type, operator, and which of the two
+// operations to run — as plain data, and Engine::run / Frontend::submit
+// dispatch it through a table built from the *same* kStrategyRegistry<T, Op>
+// instantiations the templated API indexes. There is exactly one kernel body
+// per (dtype, op, strategy); the erased path routes into it, so erased and
+// templated results are bit-identical by construction (the differential
+// suite checks the construction anyway).
+//
+// ABI stability rules (see DESIGN.md §11): enum values in common/dtype.hpp
+// and RequestOp below are append-only; RequestDesc is a plain aggregate the
+// C layer mirrors field for field; a new dtype or op extends the dispatch
+// table without touching any existing row.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/dtype.hpp"
+#include "common/error.hpp"
+#include "core/ops.hpp"
+
+namespace mp {
+
+/// Which of the two operations the request names.
+enum class RequestOp : std::uint8_t {
+  kMultiprefix = 0,
+  kMultireduce,
+};
+inline constexpr std::size_t kRequestOpCount = 2;
+
+constexpr const char* to_string(RequestOp op) {
+  switch (op) {
+    case RequestOp::kMultiprefix: return "multiprefix";
+    case RequestOp::kMultireduce: return "multireduce";
+  }
+  return "unknown";
+}
+
+/// The runtime form of the template parameters: everything Engine::run needs
+/// to pick a kernel instantiation. Plain aggregate — the C ABI mirrors it.
+struct RequestDesc {
+  DType dtype = DType::kInt32;
+  OpKind op = OpKind::kPlus;
+  RequestOp kind = RequestOp::kMultireduce;
+  friend bool operator==(const RequestDesc&, const RequestDesc&) = default;
+};
+
+/// Rejects descriptors whose enums do not name live entries — the erased
+/// entry points sit behind casts from caller-provided integers (the C ABI),
+/// so out-of-range values must become a typed error, not a table overrun.
+inline Status validate_request_desc(const RequestDesc& desc) {
+  if (!dtype_valid(desc.dtype))
+    return Status(ErrorCode::kUnsupported,
+                  "request dtype " + std::to_string(static_cast<int>(desc.dtype)) +
+                      " is not a supported element type");
+  if (!op_kind_valid(desc.op))
+    return Status(ErrorCode::kUnsupported,
+                  "request op " + std::to_string(static_cast<int>(desc.op)) +
+                      " is not a supported operator");
+  if (static_cast<std::size_t>(desc.kind) >= kRequestOpCount)
+    return Status(ErrorCode::kUnsupported,
+                  "request kind " + std::to_string(static_cast<int>(desc.kind)) +
+                      " is not a supported operation");
+  return Status::ok();
+}
+
+/// Calls `f(std::type_identity<T>{})` for the concrete element type a DType
+/// names. The single runtime-to-template bridge for the dtype axis; every
+/// erased layer (engine table, frontend factories, tests) funnels through it
+/// so a new dtype is added in exactly one place.
+template <class F>
+constexpr decltype(auto) visit_dtype(DType dtype, F&& f) {
+  switch (dtype) {
+    case DType::kInt32: return f(std::type_identity<std::int32_t>{});
+    case DType::kInt64: return f(std::type_identity<std::int64_t>{});
+    case DType::kFloat32: return f(std::type_identity<float>{});
+    case DType::kFloat64: return f(std::type_identity<double>{});
+  }
+  throw MpError(validate_request_desc({dtype, OpKind::kPlus, RequestOp::kMultireduce}));
+}
+
+/// Calls `f(Op{})` for the operator functor an OpKind names.
+template <class F>
+constexpr decltype(auto) visit_op_kind(OpKind op, F&& f) {
+  switch (op) {
+    case OpKind::kPlus: return f(Plus{});
+    case OpKind::kTimes: return f(Times{});
+    case OpKind::kMin: return f(Min{});
+    case OpKind::kMax: return f(Max{});
+  }
+  throw MpError(validate_request_desc({DType::kInt32, op, RequestOp::kMultireduce}));
+}
+
+/// Both axes at once: `f(std::type_identity<T>{}, Op{})`.
+template <class F>
+constexpr decltype(auto) visit_request_types(const RequestDesc& desc, F&& f) {
+  return visit_dtype(desc.dtype, [&](auto tag) -> decltype(auto) {
+    return visit_op_kind(desc.op, [&](auto op) -> decltype(auto) { return f(tag, op); });
+  });
+}
+
+}  // namespace mp

@@ -1,5 +1,5 @@
-// Thread-safe LRU cache of SpinetreePlans keyed by a fingerprint of the
-// label vector.
+// Thread-safe sharded LRU cache of SpinetreePlans keyed by a fingerprint of
+// the label vector.
 //
 // The paper's amortization insight (§5.2.1) is that the spinetree depends
 // only on the labels: build once, evaluate many value vectors. The manual
@@ -25,19 +25,33 @@
 // "this label vector is recurring" and promote it to a plan-based strategy
 // on second sight — the serving-shaped behaviour the engine exists for.
 //
-// Concurrency: one mutex guards the index; plans build outside the lock, so
-// two threads missing on the same key may both build and one build wins
-// (the loser's plan is still returned to its caller — correct, just not
-// shared). Returned shared_ptrs keep evicted plans alive while in use.
+// Concurrency. The index is split into `Options::shards` lock shards; a key
+// lives in the shard named by its fingerprint, so tenants with disjoint
+// label shapes take disjoint locks and the hit path scales with cores
+// instead of serializing on one mutex (the scaling cliff ROADMAP item 1
+// names). Budgets stay *global*: atomic entry/byte ledgers plus a Lamport
+// touch clock give every entry a recency stamp, and `enforce_budgets`
+// evicts the globally-oldest shard tail — one shard lock at a time — until
+// both budgets hold, so `max_entries`/`max_bytes` mean exactly what they
+// meant with one shard (the storm tests assert the global bounds). Plans
+// still build outside any lock, so two threads missing on the same key may
+// both build and one build wins (the loser's plan is still returned to its
+// caller — correct, just not shared). Returned shared_ptrs keep evicted
+// plans alive while in use. Hot-path lock acquisitions that find the shard
+// lock held are counted (Stats::lock_contended, Event::kPlanShardContended)
+// — the observable signal the sharding exists to drive toward zero.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/labels.hpp"
 #include "core/row_shape.hpp"
@@ -112,8 +126,11 @@ inline LabelKey label_key(std::span<const label_t> labels, std::size_t m) {
 class PlanCache {
  public:
   struct Options {
-    std::size_t max_entries = 32;          // plan + key-only entries combined
-    std::size_t max_bytes = 128u << 20;    // byte budget over cached plans
+    std::size_t max_entries = 32;          // plan + key-only entries, global
+    std::size_t max_bytes = 128u << 20;    // byte budget over cached plans, global
+    std::size_t shards = 0;                // lock shards; 0 = auto (power of
+                                           // two from core count, capped at
+                                           // 16), 1 = single-mutex baseline
   };
 
   struct Stats {
@@ -121,6 +138,10 @@ class PlanCache {
     std::uint64_t misses = 0;             // get_or_build had to build
     std::uint64_t evictions = 0;          // cached plans dropped by LRU
     std::uint64_t oversize_bypasses = 0;  // plans too large to cache at all
+    std::uint64_t lock_contended = 0;     // hot-path probes that found the
+                                          // shard lock held (note/get_or_build
+                                          // only; read-side accessors and the
+                                          // evictor do not count)
   };
 
   /// What note() learned about a key, *before* recording this sighting.
@@ -129,30 +150,61 @@ class PlanCache {
     bool seen_before = false;
   };
 
-  PlanCache() = default;
-  explicit PlanCache(const Options& options) : options_(options) {}
+  PlanCache() : PlanCache(Options{}) {}
+  explicit PlanCache(const Options& options) : options_(options) {
+    std::size_t n = options.shards != 0 ? options.shards : auto_shards();
+    // Round up to a power of two so shard_of is a mask, and cap: past ~16
+    // lanes the lock is no longer the bottleneck, the fingerprint hash is.
+    std::size_t pow2 = 1;
+    while (pow2 < n && pow2 < 16) pow2 <<= 1;
+    shards_.reserve(pow2);
+    for (std::size_t i = 0; i < pow2; ++i) shards_.push_back(std::make_unique<Shard>());
+    shard_mask_ = pow2 - 1;
+  }
+
+  /// Number of lock shards (a power of two).
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Which shard a key lives in. Derived from h2 alone, independently of the
+  /// within-shard bucket hash (h1 ^ mix64(h2)), so shard selection does not
+  /// bias bucket distribution. Exposed so tests and benches can construct
+  /// deliberately disjoint (or colliding) tenant shapes.
+  std::size_t shard_of(const LabelKey& key) const {
+    return static_cast<std::size_t>(detail::mix64(key.h2 ^ 0x5851f42d4c957f2dULL)) & shard_mask_;
+  }
 
   /// Records that `key` was requested (LRU-touching it) and reports whether
   /// it was already known — the engine's recurring-labels detector.
   Sighting note(const LabelKey& key) {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-      const Sighting seen{it->second->plan != nullptr, true};
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return seen;
+    Shard& shard = *shards_[shard_of(key)];
+    std::uint64_t stamp = 0;
+    Sighting seen;
+    bool inserted = false;
+    {
+      HotLock lock(shard, obs::active_tracer());
+      const auto it = shard.index.find(key);
+      stamp = touch_clock_.fetch_add(1, std::memory_order_relaxed);
+      if (it != shard.index.end()) {
+        seen = Sighting{it->second->plan != nullptr, true};
+        it->second->stamp = stamp;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      } else {
+        shard.lru.push_front(Entry{key, nullptr, 0, stamp});
+        shard.index.emplace(key, shard.lru.begin());
+        entries_.fetch_add(1, std::memory_order_relaxed);
+        inserted = true;
+      }
     }
-    lru_.push_front(Entry{key, nullptr, 0});
-    index_.emplace(key, lru_.begin());
-    evict_locked();
-    return Sighting{};
+    if (inserted) enforce_budgets(stamp);
+    return seen;
   }
 
   /// True when a plan for `key` is cached (no LRU touch, no stats).
   bool contains(const LabelKey& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = index_.find(key);
-    return it != index_.end() && it->second->plan != nullptr;
+    const Shard& shard = *shards_[shard_of(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    return it != shard.index.end() && it->second->plan != nullptr;
   }
 
   /// The cached plan for (labels, m), building (with auto shape; on
@@ -162,17 +214,24 @@ class PlanCache {
                                                     std::size_t m,
                                                     ThreadPool* build_pool = nullptr) {
     const LabelKey key = label_key(labels, m);
+    const std::size_t shard_index = shard_of(key);
+    Shard& shard = *shards_[shard_index];
     obs::Tracer* tracer = obs::active_tracer();
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      const auto it = index_.find(key);
-      if (it != index_.end() && it->second->plan != nullptr) {
-        ++stats_.hits;
-        lru_.splice(lru_.begin(), lru_, it->second);
+      // PROBE: the span carries the shard index as its tag so traces show
+      // which lock lane served (or missed) the request.
+      obs::ScopedSpan span(tracer, obs::Phase::kPlanLookup);
+      span.set_tag(static_cast<int>(shard_index));
+      HotLock lock(shard, tracer);
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end() && it->second->plan != nullptr) {
+        ++shard.stats.hits;
+        it->second->stamp = touch_clock_.fetch_add(1, std::memory_order_relaxed);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         obs::count(tracer, obs::Event::kPlanCacheHit);
         return it->second->plan;
       }
-      ++stats_.misses;
+      ++shard.stats.misses;
     }
     obs::count(tracer, obs::Event::kPlanCacheMiss);
 
@@ -187,47 +246,68 @@ class PlanCache {
     }
     const std::size_t bytes = plan->memory_bytes();
 
-    std::lock_guard<std::mutex> lock(mu_);
-    if (bytes > options_.max_bytes || options_.max_entries == 0) {
-      ++stats_.oversize_bypasses;
-      return plan;
+    std::uint64_t stamp = 0;
+    {
+      HotLock lock(shard, tracer);
+      if (bytes > options_.max_bytes || options_.max_entries == 0) {
+        ++shard.stats.oversize_bypasses;
+        return plan;
+      }
+      stamp = touch_clock_.fetch_add(1, std::memory_order_relaxed);
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        if (it->second->plan != nullptr) return it->second->plan;  // concurrent build won
+        it->second->plan = plan;
+        it->second->bytes = bytes;
+        it->second->stamp = stamp;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      } else {
+        shard.lru.push_front(Entry{key, plan, bytes, stamp});
+        shard.index.emplace(key, shard.lru.begin());
+        entries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      plan_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     }
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-      if (it->second->plan != nullptr) return it->second->plan;  // concurrent build won
-      it->second->plan = plan;
-      it->second->bytes = bytes;
-      lru_.splice(lru_.begin(), lru_, it->second);
-    } else {
-      lru_.push_front(Entry{key, plan, bytes});
-      index_.emplace(key, lru_.begin());
-    }
-    plan_bytes_ += bytes;
-    evict_locked();
+    enforce_budgets(stamp);
     return plan;
   }
 
+  /// Aggregated across shards.
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats total;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total.hits += shard->stats.hits;
+      total.misses += shard->stats.misses;
+      total.evictions += shard->stats.evictions;
+      total.oversize_bypasses += shard->stats.oversize_bypasses;
+      total.lock_contended += shard->stats.lock_contended;
+    }
+    return total;
   }
 
-  /// Total entries (plans + key-only sightings).
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return lru_.size();
+  /// One shard's counters — the bench's shard-hit-spread signal.
+  Stats shard_stats(std::size_t shard_index) const {
+    const Shard& shard = *shards_[shard_index & shard_mask_];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.stats;
   }
 
-  std::size_t plan_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return plan_bytes_;
-  }
+  /// Total entries (plans + key-only sightings) across all shards.
+  std::size_t size() const { return entries_.load(std::memory_order_relaxed); }
+
+  std::size_t plan_bytes() const { return plan_bytes_.load(std::memory_order_relaxed); }
 
   void clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    index_.clear();
-    lru_.clear();
-    plan_bytes_ = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      std::size_t freed_bytes = 0;
+      for (const Entry& entry : shard->lru) freed_bytes += entry.bytes;
+      entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
+      plan_bytes_.fetch_sub(freed_bytes, std::memory_order_relaxed);
+      shard->index.clear();
+      shard->lru.clear();
+    }
   }
 
  private:
@@ -235,6 +315,7 @@ class PlanCache {
     LabelKey key;
     std::shared_ptr<const SpinetreePlan> plan;  // null for key-only sightings
     std::size_t bytes = 0;
+    std::uint64_t stamp = 0;  // global touch-clock value at last use
   };
 
   struct KeyHash {
@@ -243,27 +324,92 @@ class PlanCache {
     }
   };
 
-  /// Drops LRU-tail entries until both budgets hold. The most recent entry
-  /// always survives (any plan larger than max_bytes was never inserted).
-  void evict_locked() {
-    while (lru_.size() > 1 &&
-           (lru_.size() > options_.max_entries || plan_bytes_ > options_.max_bytes)) {
-      const Entry& tail = lru_.back();
-      if (tail.plan != nullptr) {
-        plan_bytes_ -= tail.bytes;
-        ++stats_.evictions;
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used within the shard
+    std::unordered_map<LabelKey, std::list<Entry>::iterator, KeyHash> index;
+    Stats stats;  // guarded by mu
+  };
+
+  /// Hot-path lock: a failed try_lock means another tenant held this shard —
+  /// exactly the event sharding exists to eliminate — so it is counted
+  /// (after acquisition, under the lock) and surfaced as an obs event.
+  class HotLock {
+   public:
+    HotLock(Shard& shard, obs::Tracer* tracer) : shard_(shard) {
+      if (!shard_.mu.try_lock()) {
+        shard_.mu.lock();
+        ++shard_.stats.lock_contended;
+        obs::count(tracer, obs::Event::kPlanShardContended);
       }
-      index_.erase(tail.key);
-      lru_.pop_back();
+    }
+    ~HotLock() { shard_.mu.unlock(); }
+    HotLock(const HotLock&) = delete;
+    HotLock& operator=(const HotLock&) = delete;
+
+   private:
+    Shard& shard_;
+  };
+
+  static std::size_t auto_shards() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 8 : hw;
+  }
+
+  bool over_budget() const {
+    return entries_.load(std::memory_order_relaxed) > options_.max_entries ||
+           plan_bytes_.load(std::memory_order_relaxed) > options_.max_bytes;
+  }
+
+  /// Drops globally-oldest shard tails until both budgets hold, taking one
+  /// shard lock at a time. The entry stamped `protect_stamp` (the caller's
+  /// just-touched entry) always survives, preserving the single-shard
+  /// guarantee that the most recent entry is never evicted — so even
+  /// max_entries=0 keeps the one live sighting note() just recorded.
+  ///
+  /// The scan picks the shard whose LRU tail is oldest, then re-locks it and
+  /// evicts whatever its tail is *then* (unless protected): if a concurrent
+  /// touch promoted the old tail, the new tail is evicted instead. That
+  /// approximation never livelocks — every pass either evicts one entry or
+  /// proves nothing evictable remains — and over-eviction only tightens the
+  /// bounds the budgets promise.
+  void enforce_budgets(std::uint64_t protect_stamp) {
+    while (entries_.load(std::memory_order_relaxed) > 1 && over_budget()) {
+      std::size_t victim_shard = shards_.size();
+      std::uint64_t oldest = ~std::uint64_t{0};
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard& shard = *shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.lru.empty()) continue;
+        const std::uint64_t stamp = shard.lru.back().stamp;
+        if (stamp == protect_stamp) continue;  // only possible as a 1-entry shard
+        if (stamp < oldest) {
+          oldest = stamp;
+          victim_shard = s;
+        }
+      }
+      if (victim_shard == shards_.size()) return;  // nothing evictable
+
+      Shard& shard = *shards_[victim_shard];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.lru.empty() || shard.lru.back().stamp == protect_stamp) continue;
+      const Entry& tail = shard.lru.back();
+      if (tail.plan != nullptr) {
+        plan_bytes_.fetch_sub(tail.bytes, std::memory_order_relaxed);
+        ++shard.stats.evictions;
+      }
+      shard.index.erase(tail.key);
+      shard.lru.pop_back();
+      entries_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
 
   Options options_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<LabelKey, std::list<Entry>::iterator, KeyHash> index_;
-  std::size_t plan_bytes_ = 0;
-  Stats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
+  std::atomic<std::size_t> entries_{0};
+  std::atomic<std::size_t> plan_bytes_{0};
+  std::atomic<std::uint64_t> touch_clock_{0};
 };
 
 }  // namespace mp

@@ -81,6 +81,15 @@ inline std::optional<Strategy> parse_strategy(std::string_view name) {
   return std::nullopt;
 }
 
+/// Inverse of strategy_index for integers that crossed a non-template
+/// boundary (the C ABI passes strategies as plain ints). kStrategyCount
+/// maps to kAuto — the C header exposes that value as MP_STRATEGY_AUTO —
+/// and anything past it is nullopt rather than a table overrun.
+constexpr std::optional<Strategy> strategy_from_index(int index) {
+  if (index < 0 || index > static_cast<int>(kStrategyCount)) return std::nullopt;
+  return kStrategyInfo[static_cast<std::size_t>(index)].id;
+}
+
 /// Upper-bound scratch footprint (bytes) of one run of a concrete strategy
 /// on an (n, m) problem with `elem_size`-byte elements and `threads` pool
 /// lanes. Used by the engine's budget governance (common/run_context.hpp)

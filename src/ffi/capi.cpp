@@ -1,0 +1,221 @@
+// C ABI implementation: thin translation from the C surface (include/mp.h)
+// onto the type-erased C++ entry points (Engine::run, Frontend::submit).
+// There is deliberately no logic here beyond handle management, descriptor
+// conversion and exception→status mapping — the erased C++ layer already
+// does validation, dispatch and result packing, so the C path cannot drift
+// from the C++ one.
+//
+// The static_asserts below are the ABI contract's enforcement: every C enum
+// value must equal its C++ counterpart numerically. A mismatch is a compile
+// error, not a runtime surprise.
+
+#include "mp.h"
+
+#include <cstring>
+#include <exception>
+#include <future>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#include "common/dtype.hpp"
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "core/engine.hpp"
+#include "core/erased.hpp"
+#include "core/strategy.hpp"
+#include "serve/frontend.hpp"
+
+// ---- the ABI contract, enforced -------------------------------------------
+
+static_assert(sizeof(mp_label) == sizeof(mp::label_t) &&
+                  static_cast<mp_label>(-1) == static_cast<mp::label_t>(-1),
+              "mp_label must be layout-identical to mp::label_t");
+
+static_assert(static_cast<int>(mp::DType::kInt32) == MP_DTYPE_INT32 &&
+                  static_cast<int>(mp::DType::kInt64) == MP_DTYPE_INT64 &&
+                  static_cast<int>(mp::DType::kFloat32) == MP_DTYPE_FLOAT32 &&
+                  static_cast<int>(mp::DType::kFloat64) == MP_DTYPE_FLOAT64 &&
+                  mp::kDTypeCount == 4,
+              "mp_dtype values must mirror mp::DType");
+
+static_assert(static_cast<int>(mp::OpKind::kPlus) == MP_OP_PLUS &&
+                  static_cast<int>(mp::OpKind::kTimes) == MP_OP_TIMES &&
+                  static_cast<int>(mp::OpKind::kMin) == MP_OP_MIN &&
+                  static_cast<int>(mp::OpKind::kMax) == MP_OP_MAX && mp::kOpKindCount == 4,
+              "mp_op values must mirror mp::OpKind");
+
+static_assert(static_cast<int>(mp::RequestOp::kMultiprefix) == MP_KIND_MULTIPREFIX &&
+                  static_cast<int>(mp::RequestOp::kMultireduce) == MP_KIND_MULTIREDUCE &&
+                  mp::kRequestOpCount == 2,
+              "mp_kind values must mirror mp::RequestOp");
+
+static_assert(mp::strategy_index(mp::Strategy::kSerial) == MP_STRATEGY_SERIAL &&
+                  mp::strategy_index(mp::Strategy::kVectorized) == MP_STRATEGY_VECTORIZED &&
+                  mp::strategy_index(mp::Strategy::kParallel) == MP_STRATEGY_PARALLEL &&
+                  mp::strategy_index(mp::Strategy::kSortBased) == MP_STRATEGY_SORT_BASED &&
+                  mp::strategy_index(mp::Strategy::kChunked) == MP_STRATEGY_CHUNKED &&
+                  mp::strategy_index(mp::Strategy::kAuto) == MP_STRATEGY_AUTO,
+              "mp_strategy values must mirror mp::strategy_index");
+
+static_assert(static_cast<int>(mp::ErrorCode::kOk) == MP_OK &&
+                  static_cast<int>(mp::ErrorCode::kInvalidLabel) == MP_ERR_INVALID_LABEL &&
+                  static_cast<int>(mp::ErrorCode::kShapeMismatch) == MP_ERR_SHAPE_MISMATCH &&
+                  static_cast<int>(mp::ErrorCode::kPoolFailure) == MP_ERR_POOL_FAILURE &&
+                  static_cast<int>(mp::ErrorCode::kExecutionFault) == MP_ERR_EXECUTION_FAULT &&
+                  static_cast<int>(mp::ErrorCode::kCancelled) == MP_ERR_CANCELLED &&
+                  static_cast<int>(mp::ErrorCode::kDeadlineExceeded) ==
+                      MP_ERR_DEADLINE_EXCEEDED &&
+                  static_cast<int>(mp::ErrorCode::kBudgetExceeded) == MP_ERR_BUDGET_EXCEEDED &&
+                  static_cast<int>(mp::ErrorCode::kOverloaded) == MP_ERR_OVERLOADED &&
+                  static_cast<int>(mp::ErrorCode::kUnsupported) == MP_ERR_UNSUPPORTED,
+              "mp_status values must mirror mp::ErrorCode");
+
+// ---- handles ---------------------------------------------------------------
+
+struct mp_engine {
+  mp::Engine* impl;
+  bool owned;
+};
+
+struct mp_frontend {
+  mp::serve::Frontend impl;
+  explicit mp_frontend(const mp::serve::FrontendOptions& options) : impl(options) {}
+};
+
+struct mp_future {
+  std::future<mp::serve::ErasedResult> impl;
+  bool waited = false;
+};
+
+namespace {
+
+mp_status status_from(mp::ErrorCode code) {
+  const int value = static_cast<int>(code);
+  if (value >= MP_OK && value <= MP_ERR_UNSUPPORTED) return static_cast<mp_status>(value);
+  return MP_ERR_UNKNOWN;
+}
+
+/// Runs `f`, translating every exception the C boundary may see into a
+/// status: MpError carries its code; std::invalid_argument is a violated
+/// MP_REQUIRE precondition (a shape/contract error); anything else is
+/// unknown. Exceptions must never cross into C.
+template <class F>
+mp_status translated(F&& f) noexcept {
+  try {
+    f();
+    return MP_OK;
+  } catch (const mp::MpError& e) {
+    return status_from(e.code());
+  } catch (const std::invalid_argument&) {
+    return MP_ERR_SHAPE_MISMATCH;
+  } catch (const std::bad_alloc&) {
+    return MP_ERR_EXECUTION_FAULT;
+  } catch (...) {
+    return MP_ERR_UNKNOWN;
+  }
+}
+
+mp::RequestDesc desc_from(const mp_request_desc* desc) {
+  // Deliberately unchecked casts: validate_request_desc inside the erased
+  // entry points turns out-of-range values into MP_ERR_UNSUPPORTED.
+  return mp::RequestDesc{static_cast<mp::DType>(desc->dtype),
+                         static_cast<mp::OpKind>(desc->op),
+                         static_cast<mp::RequestOp>(desc->kind)};
+}
+
+}  // namespace
+
+extern "C" {
+
+const char* mp_status_name(mp_status status) {
+  if (status == MP_ERR_UNKNOWN) return "unknown";
+  const int value = static_cast<int>(status);
+  if (value < MP_OK || value > MP_ERR_UNSUPPORTED) return "unknown";
+  return mp::to_string(static_cast<mp::ErrorCode>(value));
+}
+
+size_t mp_dtype_size(int32_t dtype) {
+  const auto typed = static_cast<mp::DType>(dtype);
+  return mp::dtype_valid(typed) ? mp::dtype_size(typed) : 0;
+}
+
+mp_engine* mp_engine_create(void) {
+  auto* handle = new (std::nothrow) mp_engine{nullptr, true};
+  if (handle == nullptr) return nullptr;
+  handle->impl = new (std::nothrow) mp::Engine();
+  if (handle->impl == nullptr) {
+    delete handle;
+    return nullptr;
+  }
+  return handle;
+}
+
+mp_engine* mp_engine_global(void) {
+  static mp_engine global{&mp::Engine::global(), false};
+  return &global;
+}
+
+void mp_engine_destroy(mp_engine* engine) {
+  if (engine == nullptr || !engine->owned) return;
+  delete engine->impl;
+  delete engine;
+}
+
+mp_status mp_run(mp_engine* engine, const mp_request_desc* desc, const void* values,
+                 const mp_label* labels, size_t n, void* prefix, void* reduction, size_t m,
+                 int32_t strategy) {
+  if (engine == nullptr || desc == nullptr) return MP_ERR_SHAPE_MISMATCH;
+  const auto parsed = mp::strategy_from_index(strategy);
+  if (!parsed) return MP_ERR_UNSUPPORTED;
+  return translated([&] {
+    engine->impl->run(desc_from(desc), values, labels, prefix, reduction, n, m, *parsed);
+  });
+}
+
+mp_frontend* mp_frontend_create(mp_engine* engine, size_t workers) {
+  mp::serve::FrontendOptions options;
+  if (engine != nullptr) options.engine = engine->impl;
+  if (workers != 0) options.workers = workers;
+  return new (std::nothrow) mp_frontend(options);
+}
+
+void mp_frontend_destroy(mp_frontend* frontend) { delete frontend; }
+
+mp_future* mp_submit(mp_frontend* frontend, const mp_request_desc* desc, const void* values,
+                     const mp_label* labels, size_t n, size_t m, uint32_t tenant) {
+  if (frontend == nullptr || desc == nullptr) return nullptr;
+  auto* handle = new (std::nothrow) mp_future();
+  if (handle == nullptr) return nullptr;
+  mp::serve::SubmitOptions opts;
+  opts.tenant = tenant;
+  try {
+    handle->impl = frontend->impl.submit(desc_from(desc), values, labels, n, m, opts);
+  } catch (...) {
+    delete handle;
+    return nullptr;
+  }
+  return handle;
+}
+
+mp_status mp_future_wait(mp_future* future, void* prefix, void* reduction) {
+  if (future == nullptr || !future->impl.valid() || future->waited) return MP_ERR_UNKNOWN;
+  future->waited = true;
+  return translated([&] {
+    mp::serve::ErasedResult result = future->impl.get();
+    if (!result.reduction.empty()) {
+      if (reduction == nullptr)
+        throw std::invalid_argument("mp_future_wait: reduction buffer is NULL");
+      std::memcpy(reduction, result.reduction.data(), result.reduction.size());
+    }
+    if (!result.prefix.empty()) {
+      if (prefix == nullptr)
+        throw std::invalid_argument("mp_future_wait: multiprefix needs a prefix buffer");
+      std::memcpy(prefix, result.prefix.data(), result.prefix.size());
+    }
+  });
+}
+
+void mp_future_destroy(mp_future* future) { delete future; }
+
+}  // extern "C"

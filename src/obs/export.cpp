@@ -73,6 +73,7 @@ std::string chrome_trace_json(const Tracer::Snapshot& snap) {
     }
     if (span.bytes != 0) out += ",\"bytes\":" + std::to_string(span.bytes);
     if (span.polls != 0) out += ",\"polls\":" + std::to_string(span.polls);
+    if (span.tag >= 0) out += ",\"tag\":" + std::to_string(span.tag);
     out += "}}";
   }
   out += "\n]}\n";

@@ -84,6 +84,7 @@ const char* to_string(Event event) {
     case Event::kBreakerReset:     return "breaker_resets";
     case Event::kDrainCancel:      return "drain_cancels";
     case Event::kCoalescedBatch:   return "coalesced_batches";
+    case Event::kPlanShardContended: return "plan_shard_contentions";
   }
   return "?";
 }

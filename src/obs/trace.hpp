@@ -89,8 +89,10 @@ enum class Event : std::uint8_t {
   kBreakerReset,       // a cell closed after successful probes
   kDrainCancel,        // a queued request was cancelled by the drain deadline
   kCoalescedBatch,     // several requests dispatched as one segmented pass
+  kPlanShardContended, // a plan-cache shard lock was held when a hot-path
+                       // probe arrived (the sharding layer's scaling signal)
 };
-inline constexpr std::size_t kEventCount = 14;
+inline constexpr std::size_t kEventCount = 15;
 
 /// Display name ("ROWSUMS") and metrics slug ("rowsums").
 const char* to_string(Phase phase);
@@ -110,6 +112,10 @@ struct SpanRecord {
   Phase phase = Phase::kDispatch;
   std::int8_t strategy = -1;  // strategy_index(), or -1 when not applicable
   std::int8_t simd = -1;      // simd level_index(), or -1 when not applicable
+  std::int16_t tag = -1;      // phase-specific index (kPlanLookup: cache shard),
+                              // or -1. Deliberately separate from `strategy` —
+                              // that field keys the strategy×tier aggregate
+                              // cells, so overloading it would corrupt them.
 };
 
 /// Latency/bytes aggregate for one (strategy, SIMD tier) cell.
@@ -333,6 +339,12 @@ class ScopedSpan {
   /// records the RunContext's poll-count delta across the attempt).
   void note_polls(std::uint64_t polls) {
     if (tracer_ != nullptr) rec_.polls += polls;
+  }
+
+  /// Phase-specific index for the span (kPlanLookup spans carry the cache
+  /// shard that served the probe); exported as "tag" in the Chrome args.
+  void set_tag(int tag) {
+    if (tracer_ != nullptr) rec_.tag = static_cast<std::int16_t>(tag);
   }
 
   bool active() const { return tracer_ != nullptr; }

@@ -1,6 +1,7 @@
 #include "serve/frontend.hpp"
 
 #include <algorithm>
+#include <array>
 #include <string>
 #include <utility>
 
@@ -14,6 +15,96 @@ namespace detail {
 std::uint64_t next_class_id() {
   static std::atomic<std::uint64_t> next{0};
   return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t erased_class_id(const RequestDesc& desc) {
+  // Allocate the whole grid once, from the shared counter, so the lookup is
+  // a plain index with no per-call synchronization past the static init.
+  static const auto kIds = [] {
+    std::array<std::array<std::array<std::uint64_t, kRequestOpCount>, kOpKindCount>,
+               kDTypeCount>
+        table{};
+    for (auto& by_op : table)
+      for (auto& by_kind : by_op)
+        for (auto& id : by_kind) id = next_class_id();
+    return table;
+  }();
+  return kIds[dtype_index(desc.dtype)][op_index(desc.op)]
+             [static_cast<std::size_t>(desc.kind)];
+}
+
+void ErasedRequest::run(Engine& engine, Strategy stage, const RunContext& ctx) {
+  const std::size_t elem = dtype_size(desc.dtype);
+  ErasedResult out;
+  out.desc = desc;
+  out.n = n;
+  out.m = m;
+  out.reduction.resize(m * elem);
+  void* prefix_ptr = nullptr;
+  if (desc.kind == RequestOp::kMultiprefix) {
+    out.prefix.resize(n * elem);
+    prefix_ptr = out.prefix.data();
+  }
+  engine.run(desc, values.data(), labels.data(), prefix_ptr, out.reduction.data(), n, m,
+             stage, ctx);
+  promise.set_value(std::move(out));
+}
+
+void ErasedRequest::fail(Status status) noexcept {
+  promise.set_exception(std::make_exception_ptr(MpError(std::move(status))));
+}
+
+void ErasedRequest::run_batch(Engine& engine, Strategy stage, const RunContext& ctx,
+                              std::span<const std::unique_ptr<Request>> batch) {
+  // The erased analogue of assemble_batch: values concatenate as raw bytes
+  // (the element size is uniform across the batch — same class id, same
+  // descriptor), labels are offset by the running m-prefix-sum.
+  const auto* head = static_cast<const ErasedRequest*>(batch.front().get());
+  const RequestDesc desc = head->desc;
+  const std::size_t elem = dtype_size(desc.dtype);
+  std::size_t total_n = 0;
+  std::vector<std::size_t> m_offsets;
+  m_offsets.reserve(batch.size() + 1);
+  m_offsets.push_back(0);
+  for (const auto& r : batch) {
+    total_n += r->n;
+    m_offsets.push_back(m_offsets.back() + r->m);
+  }
+  std::vector<std::byte> values;
+  std::vector<label_t> labels;
+  values.reserve(total_n * elem);
+  labels.reserve(total_n);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto* req = static_cast<const ErasedRequest*>(batch[i].get());
+    values.insert(values.end(), req->values.begin(), req->values.end());
+    const label_t base = static_cast<label_t>(m_offsets[i]);
+    for (const label_t l : req->labels) labels.push_back(l + base);
+  }
+  const std::size_t total_m = m_offsets.back();
+  std::vector<std::byte> prefix;
+  std::vector<std::byte> reduction(total_m * elem);
+  void* prefix_ptr = nullptr;
+  if (desc.kind == RequestOp::kMultiprefix) {
+    prefix.resize(total_n * elem);
+    prefix_ptr = prefix.data();
+  }
+  engine.run(desc, values.data(), labels.data(), prefix_ptr, reduction.data(), total_n,
+             total_m, stage, ctx);
+  std::size_t base_n = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto* req = static_cast<ErasedRequest*>(batch[i].get());
+    ErasedResult out;
+    out.desc = desc;
+    out.n = req->n;
+    out.m = req->m;
+    out.reduction.assign(reduction.data() + m_offsets[i] * elem,
+                         reduction.data() + m_offsets[i + 1] * elem);
+    if (desc.kind == RequestOp::kMultiprefix)
+      out.prefix.assign(prefix.data() + base_n * elem,
+                        prefix.data() + (base_n + req->n) * elem);
+    base_n += req->n;
+    req->promise.set_value(std::move(out));
+  }
 }
 
 }  // namespace detail
@@ -55,6 +146,38 @@ void Frontend::count_mirrored(std::atomic<std::uint64_t> FallbackCounters::*coun
                               obs::Event event, std::uint64_t delta) {
   (counters().*counter).fetch_add(delta, std::memory_order_relaxed);
   obs::count(tracer(), event, delta);
+}
+
+std::future<ErasedResult> Frontend::submit(const RequestDesc& desc, const void* values,
+                                           const label_t* labels, std::size_t n,
+                                           std::size_t m, const SubmitOptions& opts) {
+  if (Status st = validate_request_desc(desc); !st.is_ok()) {
+    // Same accounting as a shape/label reject in finish_submit: a typed
+    // reject, not a shed — the descriptor cannot improve by retrying.
+    std::promise<ErasedResult> promise;
+    auto future = promise.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+      ++stats_.rejected_invalid;
+      ++stats_.failed;
+    }
+    promise.set_exception(std::make_exception_ptr(MpError(std::move(st))));
+    return future;
+  }
+  auto req = std::make_unique<detail::ErasedRequest>();
+  req->desc = desc;
+  const std::size_t elem = dtype_size(desc.dtype);
+  const auto* value_bytes = static_cast<const std::byte*>(values);
+  req->values.assign(value_bytes, value_bytes + n * elem);
+  req->labels.assign(labels, labels + n);
+  req->n = n;
+  req->labels_view = req->labels;
+  req->class_id = detail::erased_class_id(desc);
+  req->batch_fn = &detail::ErasedRequest::run_batch;
+  auto future = req->promise.get_future();
+  finish_submit(std::move(req), m, elem, opts);
+  return future;
 }
 
 void Frontend::set_tenant(TenantId tenant, const TenantOptions& options) {

@@ -67,6 +67,7 @@
 #include "common/labels.hpp"
 #include "common/run_context.hpp"
 #include "core/engine.hpp"
+#include "core/erased.hpp"
 #include "core/ops.hpp"
 #include "core/result.hpp"
 #include "core/strategy.hpp"
@@ -163,6 +164,28 @@ struct FrontendStats {
   std::uint64_t peak_queued_bytes = 0;
 };
 
+/// Result of a type-erased submit. The element type is data (desc.dtype), so
+/// the buffers are raw native-endian bytes: `reduction` holds m elements,
+/// `prefix` n elements (empty for kMultireduce). The typed accessors are a
+/// convenience reinterpretation for callers who know (or checked) the dtype;
+/// FFI callers copy the bytes straight out.
+struct ErasedResult {
+  RequestDesc desc;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::vector<std::byte> prefix;
+  std::vector<std::byte> reduction;
+
+  template <class T>
+  std::span<const T> prefix_as() const {
+    return {reinterpret_cast<const T*>(prefix.data()), prefix.size() / sizeof(T)};
+  }
+  template <class T>
+  std::span<const T> reduction_as() const {
+    return {reinterpret_cast<const T*>(reduction.data()), reduction.size() / sizeof(T)};
+  }
+};
+
 namespace detail {
 
 enum class RequestKind : std::uint8_t { kMultiprefix, kMultireduce };
@@ -170,6 +193,15 @@ enum class RequestKind : std::uint8_t { kMultiprefix, kMultireduce };
 /// Monotonically increasing id per (T, Op, kind) instantiation — the
 /// coalescing compatibility key and the breaker's class axis.
 std::uint64_t next_class_id();
+
+/// Class id for an erased descriptor, one per (dtype, op, kind) cell, drawn
+/// from the same counter as the typed instantiations so the two families
+/// never collide — they must not: coalesced batches are sliced by
+/// static_cast to the head request's concrete type, so mixing an
+/// ErasedRequest into a typed batch (or vice versa) would be UB, not just
+/// wrong. Erased requests therefore coalesce only with erased requests of
+/// the identical descriptor.
+std::uint64_t erased_class_id(const RequestDesc& desc);
 
 template <class T, class Op, RequestKind K>
 std::uint64_t class_id_of() {
@@ -312,6 +344,24 @@ struct MpRequest final : Request {
   }
 };
 
+/// The erased counterpart of MrRequest/MpRequest — one non-template class
+/// for the whole (dtype × op × kind) space, because nothing in queueing or
+/// batching actually needs the element type: values concatenate as bytes,
+/// only the labels need offsetting, and execution goes through Engine::run,
+/// which picks the same kernel instantiation the typed requests call.
+/// Defined in frontend.cpp.
+struct ErasedRequest final : Request {
+  RequestDesc desc;
+  std::vector<std::byte> values;  // n elements of desc.dtype
+  std::vector<label_t> labels;
+  std::promise<ErasedResult> promise;
+
+  void run(Engine& engine, Strategy stage, const RunContext& ctx) override;
+  void fail(Status status) noexcept override;
+  static void run_batch(Engine& engine, Strategy stage, const RunContext& ctx,
+                        std::span<const std::unique_ptr<Request>> batch);
+};
+
 }  // namespace detail
 
 class Frontend {
@@ -370,6 +420,22 @@ class Frontend {
     finish_submit(std::move(req), m, sizeof(T), opts);
     return future;
   }
+
+  /// Non-template async entry point of the type-erased ABI: the request
+  /// names its element type, operator and operation as data (core/
+  /// erased.hpp), `values` holds n elements of desc.dtype and `labels` n
+  /// labels; both are copied at admission (the future outlives the caller's
+  /// buffers). Routes through the identical admission, fair-queueing,
+  /// coalescing and breaker machinery as the typed submits — erased
+  /// requests of the same descriptor coalesce with each other — and
+  /// executes via Engine::run, so results are bit-identical to
+  /// submit_multireduce/submit_multiprefix of the matching instantiation.
+  /// Descriptors outside the dispatch table resolve the future with
+  /// MpError(kUnsupported); everything else follows the typed error
+  /// contract.
+  std::future<ErasedResult> submit(const RequestDesc& desc, const void* values,
+                                   const label_t* labels, std::size_t n, std::size_t m,
+                                   const SubmitOptions& opts = {});
 
   /// Configure a tenant's weight and in-flight cap (idempotent; applies to
   /// subsequent admissions).

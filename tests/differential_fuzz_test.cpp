@@ -7,6 +7,7 @@
 // brute-force definition.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 
 #include "common/labels.hpp"
@@ -270,6 +271,78 @@ TEST(EngineDifferential, CacheHitPathIsBitIdenticalToColdPath) {
     ASSERT_EQ(red, truth.reduction) << "round " << round;
   }
   EXPECT_GT(engine.plan_cache().stats().hits, 0u);
+}
+
+// ---- erased ABI differential -----------------------------------------------
+
+TEST(ErasedDifferential, ErasedRunMatchesTemplatedBitForBitAtEveryTier) {
+  // Engine::run carries (dtype, op) as data and routes through a dispatch
+  // table into the same kernel bodies the templated API instantiates. This
+  // checks that construction actually holds: for every dtype x op x strategy
+  // x pinned SIMD tier, the erased result equals the templated one *bit for
+  // bit* (memcmp, not operator==, so a float -0.0/+0.0 or NaN-payload drift
+  // would be caught where value comparison stays silent).
+  ThreadPool pool(3);
+  Engine::Options options;
+  options.pool = &pool;
+  options.auto_serial_max_n = 64;     // force plan-based picks at this n
+  options.auto_parallel_min_n = 256;  // and let kParallel engage early
+  Engine engine(options);
+
+  const std::size_t n = 777;
+  const std::size_t m = 19;
+  const auto labels = zipf_labels(n, m, 1.4, 9);
+
+  for (const simd::SimdLevel level :
+       {simd::SimdLevel::kScalar, simd::SimdLevel::k128, simd::SimdLevel::k256,
+        simd::SimdLevel::k512}) {
+    const simd::ScopedSimdLevel pin(level);
+    for (std::size_t d = 0; d < kDTypeCount; ++d) {
+      for (std::size_t o = 0; o < kOpKindCount; ++o) {
+        RequestDesc desc;
+        desc.dtype = static_cast<DType>(d);
+        desc.op = static_cast<OpKind>(o);
+        desc.kind = RequestOp::kMultiprefix;
+        visit_request_types(desc, [&](auto tag, auto op_tag) {
+          using T = typename decltype(tag)::type;
+          using Op = decltype(op_tag);
+          const auto info = std::string(to_string(desc.dtype)) + "/" +
+                            to_string(desc.op) + " level=" + simd::to_string(level);
+          std::vector<T> values(n);
+          Xoshiro256 rng(17 * (d + 1) + o);
+          for (auto& v : values) {
+            // kTimes folds ~40 elements per class; +/-1 values keep every
+            // integer partial product exact while still exercising sign.
+            if constexpr (std::is_same_v<Op, Times>)
+              v = rng.below(2) == 0 ? T(1) : T(-1);
+            else
+              v = static_cast<T>(static_cast<int>(rng.below(41)) - 20);
+          }
+          for (const Strategy s : kAllStrategies) {
+            const auto typed = engine.multiprefix<T>(values, labels, m, Op{}, s);
+            std::vector<T> prefix(n);
+            std::vector<T> reduction(m);
+            engine.run(desc, values.data(), labels.data(), prefix.data(),
+                       reduction.data(), n, m, s);
+            ASSERT_EQ(std::memcmp(prefix.data(), typed.prefix.data(), n * sizeof(T)), 0)
+                << info << " strategy=" << to_string(s);
+            ASSERT_EQ(
+                std::memcmp(reduction.data(), typed.reduction.data(), m * sizeof(T)), 0)
+                << info << " strategy=" << to_string(s);
+
+            const auto typed_red = engine.multireduce<T>(values, labels, m, Op{}, s);
+            RequestDesc red_desc = desc;
+            red_desc.kind = RequestOp::kMultireduce;
+            std::vector<T> erased_red(m);
+            engine.run(red_desc, values.data(), labels.data(), nullptr,
+                       erased_red.data(), n, m, s);
+            ASSERT_EQ(std::memcmp(erased_red.data(), typed_red.data(), m * sizeof(T)), 0)
+                << info << " strategy=" << to_string(s);
+          }
+        });
+      }
+    }
+  }
 }
 
 TEST(AdversarialInputs, OutOfRangeLabelRejectedWithPreciseIndex) {

@@ -1,0 +1,315 @@
+// The type-erased ABI, end to end: RequestDesc validation and the visitor
+// bridges (core/erased.hpp), Engine::run's dispatch table, the frontend's
+// erased submit (including coalescing with other erased requests), the
+// sharded plan cache's shard accessors, and the C surface (include/mp.h)
+// called from C++ — status mapping, enum mirroring, and the future
+// lifecycle. The exhaustive dtype x op x strategy x SIMD-tier bit-identity
+// sweep lives in differential_fuzz_test.cpp; these are the contract checks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "core/engine.hpp"
+#include "core/erased.hpp"
+#include "core/plan_cache.hpp"
+#include "mp.h"
+#include "serve/frontend.hpp"
+
+namespace mp {
+namespace {
+
+// ---- descriptor contract ---------------------------------------------------
+
+TEST(ErasedApi, EveryLiveDescriptorValidatesAndEveryDeadOneRejects) {
+  for (std::size_t d = 0; d < kDTypeCount; ++d)
+    for (std::size_t o = 0; o < kOpKindCount; ++o)
+      for (std::size_t k = 0; k < kRequestOpCount; ++k) {
+        const RequestDesc desc{static_cast<DType>(d), static_cast<OpKind>(o),
+                               static_cast<RequestOp>(k)};
+        EXPECT_TRUE(validate_request_desc(desc).is_ok());
+      }
+  // Out-of-range values on each axis in turn: typed rejection, not UB. The
+  // casts model exactly what the C boundary hands us.
+  const RequestDesc bad_dtype{static_cast<DType>(99), OpKind::kPlus,
+                              RequestOp::kMultireduce};
+  const RequestDesc bad_op{DType::kInt32, static_cast<OpKind>(7),
+                           RequestOp::kMultireduce};
+  const RequestDesc bad_kind{DType::kInt32, OpKind::kPlus, static_cast<RequestOp>(2)};
+  for (const RequestDesc& desc : {bad_dtype, bad_op, bad_kind})
+    EXPECT_EQ(validate_request_desc(desc).code(), ErrorCode::kUnsupported);
+}
+
+TEST(ErasedApi, ParseAndFormatAreInverse) {
+  for (std::size_t d = 0; d < kDTypeCount; ++d) {
+    const DType dtype = static_cast<DType>(d);
+    EXPECT_EQ(parse_dtype(to_string(dtype)), dtype);
+  }
+  for (std::size_t o = 0; o < kOpKindCount; ++o) {
+    const OpKind op = static_cast<OpKind>(o);
+    EXPECT_EQ(parse_op_kind(to_string(op)), op);
+  }
+  // The documented aliases, and the refusal to guess.
+  EXPECT_EQ(parse_dtype("i64"), DType::kInt64);
+  EXPECT_EQ(parse_dtype("double"), DType::kFloat64);
+  EXPECT_EQ(parse_op_kind("add"), OpKind::kPlus);
+  EXPECT_EQ(parse_op_kind("mul"), OpKind::kTimes);
+  EXPECT_FALSE(parse_dtype("int typo").has_value());
+  EXPECT_FALSE(parse_op_kind("xor").has_value());
+}
+
+TEST(ErasedApi, VisitDtypeBridgesToTheNamedConcreteType) {
+  const auto size_of = [](DType dtype) {
+    return visit_dtype(dtype,
+                       [](auto tag) { return sizeof(typename decltype(tag)::type); });
+  };
+  EXPECT_EQ(size_of(DType::kInt32), 4u);
+  EXPECT_EQ(size_of(DType::kInt64), 8u);
+  EXPECT_EQ(size_of(DType::kFloat32), 4u);
+  EXPECT_EQ(size_of(DType::kFloat64), 8u);
+  for (std::size_t d = 0; d < kDTypeCount; ++d)
+    EXPECT_EQ(size_of(static_cast<DType>(d)), dtype_size(static_cast<DType>(d)));
+}
+
+// ---- Engine::run -----------------------------------------------------------
+
+TEST(ErasedApi, EngineRunRejectsDeadDescriptorsBeforeTouchingBuffers) {
+  const std::vector<std::int32_t> values{1, 2, 3};
+  const std::vector<label_t> labels{0, 1, 0};
+  std::vector<std::int32_t> reduction(2);
+  RequestDesc desc{static_cast<DType>(42), OpKind::kPlus, RequestOp::kMultireduce};
+  try {
+    Engine::global().run(desc, values.data(), labels.data(), nullptr, reduction.data(),
+                         values.size(), reduction.size());
+    FAIL() << "dead dtype accepted";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+  }
+}
+
+TEST(ErasedApi, EngineRunMatchesTheTypedEntryPoint) {
+  const std::size_t n = 512, m = 9;
+  const auto labels = uniform_labels(n, m, 7);
+  std::vector<std::int64_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<std::int64_t>(i % 41) - 20;
+
+  const auto typed = Engine::global().multiprefix<std::int64_t>(values, labels, m, Min{});
+  const RequestDesc desc{DType::kInt64, OpKind::kMin, RequestOp::kMultiprefix};
+  std::vector<std::int64_t> prefix(n);
+  std::vector<std::int64_t> reduction(m);
+  Engine::global().run(desc, values.data(), labels.data(), prefix.data(),
+                       reduction.data(), n, m);
+  EXPECT_EQ(prefix, typed.prefix);
+  EXPECT_EQ(reduction, typed.reduction);
+}
+
+// ---- frontend erased submit ------------------------------------------------
+
+TEST(ErasedApi, FrontendErasedSubmitMatchesTypedSubmit) {
+  serve::Frontend fe;
+  const std::size_t n = 2048, m = 12;
+  const auto labels = uniform_labels(n, m, 99);
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = 0.25 * static_cast<double>(i % 37) - 4;
+
+  auto typed = fe.submit_multireduce<double>(values, labels, m, Max{});
+  const RequestDesc desc{DType::kFloat64, OpKind::kMax, RequestOp::kMultireduce};
+  auto erased = fe.submit(desc, values.data(), labels.data(), n, m);
+
+  const std::vector<double> want = typed.get();
+  const serve::ErasedResult got = erased.get();
+  EXPECT_EQ(got.desc, desc);
+  EXPECT_EQ(got.n, n);
+  EXPECT_EQ(got.m, m);
+  ASSERT_EQ(got.reduction_as<double>().size(), m);
+  EXPECT_EQ(std::memcmp(got.reduction.data(), want.data(), m * sizeof(double)), 0);
+  EXPECT_TRUE(got.prefix.empty());  // multireduce carries no prefix
+}
+
+TEST(ErasedApi, FrontendRejectsDeadDescriptorWithoutQueueing) {
+  serve::Frontend fe;
+  const std::vector<std::int32_t> values{1, 2, 3};
+  const std::vector<label_t> labels{0, 1, 0};
+  const RequestDesc desc{DType::kInt32, static_cast<OpKind>(9), RequestOp::kMultireduce};
+  auto future = fe.submit(desc, values.data(), labels.data(), values.size(), 2);
+  try {
+    (void)future.get();
+    FAIL() << "dead op accepted";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+  }
+  const serve::FrontendStats stats = fe.stats();
+  EXPECT_EQ(stats.rejected_invalid, 1u);
+  EXPECT_EQ(stats.admitted, 0u);
+}
+
+TEST(ErasedApi, ErasedSubmitsCoalesceWithEachOther) {
+  // Same pinned-worker construction as the typed coalescing test: one worker
+  // blocked on an incompatible plug while a run of identical erased
+  // descriptors queues up behind it, then released as ONE batch.
+  std::atomic<bool> open{false};
+  serve::FrontendOptions fo;
+  fo.workers = 1;
+  fo.attempt_hook = [&](Strategy) {
+    while (!open.load(std::memory_order_relaxed))
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+  };
+  serve::Frontend fe(fo);
+
+  const auto plug_labels = uniform_labels(128, 4, 5);
+  const std::vector<double> plug_values(128, 1.5);
+  auto plug = fe.submit_multireduce<double>(plug_values, plug_labels, 4);
+
+  constexpr std::size_t kBatch = 6;
+  const std::size_t n = 96, m = 5;
+  const RequestDesc desc{DType::kInt32, OpKind::kPlus, RequestOp::kMultiprefix};
+  std::vector<std::future<serve::ErasedResult>> futures;
+  std::vector<MultiprefixResult<std::int32_t>> truths;
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    const auto labels = uniform_labels(n, m, 60 + r);
+    std::vector<std::int32_t> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+      values[i] = static_cast<std::int32_t>((i + r) % 17) - 8;
+    truths.push_back(Engine::global().multiprefix<std::int32_t>(values, labels, m, Plus{},
+                                                                Strategy::kSerial));
+    futures.push_back(fe.submit(desc, values.data(), labels.data(), n, m));
+  }
+  open.store(true, std::memory_order_relaxed);
+
+  (void)plug.get();
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    const serve::ErasedResult got = futures[r].get();
+    const auto prefix = got.prefix_as<std::int32_t>();
+    const auto reduction = got.reduction_as<std::int32_t>();
+    ASSERT_EQ(prefix.size(), n) << "request " << r;
+    ASSERT_EQ(reduction.size(), m) << "request " << r;
+    EXPECT_EQ(std::memcmp(prefix.data(), truths[r].prefix.data(),
+                          n * sizeof(std::int32_t)),
+              0)
+        << "request " << r;
+    EXPECT_EQ(std::memcmp(reduction.data(), truths[r].reduction.data(),
+                          m * sizeof(std::int32_t)),
+              0)
+        << "request " << r;
+  }
+  fe.wait_idle();
+  const serve::FrontendStats stats = fe.stats();
+  EXPECT_EQ(stats.coalesced_batches, 1u);
+  EXPECT_EQ(stats.coalesced_requests, kBatch);
+}
+
+// ---- sharded plan cache accessors ------------------------------------------
+
+TEST(ErasedApi, ShardCountRoundsUpToAPowerOfTwo) {
+  const std::pair<std::size_t, std::size_t> cases[] = {{1, 1},  {2, 2},   {3, 4},  {5, 8},
+                                                       {8, 8},  {9, 16},  {100, 16}};
+  for (const auto& [requested, expected] : cases) {
+    PlanCache::Options options;
+    options.shards = requested;
+    PlanCache cache(options);
+    EXPECT_EQ(cache.shard_count(), expected) << "requested " << requested;
+  }
+  // Auto selection is still a power of two within the cap.
+  PlanCache dflt;
+  EXPECT_GE(dflt.shard_count(), 1u);
+  EXPECT_LE(dflt.shard_count(), 16u);
+  EXPECT_EQ(dflt.shard_count() & (dflt.shard_count() - 1), 0u);
+}
+
+TEST(ErasedApi, PerShardStatsSumToTheAggregate) {
+  PlanCache::Options options;
+  options.shards = 4;
+  PlanCache cache(options);
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const auto labels = uniform_labels(64 + seed, 4, 500 + seed);
+    (void)cache.get_or_build(labels, 4);
+    (void)cache.get_or_build(labels, 4);  // hit
+  }
+  const PlanCache::Stats total = cache.stats();
+  PlanCache::Stats summed;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    const PlanCache::Stats shard = cache.shard_stats(s);
+    summed.hits += shard.hits;
+    summed.misses += shard.misses;
+    summed.evictions += shard.evictions;
+    summed.oversize_bypasses += shard.oversize_bypasses;
+    summed.lock_contended += shard.lock_contended;
+  }
+  EXPECT_EQ(summed.hits, total.hits);
+  EXPECT_EQ(summed.misses, total.misses);
+  EXPECT_EQ(summed.evictions, total.evictions);
+  EXPECT_EQ(summed.oversize_bypasses, total.oversize_bypasses);
+  EXPECT_EQ(summed.lock_contended, total.lock_contended);
+  EXPECT_EQ(total.misses, 24u);
+  EXPECT_EQ(total.hits, 24u);
+}
+
+// ---- the C surface, driven from C++ ----------------------------------------
+
+TEST(CApi, EnumsMirrorTheCxxValues) {
+  // capi.cpp static_asserts these at compile time; this is the runtime echo
+  // that keeps the contract visible in a test log.
+  EXPECT_EQ(static_cast<int>(MP_DTYPE_FLOAT64), static_cast<int>(DType::kFloat64));
+  EXPECT_EQ(static_cast<int>(MP_OP_MAX), static_cast<int>(OpKind::kMax));
+  EXPECT_EQ(static_cast<int>(MP_KIND_MULTIREDUCE),
+            static_cast<int>(RequestOp::kMultireduce));
+  EXPECT_EQ(static_cast<int>(MP_ERR_UNSUPPORTED),
+            static_cast<int>(ErrorCode::kUnsupported));
+  EXPECT_EQ(mp_dtype_size(MP_DTYPE_INT64), 8u);
+  EXPECT_EQ(mp_dtype_size(99), 0u);
+}
+
+TEST(CApi, StatusNamesAreStableAndNeverNull) {
+  EXPECT_STREQ(mp_status_name(MP_OK), "ok");
+  EXPECT_STREQ(mp_status_name(MP_ERR_UNSUPPORTED), "unsupported");
+  EXPECT_STREQ(mp_status_name(static_cast<mp_status>(42)), "unknown");
+}
+
+TEST(CApi, RunMapsTypedErrorsToStatusCodes) {
+  std::int32_t values[3] = {1, 2, 3};
+  mp_label labels[3] = {0, 9, 0};  // label 9 out of range for m = 2
+  std::int32_t reduction[2] = {0, 0};
+  mp_request_desc desc;
+  desc.dtype = MP_DTYPE_INT32;
+  desc.op = MP_OP_PLUS;
+  desc.kind = MP_KIND_MULTIREDUCE;
+  EXPECT_EQ(mp_run(mp_engine_global(), &desc, values, labels, 3, nullptr, reduction, 2,
+                   MP_STRATEGY_AUTO),
+            MP_ERR_INVALID_LABEL);
+  desc.op = 77;
+  EXPECT_EQ(mp_run(mp_engine_global(), &desc, values, labels, 3, nullptr, reduction, 2,
+                   MP_STRATEGY_AUTO),
+            MP_ERR_UNSUPPORTED);
+}
+
+TEST(CApi, FutureLifecycleWaitsOnceThenRefuses) {
+  mp_frontend* fe = mp_frontend_create(nullptr, 1);
+  ASSERT_NE(fe, nullptr);
+  std::int32_t values[4] = {5, 6, 7, 8};
+  mp_label labels[4] = {0, 1, 0, 1};
+  mp_request_desc desc;
+  desc.dtype = MP_DTYPE_INT32;
+  desc.op = MP_OP_PLUS;
+  desc.kind = MP_KIND_MULTIREDUCE;
+  mp_future* future = mp_submit(fe, &desc, values, labels, 4, 2, /*tenant=*/0);
+  ASSERT_NE(future, nullptr);
+  std::int32_t reduction[2] = {0, 0};
+  EXPECT_EQ(mp_future_wait(future, nullptr, reduction), MP_OK);
+  EXPECT_EQ(reduction[0], 12);
+  EXPECT_EQ(reduction[1], 14);
+  EXPECT_EQ(mp_future_wait(future, nullptr, reduction), MP_ERR_UNKNOWN);
+  mp_future_destroy(future);
+  mp_frontend_destroy(fe);
+  // NULL-safety of the destroy family.
+  mp_future_destroy(nullptr);
+  mp_frontend_destroy(nullptr);
+  mp_engine_destroy(nullptr);
+}
+
+}  // namespace
+}  // namespace mp
