@@ -7,15 +7,24 @@
 //      count table; run-structured labels, the NAS IS shape, maximize the
 //      store-to-load forwarding chains the ILP kernel breaks),
 //   3. chunked multiprefix end-to-end through the Engine (every inner loop
-//      dispatched vs pinned scalar).
+//      dispatched vs pinned scalar),
+//   4. bandwidth ceiling: a bare memcpy stream over the same footprint, and
+//      each dispatched kernel's achieved fraction of it — the roofline
+//      context that says whether the next win must come from fewer passes
+//      rather than wider lanes,
+//   5. batched tiny-n serving kernel: hundreds of n < 1k requests executed
+//      as ONE fused segmented sweep (Engine::multiprefix_batched_into, the
+//      serving frontend's coalesced path) vs a per-request dispatch loop.
 //
 // The headline metrics (BENCH_simd.json via --json) are the dispatched/scalar
 // speedups; scripts/check.sh --bench builds this with MP_ENABLE_NATIVE=ON so
 // the kernels lower to the build host's widest ISA.
 //
 // Flags: --n=N (default 2^20), --m=M (histogram classes, default 512),
-// --run=L (histogram label run length, default 32), --reps=N (default 5),
-// --json=<file>
+// --run=L (histogram label run length, default 32), --batch=B (tiny-n
+// requests, default 256), --reps=N (default 5), --json=<file>
+#include <cstring>
+
 #include "bench_common.hpp"
 #include "common/labels.hpp"
 #include "common/rng.hpp"
@@ -105,6 +114,97 @@ void paper_section(const mp::CliArgs& args) {
   const double chunked_speedup =
       report("chunked multiprefix", chunked_scalar_s, chunked_simd_s);
 
+  // ---- 4. bandwidth ceiling ------------------------------------------------
+  // One warm memcpy stream over the same element count: 4n bytes read + 4n
+  // written. Each kernel's fraction divides its *minimum algorithmic*
+  // traffic (what a perfect single-pass implementation would move) by the
+  // copy bandwidth — a fraction near (or above) 1.0 means the kernel is a
+  // memory stream and further lane-width tuning cannot pay; the distance
+  // below 1.0 is the budget the fused/banded regimes are spending down.
+  // In-place kernels (the scan) can legitimately exceed 1.0: they dodge the
+  // write-allocate traffic the two-stream copy pays.
+  const double dn = static_cast<double>(n);
+  std::vector<std::uint32_t> bw_dst(n);
+  const double copy_s = mp::bench::seconds_best_of(reps, [&] {
+    std::memcpy(bw_dst.data(), work.data(), n * sizeof(std::uint32_t));
+    benchmark::DoNotOptimize(bw_dst.data());
+  });
+  const double copy_gbps =
+      copy_s > 0.0 ? 2.0 * dn * sizeof(std::uint32_t) / copy_s / 1e9 : 0.0;
+  auto bw_fraction = [&](double min_bytes, double seconds) {
+    return seconds > 0.0 && copy_gbps > 0.0 ? min_bytes / seconds / 1e9 / copy_gbps : 0.0;
+  };
+  // scan: n u32 in + n u32 out. histogram: n labels in (counts are cached).
+  // chunked multiprefix: values + labels in, prefix out (the P×m matrix is
+  // noise at these shapes).
+  const double scan_bw_fraction = bw_fraction(8.0 * dn, scan_simd_s);
+  const double hist_bw_fraction = bw_fraction(4.0 * dn, hist_simd_s);
+  const double chunked_bw_fraction = bw_fraction(12.0 * dn, chunked_simd_s);
+  std::printf("bandwidth ceiling: copy %.1f GB/s; fraction of ceiling at minimum traffic:"
+              " scan %.2f, histogram %.2f, chunked %.2f\n\n",
+              copy_gbps, scan_bw_fraction, hist_bw_fraction, chunked_bw_fraction);
+
+  // ---- 5. batched tiny-n serving kernel ------------------------------------
+  // The serving frontend's coalesced shape: `batch` requests with n drawn
+  // from [1, 1k) and m from [1, 64], concatenated with disjoint label
+  // ranges. Per-request timing dispatches each request alone through the
+  // engine (kAuto resolves them all to the serial sweep at these sizes);
+  // batched timing runs the one fused segmented sweep. Both write into the
+  // same slices of one output buffer, so the memcmp below is the
+  // bit-identity assertion the batched entry point advertises.
+  const auto batch_req = static_cast<std::size_t>(args.get("batch", std::int64_t{256}));
+  std::vector<std::vector<int>> req_values(batch_req);
+  std::vector<std::vector<mp::label_t>> req_labels(batch_req);
+  std::vector<std::size_t> bounds{0};
+  std::vector<std::size_t> m_offsets{0};
+  for (std::size_t r = 0; r < batch_req; ++r) {
+    const std::size_t rn = 1 + static_cast<std::size_t>(rng.below(1023));
+    const auto rm = static_cast<mp::label_t>(1 + rng.below(64));
+    req_values[r].resize(rn);
+    req_labels[r].resize(rn);
+    for (auto& v : req_values[r]) v = static_cast<int>(rng.below(100));
+    for (auto& l : req_labels[r]) l = static_cast<mp::label_t>(rng.below(rm));
+    bounds.push_back(bounds.back() + rn);
+    m_offsets.push_back(m_offsets.back() + rm);
+  }
+  const std::size_t total_n = bounds.back();
+  const std::size_t total_m = m_offsets.back();
+  std::vector<int> big_values;
+  std::vector<mp::label_t> big_labels;
+  big_values.reserve(total_n);
+  big_labels.reserve(total_n);
+  for (std::size_t r = 0; r < batch_req; ++r) {
+    big_values.insert(big_values.end(), req_values[r].begin(), req_values[r].end());
+    for (const mp::label_t l : req_labels[r])
+      big_labels.push_back(l + static_cast<mp::label_t>(m_offsets[r]));
+  }
+  std::vector<int> single_prefix(total_n), single_red(total_m);
+  std::vector<int> batched_prefix(total_n), batched_red(total_m);
+  const double tiny_single_s = mp::bench::seconds_best_of(reps, [&] {
+    for (std::size_t r = 0; r < batch_req; ++r) {
+      engine.multiprefix_into<int>(
+          req_values[r], req_labels[r],
+          std::span<int>(single_prefix).subspan(bounds[r], bounds[r + 1] - bounds[r]),
+          std::span<int>(single_red).subspan(m_offsets[r], m_offsets[r + 1] - m_offsets[r]));
+    }
+    benchmark::DoNotOptimize(single_prefix.data());
+  });
+  const double tiny_batched_s = mp::bench::seconds_best_of(reps, [&] {
+    engine.multiprefix_batched_into<int>(big_values, big_labels, bounds,
+                                         std::span<int>(batched_prefix),
+                                         std::span<int>(batched_red));
+    benchmark::DoNotOptimize(batched_prefix.data());
+  });
+  const double tiny_batch_speedup =
+      tiny_batched_s > 0.0 ? tiny_single_s / tiny_batched_s : 0.0;
+  const bool tiny_batch_identical =
+      std::memcmp(single_prefix.data(), batched_prefix.data(), total_n * sizeof(int)) == 0 &&
+      std::memcmp(single_red.data(), batched_red.data(), total_m * sizeof(int)) == 0;
+  std::printf("batched tiny-n: %zu requests (n total %zu, m total %zu)  per-request %.3f ms"
+              "  batched %.3f ms  speedup %.2f  identical %s\n\n",
+              batch_req, total_n, total_m, tiny_single_s * 1e3, tiny_batched_s * 1e3,
+              tiny_batch_speedup, tiny_batch_identical ? "yes" : "NO");
+
   std::printf("scalar vs dispatched (%s), n = %zu, m = %zu\n\n", mp::simd::to_string(active),
               n, m);
   std::printf("%s", table.render().c_str());
@@ -121,6 +221,15 @@ void paper_section(const mp::CliArgs& args) {
   json.metric("chunked_scalar_ms", chunked_scalar_s * 1e3);
   json.metric("chunked_dispatched_ms", chunked_simd_s * 1e3);
   json.metric("chunked_speedup", chunked_speedup);
+  json.metric("bandwidth_copy_gbps", copy_gbps);
+  json.metric("scan_bw_fraction", scan_bw_fraction);
+  json.metric("histogram_bw_fraction", hist_bw_fraction);
+  json.metric("chunked_bw_fraction", chunked_bw_fraction);
+  json.metric("tiny_batch_requests", static_cast<std::int64_t>(batch_req));
+  json.metric("tiny_batch_per_request_ms", tiny_single_s * 1e3);
+  json.metric("tiny_batch_batched_ms", tiny_batched_s * 1e3);
+  json.metric("tiny_batch_speedup", tiny_batch_speedup);
+  json.metric("tiny_batch_assert_pass", tiny_batch_identical ? 1.0 : 0.0);
   json.write();
   if (json.enabled()) std::printf("\nwrote %s\n", args.get("json", std::string()).c_str());
 }

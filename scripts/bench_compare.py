@@ -3,6 +3,7 @@
 
 Usage:
     scripts/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
+                             [--update-baselines]
 
 Both files are the flat key->value objects written by the bench binaries'
 --json flag (bench_common.hpp JsonReporter). The gate enforces three rules:
@@ -21,6 +22,16 @@ Both files are the flat key->value objects written by the bench binaries'
   3. Hard asserts: keys ending in "_assert_pass" must equal 1 (the bench
      binary already decided; this just refuses to ignore it).
 
+Every numeric key present in both files is printed old -> new (gated or
+not), so a passing run still shows where the time went — the absolute ms
+columns are the context that explains a ratio move.
+
+--update-baselines rewrites BASELINE.json in place with the current run's
+values after reporting the diff. Ratio and floor failures are advisory in
+that mode (accepting new numbers is the point — commit the rewritten file
+with the change that explains them); hard asserts still fail, because a
+failed bit-identity check is a bug, never a baseline.
+
 Exit status 0 = all gates pass, 1 = at least one failure (CI fails the job).
 """
 
@@ -29,12 +40,20 @@ import json
 import sys
 
 # Invariant floors on ratio metrics, independent of the baseline file.
-# chunked_speedup: pass 2 of the chunked strategy picks its column-kernel
-# tier at dispatch time (simd::column_kernel_level), so the dispatched run
-# must be at least as fast as pinned-scalar. The pre-fix 512-bit column walk
-# measured 0.92x at n=2^20 — this floor is the regression test for that fix.
+# chunked_speedup: the dispatched chunked run must beat pinned-scalar by the
+# margin the fused banded regime (core/chunked.hpp: single-pass
+# ROWSUMS+MULTISUMS with 12 interleaved bands, L2-tiled pass 2) delivers —
+# measured 1.7x at n=2^20, m=512; 1.5 leaves headroom for slower hosts.
+# Before that regime the floor was 1.0 (the column-kernel tier fix; the
+# pre-fix 512-bit column walk measured 0.92x).
 FLOORS = {
-    "chunked_speedup": 1.0,
+    "chunked_speedup": 1.5,
+    # tiny_batch_speedup: one fused segmented sweep over ~256 coalesced
+    # n<1k requests must beat dispatching them one at a time — that batched
+    # kernel is the serving frontend's whole tiny-request story (measured
+    # 2.5x; below 2x the per-request validation overhead is winning and the
+    # fused path has regressed).
+    "tiny_batch_speedup": 2.0,
     # coalesce_speedup: the serving frontend's batched dispatch of compatible
     # small requests must beat submitting them to the Engine one at a time —
     # otherwise the coalescer is pure complexity and should be ripped out.
@@ -115,6 +134,10 @@ def main():
     parser.add_argument("--list-keys", action="store_true",
                         help="list every key in either file and how the gate "
                              "treats it, then exit without gating")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="rewrite BASELINE with the current run's values "
+                             "after reporting the diff; ratio/floor failures "
+                             "become advisory, hard asserts still fail")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -172,13 +195,49 @@ def main():
         else:
             print(f"  floor ok   {key}: {cur:.3f} >= {floor} (-{args.noise:.0%} noise)")
 
+    # Ungated numeric keys, old -> new: the absolute context (ms columns,
+    # bandwidth fractions) behind every ratio move above. Reported, never
+    # gated — these are host-specific.
+    for key in sorted(set(baseline) & set(current)):
+        if is_ratio_key(key) or key in FLOORS or key.endswith("_assert_pass"):
+            continue
+        if isinstance(baseline[key], bool) or not isinstance(baseline[key], (int, float)):
+            continue
+        if isinstance(current[key], bool) or not isinstance(current[key], (int, float)):
+            continue
+        base, cur = float(baseline[key]), float(current[key])
+        delta = f" ({(cur - base) / base:+.1%})" if base != 0 else ""
+        print(f"  info       {key}: {base:.3f} -> {cur:.3f}{delta}")
+
+    assert_failures = []
     for key, cur in sorted(current.items()):
         if not key.endswith("_assert_pass"):
             continue
         val = numeric(cur, key, args.current, failures)
         if val is not None and val != 1:
-            failures.append(f"{key}: bench-internal assertion failed ({cur})")
+            assert_failures.append(f"{key}: bench-internal assertion failed ({cur})")
 
+    if args.update_baselines:
+        # Accepting the current numbers: advisory report for ratio/floor
+        # drift, but a failed hard assert (or a corrupt file) still gates —
+        # it would bake a bug into the baseline.
+        if failures:
+            print("\nbench_compare: advisory (baselines being updated)")
+            for f in failures:
+                print(f"  * {f}")
+        if assert_failures:
+            print("\nbench_compare: FAILED (asserts gate even with "
+                  "--update-baselines)")
+            for f in assert_failures:
+                print(f"  * {f}")
+            return 1
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2)  # emit order = the bench's order
+            f.write("\n")
+        print(f"\nbench_compare: rewrote {args.baseline} from {args.current}")
+        return 0
+
+    failures += assert_failures
     if failures:
         print("\nbench_compare: FAILED")
         for f in failures:

@@ -109,9 +109,11 @@ done
 # Bench smoke: build the benchmarks in Release, run the engine amortization
 # and SIMD kernel headline metrics into the build trees, then gate them
 # against the committed baselines (scripts/bench_compare.py: >15% regression
-# of any speedup field fails, plus absolute floors like chunked_speedup >=
-# 1.0). To refresh a baseline intentionally, copy the fresh file over the
-# committed one and commit it with the change that moved the number.
+# of any speedup field fails, plus absolute floors — chunked_speedup >= 1.5
+# and tiny_batch_speedup >= 2.0 pin the fused-regime and batched tiny-n
+# wins, and *_assert_pass keys are hard bit-identity gates). To refresh a
+# baseline intentionally, rerun the gate with --update-baselines and commit
+# the rewritten file with the change that moved the numbers.
 if [[ "$BENCH" == 1 ]]; then
   echo "=== [bench-smoke] configure + build ==="
   cmake --preset bench-smoke >/dev/null

@@ -19,10 +19,42 @@
 // Work O(n + P·m), space O(P·m). For P ≪ √n and m = O(n) this is the
 // preferred threaded mapping on cache machines; the ablation bench compares
 // it against the phase-parallel spinetree schedule.
+//
+// Fused regime (Zhang/Wang/Ross-style, ROADMAP open item 2). The reference
+// passes above stream the element vectors three times and their bucket loop
+// is serialized by the store-to-load forwarding chain on repeated labels.
+// When (a) no tracer is attached (the three phase spans above are the
+// tracer's vocabulary — fusing would erase them), (b) T is integral (the
+// fused fold reassociates the per-chunk combine, exact only under
+// two's-complement arithmetic), and (c) the active SIMD tier is a vector
+// tier (the scalar tier must stay byte-for-byte the reference), the passes
+// restructure as:
+//
+//   pass A  ROWSUMS only: each chunk splits into sweep_band_factor()
+//           contiguous bands with private bucket rows, accumulated by the
+//           interleaved banded kernel — a run of equal labels advances four
+//           independent forwarding chains instead of one (lanes refill from
+//           the remaining bands), and no local prefix is written
+//           (that store stream is deferred to pass C, halving the
+//           element-vector traffic of pass 1 + pass 3 combined);
+//   pass B  SPINESUMS down the (P·ways) × m matrix, walked in label tiles
+//           sized to l2_tile_bytes() so a tall matrix stops thrashing L2
+//           (the tiling is pure blocking — bit-identical for every type —
+//           and applies to the reference regime too);
+//   pass C  ROWSUMS+MULTISUMS fused: the banded sweep re-runs seeded with
+//           the pass-B offsets already sitting in each band's bucket row, so
+//           prefix[i] is written once, final — no read-modify-write of the
+//           output vector.
+//
+// A memory-governed run self-gates: the fused matrix is ways× taller, so if
+// it does not fit the remaining byte budget the run falls back to the
+// reference layout, keeping the strategy's advertised scratch cost
+// (strategy_scratch_bytes, P·m·sizeof(T)) the binding one.
 #pragma once
 
 #include <algorithm>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -37,6 +69,25 @@
 #include "simd/kernels.hpp"
 
 namespace mp {
+
+namespace detail {
+
+/// Bands per chunk for this run: sweep_band_factor() when the fused banded
+/// regime may engage (untraced, integral element, vector tier), gated down
+/// to 1 — the reference layout — when the taller matrix would blow a
+/// governed run's remaining byte budget.
+template <class T>
+std::size_t chunked_ways(const obs::Tracer* obs_tracer, std::size_t chunks, std::size_t m,
+                         const RunContext* rc) {
+  if (obs_tracer != nullptr || !std::is_integral_v<T>) return 1;
+  const std::size_t ways = simd::sweep_band_factor(simd::active_level());
+  if (ways > 1 && rc != nullptr && rc->memory_governed() &&
+      chunks * ways * m * sizeof(T) > rc->remaining_bytes())
+    return 1;
+  return ways;
+}
+
+}  // namespace detail
 
 /// Core chunked sweep writing into caller buffers; m = reduction.size().
 /// Every reduction slot is written (identity for unreferenced classes).
@@ -57,20 +108,26 @@ void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t
   }
 
   const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
-  const std::vector<std::size_t> bounds = partition_range(n, chunks);
   obs::Tracer* obs_tracer = obs::sink_for(rc);  // null = all spans inert
+  const simd::SimdLevel level = simd::active_level();
+  const std::size_t ways = detail::chunked_ways<T>(obs_tracer, chunks, m, rc);
+  const bool fused = ways > 1;
+  const std::size_t rows = chunks * ways;
+  const std::vector<std::size_t> bounds = partition_range(n, rows);
   // Pass-2 kernel tier, picked once at dispatch time for the matrix height
   // (512-bit column batches lose on the strided walk — see
   // simd::column_kernel_level).
-  const simd::SimdLevel col_level = simd::column_kernel_level(simd::active_level(), chunks);
+  const simd::SimdLevel col_level = simd::column_kernel_level(level, rows);
 
-  // chunk-major P × m matrix of local class totals — the algorithm's whole
-  // scratch footprint, charged against the run's byte budget (and exposed
-  // to the allocation-fault seam) before the allocation happens.
-  BudgetCharge scratch(rc, chunks * m * sizeof(T));
-  notify_alloc(chunks * m * sizeof(T));
-  obs::note_bytes(obs_tracer, chunks * m * sizeof(T));
-  std::vector<T> local(chunks * m, id);
+  // chunk-major rows × m matrix of local class totals — the algorithm's
+  // whole scratch footprint, charged against the run's byte budget (and
+  // exposed to the allocation-fault seam) before the allocation happens.
+  // rows == chunks in the reference regime; the fused regime's taller
+  // matrix is budget-gated in detail::chunked_ways.
+  BudgetCharge scratch(rc, rows * m * sizeof(T));
+  notify_alloc(rows * m * sizeof(T));
+  obs::note_bytes(obs_tracer, rows * m * sizeof(T));
+  std::vector<T> local(rows * m, id);
 
   // Pass 1: local multiprefix per chunk. Labels are range-checked once per
   // chunk up front (one vectorized max sweep) so the bucket loop is
@@ -78,23 +135,34 @@ void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t
   // inside each lane's chunk walk (chunk boundaries are the safe points: no
   // bucket is mid-combine between elements). The chunked passes are the
   // coarse-grained spinetree phases: pass 1 is ROWSUMS with rows of width
-  // n/P, pass 2 the SPINESUMS recurrence, pass 3 MULTISUMS.
+  // n/P, pass 2 the SPINESUMS recurrence, pass 3 MULTISUMS. In the fused
+  // regime pass 1 is accumulate-only (pass A of the header comment): the
+  // local prefixes are recomputed during the seeded pass-3 sweep instead of
+  // stored here, and each chunk's `ways` bands interleave through the
+  // banded kernel.
   {
     obs::ScopedSpan span(obs_tracer, obs::Phase::kRowsums);
     pool.run(
         [&](std::size_t lane) {
           for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
-            const std::size_t len = bounds[ch + 1] - bounds[ch];
+            const std::size_t b0 = ch * ways;
+            const std::size_t len = bounds[b0 + ways] - bounds[b0];
             if (len == 0) continue;
-            MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
+            MP_REQUIRE(simd::max_label(labels.subspan(bounds[b0], len)) < m,
                        "label out of range");
-            T* bucket = local.data() + ch * m;
-            std::size_t i = bounds[ch];
-            while (i < bounds[ch + 1]) {
+            if (fused) {
+              simd::banded_bucket_accumulate<T, Op>(values.data(), labels.data(),
+                                                    bounds.data() + b0, ways,
+                                                    local.data() + b0 * m, m, op, rc, level);
+              continue;
+            }
+            T* bucket = local.data() + b0 * m;
+            std::size_t i = bounds[b0];
+            while (i < bounds[b0 + 1]) {
               checkpoint(rc);
-              const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
+              const std::size_t stop = rc != nullptr && bounds[b0 + 1] - i > kCancelCheckBlock
                                            ? i + kCancelCheckBlock
-                                           : bounds[ch + 1];
+                                           : bounds[b0 + 1];
               for (; i < stop; ++i) {
                 T& cell = bucket[labels[i]];
                 prefix[i] = cell;
@@ -107,35 +175,50 @@ void multiprefix_chunked_into(std::span<const T> values, std::span<const label_t
   }
 
   // Pass 2: exclusive scan across chunks for every label; the total becomes
-  // the reduction. After this, local[ch*m + k] holds the op-sum of class k
-  // over all chunks *before* ch. Adjacent labels are adjacent columns of the
+  // the reduction. After this, local[b*m + k] holds the op-sum of class k
+  // over all bands *before* b. Adjacent labels are adjacent columns of the
   // chunk-major matrix, so the kernel scans a register-width of labels per
   // step with contiguous loads; each column's combine order is untouched
-  // (bit-identical for floats too).
+  // (bit-identical for floats too). The column walk is blocked into label
+  // tiles whose rows-deep working set fits l2_tile_bytes() — pure blocking,
+  // every tile boundary computes identical results.
   {
     obs::ScopedSpan span(obs_tracer, obs::Phase::kSpinesums);
+    const std::size_t tile = simd::l2_tile_cols(rows, sizeof(T));
     parallel_for_blocked(
         pool, 0, m, /*grain=*/256,
         [&](std::size_t k0, std::size_t k1) {
-          simd::column_exclusive_scan<T, Op>(local.data(), chunks, m, k0, k1,
-                                             reduction.data(), op, col_level);
+          for (std::size_t t0 = k0; t0 < k1; t0 += tile)
+            simd::column_exclusive_scan<T, Op>(local.data(), rows, m, t0,
+                                               std::min(k1, t0 + tile), reduction.data(), op,
+                                               col_level);
         },
         rc);
   }
 
-  // Pass 3: combine the chunk offset on the left of each local prefix.
+  // Pass 3: combine the chunk offset on the left of each local prefix. The
+  // fused regime instead re-sweeps the element vectors seeded with the
+  // pass-2 offsets (each band's bucket row already holds them), writing
+  // every prefix slot exactly once.
   {
     obs::ScopedSpan span(obs_tracer, obs::Phase::kMultisums);
     pool.run(
         [&](std::size_t lane) {
           for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
-            const T* offset = local.data() + ch * m;
-            std::size_t i = bounds[ch];
-            while (i < bounds[ch + 1]) {
+            const std::size_t b0 = ch * ways;
+            if (fused) {
+              simd::banded_bucket_sweep<T, Op>(values.data(), labels.data(),
+                                               bounds.data() + b0, ways, local.data() + b0 * m,
+                                               m, prefix.data(), op, rc, level);
+              continue;
+            }
+            const T* offset = local.data() + b0 * m;
+            std::size_t i = bounds[b0];
+            while (i < bounds[b0 + 1]) {
               checkpoint(rc);
-              const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
+              const std::size_t stop = rc != nullptr && bounds[b0 + 1] - i > kCancelCheckBlock
                                            ? i + kCancelCheckBlock
-                                           : bounds[ch + 1];
+                                           : bounds[b0 + 1];
               for (; i < stop; ++i) prefix[i] = op(offset[labels[i]], prefix[i]);
             }
           }
@@ -172,30 +255,44 @@ void multireduce_chunked_into(std::span<const T> values, std::span<const label_t
   }
 
   const std::size_t chunks = chunks_hint != 0 ? chunks_hint : pool.num_threads();
-  const std::vector<std::size_t> bounds = partition_range(n, chunks);
   obs::Tracer* obs_tracer = obs::sink_for(rc);
-  const simd::SimdLevel col_level = simd::column_kernel_level(simd::active_level(), chunks);
-  BudgetCharge scratch(rc, chunks * m * sizeof(T));
-  notify_alloc(chunks * m * sizeof(T));
-  obs::note_bytes(obs_tracer, chunks * m * sizeof(T));
-  std::vector<T> local(chunks * m, id);
+  const simd::SimdLevel level = simd::active_level();
+  // Same banded regime as the multiprefix form: more, narrower bands whose
+  // sweeps interleave. Only the cross-band combine in pass 2 is
+  // reassociated, hence the same integral-only gate.
+  const std::size_t ways = detail::chunked_ways<T>(obs_tracer, chunks, m, rc);
+  const bool banded = ways > 1;
+  const std::size_t rows = chunks * ways;
+  const std::vector<std::size_t> bounds = partition_range(n, rows);
+  const simd::SimdLevel col_level = simd::column_kernel_level(level, rows);
+  BudgetCharge scratch(rc, rows * m * sizeof(T));
+  notify_alloc(rows * m * sizeof(T));
+  obs::note_bytes(obs_tracer, rows * m * sizeof(T));
+  std::vector<T> local(rows * m, id);
 
   {
     obs::ScopedSpan span(obs_tracer, obs::Phase::kRowsums);
     pool.run(
         [&](std::size_t lane) {
           for (std::size_t ch = lane; ch < chunks; ch += pool.num_threads()) {
-            const std::size_t len = bounds[ch + 1] - bounds[ch];
+            const std::size_t b0 = ch * ways;
+            const std::size_t len = bounds[b0 + ways] - bounds[b0];
             if (len == 0) continue;
-            MP_REQUIRE(simd::max_label(labels.subspan(bounds[ch], len)) < m,
+            MP_REQUIRE(simd::max_label(labels.subspan(bounds[b0], len)) < m,
                        "label out of range");
-            T* bucket = local.data() + ch * m;
-            std::size_t i = bounds[ch];
-            while (i < bounds[ch + 1]) {
+            if (banded) {
+              simd::banded_bucket_accumulate<T, Op>(values.data(), labels.data(),
+                                                    bounds.data() + b0, ways,
+                                                    local.data() + b0 * m, m, op, rc, level);
+              continue;
+            }
+            T* bucket = local.data() + b0 * m;
+            std::size_t i = bounds[b0];
+            while (i < bounds[b0 + 1]) {
               checkpoint(rc);
-              const std::size_t stop = rc != nullptr && bounds[ch + 1] - i > kCancelCheckBlock
+              const std::size_t stop = rc != nullptr && bounds[b0 + 1] - i > kCancelCheckBlock
                                            ? i + kCancelCheckBlock
-                                           : bounds[ch + 1];
+                                           : bounds[b0 + 1];
               for (; i < stop; ++i) bucket[labels[i]] = op(bucket[labels[i]], values[i]);
             }
           }
@@ -205,11 +302,13 @@ void multireduce_chunked_into(std::span<const T> values, std::span<const label_t
 
   {
     obs::ScopedSpan span(obs_tracer, obs::Phase::kSpinesums);
+    const std::size_t tile = simd::l2_tile_cols(rows, sizeof(T));
     parallel_for_blocked(
         pool, 0, m, /*grain=*/256,
         [&](std::size_t k0, std::size_t k1) {
-          simd::column_reduce<T, Op>(local.data(), chunks, m, k0, k1, reduction.data(), op,
-                                     col_level);
+          for (std::size_t t0 = k0; t0 < k1; t0 += tile)
+            simd::column_reduce<T, Op>(local.data(), rows, m, t0, std::min(k1, t0 + tile),
+                                       reduction.data(), op, col_level);
         },
         rc);
   }

@@ -108,6 +108,11 @@ struct ErasedOps {
                           std::size_t, Strategy, const RunContext&);
   void (*run_multireduce)(Engine&, const void*, const label_t*, void*, std::size_t,
                           std::size_t, Strategy, const RunContext&);
+  void (*run_mp_batched)(Engine&, const void*, const label_t*, const std::size_t*,
+                         std::size_t, void*, void*, std::size_t, std::size_t,
+                         const RunContext&);
+  void (*run_mr_batched)(Engine&, const void*, const label_t*, const std::size_t*,
+                         std::size_t, void*, std::size_t, std::size_t, const RunContext&);
 };
 
 template <class T, class Op>
@@ -130,13 +135,38 @@ void erased_mr(Engine& eng, const void* values, const label_t* labels, void* red
                               ctx);
 }
 
+template <class T, class Op>
+void erased_mp_batched(Engine& eng, const void* values, const label_t* labels,
+                       const std::size_t* bounds, std::size_t batch, void* prefix,
+                       void* reduction, std::size_t n, std::size_t m, const RunContext& ctx) {
+  eng.multiprefix_batched_into<T, Op>(std::span<const T>(static_cast<const T*>(values), n),
+                                      std::span<const label_t>(labels, n),
+                                      std::span<const std::size_t>(bounds, batch + 1),
+                                      std::span<T>(static_cast<T*>(prefix), n),
+                                      std::span<T>(static_cast<T*>(reduction), m), Op{}, ctx);
+}
+
+template <class T, class Op>
+void erased_mr_batched(Engine& eng, const void* values, const label_t* labels,
+                       const std::size_t* bounds, std::size_t batch, void* reduction,
+                       std::size_t n, std::size_t m, const RunContext& ctx) {
+  eng.multireduce_batched_into<T, Op>(std::span<const T>(static_cast<const T*>(values), n),
+                                      std::span<const label_t>(labels, n),
+                                      std::span<const std::size_t>(bounds, batch + 1),
+                                      std::span<T>(static_cast<T*>(reduction), m), Op{}, ctx);
+}
+
 template <class T>
 constexpr std::array<ErasedOps, kOpKindCount> erased_row() {
   // Column order is the OpKind enum order (common/dtype.hpp) by definition.
-  return {{{&erased_mp<T, Plus>, &erased_mr<T, Plus>},
-           {&erased_mp<T, Times>, &erased_mr<T, Times>},
-           {&erased_mp<T, Min>, &erased_mr<T, Min>},
-           {&erased_mp<T, Max>, &erased_mr<T, Max>}}};
+  return {{{&erased_mp<T, Plus>, &erased_mr<T, Plus>, &erased_mp_batched<T, Plus>,
+            &erased_mr_batched<T, Plus>},
+           {&erased_mp<T, Times>, &erased_mr<T, Times>, &erased_mp_batched<T, Times>,
+            &erased_mr_batched<T, Times>},
+           {&erased_mp<T, Min>, &erased_mr<T, Min>, &erased_mp_batched<T, Min>,
+            &erased_mr_batched<T, Min>},
+           {&erased_mp<T, Max>, &erased_mr<T, Max>, &erased_mp_batched<T, Max>,
+            &erased_mr_batched<T, Max>}}};
 }
 
 // Row order is the DType enum order.
@@ -162,6 +192,24 @@ void Engine::run(const RequestDesc& desc, const void* values, const label_t* lab
     ops.run_multiprefix(*this, values, labels, prefix, reduction, n, m, strategy, ctx);
   } else {
     ops.run_multireduce(*this, values, labels, reduction, n, m, strategy, ctx);
+  }
+}
+
+void Engine::run_batched(const RequestDesc& desc, const void* values, const label_t* labels,
+                         const std::size_t* bounds, std::size_t batch, void* prefix,
+                         void* reduction, std::size_t n, std::size_t m,
+                         const RunContext& ctx) {
+  if (Status st = validate_request_desc(desc); !st.is_ok()) throw MpError(std::move(st));
+  MP_REQUIRE(bounds != nullptr, "batched run needs the request bounds");
+  MP_REQUIRE(reduction != nullptr || m == 0, "erased run needs a reduction buffer");
+  MP_REQUIRE((values != nullptr && labels != nullptr) || n == 0,
+             "erased run needs values and labels buffers");
+  const ErasedOps& ops = kErasedRegistry[dtype_index(desc.dtype)][op_index(desc.op)];
+  if (desc.kind == RequestOp::kMultiprefix) {
+    MP_REQUIRE(prefix != nullptr || n == 0, "multiprefix request needs a prefix buffer");
+    ops.run_mp_batched(*this, values, labels, bounds, batch, prefix, reduction, n, m, ctx);
+  } else {
+    ops.run_mr_batched(*this, values, labels, bounds, batch, reduction, n, m, ctx);
   }
 }
 

@@ -188,6 +188,33 @@ class Engine {
                         Strategy strategy = Strategy::kAuto,
                         const RunContext& ctx = RunContext::none());
 
+  /// Batched tiny-n multiprefix: executes bounds.size()-1 concatenated
+  /// requests in ONE fused segmented sweep. Request r owns elements
+  /// [bounds[r], bounds[r+1]) of values/labels/prefix; labels are already
+  /// offset into disjoint class ranges of a shared [0, m) space (the serving
+  /// frontend's coalescing transform) with m = reduction.size(). Each
+  /// request's recurrence starts from identity cells and never touches
+  /// another request's classes, so the output is memcmp-identical — for
+  /// every dtype, floats included — to dispatching each request separately
+  /// through the serial sweep; what the batch buys is one
+  /// validation/dispatch/fill per hundreds of requests plus the banded
+  /// kernel interleaving four requests' dependency chains at the vector
+  /// tiers. Counted as one kSerial run (the per-request resolution for
+  /// every n < auto_serial_max_n request).
+  template <class T, class Op = Plus>
+    requires AssociativeOp<Op, T>
+  void multiprefix_batched_into(std::span<const T> values, std::span<const label_t> labels,
+                                std::span<const std::size_t> bounds, std::span<T> prefix,
+                                std::span<T> reduction, Op op = {},
+                                const RunContext& ctx = RunContext::none());
+
+  /// Multireduce form of the batched tiny-n sweep (accumulate only).
+  template <class T, class Op = Plus>
+    requires AssociativeOp<Op, T>
+  void multireduce_batched_into(std::span<const T> values, std::span<const label_t> labels,
+                                std::span<const std::size_t> bounds, std::span<T> reduction,
+                                Op op = {}, const RunContext& ctx = RunContext::none());
+
   /// Allocating forms of the above.
   template <class T, class Op = Plus>
     requires AssociativeOp<Op, T>
@@ -227,6 +254,16 @@ class Engine {
   void run(const RequestDesc& desc, const void* values, const label_t* labels, void* prefix,
            void* reduction, std::size_t n, std::size_t m,
            Strategy strategy = Strategy::kAuto, const RunContext& ctx = RunContext::none());
+
+  /// Type-erased twin of multiprefix_batched_into / multireduce_batched_into
+  /// (desc.kind selects which): `bounds` has batch+1 entries, `prefix` is
+  /// required for kMultiprefix and ignored for kMultireduce. Same
+  /// bit-identity contract as the templated forms; defined in engine.cpp
+  /// next to run()'s dispatch table.
+  void run_batched(const RequestDesc& desc, const void* values, const label_t* labels,
+                   const std::size_t* bounds, std::size_t batch, void* prefix,
+                   void* reduction, std::size_t n, std::size_t m,
+                   const RunContext& ctx = RunContext::none());
 
   CountersSnapshot counters() const;
   void reset_counters();
@@ -551,6 +588,70 @@ void Engine::multireduce_into(std::span<const T> values, std::span<const label_t
                     [&](Strategy stage, const RunContext* rc) {
                       detail::kStrategyRegistry<T, Op>[strategy_index(stage)].run_multireduce(
                           *this, values, labels, reduction, op, rc);
+                    });
+}
+
+namespace detail {
+
+/// Shared argument checks of the batched entry points: bounds must describe
+/// a complete, contiguous, non-overlapping cover of [0, n).
+inline void require_valid_batch_bounds(std::span<const std::size_t> bounds, std::size_t n) {
+  MP_REQUIRE(bounds.size() >= 2, "batch bounds need at least two entries");
+  MP_REQUIRE(bounds.front() == 0 && bounds.back() == n,
+             "batch bounds must cover [0, n) exactly");
+  for (std::size_t b = 1; b < bounds.size(); ++b)
+    MP_REQUIRE(bounds[b - 1] <= bounds[b], "batch bounds must be non-decreasing");
+}
+
+}  // namespace detail
+
+template <class T, class Op>
+  requires AssociativeOp<Op, T>
+void Engine::multiprefix_batched_into(std::span<const T> values,
+                                      std::span<const label_t> labels,
+                                      std::span<const std::size_t> bounds, std::span<T> prefix,
+                                      std::span<T> reduction, Op op, const RunContext& ctx) {
+  require_valid_inputs(values.size(), labels, reduction.size());
+  MP_REQUIRE(prefix.size() == values.size(), "prefix output size mismatch");
+  detail::require_valid_batch_bounds(bounds, values.size());
+  if (values.empty()) {
+    simd::fill(reduction, op.template identity<T>());
+    return;
+  }
+  count_run(Strategy::kSerial);
+  governed_dispatch(Strategy::kSerial, values.size(), reduction.size(), sizeof(T), ctx,
+                    [&](Strategy, const RunContext* rc) {
+                      // The reduction array doubles as the shared bucket
+                      // cells: each request sweeps only its own class range,
+                      // leaving its per-class totals behind — exactly the
+                      // serial sweep's state, batch-wide.
+                      simd::fill(reduction, op.template identity<T>());
+                      simd::banded_bucket_sweep<T, Op>(values.data(), labels.data(),
+                                                       bounds.data(), bounds.size() - 1,
+                                                       reduction.data(), /*bucket_stride=*/0,
+                                                       prefix.data(), op, rc);
+                    });
+}
+
+template <class T, class Op>
+  requires AssociativeOp<Op, T>
+void Engine::multireduce_batched_into(std::span<const T> values,
+                                      std::span<const label_t> labels,
+                                      std::span<const std::size_t> bounds,
+                                      std::span<T> reduction, Op op, const RunContext& ctx) {
+  require_valid_inputs(values.size(), labels, reduction.size());
+  detail::require_valid_batch_bounds(bounds, values.size());
+  if (values.empty()) {
+    simd::fill(reduction, op.template identity<T>());
+    return;
+  }
+  count_run(Strategy::kSerial);
+  governed_dispatch(Strategy::kSerial, values.size(), reduction.size(), sizeof(T), ctx,
+                    [&](Strategy, const RunContext* rc) {
+                      simd::fill(reduction, op.template identity<T>());
+                      simd::banded_bucket_accumulate<T, Op>(
+                          values.data(), labels.data(), bounds.data(), bounds.size() - 1,
+                          reduction.data(), /*bucket_stride=*/0, op, rc);
                     });
 }
 

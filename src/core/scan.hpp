@@ -90,6 +90,26 @@ T exclusive_scan_partition(std::span<T> data, ThreadPool& pool, Op op = {},
   // Governance checkpoints sit at the method's own phase boundaries (each
   // block is one kernel sweep — the natural chunk).
   checkpoint(rc);
+
+  // Single-thread schedule: the two phase loops below would stream the whole
+  // vector twice, evicting each block between its reduce and its scan once n
+  // outgrows the cache. With one lane there is no parallelism to stage for,
+  // so fuse per block instead — reduce a block, then immediately re-scan it
+  // while it is still cache-resident, carrying the running offset the same
+  // way exclusive_scan_serial carries it across the totals array. Same
+  // kernel calls, same block bounds, same seeds and the same combine order
+  // as the staged schedule: bit-identical for every type, floats included.
+  if (pool.num_threads() == 1) {
+    T acc = id;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      checkpoint(rc);
+      std::span<T> block(data.data() + bounds[b], bounds[b + 1] - bounds[b]);
+      const T total = simd::reduce<T, Op>(std::span<const T>(block), op);
+      simd::exclusive_scan_seeded<T, Op>(block, acc, op);
+      acc = op(acc, total);
+    }
+    return acc;
+  }
   BudgetCharge scratch(rc, blocks * sizeof(T));
   std::vector<T> totals(blocks, id);
   parallel_for(

@@ -60,7 +60,7 @@ inline LabelSortResult sort_by_label(std::span<const label_t> labels, std::size_
   std::vector<std::uint32_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
   out.order.resize(n);
   checkpoint(rc);
-  simd::rank_scatter(labels, cursor.data(), out.order.data());
+  simd::rank_scatter(labels, cursor.data(), out.order.data(), m);
   return out;
 }
 

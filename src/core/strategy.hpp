@@ -22,6 +22,16 @@
 // (e.g. kParallel → kVectorized → kSerial on pool failure) never forfeits
 // vectorization, and pinning SimdLevel::kScalar recovers the exact pre-SIMD
 // scalar recurrences on any strategy.
+//
+// Execution *regimes within* a strategy follow the same rule. kChunked's
+// fused/banded layout (core/chunked.hpp: single-pass ROWSUMS+MULTISUMS,
+// L2-tiled pass 2) and kSortBased's write-combining rank scatter are picked
+// inside the strategy from (SIMD tier, element type, tracer attachment,
+// remaining byte budget) — never by a new enum value here. That keeps the
+// kAuto regime table, the wire names, and the fallback chains frozen while
+// the regimes evolve; a regime must be bit-identical to its reference layout
+// (or gated to the integer paths where it is), so nothing observable beyond
+// speed depends on which one ran.
 #pragma once
 
 #include <array>
@@ -100,7 +110,11 @@ constexpr std::optional<Strategy> strategy_from_index(int index) {
 ///   vectorized/ — two (m+n) rowsum/spinesum vectors plus the plan's spine
 ///   parallel      array (uint32 per node; counted in case of a cache miss);
 ///   sort-based  — the order permutation + offsets/cursor (uint32 each);
-///   chunked     — the threads × m local bucket matrix.
+///   chunked     — the threads × m local bucket matrix. The fused banded
+///                 regime wants a ways× taller matrix but self-gates back to
+///                 this reference footprint when a governed run's remaining
+///                 budget cannot fit it (core/chunked.hpp), so this estimate
+///                 stays the binding one for budget demotion.
 inline constexpr std::size_t strategy_scratch_bytes(Strategy s, std::size_t n, std::size_t m,
                                                     std::size_t elem_size,
                                                     std::size_t threads) {

@@ -88,8 +88,17 @@ void ErasedRequest::run_batch(Engine& engine, Strategy stage, const RunContext& 
     prefix.resize(total_n * elem);
     prefix_ptr = prefix.data();
   }
-  engine.run(desc, values.data(), labels.data(), prefix_ptr, reduction.data(), total_n,
-             total_m, stage, ctx);
+  if (all_tiny(batch)) {
+    // Same tiny-batch routing as the typed run_batch implementations: one
+    // fused segmented sweep through the erased batched entry point, stage
+    // deliberately ignored (see kTinyBatchMaxN).
+    const auto bounds = element_bounds(batch);
+    engine.run_batched(desc, values.data(), labels.data(), bounds.data(), batch.size(),
+                       prefix_ptr, reduction.data(), total_n, total_m, ctx);
+  } else {
+    engine.run(desc, values.data(), labels.data(), prefix_ptr, reduction.data(), total_n,
+               total_m, stage, ctx);
+  }
   std::size_t base_n = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     auto* req = static_cast<ErasedRequest*>(batch[i].get());

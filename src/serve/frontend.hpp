@@ -22,8 +22,12 @@
 //     per request. This is the paper's §5.2.1 amortization applied across
 //     *callers* instead of across calls — hundreds of n<1k requests become
 //     a single well-vectorized dispatch (bench/serving_soak measures the
-//     win). Within-class element order is preserved, so results stay
-//     bit-identical to running each request alone.
+//     win). When every member is tiny (n < detail::kTinyBatchMaxN) the
+//     batch routes through the engine's batched tiny-n entry points — one
+//     fused segmented sweep whose banded kernel interleaves several
+//     requests' dependency chains (bench/simd_kernels' tiny_batch section
+//     measures that win). Within-class element order is preserved either
+//     way, so results stay bit-identical to running each request alone.
 //   * circuit breakers — each (request class × strategy) cell trips after a
 //     failure-rate threshold over a sliding window (serve/breaker.hpp) and
 //     routes traffic down the fallback_next chain without paying the doomed
@@ -242,6 +246,41 @@ struct Request {
   BatchFn batch_fn = nullptr;
 };
 
+/// Coalesced batches whose every member has n below this dispatch through
+/// the engine's batched tiny-n entry points (multiprefix_batched_into /
+/// run_batched): ONE fused segmented sweep over the concatenated problem
+/// instead of one strategy dispatch whose per-request cost the tiny sizes
+/// cannot amortize. The value matches the regime where Engine::resolve
+/// would pick kSerial per request anyway (auto_serial_max_n is 8× larger),
+/// so the batched kernel replaces exactly the runs that were serial sweeps
+/// to begin with — and its shared-bucket segmented form is memcmp-identical
+/// to those per-request sweeps for every dtype, floats included.
+inline constexpr std::size_t kTinyBatchMaxN = 1024;
+
+/// True when the batched tiny-n kernel should serve this batch: two or more
+/// requests, all tiny. The resolved fallback stage is deliberately ignored
+/// on this path — the batched entry point is its own (serial-equivalent)
+/// substrate, and a batch of sub-1k requests has nothing to gain from a
+/// threaded or plan-based stage.
+inline bool all_tiny(std::span<const std::unique_ptr<Request>> batch) {
+  if (batch.size() < 2) return false;
+  for (const auto& r : batch)
+    if (r->n >= kTinyBatchMaxN) return false;
+  return true;
+}
+
+/// Per-request element bounds of the concatenated batch (size batch.size()
+/// + 1; back() == total n) — the `bounds` argument of the batched entry
+/// points.
+inline std::vector<std::size_t> element_bounds(
+    std::span<const std::unique_ptr<Request>> batch) {
+  std::vector<std::size_t> bounds;
+  bounds.reserve(batch.size() + 1);
+  bounds.push_back(0);
+  for (const auto& r : batch) bounds.push_back(bounds.back() + r->n);
+  return bounds;
+}
+
 /// Concatenates a batch into one (values, labels) problem with per-request
 /// label offsets. Returns the per-request reduction offsets (size
 /// batch.size() + 1; back() == total m).
@@ -292,7 +331,13 @@ struct MrRequest final : Request {
     const auto m_offsets = assemble_batch<T, MrRequest>(batch, values, labels);
     const Op op = static_cast<MrRequest*>(batch.front().get())->op;
     std::vector<T> reduction(m_offsets.back(), op.template identity<T>());
-    engine.multireduce_into<T, Op>(values, labels, std::span<T>(reduction), op, stage, ctx);
+    if (all_tiny(batch)) {
+      const auto bounds = element_bounds(batch);
+      engine.multireduce_batched_into<T, Op>(values, labels, bounds, std::span<T>(reduction),
+                                             op, ctx);
+    } else {
+      engine.multireduce_into<T, Op>(values, labels, std::span<T>(reduction), op, stage, ctx);
+    }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       auto* req = static_cast<MrRequest*>(batch[i].get());
       const T* lo = reduction.data() + m_offsets[i];
@@ -329,8 +374,14 @@ struct MpRequest final : Request {
     const T id = op.template identity<T>();
     std::vector<T> prefix(values.size(), id);
     std::vector<T> reduction(m_offsets.back(), id);
-    engine.multiprefix_into<T, Op>(values, labels, std::span<T>(prefix),
-                                   std::span<T>(reduction), op, stage, ctx);
+    if (all_tiny(batch)) {
+      const auto bounds = element_bounds(batch);
+      engine.multiprefix_batched_into<T, Op>(values, labels, bounds, std::span<T>(prefix),
+                                             std::span<T>(reduction), op, ctx);
+    } else {
+      engine.multiprefix_into<T, Op>(values, labels, std::span<T>(prefix),
+                                     std::span<T>(reduction), op, stage, ctx);
+    }
     std::size_t base_n = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       auto* req = static_cast<MpRequest*>(batch[i].get());

@@ -74,6 +74,22 @@ void set_active_level(std::optional<SimdLevel> level) {
   g_override.store(level ? static_cast<int>(*level) : -1, std::memory_order_relaxed);
 }
 
+std::size_t l2_tile_bytes() {
+  if (const char* env = std::getenv("MP_L2_TILE_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && parsed != 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::size_t{512} * 1024;
+}
+
+std::size_t l2_tile_cols(std::size_t rows, std::size_t elem_size) {
+  const std::size_t col_bytes = rows * elem_size;
+  if (col_bytes == 0) return 1;
+  const std::size_t cols = l2_tile_bytes() / col_bytes;
+  return cols == 0 ? 1 : cols;
+}
+
 ScopedSimdLevel::ScopedSimdLevel(SimdLevel level)
     : previous_(g_override.exchange(static_cast<int>(level), std::memory_order_relaxed)) {}
 

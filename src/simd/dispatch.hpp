@@ -57,6 +57,22 @@ SimdLevel active_level();
 /// Sets (or with nullopt clears) the process-wide programmatic override.
 void set_active_level(std::optional<SimdLevel> level);
 
+/// Byte budget one cache-partitioned kernel tile should occupy — the L2
+/// working-set target of the chunked pass-2 column walk and the
+/// write-combining scatter's buffer cap. Defaults to a conservative half of
+/// a typical per-core L2 (512 KiB); override with the MP_L2_TILE_BYTES
+/// environment variable (plain byte count). Re-read on every call so tests
+/// can flip the override between runs — one getenv next to a whole-matrix
+/// pass is noise.
+std::size_t l2_tile_bytes();
+
+/// Column count of one pass-2 tile of a rows × m bucket matrix with
+/// `elem_size`-byte elements: the widest label tile whose rows-deep working
+/// set fits l2_tile_bytes(), floored at one column. Purely a blocking
+/// choice — every tile boundary computes bit-identical results (each
+/// column's combine order is fixed), so any override is safe.
+std::size_t l2_tile_cols(std::size_t rows, std::size_t elem_size);
+
 /// RAII pin of the active level — test/bench helper. Not safe against
 /// concurrent scopes on different threads (the override is process-wide).
 class ScopedSimdLevel {

@@ -26,11 +26,25 @@
 //                             and §5.1.1's NAS IS kernel).
 //   rank_scatter              the counting-sort cursor scatter. Inherently
 //                             sequential per class (each slot depends on the
-//                             cursor's exact running value), so every tier
-//                             runs the same branch-free loop — label
-//                             validation is hoisted to one up-front
-//                             max_label() sweep instead of a per-element
-//                             check.
+//                             cursor's exact running value) — the scalar tier
+//                             runs the branch-free reference loop; the vector
+//                             tiers stage each class's indices in a software
+//                             write-combining line buffer and flush full
+//                             cache lines, turning m scattered 4-byte stores
+//                             into sequential line writes. Label validation
+//                             is hoisted to one up-front max_label() sweep.
+//   banded bucket sweeps      the fused ROWSUMS(+MULTISUMS) recurrences over
+//                             a list of independent contiguous bands: the
+//                             scalar tier sweeps the bands one at a time
+//                             (byte-for-byte the Figure 2 recurrence per
+//                             band); the vector tiers interleave 4 bands in
+//                             one loop, so a run of equal labels advances
+//                             four independent store-to-load forwarding
+//                             chains instead of one — the histogram_ilp trick
+//                             carried over to value accumulation. Per-band
+//                             results are bit-identical at every tier (the
+//                             interleave never reorders a band's own
+//                             combines).
 //   column scans              the chunked strategy's pass-2 recurrence,
 //                             batched across labels: adjacent labels occupy
 //                             adjacent columns of the chunk-major P × m
@@ -47,6 +61,7 @@
 // kVectorizable — the dispatch table is total.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstddef>
@@ -55,6 +70,7 @@
 #include <vector>
 
 #include "common/labels.hpp"
+#include "common/run_context.hpp"
 #include "core/ops.hpp"
 #include "simd/dispatch.hpp"
 #include "simd/vec.hpp"
@@ -319,6 +335,149 @@ inline void histogram_ilp(const label_t* labels, std::size_t n, std::uint32_t* c
   for (std::size_t k = 0; k < m; ++k) counts[k] += c1[k] + c2[k] + c3[k];
 }
 
+// ---- banded bucket sweeps (fused chunked passes, batched tiny-n kernel) -----
+//
+// A "band" is a contiguous element range [bounds[b], bounds[b + 1]) with its
+// own bucket array at bucket0 + b * bucket_stride. Bands are independent by
+// contract: either each has a private bucket row (the chunked local matrix,
+// stride m) or they share one array but touch disjoint label ranges (the
+// coalesced tiny-n batch, stride 0). WAYS > 1 interleaves that many bands'
+// recurrences in one loop — each band's own combine order is untouched, so
+// per-band output is bit-identical to the WAYS == 1 reference for every
+// element type. Governed runs checkpoint every kCancelCheckBlock elements.
+
+/// One band of the Figure 2 recurrence; kWritePrefix selects the multiprefix
+/// form (prefix[i] = bucket-before, the fused ROWSUMS+MULTISUMS sweep) vs
+/// the accumulate-only multireduce form.
+template <class T, class Op, bool kWritePrefix>
+void band_sweep_ref(const T* values, const label_t* labels, std::size_t i, std::size_t end,
+                    T* bucket, T* prefix, Op op, const RunContext* rc) {
+  while (i < end) {
+    checkpoint(rc);
+    const std::size_t stop =
+        rc != nullptr && end - i > kCancelCheckBlock ? i + kCancelCheckBlock : end;
+    for (; i < stop; ++i) {
+      T& cell = bucket[labels[i]];
+      if constexpr (kWritePrefix) prefix[i] = cell;
+      cell = op(cell, values[i]);
+    }
+  }
+}
+
+template <class T, class Op, std::size_t WAYS, bool kWritePrefix>
+void banded_sweep_impl(const T* values, const label_t* labels, const std::size_t* bounds,
+                       std::size_t bands, T* bucket0, std::size_t bucket_stride, T* prefix,
+                       Op op, const RunContext* rc) {
+  if constexpr (WAYS == 1) {
+    for (std::size_t b = 0; b < bands; ++b)
+      band_sweep_ref<T, Op, kWritePrefix>(values, labels, bounds[b], bounds[b + 1],
+                                          bucket0 + b * bucket_stride, prefix, op, rc);
+  } else {
+    if (bands < WAYS) {
+      banded_sweep_impl<T, Op, 1, kWritePrefix>(values, labels, bounds, bands, bucket0,
+                                                bucket_stride, prefix, op, rc);
+      return;
+    }
+    // WAYS cursors walk WAYS bands in lockstep; an exhausted cursor refills
+    // from the next unstarted band. The interleaved loop runs the smallest
+    // remaining length branch-free, so refill bookkeeping costs O(bands),
+    // not O(n).
+    std::size_t cur[WAYS];
+    std::size_t band_end[WAYS];
+    T* bucket[WAYS];
+    for (std::size_t w = 0; w < WAYS; ++w) {
+      cur[w] = bounds[w];
+      band_end[w] = bounds[w + 1];
+      bucket[w] = bucket0 + w * bucket_stride;
+    }
+    std::size_t next = WAYS;
+    for (;;) {
+      std::size_t run = band_end[0] - cur[0];
+      for (std::size_t w = 1; w < WAYS; ++w) run = std::min(run, band_end[w] - cur[w]);
+      if (rc != nullptr) {
+        rc->checkpoint();
+        run = std::min(run, kCancelCheckBlock);
+      }
+      for (std::size_t k = 0; k < run; ++k) {
+        [&]<std::size_t... Ws>(std::index_sequence<Ws...>) {
+          (([&] {
+             const std::size_t i = cur[Ws] + k;
+             T& cell = bucket[Ws][labels[i]];
+             if constexpr (kWritePrefix) prefix[i] = cell;
+             cell = op(cell, values[i]);
+           }()),
+           ...);
+        }(std::make_index_sequence<WAYS>{});
+      }
+      bool starved = false;
+      for (std::size_t w = 0; w < WAYS; ++w) {
+        cur[w] += run;
+        if (cur[w] == band_end[w]) {
+          if (next < bands) {
+            cur[w] = bounds[next];
+            band_end[w] = bounds[next + 1];
+            bucket[w] = bucket0 + next * bucket_stride;
+            ++next;
+          } else {
+            starved = true;
+          }
+        }
+      }
+      if (starved) break;  // no band left to refill an empty lane
+    }
+    // Drain whatever the interleaved loop left in the other lanes.
+    for (std::size_t w = 0; w < WAYS; ++w)
+      band_sweep_ref<T, Op, kWritePrefix>(values, labels, cur[w], band_end[w], bucket[w],
+                                          prefix, op, rc);
+  }
+}
+
+// ---- rank scatter -----------------------------------------------------------
+
+inline void rank_scatter_ref(const label_t* labels, std::size_t n, std::uint32_t* cursor,
+                             std::uint32_t* order, std::size_t) {
+  for (std::size_t i = 0; i < n; ++i)
+    order[cursor[labels[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+/// Software write-combining scatter: each class stages its indices in a
+/// cache-line-sized buffer (16 × u32 = 64 bytes) and flushes whole lines to
+/// `order`, so the store stream hits m compact L1/L2-resident buffer lines
+/// instead of m scattered output cursors. Appends per class in the same
+/// i-ascending order as the reference loop and leaves the same cursor end
+/// state — output identical, byte for byte. Falls back to the reference loop
+/// when the buffers cannot pay for themselves (small n/m) or would not be
+/// cache-resident (m so large the buffers themselves thrash, exactly the
+/// regime where they help least).
+inline void rank_scatter_wc(const label_t* labels, std::size_t n, std::uint32_t* cursor,
+                            std::uint32_t* order, std::size_t m) {
+  constexpr std::size_t kLine = 16;  // one 64-byte cache line of u32 indices
+  if (m < 8 || n < 8 * m || m * (kLine + 1) * sizeof(std::uint32_t) > l2_tile_bytes()) {
+    rank_scatter_ref(labels, n, cursor, order, m);
+    return;
+  }
+  std::vector<std::uint32_t> lines(m * kLine);
+  std::vector<std::uint8_t> filled(m, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const label_t c = labels[i];
+    std::uint32_t* line = lines.data() + std::size_t{c} * kLine;
+    std::uint8_t& fill = filled[c];
+    line[fill++] = static_cast<std::uint32_t>(i);
+    if (fill == kLine) {
+      std::uint32_t* dst = order + cursor[c];
+      for (std::size_t k = 0; k < kLine; ++k) dst[k] = line[k];
+      cursor[c] += kLine;
+      fill = 0;
+    }
+  }
+  for (std::size_t c = 0; c < m; ++c) {
+    const std::uint32_t* line = lines.data() + c * kLine;
+    std::uint32_t* dst = order + cursor[c];
+    for (std::size_t k = 0; k < filled[c]; ++k) dst[k] = line[k];
+    cursor[c] += filled[c];
+  }
+}
+
 }  // namespace detail
 
 // ---- dispatched entry points ------------------------------------------------
@@ -474,15 +633,87 @@ inline void histogram(std::span<const label_t> labels, std::uint32_t* counts, st
 
 /// order[cursor[labels[i]]++] = i — the counting-sort cursor scatter,
 /// branch-free (labels pre-validated). Sequential per class by construction:
-/// each slot depends on the cursor's exact running value, so every tier runs
-/// this same loop; the SIMD win is the hoisted validation plus the
-/// vectorized histogram/scan that set `cursor` up.
+/// each slot depends on the cursor's exact running value. The scalar tier is
+/// the plain reference loop; the vector tiers stage indices in software
+/// write-combining line buffers (detail::rank_scatter_wc) so the scattered
+/// stores become sequential cache-line writes — identical output and cursor
+/// end state either way.
 inline void rank_scatter(std::span<const label_t> labels, std::uint32_t* cursor,
-                         std::uint32_t* order) {
-  const std::size_t n = labels.size();
-  const label_t* l = labels.data();
-  for (std::size_t i = 0; i < n; ++i)
-    order[cursor[l[i]]++] = static_cast<std::uint32_t>(i);
+                         std::uint32_t* order, std::size_t m,
+                         SimdLevel level = active_level()) {
+  using Fn = void (*)(const label_t*, std::size_t, std::uint32_t*, std::uint32_t*,
+                      std::size_t);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::rank_scatter_ref,
+      &detail::rank_scatter_wc,
+      &detail::rank_scatter_wc,
+      &detail::rank_scatter_wc,
+  };
+  kTable[level_index(level)](labels.data(), labels.size(), cursor, order, m);
+}
+
+/// Bands each chunk should split into at a given tier — the supply of
+/// independent recurrences the banded kernels below interleave (their vector
+/// slots keep 4 in flight; lanes refill from the remaining bands as they
+/// drain). At the scalar tier there is nothing to interleave, so the factor
+/// is 1 and the reference layout stands. Two measured constraints shape the
+/// value (AVX-512 host, n=2^20, m=512, run-of-32 labels):
+///   * more in-flight streams stop paying almost immediately — the fused
+///     sweep walks 3 streams per band (labels, values, prefix), and past
+///     ~12-16 concurrent streams the L2 prefetchers drop them;
+///   * the factor must not be a power of two: equal bands of a power-of-two
+///     n land a power-of-two byte stride apart, so every band's cursor maps
+///     to the same cache sets and the streams evict each other (measured 3x
+///     slower at 8 bands than at 12 on otherwise identical code).
+inline constexpr std::size_t sweep_band_factor(SimdLevel level) {
+  return level == SimdLevel::kScalar ? 1 : 12;
+}
+
+/// Fused multiprefix bucket sweep over independent bands: for band b and
+/// element i in [bounds[b], bounds[b+1]), prefix[i] = cell-before and the
+/// cell accumulates values[i], with band b's bucket array at
+/// bucket0 + b * bucket_stride (stride m = the chunked local matrix; stride
+/// 0 = one shared array whose label ranges the bands must not share). Seeded
+/// sweeps fall out of pre-loaded bucket arrays — the chunked pass 3 seeds
+/// each row with its pass-2 offsets. Per-band results are bit-identical at
+/// every tier; governed runs checkpoint every kCancelCheckBlock elements.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+void banded_bucket_sweep(const T* values, const label_t* labels, const std::size_t* bounds,
+                         std::size_t bands, T* bucket0, std::size_t bucket_stride, T* prefix,
+                         Op op = {}, const RunContext* rc = nullptr,
+                         SimdLevel level = active_level()) {
+  using Fn = void (*)(const T*, const label_t*, const std::size_t*, std::size_t, T*,
+                      std::size_t, T*, Op, const RunContext*);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::banded_sweep_impl<T, Op, 1, true>,
+      &detail::banded_sweep_impl<T, Op, 4, true>,
+      &detail::banded_sweep_impl<T, Op, 4, true>,
+      &detail::banded_sweep_impl<T, Op, 4, true>,
+  };
+  kTable[level_index(level)](values, labels, bounds, bands, bucket0, bucket_stride, prefix,
+                             op, rc);
+}
+
+/// Accumulate-only form of banded_bucket_sweep (the ROWSUMS / multireduce
+/// sweep): cells accumulate, nothing is written per element.
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+void banded_bucket_accumulate(const T* values, const label_t* labels,
+                              const std::size_t* bounds, std::size_t bands, T* bucket0,
+                              std::size_t bucket_stride, Op op = {},
+                              const RunContext* rc = nullptr,
+                              SimdLevel level = active_level()) {
+  using Fn = void (*)(const T*, const label_t*, const std::size_t*, std::size_t, T*,
+                      std::size_t, T*, Op, const RunContext*);
+  static constexpr std::array<Fn, kSimdLevelCount> kTable = {
+      &detail::banded_sweep_impl<T, Op, 1, false>,
+      &detail::banded_sweep_impl<T, Op, 4, false>,
+      &detail::banded_sweep_impl<T, Op, 4, false>,
+      &detail::banded_sweep_impl<T, Op, 4, false>,
+  };
+  kTable[level_index(level)](values, labels, bounds, bands, bucket0, bucket_stride, nullptr,
+                             op, rc);
 }
 
 /// Maximum label of a non-empty vector — the one up-front range check that

@@ -15,11 +15,13 @@
 
 #include "common/error.hpp"
 #include "common/labels.hpp"
+#include "common/rng.hpp"
 #include "common/run_context.hpp"
 #include "core/engine.hpp"
 #include "core/multiprefix.hpp"
 #include "obs/trace.hpp"
 #include "serve/frontend.hpp"
+#include "simd/dispatch.hpp"
 
 namespace mp::serve {
 namespace {
@@ -263,6 +265,59 @@ TEST(ServeFrontend, CompatibleSmallRequestsCoalesceBitIdentically) {
   EXPECT_EQ(stats.coalesced_batches, 1u);
   EXPECT_EQ(stats.coalesced_requests, kBatch);
   EXPECT_EQ(counters.coalesced_batches.load(), 1u);
+}
+
+// A coalesced batch whose members are all tiny (n < detail::kTinyBatchMaxN)
+// routes through the engine's batched segmented kernel instead of one big
+// strategy dispatch. The batched path's contract is exact per-request
+// results for every element type — float here, the strictest case — at
+// every SIMD tier, so this drives mixed n ∈ [1, 1k) through each forced
+// tier and compares against per-request serial dispatch bit for bit.
+TEST(ServeFrontend, TinyMixedBatchMatchesPerRequestAtEveryTier) {
+  for (const auto level : {simd::SimdLevel::kScalar, simd::SimdLevel::k128,
+                           simd::SimdLevel::k256, simd::SimdLevel::k512}) {
+    simd::ScopedSimdLevel pin(level);
+    Gate gate;
+    FrontendOptions fo;
+    fo.workers = 1;
+    fo.attempt_hook = [&](Strategy) { gate.wait(); };
+    Frontend fe(fo);
+
+    // Pin the worker with an incompatible plug (double multireduce — a
+    // different request class) so the tiny batch queues up whole behind it.
+    const auto plug_labels = uniform_labels(128, 4, 5);
+    auto plug = fe.submit_multireduce<double>(std::vector<double>(128, 1.5), plug_labels, 4);
+
+    constexpr std::size_t kBatch = 12;
+    Xoshiro256 rng(31 + static_cast<std::uint64_t>(level));
+    std::vector<std::future<MultiprefixResult<float>>> futures;
+    std::vector<MultiprefixResult<float>> truths;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      const std::size_t n = 1 + rng.below(detail::kTinyBatchMaxN - 2);  // [1, 1k)
+      const std::size_t m = 1 + rng.below(15);
+      const auto labels = uniform_labels(n, static_cast<label_t>(m), 900 + r);
+      std::vector<float> values(n);
+      for (auto& v : values)
+        v = static_cast<float>(rng.uniform()) * 64.0f - 32.0f;
+      truths.push_back(Engine::global().multiprefix<float>(values, labels, m, Plus{},
+                                                           Strategy::kSerial));
+      futures.push_back(fe.submit_multiprefix<float>(values, labels, m));
+    }
+    gate.release();
+    (void)plug.get();
+
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      const auto got = futures[r].get();
+      EXPECT_EQ(got.prefix, truths[r].prefix)
+          << "request " << r << " level " << simd::to_string(level);
+      EXPECT_EQ(got.reduction, truths[r].reduction)
+          << "request " << r << " level " << simd::to_string(level);
+    }
+    fe.wait_idle();
+    const FrontendStats stats = fe.stats();
+    EXPECT_EQ(stats.coalesced_batches, 1u) << simd::to_string(level);
+    EXPECT_EQ(stats.coalesced_requests, kBatch) << simd::to_string(level);
+  }
 }
 
 TEST(ServeFrontend, GovernedRequestsNeverJoinABatch) {

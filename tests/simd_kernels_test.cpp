@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <span>
 #include <string>
 #include <vector>
@@ -204,12 +205,19 @@ TEST(SimdRankScatter, ProducesStableCountingSortOrder) {
   simd::histogram(labels, offsets.data() + 1, m);
   simd::inclusive_scan(std::span<std::uint32_t>(offsets.data() + 1, m));
   ASSERT_EQ(offsets[m], n);
-  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-  std::vector<std::uint32_t> order(n);
-  simd::rank_scatter(labels, cursor.data(), order.data());
-  for (std::size_t k = 1; k < n; ++k) {
-    const label_t a = labels[order[k - 1]], b = labels[order[k]];
-    ASSERT_TRUE(a < b || (a == b && order[k - 1] < order[k])) << "k=" << k;
+  // Every tier must produce the same stable order and cursor end state —
+  // the write-combining vector tiers included.
+  for (const SimdLevel level : kAllLevels) {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<std::uint32_t> order(n);
+    simd::rank_scatter(labels, cursor.data(), order.data(), m, level);
+    for (std::size_t k = 1; k < n; ++k) {
+      const label_t a = labels[order[k - 1]], b = labels[order[k]];
+      ASSERT_TRUE(a < b || (a == b && order[k - 1] < order[k]))
+          << "k=" << k << " level=" << to_string(level);
+    }
+    for (std::size_t c = 0; c < m; ++c)
+      ASSERT_EQ(cursor[c], offsets[c + 1]) << "c=" << c << " level=" << to_string(level);
   }
 }
 
@@ -424,6 +432,144 @@ TEST(SimdEndToEnd, BitOrUint32) {
 // relies on — this test is its regression guard).
 TEST(SimdEndToEnd, PlusDoubleBitIdentical) {
   check_all_strategies_all_levels<double>(Plus{}, "f64+");
+}
+
+// ---- L2 label tiling (chunked pass 2) ---------------------------------------
+
+/// Sets an env var for the enclosing scope and restores (removes) it on exit
+/// even when an ASSERT aborts the test body — l2_tile_bytes() re-reads the
+/// env per call, so a leaked override would silently re-tile every later
+/// test in the process.
+struct ScopedEnv {
+  const char* name;
+  ScopedEnv(const char* n, const char* value) : name(n) { setenv(n, value, 1); }
+  ~ScopedEnv() { unsetenv(name); }
+};
+
+TEST(SimdTiling, TileColsFollowsEnvAndFloorsAtOne) {
+  unsetenv("MP_L2_TILE_BYTES");
+  const std::size_t dflt = simd::l2_tile_bytes();
+  EXPECT_EQ(dflt, std::size_t{512} << 10);
+  {
+    ScopedEnv tile("MP_L2_TILE_BYTES", "4096");
+    EXPECT_EQ(simd::l2_tile_bytes(), 4096u);
+    EXPECT_EQ(simd::l2_tile_cols(8, 4), 4096u / 32u);
+    // A matrix column taller than the whole tile still advances: the floor
+    // is one column per tile, never zero.
+    EXPECT_EQ(simd::l2_tile_cols(4096, 8), 1u);
+  }
+  EXPECT_EQ(simd::l2_tile_bytes(), dflt);
+}
+
+// m at, just under, just over, and far past a forced-tiny tile width — the
+// boundary cases of the tiled pass-2 walk — plus m = 1. The tiling is pure
+// blocking, so the chunked strategy must match the scalar serial reference
+// bit-for-bit at every tier, in both the fused (integral) and reference
+// (float) regimes. With MP_L2_TILE_BYTES=256 the tile is a handful of
+// columns for every matrix height this host produces, so every m below
+// crosses at least one tile boundary (and m=1 under-fills the first).
+template <class T>
+void check_chunked_tile_boundaries(const char* tag) {
+  ScopedEnv tile("MP_L2_TILE_BYTES", "256");
+  const std::size_t n = 4097;
+  for (const std::size_t m : {1ul, 3ul, 4ul, 5ul, 6ul, 20ul, 63ul, 64ul, 65ul, 200ul}) {
+    const auto labels = uniform_labels(n, static_cast<label_t>(m), 7 * m + 1);
+    const auto values = random_values<T>(n, m);
+    MultiprefixResult<T> truth(n, m, T{});
+    {
+      ScopedSimdLevel pin(SimdLevel::kScalar);
+      truth = multiprefix<T>(values, labels, m, Plus{}, Strategy::kSerial);
+    }
+    for (const SimdLevel level : kAllLevels) {
+      ScopedSimdLevel pin(level);
+      const std::string info =
+          std::string(tag) + " m=" + std::to_string(m) + " level=" + to_string(level);
+      const auto got = multiprefix<T>(values, labels, m, Plus{}, Strategy::kChunked);
+      ASSERT_EQ(got.prefix, truth.prefix) << info;
+      ASSERT_EQ(got.reduction, truth.reduction) << info;
+    }
+  }
+}
+
+TEST(SimdTiling, ChunkedTileBoundariesInt32) {
+  check_chunked_tile_boundaries<std::int32_t>("i32");
+}
+TEST(SimdTiling, ChunkedTileBoundariesFloat) { check_chunked_tile_boundaries<float>("f32"); }
+
+// ---- batched tiny-n entry points --------------------------------------------
+
+// Engine::multiprefix_batched_into runs a whole coalesced batch as ONE fused
+// segmented sweep; its contract is memcmp-identity with dispatching each
+// request alone — for EVERY element type, floats included, because requests
+// share the bucket array but own disjoint label ranges, so no combine ever
+// crosses a request boundary. `sparse_values` keeps integer Times in range
+// (see check_all_strategies_all_levels).
+template <class T, class Op>
+void check_batched_matches_single(Op op, const char* tag, bool sparse_values = false) {
+  constexpr std::size_t kBatch = 24;
+  Xoshiro256 rng(4242);
+  std::vector<std::vector<T>> req_values(kBatch);
+  std::vector<std::vector<label_t>> req_labels(kBatch);
+  std::vector<std::size_t> bounds{0};
+  std::vector<std::size_t> m_off{0};
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    // Mixed tiny shapes, including one empty request (bounds may repeat).
+    const std::size_t nr = r == 7 ? 0 : 1 + rng.below(199);
+    const auto mr = static_cast<label_t>(1 + rng.below(8));
+    req_values[r].resize(nr);
+    req_labels[r].resize(nr);
+    for (std::size_t i = 0; i < nr; ++i) {
+      req_values[r][i] = sparse_values ? static_cast<T>(i % 97 == 0 ? 2 : 1)
+                                       : static_cast<T>(1 + rng.below(9));
+      req_labels[r][i] = static_cast<label_t>(rng.below(mr));
+    }
+    bounds.push_back(bounds.back() + nr);
+    m_off.push_back(m_off.back() + mr);
+  }
+  const std::size_t total_n = bounds.back();
+  const std::size_t total_m = m_off.back();
+  std::vector<T> big_values;
+  std::vector<label_t> big_labels;
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    big_values.insert(big_values.end(), req_values[r].begin(), req_values[r].end());
+    for (const label_t l : req_labels[r])
+      big_labels.push_back(l + static_cast<label_t>(m_off[r]));
+  }
+  for (const SimdLevel level : kAllLevels) {
+    ScopedSimdLevel pin(level);
+    const std::string info = std::string(tag) + " level=" + to_string(level);
+    Engine engine;
+    std::vector<T> sp(total_n), sr(total_m), bp(total_n), br(total_m);
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      engine.multiprefix_into<T, Op>(
+          req_values[r], req_labels[r],
+          std::span<T>(sp).subspan(bounds[r], bounds[r + 1] - bounds[r]),
+          std::span<T>(sr).subspan(m_off[r], m_off[r + 1] - m_off[r]), op,
+          Strategy::kSerial);
+    }
+    engine.multiprefix_batched_into<T, Op>(big_values, big_labels, bounds, std::span<T>(bp),
+                                           std::span<T>(br), op);
+    ASSERT_EQ(bp, sp) << info;
+    ASSERT_EQ(br, sr) << info;
+    std::vector<T> br2(total_m);
+    engine.multireduce_batched_into<T, Op>(big_values, big_labels, bounds,
+                                           std::span<T>(br2), op);
+    ASSERT_EQ(br2, sr) << info;
+  }
+}
+
+TEST(SimdBatched, PlusInt32) { check_batched_matches_single<std::int32_t>(Plus{}, "i32+"); }
+TEST(SimdBatched, TimesInt64) {
+  check_batched_matches_single<std::int64_t>(Times{}, "i64*", /*sparse_values=*/true);
+}
+TEST(SimdBatched, MaxDouble) { check_batched_matches_single<double>(Max{}, "f64 max"); }
+TEST(SimdBatched, MinInt32) { check_batched_matches_single<std::int32_t>(Min{}, "i32 min"); }
+// The float-exactness claims of the batched contract, asserted directly.
+TEST(SimdBatched, PlusFloatBitIdentical) {
+  check_batched_matches_single<float>(Plus{}, "f32+");
+}
+TEST(SimdBatched, PlusDoubleBitIdentical) {
+  check_batched_matches_single<double>(Plus{}, "f64+");
 }
 
 TEST(SimdEndToEnd, DispatchedScanMatchesPartitionMethod) {
