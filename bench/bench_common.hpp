@@ -154,7 +154,10 @@ inline void report_fallback_counters(JsonReporter& json, const FallbackCounters&
   put("execution_faults", counters.execution_faults);
   put("verify_failures", counters.verify_failures);
   put("exhausted", counters.exhausted);
-  put("retries", counters.retries);
+  put("retries", counters.pool_retries);
+  put("io_retries", counters.io_retries);
+  put("io_faults", counters.io_faults);
+  put("checkpoints_saved", counters.checkpoints_saved);
   put("cancellations", counters.cancellations);
   put("deadlines_exceeded", counters.deadlines_exceeded);
   put("budget_degrades", counters.budget_degrades);

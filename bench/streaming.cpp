@@ -1,0 +1,172 @@
+// Out-of-core streaming — what chunk-at-a-time execution costs over a
+// resident run, and what a carry checkpoint costs to take and restore.
+//
+//   1. Streamed vs resident: the same (values, labels) problem run once
+//      through Engine::multiprefix_into (whole input resident) and once
+//      through a StreamSession pulling chunks from a MemoryChunkSource.
+//      The streamed path re-reads every chunk (copy into the session's
+//      working set), dispatches per chunk, and folds the carry — the
+//      headline `streamed_overhead_ratio` (streamed / resident wall) is
+//      gated by a ceiling in scripts/bench_compare.py: streaming exists to
+//      lift the n ceiling, and the moment it costs more than ~1.35x of a
+//      resident run on data that DID fit, the chunk plumbing has regressed.
+//      Both outputs are compared bit-for-bit and reported as
+//      `stream_identity_assert_pass` — a hard CI gate, because a fast
+//      stream that drifts from the resident result is not an optimisation,
+//      it is a wrong answer.
+//   2. Checkpoint cost: serialize the carry (snapshot) and adopt it into a
+//      fresh session (restore), timed per round trip, plus the checkpoint's
+//      size in bytes — the price of crash consistency at a chunk boundary.
+//   3. Kill-and-resume: run the stream halfway, snapshot, finish in a NEW
+//      session seeded from the checkpoint, and compare the stitched output
+//      against the uninterrupted run (`stream_resume_assert_pass`, hard
+//      gate). The fallback-counter block rides along so CI sees the
+//      io_retries / checkpoints_saved accounting of the measured runs.
+//
+// Flags: --n=N (default 1<<20), --m=M (default 64), --chunk=C (elements per
+// chunk, default 0 = derive from MP_STREAM_CHUNK_BYTES), --reps=R (default
+// 5), --json=<file>.
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "stream/chunk_source.hpp"
+#include "stream/session.hpp"
+
+namespace {
+
+std::vector<int> random_values(std::size_t n, std::uint64_t seed) {
+  mp::Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(4096)) - 2048;
+  return v;
+}
+
+void BM_StreamChunkStep(benchmark::State& state) {
+  // Per-chunk cost of the streaming loop: read (memcpy-speed source),
+  // dispatch, carry fold, commit — amortized over the chunks of one pass.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 64;
+  const auto values = random_values(n, 11);
+  const auto labels = mp::uniform_labels(n, m, 13);
+  for (auto _ : state) {
+    mp::stream::MemoryChunkSource<int> source(values, labels);
+    mp::stream::StreamSession<int> session(source, m);
+    session.run([](std::size_t, std::size_t, std::span<const int> prefix) {
+      benchmark::DoNotOptimize(prefix.data());
+    });
+    benchmark::DoNotOptimize(session.reduction().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StreamChunkStep)->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+void paper_section(const mp::CliArgs& args) {
+  mp::bench::JsonReporter json(args.get("json", std::string()));
+  const auto n = static_cast<std::size_t>(args.get("n", std::int64_t{1} << 20));
+  const auto m = static_cast<std::size_t>(args.get("m", std::int64_t{64}));
+  const auto chunk = static_cast<std::size_t>(args.get("chunk", std::int64_t{0}));
+  const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{5}));
+
+  const auto values = random_values(n, 21);
+  const auto labels = mp::uniform_labels(n, m, 23);
+
+  // Resident reference: one engine pass over the whole input.
+  mp::Engine& engine = mp::Engine::global();
+  std::vector<int> resident_prefix(n);
+  std::vector<int> resident_reduction(m);
+  const double resident_s = mp::bench::seconds_best_of(reps, [&] {
+    engine.multiprefix_into<int>(values, labels, std::span<int>(resident_prefix),
+                                 std::span<int>(resident_reduction), mp::Plus{},
+                                 mp::Strategy::kAuto);
+    benchmark::DoNotOptimize(resident_prefix.data());
+  });
+
+  // Streamed: same problem pulled chunk-at-a-time, materialized with
+  // run_into — the out-of-core-input / resident-output shape, and the
+  // apples-to-apples comparison (both paths write the caller's buffer
+  // exactly once; the sink-delivery path and its extra copy are measured
+  // by BM_StreamChunkStep above).
+  mp::FallbackCounters counters;
+  mp::RunContext ctx;
+  ctx.counters = &counters;
+  mp::stream::MemoryChunkSource<int> source(values, labels, chunk);
+  std::vector<int> streamed_prefix(n);
+  std::vector<int> streamed_reduction(m);
+  const double streamed_s = mp::bench::seconds_best_of(reps, [&] {
+    mp::stream::StreamSession<int> session(source, m);
+    session.run_into(std::span<int>(streamed_prefix), ctx);
+    const auto red = session.reduction();
+    std::memcpy(streamed_reduction.data(), red.data(), m * sizeof(int));
+  });
+
+  const bool identity =
+      std::memcmp(streamed_prefix.data(), resident_prefix.data(), n * sizeof(int)) == 0 &&
+      std::memcmp(streamed_reduction.data(), resident_reduction.data(), m * sizeof(int)) == 0;
+  const double overhead = resident_s > 0.0 ? streamed_s / resident_s : 0.0;
+
+  // Checkpoint round trip at a mid-stream boundary: snapshot the carry,
+  // adopt it into a fresh session.
+  mp::stream::StreamSession<int> half(source, m);
+  const std::size_t half_chunks = source.chunk_count() / 2;
+  while (half.chunks_done() < half_chunks) half.step({});
+  std::vector<std::byte> checkpoint;
+  const double checkpoint_s = mp::bench::seconds_best_of(reps, [&] {
+    checkpoint = half.snapshot(ctx);
+    mp::stream::StreamSession<int> adopted(source, m);
+    adopted.restore(checkpoint);
+    benchmark::DoNotOptimize(adopted.reduction().data());
+  });
+
+  // Kill-and-resume: finish the second half in a new session seeded from the
+  // checkpoint; the stitched output must equal the uninterrupted run.
+  std::vector<int> resumed_prefix = streamed_prefix;
+  for (std::size_t i = source.grid().offset(half_chunks); i < n; ++i) resumed_prefix[i] = -1;
+  mp::stream::StreamSession<int> resumed(source, m);
+  resumed.restore(checkpoint);
+  resumed.run([&](std::size_t, std::size_t offset, std::span<const int> prefix) {
+    std::memcpy(resumed_prefix.data() + offset, prefix.data(), prefix.size() * sizeof(int));
+  });
+  const auto resumed_red = resumed.reduction();
+  const bool resume_ok =
+      std::memcmp(resumed_prefix.data(), resident_prefix.data(), n * sizeof(int)) == 0 &&
+      std::memcmp(resumed_red.data(), resident_reduction.data(), m * sizeof(int)) == 0;
+
+  mp::TextTable table({"path", "ms / pass", "chunks"});
+  table.add_row({"resident (one engine pass)", mp::TextTable::num(resident_s * 1e3, 3),
+                 mp::TextTable::num(std::size_t{1})});
+  table.add_row({"streamed (chunked session)", mp::TextTable::num(streamed_s * 1e3, 3),
+                 mp::TextTable::num(source.chunk_count())});
+  std::printf("streaming vs resident, n = %zu, m = %zu, %zu elements/chunk\n\n", n, m,
+              source.chunk_elements(0));
+  std::printf("%s", table.render().c_str());
+  std::printf("\nstreamed overhead: %.3fx resident; identity %s; checkpoint %zu bytes, "
+              "%.2f us round trip; resume %s\n\n",
+              overhead, identity ? "ok" : "MISMATCH", checkpoint.size(),
+              checkpoint_s * 1e6, resume_ok ? "ok" : "MISMATCH");
+
+  json.metric("stream_n", static_cast<std::int64_t>(n));
+  json.metric("stream_m", static_cast<std::int64_t>(m));
+  json.metric("stream_chunks", static_cast<std::int64_t>(source.chunk_count()));
+  json.metric("resident_ms", resident_s * 1e3);
+  json.metric("streamed_ms", streamed_s * 1e3);
+  json.metric("streamed_overhead_ratio", overhead);
+  json.metric("checkpoint_bytes", static_cast<std::int64_t>(checkpoint.size()));
+  json.metric("checkpoint_roundtrip_us", checkpoint_s * 1e6);
+  json.metric("stream_identity_assert_pass", std::int64_t{identity ? 1 : 0});
+  json.metric("stream_resume_assert_pass", std::int64_t{resume_ok ? 1 : 0});
+  mp::bench::report_fallback_counters(json, counters, "stream_");
+  json.write();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "out-of-core streaming: overhead, checkpoint, resume",
+                        paper_section);
+}

@@ -23,7 +23,7 @@
 extern "C" {
 #endif
 
-/* Status codes. Values 0..9 mirror mp::ErrorCode (common/error.hpp) in enum
+/* Status codes. Values 0..10 mirror mp::ErrorCode (common/error.hpp) in enum
  * order; MP_ERR_UNKNOWN covers non-mp exceptions crossing the boundary. */
 typedef enum mp_status {
   MP_OK = 0,
@@ -36,6 +36,7 @@ typedef enum mp_status {
   MP_ERR_BUDGET_EXCEEDED,
   MP_ERR_OVERLOADED,
   MP_ERR_UNSUPPORTED,
+  MP_ERR_IO,
   MP_ERR_UNKNOWN = 255
 } mp_status;
 
@@ -116,6 +117,20 @@ void mp_engine_destroy(mp_engine* engine); /* NULL-safe */
 mp_status mp_run(mp_engine* engine, const mp_request_desc* desc, const void* values,
                  const mp_label* labels, size_t n, void* prefix, void* reduction,
                  size_t m, int32_t strategy);
+
+/* One synchronous erased *batched* run: `batch` independent tiny problems
+ * concatenated into one fused segmented pass. `bounds` holds batch + 1
+ * element offsets (bounds[0] = 0, bounds[batch] = n); request i owns
+ * elements [bounds[i], bounds[i+1]) of `values`/`labels` and its labels lie
+ * in [0, m) of the COMBINED class space — callers offset each request's
+ * labels themselves, exactly like the engine's batched entry points.
+ * `reduction` receives m elements; for MP_KIND_MULTIPREFIX `prefix` receives
+ * n elements (pass NULL for multireduce). Results are bit-identical to
+ * calling mp_run per request with MP_STRATEGY_SERIAL. */
+mp_status mp_run_batched(mp_engine* engine, const mp_request_desc* desc,
+                         const void* values, const mp_label* labels,
+                         const size_t* bounds, size_t batch, void* prefix,
+                         void* reduction, size_t n, size_t m);
 
 /* ---- frontend: async buffer-view submit ------------------------------- */
 

@@ -68,8 +68,19 @@ FLOORS = {
     "cache_single_hit_speedup": 0.9,
 }
 
-# Documented waivers: key -> reason. A waived floor is reported, not
-# enforced. Keep this empty unless a floor is knowingly violated on a
+# Invariant ceilings on overhead-ratio metrics (lower is better), the dual
+# of FLOORS. streamed_overhead_ratio: a chunked StreamSession pass over data
+# that DID fit in memory must stay close to the resident run it shadows —
+# the streaming layer buys an unbounded n, not a faster one, and the moment
+# the chunk read/dispatch/carry-fold loop costs more than ~1.35x resident,
+# its plumbing has regressed (measured ~1.3x at n=2^20 with the 128 KiB
+# default chunk and run_into materialization).
+CEILINGS = {
+    "streamed_overhead_ratio": 1.35,
+}
+
+# Documented waivers: key -> reason. A waived floor or ceiling is reported,
+# not enforced. Keep this empty unless a gate is knowingly violated on a
 # specific runner class; the reason string should say where and why.
 WAIVERS = {}
 
@@ -116,6 +127,8 @@ def list_keys(baseline, current):
             gates.append("ratio-gated")
         if key in FLOORS:
             gates.append(f"floor>={FLOORS[key]}" + (" (waived)" if key in WAIVERS else ""))
+        if key in CEILINGS:
+            gates.append(f"ceiling<={CEILINGS[key]}" + (" (waived)" if key in WAIVERS else ""))
         if key.endswith("_assert_pass"):
             gates.append("hard-assert")
         where = ("both" if key in baseline and key in current
@@ -195,11 +208,28 @@ def main():
         else:
             print(f"  floor ok   {key}: {cur:.3f} >= {floor} (-{args.noise:.0%} noise)")
 
+    for key, ceiling in sorted(CEILINGS.items()):
+        if key not in current:
+            continue  # this bench file doesn't carry the metric
+        cur = numeric(current[key], key, args.current, failures)
+        if cur is None:
+            continue
+        if key in WAIVERS:
+            print(f"  WAIVED {key} <= {ceiling} ({WAIVERS[key]})")
+            continue
+        limit = ceiling * (1.0 + args.noise)
+        if cur > limit:
+            failures.append(f"{key}: {cur:.3f} above ceiling {ceiling} "
+                            f"(noise-adjusted limit {limit:.3f})")
+        else:
+            print(f"  ceiling ok {key}: {cur:.3f} <= {ceiling} (+{args.noise:.0%} noise)")
+
     # Ungated numeric keys, old -> new: the absolute context (ms columns,
     # bandwidth fractions) behind every ratio move above. Reported, never
     # gated — these are host-specific.
     for key in sorted(set(baseline) & set(current)):
-        if is_ratio_key(key) or key in FLOORS or key.endswith("_assert_pass"):
+        if (is_ratio_key(key) or key in FLOORS or key in CEILINGS
+                or key.endswith("_assert_pass")):
             continue
         if isinstance(baseline[key], bool) or not isinstance(baseline[key], (int, float)):
             continue

@@ -15,11 +15,12 @@
 #   scripts/check.sh --bench       # also run the engine amortization smoke
 #                                  # bench (Release, BENCH_engine.json), the
 #                                  # SIMD kernel bench at the host's native ISA
-#                                  # (bench-simd preset, BENCH_simd.json), and
-#                                  # the serving frontend coalesce/soak bench
-#                                  # (BENCH_serving.json), then gate all three
-#                                  # against the committed baselines
-#                                  # (scripts/bench_compare.py)
+#                                  # (bench-simd preset, BENCH_simd.json), the
+#                                  # serving frontend coalesce/soak bench
+#                                  # (BENCH_serving.json), and the out-of-core
+#                                  # streaming bench (BENCH_streaming.json),
+#                                  # then gate all four against the committed
+#                                  # baselines (scripts/bench_compare.py)
 #   scripts/check.sh --bench-only  # the bench smoke + gate without any
 #                                  # sanitizer pass (the CI bench job)
 #
@@ -69,6 +70,12 @@ QUICK_FILTER+='|ServeFrontend|ServeSoak'
 # Type-erased ABI: descriptor validation, erased-vs-templated dispatch, the
 # sharded plan cache's accessors, and the C surface driven from C++.
 QUICK_FILTER+='|ErasedApi|ErasedDifferential|CApi'
+# Out-of-core streaming: resident-vs-streamed differentials (Stream),
+# kill-and-resume under governance (StreamResume), the frontend's streaming
+# submit path (StreamServe), and the randomized fault-schedule chaos gate
+# (StreamChaos) — the carry/checkpoint machinery shares buffers across
+# chunks, so the sanitizers over these suites guard the commit discipline.
+QUICK_FILTER+='|Stream'
 
 # The chaos gate replays the randomized fault schedules (chaos_test) plus the
 # governance and fault-path suites under ASan and TSan. Every test already
@@ -77,6 +84,7 @@ QUICK_FILTER+='|ErasedApi|ErasedDifferential|CApi'
 CHAOS_FILTER='Chaos|RunContext|Governance|DegenerateInputs|FaultInjection|Resilient'
 CHAOS_FILTER+='|PlanCacheStorm|ConcurrentRecording|ResilientTracing'
 CHAOS_FILTER+='|ServeFrontend|ServeSoak'
+CHAOS_FILTER+='|StreamChaos|StreamResume'
 
 # The soak gate runs only the serving soak, but big: more client threads and
 # more randomized schedules per run, under TSan. The binary is invoked
@@ -85,7 +93,8 @@ CHAOS_FILTER+='|ServeFrontend|ServeSoak'
 # enumerated at build time.
 : "${MP_SOAK_CLIENTS:=8}"
 : "${MP_SOAK_SCHEDULES:=64}"
-export MP_SOAK_CLIENTS MP_SOAK_SCHEDULES
+: "${MP_STREAM_SCHEDULES:=1024}"
+export MP_SOAK_CLIENTS MP_SOAK_SCHEDULES MP_STREAM_SCHEDULES
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 if [[ "$MODE" == none ]]; then SANITIZERS=(); fi
@@ -101,6 +110,8 @@ for san in "${SANITIZERS[@]}"; do
   elif [[ "$MODE" == soak ]]; then
     echo "=== [$san] serve soak: ${MP_SOAK_CLIENTS} clients x ${MP_SOAK_SCHEDULES} schedules ==="
     "./build-$san/tests/serve_soak_test" --gtest_brief=1
+    echo "=== [$san] stream soak: ${MP_STREAM_SCHEDULES} kill-and-resume schedules ==="
+    "./build-$san/tests/stream_chaos_test" --gtest_brief=1
   else
     ctest --preset "$san" -R "$QUICK_FILTER"
   fi
@@ -141,10 +152,20 @@ if [[ "$BENCH" == 1 ]]; then
   ./build-bench/bench/serving_soak --benchmark_filter=NONE \
     --reps=3 --json=build-bench/BENCH_serving.json
 
+  # Out-of-core streaming: streamed-vs-resident overhead (ceiling-gated:
+  # streamed_overhead_ratio <= 1.35) plus the bit-identity and resume hard
+  # asserts.
+  echo "=== [bench-smoke] streaming ==="
+  cmake --build --preset bench-smoke -j "$JOBS" --target streaming \
+    -- --no-print-directory >/dev/null
+  ./build-bench/bench/streaming --benchmark_filter=NONE \
+    --n=1048576 --reps=3 --json=build-bench/BENCH_streaming.json
+
   echo "=== [bench-gate] compare against committed baselines ==="
   python3 scripts/bench_compare.py BENCH_engine.json build-bench/BENCH_engine.json
   python3 scripts/bench_compare.py BENCH_simd.json build-bench-simd/BENCH_simd.json
   python3 scripts/bench_compare.py BENCH_serving.json build-bench/BENCH_serving.json
+  python3 scripts/bench_compare.py BENCH_streaming.json build-bench/BENCH_streaming.json
 fi
 if [[ "$MODE" == none ]]; then
   echo "Bench smoke + regression gate clean"

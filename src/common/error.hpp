@@ -41,6 +41,9 @@ enum class ErrorCode {
   kUnsupported,      // a type-erased request named a dtype/op/kind outside
                      // the dispatch table (core/erased.hpp) — the request is
                      // malformed at the ABI level; retrying is pointless
+  kIoError,          // a ChunkSource read failed or a carry checkpoint was
+                     // corrupt (stream/*) — transient faults are retried
+                     // under RetryPolicy before this surfaces
 };
 
 constexpr const char* to_string(ErrorCode code) {
@@ -55,6 +58,7 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kBudgetExceeded: return "budget-exceeded";
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kIoError: return "io-error";
   }
   return "unknown";
 }

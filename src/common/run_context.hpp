@@ -81,10 +81,12 @@ class CancelSource {
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 
-/// Bounded retry for *transient* substrate failures (kPoolFailure): the
-/// engine re-runs the same strategy up to max_retries times, sleeping
-/// `backoff` between attempts, before the fallback chain engages. The
-/// default is no retries — identical to the pre-governance behaviour.
+/// Bounded retry for *transient* substrate failures: the engine re-runs the
+/// same strategy up to max_retries times after kPoolFailure, and the stream
+/// layer re-reads a chunk up to max_retries times after a transient
+/// kIoError, sleeping `backoff` between attempts, before the error
+/// surfaces. The default is no retries — identical to the pre-governance
+/// behaviour.
 struct RetryPolicy {
   std::size_t max_retries = 0;
   std::chrono::microseconds backoff{100};
@@ -101,7 +103,16 @@ struct FallbackCounters {
   std::atomic<std::uint64_t> execution_faults{0};  // abandoned: kExecutionFault/bad_alloc
   std::atomic<std::uint64_t> verify_failures{0};   // abandoned: self-check mismatch
   std::atomic<std::uint64_t> exhausted{0};         // whole chain failed
-  std::atomic<std::uint64_t> retries{0};           // same-strategy retry after kPoolFailure
+  // Retries are split by cause so a pool-flap and a flaky disk are
+  // distinguishable in production counters: pool_retries is the engine's
+  // same-strategy re-run after kPoolFailure, io_retries is the stream
+  // layer's re-read after a transient kIoError. Both burn the same
+  // RetryPolicy budget at their respective sites and are mirrored 1:1 as
+  // obs::Event::kRetry / kIoRetry.
+  std::atomic<std::uint64_t> pool_retries{0};      // same-strategy retry after kPoolFailure
+  std::atomic<std::uint64_t> io_retries{0};        // chunk re-read after transient kIoError
+  std::atomic<std::uint64_t> io_faults{0};         // kIoError observed (incl. retried ones)
+  std::atomic<std::uint64_t> checkpoints_saved{0}; // carry snapshots serialized (stream/*)
   std::atomic<std::uint64_t> cancellations{0};     // runs ended by the cancel token
   std::atomic<std::uint64_t> deadlines_exceeded{0};  // runs ended by the deadline
   std::atomic<std::uint64_t> budget_degrades{0};   // strategy demoted to fit the byte budget
@@ -124,7 +135,10 @@ struct FallbackCounters {
     execution_faults.store(0, std::memory_order_relaxed);
     verify_failures.store(0, std::memory_order_relaxed);
     exhausted.store(0, std::memory_order_relaxed);
-    retries.store(0, std::memory_order_relaxed);
+    pool_retries.store(0, std::memory_order_relaxed);
+    io_retries.store(0, std::memory_order_relaxed);
+    io_faults.store(0, std::memory_order_relaxed);
+    checkpoints_saved.store(0, std::memory_order_relaxed);
     cancellations.store(0, std::memory_order_relaxed);
     deadlines_exceeded.store(0, std::memory_order_relaxed);
     budget_degrades.store(0, std::memory_order_relaxed);

@@ -381,7 +381,7 @@ class Engine {
         }
         if (e.code() == ErrorCode::kPoolFailure && attempt < ctx.retry.max_retries) {
           ++attempt;
-          counters.retries.fetch_add(1, std::memory_order_relaxed);
+          counters.pool_retries.fetch_add(1, std::memory_order_relaxed);
           obs::count(tracer, obs::Event::kRetry);
           if (ctx.retry.backoff.count() > 0) std::this_thread::sleep_for(ctx.retry.backoff);
           // The backoff may have consumed the deadline — counted poll, as

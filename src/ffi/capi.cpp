@@ -68,7 +68,8 @@ static_assert(static_cast<int>(mp::ErrorCode::kOk) == MP_OK &&
                       MP_ERR_DEADLINE_EXCEEDED &&
                   static_cast<int>(mp::ErrorCode::kBudgetExceeded) == MP_ERR_BUDGET_EXCEEDED &&
                   static_cast<int>(mp::ErrorCode::kOverloaded) == MP_ERR_OVERLOADED &&
-                  static_cast<int>(mp::ErrorCode::kUnsupported) == MP_ERR_UNSUPPORTED,
+                  static_cast<int>(mp::ErrorCode::kUnsupported) == MP_ERR_UNSUPPORTED &&
+                  static_cast<int>(mp::ErrorCode::kIoError) == MP_ERR_IO,
               "mp_status values must mirror mp::ErrorCode");
 
 // ---- handles ---------------------------------------------------------------
@@ -92,7 +93,7 @@ namespace {
 
 mp_status status_from(mp::ErrorCode code) {
   const int value = static_cast<int>(code);
-  if (value >= MP_OK && value <= MP_ERR_UNSUPPORTED) return static_cast<mp_status>(value);
+  if (value >= MP_OK && value <= MP_ERR_IO) return static_cast<mp_status>(value);
   return MP_ERR_UNKNOWN;
 }
 
@@ -131,7 +132,7 @@ extern "C" {
 const char* mp_status_name(mp_status status) {
   if (status == MP_ERR_UNKNOWN) return "unknown";
   const int value = static_cast<int>(status);
-  if (value < MP_OK || value > MP_ERR_UNSUPPORTED) return "unknown";
+  if (value < MP_OK || value > MP_ERR_IO) return "unknown";
   return mp::to_string(static_cast<mp::ErrorCode>(value));
 }
 
@@ -170,6 +171,17 @@ mp_status mp_run(mp_engine* engine, const mp_request_desc* desc, const void* val
   if (!parsed) return MP_ERR_UNSUPPORTED;
   return translated([&] {
     engine->impl->run(desc_from(desc), values, labels, prefix, reduction, n, m, *parsed);
+  });
+}
+
+mp_status mp_run_batched(mp_engine* engine, const mp_request_desc* desc,
+                         const void* values, const mp_label* labels, const size_t* bounds,
+                         size_t batch, void* prefix, void* reduction, size_t n, size_t m) {
+  if (engine == nullptr || desc == nullptr || bounds == nullptr)
+    return MP_ERR_SHAPE_MISMATCH;
+  return translated([&] {
+    engine->impl->run_batched(desc_from(desc), values, labels, bounds, batch, prefix,
+                              reduction, n, m);
   });
 }
 

@@ -42,6 +42,9 @@ const char* to_string(Phase phase) {
     case Phase::kAdmit:      return "admit";
     case Phase::kCoalesce:   return "coalesce";
     case Phase::kDrain:      return "drain";
+    case Phase::kStreamChunk:    return "stream-chunk";
+    case Phase::kCarryMerge:     return "carry-merge";
+    case Phase::kCheckpointSave: return "checkpoint-save";
   }
   return "?";
 }
@@ -64,6 +67,9 @@ const char* slug(Phase phase) {
     case Phase::kAdmit:      return "admit";
     case Phase::kCoalesce:   return "coalesce";
     case Phase::kDrain:      return "drain";
+    case Phase::kStreamChunk:    return "stream_chunk";
+    case Phase::kCarryMerge:     return "carry_merge";
+    case Phase::kCheckpointSave: return "checkpoint_save";
   }
   return "?";
 }
@@ -85,6 +91,9 @@ const char* to_string(Event event) {
     case Event::kDrainCancel:      return "drain_cancels";
     case Event::kCoalescedBatch:   return "coalesced_batches";
     case Event::kPlanShardContended: return "plan_shard_contentions";
+    case Event::kIoRetry:          return "io_retries";
+    case Event::kIoFault:          return "io_faults";
+    case Event::kCheckpointSaved:  return "checkpoints_saved";
   }
   return "?";
 }

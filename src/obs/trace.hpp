@@ -69,8 +69,11 @@ enum class Phase : std::uint8_t {
   kAdmit,          // serving frontend: validation + admission of one submit
   kCoalesce,       // serving frontend: batch assembly + coalesced dispatch
   kDrain,          // serving frontend: the whole drain/shutdown window
+  kStreamChunk,    // stream: one chunk read + compute (stream/session.hpp)
+  kCarryMerge,     // stream: cross-chunk carry combine into the chunk prefix
+  kCheckpointSave, // stream: carry snapshot serialization
 };
-inline constexpr std::size_t kPhaseCount = 16;
+inline constexpr std::size_t kPhaseCount = 19;
 
 /// Countable one-shot events — the governance vocabulary of
 /// FallbackCounters (common/run_context.hpp) plus the plan-cache outcomes.
@@ -91,8 +94,11 @@ enum class Event : std::uint8_t {
   kCoalescedBatch,     // several requests dispatched as one segmented pass
   kPlanShardContended, // a plan-cache shard lock was held when a hot-path
                        // probe arrived (the sharding layer's scaling signal)
+  kIoRetry,            // chunk re-read after a transient kIoError (stream/*)
+  kIoFault,            // a kIoError was observed, retried or not
+  kCheckpointSaved,    // a carry snapshot was serialized (stream/*)
 };
-inline constexpr std::size_t kEventCount = 15;
+inline constexpr std::size_t kEventCount = 18;
 
 /// Display name ("ROWSUMS") and metrics slug ("rowsums").
 const char* to_string(Phase phase);

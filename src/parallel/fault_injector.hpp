@@ -59,6 +59,10 @@ class FaultInjector {
   /// Invoked before a governed scratch allocation of `bytes`; may throw
   /// std::bad_alloc to simulate memory pressure. Default: no fault.
   virtual void on_alloc(std::size_t bytes) { (void)bytes; }
+  /// Invoked before a ChunkSource read of chunk `chunk_index`
+  /// (stream/session.hpp calls notify_io ahead of every read attempt); may
+  /// throw MpError(kIoError) to simulate a failed read. Default: no fault.
+  virtual void on_io(std::size_t chunk_index) { (void)chunk_index; }
 };
 
 // ---- process-wide allocation seam -----------------------------------------
@@ -83,6 +87,29 @@ inline FaultInjector* set_alloc_fault_injector(FaultInjector* injector) {
 inline void notify_alloc(std::size_t bytes) {
   if (FaultInjector* injector = detail::alloc_injector_slot().load(std::memory_order_acquire))
     injector->on_alloc(bytes);
+}
+
+// ---- process-wide I/O seam ------------------------------------------------
+
+namespace detail {
+inline std::atomic<FaultInjector*>& io_injector_slot() {
+  static std::atomic<FaultInjector*> slot{nullptr};
+  return slot;
+}
+}  // namespace detail
+
+/// Arms (or, with nullptr, disarms) the I/O-fault seam; returns the
+/// previously armed injector so scopes can nest. The injector must outlive
+/// its arming.
+inline FaultInjector* set_io_fault_injector(FaultInjector* injector) {
+  return detail::io_injector_slot().exchange(injector, std::memory_order_acq_rel);
+}
+
+/// Called by the stream session before every ChunkSource read attempt. One
+/// relaxed load when nothing is armed.
+inline void notify_io(std::size_t chunk_index) {
+  if (FaultInjector* injector = detail::io_injector_slot().load(std::memory_order_acquire))
+    injector->on_io(chunk_index);
 }
 
 /// Deterministic, script-driven injector. See file comment for the scripts.
@@ -110,6 +137,13 @@ class ScriptedFaultInjector : public FaultInjector {
     /// With fail_alloc_after: every allocation from the nth on also fails
     /// (sustained memory pressure) instead of exactly one.
     bool fail_alloc_persistent = false;
+    /// The nth notify_io() since arming (0-based) throws MpError(kIoError).
+    /// Empty = reads never fault.
+    std::optional<std::size_t> fail_io_after;
+    /// With fail_io_after: how many consecutive reads fail from the nth on
+    /// (a transient blip the retry policy can absorb). 0 = every read from
+    /// the nth on fails (a dead disk; retries cannot save the run).
+    std::size_t io_fail_count = 1;
   };
 
   explicit ScriptedFaultInjector(Script script) : script_(script) {}
@@ -139,16 +173,35 @@ class ScriptedFaultInjector : public FaultInjector {
     }
   }
 
+  void on_io(std::size_t chunk_index) override {
+    if (!script_.fail_io_after) return;
+    const std::size_t index = io_index_.fetch_add(1, std::memory_order_relaxed);
+    const bool hit = script_.io_fail_count == 0
+                         ? index >= *script_.fail_io_after
+                         : index >= *script_.fail_io_after &&
+                               index < *script_.fail_io_after + script_.io_fail_count;
+    if (hit) {
+      io_faults_.fetch_add(1, std::memory_order_relaxed);
+      throw MpError(ErrorCode::kIoError,
+                    "injected I/O fault reading chunk " + std::to_string(chunk_index) +
+                        " (read " + std::to_string(index) + ")");
+    }
+  }
+
   /// Number of lane faults actually injected so far.
   std::size_t faults() const { return faults_.load(std::memory_order_relaxed); }
   /// Number of allocation faults actually injected so far.
   std::size_t alloc_faults() const { return alloc_faults_.load(std::memory_order_relaxed); }
+  /// Number of I/O faults actually injected so far.
+  std::size_t io_faults() const { return io_faults_.load(std::memory_order_relaxed); }
 
  private:
   Script script_;
   std::atomic<std::size_t> faults_{0};
   std::atomic<std::size_t> alloc_index_{0};
   std::atomic<std::size_t> alloc_faults_{0};
+  std::atomic<std::size_t> io_index_{0};
+  std::atomic<std::size_t> io_faults_{0};
 };
 
 /// RAII arming of a FaultInjector on a pool and/or the allocation seam.
@@ -159,22 +212,29 @@ class ScriptedFaultInjector : public FaultInjector {
 class ScopedFaultInjector {
  public:
   /// Arms `injector` on `pool` lanes; with arm_alloc, also on the
-  /// process-wide allocation seam. Pass pool = nullptr for alloc-only
-  /// arming.
-  ScopedFaultInjector(ThreadPool* pool, FaultInjector& injector, bool arm_alloc = false)
+  /// process-wide allocation seam; with arm_io, also on the process-wide
+  /// I/O seam. Pass pool = nullptr for seam-only arming.
+  ScopedFaultInjector(ThreadPool* pool, FaultInjector& injector, bool arm_alloc = false,
+                      bool arm_io = false)
       : pool_(pool) {
     if (pool_ != nullptr) pool_->set_fault_injector(&injector);
     if (arm_alloc) {
       prev_alloc_ = set_alloc_fault_injector(&injector);
       armed_alloc_ = true;
     }
+    if (arm_io) {
+      prev_io_ = set_io_fault_injector(&injector);
+      armed_io_ = true;
+    }
   }
-  ScopedFaultInjector(ThreadPool& pool, FaultInjector& injector, bool arm_alloc = false)
-      : ScopedFaultInjector(&pool, injector, arm_alloc) {}
+  ScopedFaultInjector(ThreadPool& pool, FaultInjector& injector, bool arm_alloc = false,
+                      bool arm_io = false)
+      : ScopedFaultInjector(&pool, injector, arm_alloc, arm_io) {}
 
   ~ScopedFaultInjector() {
     if (pool_ != nullptr) pool_->set_fault_injector(nullptr);
     if (armed_alloc_) set_alloc_fault_injector(prev_alloc_);
+    if (armed_io_) set_io_fault_injector(prev_io_);
   }
 
   ScopedFaultInjector(const ScopedFaultInjector&) = delete;
@@ -184,6 +244,8 @@ class ScopedFaultInjector {
   ThreadPool* pool_ = nullptr;
   FaultInjector* prev_alloc_ = nullptr;
   bool armed_alloc_ = false;
+  FaultInjector* prev_io_ = nullptr;
+  bool armed_io_ = false;
 };
 
 }  // namespace mp

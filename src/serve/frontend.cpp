@@ -55,7 +55,8 @@ void ErasedRequest::fail(Status status) noexcept {
 }
 
 void ErasedRequest::run_batch(Engine& engine, Strategy stage, const RunContext& ctx,
-                              std::span<const std::unique_ptr<Request>> batch) {
+                              std::span<const std::unique_ptr<Request>> batch,
+                              std::size_t tiny_batch_max_n) {
   // The erased analogue of assemble_batch: values concatenate as raw bytes
   // (the element size is uniform across the batch — same class id, same
   // descriptor), labels are offset by the running m-prefix-sum.
@@ -88,7 +89,7 @@ void ErasedRequest::run_batch(Engine& engine, Strategy stage, const RunContext& 
     prefix.resize(total_n * elem);
     prefix_ptr = prefix.data();
   }
-  if (all_tiny(batch)) {
+  if (all_tiny(batch, tiny_batch_max_n)) {
     // Same tiny-batch routing as the typed run_batch implementations: one
     // fused segmented sweep through the erased batched entry point, stage
     // deliberately ignored (see kTinyBatchMaxN).
@@ -128,6 +129,11 @@ Frontend::Frontend(const FrontendOptions& options)
   // representable; clamp the cap rather than trusting the caller.
   options_.coalesce_max_m = std::min<std::size_t>(
       options_.coalesce_max_m, static_cast<std::size_t>(static_cast<label_t>(-1)) / 2);
+  // The tiny gate is strict (<) and only ever sees members with
+  // n <= coalesce_request_max_n, so larger values are equivalent to the
+  // clamp; 0 stays 0 (batched path disabled).
+  options_.tiny_batch_max_n =
+      std::min(options_.tiny_batch_max_n, options_.coalesce_request_max_n + 1);
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -232,22 +238,31 @@ void Frontend::finish_submit(std::unique_ptr<detail::Request> req, std::size_t m
   if (opts.timeout) req->deadline = std::chrono::steady_clock::now() + *opts.timeout;
   req->byte_budget = opts.byte_budget;
   // Governed requests never coalesce: a batch member's deadline or budget
-  // must not fail its batch-mates.
-  req->coalescable = opts.coalescable && !req->deadline && opts.byte_budget == 0;
+  // must not fail its batch-mates. Streaming requests never coalesce either
+  // — there is no resident payload to concatenate.
+  req->coalescable = opts.coalescable && !req->deadline && opts.byte_budget == 0 &&
+                     !req->streaming;
   req->m = m;
-  req->bytes = req->n * (elem_size + sizeof(label_t)) + m * elem_size;
+  // Streaming requests pre-computed their queue charge as the chunk working
+  // set (the resident formula would charge the whole out-of-core extent).
+  if (!req->streaming)
+    req->bytes = req->n * (elem_size + sizeof(label_t)) + m * elem_size;
 
   // Contract violations are typed rejects, not sheds — they would fail
   // identically after queueing, so fail them before consuming queue space.
-  if (Status st = validate_inputs(req->n, req->labels_view, m); !st.is_ok()) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.submitted;
-      ++stats_.rejected_invalid;
-      ++stats_.failed;
+  // Streaming requests have no resident labels to check here; the session
+  // validates each chunk's labels as it reads them.
+  if (!req->streaming) {
+    if (Status st = validate_inputs(req->n, req->labels_view, m); !st.is_ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.submitted;
+        ++stats_.rejected_invalid;
+        ++stats_.failed;
+      }
+      req->fail(std::move(st));
+      return;
     }
-    req->fail(std::move(st));
-    return;
   }
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -478,7 +493,11 @@ void Frontend::run_single(detail::Request& req) {
   ctx.byte_budget = req.byte_budget;
   ctx.counters = options_.counters;
   ctx.tracer = options_.tracer;
-  const Strategy preferred = engine_->resolve_for(req.labels_view, req.m, req.strategy);
+  // Streams have no resident labels to profile; resolve on the total shape
+  // (the session threads the chosen strategy into every chunk dispatch).
+  const Strategy preferred =
+      req.streaming ? engine_->resolve(req.strategy, req.n, req.m)
+                    : engine_->resolve_for(req.labels_view, req.m, req.strategy);
   const bool ok = dispatch_chain(
       req.class_id, preferred, ctx,
       [&](Strategy stage) { req.run(*engine_, stage, ctx); },
@@ -518,7 +537,9 @@ void Frontend::process_batch(std::vector<std::unique_ptr<detail::Request>>& batc
                                                                   batch.size());
   const bool ok = dispatch_chain(
       batch.front()->class_id, preferred, ctx,
-      [&](Strategy stage) { batch_fn(*engine_, stage, ctx, members); },
+      [&](Strategy stage) {
+        batch_fn(*engine_, stage, ctx, members, options_.tiny_batch_max_n);
+      },
       [&](Status status) {
         for (const auto& req : batch) req->fail(status);
       });

@@ -22,7 +22,7 @@
 //     per request. This is the paper's §5.2.1 amortization applied across
 //     *callers* instead of across calls — hundreds of n<1k requests become
 //     a single well-vectorized dispatch (bench/serving_soak measures the
-//     win). When every member is tiny (n < detail::kTinyBatchMaxN) the
+//     win). When every member is tiny (n < FrontendOptions::tiny_batch_max_n) the
 //     batch routes through the engine's batched tiny-n entry points — one
 //     fused segmented sweep whose banded kernel interleaves several
 //     requests' dependency chains (bench/simd_kernels' tiny_batch section
@@ -77,6 +77,7 @@
 #include "core/strategy.hpp"
 #include "obs/trace.hpp"
 #include "serve/breaker.hpp"
+#include "stream/session.hpp"
 
 namespace mp::serve {
 
@@ -104,6 +105,10 @@ struct SubmitOptions {
   bool coalescable = true;
 };
 
+/// Default for FrontendOptions::tiny_batch_max_n; see detail::kTinyBatchMaxN
+/// for the regime rationale.
+inline constexpr std::size_t kDefaultTinyBatchMaxN = 1024;
+
 struct FrontendOptions {
   /// Engine to dispatch through; null = Engine::global().
   Engine* engine = nullptr;
@@ -121,6 +126,14 @@ struct FrontendOptions {
   /// Only requests with n at most this coalesce (big requests amortize
   /// their own dispatch; batching them just adds latency to batch-mates).
   std::size_t coalesce_request_max_n = 8192;
+  /// Coalesced batches whose every member has n strictly below this gate
+  /// dispatch through the engine's fused batched tiny-n entry points
+  /// (multiprefix_batched_into / run_batched) instead of one strategy
+  /// dispatch — see detail::kTinyBatchMaxN for the default's regime
+  /// rationale. 0 disables the batched path entirely (every batch takes the
+  /// strategy dispatch); values above coalesce_request_max_n are clamped at
+  /// construction, since the gate can never see a larger member.
+  std::size_t tiny_batch_max_n = kDefaultTinyBatchMaxN;
   /// Defaults for tenants never configured via set_tenant().
   TenantOptions default_tenant;
   BreakerOptions breaker;
@@ -192,7 +205,7 @@ struct ErasedResult {
 
 namespace detail {
 
-enum class RequestKind : std::uint8_t { kMultiprefix, kMultireduce };
+enum class RequestKind : std::uint8_t { kMultiprefix, kMultireduce, kStream };
 
 /// Monotonically increasing id per (T, Op, kind) instantiation — the
 /// coalescing compatibility key and the breaker's class axis.
@@ -224,6 +237,11 @@ struct Request {
   std::optional<std::chrono::steady_clock::time_point> deadline;
   std::size_t byte_budget = 0;
   bool coalescable = true;
+  /// Streaming (out-of-core) request: n is the source's total element count
+  /// but the payload is pulled chunk-at-a-time, so `bytes` charges only the
+  /// chunk working set and admission-time label validation is skipped (the
+  /// session validates every chunk's labels as it reads them).
+  bool streaming = false;
   std::size_t n = 0;
   std::size_t m = 0;
   std::size_t bytes = 0;        // payload charged against the queue byte bound
@@ -241,8 +259,11 @@ struct Request {
   /// one segmented engine pass, then per-request result slicing. Fulfills
   /// every member's promise on success; throws without touching any
   /// promise on failure (the caller fails or retries the members).
+  /// `tiny_batch_max_n` is FrontendOptions::tiny_batch_max_n, threaded in by
+  /// process_batch so the tiny-n gate is a deployment knob, not a constant.
   using BatchFn = void (*)(Engine&, Strategy, const RunContext&,
-                           std::span<const std::unique_ptr<Request>>);
+                           std::span<const std::unique_ptr<Request>>,
+                           std::size_t tiny_batch_max_n);
   BatchFn batch_fn = nullptr;
 };
 
@@ -258,14 +279,15 @@ struct Request {
 inline constexpr std::size_t kTinyBatchMaxN = 1024;
 
 /// True when the batched tiny-n kernel should serve this batch: two or more
-/// requests, all tiny. The resolved fallback stage is deliberately ignored
-/// on this path — the batched entry point is its own (serial-equivalent)
-/// substrate, and a batch of sub-1k requests has nothing to gain from a
-/// threaded or plan-based stage.
-inline bool all_tiny(std::span<const std::unique_ptr<Request>> batch) {
-  if (batch.size() < 2) return false;
+/// requests, every one with n strictly below `max_n` (0 = the path is
+/// disabled). The resolved fallback stage is deliberately ignored on this
+/// path — the batched entry point is its own (serial-equivalent) substrate,
+/// and a batch of sub-1k requests has nothing to gain from a threaded or
+/// plan-based stage.
+inline bool all_tiny(std::span<const std::unique_ptr<Request>> batch, std::size_t max_n) {
+  if (max_n == 0 || batch.size() < 2) return false;
   for (const auto& r : batch)
-    if (r->n >= kTinyBatchMaxN) return false;
+    if (r->n >= max_n) return false;
   return true;
 }
 
@@ -325,13 +347,14 @@ struct MrRequest final : Request {
   }
 
   static void run_batch(Engine& engine, Strategy stage, const RunContext& ctx,
-                        std::span<const std::unique_ptr<Request>> batch) {
+                        std::span<const std::unique_ptr<Request>> batch,
+                        std::size_t tiny_batch_max_n) {
     std::vector<T> values;
     std::vector<label_t> labels;
     const auto m_offsets = assemble_batch<T, MrRequest>(batch, values, labels);
     const Op op = static_cast<MrRequest*>(batch.front().get())->op;
     std::vector<T> reduction(m_offsets.back(), op.template identity<T>());
-    if (all_tiny(batch)) {
+    if (all_tiny(batch, tiny_batch_max_n)) {
       const auto bounds = element_bounds(batch);
       engine.multireduce_batched_into<T, Op>(values, labels, bounds, std::span<T>(reduction),
                                              op, ctx);
@@ -366,7 +389,8 @@ struct MpRequest final : Request {
   }
 
   static void run_batch(Engine& engine, Strategy stage, const RunContext& ctx,
-                        std::span<const std::unique_ptr<Request>> batch) {
+                        std::span<const std::unique_ptr<Request>> batch,
+                        std::size_t tiny_batch_max_n) {
     std::vector<T> values;
     std::vector<label_t> labels;
     const auto m_offsets = assemble_batch<T, MpRequest>(batch, values, labels);
@@ -374,7 +398,7 @@ struct MpRequest final : Request {
     const T id = op.template identity<T>();
     std::vector<T> prefix(values.size(), id);
     std::vector<T> reduction(m_offsets.back(), id);
-    if (all_tiny(batch)) {
+    if (all_tiny(batch, tiny_batch_max_n)) {
       const auto bounds = element_bounds(batch);
       engine.multiprefix_batched_into<T, Op>(values, labels, bounds, std::span<T>(prefix),
                                              std::span<T>(reduction), op, ctx);
@@ -410,7 +434,42 @@ struct ErasedRequest final : Request {
   void run(Engine& engine, Strategy stage, const RunContext& ctx) override;
   void fail(Status status) noexcept override;
   static void run_batch(Engine& engine, Strategy stage, const RunContext& ctx,
-                        std::span<const std::unique_ptr<Request>> batch);
+                        std::span<const std::unique_ptr<Request>> batch,
+                        std::size_t tiny_batch_max_n);
+};
+
+/// Queued streaming run: the frontend dispatches it like any single
+/// (non-coalescable) request, but run() drives a stream::StreamSession over
+/// the caller's ChunkSource instead of touching a resident payload. The
+/// future resolves to the final m-slot reduction; per-chunk prefixes go to
+/// the caller's sink as they complete. The source (and sink) must outlive
+/// the future — the frontend holds only pointers, because an out-of-core
+/// input by definition cannot be copied into the queue.
+template <class T, class Op>
+struct StreamRequest final : Request {
+  stream::ChunkSource<T>* source = nullptr;
+  typename stream::StreamSession<T, Op>::Sink sink;
+  Op op;
+  std::vector<std::byte> resume;  // carry checkpoint to restore; empty = fresh
+  stream::StreamKind kind = stream::StreamKind::kMultiprefix;
+  std::promise<std::vector<T>> promise;
+
+  void run(Engine& engine, Strategy stage, const RunContext& ctx) override {
+    typename stream::StreamSession<T, Op>::Options options;
+    options.engine = &engine;
+    options.strategy = stage;
+    options.kind = kind;
+    options.op = op;
+    stream::StreamSession<T, Op> session(*source, m, options);
+    if (!resume.empty()) session.restore(resume);
+    session.run(sink, ctx);
+    const auto reduction = session.reduction();
+    promise.set_value(std::vector<T>(reduction.begin(), reduction.end()));
+  }
+
+  void fail(Status status) noexcept override {
+    promise.set_exception(std::make_exception_ptr(MpError(std::move(status))));
+  }
 };
 
 }  // namespace detail
@@ -487,6 +546,47 @@ class Frontend {
   std::future<ErasedResult> submit(const RequestDesc& desc, const void* values,
                                    const label_t* labels, std::size_t n, std::size_t m,
                                    const SubmitOptions& opts = {});
+
+  /// Async out-of-core streaming run: dispatches a stream::StreamSession
+  /// over `source` through the same admission, fair-queueing, governance and
+  /// breaker machinery as resident submits. The future resolves to the final
+  /// m-slot reduction; when `sink` is set the run is a multiprefix and the
+  /// sink receives each chunk's prefix block in order (from the dispatcher
+  /// thread — it must be thread-compatible with the caller), otherwise a
+  /// multireduce. `resume` may hold a carry checkpoint from
+  /// StreamSession::snapshot() to continue an interrupted stream (same T,
+  /// Op, m and chunk grid; a mismatch resolves the future kIoError).
+  ///
+  /// Admission differences from resident submits, both forced by the
+  /// out-of-core shape: the request never coalesces, and the queue byte
+  /// bound is charged the chunk working set, not source.total_elements()
+  /// (the whole point is that the total need not fit in memory). `source`
+  /// and `sink` must outlive the future's resolution.
+  template <class T, class Op = Plus>
+    requires AssociativeOp<Op, T>
+  std::future<std::vector<T>> submit_stream(
+      stream::ChunkSource<T>& source, std::size_t m,
+      typename stream::StreamSession<T, Op>::Sink sink = {}, Op op = {},
+      const SubmitOptions& opts = {}, std::span<const std::byte> resume = {}) {
+    auto req = std::make_unique<detail::StreamRequest<T, Op>>();
+    req->source = &source;
+    req->sink = std::move(sink);
+    req->kind = req->sink ? stream::StreamKind::kMultiprefix
+                          : stream::StreamKind::kMultireduce;
+    req->op = op;
+    req->resume.assign(resume.begin(), resume.end());
+    req->streaming = true;
+    req->n = source.total_elements();
+    // Chunk working set: one chunk of values + labels + prefix, plus the
+    // carry vector. This is what the session's BudgetCharge takes per step.
+    const std::size_t chunk =
+        source.chunk_count() == 0 ? 0 : source.chunk_elements(0);
+    req->bytes = chunk * (2 * sizeof(T) + sizeof(label_t)) + m * sizeof(T);
+    req->class_id = detail::class_id_of<T, Op, detail::RequestKind::kStream>();
+    auto future = req->promise.get_future();
+    finish_submit(std::move(req), m, sizeof(T), opts);
+    return future;
+  }
 
   /// Configure a tenant's weight and in-flight cap (idempotent; applies to
   /// subsequent admissions).

@@ -1,0 +1,151 @@
+// CarryState — the crash-consistency object of the streaming layer.
+//
+// The streamed computation is Träff's Exscan shape: after chunk c, carry[l]
+// is the reduction of every chunk-0..c element labelled l — exactly the
+// exclusive cross-chunk prefix that seeds chunk c+1. That vector (plus the
+// chunk cursor) is the *entire* mutable state of a stream, so persisting it
+// is what makes a session resumable: restore the carry taken after chunk c,
+// re-read chunks c+1.. from the (re-readable) ChunkSource, and the
+// concatenated output is bit-identical to the uninterrupted run.
+//
+// The serialization is deliberately paranoid for something this small: a
+// magic, a format version, element-type and operation tags, the extents,
+// and an FNV-1a-64 checksum over everything. A checkpoint is read back
+// after a crash — precisely when the storage that held it is least
+// trusted — so every mismatch is a typed MpError(kIoError), never a
+// silently wrong resume.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/ops.hpp"
+
+namespace mp::stream {
+
+/// Per-label running state of a stream: carry[l] reduces every element
+/// labelled l in chunks [0, chunks_done). elements_done is the redundant
+/// element cursor (validated against the grid on restore).
+template <class T>
+struct CarryState {
+  std::vector<T> carry;
+  std::uint64_t chunks_done = 0;
+  std::uint64_t elements_done = 0;
+};
+
+/// Stable operation tag stamped into checkpoints so a Plus checkpoint can
+/// never seed a Min stream. Unknown (user-defined) ops share tag 0 — they
+/// are still guarded by the element tags, just not from each other.
+template <class Op>
+inline constexpr std::uint32_t kOpTag = 0;
+template <> inline constexpr std::uint32_t kOpTag<Plus> = 1;
+template <> inline constexpr std::uint32_t kOpTag<Times> = 2;
+template <> inline constexpr std::uint32_t kOpTag<Min> = 3;
+template <> inline constexpr std::uint32_t kOpTag<Max> = 4;
+template <> inline constexpr std::uint32_t kOpTag<BitAnd> = 5;
+template <> inline constexpr std::uint32_t kOpTag<BitOr> = 6;
+template <> inline constexpr std::uint32_t kOpTag<LogicalAnd> = 7;
+template <> inline constexpr std::uint32_t kOpTag<LogicalOr> = 8;
+
+namespace detail {
+
+inline constexpr std::uint64_t kCarryMagic = 0x3159'5252'4143'504dULL;  // "MPCARRY1"
+inline constexpr std::uint32_t kCarryVersion = 1;
+
+inline std::uint64_t fnv1a64(std::span<const std::byte> bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+template <class V>
+inline void put(std::vector<std::byte>& out, V value) {
+  static_assert(std::is_trivially_copyable_v<V>);
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(V));
+  std::memcpy(out.data() + at, &value, sizeof(V));
+}
+
+template <class V>
+inline V get(std::span<const std::byte> bytes, std::size_t& cursor) {
+  V value;
+  std::memcpy(&value, bytes.data() + cursor, sizeof(V));
+  cursor += sizeof(V);
+  return value;
+}
+
+}  // namespace detail
+
+/// Serializes a carry checkpoint. Layout (host byte order):
+///   u64 magic | u32 version | u32 elem_size | u32 elem_float | u32 op_tag
+///   | u64 m | u64 chunks_done | u64 elements_done
+///   | m * elem_size payload | u64 fnv1a64(everything before)
+template <class T, class Op>
+std::vector<std::byte> serialize_carry(const CarryState<T>& state) {
+  std::vector<std::byte> out;
+  out.reserve(48 + state.carry.size() * sizeof(T) + 8);
+  detail::put(out, detail::kCarryMagic);
+  detail::put(out, detail::kCarryVersion);
+  detail::put(out, static_cast<std::uint32_t>(sizeof(T)));
+  detail::put(out, static_cast<std::uint32_t>(std::is_floating_point_v<T> ? 1 : 0));
+  detail::put(out, kOpTag<Op>);
+  detail::put(out, static_cast<std::uint64_t>(state.carry.size()));
+  detail::put(out, state.chunks_done);
+  detail::put(out, state.elements_done);
+  const std::size_t at = out.size();
+  out.resize(at + state.carry.size() * sizeof(T));
+  if (!state.carry.empty())
+    std::memcpy(out.data() + at, state.carry.data(), state.carry.size() * sizeof(T));
+  detail::put(out, detail::fnv1a64(std::span<const std::byte>(out.data(), out.size())));
+  return out;
+}
+
+/// Parses and validates a checkpoint produced by serialize_carry with the
+/// same T/Op. Every violation — truncation, bit rot (checksum), a
+/// checkpoint from a different dtype/op/m — throws MpError(kIoError) with
+/// the specific mismatch named.
+template <class T, class Op>
+CarryState<T> restore_carry(std::span<const std::byte> bytes, std::size_t expected_m) {
+  const auto fail = [](const std::string& what) -> CarryState<T> {
+    throw MpError(ErrorCode::kIoError, "carry checkpoint rejected: " + what);
+  };
+  constexpr std::size_t kHeader = 8 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
+  if (bytes.size() < kHeader + 8) return fail("truncated header");
+  const std::uint64_t actual_sum = detail::fnv1a64(bytes.subspan(0, bytes.size() - 8));
+  std::size_t cursor = bytes.size() - 8;
+  const std::uint64_t stored_sum = detail::get<std::uint64_t>(bytes, cursor);
+  if (actual_sum != stored_sum) return fail("checksum mismatch (corrupt or torn write)");
+  cursor = 0;
+  if (detail::get<std::uint64_t>(bytes, cursor) != detail::kCarryMagic)
+    return fail("bad magic (not a carry checkpoint)");
+  if (const auto version = detail::get<std::uint32_t>(bytes, cursor);
+      version != detail::kCarryVersion)
+    return fail("unsupported version " + std::to_string(version));
+  if (const auto elem = detail::get<std::uint32_t>(bytes, cursor); elem != sizeof(T))
+    return fail("element size " + std::to_string(elem) + " != " + std::to_string(sizeof(T)));
+  if (const auto flt = detail::get<std::uint32_t>(bytes, cursor);
+      flt != (std::is_floating_point_v<T> ? 1u : 0u))
+    return fail("element float-ness mismatch");
+  if (const auto op = detail::get<std::uint32_t>(bytes, cursor); op != kOpTag<Op>)
+    return fail("operation tag " + std::to_string(op) + " != " + std::to_string(kOpTag<Op>));
+  const std::uint64_t m = detail::get<std::uint64_t>(bytes, cursor);
+  if (m != expected_m)
+    return fail("m " + std::to_string(m) + " != session m " + std::to_string(expected_m));
+  CarryState<T> state;
+  state.chunks_done = detail::get<std::uint64_t>(bytes, cursor);
+  state.elements_done = detail::get<std::uint64_t>(bytes, cursor);
+  if (bytes.size() != kHeader + m * sizeof(T) + 8) return fail("payload extent mismatch");
+  state.carry.resize(static_cast<std::size_t>(m));
+  if (m != 0) std::memcpy(state.carry.data(), bytes.data() + cursor, m * sizeof(T));
+  return state;
+}
+
+}  // namespace mp::stream

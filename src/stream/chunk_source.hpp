@@ -1,0 +1,214 @@
+// Pull-based chunk input for out-of-core streaming multiprefix.
+//
+// Everything above this layer assumes the whole (values, labels) vector is
+// resident; a ChunkSource inverts that: the stream session pulls one
+// bounded chunk at a time, so n is limited by the backing store, not RAM.
+// Sources are *index-addressable* — chunk i can be read again at any time —
+// which is what makes crash recovery trivial: a restored session simply
+// re-reads from the first chunk the carry checkpoint does not cover
+// (stream/session.hpp). Reads may fail with MpError(kIoError); the session
+// retries transient faults under RetryPolicy before surfacing the error.
+//
+// Three implementations:
+//   * MemoryChunkSource — a chunked view over resident spans (differential
+//     tests, and the degenerate case where the data fit after all);
+//   * FileChunkSource   — raw little-endian value/label files on disk, read
+//     with fseek/fread (the actual out-of-core path);
+//   * FaultInjectingChunkSource — wraps any source and consults a
+//     FaultInjector before each read, so deterministic I/O-fault schedules
+//     (ScriptedFaultInjector::Script::fail_io_after) drive the chaos
+//     harness without a flaky disk.
+//
+// Chunk sizing: explicit element count per chunk, or 0 to derive one from
+// MP_STREAM_CHUNK_BYTES (default 256 KiB per chunk across values + labels).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "parallel/fault_injector.hpp"
+
+namespace mp::stream {
+
+/// Default chunk payload in bytes (values + labels together), overridable
+/// via MP_STREAM_CHUNK_BYTES. Defined in stream.cpp (env parsed once).
+std::size_t default_chunk_bytes();
+
+/// Elements per chunk for element size `elem_size`, honouring
+/// MP_STREAM_CHUNK_BYTES; never returns 0.
+inline std::size_t default_chunk_elements(std::size_t elem_size) {
+  const std::size_t per_element = elem_size + sizeof(label_t);
+  const std::size_t elems = default_chunk_bytes() / per_element;
+  return elems == 0 ? 1 : elems;
+}
+
+/// Fixed-size chunk partition of [0, n): every chunk holds `chunk_elements`
+/// elements except a possibly shorter tail. The value type of resume
+/// arithmetic — sessions and sources share it so "chunk i" always means the
+/// same element range.
+class ChunkGrid {
+ public:
+  ChunkGrid() = default;
+  ChunkGrid(std::size_t total, std::size_t chunk_elements)
+      : total_(total), chunk_(chunk_elements == 0 ? 1 : chunk_elements) {}
+
+  std::size_t total_elements() const { return total_; }
+  std::size_t chunk_count() const { return total_ == 0 ? 0 : (total_ + chunk_ - 1) / chunk_; }
+  std::size_t offset(std::size_t chunk) const { return chunk * chunk_; }
+  std::size_t chunk_elements(std::size_t chunk) const {
+    const std::size_t begin = offset(chunk);
+    const std::size_t rest = begin < total_ ? total_ - begin : 0;
+    return rest < chunk_ ? rest : chunk_;
+  }
+
+ private:
+  std::size_t total_ = 0;
+  std::size_t chunk_ = 1;
+};
+
+/// Abstract chunk input. Implementations must be re-readable: read(i) may
+/// be called any number of times, in any order (the session reads forward,
+/// but resume restarts mid-sequence). Reads throw MpError(kIoError) on
+/// failure and must not partially populate the output spans on throw.
+template <class T>
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  virtual const ChunkGrid& grid() const = 0;
+
+  std::size_t total_elements() const { return grid().total_elements(); }
+  std::size_t chunk_count() const { return grid().chunk_count(); }
+  std::size_t chunk_elements(std::size_t chunk) const { return grid().chunk_elements(chunk); }
+
+  /// Fills `values`/`labels` (each exactly chunk_elements(chunk) long) with
+  /// chunk `chunk`'s elements.
+  virtual void read(std::size_t chunk, std::span<T> values, std::span<label_t> labels) = 0;
+};
+
+/// Chunked view over resident spans. The copy into the caller's buffers is
+/// deliberate — it keeps the session's code path identical to the
+/// file-backed source, so the differential tests exercise the real thing.
+template <class T>
+class MemoryChunkSource final : public ChunkSource<T> {
+ public:
+  MemoryChunkSource(std::span<const T> values, std::span<const label_t> labels,
+                    std::size_t chunk_elements = 0)
+      : values_(values),
+        labels_(labels),
+        grid_(values.size(),
+              chunk_elements != 0 ? chunk_elements : default_chunk_elements(sizeof(T))) {
+    if (values_.size() != labels_.size())
+      throw MpError(ErrorCode::kShapeMismatch,
+                    "values size " + std::to_string(values_.size()) + " != labels size " +
+                        std::to_string(labels_.size()));
+  }
+
+  const ChunkGrid& grid() const override { return grid_; }
+
+  void read(std::size_t chunk, std::span<T> values, std::span<label_t> labels) override {
+    const std::size_t begin = grid_.offset(chunk);
+    const std::size_t len = grid_.chunk_elements(chunk);
+    if (chunk >= grid_.chunk_count() || values.size() != len || labels.size() != len)
+      throw MpError(ErrorCode::kIoError,
+                    "chunk " + std::to_string(chunk) + " read with mismatched extent");
+    std::copy_n(values_.data() + begin, len, values.data());
+    std::copy_n(labels_.data() + begin, len, labels.data());
+  }
+
+ private:
+  std::span<const T> values_;
+  std::span<const label_t> labels_;
+  ChunkGrid grid_;
+};
+
+/// Raw binary files on disk: `values_path` holds n elements of T,
+/// `labels_path` n elements of label_t, both in host byte order (written by
+/// the same build that reads them — a scratch format, not an interchange
+/// one). Every read seeks, so chunks can be re-read for resume.
+template <class T>
+class FileChunkSource final : public ChunkSource<T> {
+ public:
+  FileChunkSource(std::string values_path, std::string labels_path, std::size_t n,
+                  std::size_t chunk_elements = 0)
+      : values_path_(std::move(values_path)),
+        labels_path_(std::move(labels_path)),
+        grid_(n, chunk_elements != 0 ? chunk_elements : default_chunk_elements(sizeof(T))) {
+    values_file_ = std::fopen(values_path_.c_str(), "rb");
+    if (values_file_ == nullptr)
+      throw MpError(ErrorCode::kIoError, "cannot open values file " + values_path_);
+    labels_file_ = std::fopen(labels_path_.c_str(), "rb");
+    if (labels_file_ == nullptr) {
+      std::fclose(values_file_);
+      throw MpError(ErrorCode::kIoError, "cannot open labels file " + labels_path_);
+    }
+  }
+
+  ~FileChunkSource() override {
+    if (values_file_ != nullptr) std::fclose(values_file_);
+    if (labels_file_ != nullptr) std::fclose(labels_file_);
+  }
+
+  FileChunkSource(const FileChunkSource&) = delete;
+  FileChunkSource& operator=(const FileChunkSource&) = delete;
+
+  const ChunkGrid& grid() const override { return grid_; }
+
+  void read(std::size_t chunk, std::span<T> values, std::span<label_t> labels) override {
+    const std::size_t len = grid_.chunk_elements(chunk);
+    if (chunk >= grid_.chunk_count() || values.size() != len || labels.size() != len)
+      throw MpError(ErrorCode::kIoError,
+                    "chunk " + std::to_string(chunk) + " read with mismatched extent");
+    const std::size_t begin = grid_.offset(chunk);
+    read_at(values_file_, values_path_, begin * sizeof(T), values.data(), len * sizeof(T));
+    read_at(labels_file_, labels_path_, begin * sizeof(label_t), labels.data(),
+            len * sizeof(label_t));
+  }
+
+ private:
+  static void read_at(std::FILE* file, const std::string& path, std::size_t offset, void* out,
+                      std::size_t bytes) {
+    if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0)
+      throw MpError(ErrorCode::kIoError, "seek to " + std::to_string(offset) + " failed in " + path);
+    if (std::fread(out, 1, bytes, file) != bytes)
+      throw MpError(ErrorCode::kIoError,
+                    "short read of " + std::to_string(bytes) + " bytes at offset " +
+                        std::to_string(offset) + " in " + path);
+  }
+
+  std::string values_path_;
+  std::string labels_path_;
+  std::FILE* values_file_ = nullptr;
+  std::FILE* labels_file_ = nullptr;
+  ChunkGrid grid_;
+};
+
+/// Decorator consulting `injector.on_io(chunk)` before every delegated
+/// read — the deterministic I/O-fault seam the chaos harness schedules
+/// per-source (the process-wide seam, notify_io, is armed separately and
+/// hit by the session itself).
+template <class T>
+class FaultInjectingChunkSource final : public ChunkSource<T> {
+ public:
+  FaultInjectingChunkSource(ChunkSource<T>& inner, FaultInjector& injector)
+      : inner_(&inner), injector_(&injector) {}
+
+  const ChunkGrid& grid() const override { return inner_->grid(); }
+
+  void read(std::size_t chunk, std::span<T> values, std::span<label_t> labels) override {
+    injector_->on_io(chunk);
+    inner_->read(chunk, values, labels);
+  }
+
+ private:
+  ChunkSource<T>* inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace mp::stream

@@ -1,0 +1,382 @@
+// StreamSession — chunk-at-a-time multiprefix/multireduce with
+// crash-consistent carry checkpoints.
+//
+// The paper's chunked regime (§4, Figure 2) already processes the input in
+// bounded passes; this layer keeps exactly one chunk resident and carries
+// the per-label running state (stream/carry.hpp) across chunks, Träff's
+// Exscan shape: carry[l] after chunk c is the exclusive cross-chunk prefix
+// seeding chunk c+1. Concatenating the per-chunk prefix outputs reproduces
+// a single resident run bit-for-bit:
+//
+//   * floating-point element types run a carry-SEEDED serial sweep — the
+//     Figure-2 bucket fold with the carry vector as the bucket array and no
+//     identity clear. That is literally the resident serial sweep's loop
+//     continued across chunk boundaries, so the streamed output is
+//     bit-identical to Strategy::kSerial regardless of chunk size. (A
+//     post-hoc op(carry, local_prefix) combine would re-associate float
+//     sums — 1e20 + (-1e20 + 1) != (1e20 + -1e20) + 1 — which is also why
+//     resident float runs already differ across strategies; kSerial is the
+//     reference.)
+//   * integral element types dispatch each chunk through the Engine with
+//     the requested strategy, then combine op(carry[label], local) into the
+//     chunk prefix — exact under two's complement for every op in
+//     core/ops.hpp, so the streamed output matches EVERY resident strategy.
+//
+// Failure contract (the robustness half of the layer): each step() is
+// untouched-or-complete at chunk granularity. All mutable state — the
+// carry vector and the chunk cursor — is committed only after the chunk's
+// compute finished and its output was delivered; a typed error at any
+// point (kCancelled / kDeadlineExceeded / kBudgetExceeded / kPoolFailure /
+// kIoError) leaves the session exactly at the last completed chunk, with
+// every budget charge returned (BudgetCharge RAII). Transient kIoError
+// from the ChunkSource is retried with backoff under ctx.retry (mirrored
+// as io_retries / Event::kIoRetry) before surfacing. snapshot()/restore()
+// serialize the carry (versioned + checksummed, stream/carry.hpp), so a
+// *new* session — a new process — resumes from the last completed chunk
+// and still produces bit-identical output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "core/ops.hpp"
+#include "core/strategy.hpp"
+#include "obs/trace.hpp"
+#include "parallel/fault_injector.hpp"
+#include "parallel/parallel_for.hpp"
+#include "stream/carry.hpp"
+#include "stream/chunk_source.hpp"
+
+namespace mp::stream {
+
+enum class StreamKind { kMultiprefix, kMultireduce };
+
+template <class T, class Op = Plus>
+  requires AssociativeOp<Op, T>
+class StreamSession {
+ public:
+  struct Options {
+    /// Engine for the integral per-chunk dispatch; null = Engine::global().
+    Engine* engine = nullptr;
+    /// Strategy for the integral per-chunk dispatch. Floating-point
+    /// sessions ignore it (the seeded serial sweep is the only formulation
+    /// that preserves bit-identity; see file comment).
+    Strategy strategy = Strategy::kAuto;
+    /// kMultireduce skips materializing per-chunk prefixes (the sink is
+    /// never called); the final carry is the multireduce result either way.
+    StreamKind kind = StreamKind::kMultiprefix;
+    Op op{};
+  };
+
+  /// Receives chunk outputs: `offset` is the chunk's first element index in
+  /// the whole stream, `prefix` its completed multiprefix slice (valid only
+  /// during the call). Called exactly once per chunk, in order, strictly
+  /// after the chunk's compute succeeded and strictly before the chunk is
+  /// committed — a sink that throws leaves the chunk uncommitted.
+  using Sink = std::function<void(std::size_t chunk, std::size_t offset, std::span<const T> prefix)>;
+
+  StreamSession(ChunkSource<T>& source, std::size_t m, Options options = {})
+      : source_(&source), m_(m), options_(std::move(options)) {
+    carry_.carry.assign(m_, options_.op.template identity<T>());
+  }
+
+  std::size_t m() const { return m_; }
+  std::size_t chunks_done() const { return static_cast<std::size_t>(carry_.chunks_done); }
+  std::size_t elements_done() const { return static_cast<std::size_t>(carry_.elements_done); }
+  bool done() const { return carry_.chunks_done >= source_->chunk_count(); }
+
+  /// The per-label running reduction over every committed chunk; after
+  /// done() this is the multireduce of the whole stream.
+  std::span<const T> reduction() const { return carry_.carry; }
+
+  /// Processes the next chunk: read (with bounded kIoError retry), compute,
+  /// deliver to `sink`, then commit. No-op when done(). See the failure
+  /// contract in the file comment.
+  void step(const Sink& sink, const RunContext& ctx = RunContext::none()) {
+    if (done()) return;
+    obs::Tracer* tracer = obs::sink_for(&ctx);
+    FallbackCounters& counters = ctx.sink();
+    obs::ScopedSpan chunk_span(tracer, obs::Phase::kStreamChunk);
+
+    const std::size_t chunk = static_cast<std::size_t>(carry_.chunks_done);
+    const std::size_t nc = source_->chunk_elements(chunk);
+    chunk_span.set_tag(static_cast<int>(chunk));
+
+    // The session's own working set, charged per step so the caller's byte
+    // budget sees the real footprint (the engine charges its scratch on top
+    // of this; in run_into mode the prefix slice is the caller's memory,
+    // not session scratch). RAII: any throw below returns the charge —
+    // zero leaks.
+    const std::size_t scratch_bytes =
+        nc * ((dest_ != nullptr ? 1 : 2) * sizeof(T) + sizeof(label_t)) + m_ * sizeof(T);
+    BudgetCharge charge(&ctx, scratch_bytes);
+    values_.resize(nc);
+    labels_.resize(nc);
+    std::span<T> chunk_prefix;
+    if (dest_ != nullptr) {
+      chunk_prefix = std::span<T>(dest_ + carry_.elements_done, nc);
+    } else {
+      prefix_.resize(nc);
+      chunk_prefix = std::span<T>(prefix_);
+    }
+
+    read_chunk(chunk, counters, tracer, ctx);
+
+    if constexpr (std::is_floating_point_v<T>) {
+      // The seeded sweep indexes the carry by label itself, so the session
+      // must validate before sweeping. (The integral path skips this scan:
+      // every engine entry point validates, and the carry merge only runs
+      // after that dispatch succeeded — a session-level check would pay the
+      // O(n) label pass twice per chunk.)
+      if (Status st = validate_inputs(nc, labels_span(), m_); !st.is_ok())
+        throw MpError(std::move(st));
+      // Seeded sweep mutates a copy; carry_ stays the last committed state
+      // until the whole chunk (and the sink) succeeded.
+      work_carry_ = carry_.carry;
+      seeded_sweep(chunk_prefix, counters, ctx);
+    } else {
+      local_reduction_.resize(m_);
+      if (options_.kind == StreamKind::kMultiprefix) {
+        engine().template multiprefix_into<T, Op>(
+            values_span(), labels_span(), chunk_prefix,
+            std::span<T>(local_reduction_), options_.op, options_.strategy, ctx);
+      } else {
+        engine().template multireduce_into<T, Op>(values_span(), labels_span(),
+                                                  std::span<T>(local_reduction_), options_.op,
+                                                  options_.strategy, ctx);
+      }
+      obs::ScopedSpan merge_span(tracer, obs::Phase::kCarryMerge);
+      combine_carry_into_prefix(chunk_prefix, counters, ctx);
+    }
+
+    if (options_.kind == StreamKind::kMultiprefix && sink) {
+      sink(chunk, static_cast<std::size_t>(carry_.elements_done),
+           std::span<const T>(chunk_prefix.data(), nc));
+    }
+
+    // Commit point: nothing below throws. For floats the sweep already
+    // folded the chunk into work_carry_; for integrals fold the chunk's
+    // local reduction in now (m plain op applications, no polls).
+    if constexpr (std::is_floating_point_v<T>) {
+      std::swap(carry_.carry, work_carry_);
+    } else {
+      for (std::size_t l = 0; l < m_; ++l)
+        carry_.carry[l] = options_.op(carry_.carry[l], local_reduction_[l]);
+    }
+    carry_.chunks_done += 1;
+    carry_.elements_done += nc;
+  }
+
+  /// Runs every remaining chunk. Equivalent to step() until done().
+  void run(const Sink& sink, const RunContext& ctx = RunContext::none()) {
+    while (!done()) step(sink, ctx);
+  }
+
+  /// Multireduce convenience: runs to completion, no prefix delivery.
+  void run(const RunContext& ctx = RunContext::none()) { run(Sink(), ctx); }
+
+  /// Streams the remaining chunks, materializing the multiprefix directly
+  /// into `prefix` — the out-of-core-input / resident-output shape. Each
+  /// chunk's slice is computed in place (indexed by absolute element
+  /// position, so a resumed session fills exactly the slices its
+  /// predecessor did not commit), skipping the sink indirection and the
+  /// extra copy it implies. Slices of committed chunks are final; the
+  /// slice of the chunk a typed error interrupted is unspecified until a
+  /// resumed run_into rewrites it. `prefix` must span the WHOLE stream
+  /// even when resuming mid-way.
+  void run_into(std::span<T> prefix, const RunContext& ctx = RunContext::none()) {
+    if (options_.kind != StreamKind::kMultiprefix)
+      throw MpError(ErrorCode::kUnsupported,
+                    "run_into materializes a multiprefix; this session is kMultireduce");
+    if (prefix.size() != source_->total_elements())
+      throw MpError(ErrorCode::kShapeMismatch,
+                    "run_into prefix extent " + std::to_string(prefix.size()) +
+                        " != stream extent " + std::to_string(source_->total_elements()));
+    dest_ = prefix.data();
+    try {
+      run(Sink(), ctx);
+    } catch (...) {
+      dest_ = nullptr;
+      throw;
+    }
+    dest_ = nullptr;
+  }
+
+  /// Serializes the last committed carry state (stream/carry.hpp format).
+  /// Safe to call at any chunk boundary, including after a typed error —
+  /// the state is always the last *completed* chunk's.
+  std::vector<std::byte> snapshot(const RunContext& ctx = RunContext::none()) const {
+    obs::Tracer* tracer = obs::sink_for(&ctx);
+    obs::ScopedSpan span(tracer, obs::Phase::kCheckpointSave);
+    std::vector<std::byte> bytes = serialize_carry<T, Op>(carry_);
+    ctx.sink().checkpoints_saved.fetch_add(1, std::memory_order_relaxed);
+    obs::count(tracer, obs::Event::kCheckpointSaved);
+    return bytes;
+  }
+
+  /// Adopts a checkpoint produced by snapshot() on a stream of the same
+  /// shape: same T/Op/m (enforced by the serialization tags) and a cursor
+  /// that lies on this source's chunk grid. Throws MpError(kIoError) on any
+  /// mismatch or corruption, leaving the session unchanged.
+  void restore(std::span<const std::byte> bytes) {
+    CarryState<T> state = restore_carry<T, Op>(bytes, m_);
+    if (state.chunks_done > source_->chunk_count())
+      throw MpError(ErrorCode::kIoError,
+                    "carry checkpoint rejected: chunks_done " +
+                        std::to_string(state.chunks_done) + " exceeds source chunk count " +
+                        std::to_string(source_->chunk_count()));
+    if (state.elements_done !=
+        source_->grid().offset(static_cast<std::size_t>(state.chunks_done)) &&
+        state.chunks_done < source_->chunk_count())
+      throw MpError(ErrorCode::kIoError,
+                    "carry checkpoint rejected: element cursor off this source's chunk grid "
+                    "(was it taken with a different MP_STREAM_CHUNK_BYTES?)");
+    if (state.chunks_done == source_->chunk_count() &&
+        state.elements_done != source_->total_elements())
+      throw MpError(ErrorCode::kIoError,
+                    "carry checkpoint rejected: completed cursor != source extent");
+    carry_ = std::move(state);
+  }
+
+ private:
+  Engine& engine() const {
+    return options_.engine != nullptr ? *options_.engine : Engine::global();
+  }
+  std::span<const T> values_span() const { return values_; }
+  std::span<const label_t> labels_span() const { return labels_; }
+
+  /// Counts + mirrors a governance stop observed at a session-owned poll
+  /// site, then throws. (Engine-internal polls are counted by the engine;
+  /// the session never re-counts a propagating MpError.)
+  [[noreturn]] void throw_governed(Status st, FallbackCounters& counters,
+                                   obs::Tracer* tracer) const {
+    const bool cancelled = st.code() == ErrorCode::kCancelled;
+    (cancelled ? counters.cancellations : counters.deadlines_exceeded)
+        .fetch_add(1, std::memory_order_relaxed);
+    obs::count(tracer, cancelled ? obs::Event::kCancelled : obs::Event::kDeadlineExceeded);
+    throw MpError(std::move(st));
+  }
+
+  /// Reads chunk `chunk` into values_/labels_, retrying transient kIoError
+  /// under ctx.retry with backoff — the engine's kPoolFailure retry loop,
+  /// transplanted to the I/O seam. Every observed fault is counted
+  /// (io_faults / kIoFault); every re-read burns one retry
+  /// (io_retries / kIoRetry).
+  void read_chunk(std::size_t chunk, FallbackCounters& counters, obs::Tracer* tracer,
+                  const RunContext& ctx) {
+    if (Status st = ctx.poll(); !st.is_ok()) throw_governed(std::move(st), counters, tracer);
+    std::size_t attempt = 0;
+    for (;;) {
+      try {
+        notify_io(chunk);
+        source_->read(chunk, std::span<T>(values_), std::span<label_t>(labels_));
+        return;
+      } catch (const MpError& e) {
+        if (e.code() != ErrorCode::kIoError) throw;
+        counters.io_faults.fetch_add(1, std::memory_order_relaxed);
+        obs::count(tracer, obs::Event::kIoFault);
+        if (attempt >= ctx.retry.max_retries) throw;
+        ++attempt;
+        counters.io_retries.fetch_add(1, std::memory_order_relaxed);
+        obs::count(tracer, obs::Event::kIoRetry);
+        if (ctx.retry.backoff.count() > 0) std::this_thread::sleep_for(ctx.retry.backoff);
+        // The backoff may have consumed the deadline — same discipline as
+        // the engine's retry loop.
+        if (Status st = ctx.poll(); !st.is_ok()) throw_governed(std::move(st), counters, tracer);
+      }
+    }
+  }
+
+  /// The resident serial sweep (core/serial.hpp) minus the identity clear:
+  /// work_carry_ is the bucket array, pre-seeded with the cross-chunk
+  /// carry, so the fold continues across chunk boundaries bit-exactly.
+  void seeded_sweep(std::span<T> chunk_prefix, FallbackCounters& counters,
+                    const RunContext& ctx) {
+    obs::Tracer* tracer = obs::sink_for(&ctx);
+    obs::ScopedSpan span(tracer, obs::Phase::kSweep);
+    const bool materialize = options_.kind == StreamKind::kMultiprefix;
+    const std::size_t nc = values_.size();
+    std::size_t i = 0;
+    while (i < nc) {
+      if (Status st = ctx.poll(); !st.is_ok()) throw_governed(std::move(st), counters, tracer);
+      const std::size_t stop = nc - i > kCancelCheckBlock ? i + kCancelCheckBlock : nc;
+      if (materialize) {
+        for (; i < stop; ++i) {
+          T& bucket = work_carry_[labels_[i]];
+          chunk_prefix[i] = bucket;
+          bucket = options_.op(bucket, values_[i]);
+        }
+      } else {
+        for (; i < stop; ++i) {
+          T& bucket = work_carry_[labels_[i]];
+          bucket = options_.op(bucket, values_[i]);
+        }
+      }
+    }
+  }
+
+  /// Indices per lane below which forking the carry merge across the pool
+  /// costs more than it saves; at or under the grain the merge runs on the
+  /// calling thread with the usual kCancelCheckBlock poll cadence.
+  static constexpr std::size_t kMergeGrain = 4 * kCancelCheckBlock;
+
+  /// Integral post-combine: prefix[i] = op(carry[label[i]], local_prefix[i])
+  /// — exact under two's complement for every core op, and the reason the
+  /// integral path is free to use any resident strategy per chunk. Elements
+  /// are independent (the carry is read-only here), so large chunks fork
+  /// the merge across the engine's pool; prefix_ is uncommitted scratch, so
+  /// a lane interrupted mid-merge tears nothing the resume path can see.
+  void combine_carry_into_prefix(std::span<T> chunk_prefix, FallbackCounters& counters,
+                                 const RunContext& ctx) {
+    if (options_.kind != StreamKind::kMultiprefix) return;
+    obs::Tracer* tracer = obs::sink_for(&ctx);
+    try {
+      parallel_for_blocked(
+          engine().pool(), 0, chunk_prefix.size(), kMergeGrain,
+          [this, chunk_prefix](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+              chunk_prefix[i] = options_.op(carry_.carry[labels_[i]], chunk_prefix[i]);
+          },
+          &ctx);
+    } catch (const MpError& e) {
+      // parallel_for checkpoints throw governance stops uncounted (the
+      // owner counts once per run); mirror the session's poll-site
+      // discipline before propagating.
+      const bool cancelled = e.code() == ErrorCode::kCancelled;
+      if (cancelled || e.code() == ErrorCode::kDeadlineExceeded) {
+        (cancelled ? counters.cancellations : counters.deadlines_exceeded)
+            .fetch_add(1, std::memory_order_relaxed);
+        obs::count(tracer,
+                   cancelled ? obs::Event::kCancelled : obs::Event::kDeadlineExceeded);
+      }
+      throw;
+    }
+  }
+
+  ChunkSource<T>* source_;
+  std::size_t m_;
+  Options options_;
+  CarryState<T> carry_;
+  // Per-chunk working set, reused across steps (resize is a no-op after the
+  // first full-size chunk).
+  std::vector<T> values_;
+  std::vector<label_t> labels_;
+  std::vector<T> prefix_;
+  std::vector<T> local_reduction_;
+  std::vector<T> work_carry_;
+  // run_into destination: when set, chunk prefixes are computed in place at
+  // dest_ + elements_done instead of staged through prefix_.
+  T* dest_ = nullptr;
+};
+
+}  // namespace mp::stream

@@ -149,7 +149,10 @@ void expect_events_match_counters(const obs::Tracer& tracer,
   EXPECT_EQ(event(obs::Event::kDeadlineExceeded), counters.deadlines_exceeded.load())
       << info;
   EXPECT_EQ(event(obs::Event::kBudgetDegrade), counters.budget_degrades.load()) << info;
-  EXPECT_EQ(event(obs::Event::kRetry), counters.retries.load()) << info;
+  EXPECT_EQ(event(obs::Event::kRetry), counters.pool_retries.load()) << info;
+  EXPECT_EQ(event(obs::Event::kIoRetry), counters.io_retries.load()) << info;
+  EXPECT_EQ(event(obs::Event::kIoFault), counters.io_faults.load()) << info;
+  EXPECT_EQ(event(obs::Event::kCheckpointSaved), counters.checkpoints_saved.load()) << info;
   EXPECT_EQ(event(obs::Event::kFallbackHop), counters.fallbacks.load()) << info;
 }
 

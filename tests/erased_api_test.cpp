@@ -267,7 +267,9 @@ TEST(CApi, EnumsMirrorTheCxxValues) {
 TEST(CApi, StatusNamesAreStableAndNeverNull) {
   EXPECT_STREQ(mp_status_name(MP_OK), "ok");
   EXPECT_STREQ(mp_status_name(MP_ERR_UNSUPPORTED), "unsupported");
+  EXPECT_STREQ(mp_status_name(MP_ERR_IO), "io-error");
   EXPECT_STREQ(mp_status_name(static_cast<mp_status>(42)), "unknown");
+  EXPECT_EQ(static_cast<int>(MP_ERR_IO), static_cast<int>(ErrorCode::kIoError));
 }
 
 TEST(CApi, RunMapsTypedErrorsToStatusCodes) {
@@ -309,6 +311,77 @@ TEST(CApi, FutureLifecycleWaitsOnceThenRefuses) {
   mp_future_destroy(nullptr);
   mp_frontend_destroy(nullptr);
   mp_engine_destroy(nullptr);
+}
+
+TEST(CApi, RunBatchedMatchesPerRequestRuns) {
+  // Two tiny requests concatenated with caller-side label offsets; each
+  // half of the batched output must be bit-identical to a standalone run.
+  std::int32_t values[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+  mp_label labels[8] = {0, 1, 0, 2, 1, 0, 2, 1};
+  std::int32_t bvalues[16];
+  mp_label blabels[16];
+  for (int i = 0; i < 8; ++i) {
+    bvalues[i] = values[i];
+    blabels[i] = labels[i];
+    bvalues[8 + i] = values[i] + 10;
+    blabels[8 + i] = labels[i] + 3;
+  }
+  const size_t bounds[3] = {0, 8, 16};
+  mp_request_desc desc;
+  desc.dtype = MP_DTYPE_INT32;
+  desc.op = MP_OP_PLUS;
+  desc.kind = MP_KIND_MULTIPREFIX;
+
+  mp_engine* engine = mp_engine_create();
+  ASSERT_NE(engine, nullptr);
+  std::int32_t prefix[16];
+  std::int32_t reduction[6];
+  ASSERT_EQ(mp_run_batched(engine, &desc, bvalues, blabels, bounds, 2, prefix, reduction,
+                           16, 6),
+            MP_OK);
+  for (int r = 0; r < 2; ++r) {
+    std::int32_t solo_prefix[8];
+    std::int32_t solo_reduction[3];
+    ASSERT_EQ(mp_run(engine, &desc, bvalues + 8 * r, labels, 8, solo_prefix,
+                     solo_reduction, 3, MP_STRATEGY_SERIAL),
+              MP_OK);
+    EXPECT_EQ(std::memcmp(prefix + 8 * r, solo_prefix, sizeof solo_prefix), 0)
+        << "request " << r;
+    EXPECT_EQ(std::memcmp(reduction + 3 * r, solo_reduction, sizeof solo_reduction), 0)
+        << "request " << r;
+  }
+  mp_engine_destroy(engine);
+}
+
+TEST(CApi, RunBatchedMapsContractViolationsToStatusCodes) {
+  std::int32_t values[4] = {1, 2, 3, 4};
+  mp_label labels[4] = {0, 1, 0, 1};
+  const size_t bounds[3] = {0, 2, 4};
+  std::int32_t prefix[4];
+  std::int32_t reduction[2];
+  mp_request_desc desc;
+  desc.dtype = MP_DTYPE_INT32;
+  desc.op = MP_OP_PLUS;
+  desc.kind = MP_KIND_MULTIPREFIX;
+  mp_engine* engine = mp_engine_global();
+  // Null handles / bounds never reach the engine.
+  EXPECT_EQ(mp_run_batched(nullptr, &desc, values, labels, bounds, 2, prefix, reduction, 4,
+                           2),
+            MP_ERR_SHAPE_MISMATCH);
+  EXPECT_EQ(mp_run_batched(engine, &desc, values, labels, nullptr, 2, prefix, reduction, 4,
+                           2),
+            MP_ERR_SHAPE_MISMATCH);
+  // An out-of-range label inside a batch member surfaces as the typed code.
+  mp_label bad_labels[4] = {0, 9, 0, 1};
+  EXPECT_EQ(mp_run_batched(engine, &desc, values, bad_labels, bounds, 2, prefix, reduction,
+                           4, 2),
+            MP_ERR_INVALID_LABEL);
+  // An unsupported descriptor maps like mp_run's.
+  mp_request_desc bad = desc;
+  bad.op = 77;
+  EXPECT_EQ(mp_run_batched(engine, &bad, values, labels, bounds, 2, prefix, reduction, 4,
+                           2),
+            MP_ERR_UNSUPPORTED);
 }
 
 }  // namespace

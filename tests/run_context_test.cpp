@@ -402,7 +402,7 @@ TEST(Governance, RetryAbsorbsATransientPoolFailure) {
                                            Strategy::kChunked, ctx);
   EXPECT_EQ(got.prefix, truth.prefix);
   EXPECT_EQ(got.reduction, truth.reduction);
-  EXPECT_EQ(counters.retries.load(), 1u);
+  EXPECT_EQ(counters.pool_retries.load(), 1u);
   EXPECT_EQ(injector.faults(), 1u);
 }
 
@@ -429,7 +429,7 @@ TEST(Governance, ExhaustedRetriesPropagateThePoolFailure) {
   } catch (const MpError& e) {
     EXPECT_EQ(e.code(), ErrorCode::kPoolFailure);
   }
-  EXPECT_EQ(counters.retries.load(), 2u);
+  EXPECT_EQ(counters.pool_retries.load(), 2u);
   EXPECT_EQ(injector.faults(), 3u);  // initial attempt + two retries
 }
 

@@ -320,6 +320,56 @@ TEST(ServeFrontend, TinyMixedBatchMatchesPerRequestAtEveryTier) {
   }
 }
 
+// FrontendOptions::tiny_batch_max_n actually moves the batched-path gate:
+// the same all-tiny batch routes through the fused batched entry point
+// (counted as a kSerial engine run, the requested strategy never dispatched)
+// under the default, and through the requested-strategy dispatch when the
+// knob is 0 (disabled). Results must be identical either way.
+TEST(ServeFrontend, TinyBatchGateIsConfigurable) {
+  for (const std::size_t gate_value : {kDefaultTinyBatchMaxN, std::size_t{0}}) {
+    Engine engine;  // private engine: runs[] counts only this test's traffic
+    Gate gate;
+    FrontendOptions fo;
+    fo.engine = &engine;
+    fo.workers = 1;
+    fo.tiny_batch_max_n = gate_value;
+    fo.attempt_hook = [&](Strategy) { gate.wait(); };
+    Frontend fe(fo);
+
+    const auto plug_labels = uniform_labels(128, 4, 5);
+    auto plug = fe.submit_multireduce<double>(std::vector<double>(128, 1.5), plug_labels, 4);
+
+    constexpr std::size_t kBatch = 6;
+    SubmitOptions opts;
+    opts.strategy = Strategy::kSortBased;  // distinguishable from the batched path
+    std::vector<std::future<std::vector<int>>> futures;
+    std::vector<std::vector<int>> truths;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      const std::size_t n = 100 + 10 * r;  // all far below the default gate
+      const std::size_t m = 3 + r;
+      const auto labels = uniform_labels(n, static_cast<label_t>(m), 700 + r);
+      const auto values = iota_values(n, static_cast<int>(r));
+      truths.push_back(Engine::global().multireduce<int>(values, labels, m, Plus{},
+                                                         Strategy::kSerial));
+      futures.push_back(fe.submit_multireduce<int>(values, labels, m, Plus{}, opts));
+    }
+    gate.release();
+    (void)plug.get();
+    for (std::size_t r = 0; r < kBatch; ++r)
+      EXPECT_EQ(futures[r].get(), truths[r]) << "request " << r << " gate " << gate_value;
+
+    fe.wait_idle();
+    EXPECT_EQ(fe.stats().coalesced_batches, 1u) << "gate " << gate_value;
+    const auto runs = engine.counters().runs;
+    const std::uint64_t sort_runs = runs[strategy_index(Strategy::kSortBased)];
+    if (gate_value == 0) {
+      EXPECT_GE(sort_runs, 1u) << "disabled gate must take the strategy dispatch";
+    } else {
+      EXPECT_EQ(sort_runs, 0u) << "default gate must take the batched tiny-n path";
+    }
+  }
+}
+
 TEST(ServeFrontend, GovernedRequestsNeverJoinABatch) {
   Gate gate;
   FrontendOptions fo;

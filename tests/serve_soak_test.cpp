@@ -74,7 +74,9 @@ void expect_events_match_counters(const obs::Tracer& tracer,
   EXPECT_EQ(event(obs::Event::kDeadlineExceeded), counters.deadlines_exceeded.load())
       << info;
   EXPECT_EQ(event(obs::Event::kBudgetDegrade), counters.budget_degrades.load()) << info;
-  EXPECT_EQ(event(obs::Event::kRetry), counters.retries.load()) << info;
+  EXPECT_EQ(event(obs::Event::kRetry), counters.pool_retries.load()) << info;
+  EXPECT_EQ(event(obs::Event::kIoRetry), counters.io_retries.load()) << info;
+  EXPECT_EQ(event(obs::Event::kIoFault), counters.io_faults.load()) << info;
   EXPECT_EQ(event(obs::Event::kFallbackHop), counters.fallbacks.load()) << info;
   EXPECT_EQ(event(obs::Event::kShedOverload), counters.overload_sheds.load()) << info;
   EXPECT_EQ(event(obs::Event::kBreakerTrip), counters.breaker_trips.load()) << info;

@@ -1,0 +1,266 @@
+// Randomized kill-and-resume chaos for the streaming layer: ≥128 fault
+// schedules (I/O faults transient and persistent, pool faults under the
+// engine, governance stops, budget exhaustion — alone and stacked), each
+// asserting the crash-consistency contract end to end:
+//
+//   typed-error-or-identical — the interrupted run either surfaces exactly
+//   one typed MpError or completes with output identical to the reference;
+//   untouched-or-complete    — the session lands on a chunk boundary, with
+//                              every delivered chunk committed;
+//   zero budget leaks        — ctx.used_bytes() == 0 after any abort;
+//   resume bit-identity      — a NEW session restoring the survivor's
+//                              checkpoint completes the stream, and the
+//                              concatenated output memcmps equal to the
+//                              uninterrupted run;
+//   events == counters       — the io/cancel/deadline counter increments
+//                              match their mirrored obs events exactly.
+//
+// MP_STREAM_SCHEDULES scales the schedule count (soak lanes run thousands;
+// the default keeps CI fast).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "obs/trace.hpp"
+#include "parallel/fault_injector.hpp"
+#include "stream/chunk_source.hpp"
+#include "stream/session.hpp"
+
+namespace mp::stream {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::size_t schedule_count() {
+  if (const char* env = std::getenv("MP_STREAM_SCHEDULES")) {
+    const unsigned long parsed = std::strtoul(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 128;
+}
+
+enum class Fault {
+  kNone,
+  kIoTransient,   // a short I/O blip the retry budget absorbs
+  kIoPersistent,  // a dead source; retries cannot save the run
+  kPool,          // engine-side lane fault (integral strategies only)
+  kCancel,        // caller cancels mid-stream
+  kDeadline,      // deadline expires mid-stream
+  kBudget,        // byte budget below one chunk's working set
+};
+
+constexpr Fault kFaults[] = {Fault::kNone,   Fault::kIoTransient, Fault::kIoPersistent,
+                             Fault::kPool,   Fault::kCancel,      Fault::kDeadline,
+                             Fault::kBudget};
+
+const char* to_string(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "none";
+    case Fault::kIoTransient: return "io-transient";
+    case Fault::kIoPersistent: return "io-persistent";
+    case Fault::kPool: return "pool";
+    case Fault::kCancel: return "cancel";
+    case Fault::kDeadline: return "deadline";
+    case Fault::kBudget: return "budget";
+  }
+  return "?";
+}
+
+/// The event/counter mirror audit, restricted to the pairings the stream
+/// layer owns. Exact equality — every increment must be mirrored.
+void expect_events_match_counters(const obs::Tracer& tracer,
+                                  const FallbackCounters& counters,
+                                  const std::string& info) {
+  const auto snap = tracer.snapshot();
+  const auto event = [&](obs::Event e) {
+    return snap.events[static_cast<std::size_t>(e)];
+  };
+  EXPECT_EQ(event(obs::Event::kIoFault), counters.io_faults.load()) << info;
+  EXPECT_EQ(event(obs::Event::kIoRetry), counters.io_retries.load()) << info;
+  EXPECT_EQ(event(obs::Event::kCheckpointSaved), counters.checkpoints_saved.load()) << info;
+  EXPECT_EQ(event(obs::Event::kCancelled), counters.cancellations.load()) << info;
+  EXPECT_EQ(event(obs::Event::kDeadlineExceeded), counters.deadlines_exceeded.load())
+      << info;
+  EXPECT_EQ(event(obs::Event::kRetry), counters.pool_retries.load()) << info;
+}
+
+/// One randomized schedule for element type T: build a stream, interrupt it
+/// per the drawn fault, then kill-and-resume from the last checkpoint and
+/// demand bit-identity with the uninterrupted reference.
+template <class T>
+void run_schedule(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::size_t n = 256 + rng.below(3840);
+  const std::size_t m = 1 + rng.below(24);
+  const std::size_t chunk = 1 + rng.below(512);
+  const Fault fault = kFaults[rng.below(std::size(kFaults))];
+  const Strategy strategy =
+      static_cast<Strategy>(rng.below(static_cast<std::size_t>(Strategy::kAuto) + 1));
+  const std::string info = std::string("seed ") + std::to_string(seed) + " fault " +
+                           to_string(fault) + " n " + std::to_string(n) + " m " +
+                           std::to_string(m) + " chunk " + std::to_string(chunk) +
+                           " strategy " + mp::to_string(strategy);
+
+  std::vector<T> values(n);
+  for (auto& v : values) {
+    if constexpr (std::is_floating_point_v<T>) {
+      v = static_cast<T>(rng.uniform()) * T(100) - T(50);
+    } else {
+      v = static_cast<T>(rng.below(4096)) - T(2048);
+    }
+  }
+  const auto labels = uniform_labels(n, m, seed ^ 0xabcdef12ULL);
+  MemoryChunkSource<T> clean(values, labels, chunk);
+  const std::size_t chunks_total = clean.chunk_count();
+
+  // Uninterrupted reference, same session configuration, no faults.
+  std::vector<T> want_prefix;
+  std::vector<T> want_reduction;
+  {
+    typename StreamSession<T, Plus>::Options options;
+    options.strategy = strategy;
+    StreamSession<T, Plus> session(clean, m, options);
+    session.run([&](std::size_t, std::size_t, std::span<const T> block) {
+      want_prefix.insert(want_prefix.end(), block.begin(), block.end());
+    });
+    const auto red = session.reduction();
+    want_reduction.assign(red.begin(), red.end());
+  }
+
+  // The interrupted run: fault schedule drawn above, kill point random.
+  FallbackCounters counters;
+  obs::Tracer tracer;
+  CancelSource cancel;
+  RunContext ctx;
+  ctx.counters = &counters;
+  ctx.tracer = &tracer;
+  ctx.cancel = cancel.token();
+  ctx.retry.max_retries = 1 + rng.below(3);
+  ctx.retry.backoff = std::chrono::microseconds{0};
+
+  const std::size_t kill_chunk = rng.below(chunks_total);
+  ScriptedFaultInjector::Script script;
+  std::optional<std::size_t> trip_sink_at;  // cancel fires from inside the sink
+  switch (fault) {
+    case Fault::kNone:
+      break;
+    case Fault::kIoTransient:
+      // Fails <= max_retries consecutive reads: the retry budget absorbs it.
+      script.fail_io_after = kill_chunk;
+      script.io_fail_count = 1 + rng.below(ctx.retry.max_retries);
+      break;
+    case Fault::kIoPersistent:
+      script.fail_io_after = kill_chunk;
+      script.io_fail_count = 0;
+      break;
+    case Fault::kPool:
+      // Persistent alloc faults under the engine surface as a typed error
+      // (or degrade to serial and succeed — both acceptable outcomes).
+      script.fail_alloc_after = 0;
+      script.fail_alloc_persistent = true;
+      break;
+    case Fault::kCancel:
+      trip_sink_at = kill_chunk;
+      break;
+    case Fault::kDeadline:
+      ctx.deadline = RunContext::Clock::now() + 200us;  // expires mid-stream
+      break;
+    case Fault::kBudget:
+      ctx.byte_budget = 1 + rng.below(64);  // far below one chunk
+      break;
+  }
+  ScriptedFaultInjector injector(script);
+  FaultInjectingChunkSource<T> faulty(clean, injector);
+
+  std::vector<T> got_prefix;
+  const auto collect = [&](std::size_t c, std::size_t offset, std::span<const T> block) {
+    EXPECT_EQ(offset, got_prefix.size()) << info;
+    got_prefix.insert(got_prefix.end(), block.begin(), block.end());
+    if (trip_sink_at && c >= *trip_sink_at) cancel.request_cancel();
+  };
+
+  typename StreamSession<T, Plus>::Options options;
+  options.strategy = strategy;
+  StreamSession<T, Plus> first(faulty, m, options);
+  std::optional<ErrorCode> died;
+  {
+    // Injector scope covers the interrupted run only — a persistent alloc
+    // fault must not follow the stream onto its replacement session.
+    ScopedFaultInjector arm(nullptr, injector, /*arm_alloc=*/fault == Fault::kPool,
+                            /*arm_io=*/false);
+    try {
+      first.run(collect, ctx);
+    } catch (const MpError& e) {
+      died = e.code();
+    } catch (const std::bad_alloc&) {
+      died = ErrorCode::kPoolFailure;  // an untranslated alloc fault
+    }
+  }
+
+  // Typed-error-or-identical: the only tolerated error codes are the ones
+  // the schedule provoked.
+  if (died) {
+    switch (*died) {
+      case ErrorCode::kIoError:
+      case ErrorCode::kCancelled:
+      case ErrorCode::kDeadlineExceeded:
+      case ErrorCode::kBudgetExceeded:
+      case ErrorCode::kPoolFailure:
+      case ErrorCode::kExecutionFault:
+        break;
+      default:
+        FAIL() << "unexpected error code " << to_string(*died) << " under " << info;
+    }
+  } else {
+    EXPECT_EQ(first.chunks_done(), chunks_total) << info;
+  }
+
+  // Untouched-or-complete: delivered chunks == committed chunks, and the
+  // prefix delivered so far is a bit-exact prefix of the reference.
+  ASSERT_EQ(got_prefix.size(), first.elements_done()) << info;
+  ASSERT_LE(got_prefix.size(), want_prefix.size()) << info;
+  EXPECT_EQ(std::memcmp(got_prefix.data(), want_prefix.data(),
+                        got_prefix.size() * sizeof(T)),
+            0)
+      << info;
+  // Zero budget leaks, however the run ended.
+  EXPECT_EQ(ctx.used_bytes(), 0u) << info;
+
+  // Kill: serialize the survivor's carry, drop the session, resume in a new
+  // one against the clean source (replacement hardware), ungoverned.
+  const auto checkpoint = first.snapshot(ctx);
+  StreamSession<T, Plus> resumed(clean, m, options);
+  resumed.restore(checkpoint);
+  EXPECT_EQ(resumed.chunks_done(), first.chunks_done()) << info;
+  resumed.run(collect);
+
+  ASSERT_EQ(got_prefix.size(), want_prefix.size()) << info;
+  EXPECT_EQ(std::memcmp(got_prefix.data(), want_prefix.data(), n * sizeof(T)), 0) << info;
+  const auto red = resumed.reduction();
+  EXPECT_EQ(std::memcmp(red.data(), want_reduction.data(), m * sizeof(T)), 0) << info;
+
+  expect_events_match_counters(tracer, counters, info);
+}
+
+TEST(StreamChaos, RandomizedKillAndResumeSchedulesInt32) {
+  const std::size_t schedules = schedule_count();
+  for (std::size_t s = 0; s < schedules; ++s) run_schedule<std::int32_t>(1000 + s);
+}
+
+TEST(StreamChaos, RandomizedKillAndResumeSchedulesFloat) {
+  const std::size_t schedules = schedule_count();
+  for (std::size_t s = 0; s < schedules; ++s) run_schedule<float>(5000 + s);
+}
+
+}  // namespace
+}  // namespace mp::stream

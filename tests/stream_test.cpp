@@ -1,0 +1,654 @@
+// Streaming multiprefix (stream/session.hpp): the out-of-core chunked run
+// must be indistinguishable — memcmp-identical — from a resident run, for
+// every dtype × op × strategy × SIMD tier, from memory- and file-backed
+// sources, across snapshot/restore boundaries, and after governance stops
+// (cancel / deadline / budget) interrupt it mid-stream. The randomized
+// kill-and-resume chaos harness lives in stream_chaos_test.cpp; these are
+// the deterministic property checks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/labels.hpp"
+#include "common/rng.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "core/multiprefix.hpp"
+#include "obs/trace.hpp"
+#include "serve/frontend.hpp"
+#include "simd/dispatch.hpp"
+#include "stream/carry.hpp"
+#include "stream/chunk_source.hpp"
+#include "stream/session.hpp"
+
+namespace mp::stream {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr simd::SimdLevel kTiers[] = {simd::SimdLevel::kScalar, simd::SimdLevel::k128,
+                                      simd::SimdLevel::k256, simd::SimdLevel::k512};
+
+constexpr Strategy kStrategies[] = {Strategy::kSerial,    Strategy::kVectorized,
+                                    Strategy::kParallel,  Strategy::kSortBased,
+                                    Strategy::kChunked,   Strategy::kAuto};
+
+template <class T>
+std::vector<T> random_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<T> values(n);
+  for (auto& v : values) {
+    if constexpr (std::is_floating_point_v<T>) {
+      v = static_cast<T>(rng.uniform()) * T(64) - T(32);
+    } else {
+      v = static_cast<T>(rng.below(2048)) - T(1024);
+    }
+  }
+  return values;
+}
+
+/// Streams `source` to completion, concatenating the sink deliveries, and
+/// returns (prefix, reduction). Asserts the sink contract along the way:
+/// chunks arrive exactly once, in order, at the right offsets.
+template <class T, class Op = Plus>
+std::pair<std::vector<T>, std::vector<T>> stream_all(
+    ChunkSource<T>& source, std::size_t m, Strategy strategy,
+    const RunContext& ctx = RunContext::none(), Op op = {}) {
+  typename StreamSession<T, Op>::Options options;
+  options.strategy = strategy;
+  options.op = op;
+  StreamSession<T, Op> session(source, m, options);
+  std::vector<T> prefix;
+  std::size_t next_chunk = 0;
+  session.run(
+      [&](std::size_t chunk, std::size_t offset, std::span<const T> block) {
+        EXPECT_EQ(chunk, next_chunk++);
+        EXPECT_EQ(offset, prefix.size());
+        prefix.insert(prefix.end(), block.begin(), block.end());
+      },
+      ctx);
+  EXPECT_TRUE(session.done());
+  const auto reduction = session.reduction();
+  return {std::move(prefix), std::vector<T>(reduction.begin(), reduction.end())};
+}
+
+/// The core differential: streamed output over several chunk sizes must be
+/// bit-identical to the resident reference. Integral dtypes must match the
+/// SAME resident strategy (the carry post-combine is exact); floating
+/// dtypes must match resident kSerial regardless of the requested strategy
+/// (the seeded sweep IS the serial sweep continued across chunks).
+template <class T, class Op>
+void expect_streamed_matches_resident(std::size_t n, std::size_t m, std::uint64_t seed,
+                                      Op op = {}) {
+  const auto values = random_values<T>(n, seed);
+  const auto labels = uniform_labels(n, m, seed ^ 0x9e3779b97f4a7c15ULL);
+  for (const Strategy strategy : kStrategies) {
+    const Strategy reference =
+        std::is_floating_point_v<T> ? Strategy::kSerial : strategy;
+    const auto resident =
+        Engine::global().multiprefix<T, Op>(values, labels, m, op, reference);
+    const std::vector<std::size_t> chunk_sizes =
+        n <= 256 ? std::vector<std::size_t>{1, 7, n, 2 * n}
+                 : std::vector<std::size_t>{64, n / 3, n};
+    for (const std::size_t chunk_elems : chunk_sizes) {
+      MemoryChunkSource<T> source(values, labels, chunk_elems);
+      const auto [prefix, reduction] = stream_all<T, Op>(source, m, strategy, RunContext::none(), op);
+      ASSERT_EQ(prefix.size(), resident.prefix.size());
+      EXPECT_EQ(std::memcmp(prefix.data(), resident.prefix.data(), n * sizeof(T)), 0)
+          << "prefix diverged: strategy " << to_string(strategy) << " chunk "
+          << chunk_elems << " n " << n;
+      EXPECT_EQ(std::memcmp(reduction.data(), resident.reduction.data(), m * sizeof(T)), 0)
+          << "reduction diverged: strategy " << to_string(strategy) << " chunk "
+          << chunk_elems;
+    }
+  }
+}
+
+TEST(Stream, MatchesResidentEveryDtypeOpStrategyAndTier) {
+  for (const auto level : kTiers) {
+    simd::ScopedSimdLevel pin(level);
+    const std::uint64_t seed = 11 + static_cast<std::uint64_t>(level);
+    expect_streamed_matches_resident<std::int32_t, Plus>(3000, 17, seed);
+    expect_streamed_matches_resident<std::int32_t, Min>(3000, 17, seed + 1);
+    expect_streamed_matches_resident<std::int64_t, Max>(3000, 5, seed + 2);
+    expect_streamed_matches_resident<std::int64_t, Plus>(3000, 64, seed + 3);
+    expect_streamed_matches_resident<float, Plus>(3000, 17, seed + 4);
+    expect_streamed_matches_resident<float, Max>(3000, 9, seed + 5);
+    expect_streamed_matches_resident<double, Plus>(3000, 33, seed + 6);
+    expect_streamed_matches_resident<double, Min>(3000, 3, seed + 7);
+  }
+}
+
+TEST(Stream, TinyChunksMakeEveryElementABoundary) {
+  // chunk = 1 exercises the carry on every single element.
+  expect_streamed_matches_resident<std::int32_t, Plus>(120, 5, 201);
+  expect_streamed_matches_resident<float, Plus>(120, 5, 202);
+}
+
+TEST(Stream, MultireduceSkipsThePrefixButReducesIdentically) {
+  const std::size_t n = 4096, m = 29;
+  const auto values = random_values<std::int32_t>(n, 77);
+  const auto labels = uniform_labels(n, m, 78);
+  const auto resident = Engine::global().multireduce<std::int32_t>(values, labels, m);
+  MemoryChunkSource<std::int32_t> source(values, labels, 300);
+  StreamSession<std::int32_t, Plus> session(source, m,
+                                            {.kind = StreamKind::kMultireduce});
+  session.run();
+  const auto reduction = session.reduction();
+  EXPECT_EQ(std::memcmp(reduction.data(), resident.data(), m * sizeof(std::int32_t)), 0);
+}
+
+TEST(Stream, EmptyInputIsASingleIdentityReduction) {
+  MemoryChunkSource<std::int32_t> source({}, {}, 8);
+  StreamSession<std::int32_t, Plus> session(source, 4);
+  EXPECT_TRUE(session.done());  // zero chunks
+  session.run();
+  const auto reduction = session.reduction();
+  ASSERT_EQ(reduction.size(), 4u);
+  for (const auto r : reduction) EXPECT_EQ(r, 0);
+}
+
+TEST(Stream, FileSourceMatchesMemorySource) {
+  const std::size_t n = 2500, m = 13, chunk = 192;
+  const auto values = random_values<double>(n, 5);
+  const auto labels = uniform_labels(n, m, 6);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string values_path = dir + "/stream_values.bin";
+  const std::string labels_path = dir + "/stream_labels.bin";
+  const auto dump = [](const std::string& path, const void* data, std::size_t bytes) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(data, 1, bytes, f), bytes);
+    std::fclose(f);
+  };
+  dump(values_path, values.data(), n * sizeof(double));
+  dump(labels_path, labels.data(), n * sizeof(label_t));
+
+  MemoryChunkSource<double> memory(values, labels, chunk);
+  FileChunkSource<double> file(values_path, labels_path, n, chunk);
+  const auto from_memory = stream_all<double>(memory, m, Strategy::kAuto);
+  const auto from_file = stream_all<double>(file, m, Strategy::kAuto);
+  EXPECT_EQ(from_memory.first, from_file.first);
+  EXPECT_EQ(from_memory.second, from_file.second);
+
+  // A source extended past the real file must surface a typed short read.
+  FileChunkSource<double> overlong(values_path, labels_path, n + 64, chunk);
+  StreamSession<double, Plus> session(overlong, m);
+  try {
+    session.run();
+    FAIL() << "short read must surface as kIoError";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+  std::remove(values_path.c_str());
+  std::remove(labels_path.c_str());
+}
+
+TEST(Stream, MissingFileIsATypedOpenError) {
+  try {
+    FileChunkSource<float> source("/nonexistent/values.bin", "/nonexistent/labels.bin", 10);
+    FAIL() << "open must fail typed";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+}
+
+// ---- checkpoints ----------------------------------------------------------
+
+TEST(Stream, SnapshotRestoreRoundTripsMidStream) {
+  const std::size_t n = 3333, m = 21, chunk = 256;
+  const auto values = random_values<float>(n, 42);
+  const auto labels = uniform_labels(n, m, 43);
+  MemoryChunkSource<float> source(values, labels, chunk);
+  const auto uninterrupted = stream_all<float>(source, m, Strategy::kAuto);
+
+  for (const std::size_t stop_after : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                                       source.chunk_count()}) {
+    // First process: run `stop_after` chunks, checkpoint, "crash".
+    std::vector<float> prefix;
+    const auto collect = [&](std::size_t, std::size_t, std::span<const float> block) {
+      prefix.insert(prefix.end(), block.begin(), block.end());
+    };
+    std::vector<std::byte> checkpoint;
+    {
+      StreamSession<float, Plus> session(source, m);
+      for (std::size_t c = 0; c < stop_after && !session.done(); ++c)
+        session.step(collect);
+      checkpoint = session.snapshot();
+    }
+    // Second process: a NEW session adopts the checkpoint and finishes.
+    StreamSession<float, Plus> resumed(source, m);
+    resumed.restore(checkpoint);
+    EXPECT_EQ(resumed.chunks_done(), std::min(stop_after, source.chunk_count()));
+    resumed.run(collect);
+    EXPECT_EQ(prefix, uninterrupted.first) << "stop_after " << stop_after;
+    const auto reduction = resumed.reduction();
+    EXPECT_EQ(std::memcmp(reduction.data(), uninterrupted.second.data(), m * sizeof(float)),
+              0)
+        << "stop_after " << stop_after;
+  }
+}
+
+TEST(Stream, RestoreRejectsCorruptionAndMismatchesTyped) {
+  const std::size_t n = 1000, m = 8;
+  const auto values = random_values<std::int32_t>(n, 9);
+  const auto labels = uniform_labels(n, m, 10);
+  MemoryChunkSource<std::int32_t> source(values, labels, 100);
+  StreamSession<std::int32_t, Plus> session(source, m);
+  session.step({});
+  const std::vector<std::byte> good = session.snapshot();
+
+  const auto expect_rejected = [&](std::span<const std::byte> bytes, const char* what) {
+    StreamSession<std::int32_t, Plus> fresh(source, m);
+    try {
+      fresh.restore(bytes);
+      FAIL() << what << " must be rejected";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIoError) << what;
+    }
+    // The failed restore left the session untouched.
+    EXPECT_EQ(fresh.chunks_done(), 0u) << what;
+  };
+
+  // Bit rot: every single-byte flip anywhere in the image must be caught.
+  for (const std::size_t at : {std::size_t{0}, std::size_t{9}, good.size() / 2,
+                               good.size() - 1}) {
+    std::vector<std::byte> corrupt = good;
+    corrupt[at] ^= std::byte{0x40};
+    expect_rejected(corrupt, "bit flip");
+  }
+  // Truncation (a torn write).
+  expect_rejected(std::span<const std::byte>(good.data(), good.size() - 3), "truncation");
+  expect_rejected(std::span<const std::byte>(good.data(), 4), "header truncation");
+  // Type confusion: same byte width, different element type.
+  {
+    const auto float_values = random_values<float>(n, 9);
+    MemoryChunkSource<float> float_source(float_values, labels, 100);
+    StreamSession<float, Plus> wrong_type(float_source, m);
+    try {
+      wrong_type.restore(good);
+      FAIL() << "float session must reject an int32 checkpoint";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    }
+  }
+  // Operation confusion.
+  {
+    StreamSession<std::int32_t, Max> wrong_op(source, m);
+    try {
+      wrong_op.restore(good);
+      FAIL() << "Max session must reject a Plus checkpoint";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    }
+  }
+  // Shape confusion: different m.
+  {
+    StreamSession<std::int32_t, Plus> wrong_m(source, m + 1);
+    try {
+      wrong_m.restore(good);
+      FAIL() << "m mismatch must be rejected";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    }
+  }
+  // Grid confusion: a checkpoint taken at chunk=100 granularity restored
+  // into a source chunked at 77 lands off the grid.
+  {
+    MemoryChunkSource<std::int32_t> regridded(values, labels, 77);
+    StreamSession<std::int32_t, Plus> wrong_grid(regridded, m);
+    try {
+      wrong_grid.restore(good);
+      FAIL() << "off-grid cursor must be rejected";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    }
+  }
+  // The good checkpoint still restores after all the rejections.
+  StreamSession<std::int32_t, Plus> fine(source, m);
+  fine.restore(good);
+  EXPECT_EQ(fine.chunks_done(), 1u);
+}
+
+// ---- resume under governance (satellite: every tier, int32 + float) -------
+
+/// Interrupt a streamed run mid-chunk with a governance stop, snapshot the
+/// survivor, resume in a fresh session, and require the concatenated output
+/// to be bit-identical to the uninterrupted run.
+template <class T>
+void expect_resume_bit_identical_under(ErrorCode stop_code) {
+  for (const auto level : kTiers) {
+    simd::ScopedSimdLevel pin(level);
+    const std::size_t n = 2048, m = 11, chunk = 128;
+    const auto values = random_values<T>(n, 21 + static_cast<std::uint64_t>(level));
+    const auto labels = uniform_labels(n, m, 22);
+    MemoryChunkSource<T> source(values, labels, chunk);
+    const auto uninterrupted = stream_all<T>(source, m, Strategy::kAuto);
+
+    FallbackCounters counters;
+    std::vector<T> prefix;
+    const auto collect = [&](std::size_t, std::size_t, std::span<const T> block) {
+      prefix.insert(prefix.end(), block.begin(), block.end());
+    };
+    StreamSession<T, Plus> session(source, m);
+    for (std::size_t c = 0; c < 4; ++c) session.step(collect);
+
+    CancelSource cancel;
+    RunContext ctx;
+    ctx.counters = &counters;
+    if (stop_code == ErrorCode::kCancelled) {
+      ctx.cancel = cancel.token();
+      cancel.request_cancel();
+    } else {
+      ctx.deadline = RunContext::Clock::now() - 1ms;
+    }
+    const std::size_t done_before = session.chunks_done();
+    const std::size_t delivered_before = prefix.size();
+    try {
+      session.step(collect, ctx);
+      FAIL() << "governed step must stop typed";
+    } catch (const MpError& e) {
+      EXPECT_EQ(e.code(), stop_code);
+    }
+    // Untouched-or-complete: the failed step committed nothing, delivered
+    // nothing, and charged nothing.
+    EXPECT_EQ(session.chunks_done(), done_before);
+    EXPECT_EQ(prefix.size(), delivered_before);
+    EXPECT_EQ(ctx.used_bytes(), 0u);
+    EXPECT_EQ((stop_code == ErrorCode::kCancelled ? counters.cancellations
+                                                  : counters.deadlines_exceeded)
+                  .load(),
+              1u);
+
+    const auto checkpoint = session.snapshot();
+    StreamSession<T, Plus> resumed(source, m);
+    resumed.restore(checkpoint);
+    resumed.run(collect);
+    ASSERT_EQ(prefix.size(), uninterrupted.first.size());
+    EXPECT_EQ(std::memcmp(prefix.data(), uninterrupted.first.data(), n * sizeof(T)), 0)
+        << "tier " << simd::to_string(level);
+    const auto reduction = resumed.reduction();
+    EXPECT_EQ(std::memcmp(reduction.data(), uninterrupted.second.data(), m * sizeof(T)), 0)
+        << "tier " << simd::to_string(level);
+  }
+}
+
+TEST(StreamResume, CancelledMidStreamResumesBitIdenticalInt32) {
+  expect_resume_bit_identical_under<std::int32_t>(ErrorCode::kCancelled);
+}
+TEST(StreamResume, CancelledMidStreamResumesBitIdenticalFloat) {
+  expect_resume_bit_identical_under<float>(ErrorCode::kCancelled);
+}
+TEST(StreamResume, DeadlineMidStreamResumesBitIdenticalInt32) {
+  expect_resume_bit_identical_under<std::int32_t>(ErrorCode::kDeadlineExceeded);
+}
+TEST(StreamResume, DeadlineMidStreamResumesBitIdenticalFloat) {
+  expect_resume_bit_identical_under<float>(ErrorCode::kDeadlineExceeded);
+}
+
+TEST(StreamResume, BudgetExhaustionAbortsWithZeroLeakThenResumes) {
+  const std::size_t n = 1024, m = 7, chunk = 128;
+  const auto values = random_values<std::int64_t>(n, 3);
+  const auto labels = uniform_labels(n, m, 4);
+  MemoryChunkSource<std::int64_t> source(values, labels, chunk);
+  const auto uninterrupted = stream_all<std::int64_t>(source, m, Strategy::kSerial);
+
+  std::vector<std::int64_t> prefix;
+  const auto collect = [&](std::size_t, std::size_t, std::span<const std::int64_t> block) {
+    prefix.insert(prefix.end(), block.begin(), block.end());
+  };
+  StreamSession<std::int64_t, Plus> session(source, m,
+                                            {.strategy = Strategy::kSerial});
+  session.step(collect);
+
+  RunContext ctx;
+  ctx.byte_budget = 16;  // far below one chunk's working set
+  try {
+    session.step(collect, ctx);
+    FAIL() << "budget must stop the step typed";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBudgetExceeded);
+  }
+  EXPECT_EQ(ctx.used_bytes(), 0u);  // the whole charge was returned
+  EXPECT_EQ(session.chunks_done(), 1u);
+
+  // Ungoverned continuation completes and stays bit-identical.
+  session.run(collect);
+  EXPECT_EQ(prefix, uninterrupted.first);
+}
+
+// ---- run_into: zero-copy materialization -----------------------------------
+
+TEST(Stream, RunIntoMatchesResidentWithoutASink) {
+  const std::size_t n = 3000, m = 17, chunk = 256;
+  const auto int_values = random_values<std::int32_t>(n, 311);
+  const auto int_labels = uniform_labels(n, m, 312);
+  const auto int_resident = Engine::global().multiprefix<std::int32_t>(int_values, int_labels, m);
+  MemoryChunkSource<std::int32_t> int_source(int_values, int_labels, chunk);
+  StreamSession<std::int32_t, Plus> int_session(int_source, m);
+  std::vector<std::int32_t> int_prefix(n);
+  int_session.run_into(std::span<std::int32_t>(int_prefix));
+  EXPECT_EQ(int_prefix, int_resident.prefix);
+  const auto int_red = int_session.reduction();
+  EXPECT_EQ(std::memcmp(int_red.data(), int_resident.reduction.data(),
+                        m * sizeof(std::int32_t)),
+            0);
+
+  // Float: run_into goes through the carry-seeded serial sweep, so the
+  // materialized buffer must be bit-identical to resident kSerial.
+  const auto f_values = random_values<float>(n, 313);
+  const auto f_resident =
+      Engine::global().multiprefix<float>(f_values, int_labels, m, Plus{}, Strategy::kSerial);
+  MemoryChunkSource<float> f_source(f_values, int_labels, chunk);
+  StreamSession<float, Plus> f_session(f_source, m);
+  std::vector<float> f_prefix(n);
+  f_session.run_into(std::span<float>(f_prefix));
+  EXPECT_EQ(std::memcmp(f_prefix.data(), f_resident.prefix.data(), n * sizeof(float)), 0);
+}
+
+TEST(Stream, RunIntoRejectsMultireduceAndWrongExtentTyped) {
+  const std::size_t n = 512, m = 5;
+  const auto values = random_values<std::int32_t>(n, 321);
+  const auto labels = uniform_labels(n, m, 322);
+  MemoryChunkSource<std::int32_t> source(values, labels, 64);
+
+  StreamSession<std::int32_t, Plus> reduce_only(source, m,
+                                                {.kind = StreamKind::kMultireduce});
+  std::vector<std::int32_t> buffer(n);
+  try {
+    reduce_only.run_into(std::span<std::int32_t>(buffer));
+    FAIL() << "kMultireduce session must reject run_into";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+  }
+
+  StreamSession<std::int32_t, Plus> session(source, m);
+  std::vector<std::int32_t> short_buffer(n - 1);
+  try {
+    session.run_into(std::span<std::int32_t>(short_buffer));
+    FAIL() << "extent mismatch must be rejected";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kShapeMismatch);
+  }
+  // The rejected call committed nothing; a full-extent buffer still works.
+  EXPECT_EQ(session.chunks_done(), 0u);
+  session.run_into(std::span<std::int32_t>(buffer));
+  const auto resident = Engine::global().multiprefix<std::int32_t>(values, labels, m);
+  EXPECT_EQ(buffer, resident.prefix);
+}
+
+TEST(Stream, RunIntoResumeFillsExactlyTheUncommittedSlices) {
+  // Crash mid-stream, restore into a fresh session, and materialize the rest
+  // with run_into on the full-extent buffer: the committed slices (already
+  // final from the first process) are untouched, the resumed run fills the
+  // tail, and the stitched buffer equals the resident run.
+  const std::size_t n = 2048, m = 9, chunk = 192;
+  const auto values = random_values<std::int64_t>(n, 331);
+  const auto labels = uniform_labels(n, m, 332);
+  const auto resident = Engine::global().multiprefix<std::int64_t>(values, labels, m);
+  MemoryChunkSource<std::int64_t> source(values, labels, chunk);
+
+  std::vector<std::int64_t> stitched(n, std::int64_t{-12345});
+  std::vector<std::byte> checkpoint;
+  std::size_t committed_elems = 0;
+  {
+    StreamSession<std::int64_t, Plus> first(source, m);
+    first.run_into(std::span<std::int64_t>(stitched));
+    // Roll back to a mid-stream checkpoint taken by a separate half-run:
+    // run_into already filled the buffer, so poison the tail to prove the
+    // resumed session rewrites exactly that slice.
+    StreamSession<std::int64_t, Plus> half(source, m);
+    for (int c = 0; c < 4; ++c) half.step({});
+    checkpoint = half.snapshot();
+    committed_elems = half.elements_done();
+  }
+  for (std::size_t i = committed_elems; i < n; ++i) stitched[i] = std::int64_t{-12345};
+
+  StreamSession<std::int64_t, Plus> resumed(source, m);
+  resumed.restore(checkpoint);
+  resumed.run_into(std::span<std::int64_t>(stitched));
+  EXPECT_EQ(stitched, resident.prefix);
+  const auto red = resumed.reduction();
+  EXPECT_EQ(std::memcmp(red.data(), resident.reduction.data(), m * sizeof(std::int64_t)), 0);
+}
+
+// ---- I/O faults -----------------------------------------------------------
+
+TEST(Stream, TransientIoFaultIsRetriedAndCounted) {
+  const std::size_t n = 1500, m = 9, chunk = 100;
+  const auto values = random_values<std::int32_t>(n, 61);
+  const auto labels = uniform_labels(n, m, 62);
+  MemoryChunkSource<std::int32_t> inner(values, labels, chunk);
+  const auto uninterrupted = stream_all<std::int32_t>(inner, m, Strategy::kSerial);
+
+  ScriptedFaultInjector injector({.fail_io_after = 4, .io_fail_count = 2});
+  FaultInjectingChunkSource<std::int32_t> source(inner, injector);
+  FallbackCounters counters;
+  obs::Tracer tracer;
+  RunContext ctx;
+  ctx.counters = &counters;
+  ctx.tracer = &tracer;
+  ctx.retry.max_retries = 3;
+  ctx.retry.backoff = std::chrono::microseconds{0};
+  const auto [prefix, reduction] =
+      stream_all<std::int32_t>(source, m, Strategy::kSerial, ctx);
+  EXPECT_EQ(prefix, uninterrupted.first);
+  EXPECT_EQ(reduction, uninterrupted.second);
+  EXPECT_EQ(injector.io_faults(), 2u);
+  EXPECT_EQ(counters.io_faults.load(), 2u);
+  EXPECT_EQ(counters.io_retries.load(), 2u);
+  const auto snap = tracer.snapshot();
+  EXPECT_EQ(snap.events[static_cast<std::size_t>(obs::Event::kIoFault)], 2u);
+  EXPECT_EQ(snap.events[static_cast<std::size_t>(obs::Event::kIoRetry)], 2u);
+}
+
+TEST(Stream, PersistentIoFaultSurfacesTypedThenResumesOnAHealthySource) {
+  const std::size_t n = 1500, m = 9, chunk = 100;
+  const auto values = random_values<float>(n, 71);
+  const auto labels = uniform_labels(n, m, 72);
+  MemoryChunkSource<float> inner(values, labels, chunk);
+  const auto uninterrupted = stream_all<float>(inner, m, Strategy::kAuto);
+
+  // The disk dies at read 6 and never comes back; retries cannot save it.
+  ScriptedFaultInjector injector({.fail_io_after = 6, .io_fail_count = 0});
+  FaultInjectingChunkSource<float> dying(inner, injector);
+  FallbackCounters counters;
+  RunContext ctx;
+  ctx.counters = &counters;
+  ctx.retry.max_retries = 2;
+  ctx.retry.backoff = std::chrono::microseconds{0};
+
+  std::vector<float> prefix;
+  const auto collect = [&](std::size_t, std::size_t, std::span<const float> block) {
+    prefix.insert(prefix.end(), block.begin(), block.end());
+  };
+  StreamSession<float, Plus> session(dying, m);
+  try {
+    session.run(collect, ctx);
+    FAIL() << "dead source must surface kIoError";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+  EXPECT_EQ(session.chunks_done(), 6u);           // stopped at a chunk boundary
+  EXPECT_EQ(ctx.used_bytes(), 0u);                // zero budget leak
+  EXPECT_EQ(counters.io_faults.load(), 3u);       // initial + two retries, all faulted
+  EXPECT_EQ(counters.io_retries.load(), 2u);
+
+  // Replacement hardware: restore the checkpoint against the healthy inner
+  // source and finish; output identical to the never-faulted run.
+  const auto checkpoint = session.snapshot(ctx);
+  EXPECT_EQ(counters.checkpoints_saved.load(), 1u);
+  StreamSession<float, Plus> resumed(inner, m);
+  resumed.restore(checkpoint);
+  resumed.run(collect);
+  EXPECT_EQ(prefix, uninterrupted.first);
+}
+
+// ---- the serving frontend's streaming entry --------------------------------
+
+TEST(StreamServe, SubmitStreamMatchesResidentAndDeliversInOrder) {
+  const std::size_t n = 3000, m = 15, chunk = 250;
+  const auto values = random_values<std::int32_t>(n, 81);
+  const auto labels = uniform_labels(n, m, 82);
+  const auto resident = Engine::global().multiprefix<std::int32_t>(values, labels, m);
+  MemoryChunkSource<std::int32_t> source(values, labels, chunk);
+
+  serve::Frontend fe;
+  std::vector<std::int32_t> prefix;
+  auto future = fe.submit_stream<std::int32_t>(
+      source, m, [&](std::size_t, std::size_t offset, std::span<const std::int32_t> block) {
+        EXPECT_EQ(offset, prefix.size());
+        prefix.insert(prefix.end(), block.begin(), block.end());
+      });
+  EXPECT_EQ(future.get(), resident.reduction);
+  EXPECT_EQ(prefix, resident.prefix);
+
+  // Queue accounting charged the chunk working set, not the whole stream.
+  fe.wait_idle();
+  const serve::FrontendStats stats = fe.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_LT(stats.peak_queued_bytes,
+            n * (sizeof(std::int32_t) + sizeof(label_t)));
+}
+
+TEST(StreamServe, SubmitStreamMultireduceAndResume) {
+  const std::size_t n = 2000, m = 6, chunk = 128;
+  const auto values = random_values<double>(n, 91);
+  const auto labels = uniform_labels(n, m, 92);
+  const auto resident =
+      Engine::global().multireduce<double>(values, labels, m, Plus{}, Strategy::kSerial);
+  MemoryChunkSource<double> source(values, labels, chunk);
+
+  serve::Frontend fe;
+  // No sink => multireduce.
+  auto future = fe.submit_stream<double>(source, m);
+  EXPECT_EQ(future.get(), resident);
+
+  // A checkpoint taken locally resumes through the frontend: the resumed
+  // submit must only re-process the tail yet produce the full reduction.
+  StreamSession<double, Plus> local(source, m);
+  for (int c = 0; c < 5; ++c) local.step({});
+  const auto checkpoint = local.snapshot();
+  auto resumed = fe.submit_stream<double>(source, m, {}, Plus{}, {}, checkpoint);
+  EXPECT_EQ(resumed.get(), resident);
+
+  // A corrupt checkpoint resolves the future with the typed error.
+  std::vector<std::byte> corrupt = checkpoint;
+  corrupt[corrupt.size() / 2] ^= std::byte{0x01};
+  auto doomed = fe.submit_stream<double>(source, m, {}, Plus{}, {}, corrupt);
+  try {
+    (void)doomed.get();
+    FAIL() << "corrupt resume must resolve kIoError";
+  } catch (const MpError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+}
+
+}  // namespace
+}  // namespace mp::stream
