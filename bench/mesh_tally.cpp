@@ -1,0 +1,190 @@
+// Mesh-tally CMFD scenario bench — the flagship end-to-end workload
+// (apps/mesh_tally.hpp) under the CI regression gate.
+//
+// Sections and the committed-baseline gates (scripts/bench_compare.py):
+//   * tally_cached_speedup  — the per-sweep tally multireduce with the plan
+//     cache on vs an engine that rebuilds the spinetree every sweep (floor
+//     2.0: the §5.2.1 amortization claim, end to end on the real label set).
+//   * tally_plan_hit_rate   — plan-cache hit rate after the warmup sweep of
+//     a full solve on a fresh engine (floor 0.99: the mesh is fixed, so the
+//     tally and SpMV plans must stay resident — zero warm misses).
+//   * mesh_keff_converged_assert_pass / mesh_keff_analytic_assert_pass —
+//     the solve converges (|dk|/k < 1e-6) and, unperturbed, lands on the
+//     analytic discrete eigenvalue.
+//   * tally_identity_assert_pass — the tallied currents are memcmp-identical
+//     across every strategy and pinned SIMD tier.
+//   * mesh_frontend_* — the per-track serving-frontend tally (coalesced
+//     tiny-batch path) timed against the single-call sweep and checked for
+//     agreement (reported; the float association differs, so agreement is
+//     relative-error, not memcmp).
+//
+//   $ mesh_tally --nx=64 --ny=64 --repeat=8 --sweeps=50 --reps=3 [--json=out.json]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "apps/mesh_tally.hpp"
+#include "bench_common.hpp"
+#include "serve/frontend.hpp"
+#include "simd/dispatch.hpp"
+
+namespace {
+
+using mp::apps::MeshTallyConfig;
+using mp::apps::MeshTallySolver;
+
+/// A deterministic non-uniform flux so the tally exercises every surface
+/// with distinct values (a flat flux would zero the interior currents).
+std::vector<double> bumpy_flux(std::size_t nx, std::size_t ny) {
+  std::vector<double> flux(nx * ny);
+  for (std::size_t iy = 0; iy < ny; ++iy)
+    for (std::size_t ix = 0; ix < nx; ++ix)
+      flux[iy * nx + ix] = 1.0 + 0.5 * std::sin(0.37 * static_cast<double>(ix + 1)) *
+                                     std::cos(0.23 * static_cast<double>(iy + 1));
+  return flux;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mp::bench::run(argc, argv, "mesh-tally CMFD scenario (ROADMAP item 3)",
+                        [](const mp::CliArgs& args) {
+    const auto nx = static_cast<std::size_t>(args.get("nx", std::int64_t{64}));
+    const auto ny = static_cast<std::size_t>(args.get("ny", std::int64_t{64}));
+    const auto repeat = static_cast<std::size_t>(args.get("repeat", std::int64_t{8}));
+    const auto sweeps = static_cast<std::size_t>(args.get("sweeps", std::int64_t{50}));
+    const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{3}));
+    mp::bench::JsonReporter json(args.get("json", std::string()));
+
+    MeshTallyConfig base;
+    base.nx = nx;
+    base.ny = ny;
+    base.track_repeat = repeat;
+
+    // ---- Section 1: plan residency vs rebuild-per-sweep -------------------
+    // Identical sweeps on two engines; the only difference is whether the
+    // spinetree plan for the (fixed) tally labels survives between sweeps.
+    mp::Engine cached_engine;
+    mp::Engine::Options rebuild_opts;
+    rebuild_opts.use_plan_cache = false;  // build fresh every dispatch
+    mp::Engine rebuild_engine(rebuild_opts);
+
+    MeshTallyConfig cached_cfg = base;
+    cached_cfg.engine = &cached_engine;
+    MeshTallySolver cached(cached_cfg);
+
+    const auto flux = bumpy_flux(nx, ny);
+    std::vector<double> currents(cached.surfaces());
+    // The A/B times the tally dispatch itself — the multireduce over the
+    // real (fixed) segment->surface label set — so the per-sweep current
+    // gather, identical on both sides, does not dilute the plan-residency
+    // ratio the floor pins.
+    std::vector<double> segvals(cached.segments());
+    for (std::size_t k = 0; k < segvals.size(); ++k) segvals[k] = cached.segment_weights()[k];
+    const auto labels = cached.tally_labels();
+    const auto sweep_with = [&](mp::Engine& engine) {
+      for (std::size_t s = 0; s < sweeps; ++s)
+        engine.multireduce_into<double>(segvals, labels, currents, mp::Plus{},
+                                        mp::Strategy::kVectorized);
+    };
+    sweep_with(cached_engine);  // warmup: populate the plan cache
+    const double cached_s = mp::bench::seconds_best_of(reps, [&] { sweep_with(cached_engine); });
+    const double rebuild_s = mp::bench::seconds_best_of(reps, [&] { sweep_with(rebuild_engine); });
+    const double cached_speedup = rebuild_s / cached_s;
+    std::printf("mesh %zux%zu, tally n=%zu m=%zu, %zu sweeps/rep\n", nx, ny, cached.segments(),
+                cached.surfaces(), sweeps);
+    std::printf("  tally sweep: cached plan %8.3f ms, rebuild-per-sweep %8.3f ms  -> %.2fx\n",
+                cached_s * 1e3, rebuild_s * 1e3, cached_speedup);
+    json.metric("tally_cached_ms", cached_s * 1e3);
+    json.metric("tally_rebuild_ms", rebuild_s * 1e3);
+    json.metric("tally_cached_speedup", cached_speedup);
+
+    // ---- Section 2: full solve on a fresh engine -> hit rate + k-eff ------
+    mp::Engine solve_engine;
+    MeshTallyConfig solve_cfg = base;
+    solve_cfg.engine = &solve_engine;
+    solve_cfg.anisotropy = 0.0;  // unperturbed: the analytic oracle applies
+    MeshTallySolver solver(solve_cfg);
+    mp::Timer timer;
+    const auto stats = solver.solve();
+    const double solve_s = timer.seconds();
+    const double analytic = solver.analytic_keff();
+    const double analytic_rel = std::abs(stats.keff - analytic) / analytic;
+    const bool converged = stats.converged && stats.keff_delta < 1e-6;
+    std::printf("  solve: k-eff %.8f in %zu outers / %zu inners, %.1f ms (%s)\n", stats.keff,
+                stats.outers, stats.inners, solve_s * 1e3,
+                converged ? "converged" : "NOT CONVERGED");
+    std::printf("  analytic k-eff %.8f, rel err %.2e\n", analytic, analytic_rel);
+    std::printf("  plan cache: %llu hits / %llu misses; after sweep 1: %llu misses "
+                "(hit rate %.4f)\n",
+                static_cast<unsigned long long>(stats.plan_hits),
+                static_cast<unsigned long long>(stats.plan_misses),
+                static_cast<unsigned long long>(stats.warm_plan_misses), stats.warm_hit_rate);
+    json.metric("mesh_solve_ms", solve_s * 1e3);
+    json.metric("mesh_keff", stats.keff);
+    json.metric("mesh_outers", static_cast<std::int64_t>(stats.outers));
+    json.metric("mesh_inners", static_cast<std::int64_t>(stats.inners));
+    json.metric("mesh_plan_misses_warm", static_cast<std::int64_t>(stats.warm_plan_misses));
+    json.metric("tally_plan_hit_rate", stats.warm_hit_rate);
+    json.metric("mesh_keff_converged_assert_pass", converged ? std::int64_t{1} : std::int64_t{0});
+    json.metric("mesh_keff_analytic_assert_pass",
+                analytic_rel < 1e-5 ? std::int64_t{1} : std::int64_t{0});
+
+    // ---- Section 3: tally bit-identity across strategies x SIMD tiers -----
+    std::vector<double> reference(cached.surfaces());
+    bool identical = true;
+    {
+      const mp::simd::ScopedSimdLevel pin(mp::simd::SimdLevel::kScalar);
+      cached.tally_currents(flux, reference, mp::Strategy::kSerial);
+    }
+    std::vector<double> out(cached.surfaces());
+    for (std::size_t level = 0; level < mp::simd::kSimdLevelCount; ++level) {
+      const mp::simd::ScopedSimdLevel pin(static_cast<mp::simd::SimdLevel>(level));
+      for (const auto strategy : mp::bench::strategies_from_flag(
+               args, {mp::Strategy::kSerial, mp::Strategy::kVectorized, mp::Strategy::kParallel,
+                      mp::Strategy::kSortBased, mp::Strategy::kChunked})) {
+        cached.tally_currents(flux, out, strategy);
+        if (std::memcmp(out.data(), reference.data(), out.size() * sizeof(double)) != 0) {
+          identical = false;
+          std::printf("  IDENTITY MISMATCH: strategy %s, simd tier %zu\n",
+                      mp::to_string(strategy), level);
+        }
+      }
+    }
+    std::printf("  tally identity across strategies x tiers: %s\n", identical ? "ok" : "FAILED");
+    json.metric("tally_identity_assert_pass", identical ? std::int64_t{1} : std::int64_t{0});
+
+    // ---- Section 4: per-track tally through the serving frontend ----------
+    mp::serve::FrontendOptions fopts;
+    fopts.engine = &cached_engine;
+    mp::serve::Frontend frontend(fopts);
+    MeshTallyConfig fe_cfg = base;
+    fe_cfg.engine = &cached_engine;
+    fe_cfg.frontend = &frontend;
+    MeshTallySolver fe_solver(fe_cfg);
+    std::vector<double> fe_currents(fe_solver.surfaces());
+    fe_solver.tally_currents(flux, fe_currents);  // warmup
+    const double frontend_s =
+        mp::bench::seconds_best_of(reps, [&] { fe_solver.tally_currents(flux, fe_currents); });
+    cached.tally_currents(flux, reference, mp::Strategy::kVectorized);
+    double max_rel = 0.0;
+    for (std::size_t s = 0; s < fe_currents.size(); ++s) {
+      const double denom = std::max(1e-30, std::abs(reference[s]));
+      max_rel = std::max(max_rel, std::abs(fe_currents[s] - reference[s]) / denom);
+    }
+    frontend.wait_idle();
+    const auto fs = frontend.stats();
+    std::printf("  frontend per-track sweep: %8.3f ms (%zu tracks; %llu coalesced batches "
+                "over %llu requests), max rel dev %.2e\n",
+                frontend_s * 1e3, fe_solver.tracks(),
+                static_cast<unsigned long long>(fs.coalesced_batches),
+                static_cast<unsigned long long>(fs.coalesced_requests), max_rel);
+    json.metric("mesh_frontend_sweep_ms", frontend_s * 1e3);
+    json.metric("mesh_frontend_coalesced_batches", static_cast<std::int64_t>(fs.coalesced_batches));
+    json.metric("mesh_frontend_agree_assert_pass",
+                max_rel < 1e-9 ? std::int64_t{1} : std::int64_t{0});
+
+    json.write();
+  });
+}

@@ -1,0 +1,97 @@
+// Mesh-tally CMFD eigenvalue solve — the flagship end-to-end scenario
+// (apps/mesh_tally.hpp): synthetic track sweeps tally surface currents into
+// a structured mesh via one fixed-label multireduce per sweep, the CMFD
+// diffusion operator is assembled from the tallied currents and solved with
+// the multireduce SpMV, and a k-eff power iteration runs to convergence.
+// The label structure never changes, so after sweep 1 every multireduce in
+// the loop is served by a cache-resident spinetree plan — the §5.2.1
+// amortization argument on a real application shape.
+//
+//   $ mesh_tally_cmfd [--nx=32] [--ny=32] [--repeat=2] [--anisotropy=0.05]
+//                     [--strategy=vectorized] [--frontend=0] [--trace=out.json]
+//
+// --anisotropy=0 converges to the analytic discrete eigenvalue (printed for
+// comparison); --frontend=1 drives the tally per-track through the serving
+// frontend's coalescing/tiny-batch path; --trace writes a Chrome trace
+// showing the TALLY-SWEEP / CMFD-SOLVE / EIGEN-UPDATE cadence.
+#include <cstdio>
+#include <string>
+
+#include "apps/mesh_tally.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "serve/frontend.hpp"
+
+int main(int argc, char** argv) {
+  const mp::CliArgs args(argc, argv);
+  mp::apps::MeshTallyConfig config;
+  config.nx = static_cast<std::size_t>(args.get("nx", std::int64_t{32}));
+  config.ny = static_cast<std::size_t>(args.get("ny", std::int64_t{32}));
+  config.track_repeat = static_cast<std::size_t>(args.get("repeat", std::int64_t{2}));
+  config.anisotropy = args.get("anisotropy", 0.05);
+  const std::string strategy_flag = args.get("strategy", std::string("vectorized"));
+  const auto strategy = mp::parse_strategy(strategy_flag);
+  if (!strategy.has_value()) {
+    std::fprintf(stderr, "unknown --strategy: %s\n", strategy_flag.c_str());
+    return 1;
+  }
+  config.strategy = *strategy;
+
+  mp::Engine engine;  // private engine: plan-cache stats below are exact
+  config.engine = &engine;
+
+  const std::string trace_path = args.get("trace", std::string());
+  mp::obs::Tracer tracer;
+  if (!trace_path.empty()) config.tracer = &tracer;
+
+  const bool use_frontend = args.get("frontend", std::int64_t{0}) != 0;
+  std::unique_ptr<mp::serve::Frontend> frontend;
+  if (use_frontend) {
+    mp::serve::FrontendOptions fopts;
+    fopts.engine = &engine;
+    frontend = std::make_unique<mp::serve::Frontend>(fopts);
+    config.frontend = frontend.get();
+  }
+
+  mp::apps::MeshTallySolver solver(config);
+  std::printf(
+      "mesh %zux%zu: %zu cells, %zu surfaces (tally m), %zu segments (tally n), %zu tracks%s\n",
+      config.nx, config.ny, solver.cells(), solver.surfaces(), solver.segments(), solver.tracks(),
+      use_frontend ? " [per-track via serving frontend]" : "");
+
+  mp::Timer timer;
+  const auto stats = solver.solve();
+  const double seconds = timer.seconds();
+
+  std::printf("k-eff %.8f after %zu outers (%zu inner Jacobi, |dk|/k %.2e) in %.1f ms — %s\n",
+              stats.keff, stats.outers, stats.inners, stats.keff_delta, seconds * 1e3,
+              stats.converged ? "converged" : "NOT converged");
+  if (config.anisotropy == 0.0)
+    std::printf("analytic discrete k-eff %.8f (rel err %.2e)\n", solver.analytic_keff(),
+                std::abs(stats.keff - solver.analytic_keff()) / solver.analytic_keff());
+  else
+    std::printf("unperturbed analytic k-eff %.8f (CMFD correction shifts it)\n",
+                solver.analytic_keff());
+  std::printf("plan cache: %llu hits, %llu misses over the solve; after sweep 1: %llu misses "
+              "(hit rate %.4f)\n",
+              static_cast<unsigned long long>(stats.plan_hits),
+              static_cast<unsigned long long>(stats.plan_misses),
+              static_cast<unsigned long long>(stats.warm_plan_misses), stats.warm_hit_rate);
+
+  if (frontend != nullptr) {
+    frontend->wait_idle();
+    const auto fs = frontend->stats();
+    std::printf("frontend: %llu submitted, %llu coalesced batches covering %llu requests\n",
+                static_cast<unsigned long long>(fs.submitted),
+                static_cast<unsigned long long>(fs.coalesced_batches),
+                static_cast<unsigned long long>(fs.coalesced_requests));
+  }
+  if (!trace_path.empty()) {
+    mp::obs::write_file(trace_path, mp::obs::chrome_trace_json(tracer));
+    std::printf("chrome trace written to %s\n", trace_path.c_str());
+  }
+  return stats.converged ? 0 : 1;
+}

@@ -24,7 +24,9 @@ Both files are the flat key->value objects written by the bench binaries'
 
 Every numeric key present in both files is printed old -> new (gated or
 not), so a passing run still shows where the time went — the absolute ms
-columns are the context that explains a ratio move.
+columns are the context that explains a ratio move. Keys the current run
+emits that the baseline lacks are warned about (not failed): a new metric
+rides along ungated until the committed baseline is refreshed.
 
 --update-baselines rewrites BASELINE.json in place with the current run's
 values after reporting the diff. Ratio and floor failures are advisory in
@@ -66,6 +68,17 @@ FLOORS = {
     # pay materially for the sharding (one extra hash-mix and an atomic
     # stamp); 0.9 allows timing noise on a ~100ns operation, nothing more.
     "cache_single_hit_speedup": 0.9,
+    # tally_cached_speedup: the mesh-tally sweep's multireduce over the fixed
+    # segment->surface label set with the plan cache on vs a rebuild-per-sweep
+    # engine — the end-to-end form of the amortization claim on the flagship
+    # workload (measured 2.2-2.6x at 64x64/repeat=8; below 2x the plan build
+    # is no longer the dominant avoided cost and residency has regressed).
+    "tally_cached_speedup": 2.0,
+    # tally_plan_hit_rate: plan-cache hit rate after the first sweep of a
+    # full CMFD solve on a fresh engine. The mesh is fixed, so both plans
+    # (tally labels, SpMV row labels) must stay resident: anything under
+    # 0.99 means plans are being evicted or fingerprints are unstable.
+    "tally_plan_hit_rate": 0.99,
 }
 
 # Invariant ceilings on overhead-ratio metrics (lower is better), the dual
@@ -238,6 +251,16 @@ def main():
         base, cur = float(baseline[key]), float(current[key])
         delta = f" ({(cur - base) / base:+.1%})" if base != 0 else ""
         print(f"  info       {key}: {base:.3f} -> {cur:.3f}{delta}")
+
+    # Keys the current run emits that the baseline has never seen. A warning,
+    # not a failure — a freshly added metric should not break CI — but loud,
+    # because until the committed baseline is refreshed the new key rides
+    # along ungated (ratio keys already printed their own NEW line above).
+    for key in sorted(set(current) - set(baseline)):
+        if is_ratio_key(key):
+            continue
+        print(f"  WARNING    {key}: in current run but not in baseline "
+              f"{args.baseline} — refresh the baseline to start tracking it")
 
     assert_failures = []
     for key, cur in sorted(current.items()):

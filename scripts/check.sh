@@ -17,10 +17,12 @@
 #                                  # SIMD kernel bench at the host's native ISA
 #                                  # (bench-simd preset, BENCH_simd.json), the
 #                                  # serving frontend coalesce/soak bench
-#                                  # (BENCH_serving.json), and the out-of-core
+#                                  # (BENCH_serving.json), the out-of-core
 #                                  # streaming bench (BENCH_streaming.json),
-#                                  # then gate all four against the committed
-#                                  # baselines (scripts/bench_compare.py)
+#                                  # and the mesh-tally CMFD scenario
+#                                  # (BENCH_mesh.json), then gate all five
+#                                  # against the committed baselines
+#                                  # (scripts/bench_compare.py)
 #   scripts/check.sh --bench-only  # the bench smoke + gate without any
 #                                  # sanitizer pass (the CI bench job)
 #
@@ -76,6 +78,11 @@ QUICK_FILTER+='|ErasedApi|ErasedDifferential|CApi'
 # (StreamChaos) — the carry/checkpoint machinery shares buffers across
 # chunks, so the sanitizers over these suites guard the commit discipline.
 QUICK_FILTER+='|Stream'
+# Mesh-tally CMFD application: solver convergence against the analytic
+# oracle, tally bit-identity across strategies/tiers/frontend, per-sweep
+# governance, and plan-cache residency (MeshTally* suites) — the flagship
+# workload exercising engine + serving + obs together under the sanitizers.
+QUICK_FILTER+='|MeshTally'
 
 # The chaos gate replays the randomized fault schedules (chaos_test) plus the
 # governance and fault-path suites under ASan and TSan. Every test already
@@ -161,11 +168,22 @@ if [[ "$BENCH" == 1 ]]; then
   ./build-bench/bench/streaming --benchmark_filter=NONE \
     --n=1048576 --reps=3 --json=build-bench/BENCH_streaming.json
 
+  # Mesh-tally CMFD scenario: the flagship end-to-end workload. Gated on
+  # tally_cached_speedup (floor >= 2.0, the plan-residency win on the real
+  # label set), tally_plan_hit_rate (floor >= 0.99) and the convergence /
+  # bit-identity / frontend-agreement hard asserts.
+  echo "=== [bench-smoke] mesh_tally ==="
+  cmake --build --preset bench-smoke -j "$JOBS" --target mesh_tally \
+    -- --no-print-directory >/dev/null
+  ./build-bench/bench/mesh_tally --benchmark_filter=NONE \
+    --reps=3 --json=build-bench/BENCH_mesh.json
+
   echo "=== [bench-gate] compare against committed baselines ==="
   python3 scripts/bench_compare.py BENCH_engine.json build-bench/BENCH_engine.json
   python3 scripts/bench_compare.py BENCH_simd.json build-bench-simd/BENCH_simd.json
   python3 scripts/bench_compare.py BENCH_serving.json build-bench/BENCH_serving.json
   python3 scripts/bench_compare.py BENCH_streaming.json build-bench/BENCH_streaming.json
+  python3 scripts/bench_compare.py BENCH_mesh.json build-bench/BENCH_mesh.json
 fi
 if [[ "$MODE" == none ]]; then
   echo "Bench smoke + regression gate clean"

@@ -1,0 +1,419 @@
+#include "apps/mesh_tally.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "serve/frontend.hpp"
+
+namespace mp::apps {
+
+namespace {
+
+double l2_norm(std::span<const double> v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+MeshTallySolver::MeshTallySolver(MeshTallyConfig config) : config_(config) {
+  if (config_.nx < 2 || config_.ny < 2) throw std::invalid_argument("mesh_tally: nx, ny >= 2");
+  if (!(config_.cell_size > 0.0)) throw std::invalid_argument("mesh_tally: cell_size > 0");
+  if (!(config_.diffusion > 0.0) || !(config_.absorption > 0.0) || !(config_.nu_fission > 0.0))
+    throw std::invalid_argument("mesh_tally: cross sections must be positive");
+  surfaces_ = (config_.nx + 1) * config_.ny + config_.nx * (config_.ny + 1);
+  build_tracks();
+  build_operator_pattern();
+  dhat_.assign(surfaces_, 0.0);
+  jfd_.assign(surfaces_, 0.0);
+  jtally_.assign(surfaces_, 0.0);
+  diag_.assign(cells(), 0.0);
+  product_.assign(arow_.size(), 0.0);
+  ax_.assign(cells(), 0.0);
+  resid_.assign(cells(), 0.0);
+  src_.assign(cells(), 0.0);
+  phi_new_.assign(cells(), 0.0);
+  flux_.assign(cells(), 1.0);
+}
+
+void MeshTallySolver::build_tracks() {
+  const std::size_t nx = config_.nx, ny = config_.ny;
+  const std::size_t reps = std::max<std::size_t>(1, config_.track_repeat);
+  labels_.clear();
+  track_bounds_.assign(1, 0);
+  const auto close_track = [&] { track_bounds_.push_back(labels_.size()); };
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    // Horizontal family: one track per mesh row, crossing every vertical
+    // face of that row left to right. Together they cover all vertical
+    // surfaces, so every surface class is referenced (no empty classes).
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix <= nx; ++ix)
+        labels_.push_back(static_cast<label_t>(vsurf(ix, iy)));
+      close_track();
+    }
+    // Vertical family: one track per column, covering all horizontal faces.
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      for (std::size_t iy = 0; iy <= ny; ++iy)
+        labels_.push_back(static_cast<label_t>(hsurf(ix, iy)));
+      close_track();
+    }
+    // Diagonal family: irregular crossing counts, so surface weights are
+    // non-uniform and the label stream is not a neat blocked pattern.
+    if (config_.diagonal_tracks) {
+      for (std::size_t d = 0; d < nx; ++d) {
+        std::size_t ix = d, iy = 0;
+        while (ix < nx && iy < ny) {
+          labels_.push_back(static_cast<label_t>(vsurf(ix + 1, iy)));
+          labels_.push_back(static_cast<label_t>(hsurf(ix, iy + 1)));
+          ++ix;
+          ++iy;
+        }
+        close_track();
+      }
+    }
+  }
+  // Deterministic per-segment perturbation pattern (the synthetic stand-in
+  // for angular flux anisotropy) and partition-of-unity weights: the
+  // segments crossing one surface split it evenly, so a tally of
+  // weight * f(surface) reconstructs f exactly up to roundoff.
+  pattern_.resize(labels_.size());
+  Xoshiro256 rng(0x6d657368);  // fixed seed: the track set is part of the problem
+  for (auto& p : pattern_) p = 2.0 * rng.uniform() - 1.0;
+  std::vector<std::uint32_t> crossings(surfaces_, 0);
+  for (const label_t s : labels_) ++crossings[s];
+  weights_.resize(labels_.size());
+  for (std::size_t k = 0; k < labels_.size(); ++k)
+    weights_[k] = 1.0 / static_cast<double>(crossings[labels_[k]]);
+}
+
+void MeshTallySolver::build_operator_pattern() {
+  const std::size_t nx = config_.nx, ny = config_.ny;
+  const std::size_t none = static_cast<std::size_t>(-1);
+  diag_at_.assign(cells(), none);
+  east_at_.assign(cells(), none);
+  west_at_.assign(cells(), none);
+  north_at_.assign(cells(), none);
+  south_at_.assign(cells(), none);
+  arow_.clear();
+  acol_.clear();
+  const auto add = [&](std::size_t row, std::size_t col) {
+    arow_.push_back(static_cast<label_t>(row));
+    acol_.push_back(static_cast<std::uint32_t>(col));
+    return arow_.size() - 1;
+  };
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t c = cell(ix, iy);
+      diag_at_[c] = add(c, c);
+      if (ix + 1 < nx) east_at_[c] = add(c, cell(ix + 1, iy));
+      if (ix > 0) west_at_[c] = add(c, cell(ix - 1, iy));
+      if (iy + 1 < ny) north_at_[c] = add(c, cell(ix, iy + 1));
+      if (iy > 0) south_at_[c] = add(c, cell(ix, iy - 1));
+    }
+  }
+  aval_.assign(arow_.size(), 0.0);
+}
+
+void MeshTallySolver::fd_currents(std::span<const double> flux, std::span<double> j) const {
+  const std::size_t nx = config_.nx, ny = config_.ny;
+  const double h = config_.cell_size;
+  const double dt = config_.diffusion / h;        // interior face coupling
+  const double dtb = 2.0 * config_.diffusion / h; // zero-flux boundary face
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix <= nx; ++ix) {
+      double cur;
+      if (ix == 0)
+        cur = -dtb * flux[cell(0, iy)];
+      else if (ix == nx)
+        cur = dtb * flux[cell(nx - 1, iy)];
+      else
+        cur = -dt * (flux[cell(ix, iy)] - flux[cell(ix - 1, iy)]);
+      j[vsurf(ix, iy)] = cur;
+    }
+  }
+  for (std::size_t iy = 0; iy <= ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      double cur;
+      if (iy == 0)
+        cur = -dtb * flux[cell(ix, 0)];
+      else if (iy == ny)
+        cur = dtb * flux[cell(ix, ny - 1)];
+      else
+        cur = -dt * (flux[cell(ix, iy)] - flux[cell(ix, iy - 1)]);
+      j[hsurf(ix, iy)] = cur;
+    }
+  }
+}
+
+void MeshTallySolver::segment_values(std::span<const double> j) {
+  segval_.resize(labels_.size());
+  const double eps = config_.anisotropy;
+  // Fixed-point quantization (2^-30 grid): every segment value is an exact
+  // integer multiple of 2^-30 with magnitude far below 2^23, so any partial
+  // sum of one surface's segments stays exactly representable in a double.
+  // That makes the tallied currents independent of summation order —
+  // memcmp-identical across every strategy, SIMD tier and the per-track
+  // frontend path — which is the reproducibility discipline production
+  // tally codes use. The 2^-31 absolute quantization error is ~1e-9 of a
+  // typical current, orders below the CMFD convergence tolerances.
+  constexpr double kQuantum = 1024.0 * 1024.0 * 1024.0;  // 2^30
+  for (std::size_t k = 0; k < labels_.size(); ++k) {
+    const double raw = weights_[k] * j[labels_[k]] * (1.0 + eps * pattern_[k]);
+    segval_[k] = std::nearbyint(raw * kQuantum) / kQuantum;
+  }
+}
+
+void MeshTallySolver::tally_currents(std::span<const double> flux, std::span<double> currents,
+                                     Strategy strategy, const RunContext& ctx) {
+  fd_currents(flux, jfd_);
+  segment_values(jfd_);
+  engine().multireduce_into<double>(segval_, labels_, currents, Plus{}, strategy, ctx);
+}
+
+void MeshTallySolver::tally_currents(std::span<const double> flux, std::span<double> currents,
+                                     const RunContext& ctx) {
+  if (config_.frontend != nullptr) {
+    fd_currents(flux, jfd_);
+    segment_values(jfd_);
+    tally_via_frontend(currents);
+    return;
+  }
+  tally_currents(flux, currents, config_.strategy, ctx);
+}
+
+void MeshTallySolver::tally_via_frontend(std::span<double> currents) {
+  // One tiny request per track: every track is a few dozen segments, so a
+  // sweep is a burst of sub-tiny_batch_max_n submits the frontend coalesces
+  // into the engine's fused batched sweep. Per-track partials are folded in
+  // track order; the fixed-point quantization in segment_values makes that
+  // fold exact, so the result is bit-identical to the single multireduce.
+  // Submission is windowed below the frontend's default admission caps
+  // (tenant in-flight, queue depth) so a big track set throttles instead of
+  // shedding kOverloaded; each window still offers the coalescer a burst.
+  constexpr std::size_t kWindow = 128;
+  std::fill(currents.begin(), currents.end(), 0.0);
+  std::vector<std::future<std::vector<double>>> parts;
+  parts.reserve(kWindow);
+  const auto drain = [&] {
+    for (auto& part : parts) {
+      const std::vector<double> partial = part.get();
+      for (std::size_t s = 0; s < surfaces_; ++s) currents[s] += partial[s];
+    }
+    parts.clear();
+  };
+  for (std::size_t t = 0; t < tracks(); ++t) {
+    const std::size_t lo = track_bounds_[t], hi = track_bounds_[t + 1];
+    std::vector<double> vals(segval_.begin() + static_cast<std::ptrdiff_t>(lo),
+                             segval_.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::vector<label_t> labs(labels_.begin() + static_cast<std::ptrdiff_t>(lo),
+                              labels_.begin() + static_cast<std::ptrdiff_t>(hi));
+    parts.push_back(config_.frontend->submit_multireduce<double>(std::move(vals), std::move(labs),
+                                                                 surfaces_));
+    if (parts.size() == kWindow) drain();
+  }
+  drain();
+}
+
+void MeshTallySolver::update_dhat(std::span<const double> tallied, std::span<const double> jfd,
+                                  std::span<const double> flux) {
+  const std::size_t nx = config_.nx, ny = config_.ny;
+  const double h = config_.cell_size;
+  const double dt = config_.diffusion / h;
+  const double dtb = 2.0 * config_.diffusion / h;
+  // D-hat is the per-face nonlinear correction: whatever current the tally
+  // saw beyond the finite-difference model, expressed per unit of adjacent
+  // flux. Clamped to the face's diffusion coupling so the corrected
+  // operator stays diagonally dominant (the standard CMFD stabilization).
+  const auto correction = [](double jt, double jf, double phisum, double clamp) {
+    if (!(phisum > 1e-12)) return 0.0;
+    return std::clamp((jt - jf) / phisum, -clamp, clamp);
+  };
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix <= nx; ++ix) {
+      const std::size_t s = vsurf(ix, iy);
+      double phisum, clamp;
+      if (ix == 0) {
+        phisum = flux[cell(0, iy)];
+        clamp = dtb;
+      } else if (ix == nx) {
+        phisum = flux[cell(nx - 1, iy)];
+        clamp = dtb;
+      } else {
+        phisum = flux[cell(ix - 1, iy)] + flux[cell(ix, iy)];
+        clamp = dt;
+      }
+      dhat_[s] = correction(tallied[s], jfd[s], phisum, clamp);
+    }
+  }
+  for (std::size_t iy = 0; iy <= ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t s = hsurf(ix, iy);
+      double phisum, clamp;
+      if (iy == 0) {
+        phisum = flux[cell(ix, 0)];
+        clamp = dtb;
+      } else if (iy == ny) {
+        phisum = flux[cell(ix, ny - 1)];
+        clamp = dtb;
+      } else {
+        phisum = flux[cell(ix, iy - 1)] + flux[cell(ix, iy)];
+        clamp = dt;
+      }
+      dhat_[s] = correction(tallied[s], jfd[s], phisum, clamp);
+    }
+  }
+}
+
+void MeshTallySolver::assemble() {
+  const std::size_t nx = config_.nx, ny = config_.ny;
+  const double h = config_.cell_size;
+  const double dt = config_.diffusion / h;
+  const double dtb = 2.0 * config_.diffusion / h;
+  std::fill(aval_.begin(), aval_.end(), 0.0);
+  // Cell balance divided by the cell volume: each face contributes its
+  // outward corrected current J / h. On the face between l (left/below) and
+  // r (right/above), J = -Dt*(phi_r - phi_l) + Dhat*(phi_r + phi_l); the
+  // boundary faces use the zero-flux half-cell coupling 2D/h against the
+  // adjacent cell only.
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t c = cell(ix, iy);
+      double diag = config_.absorption;
+      {  // left face: this cell is r, outward current is -J
+        const double dh = dhat_[vsurf(ix, iy)];
+        if (ix == 0) {
+          diag += (dtb - dh) / h;
+        } else {
+          diag += (dt - dh) / h;
+          aval_[west_at_[c]] += (-dt - dh) / h;
+        }
+      }
+      {  // right face: this cell is l, outward current is +J
+        const double dh = dhat_[vsurf(ix + 1, iy)];
+        if (ix == nx - 1) {
+          diag += (dtb + dh) / h;
+        } else {
+          diag += (dt + dh) / h;
+          aval_[east_at_[c]] += (-dt + dh) / h;
+        }
+      }
+      {  // bottom face: this cell is r
+        const double dh = dhat_[hsurf(ix, iy)];
+        if (iy == 0) {
+          diag += (dtb - dh) / h;
+        } else {
+          diag += (dt - dh) / h;
+          aval_[south_at_[c]] += (-dt - dh) / h;
+        }
+      }
+      {  // top face: this cell is l
+        const double dh = dhat_[hsurf(ix, iy + 1)];
+        if (iy == ny - 1) {
+          diag += (dtb + dh) / h;
+        } else {
+          diag += (dt + dh) / h;
+          aval_[north_at_[c]] += (-dt + dh) / h;
+        }
+      }
+      aval_[diag_at_[c]] = diag;
+      diag_[c] = diag;
+    }
+  }
+}
+
+void MeshTallySolver::spmv(std::span<const double> x, std::span<double> y, const RunContext& ctx) {
+  // Paper Figure 12: gather the per-entry products, then multireduce over
+  // the fixed row-label vector. Dispatching through the same engine as the
+  // tally keeps both plans resident in one cache.
+  for (std::size_t k = 0; k < aval_.size(); ++k) product_[k] = aval_[k] * x[acol_[k]];
+  engine().multireduce_into<double>(product_, arow_, y, Plus{}, config_.strategy, ctx);
+}
+
+std::size_t MeshTallySolver::inner_solve(std::span<const double> b, std::span<double> phi,
+                                         const RunContext& ctx) {
+  spmv(phi, ax_, ctx);
+  for (std::size_t i = 0; i < b.size(); ++i) resid_[i] = b[i] - ax_[i];
+  const double norm0 = l2_norm(resid_);
+  if (norm0 == 0.0) return 0;  // already at the fixed point — exact eigenpair
+  const double target = config_.inner_tol * norm0;
+  std::size_t iters = 0;
+  while (iters < config_.max_inners) {
+    for (std::size_t i = 0; i < b.size(); ++i) phi[i] += resid_[i] / diag_[i];
+    ++iters;
+    spmv(phi, ax_, ctx);
+    for (std::size_t i = 0; i < b.size(); ++i) resid_[i] = b[i] - ax_[i];
+    if (l2_norm(resid_) <= target) break;
+  }
+  return iters;
+}
+
+MeshTallyStats MeshTallySolver::solve() {
+  flux_.assign(cells(), 1.0);
+  keff_ = 1.0;
+  MeshTallyStats out;
+  Engine& eng = engine();
+  const PlanCache::Stats cold = eng.plan_stats();
+  PlanCache::Stats warm = cold;
+  for (std::size_t outer = 1; outer <= config_.max_outers; ++outer) {
+    RunContext ctx;
+    if (config_.sweep_deadline.has_value()) ctx.set_timeout(*config_.sweep_deadline);
+    ctx.counters = config_.counters;
+    ctx.tracer = config_.tracer;
+    {
+      obs::ScopedSpan span(sink(), obs::Phase::kTallySweep);
+      tally_currents(flux_, jtally_, ctx);
+      ++out.tally_sweeps;
+    }
+    {
+      obs::ScopedSpan span(sink(), obs::Phase::kCmfdSolve);
+      update_dhat(jtally_, jfd_, flux_);
+      assemble();
+      for (std::size_t i = 0; i < cells(); ++i)
+        src_[i] = config_.nu_fission * flux_[i] / keff_;
+      std::copy(flux_.begin(), flux_.end(), phi_new_.begin());
+      out.inners += inner_solve(src_, phi_new_, ctx);
+    }
+    {
+      obs::ScopedSpan span(sink(), obs::Phase::kEigenUpdate);
+      double fis_new = 0.0, fis_old = 0.0;
+      for (std::size_t i = 0; i < cells(); ++i) {
+        fis_new += phi_new_[i];
+        fis_old += flux_[i];
+      }
+      const double knew = keff_ * fis_new / fis_old;
+      out.keff_delta = std::abs(knew - keff_) / std::abs(knew);
+      keff_ = knew;
+      const double scale = static_cast<double>(cells()) / fis_new;
+      for (std::size_t i = 0; i < cells(); ++i) flux_[i] = phi_new_[i] * scale;
+    }
+    out.outers = outer;
+    if (outer == 1) warm = eng.plan_stats();
+    if (outer >= 2 && out.keff_delta < config_.keff_tol) {
+      out.converged = true;
+      break;
+    }
+  }
+  const PlanCache::Stats end = eng.plan_stats();
+  out.keff = keff_;
+  out.plan_hits = end.hits - cold.hits;
+  out.plan_misses = end.misses - cold.misses;
+  out.warm_plan_misses = end.misses - warm.misses;
+  const std::uint64_t warm_hits = end.hits - warm.hits;
+  const std::uint64_t warm_total = warm_hits + out.warm_plan_misses;
+  out.warm_hit_rate =
+      warm_total == 0 ? 1.0 : static_cast<double>(warm_hits) / static_cast<double>(warm_total);
+  return out;
+}
+
+double MeshTallySolver::analytic_keff() const {
+  const double h = config_.cell_size;
+  const double bx2 = (2.0 - 2.0 * std::cos(M_PI / static_cast<double>(config_.nx))) / (h * h);
+  const double by2 = (2.0 - 2.0 * std::cos(M_PI / static_cast<double>(config_.ny))) / (h * h);
+  return config_.nu_fission / (config_.absorption + config_.diffusion * (bx2 + by2));
+}
+
+}  // namespace mp::apps

@@ -1,0 +1,261 @@
+// Mesh-tally CMFD iterative solver — the flagship end-to-end application
+// workload (ROADMAP item 3: the OpenMOC-shaped scenario).
+//
+// The paper positions multiprefix as the primitive behind irregular
+// scientific kernels; CMFD (coarse-mesh finite difference) acceleration is
+// the concrete production shape. A 2D structured mesh is swept by a fixed
+// set of synthetic characteristic tracks; every outer iteration
+//
+//   (a) tallies per-segment surface currents into mesh surfaces — a
+//       multireduce whose label vector (segment -> surface id) never
+//       changes, so the spinetree plan is built once on sweep 1 and served
+//       from the engine's plan cache for every sweep after (the §5.2.1
+//       amortization argument, measured end to end by bench/mesh_tally);
+//   (b) assembles the CMFD diffusion operator from the tallied currents
+//       (the D-hat correction) and solves it with Jacobi inner iterations
+//       whose SpMV is itself a multireduce over the fixed row-label vector
+//       (paper Figure 12: gather the products, reduce by row);
+//   (c) updates a k-eff-style eigenvalue estimate (power iteration) with a
+//       relative-convergence loop.
+//
+// Each outer sweep runs under its own per-sweep RunContext deadline, so a
+// stuck sweep fails loudly mid-loop with the engine's untouched-or-complete
+// output guarantee instead of wedging the solve. With the transport
+// perturbation (`anisotropy`) at zero the tallied currents equal the finite
+// difference currents, the D-hat correction vanishes to roundoff, and the
+// converged eigenvalue equals the analytic discrete buckling solution
+// (analytic_keff()) — the test oracle. A nonzero perturbation exercises the
+// real CMFD correction path.
+//
+// The tally pass can optionally be driven per-track through the serving
+// frontend (MeshTallyConfig::frontend): every track is a tiny request
+// (n = a few dozen segments), so a sweep becomes a burst of sub-1k submits
+// that the frontend coalesces into the engine's fused batched tiny-n sweep
+// — the PR 8 serving path on a real workload.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/labels.hpp"
+#include "common/run_context.hpp"
+#include "core/engine.hpp"
+#include "obs/trace.hpp"
+
+namespace mp::serve {
+class Frontend;
+}  // namespace mp::serve
+
+namespace mp::apps {
+
+struct MeshTallyConfig {
+  /// Mesh shape: nx x ny cells of size `cell_size` (cm), zero-flux boundary.
+  std::size_t nx = 32;
+  std::size_t ny = 32;
+  double cell_size = 1.0;
+
+  /// One-group cross sections (uniform): diffusion coefficient, absorption
+  /// and production. keff of the homogeneous problem is
+  /// nu_fission / (absorption + D * buckling).
+  double diffusion = 1.2;
+  double absorption = 0.10;
+  double nu_fission = 0.125;
+
+  /// Relative amplitude of the deterministic per-segment transport
+  /// perturbation. 0 makes the tally reproduce the finite-difference
+  /// currents exactly (D-hat -> 0, keff -> analytic_keff()); a small
+  /// nonzero value (~0.1) exercises the real CMFD correction.
+  double anisotropy = 0.0;
+
+  /// Track-set multiplier: the horizontal/vertical/diagonal families are
+  /// laid down `track_repeat` times, scaling segments (tally n) without
+  /// changing the surface count (tally m) — the knob the bench uses to set
+  /// the n/m regime.
+  std::size_t track_repeat = 1;
+  bool diagonal_tracks = true;
+
+  /// Outer (power) iteration controls: stop when |dk|/k < keff_tol.
+  std::size_t max_outers = 1000;
+  double keff_tol = 1e-8;
+  /// Inner Jacobi controls: per outer, iterate until the residual norm
+  /// drops below inner_tol * (initial residual norm), capped at max_inners.
+  std::size_t max_inners = 200;
+  double inner_tol = 1e-2;
+
+  /// Strategy for both the tally multireduce and the SpMV multireduce.
+  /// Plan-cache residency (the whole point of the fixed label structure)
+  /// needs a plan-based strategy: kVectorized/kParallel, or kAuto once the
+  /// recurring-labels detector promotes. Default kVectorized — at mesh-tally
+  /// sizes kAuto would resolve the SpMV to the planless serial sweep.
+  Strategy strategy = Strategy::kVectorized;
+
+  /// Engine to dispatch through; null = Engine::global(). Pass a private
+  /// engine to make plan_hits/plan_misses in MeshTallyStats exact.
+  Engine* engine = nullptr;
+
+  /// When set, the tally pass submits each track as its own tiny
+  /// multireduce through the serving frontend (coalesced + fused batched
+  /// sweep) instead of one engine call. Segment values are fixed-point
+  /// quantized (see segment_values in mesh_tally.cpp), so even this
+  /// differently-associated per-track fold reproduces the single-pass
+  /// tally bit for bit.
+  serve::Frontend* frontend = nullptr;
+
+  /// Per-sweep deadline, armed at the start of every outer iteration and
+  /// governing that sweep's tally and inner solve. Expiry throws
+  /// MpError(kDeadlineExceeded) out of solve() with the solver state at the
+  /// last completed outer.
+  std::optional<std::chrono::steady_clock::duration> sweep_deadline;
+
+  /// Governance counter block threaded into every sweep's RunContext.
+  FallbackCounters* counters = nullptr;
+  /// Span sink for the per-sweep phase spans (kTallySweep / kCmfdSolve /
+  /// kEigenUpdate) and, via RunContext::tracer, every engine dispatch under
+  /// them; null = the ambient tracer.
+  obs::Tracer* tracer = nullptr;
+};
+
+/// Result of solve(). Plan-cache fields are deltas of the dispatching
+/// engine's PlanCache::Stats across the solve — exact when the config names
+/// a private engine, best-effort on a shared one.
+struct MeshTallyStats {
+  double keff = 1.0;
+  double keff_delta = 1.0;  // |dk|/k of the last completed outer
+  std::size_t outers = 0;
+  std::size_t inners = 0;  // total Jacobi iterations across all outers
+  bool converged = false;
+  std::uint64_t tally_sweeps = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
+  /// Misses observed after the first outer iteration — the residency
+  /// contract: a fixed mesh means zero warm misses, and the bench gates
+  /// warm_hit_rate (hits/(hits+misses) after outer 1) at >= 0.99.
+  std::uint64_t warm_plan_misses = 0;
+  double warm_hit_rate = 1.0;
+};
+
+class MeshTallySolver {
+ public:
+  explicit MeshTallySolver(MeshTallyConfig config);
+
+  const MeshTallyConfig& config() const { return config_; }
+
+  // -- Geometry ------------------------------------------------------------
+  std::size_t cells() const { return config_.nx * config_.ny; }
+  /// Tally class count m: (nx+1)*ny vertical + nx*(ny+1) horizontal faces.
+  std::size_t surfaces() const { return surfaces_; }
+  /// Tally element count n: total track segments across all tracks.
+  std::size_t segments() const { return labels_.size(); }
+  std::size_t tracks() const { return track_bounds_.size() - 1; }
+
+  /// The fixed segment -> surface label vector (the tally's multireduce
+  /// labels; identical every sweep, which is what keeps the plan resident).
+  std::span<const label_t> tally_labels() const { return labels_; }
+  /// Per-segment tally weights; the segments crossing any one surface have
+  /// weights summing to 1, so tallying `weight * f(surface)` reconstructs f.
+  std::span<const double> segment_weights() const { return weights_; }
+  /// Segment range of track t is [track_bounds()[t], track_bounds()[t+1]).
+  std::span<const std::size_t> track_bounds() const { return track_bounds_; }
+
+  // -- One tally pass ------------------------------------------------------
+  /// Tallies per-segment surface currents for `flux` (size cells()) into
+  /// `currents` (size surfaces()) with an explicit strategy: one
+  /// engine multireduce over tally_labels(). All surfaces() slots are
+  /// written. `ctx` governs the run; on deadline/cancel expiry the engine's
+  /// untouched-or-complete guarantee applies to `currents`.
+  void tally_currents(std::span<const double> flux, std::span<double> currents,
+                      Strategy strategy, const RunContext& ctx = RunContext::none());
+  /// Config-routed form: uses config().strategy, or the per-track serving
+  /// frontend path when config().frontend is set.
+  void tally_currents(std::span<const double> flux, std::span<double> currents,
+                      const RunContext& ctx = RunContext::none());
+
+  // -- The outer loop ------------------------------------------------------
+  /// Runs the tally / CMFD-solve / k-eff-update loop to convergence (or
+  /// max_outers). Restartable: each call starts from a flat flux.
+  MeshTallyStats solve();
+
+  /// Flux and eigenvalue after the last solve() (or the flat initial state).
+  std::span<const double> flux() const { return flux_; }
+  double keff() const { return keff_; }
+
+  /// The exact discrete eigenvalue of the unperturbed operator:
+  /// nu_fission / (absorption + D*(Bx^2 + By^2)) with the discrete
+  /// bucklings B^2 = (2 - 2cos(pi/n)) / h^2 of the zero-flux five-point
+  /// stencil. solve() converges to this when anisotropy == 0.
+  double analytic_keff() const;
+
+ private:
+  Engine& engine() const { return config_.engine != nullptr ? *config_.engine : Engine::global(); }
+  obs::Tracer* sink() const {
+    return config_.tracer != nullptr ? config_.tracer : obs::active_tracer();
+  }
+
+  // Surface indexing: vertical face (ix,iy), ix in [0,nx], left edge of
+  // column ix; horizontal face (ix,iy), iy in [0,ny], bottom edge of row iy.
+  std::size_t vsurf(std::size_t ix, std::size_t iy) const { return iy * (config_.nx + 1) + ix; }
+  std::size_t hsurf(std::size_t ix, std::size_t iy) const {
+    return (config_.nx + 1) * config_.ny + iy * config_.nx + ix;
+  }
+  std::size_t cell(std::size_t ix, std::size_t iy) const { return iy * config_.nx + ix; }
+
+  void build_tracks();
+  void build_operator_pattern();
+  /// Net +axis finite-difference currents of `flux` into j (size surfaces()).
+  void fd_currents(std::span<const double> flux, std::span<double> j) const;
+  /// Per-segment tally values for the sweep: weight * J_fd(surface) *
+  /// (1 + anisotropy * pattern).
+  void segment_values(std::span<const double> j);
+  void tally_via_frontend(std::span<double> currents);
+  /// D-hat corrections from tallied vs finite-difference currents.
+  void update_dhat(std::span<const double> tallied, std::span<const double> jfd,
+                   std::span<const double> flux);
+  /// Writes the CMFD operator values (fixed COO pattern) and diagonal.
+  void assemble();
+  /// y = A x through the engine (gather products, multireduce by row).
+  void spmv(std::span<const double> x, std::span<double> y, const RunContext& ctx);
+  /// Jacobi sweeps on A phi = b from the current phi; returns iterations.
+  std::size_t inner_solve(std::span<const double> b, std::span<double> phi,
+                          const RunContext& ctx);
+
+  MeshTallyConfig config_;
+  std::size_t surfaces_ = 0;
+
+  // Track tally structure (fixed at construction).
+  std::vector<label_t> labels_;            // segment -> surface
+  std::vector<double> weights_;            // per-segment partition-of-unity
+  std::vector<double> pattern_;            // deterministic perturbation in [-1,1]
+  std::vector<std::size_t> track_bounds_;  // track t owns [bounds[t], bounds[t+1])
+
+  // CMFD operator (fixed COO pattern, values rewritten every outer).
+  std::vector<label_t> arow_;          // entry -> row (SpMV multireduce labels)
+  std::vector<std::uint32_t> acol_;    // entry -> column (gather index)
+  std::vector<double> aval_;           // entry values
+  std::vector<std::size_t> diag_at_;   // cell -> its diagonal entry
+  std::vector<std::size_t> east_at_;   // cell -> entry for (cell, cell+1), SIZE_MAX if none
+  std::vector<std::size_t> west_at_;
+  std::vector<std::size_t> north_at_;
+  std::vector<std::size_t> south_at_;
+  std::vector<double> diag_;           // assembled diagonal (Jacobi preconditioner)
+  std::vector<double> dhat_;           // per-surface CMFD correction
+
+  // Sweep scratch.
+  std::vector<double> jfd_;       // finite-difference currents
+  std::vector<double> jtally_;    // tallied currents
+  std::vector<double> segval_;    // per-segment tally values
+  std::vector<double> product_;   // SpMV gathered products
+  std::vector<double> ax_;        // SpMV result
+  std::vector<double> resid_;     // Jacobi residual
+  std::vector<double> src_;       // fission source
+  std::vector<double> phi_new_;
+
+  // Solver state.
+  std::vector<double> flux_;
+  double keff_ = 1.0;
+};
+
+}  // namespace mp::apps

@@ -141,6 +141,13 @@ class Engine {
   Workspace* scratch() const { return options_.use_workspace ? &thread_workspace() : nullptr; }
   PlanCache& plan_cache() { return plan_cache_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
+  /// Copyable residency snapshot of the plan cache (hits / misses /
+  /// evictions / oversize bypasses / shard contention), aggregated across
+  /// shards. Scenario code diffs this across a run to assert plan
+  /// residency — apps/mesh_tally gates zero misses after its first sweep,
+  /// and bench/mesh_tally turns the delta into the tally_plan_hit_rate
+  /// floor CI enforces.
+  PlanCache::Stats plan_stats() const { return plan_cache_.stats(); }
 
   /// Resolves a requested strategy to a concrete one. Non-kAuto requests
   /// pass through unchanged. kAuto applies the regime table (§4.3/Fig 10);

@@ -45,6 +45,9 @@ const char* to_string(Phase phase) {
     case Phase::kStreamChunk:    return "stream-chunk";
     case Phase::kCarryMerge:     return "carry-merge";
     case Phase::kCheckpointSave: return "checkpoint-save";
+    case Phase::kTallySweep:     return "TALLY-SWEEP";
+    case Phase::kCmfdSolve:      return "CMFD-SOLVE";
+    case Phase::kEigenUpdate:    return "EIGEN-UPDATE";
   }
   return "?";
 }
@@ -70,6 +73,9 @@ const char* slug(Phase phase) {
     case Phase::kStreamChunk:    return "stream_chunk";
     case Phase::kCarryMerge:     return "carry_merge";
     case Phase::kCheckpointSave: return "checkpoint_save";
+    case Phase::kTallySweep:     return "tally_sweep";
+    case Phase::kCmfdSolve:      return "cmfd_solve";
+    case Phase::kEigenUpdate:    return "eigen_update";
   }
   return "?";
 }

@@ -72,8 +72,11 @@ enum class Phase : std::uint8_t {
   kStreamChunk,    // stream: one chunk read + compute (stream/session.hpp)
   kCarryMerge,     // stream: cross-chunk carry combine into the chunk prefix
   kCheckpointSave, // stream: carry snapshot serialization
+  kTallySweep,     // apps/mesh_tally: one per-outer track-tally multireduce
+  kCmfdSolve,      // apps/mesh_tally: CMFD assembly + inner SpMV solve
+  kEigenUpdate,    // apps/mesh_tally: k-eff update + flux normalization
 };
-inline constexpr std::size_t kPhaseCount = 19;
+inline constexpr std::size_t kPhaseCount = 22;
 
 /// Countable one-shot events — the governance vocabulary of
 /// FallbackCounters (common/run_context.hpp) plus the plan-cache outcomes.
